@@ -1,0 +1,144 @@
+"""E9 — the paper's future-work extensions (§VII), quantified.
+
+* Multi-objective search: the latency/energy Pareto front on MobileNet
+  ("we envision to extend exploration to e.g. different reward choices
+  or having multi-objective search").
+* Linear value-function approximation: the first step toward "Deep RL
+  to approximate the value function for better scalability towards
+  larger networks", compared against tabular QS-DNN and RS on the
+  deepest zoo network (ResNet-50, 175 decisions).
+* The coordinate-descent polish: contribution of the post-search local
+  refinement on branchy vs chain networks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Mode
+from repro.analysis._cache import cached_lut
+from repro.baselines import random_search
+from repro.core import QSDNNSearch, SearchConfig
+from repro.ext import (
+    EnergyModel,
+    LinearQConfig,
+    LinearQSearch,
+    MLPQConfig,
+    MLPQSearch,
+    pareto_front,
+    pareto_sweep,
+    schedule_energy_mj,
+)
+from repro.utils.tables import AsciiTable
+
+from benchmarks.conftest import SEED
+
+
+def test_multiobjective_pareto(benchmark, tx2, emit):
+    """Latency/energy trade-off on MobileNet-v1 (GPGPU)."""
+    lut = cached_lut("mobilenet_v1", Mode.GPGPU, tx2, seed=SEED)
+    lams = [0.0, 0.05, 0.1, 0.2, 0.5, 1.0]
+
+    def run():
+        return pareto_sweep(lut, lams=lams, episodes=1500, seed=SEED)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = AsciiTable(
+        ["lambda (1/W)", "latency (ms)", "energy (mJ)", "GPU layers"],
+        title="E9 | MobileNet-v1 latency/energy sweep (EnergyModel: "
+              f"CPU {EnergyModel().cpu_watts} W, GPU {EnergyModel().gpu_watts} W)",
+    )
+    for p in points:
+        table.add_row(
+            [f"{p.lam:g}", f"{p.latency_ms:.2f}", f"{p.energy_mj:.1f}",
+             p.gpu_layers(lut)]
+        )
+    front = pareto_front(points)
+    emit(
+        "ext_pareto",
+        table.render() + f"\nnon-dominated points: {len(front)}/{len(points)}",
+    )
+
+    # Increasing energy weight must reduce energy and GPU usage.
+    assert points[-1].energy_mj < points[0].energy_mj
+    assert points[-1].gpu_layers(lut) <= points[0].gpu_layers(lut)
+    # And the unweighted end remains the latency-optimal one.
+    assert points[0].latency_ms <= min(p.latency_ms for p in points) * 1.05
+    assert len(front) >= 2
+
+
+def test_linear_q_scalability(benchmark, tx2, emit):
+    """Function approximation vs tabular vs RS on ResNet-50 (GPGPU)."""
+    lut = cached_lut("resnet50", Mode.GPGPU, tx2, seed=SEED)
+    budget = 800  # deliberately small: where generalization should help
+
+    def run():
+        tab = QSDNNSearch(
+            lut, SearchConfig(episodes=budget, seed=SEED, track_curve=False)
+        ).run()
+        lin = LinearQSearch(
+            lut, LinearQConfig(episodes=budget, seed=SEED)
+        ).run()
+        mlp = MLPQSearch(
+            lut, MLPQConfig(episodes=budget, seed=SEED)
+        ).run()
+        rs = random_search(lut, episodes=budget, seed=SEED)
+        return tab, lin, mlp, rs
+
+    tab, lin, mlp, rs = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = AsciiTable(
+        ["agent", "best (ms)", "parameters"],
+        title=f"E9 | ResNet-50 GPGPU at a small budget ({budget} episodes)",
+    )
+    num_entries = sum(
+        len(lut.candidates[l]) ** 2 for l in lut.layers
+    )
+    table.add_row(["tabular QS-DNN", f"{tab.best_ms:.2f}",
+                   f"~{num_entries} Q entries"])
+    table.add_row(["linear Q (ext)", f"{lin.best_ms:.2f}", "13 weights"])
+    table.add_row(["MLP Q (ext)", f"{mlp.best_ms:.2f}",
+                   "~480 weights (32 hidden)"])
+    table.add_row(["random search", f"{rs.best_ms:.2f}", "-"])
+    emit("ext_linear_q", table.render())
+
+    assert lin.best_ms < rs.best_ms, "approximation must beat random search"
+    assert mlp.best_ms < rs.best_ms
+    # A handful of weights vs tens of thousands of table entries: staying
+    # within 2x of tabular at this budget is the scalability argument.
+    assert lin.best_ms <= tab.best_ms * 2.0
+    assert mlp.best_ms <= tab.best_ms * 2.5
+
+
+@pytest.mark.parametrize("network,mode", [
+    ("squeezenet_v1.1", Mode.GPGPU),   # branchy: polish matters
+    ("vgg19", Mode.GPGPU),             # chain: RL alone nearly optimal
+])
+def test_polish_contribution(benchmark, network, mode, tx2, emit):
+    """E8/E9 | what the final coordinate-descent sweeps add."""
+    lut = cached_lut(network, mode, tx2, seed=SEED)
+    episodes = max(1000, 25 * len(lut.layers))
+
+    def run():
+        raw = QSDNNSearch(
+            lut,
+            SearchConfig(episodes=episodes, seed=SEED, track_curve=False,
+                         polish_sweeps=0),
+        ).run()
+        polished = QSDNNSearch(
+            lut,
+            SearchConfig(episodes=episodes, seed=SEED, track_curve=False,
+                         polish_sweeps=2),
+        ).run()
+        return raw, polished
+
+    raw, polished = benchmark.pedantic(run, rounds=1, iterations=1)
+    gain = raw.best_ms / polished.best_ms
+    emit(
+        f"ext_polish_{network}",
+        (
+            f"{network} ({mode}): raw RL {raw.best_ms:.2f} ms -> polished "
+            f"{polished.best_ms:.2f} ms ({gain:.3f}x from <= 2 sweeps of "
+            "coordinate descent)"
+        ),
+    )
+    assert polished.best_ms <= raw.best_ms + 1e-9

@@ -1,0 +1,42 @@
+"""E3 — Fig. 4: the learning curve of a 1000-episode search.
+
+"RL search for 1000 episodes where the 500 first episodes are fully
+exploration.  From there on, epsilon is decreased by 0.1 towards
+exploitation after every 50 episodes."
+"""
+
+from __future__ import annotations
+
+from repro import Mode
+from repro.analysis._cache import cached_lut
+from repro.analysis.curves import fig4_learning_curve
+
+from benchmarks.conftest import EPISODES, SEED
+
+NETWORK = "mobilenet_v1"
+
+
+def test_fig4_learning_curve(benchmark, tx2, emit):
+    lut = cached_lut(NETWORK, Mode.GPGPU, tx2, seed=SEED)
+
+    def run():
+        return fig4_learning_curve(lut, episodes=EPISODES, seed=SEED)
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = data.result
+    emit("fig4_learning_curve", data.render())
+
+    # Epsilon schedule is exactly Fig. 4's.
+    eps = result.epsilon_trace
+    assert eps[:500] == [1.0] * 500
+    assert eps[500] == 0.9 and eps[549] == 0.9 and eps[550] == 0.8
+    assert eps[-1] == 0.0
+
+    # Exploitation tail samples far better configurations than the
+    # exploration phase.
+    explore_mean = sum(result.curve_ms[:500]) / 500
+    exploit_mean = sum(result.curve_ms[-50:]) / 50
+    assert exploit_mean < 0.5 * explore_mean
+
+    # The greedy policy has converged close to the best-seen config.
+    assert result.greedy_ms <= result.best_ms * 1.25

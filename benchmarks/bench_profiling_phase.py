@@ -1,0 +1,55 @@
+"""E6 — the inference phase's cost (paper §V-A, Figs. 2-3).
+
+"We only need to infer the whole network on the embedded platform as
+many times as different global implementations there exists" — plus a
+single compatibility pass.  This bench measures the profiler and prints
+the pass accounting against the exhaustive alternative.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Mode, build_network
+from repro.backends import design_space
+from repro.engine import Profiler
+from repro.utils.tables import AsciiTable
+
+from benchmarks.conftest import SEED
+
+NETWORKS = ["lenet5", "squeezenet_v1.1", "googlenet"]
+
+
+@pytest.mark.parametrize("network", NETWORKS)
+def test_profiling_cost(benchmark, network, tx2, emit):
+    graph = build_network(network)
+    space = design_space(Mode.GPGPU, tx2)
+
+    def run():
+        return Profiler(graph, space, tx2, seed=SEED, repeats=50).profile()
+
+    lut, report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = AsciiTable(
+        ["quantity", "value"],
+        title=f"E6 | profiling cost for {network} (GPGPU mode)",
+    )
+    table.add_row(["primitive types in space", report.primitive_types])
+    table.add_row(["network benchmark passes", report.network_inferences])
+    table.add_row(["compatibility passes", report.compatibility_passes])
+    table.add_row(["repeats per measurement", 50])
+    table.add_row(
+        ["simulated board time", f"{report.simulated_board_ms / 1000:.1f} s"]
+    )
+    table.add_row(
+        ["exhaustive alternative", f"10^{space.space_size_log10(graph):.0f} configs"]
+    )
+    emit(f"profiling_{network}", table.render())
+
+    # The whole point of the two-phase design:
+    assert report.network_inferences <= report.primitive_types
+    assert report.compatibility_passes == 1
+    # LUT is complete: every candidate of every layer measured.
+    for layer, uids in lut.candidates.items():
+        for uid in uids:
+            assert lut.layer_time(layer, uid) > 0

@@ -1,0 +1,50 @@
+"""E7 — search runtime (paper §VI-A).
+
+"The design space search is carried out in a standard Intel CPU and
+takes less than 10 min to converge"; the abstract quotes ~5 minutes.
+Our tabular search over the same LUT structure runs in seconds — this
+bench records the wall-clock per network so the claim is auditable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Mode
+from repro.analysis._cache import cached_lut
+from repro.core import QSDNNSearch, SearchConfig
+from repro.utils.tables import AsciiTable
+
+from benchmarks.conftest import EPISODES, SEED
+
+NETWORKS = ["lenet5", "alexnet", "mobilenet_v1", "googlenet", "resnet50", "vgg19"]
+
+_wall_clocks: dict[str, float] = {}
+
+
+@pytest.mark.parametrize("network", NETWORKS)
+def test_search_wall_clock(benchmark, network, tx2):
+    lut = cached_lut(network, Mode.GPGPU, tx2, seed=SEED)
+
+    def run():
+        config = SearchConfig(episodes=EPISODES, seed=SEED, track_curve=False)
+        return QSDNNSearch(lut, config).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _wall_clocks[network] = result.wall_clock_s
+    # Paper bound: well under 10 minutes per search.
+    assert result.wall_clock_s < 600.0
+
+
+def test_search_runtime_summary(benchmark, emit):
+    def summarize():
+        table = AsciiTable(
+            ["network", f"{EPISODES}-episode search (s)"],
+            title="E7 | QS-DNN search wall-clock (paper: < 10 min)",
+        )
+        for network in NETWORKS:
+            if network in _wall_clocks:
+                table.add_row([network, f"{_wall_clocks[network]:.2f}"])
+        return table.render()
+
+    emit("search_runtime", benchmark.pedantic(summarize, rounds=1, iterations=1))

@@ -1,0 +1,69 @@
+"""E1 — Table II, CPU mode (paper §VI-A).
+
+Regenerates the left half of Table II: per-network speedups over Vanilla
+for every CPU library, the Best Single Library, QS-DNN (1000 episodes)
+and Random Search at the same budget, on a single Cortex-A57 thread.
+
+The benchmarked quantity per network is the QS-DNN search itself (the
+profiling phase is cached per session, mirroring the paper's one-off
+inference phase).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Mode
+from repro.analysis._cache import cached_lut, cached_table2_row
+from repro.analysis.speedup import render_table2
+from repro.core import QSDNNSearch, SearchConfig
+from repro.utils.stats import geometric_mean
+from repro.zoo import TABLE2_NETWORKS
+
+from benchmarks.conftest import EPISODES, SEED
+
+
+@pytest.mark.parametrize("network", TABLE2_NETWORKS)
+def test_qsdnn_search_cpu(benchmark, network, tx2):
+    """Benchmark the 1000-episode CPU-mode search per network."""
+    lut = cached_lut(network, Mode.CPU, tx2, seed=SEED)
+
+    def run_search():
+        config = SearchConfig(episodes=EPISODES, seed=SEED, track_curve=False)
+        return QSDNNSearch(lut, config).run()
+
+    result = benchmark.pedantic(run_search, rounds=1, iterations=1)
+    assert result.best_ms > 0
+
+
+def test_table2_cpu_rows(benchmark, tx2, emit):
+    """Assemble and print the full CPU half of Table II."""
+
+    def build_rows():
+        return [
+            cached_table2_row(n, Mode.CPU, tx2, episodes=None, seed=SEED)
+            for n in TABLE2_NETWORKS
+        ]
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    emit(
+        "table2_cpu",
+        render_table2(
+            rows,
+            title=(
+                "Table II (CPU mode) - speedups over Vanilla, single A57 "
+                f"thread, per-network budget (>=1000 episodes, RS gets the "
+                f"same), seed {SEED}"
+            ),
+        ),
+    )
+
+    # Paper claims (shape, not absolute numbers):
+    # 1. QS-DNN outperforms every single-library implementation.
+    for row in rows:
+        assert row.qsdnn_vs_bsl >= 0.99, row.network
+    # 2. Up to ~45x speedup over Vanilla on the CPU (big conv nets).
+    best = max(row.qsdnn_speedup for row in rows)
+    assert best >= 40.0, f"max CPU speedup {best:.1f}x, expected >= 40x"
+    # 3. QS-DNN at least matches RS everywhere on CPU.
+    assert geometric_mean([row.rl_vs_rs for row in rows]) >= 1.0

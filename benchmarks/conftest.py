@@ -1,0 +1,54 @@
+"""Shared benchmark fixtures and artifact helpers.
+
+Every benchmark regenerates one of the paper's tables or figures and
+
+1. prints the same rows/series the paper reports (straight to the
+   terminal, bypassing capture),
+2. saves the rendering under ``benchmarks/artifacts/`` so a plain
+   ``pytest benchmarks/ --benchmark-only`` run leaves inspectable output.
+
+Profiled LUTs and Table II rows are cached per session (the board is
+profiled once per network/mode, exactly like the paper's flow).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import jetson_tx2
+
+ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
+
+#: Episode budget used by all Table II benchmarks (the paper's budget).
+EPISODES = 1000
+#: Seed reported with every artifact.
+SEED = 0
+
+
+@pytest.fixture(scope="session")
+def tx2():
+    """The calibrated Jetson TX-2 model (paper §VI-A)."""
+    return jetson_tx2()
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir():
+    ARTIFACTS.mkdir(exist_ok=True)
+    return ARTIFACTS
+
+
+@pytest.fixture()
+def emit(capsys, artifacts_dir):
+    """Print a rendering to the live terminal and save it to a file."""
+
+    def _emit(name: str, text: str) -> None:
+        path = artifacts_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+            print(f"[saved to {path}]")
+
+    return _emit

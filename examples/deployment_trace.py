@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Where do the milliseconds go?  Tracing a deployed schedule.
+
+After QS-DNN picks a configuration, the execution trace shows exactly
+how the inference unfolds: which layers run on which processor, and
+what each compatibility penalty (layout conversion, CPU<->GPU copy)
+costs in between.  The trace also exports Chrome-trace JSON for
+chrome://tracing / Perfetto.
+
+Run:  python examples/deployment_trace.py
+"""
+
+from pathlib import Path
+
+from repro import (
+    InferenceEngineOptimizer,
+    Mode,
+    QSDNNSearch,
+    SearchConfig,
+    build_network,
+    jetson_tx2,
+)
+from repro.engine import Executor
+from repro.engine.trace import (
+    build_trace,
+    chrome_trace_json,
+    lane_totals,
+    render_timeline,
+)
+from repro.utils.units import format_ms
+
+
+def main() -> None:
+    platform = jetson_tx2(noise_sigma=0.0)  # exact model times for the trace
+    network = build_network("squeezenet_v1.1")
+
+    optimizer = InferenceEngineOptimizer(network, platform, mode=Mode.GPGPU, seed=0)
+    lut = optimizer.profile()
+    episodes = max(1000, 25 * len(lut.layers))
+    result = QSDNNSearch(lut, SearchConfig(episodes=episodes, seed=0)).run()
+
+    executor = Executor(network, optimizer.space, platform)
+    execution = executor.run(result.schedule())
+    events = build_trace(network, optimizer.space, execution)
+
+    totals = lane_totals(events)
+    print(
+        f"SqueezeNet v1.1 learned schedule: {format_ms(execution.total_ms)} "
+        "end-to-end\n  "
+        + "  ".join(f"{lane}: {format_ms(ms)}" for lane, ms in sorted(totals.items()))
+        + "\n"
+    )
+
+    # Show the first fire module's slice of the timeline.
+    fire2 = [e for e in events if "fire2" in e.name or "pool1" in e.name]
+    print(render_timeline(fire2, width=40))
+
+    out = Path("squeezenet_trace.json")
+    out.write_text(chrome_trace_json(events))
+    print(
+        f"\nFull Chrome-trace written to {out} "
+        "(open in chrome://tracing or ui.perfetto.dev)"
+    )
+
+
+if __name__ == "__main__":
+    main()

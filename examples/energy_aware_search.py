@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Energy-aware primitive selection (paper §VII future work).
+
+Battery-powered deployments care about joules as much as milliseconds.
+This example sweeps the latency/energy trade-off on MobileNet-v1: the
+scalarized objective ``latency + lambda * energy`` is just a transformed
+look-up table, so the unmodified Q-learning engine explores the whole
+Pareto front — watch the schedule abandon the fast-but-hungry GPU as
+lambda grows.
+
+Run:  python examples/energy_aware_search.py
+"""
+
+from repro import InferenceEngineOptimizer, Mode, build_network, jetson_tx2
+from repro.ext import EnergyModel, pareto_front, pareto_sweep
+from repro.utils.tables import AsciiTable
+
+
+def main() -> None:
+    platform = jetson_tx2()
+    network = build_network("mobilenet_v1")
+    optimizer = InferenceEngineOptimizer(network, platform, mode=Mode.GPGPU, seed=0)
+    lut = optimizer.profile()
+
+    model = EnergyModel()  # CPU 1.8 W, GPU 7.0 W busy power
+    print(
+        f"Energy model: CPU {model.cpu_watts} W, GPU {model.gpu_watts} W, "
+        f"copies {model.transfer_watts} W\n"
+    )
+
+    points = pareto_sweep(
+        lut, lams=[0.0, 0.05, 0.1, 0.2, 0.5, 1.0], episodes=1500, seed=0,
+        model=model,
+    )
+    table = AsciiTable(
+        ["lambda (1/W)", "latency (ms)", "energy (mJ)", "GPU layers",
+         "energy/frame @30fps (mW)"],
+        title="MobileNet-v1: latency/energy sweep on the TX-2",
+    )
+    for p in points:
+        table.add_row(
+            [
+                f"{p.lam:g}",
+                f"{p.latency_ms:.2f}",
+                f"{p.energy_mj:.1f}",
+                p.gpu_layers(lut),
+                f"{p.energy_mj * 30:.0f}",
+            ]
+        )
+    print(table.render())
+
+    front = pareto_front(points)
+    print(
+        f"\nPareto front: {len(front)} non-dominated schedules, from "
+        f"{front[0].latency_ms:.1f} ms / {front[0].energy_mj:.0f} mJ "
+        f"to {front[-1].latency_ms:.1f} ms / {front[-1].energy_mj:.0f} mJ."
+    )
+
+
+if __name__ == "__main__":
+    main()

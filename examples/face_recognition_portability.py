@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Face recognition across heterogeneous platforms (paper §I, §VI).
+
+An industrial face-recognition pipeline (SphereFace-20 embeddings) must
+ship on whatever hardware the customer has.  QS-DNN's promise is that
+the *same automatic flow* produces a tuned deployment per platform — no
+hand-porting.  This example tunes the network for three targets and
+shows how the learned schedules differ:
+
+* Jetson TX-2, GPGPU mode (CPU + GPU),
+* Jetson TX-2, CPU mode (a single A57 thread),
+* Raspberry Pi 3 (Cortex-A53, CPU only).
+
+Run:  python examples/face_recognition_portability.py
+"""
+
+from collections import Counter
+
+from repro import (
+    InferenceEngineOptimizer,
+    Mode,
+    QSDNNSearch,
+    SearchConfig,
+    best_single_library,
+    build_network,
+    jetson_tx2,
+    raspberry_pi3,
+)
+from repro.utils.tables import AsciiTable
+from repro.utils.units import format_ms
+
+
+def tune(platform, mode: Mode, seed: int = 0):
+    """Run the full two-phase flow for one target."""
+    network = build_network("spherenet20")
+    optimizer = InferenceEngineOptimizer(network, platform, mode=mode, seed=seed)
+    lut = optimizer.profile()
+    episodes = max(1000, 25 * len(lut.layers))
+    result = QSDNNSearch(lut, SearchConfig(episodes=episodes, seed=seed)).run()
+    return lut, result, best_single_library(lut)
+
+
+def main() -> None:
+    targets = [
+        ("TX-2 (CPU+GPU)", jetson_tx2(), Mode.GPGPU),
+        ("TX-2 (CPU only)", jetson_tx2(), Mode.CPU),
+        ("Raspberry Pi 3", raspberry_pi3(), Mode.CPU),
+    ]
+    table = AsciiTable(
+        ["target", "BSL", "QS-DNN", "gain", "library mix"],
+        title="SphereFace-20 embedding latency per target platform",
+    )
+    for label, platform, mode in targets:
+        lut, result, bsl = tune(platform, mode)
+        mix = Counter(
+            lut.meta[uid].library for uid in result.best_assignments.values()
+        )
+        mix_text = ", ".join(f"{lib}:{n}" for lib, n in mix.most_common())
+        table.add_row(
+            [
+                label,
+                f"{bsl.library} {format_ms(bsl.total_ms)}",
+                format_ms(result.best_ms),
+                f"{bsl.total_ms / result.best_ms:.2f}x",
+                mix_text,
+            ]
+        )
+    print(table.render())
+    print(
+        "\nThe same automatic flow adapts per platform: the GPGPU schedule"
+        "\nsplits work between cuDNN and CPU libraries (with cuBLAS for the"
+        "\nembedding FC); the CPU-only schedules re-balance between ArmCL,"
+        "\nNNPACK and BLAS lowerings according to each core's strengths."
+    )
+
+
+if __name__ == "__main__":
+    main()

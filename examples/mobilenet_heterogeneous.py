@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""The paper's MobileNet showcase (§VI-A): heterogeneous scheduling.
+
+MobileNet-v1 is where per-layer selection shines on a CPU+GPU platform:
+the learned schedule "combines the optimized Depth-Wise code from ArmCL,
+convolutions from cuDNN and certain ReLU and B-Norm layers from Vanilla
+to avoid costly extra copies to GPU", beating the best vendor library by
+well over 1.4x.
+
+This example prints the learned per-layer assignment of one separable
+block so the mechanism is visible, plus the whole-network library mix.
+
+Run:  python examples/mobilenet_heterogeneous.py
+"""
+
+from collections import Counter
+
+from repro import (
+    InferenceEngineOptimizer,
+    Mode,
+    QSDNNSearch,
+    SearchConfig,
+    best_single_library,
+    build_network,
+    jetson_tx2,
+)
+from repro.utils.tables import AsciiTable
+from repro.utils.units import format_ms, format_speedup
+
+
+def main() -> None:
+    platform = jetson_tx2()
+    network = build_network("mobilenet_v1")
+
+    optimizer = InferenceEngineOptimizer(network, platform, mode=Mode.GPGPU, seed=0)
+    lut = optimizer.profile()
+
+    episodes = max(1000, 25 * len(lut.layers))
+    result = QSDNNSearch(lut, SearchConfig(episodes=episodes, seed=0)).run()
+    bsl = best_single_library(lut)
+
+    print(
+        f"MobileNet-v1 on {platform.name} (GPGPU mode), "
+        f"{episodes} episodes\n"
+        f"  best single library : {bsl.library} @ {format_ms(bsl.total_ms)}\n"
+        f"  QS-DNN              : {format_ms(result.best_ms)} "
+        f"({format_speedup(bsl.total_ms / result.best_ms)} over BSL; paper: >1.4x)\n"
+    )
+
+    # Whole-network mix.
+    mix = Counter(lut.meta[uid].library for uid in result.best_assignments.values())
+    print("Library mix across 84 layers:")
+    for library, count in mix.most_common():
+        print(f"  {library:8s} {count:3d} layers")
+
+    # One separable block, layer by layer (block 12 sits at 7x7x1024
+    # where CPU depth-wise + GPU point-wise mixing pays off).
+    table = AsciiTable(
+        ["layer", "primitive", "processor", "layout", "time"],
+        title="\nLearned schedule of separable block 12:",
+    )
+    for name in (
+        "conv12_dw", "conv12_dw/bn", "conv12_dw/relu",
+        "conv12_pw", "conv12_pw/bn", "conv12_pw/relu",
+    ):
+        uid = result.best_assignments[name]
+        meta = lut.meta[uid]
+        table.add_row(
+            [
+                name,
+                uid,
+                str(meta.processor),
+                str(meta.layout),
+                format_ms(lut.layer_time(name, uid)),
+            ]
+        )
+    print(table.render())
+
+    dw_armcl = sum(
+        1
+        for layer, uid in result.best_assignments.items()
+        if layer.endswith("_dw") and lut.meta[uid].library == "armcl"
+    )
+    print(
+        f"\nDepth-wise layers running on ArmCL (CPU NEON): {dw_armcl}/13 "
+        "- cuDNN-era grouped convolutions lose to the CPU here, exactly "
+        "as the paper reports."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Analysis harnesses that regenerate the paper's tables and figures."""
+
+from repro.analysis.speedup import Table2Row, run_table2, run_table2_row, render_table2
+from repro.analysis.curves import (
+    Fig4Data,
+    Fig5Data,
+    fig4_learning_curve,
+    fig5_rl_vs_rs,
+)
+from repro.analysis.compare import MethodComparison, compare_methods
+from repro.analysis.report import claim_checks, full_report, markdown_table2
+from repro.analysis.win_matrix import render_win_matrix, win_matrix
+
+__all__ = [
+    "win_matrix",
+    "render_win_matrix",
+    "claim_checks",
+    "full_report",
+    "markdown_table2",
+    "Table2Row",
+    "run_table2",
+    "run_table2_row",
+    "render_table2",
+    "Fig4Data",
+    "Fig5Data",
+    "fig4_learning_curve",
+    "fig5_rl_vs_rs",
+    "MethodComparison",
+    "compare_methods",
+]

@@ -1,0 +1,48 @@
+"""Process-local memoization for expensive analysis artifacts.
+
+Benchmarks and examples repeatedly need the same profiled LUTs and
+Table II rows; this keeps a keyed cache so a bench session profiles each
+(network, mode, seed) triple once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.analysis.speedup import Table2Row
+
+_LUTS: dict[tuple, object] = {}
+_ROWS: dict[tuple, "Table2Row"] = {}
+
+
+def cached_lut(network: str, mode, platform, seed: int = 0):
+    """Profile (or fetch) the LUT for one (network, mode, platform, seed)."""
+    from repro.engine.optimizer import InferenceEngineOptimizer
+    from repro.zoo import build_network
+
+    key = (network, str(mode), platform.name, seed)
+    if key not in _LUTS:
+        graph = build_network(network)
+        optimizer = InferenceEngineOptimizer(graph, platform, mode=mode, seed=seed)
+        _LUTS[key] = optimizer.profile()
+    return _LUTS[key]
+
+
+def cached_table2_row(network: str, mode, platform, episodes: int | None = None,
+                      seed: int = 0):
+    """Compute (or fetch) one Table II row."""
+    from repro.analysis.speedup import run_table2_row
+
+    key = (network, str(mode), platform.name, episodes, seed)
+    if key not in _ROWS:
+        _ROWS[key] = run_table2_row(
+            network, mode, platform, episodes=episodes, seed=seed
+        )
+    return _ROWS[key]
+
+
+def clear() -> None:
+    """Drop all cached artifacts (tests use this for isolation)."""
+    _LUTS.clear()
+    _ROWS.clear()

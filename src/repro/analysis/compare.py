@@ -1,0 +1,82 @@
+"""Side-by-side comparison of every search/selection method on one LUT."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.annealing import simulated_annealing
+from repro.baselines.best_single_library import best_single_library
+from repro.baselines.dp_optimal import chain_dp, is_chain
+from repro.baselines.greedy import greedy_per_layer
+from repro.baselines.pbqp import pbqp_solve
+from repro.baselines.random_search import random_search
+from repro.core.config import SearchConfig
+from repro.core.search import QSDNNSearch
+from repro.engine.lut import LatencyTable
+from repro.utils.tables import AsciiTable
+from repro.utils.units import format_ms
+
+
+@dataclass(frozen=True)
+class MethodComparison:
+    """Latency achieved by each method on the same LUT."""
+
+    network: str
+    mode: str
+    vanilla_ms: float
+    bsl_ms: float
+    greedy_ms: float
+    qsdnn_ms: float
+    rs_ms: float
+    annealing_ms: float
+    pbqp_ms: float
+    optimal_ms: float | None  # exact (chain DP) when the graph is a chain
+
+    def render(self) -> str:
+        table = AsciiTable(
+            ["method", "latency", "vs QS-DNN"],
+            title=f"{self.network} ({self.mode})",
+        )
+        entries = [
+            ("vanilla", self.vanilla_ms),
+            ("best single library", self.bsl_ms),
+            ("greedy per layer", self.greedy_ms),
+            ("random search", self.rs_ms),
+            ("simulated annealing", self.annealing_ms),
+            ("PBQP (Anderson & Gregg)", self.pbqp_ms),
+            ("QS-DNN", self.qsdnn_ms),
+        ]
+        if self.optimal_ms is not None:
+            entries.append(("exact optimum (chain DP)", self.optimal_ms))
+        for name, ms in entries:
+            table.add_row([name, format_ms(ms), f"{ms / self.qsdnn_ms:.2f}x"])
+        return table.render()
+
+
+def compare_methods(
+    lut: LatencyTable, episodes: int = 1000, seed: int = 0
+) -> MethodComparison:
+    """Run every method at the same budget on one LUT."""
+    vanilla = {
+        layer: lut.best_uid(
+            layer,
+            within={
+                u for u in lut.candidates[layer]
+                if lut.meta[u].library == "vanilla"
+            },
+        )
+        for layer in lut.layers
+    }
+    rl = QSDNNSearch(lut, SearchConfig(episodes=episodes, seed=seed)).run()
+    return MethodComparison(
+        network=lut.graph_name,
+        mode=lut.mode,
+        vanilla_ms=lut.schedule_time(vanilla),
+        bsl_ms=best_single_library(lut).total_ms,
+        greedy_ms=greedy_per_layer(lut).best_ms,
+        qsdnn_ms=rl.best_ms,
+        rs_ms=random_search(lut, episodes=episodes, seed=seed).best_ms,
+        annealing_ms=simulated_annealing(lut, episodes=episodes, seed=seed).best_ms,
+        pbqp_ms=pbqp_solve(lut).best_ms,
+        optimal_ms=chain_dp(lut).best_ms if is_chain(lut) else None,
+    )

@@ -1,0 +1,136 @@
+"""Figures 4 and 5: learning curves and RL-vs-RS convergence."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.random_search import random_search
+from repro.core.config import SearchConfig
+from repro.core.result import SearchResult
+from repro.core.search import QSDNNSearch
+from repro.engine.lut import LatencyTable
+from repro.utils.ascii_plot import line_plot
+from repro.utils.rng import spawn_seed
+from repro.utils.stats import mean_and_ci
+
+
+@dataclass
+class Fig4Data:
+    """One 1000-episode search's learning curve (paper Fig. 4)."""
+
+    result: SearchResult
+    #: Episodes averaged into one plotted point.
+    bucket: int = 10
+
+    @property
+    def bucketed(self) -> tuple[list[float], list[float]]:
+        """(episode midpoints, mean sampled latency per bucket)."""
+        curve = self.result.curve_ms
+        xs, ys = [], []
+        for start in range(0, len(curve), self.bucket):
+            chunk = curve[start : start + self.bucket]
+            xs.append(start + len(chunk) / 2)
+            ys.append(sum(chunk) / len(chunk))
+        return xs, ys
+
+    def render(self, width: int = 72, height: int = 16) -> str:
+        """ASCII rendering of the learning curve."""
+        xs, ys = self.bucketed
+        eps = self.result.epsilon_trace
+        switch = next(
+            (i for i, e in enumerate(eps) if e < 1.0), len(eps)
+        )
+        title = (
+            f"Fig.4 | {self.result.graph_name}: sampled latency per episode "
+            f"(exploration ends at episode {switch})"
+        )
+        return line_plot(
+            xs, ys, width=width, height=height, title=title,
+            xlabel="episode", ylabel="latency ms",
+        )
+
+
+def fig4_learning_curve(
+    lut: LatencyTable, episodes: int = 1000, seed: int = 0
+) -> Fig4Data:
+    """Run the Fig. 4 experiment: one paper-schedule search, full trace.
+
+    Figures 4 and 5 study the *learning process*, so the search runs
+    without the post-search polish (``polish_sweeps=0``) — pure
+    Algorithm 1 output, as in the paper.
+    """
+    config = SearchConfig(
+        episodes=episodes, seed=seed, track_curve=True, polish_sweeps=0
+    )
+    result = QSDNNSearch(lut, config).run()
+    return Fig4Data(result=result)
+
+
+@dataclass
+class Fig5Data:
+    """RL vs RS as a function of episode budget (paper Fig. 5).
+
+    Every point is the mean over ``runs`` independent complete searches
+    with that budget — exactly the paper's protocol ("each point
+    indicates the average result for a complete search for the given
+    episodes"), variance shrinking as the search converges.
+    """
+
+    network: str
+    budgets: list[int]
+    rl_mean: list[float] = field(default_factory=list)
+    rl_ci: list[float] = field(default_factory=list)
+    rs_mean: list[float] = field(default_factory=list)
+    rs_ci: list[float] = field(default_factory=list)
+
+    def ratio_at(self, budget: int) -> float:
+        """RS-mean / RL-mean at one budget."""
+        i = self.budgets.index(budget)
+        return self.rs_mean[i] / self.rl_mean[i]
+
+    def render(self, width: int = 72, height: int = 16) -> str:
+        """ASCII plot: RL (*) and RS (o) mean best latency per budget."""
+        rl = line_plot(
+            self.budgets, self.rl_mean, width=width, height=height,
+            title=f"Fig.5 | {self.network}: RL (*) mean best latency",
+            xlabel="episodes", ylabel="latency ms", marker="*",
+        )
+        rs = line_plot(
+            self.budgets, self.rs_mean, width=width, height=height,
+            title=f"Fig.5 | {self.network}: RS (o) mean best latency",
+            xlabel="episodes", ylabel="latency ms", marker="o",
+        )
+        return rl + "\n" + rs
+
+
+def fig5_rl_vs_rs(
+    lut: LatencyTable,
+    budgets: list[int] | None = None,
+    runs: int = 5,
+    seed: int = 0,
+) -> Fig5Data:
+    """Run the Fig. 5 experiment on one network's LUT."""
+    if budgets is None:
+        budgets = [25, 50, 100, 150, 200, 350, 500, 750, 1000]
+    data = Fig5Data(network=lut.graph_name, budgets=list(budgets))
+    for budget in budgets:
+        rl_scores, rs_scores = [], []
+        for run in range(runs):
+            run_seed = spawn_seed(seed, "fig5", budget, run)
+            config = SearchConfig(
+                episodes=budget, seed=run_seed, track_curve=False,
+                polish_sweeps=0,
+            )
+            rl_scores.append(QSDNNSearch(lut, config).run().best_ms)
+            rs_scores.append(
+                random_search(
+                    lut, episodes=budget, seed=run_seed, track_curve=False
+                ).best_ms
+            )
+        rl_m, rl_c = mean_and_ci(rl_scores)
+        rs_m, rs_c = mean_and_ci(rs_scores)
+        data.rl_mean.append(rl_m)
+        data.rl_ci.append(rl_c)
+        data.rs_mean.append(rs_m)
+        data.rs_ci.append(rs_c)
+    return data

@@ -1,0 +1,95 @@
+"""Markdown report generation for reproduction runs.
+
+Produces an EXPERIMENTS-style markdown document from measured
+:class:`~repro.analysis.speedup.Table2Row` objects, so downstream users
+can regenerate a paper-vs-measured report for *their* platform model
+with two calls.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.speedup import Table2Row
+from repro.utils.stats import geometric_mean
+from repro.utils.units import format_ms, format_speedup
+
+
+def markdown_table2(rows: list[Table2Row], title: str) -> str:
+    """One Table II half as a GitHub-flavoured markdown table."""
+    if not rows:
+        return f"## {title}\n\n(no rows)\n"
+    libraries = sorted(
+        {lib for row in rows for lib in row.library_ms if lib != "vanilla"}
+    )
+    header = (
+        ["network", "vanilla"]
+        + [f"{lib} (x)" for lib in libraries]
+        + ["BSL", "QS-DNN (x)", "QS vs BSL", "RL vs RS"]
+    )
+    lines = [f"## {title}", ""]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    for row in rows:
+        cells = [row.network, format_ms(row.vanilla_ms)]
+        for lib in libraries:
+            cells.append(
+                format_speedup(row.library_speedup(lib))
+                if lib in row.library_ms
+                else "-"
+            )
+        cells += [
+            row.bsl_library,
+            format_speedup(row.qsdnn_speedup),
+            format_speedup(row.qsdnn_vs_bsl),
+            format_speedup(row.rl_vs_rs),
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def claim_checks(rows: list[Table2Row], mode: str) -> str:
+    """Markdown bullet list evaluating the paper's claims on the rows."""
+    lines = [f"### Claim checks ({mode})", ""]
+    beats_bsl = all(row.qsdnn_vs_bsl >= 0.99 for row in rows)
+    lines.append(
+        f"* QS-DNN outperforms every single library: "
+        f"{'yes' if beats_bsl else 'NO'} "
+        f"(min {min(row.qsdnn_vs_bsl for row in rows):.2f}x)"
+    )
+    if mode == "gpgpu":
+        gm = geometric_mean([row.qsdnn_vs_bsl for row in rows])
+        lines.append(
+            f"* mean speedup over best vendor library: {gm:.2f}x (paper: ~2x)"
+        )
+    else:
+        best = max(row.qsdnn_speedup for row in rows)
+        lines.append(
+            f"* max speedup over Vanilla: {format_speedup(best)} (paper: ~45x)"
+        )
+    lines.append(
+        f"* QS-DNN vs RS at equal budget: up to "
+        f"{format_speedup(max(row.rl_vs_rs for row in rows))} "
+        "(paper: up to 15x)"
+    )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def full_report(
+    cpu_rows: list[Table2Row],
+    gpgpu_rows: list[Table2Row],
+    platform_name: str,
+    seed: int,
+) -> str:
+    """A complete markdown reproduction report."""
+    parts = [
+        "# QS-DNN reproduction report",
+        "",
+        f"Platform model: `{platform_name}`, seed {seed}.",
+        "",
+        markdown_table2(cpu_rows, "Table II - CPU mode"),
+        claim_checks(cpu_rows, "cpu"),
+        markdown_table2(gpgpu_rows, "Table II - GPGPU mode"),
+        claim_checks(gpgpu_rows, "gpgpu"),
+    ]
+    return "\n".join(parts)

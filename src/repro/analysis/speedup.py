@@ -1,0 +1,172 @@
+"""Table II: per-network speedups over Vanilla (paper §VI-A).
+
+For every network we report, per library, the speedup of its
+fastest-primitive schedule over Vanilla; the Best Single Library (BSL);
+QS-DNN's speedup; QS-DNN's improvement over the BSL; and Random Search
+at the same 1000-episode budget.  All totals are LUT objectives (layer
+times + compatibility penalties), i.e. the quantity both searches
+optimize; deployment re-measurement agrees to within noise (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import _cache
+from repro.backends.registry import Mode
+from repro.baselines.best_single_library import single_library_results
+from repro.baselines.random_search import random_search
+from repro.core.config import SearchConfig
+from repro.core.search import QSDNNSearch
+from repro.engine.optimizer import InferenceEngineOptimizer
+from repro.hw.platform import Platform
+from repro.utils.tables import AsciiTable
+from repro.utils.units import format_ms, format_speedup
+from repro.zoo import build_network
+
+
+@dataclass
+class Table2Row:
+    """One network's Table II entries for one mode."""
+
+    network: str
+    mode: str
+    vanilla_ms: float
+    #: library -> total ms of its fastest-primitive schedule.
+    library_ms: dict[str, float] = field(default_factory=dict)
+    bsl_library: str = ""
+    bsl_ms: float = 0.0
+    qsdnn_ms: float = 0.0
+    rs_ms: float = 0.0
+    qsdnn_libraries: list[str] = field(default_factory=list)
+    space_log10: float = 0.0
+
+    @property
+    def qsdnn_speedup(self) -> float:
+        """QS-DNN speedup over Vanilla."""
+        return self.vanilla_ms / self.qsdnn_ms
+
+    @property
+    def qsdnn_vs_bsl(self) -> float:
+        """QS-DNN improvement over the Best Single Library."""
+        return self.bsl_ms / self.qsdnn_ms
+
+    @property
+    def rl_vs_rs(self) -> float:
+        """How much better RL's solution is than RS's (same budget)."""
+        return self.rs_ms / self.qsdnn_ms
+
+    def library_speedup(self, library: str) -> float:
+        """A single library's speedup over Vanilla."""
+        return self.vanilla_ms / self.library_ms[library]
+
+
+#: Episodes per layer for the auto budget (paper §V-B: "the search space
+#: and the conditions of the search can be defined for each network").
+EPISODES_PER_LAYER = 25
+#: Floor matching the paper's 1000-episode runs (Figs. 4-5).
+MIN_EPISODES = 1000
+
+
+def auto_episodes(num_layers: int) -> int:
+    """Per-network episode budget: max(1000, 25 x layers)."""
+    return max(MIN_EPISODES, EPISODES_PER_LAYER * num_layers)
+
+
+def run_table2_row(
+    network: str,
+    mode: Mode,
+    platform: Platform,
+    episodes: int | None = None,
+    seed: int = 0,
+) -> Table2Row:
+    """Profile + search + baselines for one (network, mode) cell.
+
+    ``episodes=None`` uses the per-network auto budget; RS always gets
+    the same budget as QS-DNN for a fair comparison.
+    """
+    graph = build_network(network)
+    optimizer = InferenceEngineOptimizer(graph, platform, mode=mode, seed=seed)
+    lut = optimizer.profile()
+
+    per_library = single_library_results(lut)
+    vanilla_ms = next(r.total_ms for r in per_library if r.library == "vanilla")
+    accelerated = [r for r in per_library if r.library != "vanilla"]
+    bsl = accelerated[0]
+
+    if episodes is None:
+        episodes = auto_episodes(len(lut.layers))
+    config = SearchConfig(episodes=episodes, seed=seed)
+    rl = QSDNNSearch(lut, config).run()
+    rs = random_search(lut, episodes=episodes, seed=seed)
+
+    return Table2Row(
+        network=network,
+        mode=str(mode),
+        vanilla_ms=vanilla_ms,
+        library_ms={r.library: r.total_ms for r in per_library},
+        bsl_library=bsl.library,
+        bsl_ms=bsl.total_ms,
+        qsdnn_ms=rl.best_ms,
+        rs_ms=rs.best_ms,
+        qsdnn_libraries=sorted(
+            {lut.meta[u].library for u in rl.best_assignments.values()}
+        ),
+        space_log10=_space_log10(lut),
+    )
+
+
+def _space_log10(lut) -> float:
+    import math
+
+    return sum(math.log10(len(c)) for c in lut.candidates.values())
+
+
+def run_table2(
+    networks: list[str],
+    mode: Mode,
+    platform: Platform,
+    episodes: int | None = None,
+    seed: int = 0,
+) -> list[Table2Row]:
+    """All rows of one Table II half (CPU or GPGPU)."""
+    return [
+        run_table2_row(n, mode, platform, episodes=episodes, seed=seed)
+        for n in networks
+    ]
+
+
+def render_table2(rows: list[Table2Row], title: str | None = None) -> str:
+    """Render rows the way the paper's Table II presents them."""
+    if not rows:
+        return "(no rows)"
+    libraries = sorted(
+        {lib for row in rows for lib in row.library_ms if lib != "vanilla"}
+    )
+    headers = (
+        ["network", "vanilla"]
+        + [f"{lib} (x)" for lib in libraries]
+        + ["BSL", "QS-DNN (x)", "QS vs BSL", "RS (x)", "RL vs RS"]
+    )
+    table = AsciiTable(headers, title=title)
+    for row in rows:
+        cells = [row.network, format_ms(row.vanilla_ms)]
+        for lib in libraries:
+            if lib in row.library_ms:
+                cells.append(format_speedup(row.library_speedup(lib)))
+            else:
+                cells.append("-")
+        cells += [
+            row.bsl_library,
+            format_speedup(row.qsdnn_speedup),
+            format_speedup(row.qsdnn_vs_bsl),
+            format_speedup(row.vanilla_ms / row.rs_ms),
+            format_speedup(row.rl_vs_rs),
+        ]
+        table.add_row(cells)
+    return table.render()
+
+
+# Re-export for callers that want cached rows in long benchmark sessions.
+cached_table2_row = _cache.cached_table2_row

@@ -1,0 +1,46 @@
+"""Which library wins which layer kind?  (Reproduction insight.)
+
+Table II reports whole-network numbers; this view explains them: for a
+schedule (learned or optimal), count the winning library per layer kind.
+The paper's §VI-A narratives fall straight out of it — ArmCL owning
+depth-wise, cuBLAS owning FC in GPGPU mode, cuDNN owning big
+convolutions, Vanilla surviving only on tiny element-wise layers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.engine.lut import LatencyTable
+from repro.nn.graph import NetworkGraph
+from repro.utils.tables import AsciiTable
+
+
+def win_matrix(
+    lut: LatencyTable,
+    assignments: dict[str, str],
+    graph: NetworkGraph,
+) -> dict[str, dict[str, int]]:
+    """``matrix[layer_kind][library]`` = number of layers won."""
+    matrix: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+    for layer in graph.layers():
+        uid = assignments[layer.name]
+        matrix[str(layer.kind)][lut.meta[uid].library] += 1
+    return {kind: dict(libraries) for kind, libraries in matrix.items()}
+
+
+def render_win_matrix(
+    matrix: dict[str, dict[str, int]], title: str | None = None
+) -> str:
+    """ASCII table: rows = layer kinds, columns = libraries."""
+    libraries = sorted({lib for row in matrix.values() for lib in row})
+    table = AsciiTable(["layer kind"] + libraries + ["total"], title=title)
+    for kind in sorted(matrix):
+        row = matrix[kind]
+        cells = [kind]
+        for lib in libraries:
+            count = row.get(lib, 0)
+            cells.append(str(count) if count else ".")
+        cells.append(str(sum(row.values())))
+        table.add_row(cells)
+    return table.render()

@@ -1,0 +1,35 @@
+"""Acceleration-library substrate.
+
+One module per library from the paper's §III-B (Vanilla, BLAS = ATLAS +
+OpenBLAS, NNPACK, ArmCL, Sparse, cuDNN, cuBLAS).  Each library exposes
+:class:`~repro.backends.primitive.Primitive` objects declaring
+
+* which layer kinds they can execute (coverage is reproduced faithfully —
+  e.g. cuDNN has **no** fully-connected primitive),
+* the tensor layout they require (mismatches on a graph edge cost a
+  layout-conversion penalty),
+* the processor they run on (CPU/GPU crossings cost a transfer penalty),
+* a calibrated roofline cost model used by the simulated board.
+"""
+
+from repro.backends.layout import Layout, layouts_equivalent, conversion_ms
+from repro.backends.primitive import Primitive
+from repro.backends.registry import (
+    DesignSpace,
+    Mode,
+    cpu_space,
+    gpgpu_space,
+    design_space,
+)
+
+__all__ = [
+    "Layout",
+    "layouts_equivalent",
+    "conversion_ms",
+    "Primitive",
+    "DesignSpace",
+    "Mode",
+    "cpu_space",
+    "gpgpu_space",
+    "design_space",
+]

@@ -1,0 +1,285 @@
+"""Arm Compute Library (paper §III-B): NEON kernels for Arm CPUs.
+
+Per the paper we use "Winograd transformation and BLAS routines for
+convolutional layers and specific-optimized code for Depth-Wise
+convolutions".  ArmCL's NEON kernels prefer NHWC, so mixing ArmCL with
+NCHW libraries costs layout conversions — a real effect the search must
+weigh.
+
+Calibration: hand-scheduled A57 kernels are the best CPU code in the
+set (Winograd at ~65 % of peak).  The depth-wise kernel is the only
+*fast* depth-wise implementation on the platform — the reason MobileNet's
+learned GPGPU schedule pulls depth-wise layers back to the CPU (paper
+§VI-A).  ArmCL's function objects carry a noticeable configure/dispatch
+cost per run (~12 us), so tiny element-wise layers can still lose to
+Vanilla's bare loops.
+"""
+
+from __future__ import annotations
+
+from repro.backends import cost
+from repro.backends.layout import Layout
+from repro.backends.primitive import Primitive
+from repro.hw.processor import ProcessorKind, ProcessorModel
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import Layer
+from repro.nn.types import LayerKind
+
+#: Per-run dispatch overhead of ArmCL function objects (ms).  Old ArmCL
+#: re-validates window/padding state on every NEFunction::run(), which
+#: costs real microseconds — enough for Vanilla's bare loops to win on
+#: small element-wise layers (the paper's MobileNet schedule keeps
+#: "certain ReLU and B-Norm layers from Vanilla").
+DISPATCH_OVERHEAD_MS = 0.018
+
+
+class _ArmclPrimitive(Primitive):
+    library = "armcl"
+    processor = ProcessorKind.CPU
+    layout = Layout.NHWC
+
+
+class ArmclWinogradConv(_ArmclPrimitive):
+    """Winograd F(2x2, 3x3): the fastest CPU convolution *on deep layers*.
+
+    The transformed-domain GEMM batches over input channels and only
+    saturates beyond ~48 of them — NNPACK's smaller tiles win the
+    shallow early layers, ArmCL the deep trunk (the crossover structure
+    the CPU-mode search exploits).
+    """
+
+    algorithm = "winograd"
+    impl = "f2x2_3x3"
+
+    EFF_COMPUTE = 0.70
+    HALF_CHANNELS = 48.0
+    EFF_MEMORY = 0.70
+    TRANSFORM_TRAFFIC = 2.5
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return (
+            layer.kind is LayerKind.CONV and layer.kernel == 3 and layer.stride == 1
+        )
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        eff = self.EFF_COMPUTE * cost.channel_ramp(
+            cost.input_channels(layer, graph), self.HALF_CHANNELS
+        )
+        return (
+            cost.winograd_ms(
+                layer, graph, proc, eff, self.EFF_MEMORY, self.TRANSFORM_TRAFFIC
+            )
+            + DISPATCH_OVERHEAD_MS
+        )
+
+
+class ArmclWinograd4x4Conv(_ArmclPrimitive):
+    """Winograd F(4x4, 3x3): 4x multiply reduction, heavier transforms.
+
+    The larger tile quarters the multiplies but needs even deeper
+    channels to keep its transform GEMMs fat, and moves ~40 % more
+    transform traffic — so it overtakes F(2x2) only on the deep,
+    low-resolution trunk (the classic F(2x2)/F(4x4) crossover).
+    """
+
+    algorithm = "winograd"
+    impl = "f4x4_3x3"
+
+    EFF_COMPUTE = 0.55
+    HALF_CHANNELS = 96.0
+    EFF_MEMORY = 0.70
+    TRANSFORM_TRAFFIC = 3.5
+    FLOP_DISCOUNT = 4.0
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return (
+            layer.kind is LayerKind.CONV and layer.kernel == 3 and layer.stride == 1
+        )
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        from repro.nn.flops import layer_flops, layer_io_bytes, layer_weight_bytes
+
+        eff = self.EFF_COMPUTE * cost.channel_ramp(
+            cost.input_channels(layer, graph), self.HALF_CHANNELS
+        )
+        flops = layer_flops(layer, graph) / self.FLOP_DISCOUNT
+        traffic = self.TRANSFORM_TRAFFIC * (
+            layer_io_bytes(layer, graph) + layer_weight_bytes(layer, graph)
+        )
+        eff = max(eff * cost.utilization(flops, proc), 1e-6)
+        return proc.roofline_ms(flops, traffic, eff, self.EFF_MEMORY) + (
+            DISPATCH_OVERHEAD_MS
+        )
+
+
+class ArmclGemmConv(_ArmclPrimitive):
+    """GEMM-based convolution (internal im2row over NHWC)."""
+
+    algorithm = "gemm"
+    impl = "neon"
+
+    EFF_COMPUTE = 0.58
+    EFF_MEMORY = 0.70
+    LOWERING_EFFICIENCY = 0.65
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.CONV
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        dims = cost.conv_gemm_dims(layer, graph)
+        total = cost.gemm_ms(dims, proc, self.EFF_COMPUTE, self.EFF_MEMORY)
+        if cost.needs_lowering(layer):
+            total += cost.lowering_ms(dims, proc, self.LOWERING_EFFICIENCY)
+        return total + DISPATCH_OVERHEAD_MS
+
+
+class ArmclDepthwiseConv(_ArmclPrimitive):
+    """The specifically-optimized NEON depth-wise kernel (paper §III-B)."""
+
+    algorithm = "depthwise"
+    impl = "neon3x3"
+
+    EFF_COMPUTE = 0.45
+    EFF_MEMORY = 0.70
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.DEPTHWISE_CONV
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return (
+            cost.direct_ms(layer, graph, proc, self.EFF_COMPUTE, self.EFF_MEMORY)
+            + DISPATCH_OVERHEAD_MS
+        )
+
+
+class ArmclPooling(_ArmclPrimitive):
+    """NEON pooling (max and average, including global)."""
+
+    algorithm = "direct"
+    impl = "pool"
+
+    EFF_COMPUTE = 0.35
+    EFF_MEMORY = 0.80
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind in (LayerKind.POOL_MAX, LayerKind.POOL_AVG)
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.memory_op_ms(
+            layer, graph, proc, self.EFF_MEMORY, self.EFF_COMPUTE,
+            extra_overhead_ms=DISPATCH_OVERHEAD_MS,
+        )
+
+
+class ArmclElementwise(_ArmclPrimitive):
+    """NEON ReLU / BN / eltwise streams."""
+
+    algorithm = "direct"
+    impl = "eltwise"
+
+    EFF_COMPUTE = 0.45
+    EFF_MEMORY = 0.85
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind in (
+            LayerKind.RELU,
+            LayerKind.BATCH_NORM,
+            LayerKind.ELTWISE_ADD,
+        )
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.memory_op_ms(
+            layer, graph, proc, self.EFF_MEMORY, self.EFF_COMPUTE,
+            extra_overhead_ms=DISPATCH_OVERHEAD_MS,
+        )
+
+
+class ArmclLRN(_ArmclPrimitive):
+    """NEON normalization layer."""
+
+    algorithm = "direct"
+    impl = "lrn"
+
+    EFF_COMPUTE = 0.30
+    EFF_MEMORY = 0.60
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.LRN
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.memory_op_ms(
+            layer, graph, proc, self.EFF_MEMORY, self.EFF_COMPUTE,
+            extra_overhead_ms=DISPATCH_OVERHEAD_MS,
+        )
+
+
+class ArmclSoftmax(_ArmclPrimitive):
+    """NEON softmax."""
+
+    algorithm = "direct"
+    impl = "softmax"
+
+    EFF_COMPUTE = 0.15
+    EFF_MEMORY = 0.70
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.SOFTMAX
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.memory_op_ms(
+            layer, graph, proc, self.EFF_MEMORY, self.EFF_COMPUTE,
+            extra_overhead_ms=DISPATCH_OVERHEAD_MS,
+        )
+
+
+class ArmclConcat(_ArmclPrimitive):
+    """Channel concat in NHWC is a strided interleave (slower than NCHW)."""
+
+    algorithm = "copy"
+    impl = "concat"
+
+    EFF_MEMORY = 0.50
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.CONCAT
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.memory_op_ms(
+            layer, graph, proc, self.EFF_MEMORY,
+            extra_overhead_ms=DISPATCH_OVERHEAD_MS,
+        )
+
+
+class ArmclFullyConnected(_ArmclPrimitive):
+    """NEON GEMV for fully-connected inference."""
+
+    algorithm = "gemv"
+    impl = "neon"
+
+    EFF_COMPUTE = 0.50
+    EFF_MEMORY = 0.80
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.FULLY_CONNECTED
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return (
+            cost.gemv_ms(layer, graph, proc, self.EFF_MEMORY, self.EFF_COMPUTE)
+            + DISPATCH_OVERHEAD_MS
+        )
+
+
+def primitives() -> list[Primitive]:
+    """All ArmCL primitives."""
+    return [
+        ArmclWinogradConv(),
+        ArmclWinograd4x4Conv(),
+        ArmclGemmConv(),
+        ArmclDepthwiseConv(),
+        ArmclPooling(),
+        ArmclElementwise(),
+        ArmclLRN(),
+        ArmclSoftmax(),
+        ArmclConcat(),
+        ArmclFullyConnected(),
+    ]

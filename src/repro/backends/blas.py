@@ -1,0 +1,154 @@
+"""BLAS group: ATLAS and OpenBLAS with im2col / im2row / kn2row lowering.
+
+Paper §III-B: "This group includes ATLAS and openBLAS libraries which
+implement GEMM and GEMV routines on CPU cores.  Any of these libraries
+can use the following lowering methods: im2col, im2row and kn2row."
+
+Coverage: convolutions (via lowering + GEMM) and fully-connected layers
+(GEMV) only — everything else falls back to Vanilla during profiling,
+mirroring how Anderson & Gregg profile only convolutions.
+
+Calibration: OpenBLAS's hand-tuned NEON GEMM reaches ~55 % of peak on
+A57-sized matrices; ATLAS's auto-generated kernels trail at ~38 %.
+Lowering methods trade traffic for GEMM shape:
+
+* **im2col** (NCHW) / **im2row** (NHWC): materialize the K x N patch
+  matrix (2KN elements of extra traffic), then one big well-shaped GEMM.
+* **kn2row** (NCHW): k^2 back-to-back 1x1 GEMMs with a shifted
+  accumulation post-pass — no lowering buffer, so it is the cheapest
+  path for 1x1 convolutions, but the accumulation traffic grows with
+  k^2 for larger kernels.
+
+ATLAS ships im2col and kn2row only (keeping the per-layer variant count
+at the paper's maximum of 13 for a 3x3 convolution).
+"""
+
+from __future__ import annotations
+
+from repro.backends import cost
+from repro.backends.layout import Layout
+from repro.backends.primitive import Primitive
+from repro.hw.processor import ProcessorKind, ProcessorModel
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import Layer
+from repro.nn.types import LayerKind
+
+#: Peak GEMM efficiency per BLAS backend.
+GEMM_EFFICIENCY = {"openblas": 0.55, "atlas": 0.38}
+#: Peak GEMV (memory) efficiency per BLAS backend.
+GEMV_EFFICIENCY = {"openblas": 0.85, "atlas": 0.60}
+#: Bandwidth efficiency of the lowering copy loop.
+LOWERING_MEMORY_EFFICIENCY = 0.60
+#: Bandwidth efficiency of kn2row's accumulation pass.
+KN2ROW_ACCUM_EFFICIENCY = 0.70
+#: kn2row's k^2 small GEMMs run marginally below one big GEMM.
+KN2ROW_GEMM_FACTOR = 0.95
+#: GEMM memory-side efficiency (blocked, prefetched).
+GEMM_MEMORY_EFFICIENCY = 0.70
+
+
+class _BlasConv(Primitive):
+    """Base for lowered-GEMM convolutions."""
+
+    library = "blas"
+    algorithm = "gemm"
+    processor = ProcessorKind.CPU
+
+    def __init__(self, blas: str) -> None:
+        if blas not in GEMM_EFFICIENCY:
+            raise ValueError(f"unknown BLAS backend {blas!r}")
+        self.blas = blas
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.CONV
+
+
+class BlasIm2colConv(_BlasConv):
+    """im2col lowering (NCHW) + SGEMM.
+
+    The generic lowering always materializes the K x N patch matrix —
+    even for 1x1 convolutions (the library cannot assume the caller's
+    tensor is already GEMM-shaped).  Skipping that copy on 1x1 layers is
+    exactly what kn2row provides.
+    """
+
+    impl = "im2col"
+    layout = Layout.NCHW
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        dims = cost.conv_gemm_dims(layer, graph)
+        total = cost.gemm_ms(
+            dims, proc, GEMM_EFFICIENCY[self.blas], GEMM_MEMORY_EFFICIENCY
+        )
+        total += cost.lowering_ms(dims, proc, LOWERING_MEMORY_EFFICIENCY)
+        return total
+
+
+class BlasIm2rowConv(_BlasConv):
+    """im2row lowering (NHWC) + SGEMM; OpenBLAS only."""
+
+    impl = "im2row"
+    layout = Layout.NHWC
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        dims = cost.conv_gemm_dims(layer, graph)
+        total = cost.gemm_ms(
+            dims, proc, GEMM_EFFICIENCY[self.blas], GEMM_MEMORY_EFFICIENCY
+        )
+        total += cost.lowering_ms(dims, proc, LOWERING_MEMORY_EFFICIENCY)
+        return total
+
+
+class BlasKn2rowConv(_BlasConv):
+    """kn2row: k^2 1x1 GEMMs + shifted accumulation (NCHW)."""
+
+    impl = "kn2row"
+    layout = Layout.NCHW
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        # kn2row requires unit stride (the shift-add trick breaks otherwise).
+        return layer.kind is LayerKind.CONV and layer.stride == 1
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        dims = cost.conv_gemm_dims(layer, graph)
+        eff = GEMM_EFFICIENCY[self.blas] * KN2ROW_GEMM_FACTOR
+        total = cost.gemm_ms(dims, proc, eff, GEMM_MEMORY_EFFICIENCY)
+        total += cost.kn2row_extra_ms(layer, dims, proc, KN2ROW_ACCUM_EFFICIENCY)
+        return total
+
+
+class BlasGemvFC(Primitive):
+    """Fully-connected inference via SGEMV (weight-stream bound)."""
+
+    library = "blas"
+    algorithm = "gemv"
+    processor = ProcessorKind.CPU
+    layout = Layout.NCHW
+
+    EFF_COMPUTE = 0.50
+
+    def __init__(self, blas: str) -> None:
+        if blas not in GEMV_EFFICIENCY:
+            raise ValueError(f"unknown BLAS backend {blas!r}")
+        self.blas = blas
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.FULLY_CONNECTED
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.gemv_ms(
+            layer, graph, proc, GEMV_EFFICIENCY[self.blas], self.EFF_COMPUTE
+        )
+
+
+def primitives() -> list[Primitive]:
+    """The BLAS group: OpenBLAS (3 lowerings) + ATLAS (2) + both GEMVs."""
+    return [
+        BlasIm2colConv("openblas"),
+        BlasIm2rowConv("openblas"),
+        BlasKn2rowConv("openblas"),
+        BlasIm2colConv("atlas"),
+        BlasKn2rowConv("atlas"),
+        BlasGemvFC("openblas"),
+        BlasGemvFC("atlas"),
+    ]

@@ -1,0 +1,226 @@
+"""Cost-model building blocks shared by the library modules.
+
+Each helper prices one algorithmic shape (lowered GEMM, Winograd, FFT,
+direct loops, memory-bound passes) on a processor roofline.  Library
+modules compose these with their own efficiency calibration; the
+rationale for each constant lives next to the library that owns it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.processor import ProcessorKind, ProcessorModel
+from repro.nn.flops import layer_flops, layer_io_bytes, layer_weight_bytes
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import Layer
+from repro.nn.tensor import DTYPE_BYTES
+
+#: FLOPs at which a processor reaches half of a primitive's peak
+#: efficiency.  GPUs need big kernels to fill their lanes; a single CPU
+#: core saturates almost immediately.
+HALF_SATURATION_FLOPS = {
+    ProcessorKind.CPU: 5.0e4,
+    ProcessorKind.GPU: 3.0e7,
+}
+
+#: Winograd F(2x2, 3x3): 2.25x multiply reduction on 3x3 stride-1 convs.
+WINOGRAD_FLOP_DISCOUNT = 2.25
+
+
+def utilization(flops: float, proc: ProcessorModel) -> float:
+    """Size-dependent utilization ramp in (0, 1].
+
+    ``flops / (flops + half_sat)``: tiny kernels cannot fill the machine,
+    which is why GoogLeNet's small branch convolutions often run faster
+    on the CPU than on the GPU despite the 40x peak-FLOPS gap.
+    """
+    half = HALF_SATURATION_FLOPS[proc.kind]
+    if flops <= 0:
+        return 1.0 / (1.0 + half)  # arbitrarily small but positive
+    return flops / (flops + half)
+
+
+def ramped(eff_max: float, flops: float, proc: ProcessorModel) -> float:
+    """Peak efficiency scaled by the utilization ramp (floored > 0)."""
+    return max(eff_max * utilization(flops, proc), 1e-6)
+
+
+def channel_ramp(channels: int, half_channels: float) -> float:
+    """Efficiency ramp in the input-channel dimension.
+
+    Winograd implementations batch their transformed-domain GEMMs over
+    input channels; with few channels those GEMMs are skinny and the
+    kernel starves.  Different libraries saturate at different depths,
+    which produces the per-shape crossovers real benchmarks show (e.g.
+    NNPACK beating ArmCL on shallow layers and losing on deep ones).
+    """
+    if channels < 1:
+        raise ValueError(f"channels must be >= 1, got {channels}")
+    return channels / (channels + half_channels)
+
+
+def input_channels(layer: Layer, graph: NetworkGraph) -> int:
+    """Input channel count of a layer (its first producer's channels)."""
+    return graph.input_shapes(layer.name)[0].channels
+
+
+@dataclass(frozen=True)
+class GemmDims:
+    """Dimensions of the GEMM a lowered convolution performs."""
+
+    m: int  # output channels
+    n: int  # output pixels
+    k: int  # kernel*kernel*input channels
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.m * self.n * self.k
+
+    @property
+    def nbytes(self) -> float:
+        """Traffic of one pass: A (weights) + B (patches) + C (output)."""
+        return float((self.m * self.k + self.k * self.n + self.m * self.n) * DTYPE_BYTES)
+
+
+def conv_gemm_dims(layer: Layer, graph: NetworkGraph) -> GemmDims:
+    """The GEMM performed by an im2col/im2row-lowered convolution."""
+    in_shape = graph.input_shapes(layer.name)[0]
+    out_shape = graph.output_shape(layer.name)
+    return GemmDims(
+        m=out_shape.channels,
+        n=out_shape.height * out_shape.width,
+        k=layer.kernel * layer.kernel * in_shape.channels,
+    )
+
+
+def needs_lowering(layer: Layer) -> bool:
+    """1x1 stride-1 unpadded convs are already in GEMM form."""
+    return not (layer.kernel == 1 and layer.stride == 1 and layer.padding == 0)
+
+
+def gemm_ms(
+    dims: GemmDims,
+    proc: ProcessorModel,
+    eff_compute: float,
+    eff_memory: float,
+) -> float:
+    """A single GEMM with utilization ramp and per-call overhead."""
+    eff = ramped(eff_compute, dims.flops, proc)
+    return proc.roofline_ms(dims.flops, dims.nbytes, eff, eff_memory)
+
+
+def lowering_ms(dims: GemmDims, proc: ProcessorModel, eff_memory: float) -> float:
+    """Materializing the K x N patch matrix (im2col / im2row).
+
+    One strided read of the input plus one dense write of the lowered
+    buffer: 2 * K * N elements of traffic.
+    """
+    traffic = 2.0 * dims.k * dims.n * DTYPE_BYTES
+    return proc.memory_ms(traffic, eff_memory)
+
+
+def kn2row_extra_ms(
+    layer: Layer, dims: GemmDims, proc: ProcessorModel, eff_memory: float
+) -> float:
+    """kn2row's post-pass: k^2 shifted accumulations into the output.
+
+    No lowering buffer is built (the win over im2col), but each of the
+    k^2 partial GEMM outputs is read and accumulated once.  Free for 1x1
+    convolutions — which is why kn2row is the BLAS lowering of choice for
+    point-wise layers.
+    """
+    passes = layer.kernel * layer.kernel - 1
+    if passes <= 0:
+        return 0.0
+    traffic = 2.0 * passes * dims.m * dims.n * DTYPE_BYTES
+    return proc.memory_ms(traffic, eff_memory)
+
+
+def winograd_ms(
+    layer: Layer,
+    graph: NetworkGraph,
+    proc: ProcessorModel,
+    eff_compute: float,
+    eff_memory: float,
+    transform_traffic_factor: float,
+) -> float:
+    """Winograd F(2x2, 3x3): discounted multiplies + transform traffic."""
+    flops = layer_flops(layer, graph) / WINOGRAD_FLOP_DISCOUNT
+    io = layer_io_bytes(layer, graph) + layer_weight_bytes(layer, graph)
+    traffic = transform_traffic_factor * io
+    eff = ramped(eff_compute, flops, proc)
+    return proc.roofline_ms(flops, traffic, eff, eff_memory)
+
+
+def fft_flop_discount(kernel: int) -> float:
+    """Effective FLOP reduction of FFT convolution for a k x k kernel.
+
+    Transform cost amortizes like k^2/8: barely break-even at 3x3
+    (which is why FFT primitives only cover kernels >= 5), ~3x at 5x5,
+    ~15x at 11x11.
+    """
+    return max(kernel * kernel / 8.0, 1.0)
+
+
+def fft_ms(
+    layer: Layer,
+    graph: NetworkGraph,
+    proc: ProcessorModel,
+    eff_compute: float,
+    eff_memory: float,
+    transform_traffic_factor: float = 4.0,
+) -> float:
+    """FFT convolution: discounted FLOPs, heavy transform traffic."""
+    flops = layer_flops(layer, graph) / fft_flop_discount(layer.kernel)
+    io = layer_io_bytes(layer, graph) + layer_weight_bytes(layer, graph)
+    traffic = transform_traffic_factor * io
+    eff = ramped(eff_compute, flops, proc)
+    return proc.roofline_ms(flops, traffic, eff, eff_memory)
+
+
+def direct_ms(
+    layer: Layer,
+    graph: NetworkGraph,
+    proc: ProcessorModel,
+    eff_compute: float,
+    eff_memory: float,
+) -> float:
+    """A direct (loop-nest) implementation priced straight off the roofline."""
+    flops = layer_flops(layer, graph)
+    traffic = layer_io_bytes(layer, graph) + layer_weight_bytes(layer, graph)
+    eff = ramped(eff_compute, flops, proc)
+    return proc.roofline_ms(flops, traffic, eff, eff_memory)
+
+
+def memory_op_ms(
+    layer: Layer,
+    graph: NetworkGraph,
+    proc: ProcessorModel,
+    eff_memory: float,
+    eff_compute: float = 0.5,
+    extra_overhead_ms: float = 0.0,
+) -> float:
+    """Memory-bound ops (ReLU, BN, pooling, eltwise, concat, softmax)."""
+    flops = layer_flops(layer, graph)
+    traffic = layer_io_bytes(layer, graph) + layer_weight_bytes(layer, graph)
+    eff = ramped(eff_compute, flops, proc) if flops > 0 else 1e-6
+    busy = max(
+        proc.compute_ms(flops, eff) if flops > 0 else 0.0,
+        proc.memory_ms(traffic, eff_memory),
+    )
+    return busy + proc.overhead_ms + extra_overhead_ms
+
+
+def gemv_ms(
+    layer: Layer,
+    graph: NetworkGraph,
+    proc: ProcessorModel,
+    eff_memory: float,
+    eff_compute: float,
+) -> float:
+    """Fully-connected inference at batch 1: a weight-streaming GEMV."""
+    flops = layer_flops(layer, graph)
+    traffic = layer_io_bytes(layer, graph) + layer_weight_bytes(layer, graph)
+    eff = ramped(eff_compute, flops, proc)
+    return proc.roofline_ms(flops, traffic, eff, eff_memory)

@@ -1,0 +1,42 @@
+"""cuBLAS: BLAS routines for Nvidia GPUs (paper §III-B, [27]).
+
+"We have only used the GEMV routine for FC layer" — coverage is exactly
+the fully-connected layer.  At batch 1 the GEMV streams the whole weight
+matrix once, so it is bound by GPU memory bandwidth; for AlexNet's 151 MB
+fc6 this beats the CPU by the bandwidth ratio, which is the mechanism
+behind QS-DNN's large wins over pure cuDNN on FC-heavy networks.
+"""
+
+from __future__ import annotations
+
+from repro.backends import cost
+from repro.backends.layout import Layout
+from repro.backends.primitive import Primitive
+from repro.hw.processor import ProcessorKind, ProcessorModel
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import Layer
+from repro.nn.types import LayerKind
+
+
+class CublasGemvFC(Primitive):
+    """cublasSgemv for fully-connected inference."""
+
+    library = "cublas"
+    algorithm = "gemv"
+    impl = "sgemv"
+    processor = ProcessorKind.GPU
+    layout = Layout.NCHW
+
+    EFF_COMPUTE = 0.30
+    EFF_MEMORY = 0.80
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.FULLY_CONNECTED
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.gemv_ms(layer, graph, proc, self.EFF_MEMORY, self.EFF_COMPUTE)
+
+
+def primitives() -> list[Primitive]:
+    """The single cuBLAS primitive (GEMV for FC)."""
+    return [CublasGemvFC()]

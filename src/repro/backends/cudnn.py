@@ -1,0 +1,221 @@
+"""cuDNN: Nvidia's GPU primitives (paper §III-B, [9]).
+
+Coverage reproduces the paper's crucial caveat: **no fully-connected
+primitive** ("It is important to remark that this library does not
+include a specific implementation for FC layer") — so a pure-cuDNN
+schedule executes FC layers with Vanilla on the CPU, which is exactly
+what QS-DNN learns to avoid via cuBLAS (paper §VI-A on AlexNet/VGG19).
+
+Calibration (TX-2-era cuDNN 7):
+
+* Winograd / implicit-GEMM convolutions reach 55-70 % of the Pascal
+  peak *for large kernels*; the utilization ramp (half-saturation at
+  ~20 MFLOPs) models how small layers leave most of the 256 lanes idle.
+* Depth-wise convolutions go through grouped conv — notoriously bad in
+  this era (one tiny GEMM per channel): a few percent of peak, usually
+  losing to ArmCL's NEON depth-wise kernel on the CPU.
+* Every launch costs ~35 us, so element-wise GPU layers only pay off on
+  large tensors.
+"""
+
+from __future__ import annotations
+
+from repro.backends import cost
+from repro.backends.layout import Layout
+from repro.backends.primitive import Primitive
+from repro.hw.processor import ProcessorKind, ProcessorModel
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import Layer
+from repro.nn.types import LayerKind
+
+
+class _CudnnPrimitive(Primitive):
+    library = "cudnn"
+    processor = ProcessorKind.GPU
+    layout = Layout.NCHW
+
+
+class CudnnWinogradConv(_CudnnPrimitive):
+    """cudnnConvolutionForward with WINOGRAD algo (3x3, stride 1)."""
+
+    algorithm = "winograd"
+    impl = "nonfused"
+
+    EFF_COMPUTE = 0.70
+    EFF_MEMORY = 0.75
+    TRANSFORM_TRAFFIC = 2.0
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return (
+            layer.kind is LayerKind.CONV and layer.kernel == 3 and layer.stride == 1
+        )
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.winograd_ms(
+            layer, graph, proc, self.EFF_COMPUTE, self.EFF_MEMORY,
+            self.TRANSFORM_TRAFFIC,
+        )
+
+
+class CudnnImplicitGemmConv(_CudnnPrimitive):
+    """IMPLICIT_PRECOMP_GEMM: the general-purpose cuDNN convolution."""
+
+    algorithm = "implicit_gemm"
+    impl = "precomp"
+
+    EFF_COMPUTE = 0.55
+    EFF_MEMORY = 0.70
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.CONV
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        dims = cost.conv_gemm_dims(layer, graph)
+        return cost.gemm_ms(dims, proc, self.EFF_COMPUTE, self.EFF_MEMORY)
+
+
+class CudnnFFTConv(_CudnnPrimitive):
+    """CUDNN_CONVOLUTION_FWD_ALGO_FFT_TILING for large kernels (>= 5)."""
+
+    algorithm = "fft"
+    impl = "tiling"
+
+    EFF_COMPUTE = 0.50
+    EFF_MEMORY = 0.60
+    TRANSFORM_TRAFFIC = 4.0
+    MIN_KERNEL = 5
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return (
+            layer.kind is LayerKind.CONV
+            and layer.stride == 1
+            and layer.kernel >= self.MIN_KERNEL
+        )
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.fft_ms(
+            layer, graph, proc, self.EFF_COMPUTE, self.EFF_MEMORY,
+            self.TRANSFORM_TRAFFIC,
+        )
+
+
+class CudnnDepthwiseConv(_CudnnPrimitive):
+    """Grouped convolution with groups == channels: the 2018 slow path."""
+
+    algorithm = "grouped"
+    impl = "depthwise"
+
+    EFF_COMPUTE = 0.015
+    EFF_MEMORY = 0.06
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.DEPTHWISE_CONV
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.direct_ms(layer, graph, proc, self.EFF_COMPUTE, self.EFF_MEMORY)
+
+
+class CudnnPooling(_CudnnPrimitive):
+    """cudnnPoolingForward (max and average, incl. global)."""
+
+    algorithm = "direct"
+    impl = "pool"
+
+    EFF_COMPUTE = 0.30
+    EFF_MEMORY = 0.80
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind in (LayerKind.POOL_MAX, LayerKind.POOL_AVG)
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.memory_op_ms(
+            layer, graph, proc, self.EFF_MEMORY, self.EFF_COMPUTE
+        )
+
+
+class CudnnElementwise(_CudnnPrimitive):
+    """Activation / BN / add-tensor kernels: bandwidth-bound + launch."""
+
+    algorithm = "direct"
+    impl = "eltwise"
+
+    EFF_COMPUTE = 0.40
+    EFF_MEMORY = 0.85
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind in (
+            LayerKind.RELU,
+            LayerKind.BATCH_NORM,
+            LayerKind.ELTWISE_ADD,
+        )
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.memory_op_ms(
+            layer, graph, proc, self.EFF_MEMORY, self.EFF_COMPUTE
+        )
+
+
+class CudnnLRN(_CudnnPrimitive):
+    """cudnnLRNCrossChannelForward."""
+
+    algorithm = "direct"
+    impl = "lrn"
+
+    EFF_COMPUTE = 0.25
+    EFF_MEMORY = 0.70
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.LRN
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.memory_op_ms(
+            layer, graph, proc, self.EFF_MEMORY, self.EFF_COMPUTE
+        )
+
+
+class CudnnSoftmax(_CudnnPrimitive):
+    """cudnnSoftmaxForward."""
+
+    algorithm = "direct"
+    impl = "softmax"
+
+    EFF_COMPUTE = 0.20
+    EFF_MEMORY = 0.60
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.SOFTMAX
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.memory_op_ms(
+            layer, graph, proc, self.EFF_MEMORY, self.EFF_COMPUTE
+        )
+
+
+class CudnnConcat(_CudnnPrimitive):
+    """Device-side concat via cudaMemcpyAsync per input."""
+
+    algorithm = "copy"
+    impl = "concat"
+
+    EFF_MEMORY = 0.70
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.CONCAT
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.memory_op_ms(layer, graph, proc, self.EFF_MEMORY)
+
+
+def primitives() -> list[Primitive]:
+    """All cuDNN primitives (note: no fully-connected coverage)."""
+    return [
+        CudnnWinogradConv(),
+        CudnnImplicitGemmConv(),
+        CudnnFFTConv(),
+        CudnnDepthwiseConv(),
+        CudnnPooling(),
+        CudnnElementwise(),
+        CudnnLRN(),
+        CudnnSoftmax(),
+        CudnnConcat(),
+    ]

@@ -1,0 +1,54 @@
+"""Tensor layouts and layout-conversion costs.
+
+Each primitive consumes and produces one physical layout.  When an edge
+of the network connects primitives that disagree, the engine inserts a
+conversion layer (paper §IV-A: "a layout conversion layer is needed which
+incurs in a penalty").
+
+Degenerate tensors need no conversion: when the spatial extent is 1x1
+(FC/global-pool outputs) or there is a single channel, NCHW and NHWC
+describe byte-identical buffers.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.hw.processor import ProcessorModel
+from repro.nn.tensor import TensorShape
+
+
+class Layout(enum.Enum):
+    """Physical activation layouts used by the libraries."""
+
+    NCHW = "nchw"  # channels-first: Caffe, cuDNN default, BLAS im2col
+    NHWC = "nhwc"  # channels-last: ArmCL NEON kernels, BLAS im2row
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def layouts_equivalent(shape: TensorShape) -> bool:
+    """True when NCHW and NHWC coincide for this shape."""
+    return (shape.height == 1 and shape.width == 1) or shape.channels == 1
+
+
+#: A layout conversion is a full permuting read-write pass; the gather
+#: side is strided, so it achieves roughly half of streaming bandwidth.
+CONVERSION_BANDWIDTH_EFFICIENCY = 0.5
+
+
+def conversion_ms(shape: TensorShape, processor: ProcessorModel) -> float:
+    """Cost of converting one tensor between layouts on ``processor``.
+
+    Charged by the engine to the *consuming* layer (paper §V-B: "the
+    extra penalty is added to the inference time of the latter layer").
+    Degenerate shapes convert for free.
+    """
+    if layouts_equivalent(shape):
+        return 0.0
+    traffic = 2.0 * shape.nbytes  # read everything, write everything
+    return (
+        processor.memory_ms(traffic, CONVERSION_BANDWIDTH_EFFICIENCY)
+        + processor.overhead_ms
+    )

@@ -1,0 +1,166 @@
+"""NNPACK: open-source CPU performance primitives (paper §III-B, [26]).
+
+Coverage mirrors the real library's inference API: convolution via
+Winograd (3x3 stride 1) and FFT (kernels >= 5, stride 1), max-pooling,
+ReLU, softmax and fully-connected inference.  No batch-norm, no
+average pooling, no depth-wise convolution, no LRN.
+
+Calibration: NNPACK's PSIMD/NEON tuned transforms reach ~50 % of peak on
+the Winograd path — good, but a notch below ArmCL's hand-scheduled A57
+kernels.  Its FFT path is the only fast option for 5x5+ kernels on the
+CPU (AlexNet conv2, GoogLeNet's 5x5 branches).
+"""
+
+from __future__ import annotations
+
+from repro.backends import cost
+from repro.backends.layout import Layout
+from repro.backends.primitive import Primitive
+from repro.hw.processor import ProcessorKind, ProcessorModel
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import Layer
+from repro.nn.types import LayerKind
+
+
+class _NnpackPrimitive(Primitive):
+    library = "nnpack"
+    processor = ProcessorKind.CPU
+    layout = Layout.NCHW
+
+
+class NnpackWinogradConv(_NnpackPrimitive):
+    """Winograd F(2x2, 3x3) with NEON transforms.
+
+    NNPACK's small transform tiles saturate by ~12 input channels — it
+    wins the shallow early layers over ArmCL (which needs ~48) and
+    cedes the deep trunk.
+    """
+
+    algorithm = "winograd"
+    impl = "f2x2_3x3"
+
+    EFF_COMPUTE = 0.58
+    HALF_CHANNELS = 12.0
+    EFF_MEMORY = 0.60
+    TRANSFORM_TRAFFIC = 3.0
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return (
+            layer.kind is LayerKind.CONV and layer.kernel == 3 and layer.stride == 1
+        )
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        eff = self.EFF_COMPUTE * cost.channel_ramp(
+            cost.input_channels(layer, graph), self.HALF_CHANNELS
+        )
+        return cost.winograd_ms(
+            layer, graph, proc, eff, self.EFF_MEMORY, self.TRANSFORM_TRAFFIC
+        )
+
+
+class NnpackFFTConv(_NnpackPrimitive):
+    """FFT-based convolution (16x16 tiles), kernels >= 5, stride 1."""
+
+    algorithm = "fft"
+    impl = "fft16x16"
+
+    EFF_COMPUTE = 0.45
+    EFF_MEMORY = 0.55
+    TRANSFORM_TRAFFIC = 4.0
+    MIN_KERNEL = 5
+    MAX_KERNEL = 16
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return (
+            layer.kind is LayerKind.CONV
+            and layer.stride == 1
+            and self.MIN_KERNEL <= layer.kernel <= self.MAX_KERNEL
+        )
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.fft_ms(
+            layer, graph, proc, self.EFF_COMPUTE, self.EFF_MEMORY,
+            self.TRANSFORM_TRAFFIC,
+        )
+
+
+class NnpackMaxPool(_NnpackPrimitive):
+    """Vectorized 2D max-pooling."""
+
+    algorithm = "direct"
+    impl = "maxpool"
+
+    EFF_COMPUTE = 0.30
+    EFF_MEMORY = 0.70
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.POOL_MAX
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.memory_op_ms(
+            layer, graph, proc, self.EFF_MEMORY, self.EFF_COMPUTE
+        )
+
+
+class NnpackRelu(_NnpackPrimitive):
+    """Vectorized ReLU."""
+
+    algorithm = "direct"
+    impl = "relu"
+
+    EFF_COMPUTE = 0.40
+    EFF_MEMORY = 0.80
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.RELU
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.memory_op_ms(
+            layer, graph, proc, self.EFF_MEMORY, self.EFF_COMPUTE
+        )
+
+
+class NnpackSoftmax(_NnpackPrimitive):
+    """Vectorized softmax."""
+
+    algorithm = "direct"
+    impl = "softmax"
+
+    EFF_COMPUTE = 0.20
+    EFF_MEMORY = 0.60
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.SOFTMAX
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.memory_op_ms(
+            layer, graph, proc, self.EFF_MEMORY, self.EFF_COMPUTE
+        )
+
+
+class NnpackFullyConnected(_NnpackPrimitive):
+    """Fully-connected inference (weight-stream bound SGEMV)."""
+
+    algorithm = "gemv"
+    impl = "inference"
+
+    EFF_COMPUTE = 0.45
+    EFF_MEMORY = 0.75
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.FULLY_CONNECTED
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return cost.gemv_ms(layer, graph, proc, self.EFF_MEMORY, self.EFF_COMPUTE)
+
+
+def primitives() -> list[Primitive]:
+    """All NNPACK primitives."""
+    return [
+        NnpackWinogradConv(),
+        NnpackFFTConv(),
+        NnpackMaxPool(),
+        NnpackRelu(),
+        NnpackSoftmax(),
+        NnpackFullyConnected(),
+    ]

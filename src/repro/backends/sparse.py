@@ -1,0 +1,78 @@
+"""Sparse: compressed-weight implementations (paper §III-B).
+
+"It includes multiple implementations which can be used to compress the
+model representation in memory for convolutional and FC layers."
+
+The model assumes magnitude-pruned weights at typical densities (35 %
+for FC, 60 % for convolutions).  CSR storage adds ~50 % index overhead
+per kept weight, and the gather-scatter inner loop runs at a fraction of
+dense GEMM throughput.  Net effect, as in the paper's Table II: Sparse
+occasionally wins on weight-heavy FC layers (it streams fewer bytes than
+any dense GEMV) and loses on convolutions.
+"""
+
+from __future__ import annotations
+
+from repro.backends import cost
+from repro.backends.layout import Layout
+from repro.backends.primitive import Primitive
+from repro.hw.processor import ProcessorKind, ProcessorModel
+from repro.nn.flops import layer_flops, layer_io_bytes, layer_weight_bytes
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import Layer
+from repro.nn.types import LayerKind
+
+#: Fraction of weights kept after magnitude pruning, per layer kind.
+DENSITY = {LayerKind.CONV: 0.60, LayerKind.FULLY_CONNECTED: 0.35}
+#: CSR value + column-index storage per kept weight vs dense.
+CSR_STORAGE_OVERHEAD = 1.5
+
+
+class _SparsePrimitive(Primitive):
+    library = "sparse"
+    processor = ProcessorKind.CPU
+    layout = Layout.NCHW
+
+    EFF_COMPUTE = 0.15  # irregular gathers defeat the NEON pipelines
+    EFF_MEMORY = 0.50
+
+    def _sparse_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        density = DENSITY[layer.kind]
+        flops = layer_flops(layer, graph) * density
+        weight_traffic = (
+            layer_weight_bytes(layer, graph) * density * CSR_STORAGE_OVERHEAD
+        )
+        traffic = layer_io_bytes(layer, graph) + weight_traffic
+        eff = cost.ramped(self.EFF_COMPUTE, flops, proc)
+        return proc.roofline_ms(flops, traffic, eff, self.EFF_MEMORY)
+
+
+class SparseConv(_SparsePrimitive):
+    """Sparse convolution over CSR weights."""
+
+    algorithm = "csr"
+    impl = "conv"
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.CONV
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return self._sparse_ms(layer, graph, proc)
+
+
+class SparseFullyConnected(_SparsePrimitive):
+    """Sparse GEMV: streams only the kept weights (plus indices)."""
+
+    algorithm = "csr"
+    impl = "fc"
+
+    def supports(self, layer: Layer, graph: NetworkGraph) -> bool:
+        return layer.kind is LayerKind.FULLY_CONNECTED
+
+    def _model_ms(self, layer: Layer, graph: NetworkGraph, proc: ProcessorModel) -> float:
+        return self._sparse_ms(layer, graph, proc)
+
+
+def primitives() -> list[Primitive]:
+    """All Sparse primitives."""
+    return [SparseConv(), SparseFullyConnected()]

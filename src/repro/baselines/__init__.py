@@ -1,0 +1,41 @@
+"""Baselines the paper compares against (or that verify the search).
+
+* :func:`random_search` — the paper's RS comparison (§VI-B, Fig. 5).
+* :func:`best_single_library` / :func:`single_library_results` — Table
+  II's per-library rows and the BSL column.
+* :func:`greedy_per_layer` — the Fig. 1 trap: fastest primitive per
+  layer, penalties ignored during selection.
+* :func:`brute_force` — exact optimum by enumeration (tiny nets only).
+* :func:`chain_dp` — exact optimum for chain networks via dynamic
+  programming (a verification oracle for the search).
+* :class:`PBQPSolver` — partitioned boolean quadratic programming, the
+  approach of Anderson & Gregg [14] the paper positions itself against.
+* :func:`simulated_annealing` — a classic non-learning local-search DSE
+  baseline at an evaluation-matched budget.
+"""
+
+from repro.baselines.annealing import simulated_annealing
+from repro.baselines.random_search import random_search
+from repro.baselines.best_single_library import (
+    SingleLibraryResult,
+    best_single_library,
+    single_library_results,
+)
+from repro.baselines.greedy import greedy_per_layer
+from repro.baselines.brute_force import brute_force
+from repro.baselines.dp_optimal import chain_dp, is_chain
+from repro.baselines.pbqp import PBQPSolver, pbqp_solve
+
+__all__ = [
+    "random_search",
+    "simulated_annealing",
+    "SingleLibraryResult",
+    "best_single_library",
+    "single_library_results",
+    "greedy_per_layer",
+    "brute_force",
+    "chain_dp",
+    "is_chain",
+    "PBQPSolver",
+    "pbqp_solve",
+]

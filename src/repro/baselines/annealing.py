@@ -1,0 +1,103 @@
+"""Simulated annealing over the same LUT objective.
+
+A classic design-space-exploration baseline (widely used in autotuners)
+to position QS-DNN against a non-learning local-search method: start
+from a random configuration, propose single-layer mutations, accept
+worsening moves with probability ``exp(-delta / T)`` under a geometric
+cooling schedule.  Each proposal costs one incremental objective
+evaluation — the budget is counted in *evaluations* so comparisons
+against episode-based searches are apples-to-apples (one episode = one
+full-configuration evaluation = L layer evaluations; we grant SA
+``episodes * num_layers`` single-layer proposals).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.core.result import SearchResult
+from repro.engine.lut import LatencyTable
+from repro.errors import ConfigError
+from repro.utils.rng import derive_rng
+
+
+def _delta_for_move(idx, choices: np.ndarray, layer: int, new_choice: int,
+                    touching) -> float:
+    """Objective change of flipping one layer's primitive."""
+    old_choice = choices[layer]
+    delta = idx.times[layer][new_choice] - idx.times[layer][old_choice]
+    for edge_idx, other, is_consumer in touching[layer]:
+        matrix = idx.edge_matrices[edge_idx]
+        if is_consumer:
+            delta += matrix[choices[other], new_choice]
+            delta -= matrix[choices[other], old_choice]
+        else:
+            delta += matrix[new_choice, choices[other]]
+            delta -= matrix[old_choice, choices[other]]
+    return float(delta)
+
+
+def simulated_annealing(
+    lut: LatencyTable,
+    episodes: int = 1000,
+    seed: int = 0,
+    initial_temperature_fraction: float = 0.05,
+    final_temperature_fraction: float = 1e-4,
+) -> SearchResult:
+    """Anneal for an evaluation budget equivalent to ``episodes``."""
+    if episodes < 1:
+        raise ConfigError(f"episodes must be >= 1, got {episodes}")
+    from repro.core.polish import _incident_edges
+
+    idx = lut.indexed()
+    rng = derive_rng(seed, "annealing", lut.graph_name, lut.mode)
+    num_layers = len(idx)
+    touching = _incident_edges(idx)
+    started = time.perf_counter()
+
+    choices = np.array(
+        [rng.integers(n) for n in idx.num_actions], dtype=np.int64
+    )
+    current = idx.total_ms(choices)
+    best = current
+    best_choices = choices.copy()
+
+    steps = episodes * num_layers
+    t_start = current * initial_temperature_fraction
+    t_end = max(current * final_temperature_fraction, 1e-9)
+    cooling = (t_end / t_start) ** (1.0 / max(steps - 1, 1))
+    temperature = t_start
+    curve: list[float] = []
+
+    for step in range(steps):
+        layer = int(rng.integers(num_layers))
+        n = idx.num_actions[layer]
+        if n > 1:
+            new_choice = int(rng.integers(n - 1))
+            if new_choice >= choices[layer]:
+                new_choice += 1
+            delta = _delta_for_move(idx, choices, layer, new_choice, touching)
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                choices[layer] = new_choice
+                current += delta
+                if current < best:
+                    best = current
+                    best_choices = choices.copy()
+        temperature *= cooling
+        if (step + 1) % num_layers == 0:
+            curve.append(current)
+
+    # Guard against floating-point drift in the incremental objective.
+    best = idx.total_ms(best_choices)
+    return SearchResult(
+        graph_name=lut.graph_name,
+        method="simulated-annealing",
+        best_assignments=idx.assignments(best_choices),
+        best_ms=float(best),
+        episodes=episodes,
+        curve_ms=curve,
+        wall_clock_s=time.perf_counter() - started,
+    )

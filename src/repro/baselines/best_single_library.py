@@ -1,0 +1,73 @@
+"""Single-library schedules and the Best Single Library (Table II).
+
+Table II: "Results correspond to most performing libraries employing
+their fastest primitive" — for each library, every layer runs the
+library's fastest profiled primitive where the library applies and falls
+back to Vanilla elsewhere (the same substitution rule as profiling).
+The BSL column is the best of these — "usually ... the stakeholders
+selecting a single good-performing library" (paper §I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.lut import LatencyTable
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SingleLibraryResult:
+    """One library's whole-network result."""
+
+    library: str
+    assignments: dict[str, str]
+    total_ms: float
+
+
+def _vanilla_uid(lut: LatencyTable, layer: str) -> str:
+    vans = {u for u in lut.candidates[layer] if lut.meta[u].library == "vanilla"}
+    if not vans:
+        raise ConfigError(f"layer {layer!r} has no vanilla fallback in the LUT")
+    return lut.best_uid(layer, within=vans)
+
+
+def single_library_schedule(lut: LatencyTable, library: str) -> SingleLibraryResult:
+    """The fastest-primitive schedule of one library (+ Vanilla fallback)."""
+    assignments: dict[str, str] = {}
+    for layer in lut.layers:
+        lib_uids = {
+            u for u in lut.candidates[layer] if lut.meta[u].library == library
+        }
+        if lib_uids:
+            assignments[layer] = lut.best_uid(layer, within=lib_uids)
+        else:
+            assignments[layer] = _vanilla_uid(lut, layer)
+    return SingleLibraryResult(
+        library=library,
+        assignments=assignments,
+        total_ms=lut.schedule_time(assignments),
+    )
+
+
+def single_library_results(lut: LatencyTable) -> list[SingleLibraryResult]:
+    """All per-library results, sorted fastest first."""
+    libraries = sorted({m.library for m in lut.meta.values()})
+    results = [single_library_schedule(lut, lib) for lib in libraries]
+    return sorted(results, key=lambda r: r.total_ms)
+
+
+def best_single_library(lut: LatencyTable,
+                        exclude_vanilla: bool = False) -> SingleLibraryResult:
+    """The BSL: fastest single-library schedule.
+
+    ``exclude_vanilla`` removes the all-Vanilla row from contention (it
+    never wins in practice, but excluding it keeps the semantics of
+    'best *accelerated* library' explicit where needed).
+    """
+    results = single_library_results(lut)
+    if exclude_vanilla:
+        results = [r for r in results if r.library != "vanilla"]
+    if not results:
+        raise ConfigError("no libraries to choose a BSL from")
+    return results[0]

@@ -1,0 +1,55 @@
+"""Exact optimum by exhaustive enumeration.
+
+Only feasible for tiny design spaces (the Fig. 1 toy network:
+~12^3 configurations); used as the ground truth that QS-DNN and the
+other exact/near-exact baselines are verified against.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import time
+
+import numpy as np
+
+from repro.core.result import SearchResult
+from repro.engine.lut import LatencyTable
+from repro.errors import ConfigError
+
+#: Refuse to enumerate spaces larger than this.
+MAX_CONFIGURATIONS = 2_000_000
+
+
+def brute_force(lut: LatencyTable, limit: int = MAX_CONFIGURATIONS) -> SearchResult:
+    """Enumerate every configuration; returns the global optimum.
+
+    Raises :class:`~repro.errors.ConfigError` when the space exceeds
+    ``limit`` — use :func:`~repro.baselines.dp_optimal.chain_dp` or the
+    PBQP solver for real networks.
+    """
+    idx = lut.indexed()
+    size = math.prod(int(n) for n in idx.num_actions)
+    if size > limit:
+        raise ConfigError(
+            f"design space of {lut.graph_name} has {size} configurations, "
+            f"exceeding the brute-force limit of {limit}"
+        )
+    best_total = np.inf
+    best_choices: tuple[int, ...] | None = None
+    started = time.perf_counter()
+    for combo in itertools.product(*(range(n) for n in idx.num_actions)):
+        total = idx.total_ms(np.array(combo, dtype=np.int64))
+        if total < best_total:
+            best_total = total
+            best_choices = combo
+    assert best_choices is not None
+    return SearchResult(
+        graph_name=lut.graph_name,
+        method="brute-force",
+        best_assignments=idx.assignments(np.array(best_choices, dtype=np.int64)),
+        best_ms=float(best_total),
+        episodes=size,
+        curve_ms=[],
+        wall_clock_s=time.perf_counter() - started,
+    )

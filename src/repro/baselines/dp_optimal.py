@@ -1,0 +1,85 @@
+"""Exact optimum for chain networks by dynamic programming.
+
+For a chain, total latency decomposes over consecutive pairs, so the
+optimal configuration is a shortest path through the layer/primitive
+trellis — computable exactly in O(L * N_I^2).  Chains cover LeNet-5,
+AlexNet, VGG, Tiny-YOLO and the Fig. 1 toy net; branchy graphs
+(GoogLeNet, ResNet, SqueezeNet) need the PBQP solver instead.
+
+This is the verification oracle: on chains, QS-DNN's converged result
+must match this optimum (tests enforce it).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.result import SearchResult
+from repro.engine.lut import IndexedLUT, LatencyTable
+from repro.errors import ConfigError
+
+
+def is_chain(lut: LatencyTable) -> bool:
+    """True when every edge connects topologically adjacent layers
+    and no layer has more than one predecessor/successor."""
+    index = {name: i for i, name in enumerate(lut.layers)}
+    seen_producers: set[str] = set()
+    seen_consumers: set[str] = set()
+    for producer, consumer in lut.edges:
+        if index[consumer] != index[producer] + 1:
+            return False
+        if producer in seen_producers or consumer in seen_consumers:
+            return False
+        seen_producers.add(producer)
+        seen_consumers.add(consumer)
+    return True
+
+
+def chain_dp(lut: LatencyTable) -> SearchResult:
+    """Exact minimum-latency configuration of a chain network."""
+    if not is_chain(lut):
+        raise ConfigError(
+            f"{lut.graph_name} is not a chain; use the PBQP solver instead"
+        )
+    idx: IndexedLUT = lut.indexed()
+    num_layers = len(idx)
+    started = time.perf_counter()
+
+    # Edge matrix between consecutive layers (zeros where no edge exists,
+    # e.g. between the input layer's consumer and an isolated head).
+    def pair_matrix(i: int) -> np.ndarray:
+        for edge_idx, (producer, consumer) in enumerate(idx.edges):
+            if idx.layer_index[producer] == i and idx.layer_index[consumer] == i + 1:
+                return idx.edge_matrices[edge_idx]
+        return np.zeros(
+            (idx.num_actions[i], idx.num_actions[i + 1]), dtype=np.float64
+        )
+
+    # Forward pass: cost[i][a] = cheapest way to finish layers 0..i with
+    # layer i using primitive a.
+    cost = idx.times[0].copy()
+    backptr: list[np.ndarray] = []
+    for i in range(num_layers - 1):
+        trans = cost[:, None] + pair_matrix(i)  # (n_i, n_{i+1})
+        best_prev = np.argmin(trans, axis=0)
+        backptr.append(best_prev)
+        cost = trans[best_prev, np.arange(trans.shape[1])] + idx.times[i + 1]
+
+    # Backward pass.
+    choices = np.empty(num_layers, dtype=np.int64)
+    choices[-1] = int(np.argmin(cost))
+    for i in range(num_layers - 2, -1, -1):
+        choices[i] = backptr[i][choices[i + 1]]
+
+    total = idx.total_ms(choices)
+    return SearchResult(
+        graph_name=lut.graph_name,
+        method="chain-dp",
+        best_assignments=idx.assignments(choices),
+        best_ms=float(total),
+        episodes=1,
+        curve_ms=[],
+        wall_clock_s=time.perf_counter() - started,
+    )

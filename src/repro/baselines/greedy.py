@@ -1,0 +1,27 @@
+"""Greedy per-layer selection — the local-minimum trap of Fig. 1.
+
+"The problem is not as trivial as to benchmark all primitives
+individually and select the fastest for each layer" (paper §IV-A): this
+baseline does exactly that, ignoring compatibility penalties while
+choosing.  The returned total *includes* the penalties its choices
+incur, which is how it lands in Fig. 1's red path.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import SearchResult
+from repro.engine.lut import LatencyTable
+
+
+def greedy_per_layer(lut: LatencyTable) -> SearchResult:
+    """Pick each layer's fastest primitive; pay the penalties afterwards."""
+    assignments = {layer: lut.best_uid(layer) for layer in lut.layers}
+    total = lut.schedule_time(assignments)
+    return SearchResult(
+        graph_name=lut.graph_name,
+        method="greedy-per-layer",
+        best_assignments=assignments,
+        best_ms=total,
+        episodes=1,
+        curve_ms=[total],
+    )

@@ -1,0 +1,217 @@
+"""Partitioned Boolean Quadratic Programming solver.
+
+Anderson & Gregg [14] formulate DNN primitive selection as a PBQP
+instance: each layer is a node with a cost vector (its primitive times),
+each graph edge carries a cost matrix (the compatibility penalties), and
+the objective is the minimum total.  The paper positions QS-DNN against
+this approach, so we implement it as a baseline.
+
+The solver applies the classic reductions:
+
+* **R0** — isolated node: pick its cheapest option.
+* **RI** — degree-1 node: fold its costs into the neighbor's vector.
+* **RII** — degree-2 node: fold its costs into a (possibly new) edge
+  between its two neighbors.
+* **RN** — heuristic for degree >= 3: fix the locally best option and
+  propagate (this step makes the solver near-optimal rather than exact
+  on branchy graphs; on chains RI alone makes it exact).
+
+Decisions are back-propagated in reverse elimination order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import SearchResult
+from repro.engine.lut import LatencyTable
+
+
+@dataclass
+class _Elimination:
+    """One eliminated node plus how to recover its choice."""
+
+    node: int
+    kind: str  # "r0" | "ri" | "rii" | "rn"
+    neighbors: tuple[int, ...]
+    #: r0/rn: fixed choice.  ri: choice per neighbor option (1-D array).
+    #: rii: choice per (first, second) neighbor option pair (2-D array).
+    decision: object
+
+
+class PBQPSolver:
+    """Solve one PBQP instance built from a latency table."""
+
+    def __init__(self, lut: LatencyTable) -> None:
+        self.lut = lut
+        self.idx = lut.indexed()
+
+    # -- graph construction -------------------------------------------------
+
+    def _build(self) -> tuple[list[np.ndarray], dict[int, dict[int, np.ndarray]]]:
+        """Cost vectors and adjacency; parallel edges are pre-merged."""
+        vectors = [t.copy() for t in self.idx.times]
+        adjacency: dict[int, dict[int, np.ndarray]] = {
+            i: {} for i in range(len(vectors))
+        }
+        for edge_idx, (producer, consumer) in enumerate(self.idx.edges):
+            u = self.idx.layer_index[producer]
+            v = self.idx.layer_index[consumer]
+            matrix = self.idx.edge_matrices[edge_idx]
+            self._add_edge(adjacency, u, v, matrix)
+        return vectors, adjacency
+
+    @staticmethod
+    def _add_edge(
+        adjacency: dict[int, dict[int, np.ndarray]],
+        u: int,
+        v: int,
+        matrix_uv: np.ndarray,
+    ) -> None:
+        """Insert/merge an edge, keeping both orientations in sync."""
+        if v in adjacency[u]:
+            adjacency[u][v] = adjacency[u][v] + matrix_uv
+            adjacency[v][u] = adjacency[u][v].T
+        else:
+            adjacency[u][v] = matrix_uv.copy()
+            adjacency[v][u] = adjacency[u][v].T
+
+    # -- reductions --------------------------------------------------------------
+
+    def solve(self) -> SearchResult:
+        """Run reductions + back-propagation; returns the solution."""
+        started = time.perf_counter()
+        vectors, adjacency = self._build()
+        alive = set(range(len(vectors)))
+        eliminations: list[_Elimination] = []
+
+        while alive:
+            node = self._pick_node(alive, adjacency)
+            degree = len(adjacency[node])
+            if degree == 0:
+                eliminations.append(self._reduce_r0(node, vectors))
+            elif degree == 1:
+                eliminations.append(self._reduce_ri(node, vectors, adjacency))
+            elif degree == 2:
+                eliminations.append(self._reduce_rii(node, vectors, adjacency))
+            else:
+                eliminations.append(self._reduce_rn(node, vectors, adjacency))
+            alive.remove(node)
+
+        choices = self._backpropagate(eliminations, len(vectors))
+        total = self.idx.total_ms(choices)
+        return SearchResult(
+            graph_name=self.lut.graph_name,
+            method="pbqp",
+            best_assignments=self.idx.assignments(choices),
+            best_ms=float(total),
+            episodes=1,
+            curve_ms=[],
+            wall_clock_s=time.perf_counter() - started,
+        )
+
+    @staticmethod
+    def _pick_node(alive: set[int], adjacency: dict[int, dict[int, np.ndarray]]) -> int:
+        """Prefer the lowest-degree node (R0 < RI < RII < RN)."""
+        return min(alive, key=lambda n: (len(adjacency[n]), n))
+
+    @staticmethod
+    def _reduce_r0(node: int, vectors: list[np.ndarray]) -> _Elimination:
+        return _Elimination(
+            node=node,
+            kind="r0",
+            neighbors=(),
+            decision=int(np.argmin(vectors[node])),
+        )
+
+    def _reduce_ri(
+        self,
+        node: int,
+        vectors: list[np.ndarray],
+        adjacency: dict[int, dict[int, np.ndarray]],
+    ) -> _Elimination:
+        (neighbor, matrix) = next(iter(adjacency[node].items()))
+        # matrix is oriented (node_choice, neighbor_choice).
+        combined = vectors[node][:, None] + matrix  # (n_node, n_neighbor)
+        decision = np.argmin(combined, axis=0)  # best node choice per neighbor
+        vectors[neighbor] = vectors[neighbor] + combined[
+            decision, np.arange(combined.shape[1])
+        ]
+        self._drop_node(node, adjacency)
+        return _Elimination(
+            node=node, kind="ri", neighbors=(neighbor,), decision=decision
+        )
+
+    def _reduce_rii(
+        self,
+        node: int,
+        vectors: list[np.ndarray],
+        adjacency: dict[int, dict[int, np.ndarray]],
+    ) -> _Elimination:
+        (v, matrix_v), (w, matrix_w) = sorted(adjacency[node].items())
+        # combined[a, b, c] = c_node[a] + C_nv[a, b] + C_nw[a, c]
+        combined = (
+            vectors[node][:, None, None]
+            + matrix_v[:, :, None]
+            + matrix_w[:, None, :]
+        )
+        decision = np.argmin(combined, axis=0)  # (n_v, n_w)
+        delta = np.min(combined, axis=0)  # folded into edge (v, w)
+        self._drop_node(node, adjacency)
+        self._add_edge(adjacency, v, w, delta)
+        return _Elimination(
+            node=node, kind="rii", neighbors=(v, w), decision=decision
+        )
+
+    def _reduce_rn(
+        self,
+        node: int,
+        vectors: list[np.ndarray],
+        adjacency: dict[int, dict[int, np.ndarray]],
+    ) -> _Elimination:
+        # Heuristic: score each option by its vector cost plus the best
+        # reachable cost over every incident edge.
+        score = vectors[node].copy()
+        for neighbor, matrix in adjacency[node].items():
+            score = score + np.min(matrix + vectors[neighbor][None, :], axis=1)
+        choice = int(np.argmin(score))
+        for neighbor, matrix in list(adjacency[node].items()):
+            vectors[neighbor] = vectors[neighbor] + matrix[choice, :]
+        self._drop_node(node, adjacency)
+        return _Elimination(node=node, kind="rn", neighbors=(), decision=choice)
+
+    @staticmethod
+    def _drop_node(node: int, adjacency: dict[int, dict[int, np.ndarray]]) -> None:
+        for neighbor in list(adjacency[node]):
+            del adjacency[neighbor][node]
+        adjacency[node].clear()
+
+    # -- back-propagation -----------------------------------------------------------
+
+    @staticmethod
+    def _backpropagate(
+        eliminations: list[_Elimination], num_nodes: int
+    ) -> np.ndarray:
+        choices = np.full(num_nodes, -1, dtype=np.int64)
+        for elim in reversed(eliminations):
+            if elim.kind in ("r0", "rn"):
+                choices[elim.node] = elim.decision  # type: ignore[assignment]
+            elif elim.kind == "ri":
+                (neighbor,) = elim.neighbors
+                choices[elim.node] = elim.decision[choices[neighbor]]  # type: ignore[index]
+            else:  # rii
+                v, w = elim.neighbors
+                choices[elim.node] = elim.decision[  # type: ignore[index]
+                    choices[v], choices[w]
+                ]
+        if (choices < 0).any():
+            raise AssertionError("PBQP back-propagation left nodes unassigned")
+        return choices
+
+
+def pbqp_solve(lut: LatencyTable) -> SearchResult:
+    """Convenience wrapper: solve a LUT's selection problem with PBQP."""
+    return PBQPSolver(lut).solve()

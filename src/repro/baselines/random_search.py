@@ -1,0 +1,61 @@
+"""Random Search over the same LUT and episode budget as QS-DNN.
+
+The paper's §VI-B comparison: per episode, draw one uniformly random
+primitive per layer, score the full configuration (penalties included)
+and keep the best seen.  "RS's implementations decrease inference time
+after seeing more options as it discards naive implementations, but it
+only converges towards the infinite."
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.result import SearchResult
+from repro.engine.lut import LatencyTable
+from repro.errors import ConfigError
+from repro.utils.rng import derive_rng
+
+
+def random_search(
+    lut: LatencyTable,
+    episodes: int = 1000,
+    seed: int = 0,
+    track_curve: bool = True,
+) -> SearchResult:
+    """Run RS for ``episodes`` draws; returns the best configuration."""
+    if episodes < 1:
+        raise ConfigError(f"episodes must be >= 1, got {episodes}")
+    idx = lut.indexed()
+    rng = derive_rng(seed, "random-search", lut.graph_name, lut.mode)
+    num_layers = len(idx)
+
+    best_total = np.inf
+    best_choices: np.ndarray | None = None
+    curve: list[float] = []
+    started = time.perf_counter()
+
+    for _ in range(episodes):
+        choices = np.array(
+            [rng.integers(idx.num_actions[i]) for i in range(num_layers)],
+            dtype=np.int64,
+        )
+        total = idx.total_ms(choices)
+        if total < best_total:
+            best_total = total
+            best_choices = choices
+        if track_curve:
+            curve.append(total)
+
+    assert best_choices is not None
+    return SearchResult(
+        graph_name=lut.graph_name,
+        method="random-search",
+        best_assignments=idx.assignments(best_choices),
+        best_ms=float(best_total),
+        episodes=episodes,
+        curve_ms=curve,
+        wall_clock_s=time.perf_counter() - started,
+    )

@@ -1,0 +1,228 @@
+"""Command-line interface: the QS-DNN flow without writing Python.
+
+    python -m repro networks
+    python -m repro summary  --network mobilenet_v1
+    python -m repro profile  --network lenet5 --mode gpgpu --out lut.json
+    python -m repro search   --lut lut.json --episodes 1000 --out sched.json
+    python -m repro compare  --network lenet5 --mode gpgpu
+    python -m repro table2   --mode cpu --networks lenet5 alexnet
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.compare import compare_methods
+from repro.analysis.speedup import render_table2, run_table2
+from repro.backends.registry import Mode
+from repro.core.config import SearchConfig
+from repro.core.search import QSDNNSearch
+from repro.engine.lut import LatencyTable
+from repro.engine.optimizer import InferenceEngineOptimizer
+from repro.hw import jetson_tx2, jetson_tx2_maxn, raspberry_pi3
+from repro.nn.summary import summarize
+from repro.utils.units import format_ms
+from repro.zoo import TABLE2_NETWORKS, available_networks, build_network
+
+PLATFORMS = {
+    "jetson_tx2": jetson_tx2,
+    "jetson_tx2_maxn": jetson_tx2_maxn,
+    "raspberry_pi3": raspberry_pi3,
+}
+
+
+def _mode(text: str) -> Mode:
+    return Mode(text.lower())
+
+
+def _add_platform_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--platform", choices=sorted(PLATFORMS), default="jetson_tx2",
+        help="target platform model",
+    )
+    parser.add_argument(
+        "--mode", type=_mode, choices=list(Mode), default=Mode.CPU,
+        help="design-space mode (cpu or gpgpu)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+
+
+def cmd_networks(_args: argparse.Namespace) -> int:
+    from repro.utils.tables import AsciiTable
+    from repro.utils.units import gflops, mbytes
+
+    table = AsciiTable(["network", "layers", "GFLOPs", "params (MiB)"])
+    for name in available_networks():
+        net = build_network(name)
+        table.add_row(
+            [
+                name,
+                len(net.layers()),
+                f"{gflops(net.total_flops()):.3f}",
+                f"{mbytes(net.total_weight_bytes()):.2f}",
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    print(summarize(build_network(args.network)))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    platform = PLATFORMS[args.platform]()
+    graph = build_network(args.network)
+    optimizer = InferenceEngineOptimizer(
+        graph, platform, mode=args.mode, seed=args.seed, repeats=args.repeats
+    )
+    lut = optimizer.profile()
+    report = optimizer.profiling_report
+    Path(args.out).write_text(lut.to_json())
+    print(
+        f"profiled {args.network} on {platform.name} ({args.mode}): "
+        f"{report.network_inferences} network passes + "
+        f"{report.compatibility_passes} compatibility pass -> {args.out}"
+    )
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    from repro.engine.validate import validate_lut
+
+    lut = LatencyTable.from_json(Path(args.lut).read_text())
+    validate_lut(lut)
+    episodes = args.episodes or max(1000, 25 * len(lut.layers))
+    config = SearchConfig(
+        episodes=episodes,
+        seed=args.seed,
+        polish_sweeps=0 if args.no_polish else 2,
+    )
+    result = QSDNNSearch(lut, config).run()
+    print(result.summary())
+    if args.out:
+        payload = {
+            "graph": result.graph_name,
+            "method": result.method,
+            "total_ms": result.best_ms,
+            "assignments": result.best_assignments,
+        }
+        Path(args.out).write_text(json.dumps(payload, indent=2))
+        print(f"schedule -> {args.out}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    platform = PLATFORMS[args.platform]()
+    graph = build_network(args.network)
+    optimizer = InferenceEngineOptimizer(
+        graph, platform, mode=args.mode, seed=args.seed
+    )
+    lut = optimizer.profile()
+    episodes = args.episodes or max(1000, 25 * len(lut.layers))
+    print(compare_methods(lut, episodes=episodes, seed=args.seed).render())
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    platform = PLATFORMS[args.platform]()
+    networks = args.networks or list(TABLE2_NETWORKS)
+    rows = run_table2(
+        networks, args.mode, platform, episodes=args.episodes, seed=args.seed
+    )
+    print(
+        render_table2(
+            rows, title=f"Table II ({args.mode} mode) on {platform.name}"
+        )
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import full_report
+
+    platform = PLATFORMS[args.platform]()
+    networks = args.networks or list(TABLE2_NETWORKS)
+    cpu_rows = run_table2(
+        networks, Mode.CPU, platform, episodes=args.episodes, seed=args.seed
+    )
+    gpgpu_rows = run_table2(
+        networks, Mode.GPGPU, platform, episodes=args.episodes, seed=args.seed
+    )
+    report = full_report(cpu_rows, gpgpu_rows, platform.name, args.seed)
+    Path(args.out).write_text(report)
+    print(f"report -> {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QS-DNN: RL-based DNN primitive selection (DATE'19 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("networks", help="list zoo networks").set_defaults(
+        func=cmd_networks
+    )
+
+    p = sub.add_parser("summary", help="per-layer summary of one network")
+    p.add_argument("--network", required=True, choices=available_networks())
+    p.set_defaults(func=cmd_summary)
+
+    p = sub.add_parser("profile", help="run the inference phase, save the LUT")
+    p.add_argument("--network", required=True, choices=available_networks())
+    _add_platform_args(p)
+    p.add_argument("--repeats", type=int, default=50,
+                   help="measurements per primitive (paper: 50)")
+    p.add_argument("--out", default="lut.json", help="output LUT path")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("search", help="run QS-DNN over a saved LUT")
+    p.add_argument("--lut", required=True, help="LUT JSON from 'profile'")
+    p.add_argument("--episodes", type=int, default=None,
+                   help="episode budget (default: max(1000, 25 x layers))")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-polish", action="store_true",
+                   help="raw Algorithm 1 output, no local refinement")
+    p.add_argument("--out", default=None, help="save the schedule as JSON")
+    p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser("compare", help="all search methods on one network")
+    p.add_argument("--network", required=True, choices=available_networks())
+    _add_platform_args(p)
+    p.add_argument("--episodes", type=int, default=None)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("table2", help="regenerate Table II rows")
+    p.add_argument("--networks", nargs="*", default=None,
+                   choices=available_networks())
+    _add_platform_args(p)
+    p.add_argument("--episodes", type=int, default=None)
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser(
+        "report", help="full markdown reproduction report (both modes)"
+    )
+    p.add_argument("--networks", nargs="*", default=None,
+                   choices=available_networks())
+    _add_platform_args(p)
+    p.add_argument("--episodes", type=int, default=None)
+    p.add_argument("--out", default="report.md")
+    p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""QS-DNN: the Q-learning-based search engine (paper §IV-V).
+
+The search consumes only a :class:`~repro.engine.lut.LatencyTable` — the
+two-phase split that lets it run "in a standard Intel CPU ... in less
+than 10 min" while the board is needed only for profiling.
+"""
+
+from repro.core.config import SearchConfig
+from repro.core.epsilon import EpsilonSchedule
+from repro.core.polish import coordinate_descent
+from repro.core.qtable import QTable
+from repro.core.replay import ReplayBuffer, Transition
+from repro.core.state import SearchState
+from repro.core.result import SearchResult
+from repro.core.search import QSDNNSearch
+
+__all__ = [
+    "SearchConfig",
+    "EpsilonSchedule",
+    "coordinate_descent",
+    "QTable",
+    "ReplayBuffer",
+    "Transition",
+    "SearchState",
+    "SearchResult",
+    "QSDNNSearch",
+]

@@ -1,0 +1,69 @@
+"""Search configuration (paper §V-B).
+
+Defaults are the paper's: learning rate 0.05, discount factor 0.9
+("slightly more importance to short-term rewards"), replay buffer of 128
+transitions ("following [29]"), reward shaping on, and the 50%-explore
+epsilon schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.epsilon import EpsilonSchedule
+from repro.errors import ConfigError
+
+
+@dataclass
+class SearchConfig:
+    """Hyper-parameters of one QS-DNN search."""
+
+    episodes: int = 1000
+    learning_rate: float = 0.05
+    discount: float = 0.9
+    replay_capacity: int = 128
+    replay_enabled: bool = True
+    #: Reward shaping (paper §IV-C): per-layer negative latency rewards.
+    #: Off -> only the terminal transition carries the (total) reward.
+    reward_shaping: bool = True
+    #: First update of a Q entry writes its target directly (removes the
+    #: optimistic zero-init bias; see QTable).  Off by default — the
+    #: paper uses plain eq. (2) from zero; exposed for ablations.
+    first_visit_bootstrap: bool = False
+    #: Coordinate-descent sweeps applied to the best-found configuration
+    #: before reporting (LUT-only, strictly improving; see
+    #: :mod:`repro.core.polish`).  0 disables (raw RL output).
+    polish_sweeps: int = 2
+    seed: int = 0
+    epsilon: EpsilonSchedule = field(default=None)  # type: ignore[assignment]
+    #: Record the per-episode latency curve (Figs. 4/5).
+    track_curve: bool = True
+
+    def __post_init__(self) -> None:
+        if self.episodes < 1:
+            raise ConfigError(f"episodes must be >= 1, got {self.episodes}")
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ConfigError(
+                f"learning_rate must be in (0, 1], got {self.learning_rate}"
+            )
+        if not 0.0 <= self.discount <= 1.0:
+            raise ConfigError(f"discount must be in [0, 1], got {self.discount}")
+        if self.replay_capacity < 1:
+            raise ConfigError(
+                f"replay_capacity must be >= 1, got {self.replay_capacity}"
+            )
+        if self.polish_sweeps < 0:
+            raise ConfigError(
+                f"polish_sweeps must be >= 0, got {self.polish_sweeps}"
+            )
+        if self.epsilon is None:
+            self.epsilon = (
+                EpsilonSchedule.paper(self.episodes)
+                if self.episodes >= 20
+                else EpsilonSchedule.constant(1.0, self.episodes)
+            )
+        if self.epsilon.total_episodes != self.episodes:
+            raise ConfigError(
+                f"epsilon schedule covers {self.epsilon.total_episodes} episodes, "
+                f"config says {self.episodes}"
+            )

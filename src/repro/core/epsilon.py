@@ -1,0 +1,108 @@
+"""Epsilon-greedy schedules (paper §IV-C, §V-B, Fig. 4).
+
+The paper's schedule: "In all experiments, 50% of the total episodes
+correspond to full exploration and 5% to any other epsilon from 0.9 to
+0.1" — with the remaining 5% at epsilon = 0 (full exploitation), which is
+exactly Fig. 4's 1000-episode run: 500 exploration episodes, then epsilon
+drops by 0.1 every 50 episodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SearchError
+
+
+@dataclass(frozen=True)
+class EpsilonPhase:
+    """A run of consecutive episodes sharing one epsilon."""
+
+    epsilon: float
+    episodes: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise SearchError(f"epsilon must be in [0, 1], got {self.epsilon}")
+        if self.episodes < 0:
+            raise SearchError(f"episodes must be >= 0, got {self.episodes}")
+
+
+class EpsilonSchedule:
+    """A piecewise-constant epsilon schedule over episodes."""
+
+    def __init__(self, phases: list[EpsilonPhase]) -> None:
+        if not phases:
+            raise SearchError("epsilon schedule needs at least one phase")
+        self.phases = list(phases)
+        self._boundaries: list[tuple[int, float]] = []
+        start = 0
+        for phase in self.phases:
+            start += phase.episodes
+            self._boundaries.append((start, phase.epsilon))
+        if start == 0:
+            raise SearchError("epsilon schedule has zero total episodes")
+
+    @property
+    def total_episodes(self) -> int:
+        """Total number of episodes across all phases."""
+        return self._boundaries[-1][0]
+
+    def epsilon_for(self, episode: int) -> float:
+        """Epsilon for a 0-based episode index."""
+        if not 0 <= episode < self.total_episodes:
+            raise SearchError(
+                f"episode {episode} outside schedule of {self.total_episodes}"
+            )
+        for boundary, epsilon in self._boundaries:
+            if episode < boundary:
+                return epsilon
+        raise AssertionError("unreachable")
+
+    def trace(self) -> list[float]:
+        """Epsilon per episode, as a list (for plots/tests)."""
+        return [self.epsilon_for(i) for i in range(self.total_episodes)]
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def paper(cls, total_episodes: int = 1000) -> "EpsilonSchedule":
+        """The paper's schedule (§V-B): 50% explore, 5% per step 0.9..0.1,
+        the remainder at full exploitation."""
+        if total_episodes < 20:
+            raise SearchError(
+                "paper schedule needs >= 20 episodes to fit all phases"
+            )
+        explore = total_episodes // 2
+        step = max(total_episodes // 20, 1)  # 5% per intermediate epsilon
+        phases = [EpsilonPhase(1.0, explore)]
+        used = explore
+        for tenths in range(9, 0, -1):
+            phases.append(EpsilonPhase(tenths / 10.0, step))
+            used += step
+        remaining = total_episodes - used
+        if remaining < 0:
+            raise SearchError("paper schedule phases exceed total episodes")
+        phases.append(EpsilonPhase(0.0, remaining))
+        return cls(phases)
+
+    @classmethod
+    def linear(cls, total_episodes: int) -> "EpsilonSchedule":
+        """Ablation: epsilon decays linearly 1.0 -> 0.0 over ten steps."""
+        if total_episodes < 10:
+            raise SearchError("linear schedule needs >= 10 episodes")
+        step = total_episodes // 10
+        phases = [
+            EpsilonPhase(1.0 - tenth / 10.0, step) for tenth in range(9)
+        ]
+        phases.append(EpsilonPhase(0.0, total_episodes - 9 * step))
+        return cls(phases)
+
+    @classmethod
+    def constant(cls, epsilon: float, total_episodes: int) -> "EpsilonSchedule":
+        """Ablation: a fixed epsilon throughout."""
+        return cls([EpsilonPhase(epsilon, total_episodes)])
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{p.epsilon:g}x{p.episodes}" for p in self.phases)
+        return f"EpsilonSchedule({parts})"

@@ -1,0 +1,180 @@
+"""The tabular action-value function (paper §IV-B, eq. 2).
+
+States are (layer depth, primitive chosen at the layer's *primary graph
+predecessor*); actions are the primitive choices of the current layer.
+The Q function is therefore one matrix per layer::
+
+    Q[i][parent_choice, action]   for layer i, i = 0 .. L-1
+
+On a chain the parent of layer i is layer i-1, recovering the familiar
+trellis; on branchy graphs (inception modules, residual joins) keying
+the state to the graph predecessor makes the compatibility penalty part
+of the reward a deterministic function of (state, action) — which plain
+topological chaining cannot guarantee.  Layers fed directly by the
+network input use a single virtual start state.
+
+The update is the paper's eq. (2)::
+
+    Q(s,a) <- Q(s,a)(1 - alpha) + alpha * (r + gamma * max_a' Q(s',a'))
+
+where s' is the state the agent is in when making the *next* decision —
+so the bootstrap row of layer i+1 is the episode's choice at layer
+i+1's own parent, supplied by the caller via ``next_row``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SearchError
+
+
+class QTable:
+    """Per-layer Q matrices over a (possibly branchy) decision sequence.
+
+    Parameters
+    ----------
+    num_actions:
+        Candidate count per layer.
+    learning_rate / discount:
+        eq. (2)'s alpha and gamma (paper: 0.05 and 0.9).
+    row_sizes:
+        State count per layer: the parent layer's action count, or 1
+        for virtual-start layers.  Defaults to chain wiring
+        (``[1, n_0, n_1, ...]``).
+    first_visit_bootstrap:
+        Rewards are all negative, so a zero-initialized entry looks
+        *better* than any learned one and exploitation detours through
+        unvisited actions.  When enabled, the first update of an entry
+        writes its target directly (as if alpha = 1) and eq. (2)
+        applies from the second visit — scale-free optimism removal.
+        Disabled by default (the paper uses plain eq. (2) throughout).
+    """
+
+    def __init__(
+        self,
+        num_actions: list[int],
+        learning_rate: float,
+        discount: float,
+        row_sizes: list[int] | None = None,
+        first_visit_bootstrap: bool = False,
+    ) -> None:
+        if not num_actions:
+            raise SearchError("QTable needs at least one layer")
+        if any(n < 1 for n in num_actions):
+            raise SearchError("every layer needs at least one action")
+        if not 0.0 < learning_rate <= 1.0:
+            raise SearchError(f"learning_rate out of range: {learning_rate}")
+        if not 0.0 <= discount <= 1.0:
+            raise SearchError(f"discount out of range: {discount}")
+        self.learning_rate = learning_rate
+        self.discount = discount
+        self.first_visit_bootstrap = first_visit_bootstrap
+        self.num_actions = list(num_actions)
+        if row_sizes is None:
+            row_sizes = [1] + self.num_actions[:-1]
+        if len(row_sizes) != len(num_actions):
+            raise SearchError("row_sizes must match num_actions in length")
+        if any(r < 1 for r in row_sizes):
+            raise SearchError("every layer needs at least one state row")
+        self.row_sizes = list(row_sizes)
+        self._q = [
+            np.zeros((r, n), dtype=np.float64)
+            for r, n in zip(self.row_sizes, self.num_actions)
+        ]
+        self._visited = [
+            np.zeros((r, n), dtype=bool)
+            for r, n in zip(self.row_sizes, self.num_actions)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def q_values(self, layer: int, row: int) -> np.ndarray:
+        """The action-value row for (layer, parent choice). Read-only view."""
+        return self._q[layer][row]
+
+    def greedy_action(self, layer: int, row: int) -> int:
+        """argmax_a Q(s, a) with deterministic first-index tie-breaking.
+
+        With bootstrapping on, the argmax runs over visited actions when
+        any exist — exploitation follows learned values, leaving pure
+        exploration to the epsilon schedule.
+        """
+        values = self._q[layer][row]
+        if self.first_visit_bootstrap:
+            mask = self._visited[layer][row]
+            if mask.any():
+                candidates = np.where(mask)[0]
+                return int(candidates[np.argmax(values[mask])])
+        return int(np.argmax(values))
+
+    def best_value(self, layer: int, row: int) -> float:
+        """max_a' Q(layer, row, a') — the bootstrap value of a state.
+
+        Returns 0 past the terminal layer (episodic objective).  With
+        bootstrapping on, unvisited entries are excluded when possible.
+        """
+        if layer >= len(self._q):
+            return 0.0
+        values = self._q[layer][row]
+        if self.first_visit_bootstrap:
+            mask = self._visited[layer][row]
+            if mask.any():
+                return float(values[mask].max())
+        return float(values.max())
+
+    def update(
+        self,
+        layer: int,
+        row: int,
+        action: int,
+        reward: float,
+        next_row: int | None = None,
+    ) -> float:
+        """Apply eq. (2); returns the new Q value.
+
+        ``next_row`` identifies the successor state's row in layer
+        ``layer + 1`` (the episode's choice at that layer's parent).
+        Defaults to ``action`` — exact for chains, where the parent of
+        layer i+1 is layer i itself.
+        """
+        successor = action if next_row is None else next_row
+        target = reward + self.discount * self.best_value(layer + 1, successor)
+        q = self._q[layer]
+        if self.first_visit_bootstrap and not self._visited[layer][row, action]:
+            new = target
+        else:
+            old = q[row, action]
+            new = old * (1.0 - self.learning_rate) + self.learning_rate * target
+        q[row, action] = new
+        self._visited[layer][row, action] = True
+        return float(new)
+
+    def greedy_rollout(self, parents: list[int] | None = None) -> list[int]:
+        """The current fully-greedy decision sequence.
+
+        ``parents[i]`` is the layer whose choice selects layer i's Q row
+        (-1 for the virtual start).  Defaults to chain wiring.
+        """
+        if parents is None:
+            parents = list(range(-1, len(self._q) - 1))
+        choices: list[int] = []
+        for layer in range(len(self._q)):
+            parent = parents[layer]
+            row = 0 if parent < 0 else choices[parent]
+            choices.append(self.greedy_action(layer, row))
+        return choices
+
+    def copy(self) -> "QTable":
+        """Deep copy (used by tests and ablation snapshots)."""
+        clone = QTable(
+            self.num_actions,
+            self.learning_rate,
+            self.discount,
+            row_sizes=self.row_sizes,
+            first_visit_bootstrap=self.first_visit_bootstrap,
+        )
+        clone._q = [q.copy() for q in self._q]
+        clone._visited = [v.copy() for v in self._visited]
+        return clone

@@ -1,0 +1,76 @@
+"""Experience replay (paper §IV-C).
+
+"We have added an experience replay after each episode which helps the
+action-value function converge faster [34].  We have set the experience
+replay's buffer size to 128 following [29]."
+
+The buffer is a FIFO ring of transitions; after each episode its whole
+content is replayed in a random order, bootstrapping from the *current*
+Q table (so late replays benefit from earlier ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.qtable import QTable
+from repro.errors import SearchError
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One (state, action, reward, next-state) step of an episode.
+
+    ``layer`` and ``prev_choice`` identify the state; ``action`` the
+    primitive picked for ``layer``; ``reward`` the shaped reward;
+    ``next_row`` the successor state's row at layer + 1 (None for chain
+    semantics, where it equals ``action``).
+    """
+
+    layer: int
+    prev_choice: int
+    action: int
+    reward: float
+    next_row: int | None = None
+
+
+class ReplayBuffer:
+    """Fixed-capacity FIFO of transitions."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise SearchError(f"replay capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: list[Transition] = []
+        self._next = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, transition: Transition) -> None:
+        """Insert, evicting the oldest transition when full."""
+        if len(self._items) < self.capacity:
+            self._items.append(transition)
+        else:
+            self._items[self._next] = transition
+        self._next = (self._next + 1) % self.capacity
+
+    def replay(self, qtable: QTable, rng: np.random.Generator) -> int:
+        """Re-apply every buffered transition in random order.
+
+        Returns the number of updates applied.
+        """
+        if not self._items:
+            return 0
+        order = rng.permutation(len(self._items))
+        for idx in order:
+            t = self._items[idx]
+            qtable.update(t.layer, t.prev_choice, t.action, t.reward, t.next_row)
+        return len(self._items)
+
+    def clear(self) -> None:
+        """Empty the buffer."""
+        self._items.clear()
+        self._next = 0

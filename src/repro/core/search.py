@@ -1,0 +1,166 @@
+"""QS-DNN's search phase: Algorithm 1 of the paper.
+
+Per episode the agent walks the network in topological order choosing a
+primitive per layer with an epsilon-greedy policy over the Q table.
+Rewards are shaped: each layer receives minus its own LUT latency, with
+any compatibility penalties on its incoming edges charged to it (paper
+§IV-C and §V-B: "If any incompatibility has been found between two
+layers, the extra penalty is added to the inference time of the latter
+layer").  After the rollout every transition is learned online (eq. 2)
+and pushed to the replay buffer, which is then replayed in full.
+
+Branch handling: the Q state chain follows topological order, but the
+reward of a layer sums the penalty matrices of *all* its graph
+predecessors — so residual joins and inception branches price their
+conversions exactly, even though the MDP sees a linear state sequence
+(the paper's Fig. 3 "exceptions and branches are handled").
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import SearchConfig
+from repro.core.polish import coordinate_descent
+from repro.core.qtable import QTable
+from repro.core.replay import ReplayBuffer, Transition
+from repro.core.result import SearchResult
+from repro.engine.lut import IndexedLUT, LatencyTable
+from repro.utils.rng import RngStream
+
+
+class QSDNNSearch:
+    """The RL-based search engine over a profiled latency table."""
+
+    def __init__(self, lut: LatencyTable, config: SearchConfig | None = None) -> None:
+        self.lut = lut
+        self.config = config or SearchConfig()
+        self.indexed = lut.indexed()
+        self._num_layers = len(self.indexed)
+
+    # -- episode mechanics -----------------------------------------------------
+
+    def _rollout(
+        self, qtable: QTable, epsilon: float, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        """Sample one episode; returns (choices, rows, costs, total).
+
+        ``rows[i]`` is the Q-state row used when deciding layer i: the
+        episode's choice at layer i's primary graph predecessor (0 for
+        virtual-start layers).
+        """
+        idx = self.indexed
+        choices = np.empty(self._num_layers, dtype=np.int64)
+        rows = np.empty(self._num_layers, dtype=np.int64)
+        costs = np.empty(self._num_layers, dtype=np.float64)
+        for i in range(self._num_layers):
+            parent = idx.q_parent[i]
+            row = 0 if parent < 0 else int(choices[parent])
+            rows[i] = row
+            n = idx.num_actions[i]
+            if epsilon > 0.0 and rng.random() < epsilon:
+                action = int(rng.integers(n))
+            else:
+                action = qtable.greedy_action(i, row)
+            choices[i] = action
+            # Layer cost: own time + penalties on incoming edges
+            # (predecessors are already decided in topological order).
+            cost = idx.times[i][action]
+            for pred_layer, edge_idx in idx.incoming[i]:
+                cost += idx.edge_matrices[edge_idx][choices[pred_layer], action]
+            costs[i] = cost
+        return choices, rows, costs, float(costs.sum())
+
+    def _learn_episode(
+        self,
+        qtable: QTable,
+        replay: ReplayBuffer | None,
+        choices: np.ndarray,
+        rows: np.ndarray,
+        costs: np.ndarray,
+        total: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """Online eq. 2 updates for the episode, then a full replay pass."""
+        shaping = self.config.reward_shaping
+        last = self._num_layers - 1
+        for i in range(self._num_layers):
+            action = int(choices[i])
+            row = int(rows[i])
+            next_row = int(rows[i + 1]) if i < last else 0
+            if shaping:
+                reward = -float(costs[i])
+            else:
+                reward = -total if i == last else 0.0
+            qtable.update(i, row, action, reward, next_row)
+            if replay is not None:
+                replay.push(Transition(i, row, action, reward, next_row))
+        if replay is not None:
+            replay.replay(qtable, rng)
+
+    # -- the search (Algorithm 1) --------------------------------------------------
+
+    def run(self) -> SearchResult:
+        """Run the full epsilon-schedule search; returns the best result."""
+        cfg = self.config
+        idx = self.indexed
+        row_sizes = [
+            1 if parent < 0 else int(idx.num_actions[parent])
+            for parent in idx.q_parent
+        ]
+        qtable = QTable(
+            list(idx.num_actions),
+            cfg.learning_rate,
+            cfg.discount,
+            row_sizes=row_sizes,
+            first_visit_bootstrap=cfg.first_visit_bootstrap,
+        )
+        replay = ReplayBuffer(cfg.replay_capacity) if cfg.replay_enabled else None
+        stream = RngStream(cfg.seed, "qsdnn", self.lut.graph_name, self.lut.mode)
+        policy_rng = stream.child("policy")
+        replay_rng = stream.child("replay")
+
+        best_total = np.inf
+        best_choices: np.ndarray | None = None
+        curve: list[float] = []
+        epsilon_trace: list[float] = []
+        started = time.perf_counter()
+
+        for episode in range(cfg.episodes):
+            epsilon = cfg.epsilon.epsilon_for(episode)
+            choices, rows, costs, total = self._rollout(qtable, epsilon, policy_rng)
+            self._learn_episode(
+                qtable, replay, choices, rows, costs, total, replay_rng
+            )
+            if total < best_total:
+                best_total = total
+                best_choices = choices.copy()
+            if cfg.track_curve:
+                curve.append(total)
+                epsilon_trace.append(epsilon)
+
+        assert best_choices is not None
+        if cfg.polish_sweeps > 0:
+            best_choices, best_total = coordinate_descent(
+                idx, best_choices, max_sweeps=cfg.polish_sweeps
+            )
+        greedy_choices = np.array(
+            qtable.greedy_rollout(parents=idx.q_parent), dtype=np.int64
+        )
+        greedy_ms = idx.total_ms(greedy_choices)
+        wall = time.perf_counter() - started
+
+        return SearchResult(
+            graph_name=self.lut.graph_name,
+            method="qs-dnn",
+            best_assignments=idx.assignments(best_choices),
+            best_ms=float(best_total),
+            episodes=cfg.episodes,
+            curve_ms=curve,
+            epsilon_trace=epsilon_trace,
+            wall_clock_s=wall,
+            config=cfg,
+            greedy_ms=float(greedy_ms),
+        )

@@ -1,0 +1,69 @@
+"""The state space of the search (paper Table I).
+
+A state is "a tuple of the parameters that specify the execution of a
+layer with a certain primitive on a target platform": layer type, layer
+depth, acceleration library, algorithm, algorithm implementation,
+hardware processor and BLAS library.
+
+The search's fast path works on (depth, candidate-index) pairs — a
+bijection with these tuples — but results and reports surface the full
+Table I view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.lut import LatencyTable, PrimitiveMeta
+
+
+@dataclass(frozen=True)
+class SearchState:
+    """One Table I state tuple."""
+
+    layer_type: str
+    layer_depth: int
+    library: str
+    algorithm: str
+    algorithm_impl: str
+    processor: str
+    blas: str | None
+
+    @classmethod
+    def from_meta(
+        cls, layer_type: str, depth: int, meta: PrimitiveMeta
+    ) -> "SearchState":
+        """Build the Table I tuple for a primitive at a given depth."""
+        return cls(
+            layer_type=layer_type,
+            layer_depth=depth,
+            library=meta.library,
+            algorithm=meta.algorithm,
+            algorithm_impl=meta.impl,
+            processor=str(meta.processor),
+            blas=meta.blas,
+        )
+
+    def __str__(self) -> str:
+        blas = f", blas={self.blas}" if self.blas else ""
+        return (
+            f"[{self.layer_depth}:{self.layer_type}] "
+            f"{self.library}.{self.algorithm}"
+            f"{'.' + self.algorithm_impl if self.algorithm_impl else ''} "
+            f"on {self.processor}{blas}"
+        )
+
+
+def describe_assignments(
+    lut: LatencyTable, assignments: dict[str, str], layer_types: dict[str, str]
+) -> list[SearchState]:
+    """Render a schedule as the sequence of Table I states it visits."""
+    states = []
+    for depth, layer in enumerate(lut.layers):
+        uid = assignments[layer]
+        states.append(
+            SearchState.from_meta(
+                layer_types.get(layer, "?"), depth, lut.meta[uid]
+            )
+        )
+    return states

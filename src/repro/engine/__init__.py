@@ -1,0 +1,32 @@
+"""The inference engine optimizer (paper §III-A, §V-A).
+
+Phase 1 of QS-DNN: run the network on the (simulated) board once per
+primitive type plus once for compatibility layers, and distil everything
+into a :class:`~repro.engine.lut.LatencyTable` that the search consumes.
+"""
+
+from repro.engine.schedule import NetworkSchedule, vanilla_schedule, primitive_type_schedule
+from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.lut import LatencyTable, PrimitiveMeta, IndexedLUT
+from repro.engine.compat import profile_compatibility
+from repro.engine.profiler import Profiler, ProfilingReport
+from repro.engine.optimizer import InferenceEngineOptimizer, DeploymentReport
+from repro.engine.validate import lut_problems, validate_lut
+
+__all__ = [
+    "NetworkSchedule",
+    "vanilla_schedule",
+    "primitive_type_schedule",
+    "ExecutionResult",
+    "Executor",
+    "LatencyTable",
+    "PrimitiveMeta",
+    "IndexedLUT",
+    "profile_compatibility",
+    "Profiler",
+    "ProfilingReport",
+    "InferenceEngineOptimizer",
+    "DeploymentReport",
+    "lut_problems",
+    "validate_lut",
+]

@@ -1,0 +1,112 @@
+"""Execution traces: where did the milliseconds go?
+
+Turns an :class:`~repro.engine.executor.ExecutionResult` into
+
+* a text timeline (per-layer bars grouped by processor), and
+* a Chrome-trace JSON (open in ``chrome://tracing`` / Perfetto),
+
+so a deployment report can show *why* a schedule is fast — which layers
+run where, and what the compatibility penalties cost in between.
+Layers execute sequentially (single-image inference, as measured in the
+paper), so the timeline is one lane per processor plus a penalty lane.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.backends.registry import DesignSpace
+from repro.engine.executor import ExecutionResult
+from repro.hw.processor import ProcessorKind
+from repro.nn.graph import NetworkGraph
+from repro.utils.units import format_ms
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed interval."""
+
+    name: str
+    lane: str  # "cpu", "gpu" or "penalty"
+    start_ms: float
+    duration_ms: float
+
+
+def build_trace(
+    graph: NetworkGraph, space: DesignSpace, result: ExecutionResult
+) -> list[TraceEvent]:
+    """Sequential per-layer timeline, penalties charged before consumers."""
+    events: list[TraceEvent] = []
+    clock = 0.0
+    for layer in graph.layers():
+        # Penalties on incoming edges execute before the layer itself.
+        for producer in layer.inputs:
+            penalty = result.penalty_ms.get((producer, layer.name), 0.0)
+            if penalty > 0.0:
+                events.append(
+                    TraceEvent(
+                        name=f"{producer}->{layer.name}",
+                        lane="penalty",
+                        start_ms=clock,
+                        duration_ms=penalty,
+                    )
+                )
+                clock += penalty
+        uid = result.schedule.primitive_uid(layer.name)
+        prim = space.primitive(uid)
+        duration = result.layer_ms[layer.name]
+        events.append(
+            TraceEvent(
+                name=f"{layer.name} [{uid}]",
+                lane=str(prim.processor),
+                start_ms=clock,
+                duration_ms=duration,
+            )
+        )
+        clock += duration
+    return events
+
+
+def render_timeline(events: list[TraceEvent], width: int = 60) -> str:
+    """ASCII timeline: one row per event, bar length ~ duration."""
+    if not events:
+        return "(empty trace)"
+    total = events[-1].start_ms + events[-1].duration_ms
+    longest = max(e.duration_ms for e in events)
+    lines = [f"total {format_ms(total)}  (bar scale: {format_ms(longest)} max)"]
+    lane_marks = {"cpu": "#", "gpu": "=", "penalty": "!"}
+    for event in events:
+        bar_len = max(1, int(round(event.duration_ms / longest * width)))
+        mark = lane_marks.get(event.lane, "?")
+        lines.append(
+            f"{event.lane:7s} |{mark * bar_len:<{width}s}| "
+            f"{format_ms(event.duration_ms):>8s}  {event.name}"
+        )
+    return "\n".join(lines)
+
+
+def chrome_trace_json(events: list[TraceEvent]) -> str:
+    """Chrome-trace ('trace event format') JSON string."""
+    lanes = {"cpu": 1, "gpu": 2, "penalty": 3}
+    payload = [
+        {
+            "name": event.name,
+            "ph": "X",  # complete event
+            "ts": event.start_ms * 1000.0,  # microseconds
+            "dur": event.duration_ms * 1000.0,
+            "pid": 0,
+            "tid": lanes.get(event.lane, 0),
+            "cat": event.lane,
+        }
+        for event in events
+    ]
+    return json.dumps({"traceEvents": payload}, indent=2)
+
+
+def lane_totals(events: list[TraceEvent]) -> dict[str, float]:
+    """Total milliseconds per lane (cpu / gpu / penalty)."""
+    totals: dict[str, float] = {}
+    for event in events:
+        totals[event.lane] = totals.get(event.lane, 0.0) + event.duration_ms
+    return totals

@@ -1,0 +1,76 @@
+"""Latency-table integrity checks.
+
+A LUT may come from a file (CLI round-trips, archived profilings), so
+the engine offers a structural validator: every problem found is
+reported, none silently tolerated.  Run by the CLI after loading and
+available to users via :func:`validate_lut`.
+"""
+
+from __future__ import annotations
+
+from repro.engine.lut import LatencyTable
+from repro.errors import ProfilingError
+from repro.hw.processor import ProcessorKind
+
+
+def lut_problems(lut: LatencyTable) -> list[str]:
+    """All structural problems of a latency table (empty = healthy)."""
+    problems: list[str] = []
+    layer_set = set(lut.layers)
+
+    if len(layer_set) != len(lut.layers):
+        problems.append("duplicate layer names")
+
+    for layer in lut.layers:
+        uids = lut.candidates.get(layer)
+        if not uids:
+            problems.append(f"layer {layer!r} has no candidates")
+            continue
+        times = lut.times_ms.get(layer, {})
+        for uid in uids:
+            if uid not in lut.meta:
+                problems.append(f"candidate {uid!r} of {layer!r} lacks metadata")
+            if uid not in times:
+                problems.append(f"no measurement for ({layer!r}, {uid!r})")
+            elif times[uid] <= 0:
+                problems.append(
+                    f"non-positive measurement for ({layer!r}, {uid!r})"
+                )
+
+    gpu_used = any(
+        m.processor is ProcessorKind.GPU for m in lut.meta.values()
+    )
+    for edge in lut.edges:
+        producer, consumer = edge
+        if producer not in layer_set or consumer not in layer_set:
+            problems.append(f"edge {edge!r} references unknown layers")
+            continue
+        if lut.layer_depth[producer] >= lut.layer_depth[consumer]:
+            problems.append(f"edge {edge!r} is not topologically ordered")
+        conv = lut.conversion_ms.get(edge)
+        if conv is None:
+            problems.append(f"edge {edge!r} lacks conversion measurements")
+        else:
+            for proc, ms in conv.items():
+                if ms < 0:
+                    problems.append(
+                        f"negative conversion cost on {edge!r} ({proc})"
+                    )
+        if gpu_used and edge not in lut.transfer_ms:
+            problems.append(f"edge {edge!r} lacks a transfer measurement")
+        elif lut.transfer_ms.get(edge, 0.0) < 0:
+            problems.append(f"negative transfer cost on {edge!r}")
+
+    return problems
+
+
+def validate_lut(lut: LatencyTable) -> None:
+    """Raise :class:`~repro.errors.ProfilingError` listing all problems."""
+    problems = lut_problems(lut)
+    if problems:
+        preview = "; ".join(problems[:5])
+        more = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+        raise ProfilingError(
+            f"latency table for {lut.graph_name!r} is inconsistent: "
+            f"{preview}{more}"
+        )

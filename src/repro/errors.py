@@ -1,0 +1,73 @@
+"""Exception hierarchy for the QS-DNN reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """A network graph is structurally invalid.
+
+    Raised for cycles, dangling edges, duplicate layer names, or shape
+    mismatches discovered during graph validation.
+    """
+
+
+class ShapeError(GraphError):
+    """Tensor shapes are inconsistent with a layer's hyper-parameters."""
+
+
+class UnknownLayerError(GraphError):
+    """A layer name was looked up that does not exist in the graph."""
+
+
+class BackendError(ReproError):
+    """A primitive or library was used outside its declared coverage."""
+
+
+class UnsupportedLayerError(BackendError):
+    """A primitive was asked to execute a layer kind it does not support."""
+
+
+class NoPrimitiveError(BackendError):
+    """No primitive in the active design space can execute a layer.
+
+    Every design space must provide at least one implementation per layer;
+    the Vanilla library exists precisely to guarantee this.  Hitting this
+    error means the registry was constructed without Vanilla coverage.
+    """
+
+
+class PlatformError(ReproError):
+    """A hardware model was configured inconsistently."""
+
+
+class ProfilingError(ReproError):
+    """The inference phase failed to produce a complete look-up table."""
+
+
+class LookupError_(ProfilingError):
+    """A (layer, primitive) pair is missing from the latency table."""
+
+
+class ScheduleError(ReproError):
+    """A network schedule is incomplete or references unknown primitives."""
+
+
+class SearchError(ReproError):
+    """The RL search was configured inconsistently.
+
+    Examples: an epsilon schedule whose episode counts do not add up, a
+    non-positive learning rate, or an empty action set for some layer.
+    """
+
+
+class ConfigError(ReproError):
+    """A user-supplied configuration value is out of its legal range."""

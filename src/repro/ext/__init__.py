@@ -1,0 +1,35 @@
+"""Extensions implementing the paper's future-work directions (§VII).
+
+* :mod:`repro.ext.energy` — per-processor power model and per-schedule
+  energy accounting ("problems related to inference of DNNs on
+  constrained environments").
+* :mod:`repro.ext.multiobjective` — "different reward choices or ...
+  multi-objective search": scalarized latency/energy objectives and
+  Pareto-front sweeps, reusing the unmodified Q-learning engine.
+* :mod:`repro.ext.linear_q` — "Deep RL to approximate the value function
+  for better scalability": a linear function-approximation Q agent whose
+  features generalize across layers.
+"""
+
+from repro.ext.energy import EnergyModel, schedule_energy_mj
+from repro.ext.multiobjective import (
+    ParetoPoint,
+    pareto_front,
+    pareto_sweep,
+    weighted_objective_lut,
+)
+from repro.ext.linear_q import LinearQConfig, LinearQSearch
+from repro.ext.mlp_q import MLPQConfig, MLPQSearch
+
+__all__ = [
+    "MLPQConfig",
+    "MLPQSearch",
+    "EnergyModel",
+    "schedule_energy_mj",
+    "ParetoPoint",
+    "pareto_front",
+    "pareto_sweep",
+    "weighted_objective_lut",
+    "LinearQConfig",
+    "LinearQSearch",
+]

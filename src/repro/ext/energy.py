@@ -1,0 +1,75 @@
+"""Energy accounting for schedules (paper §VII: constrained environments).
+
+A simple busy-power model: each processor draws a constant power while
+executing, so a layer's energy is its latency times its processor's busy
+power (1 ms at 1 W = 1 mJ).  Compatibility penalties are charged at the
+power of the processor doing the work (conversions) or the memory
+system (transfers).
+
+TX-2 calibration: a single busy A57 core draws ~1.8 W; the Pascal GPU
+~7 W under load; DMA/copy engines ~2.5 W.  As with latency, the absolute
+numbers are approximations — the *ratio* is what shapes the trade-off:
+the GPU is faster but hungrier, so energy-weighted searches pull layers
+back to the CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.lut import LatencyTable
+from repro.errors import ConfigError
+from repro.hw.processor import ProcessorKind
+
+CPU_BUSY_WATTS = 1.8
+GPU_BUSY_WATTS = 7.0
+TRANSFER_WATTS = 2.5
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Busy power per processor kind, in watts."""
+
+    cpu_watts: float = CPU_BUSY_WATTS
+    gpu_watts: float = GPU_BUSY_WATTS
+    transfer_watts: float = TRANSFER_WATTS
+
+    def __post_init__(self) -> None:
+        for field_name in ("cpu_watts", "gpu_watts", "transfer_watts"):
+            if getattr(self, field_name) <= 0:
+                raise ConfigError(f"{field_name} must be positive")
+
+    def watts(self, kind: ProcessorKind) -> float:
+        """Busy power of one processor kind."""
+        if kind is ProcessorKind.GPU:
+            return self.gpu_watts
+        return self.cpu_watts
+
+
+def schedule_energy_mj(
+    lut: LatencyTable,
+    assignments: dict[str, str],
+    model: EnergyModel | None = None,
+) -> float:
+    """Energy of one schedule in millijoules (latency x busy power).
+
+    Penalties: layout conversions run on the consumer's processor;
+    transfers are charged at the copy-engine power.
+    """
+    model = model or EnergyModel()
+    total = 0.0
+    for layer in lut.layers:
+        uid = assignments[layer]
+        total += lut.layer_time(layer, uid) * model.watts(lut.meta[uid].processor)
+    for edge in lut.edges:
+        producer, consumer = edge
+        prod = lut.meta[assignments[producer]]
+        cons = lut.meta[assignments[consumer]]
+        if prod.processor is not cons.processor:
+            total += lut.transfer_ms[edge] * model.transfer_watts
+        if prod.layout is not cons.layout:
+            total += (
+                lut.conversion_ms[edge][cons.processor]
+                * model.watts(cons.processor)
+            )
+    return total

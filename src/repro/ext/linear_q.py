@@ -1,0 +1,181 @@
+"""Q-learning with a linear value-function approximation.
+
+The paper's §VII: "we also aim to look into Deep RL to approximate the
+value function for better scalability towards larger networks and more
+dimensions in the search space."  This module implements the first rung
+of that ladder: ``Q(s, a) = w . phi(s, a)`` with hand-crafted features
+and SGD on the eq. (2) targets.
+
+Features generalize across layers — the agent that learned "cuDNN
+winograd is great on big 3x3 convs" at depth 4 applies it at depth 40
+without ever visiting that state, which is exactly the scalability
+argument.  The trade-off is bias: a linear model cannot represent every
+penalty interaction, so tabular QS-DNN still wins given enough episodes
+(the ablation benchmark quantifies this).
+
+Features per (state, action):
+
+* bias, normalized depth,
+* one-hot library of the candidate primitive,
+* processor / layout flags and parent-compatibility indicators,
+* log latency of the candidate on this layer (the LUT measurement),
+* log of the penalty implied by the parent's current choice.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SearchConfig
+from repro.core.polish import coordinate_descent
+from repro.core.result import SearchResult
+from repro.engine.lut import LatencyTable
+from repro.errors import ConfigError
+from repro.utils.rng import RngStream
+
+#: Library order for the one-hot block (covers both platform modes).
+_LIBRARIES = ("vanilla", "blas", "nnpack", "armcl", "sparse", "cudnn", "cublas")
+
+
+@dataclass
+class LinearQConfig:
+    """Hyper-parameters of the linear agent."""
+
+    episodes: int = 1000
+    learning_rate: float = 0.01
+    discount: float = 0.9
+    seed: int = 0
+    polish_sweeps: int = 2
+
+    def __post_init__(self) -> None:
+        if self.episodes < 1:
+            raise ConfigError("episodes must be >= 1")
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ConfigError("learning_rate must be in (0, 1]")
+        if not 0.0 <= self.discount <= 1.0:
+            raise ConfigError("discount must be in [0, 1]")
+        if self.polish_sweeps < 0:
+            raise ConfigError("polish_sweeps must be >= 0")
+
+
+class LinearQSearch:
+    """Function-approximation variant of the QS-DNN search."""
+
+    def __init__(self, lut: LatencyTable, config: LinearQConfig | None = None) -> None:
+        self.lut = lut
+        self.config = config or LinearQConfig()
+        self.idx = lut.indexed()
+        self._num_layers = len(self.idx)
+        self._features = self._build_features()
+        self._dim = self._features[0].shape[1]
+
+    # -- feature construction -------------------------------------------------
+
+    def _build_features(self) -> list[np.ndarray]:
+        """Per layer: (num_candidates, dim) static feature rows.
+
+        Parent-dependent features (compatibility indicators, penalty
+        magnitude) are appended at rollout time; here we precompute the
+        static block.
+        """
+        idx = self.idx
+        rows: list[np.ndarray] = []
+        depth_scale = max(self._num_layers - 1, 1)
+        for i, uids in enumerate(idx.candidate_uids):
+            block = np.zeros((len(uids), 4 + len(_LIBRARIES)), dtype=np.float64)
+            for a, uid in enumerate(uids):
+                meta = self.lut.meta[uid]
+                block[a, 0] = 1.0  # bias
+                block[a, 1] = i / depth_scale
+                block[a, 2] = 1.0 if str(meta.processor) == "gpu" else 0.0
+                block[a, 3] = math.log10(max(idx.times[i][a], 1e-6))
+                if meta.library in _LIBRARIES:
+                    block[a, 4 + _LIBRARIES.index(meta.library)] = 1.0
+            rows.append(block)
+        return rows
+
+    def _phi(self, layer: int, action: int, penalty_ms: float) -> np.ndarray:
+        """Full feature vector: static block + dynamic penalty features."""
+        static = self._features[layer][action]
+        dynamic = np.array(
+            [
+                1.0 if penalty_ms > 0 else 0.0,
+                math.log10(penalty_ms + 1e-6) if penalty_ms > 0 else 0.0,
+            ]
+        )
+        return np.concatenate([static, dynamic])
+
+    # -- the search -------------------------------------------------------------
+
+    def run(self) -> SearchResult:
+        """Run the full search; mirrors :class:`QSDNNSearch.run`."""
+        cfg = self.config
+        idx = self.idx
+        # Reuse the paper's epsilon schedule via a SearchConfig.
+        epsilon = SearchConfig(episodes=cfg.episodes, seed=cfg.seed).epsilon
+        stream = RngStream(cfg.seed, "linear-q", self.lut.graph_name, self.lut.mode)
+        rng = stream.child("policy")
+        dim = self._dim + 2
+        weights = np.zeros(dim, dtype=np.float64)
+
+        best_total = np.inf
+        best_choices: np.ndarray | None = None
+        curve: list[float] = []
+        started = time.perf_counter()
+
+        for episode in range(cfg.episodes):
+            eps = epsilon.epsilon_for(episode)
+            choices = np.empty(self._num_layers, dtype=np.int64)
+            phis: list[np.ndarray] = []
+            costs = np.empty(self._num_layers, dtype=np.float64)
+            # Rollout.
+            for i in range(self._num_layers):
+                n = idx.num_actions[i]
+                penalties = np.zeros(n, dtype=np.float64)
+                for pred_layer, edge_idx in idx.incoming[i]:
+                    penalties += idx.edge_matrices[edge_idx][choices[pred_layer], :]
+                if eps > 0.0 and rng.random() < eps:
+                    action = int(rng.integers(n))
+                else:
+                    values = np.array(
+                        [
+                            weights @ self._phi(i, a, penalties[a])
+                            for a in range(n)
+                        ]
+                    )
+                    action = int(np.argmax(values))
+                choices[i] = action
+                phis.append(self._phi(i, action, penalties[action]))
+                costs[i] = idx.times[i][action] + penalties[action]
+            total = float(costs.sum())
+            # SGD on eq. (2) targets, backwards for faster credit flow.
+            next_best = 0.0
+            for i in range(self._num_layers - 1, -1, -1):
+                reward = -float(costs[i])
+                target = reward + cfg.discount * next_best
+                prediction = float(weights @ phis[i])
+                weights += cfg.learning_rate * (target - prediction) * phis[i]
+                next_best = float(weights @ phis[i])
+            if total < best_total:
+                best_total = total
+                best_choices = choices.copy()
+            curve.append(total)
+
+        assert best_choices is not None
+        if cfg.polish_sweeps > 0:
+            best_choices, best_total = coordinate_descent(
+                idx, best_choices, max_sweeps=cfg.polish_sweeps
+            )
+        return SearchResult(
+            graph_name=self.lut.graph_name,
+            method="linear-q",
+            best_assignments=idx.assignments(best_choices),
+            best_ms=float(best_total),
+            episodes=cfg.episodes,
+            curve_ms=curve,
+            wall_clock_s=time.perf_counter() - started,
+        )

@@ -1,0 +1,154 @@
+"""Q-learning with a small neural value-function (paper §VII: "Deep RL").
+
+One hidden tanh layer on top of the same features as
+:mod:`repro.ext.linear_q`::
+
+    Q(s, a) = w2 . tanh(W1 phi(s, a) + b1) + b2
+
+trained by plain SGD on the eq. (2) targets.  The non-linear hidden
+layer can represent interactions a linear model cannot (e.g. "GPU
+primitives are only fast when the *parent* is also on the GPU"), at the
+cost of slower, noisier training — the classic deep-RL trade-off, here
+at embedded scale so the benchmark suite can quantify it.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SearchConfig
+from repro.core.polish import coordinate_descent
+from repro.core.result import SearchResult
+from repro.engine.lut import LatencyTable
+from repro.errors import ConfigError
+from repro.ext.linear_q import LinearQSearch
+from repro.utils.rng import RngStream
+
+
+@dataclass
+class MLPQConfig:
+    """Hyper-parameters of the MLP agent."""
+
+    episodes: int = 1000
+    hidden_units: int = 32
+    learning_rate: float = 0.005
+    discount: float = 0.9
+    seed: int = 0
+    polish_sweeps: int = 2
+
+    def __post_init__(self) -> None:
+        if self.episodes < 1:
+            raise ConfigError("episodes must be >= 1")
+        if self.hidden_units < 1:
+            raise ConfigError("hidden_units must be >= 1")
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ConfigError("learning_rate must be in (0, 1]")
+        if not 0.0 <= self.discount <= 1.0:
+            raise ConfigError("discount must be in [0, 1]")
+        if self.polish_sweeps < 0:
+            raise ConfigError("polish_sweeps must be >= 0")
+
+
+class _MLP:
+    """Tiny tanh MLP with manual SGD, seeded initialization."""
+
+    def __init__(self, dim: int, hidden: int, rng: np.random.Generator) -> None:
+        scale = 1.0 / math.sqrt(dim)
+        self.w1 = rng.normal(0.0, scale, size=(hidden, dim))
+        self.b1 = np.zeros(hidden)
+        self.w2 = rng.normal(0.0, 1.0 / math.sqrt(hidden), size=hidden)
+        self.b2 = 0.0
+
+    def forward(self, phi: np.ndarray) -> tuple[float, np.ndarray]:
+        hidden = np.tanh(self.w1 @ phi + self.b1)
+        return float(self.w2 @ hidden + self.b2), hidden
+
+    def predict(self, phi: np.ndarray) -> float:
+        return self.forward(phi)[0]
+
+    def sgd_step(self, phi: np.ndarray, target: float, lr: float) -> None:
+        prediction, hidden = self.forward(phi)
+        delta = target - prediction
+        grad_hidden = delta * self.w2 * (1.0 - hidden**2)
+        self.w2 += lr * delta * hidden
+        self.b2 += lr * delta
+        self.w1 += lr * np.outer(grad_hidden, phi)
+        self.b1 += lr * grad_hidden
+
+
+class MLPQSearch:
+    """Neural-value-function variant of the QS-DNN search."""
+
+    def __init__(self, lut: LatencyTable, config: MLPQConfig | None = None) -> None:
+        self.lut = lut
+        self.config = config or MLPQConfig()
+        self.idx = lut.indexed()
+        self._num_layers = len(self.idx)
+        # Reuse the linear agent's feature pipeline.
+        self._featurizer = LinearQSearch(lut)
+
+    def run(self) -> SearchResult:
+        """Run the full search; mirrors :class:`QSDNNSearch.run`."""
+        cfg = self.config
+        idx = self.idx
+        epsilon = SearchConfig(episodes=cfg.episodes, seed=cfg.seed).epsilon
+        stream = RngStream(cfg.seed, "mlp-q", self.lut.graph_name, self.lut.mode)
+        rng = stream.child("policy")
+        dim = self._featurizer._dim + 2
+        net = _MLP(dim, cfg.hidden_units, stream.child("init"))
+
+        best_total = np.inf
+        best_choices: np.ndarray | None = None
+        curve: list[float] = []
+        started = time.perf_counter()
+        phi = self._featurizer._phi
+
+        for episode in range(cfg.episodes):
+            eps = epsilon.epsilon_for(episode)
+            choices = np.empty(self._num_layers, dtype=np.int64)
+            phis: list[np.ndarray] = []
+            costs = np.empty(self._num_layers, dtype=np.float64)
+            for i in range(self._num_layers):
+                n = idx.num_actions[i]
+                penalties = np.zeros(n, dtype=np.float64)
+                for pred_layer, edge_idx in idx.incoming[i]:
+                    penalties += idx.edge_matrices[edge_idx][choices[pred_layer], :]
+                if eps > 0.0 and rng.random() < eps:
+                    action = int(rng.integers(n))
+                else:
+                    values = [
+                        net.predict(phi(i, a, penalties[a])) for a in range(n)
+                    ]
+                    action = int(np.argmax(values))
+                choices[i] = action
+                phis.append(phi(i, action, penalties[action]))
+                costs[i] = idx.times[i][action] + penalties[action]
+            total = float(costs.sum())
+            next_best = 0.0
+            for i in range(self._num_layers - 1, -1, -1):
+                target = -float(costs[i]) + cfg.discount * next_best
+                net.sgd_step(phis[i], target, cfg.learning_rate)
+                next_best = net.predict(phis[i])
+            if total < best_total:
+                best_total = total
+                best_choices = choices.copy()
+            curve.append(total)
+
+        assert best_choices is not None
+        if cfg.polish_sweeps > 0:
+            best_choices, best_total = coordinate_descent(
+                idx, best_choices, max_sweeps=cfg.polish_sweeps
+            )
+        return SearchResult(
+            graph_name=self.lut.graph_name,
+            method="mlp-q",
+            best_assignments=idx.assignments(best_choices),
+            best_ms=float(best_total),
+            episodes=cfg.episodes,
+            curve_ms=curve,
+            wall_clock_s=time.perf_counter() - started,
+        )

@@ -1,0 +1,139 @@
+"""Multi-objective search (paper §VII future work).
+
+The scalarized objective ``latency + lam * energy`` factors per layer and
+per edge exactly like latency alone does::
+
+    t'(layer, prim)  = t * (1 + lam * watts(prim.processor))
+    conv'(edge, p)   = conv * (1 + lam * watts(p))
+    transfer'(edge)  = transfer * (1 + lam * transfer_watts)
+
+so a *transformed latency table* turns the unmodified Q-learning engine
+into a multi-objective searcher.  ``lam`` has units of 1/W: lam = 0.1
+means 1 mJ costs as much as 0.1 ms.
+
+A sweep over lam values traces the latency/energy Pareto front — e.g.
+on MobileNet the energy-weighted schedules progressively abandon the
+GPU's fast-but-hungry convolutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SearchConfig
+from repro.core.search import QSDNNSearch
+from repro.engine.lut import LatencyTable
+from repro.errors import ConfigError
+from repro.ext.energy import EnergyModel, schedule_energy_mj
+from repro.utils.rng import spawn_seed
+
+
+def weighted_objective_lut(
+    lut: LatencyTable,
+    lam: float,
+    model: EnergyModel | None = None,
+) -> LatencyTable:
+    """A LUT whose 'times' encode ``latency + lam * energy``."""
+    if lam < 0:
+        raise ConfigError(f"lam must be >= 0, got {lam}")
+    model = model or EnergyModel()
+    times = {
+        layer: {
+            uid: ms * (1.0 + lam * model.watts(lut.meta[uid].processor))
+            for uid, ms in entries.items()
+        }
+        for layer, entries in lut.times_ms.items()
+    }
+    conversion = {
+        edge: {
+            proc: ms * (1.0 + lam * model.watts(proc))
+            for proc, ms in per_proc.items()
+        }
+        for edge, per_proc in lut.conversion_ms.items()
+    }
+    transfer = {
+        edge: ms * (1.0 + lam * model.transfer_watts)
+        for edge, ms in lut.transfer_ms.items()
+    }
+    return LatencyTable(
+        graph_name=lut.graph_name,
+        mode=f"{lut.mode}+energy(lam={lam:g})",
+        platform_name=lut.platform_name,
+        layers=list(lut.layers),
+        candidates={k: list(v) for k, v in lut.candidates.items()},
+        times_ms=times,
+        edges=list(lut.edges),
+        conversion_ms=conversion,
+        transfer_ms=transfer,
+        meta=dict(lut.meta),
+        profiling_inferences=lut.profiling_inferences,
+    )
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One point of the latency/energy trade-off curve."""
+
+    lam: float
+    latency_ms: float
+    energy_mj: float
+    assignments: dict[str, str]
+
+    def gpu_layers(self, lut: LatencyTable) -> int:
+        """How many layers the schedule places on the GPU (for reports)."""
+        from repro.hw.processor import ProcessorKind
+
+        return sum(
+            1
+            for uid in self.assignments.values()
+            if lut.meta[uid].processor is ProcessorKind.GPU
+        )
+
+
+def pareto_sweep(
+    lut: LatencyTable,
+    lams: list[float] | None = None,
+    episodes: int | None = None,
+    seed: int = 0,
+    model: EnergyModel | None = None,
+) -> list[ParetoPoint]:
+    """Search once per lam; returns (latency, energy) of each solution.
+
+    Latency and energy are always evaluated on the *original* LUT — the
+    transformed one exists only as the search objective.
+    """
+    if lams is None:
+        lams = [0.0, 0.05, 0.1, 0.2, 0.5, 1.0]
+    model = model or EnergyModel()
+    if episodes is None:
+        episodes = max(1000, 25 * len(lut.layers))
+    points = []
+    for lam in lams:
+        objective = weighted_objective_lut(lut, lam, model) if lam else lut
+        config = SearchConfig(
+            episodes=episodes,
+            seed=spawn_seed(seed, "pareto", f"{lam:g}"),
+            track_curve=False,
+        )
+        result = QSDNNSearch(objective, config).run()
+        points.append(
+            ParetoPoint(
+                lam=lam,
+                latency_ms=lut.schedule_time(result.best_assignments),
+                energy_mj=schedule_energy_mj(lut, result.best_assignments, model),
+                assignments=result.best_assignments,
+            )
+        )
+    return points
+
+
+def pareto_front(points: list[ParetoPoint]) -> list[ParetoPoint]:
+    """The non-dominated subset, sorted by latency."""
+    ordered = sorted(points, key=lambda p: (p.latency_ms, p.energy_mj))
+    front: list[ParetoPoint] = []
+    best_energy = float("inf")
+    for point in ordered:
+        if point.energy_mj < best_energy - 1e-12:
+            front.append(point)
+            best_energy = point.energy_mj
+    return front

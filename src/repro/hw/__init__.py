@@ -1,0 +1,28 @@
+"""Hardware substrate: simulated heterogeneous embedded platforms.
+
+The paper measures a physical Nvidia Jetson TX-2.  This package replaces
+the board with an analytic model: per-processor rooflines (peak compute,
+streaming bandwidth, fixed per-kernel overhead), a CPU<->GPU transfer
+model, and multiplicative log-normal measurement noise.  The search never
+observes anything but measured latencies, so any latency source with the
+same *structure* exercises the identical code path (see DESIGN.md §2).
+"""
+
+from repro.hw.processor import ProcessorKind, ProcessorModel
+from repro.hw.memory import TransferModel
+from repro.hw.noise import NoiseModel
+from repro.hw.platform import Platform
+from repro.hw.jetson_tx2 import jetson_tx2
+from repro.hw.presets import raspberry_pi3, jetson_tx2_maxn, cpu_only
+
+__all__ = [
+    "ProcessorKind",
+    "ProcessorModel",
+    "TransferModel",
+    "NoiseModel",
+    "Platform",
+    "jetson_tx2",
+    "jetson_tx2_maxn",
+    "raspberry_pi3",
+    "cpu_only",
+]

@@ -1,0 +1,70 @@
+"""Calibrated Nvidia Jetson TX-2 model (the paper's platform, §VI-A).
+
+Calibration notes
+-----------------
+* **CPU** — one ARM Cortex-A57 core at 2.0 GHz.  NEON does 4-wide fp32
+  FMA on two pipes: 16 GFLOP/s peak for perfectly scheduled code.  A
+  single core extracts roughly 8 GB/s of the shared LPDDR4 stream
+  bandwidth.  Per-call overhead is a function call: ~1 us.
+* **GPU** — 256-core Pascal at 1.30 GHz (max-Q): 2 * 256 * 1.3 = 666
+  GFLOP/s fp32.  The GPU sees more of the LPDDR4 (~30 GB/s achievable).
+  Kernel launch + driver overhead on the TX-2 is ~35 us — the single most
+  important number for small networks: a LeNet-5-sized layer finishes on
+  the CPU before the GPU kernel has even launched.
+* **Transfer** — cudaMemcpy over shared DRAM: ~5.5 GB/s effective with
+  ~25 us software latency per copy (paper Fig. 1 "costly (slow) memory
+  transfer").
+* **Noise** — ~3 % log-normal jitter, typical of a warm board with
+  fixed clocks.
+
+Absolute numbers are deliberately conservative approximations; the
+reproduction targets the *relative* structure of Table II (see
+EXPERIMENTS.md), which is governed by the ratios between these constants.
+"""
+
+from __future__ import annotations
+
+from repro.hw.memory import TransferModel
+from repro.hw.noise import NoiseModel
+from repro.hw.platform import Platform
+from repro.hw.processor import ProcessorKind, ProcessorModel
+
+CPU_PEAK_GFLOPS = 16.0
+CPU_BANDWIDTH_GBS = 8.0
+CPU_CALL_OVERHEAD_MS = 0.001
+
+GPU_PEAK_GFLOPS = 666.0
+GPU_BANDWIDTH_GBS = 30.0
+GPU_LAUNCH_OVERHEAD_MS = 0.035
+
+TRANSFER_LATENCY_MS = 0.040
+TRANSFER_BANDWIDTH_GBS = 5.5
+
+NOISE_SIGMA = 0.03
+
+
+def jetson_tx2(noise_sigma: float = NOISE_SIGMA) -> Platform:
+    """The Jetson TX-2 model used by every Table II experiment."""
+    cpu = ProcessorModel(
+        name="cortex_a57",
+        kind=ProcessorKind.CPU,
+        peak_gflops=CPU_PEAK_GFLOPS,
+        mem_bandwidth_gbs=CPU_BANDWIDTH_GBS,
+        overhead_ms=CPU_CALL_OVERHEAD_MS,
+    )
+    gpu = ProcessorModel(
+        name="pascal_256",
+        kind=ProcessorKind.GPU,
+        peak_gflops=GPU_PEAK_GFLOPS,
+        mem_bandwidth_gbs=GPU_BANDWIDTH_GBS,
+        overhead_ms=GPU_LAUNCH_OVERHEAD_MS,
+    )
+    transfer = TransferModel(
+        latency_ms=TRANSFER_LATENCY_MS, bandwidth_gbs=TRANSFER_BANDWIDTH_GBS
+    )
+    return Platform(
+        name="jetson_tx2",
+        processors=(cpu, gpu),
+        transfer=transfer,
+        noise=NoiseModel(sigma=noise_sigma),
+    )

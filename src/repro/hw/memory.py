@@ -1,0 +1,34 @@
+"""Inter-processor transfer model.
+
+When consecutive layers run on different processors the activation tensor
+must cross between CPU and GPU address spaces.  On the TX-2 this is a
+cudaMemcpy over shared LPDDR4 — cheap per byte but with a fixed software
+latency that dominates for small tensors (paper Fig. 1: "costly (slow)
+memory transfer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlatformError
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Latency + bandwidth model of a CPU<->GPU copy."""
+
+    latency_ms: float
+    bandwidth_gbs: float
+
+    def __post_init__(self) -> None:
+        if self.latency_ms < 0:
+            raise PlatformError("transfer latency_ms must be >= 0")
+        if self.bandwidth_gbs <= 0:
+            raise PlatformError("transfer bandwidth_gbs must be positive")
+
+    def transfer_ms(self, nbytes: float) -> float:
+        """Milliseconds to move ``nbytes`` across the processor boundary."""
+        if nbytes < 0:
+            raise PlatformError("nbytes must be >= 0")
+        return self.latency_ms + nbytes / (self.bandwidth_gbs * 1e9) * 1e3

@@ -1,0 +1,68 @@
+"""A heterogeneous platform: processors + transfer + noise."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlatformError
+from repro.hw.memory import TransferModel
+from repro.hw.noise import NoiseModel
+from repro.hw.processor import ProcessorKind, ProcessorModel
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A target device as seen by the inference engine optimizer.
+
+    At minimum a CPU must be present (the Vanilla library guarantees a
+    dependency-free implementation for every layer, and Vanilla is a CPU
+    library).  A GPU and the transfer model are optional — CPU-only
+    platforms simply never pay transfer penalties.
+    """
+
+    name: str
+    processors: tuple[ProcessorModel, ...]
+    transfer: TransferModel | None = None
+    noise: NoiseModel = field(default_factory=NoiseModel)
+
+    def __post_init__(self) -> None:
+        kinds = [p.kind for p in self.processors]
+        if len(set(kinds)) != len(kinds):
+            raise PlatformError(f"{self.name}: duplicate processor kinds {kinds}")
+        if ProcessorKind.CPU not in kinds:
+            raise PlatformError(f"{self.name}: a CPU processor is required")
+        if ProcessorKind.GPU in kinds and self.transfer is None:
+            raise PlatformError(
+                f"{self.name}: a GPU requires a CPU<->GPU transfer model"
+            )
+
+    @property
+    def kinds(self) -> frozenset[ProcessorKind]:
+        """The processor kinds this platform offers."""
+        return frozenset(p.kind for p in self.processors)
+
+    def has(self, kind: ProcessorKind) -> bool:
+        """Whether a processor of ``kind`` exists on this platform."""
+        return kind in self.kinds
+
+    def processor(self, kind: ProcessorKind) -> ProcessorModel:
+        """The processor of the given kind."""
+        for p in self.processors:
+            if p.kind is kind:
+                return p
+        raise PlatformError(f"{self.name} has no {kind} processor")
+
+    @property
+    def cpu(self) -> ProcessorModel:
+        """The CPU model (always present)."""
+        return self.processor(ProcessorKind.CPU)
+
+    def transfer_ms(self, nbytes: float) -> float:
+        """Cost of one CPU<->GPU activation copy."""
+        if self.transfer is None:
+            raise PlatformError(f"{self.name} has no transfer path")
+        return self.transfer.transfer_ms(nbytes)
+
+    def __str__(self) -> str:
+        procs = "; ".join(str(p) for p in self.processors)
+        return f"Platform {self.name}: {procs}"

@@ -1,0 +1,76 @@
+"""Additional platform presets.
+
+The paper's future-work section targets more heterogeneous platforms;
+these presets let the same search run against different hardware balances
+(and back the portability example in ``examples/``).
+"""
+
+from __future__ import annotations
+
+from repro.hw.memory import TransferModel
+from repro.hw.noise import NoiseModel
+from repro.hw.platform import Platform
+from repro.hw.processor import ProcessorKind, ProcessorModel
+
+
+def raspberry_pi3(noise_sigma: float = 0.05) -> Platform:
+    """Raspberry Pi 3B: one Cortex-A53 thread at 1.2 GHz, CPU only.
+
+    Half the NEON issue width of the A57 and a much weaker memory system;
+    noisier, too (no fan, thermal throttling).
+    """
+    cpu = ProcessorModel(
+        name="cortex_a53",
+        kind=ProcessorKind.CPU,
+        peak_gflops=4.8,
+        mem_bandwidth_gbs=2.5,
+        overhead_ms=0.0015,
+    )
+    return Platform(
+        name="raspberry_pi3", processors=(cpu,), noise=NoiseModel(sigma=noise_sigma)
+    )
+
+
+def jetson_tx2_maxn(noise_sigma: float = 0.03) -> Platform:
+    """Jetson TX-2 in Max-N: GPU at 1.46 GHz and faster memory clocks.
+
+    Shifts the CPU/GPU crossover point — useful for studying how the
+    learned schedules shift with the hardware balance.
+    """
+    cpu = ProcessorModel(
+        name="cortex_a57",
+        kind=ProcessorKind.CPU,
+        peak_gflops=16.0,
+        mem_bandwidth_gbs=9.0,
+        overhead_ms=0.001,
+    )
+    gpu = ProcessorModel(
+        name="pascal_256_maxn",
+        kind=ProcessorKind.GPU,
+        peak_gflops=747.0,
+        mem_bandwidth_gbs=36.0,
+        overhead_ms=0.035,
+    )
+    return Platform(
+        name="jetson_tx2_maxn",
+        processors=(cpu, gpu),
+        transfer=TransferModel(latency_ms=0.030, bandwidth_gbs=4.5),
+        noise=NoiseModel(sigma=noise_sigma),
+    )
+
+
+def cpu_only(platform: Platform) -> Platform:
+    """Strip the GPU from a platform (CPU-mode measurements, Table II left)."""
+    return Platform(
+        name=f"{platform.name}_cpu_only",
+        processors=(platform.cpu,),
+        transfer=None,
+        noise=platform.noise,
+    )
+
+
+__all__ = ["raspberry_pi3", "jetson_tx2_maxn", "cpu_only"]
+
+
+# Re-export ProcessorKind for symmetric imports in examples.
+_ = ProcessorKind

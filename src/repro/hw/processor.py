@@ -1,0 +1,104 @@
+"""Processor roofline models.
+
+A primitive's noiseless execution time is::
+
+    time = max(flops / (peak * eff_compute), bytes / (bandwidth * eff_memory))
+           + fixed overhead
+
+i.e. a roofline with perfect compute/traffic overlap, scaled by
+primitive-specific efficiency factors, plus a fixed per-invocation cost
+(function-call latency on a CPU, kernel-launch latency on a GPU).  The
+fixed cost is what sinks GPU schedules for tiny layers — the effect that
+makes LeNet-5's learned GPGPU schedule collapse to pure CPU (paper §VI-A).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import PlatformError
+
+
+class ProcessorKind(enum.Enum):
+    """Processor classes distinguished by the engine (paper Table I)."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ProcessorModel:
+    """An analytic model of one processor.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (``"cortex_a57"``).
+    kind:
+        CPU or GPU.
+    peak_gflops:
+        fp32 peak in GFLOP/s (for the CPU: one thread, as in the paper).
+    mem_bandwidth_gbs:
+        Achievable streaming bandwidth in GB/s for this processor.
+    overhead_ms:
+        Fixed per-invocation cost in milliseconds.
+    """
+
+    name: str
+    kind: ProcessorKind
+    peak_gflops: float
+    mem_bandwidth_gbs: float
+    overhead_ms: float
+
+    def __post_init__(self) -> None:
+        if self.peak_gflops <= 0:
+            raise PlatformError(f"{self.name}: peak_gflops must be positive")
+        if self.mem_bandwidth_gbs <= 0:
+            raise PlatformError(f"{self.name}: mem_bandwidth_gbs must be positive")
+        if self.overhead_ms < 0:
+            raise PlatformError(f"{self.name}: overhead_ms must be >= 0")
+
+    def compute_ms(self, flops: float, efficiency: float) -> float:
+        """Milliseconds to execute ``flops`` at a fraction of peak."""
+        self._check_efficiency(efficiency)
+        if flops < 0:
+            raise PlatformError("flops must be >= 0")
+        return flops / (self.peak_gflops * 1e9 * efficiency) * 1e3
+
+    def memory_ms(self, nbytes: float, efficiency: float) -> float:
+        """Milliseconds to move ``nbytes`` at a fraction of peak bandwidth."""
+        self._check_efficiency(efficiency)
+        if nbytes < 0:
+            raise PlatformError("nbytes must be >= 0")
+        return nbytes / (self.mem_bandwidth_gbs * 1e9 * efficiency) * 1e3
+
+    def roofline_ms(
+        self,
+        flops: float,
+        nbytes: float,
+        eff_compute: float,
+        eff_memory: float,
+        invocations: int = 1,
+    ) -> float:
+        """Roofline time plus fixed overhead for ``invocations`` calls."""
+        if invocations < 1:
+            raise PlatformError("invocations must be >= 1")
+        busy = max(
+            self.compute_ms(flops, eff_compute), self.memory_ms(nbytes, eff_memory)
+        )
+        return busy + self.overhead_ms * invocations
+
+    @staticmethod
+    def _check_efficiency(efficiency: float) -> None:
+        if not 0.0 < efficiency <= 1.0:
+            raise PlatformError(f"efficiency must be in (0, 1], got {efficiency}")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name} ({self.kind}): {self.peak_gflops:g} GFLOP/s, "
+            f"{self.mem_bandwidth_gbs:g} GB/s, {self.overhead_ms * 1e3:g} us/call"
+        )

@@ -1,0 +1,31 @@
+"""Network representation substrate.
+
+A :class:`~repro.nn.graph.NetworkGraph` is a named DAG of
+:class:`~repro.nn.layers.Layer` nodes with shape inference, FLOP/byte
+accounting and validation.  It carries *architecture only* — primitive
+selection never depends on weight values, so no tensors are stored.
+"""
+
+from repro.nn.types import LayerKind, ACTIVATION_KINDS, WEIGHT_KINDS
+from repro.nn.tensor import TensorShape
+from repro.nn.layers import Layer
+from repro.nn.graph import NetworkGraph
+from repro.nn.builder import NetworkBuilder
+from repro.nn.shapes import infer_output_shape
+from repro.nn.flops import layer_flops, layer_weight_bytes, layer_io_bytes
+from repro.nn.summary import summarize
+
+__all__ = [
+    "LayerKind",
+    "ACTIVATION_KINDS",
+    "WEIGHT_KINDS",
+    "TensorShape",
+    "Layer",
+    "NetworkGraph",
+    "NetworkBuilder",
+    "infer_output_shape",
+    "layer_flops",
+    "layer_weight_bytes",
+    "layer_io_bytes",
+    "summarize",
+]

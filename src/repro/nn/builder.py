@@ -1,0 +1,254 @@
+"""Fluent construction of network graphs.
+
+The builder tracks a *cursor* (the most recently added layer), so linear
+chains read top-to-bottom like a prototxt, while branches are expressed by
+naming split points:
+
+>>> b = NetworkBuilder("tiny", TensorShape(3, 32, 32))
+>>> trunk = b.conv("conv1", out_channels=16, kernel=3, padding=1)
+>>> left = b.conv("branch_a", out_channels=8, kernel=1, after=trunk)
+>>> right = b.conv("branch_b", out_channels=8, kernel=3, padding=1, after=trunk)
+>>> _ = b.concat("merge", inputs=[left, right])
+>>> net = b.build()
+>>> net.output_shape("merge")
+TensorShape(channels=16, height=32, width=32)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import GraphError
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import Layer
+from repro.nn.tensor import TensorShape
+from repro.nn.types import LayerKind
+
+
+class NetworkBuilder:
+    """Incrementally build a :class:`~repro.nn.graph.NetworkGraph`."""
+
+    def __init__(self, name: str, input_shape: TensorShape) -> None:
+        self._graph = NetworkGraph(name, input_shape)
+        self._cursor = "input"
+        self._built = False
+
+    # -- internals ------------------------------------------------------------
+
+    def _add(self, layer: Layer) -> str:
+        if self._built:
+            raise GraphError("builder already produced its graph; create a new one")
+        self._graph.add_layer(layer)
+        self._cursor = layer.name
+        return layer.name
+
+    def _resolve(self, after: str | None) -> str:
+        return self._cursor if after is None else after
+
+    # -- single-input layers ----------------------------------------------------
+
+    def conv(
+        self,
+        name: str,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        after: str | None = None,
+    ) -> str:
+        """Add a standard convolution."""
+        return self._add(
+            Layer(
+                name=name,
+                kind=LayerKind.CONV,
+                inputs=(self._resolve(after),),
+                out_channels=out_channels,
+                kernel=kernel,
+                stride=stride,
+                padding=padding,
+            )
+        )
+
+    def depthwise(
+        self,
+        name: str,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        after: str | None = None,
+    ) -> str:
+        """Add a depth-wise convolution (channel multiplier 1)."""
+        return self._add(
+            Layer(
+                name=name,
+                kind=LayerKind.DEPTHWISE_CONV,
+                inputs=(self._resolve(after),),
+                kernel=kernel,
+                stride=stride,
+                padding=padding,
+            )
+        )
+
+    def fc(self, name: str, out_channels: int, after: str | None = None) -> str:
+        """Add a fully-connected layer."""
+        return self._add(
+            Layer(
+                name=name,
+                kind=LayerKind.FULLY_CONNECTED,
+                inputs=(self._resolve(after),),
+                out_channels=out_channels,
+            )
+        )
+
+    def pool_max(
+        self,
+        name: str,
+        kernel: int,
+        stride: int | None = None,
+        padding: int = 0,
+        after: str | None = None,
+    ) -> str:
+        """Add a max-pooling layer (stride defaults to the kernel)."""
+        return self._add(
+            Layer(
+                name=name,
+                kind=LayerKind.POOL_MAX,
+                inputs=(self._resolve(after),),
+                kernel=kernel,
+                stride=kernel if stride is None else stride,
+                padding=padding,
+            )
+        )
+
+    def pool_avg(
+        self,
+        name: str,
+        kernel: int,
+        stride: int | None = None,
+        padding: int = 0,
+        after: str | None = None,
+    ) -> str:
+        """Add an average-pooling layer (stride defaults to the kernel)."""
+        return self._add(
+            Layer(
+                name=name,
+                kind=LayerKind.POOL_AVG,
+                inputs=(self._resolve(after),),
+                kernel=kernel,
+                stride=kernel if stride is None else stride,
+                padding=padding,
+            )
+        )
+
+    def global_pool_avg(self, name: str, after: str | None = None) -> str:
+        """Add a global average pool (spatial dims collapse to 1x1)."""
+        return self._add(
+            Layer(
+                name=name,
+                kind=LayerKind.POOL_AVG,
+                inputs=(self._resolve(after),),
+                variant="global",
+            )
+        )
+
+    def relu(self, name: str, after: str | None = None, variant: str | None = None) -> str:
+        """Add a ReLU (``variant`` may be ``"relu6"`` or ``"leaky"``)."""
+        return self._add(
+            Layer(
+                name=name,
+                kind=LayerKind.RELU,
+                inputs=(self._resolve(after),),
+                variant=variant,
+            )
+        )
+
+    def batch_norm(self, name: str, after: str | None = None) -> str:
+        """Add an (inference-folded) batch normalization layer."""
+        return self._add(
+            Layer(name=name, kind=LayerKind.BATCH_NORM, inputs=(self._resolve(after),))
+        )
+
+    def lrn(self, name: str, after: str | None = None) -> str:
+        """Add a local response normalization layer (AlexNet/GoogLeNet era)."""
+        return self._add(
+            Layer(name=name, kind=LayerKind.LRN, inputs=(self._resolve(after),))
+        )
+
+    def softmax(self, name: str, after: str | None = None) -> str:
+        """Add a softmax layer."""
+        return self._add(
+            Layer(name=name, kind=LayerKind.SOFTMAX, inputs=(self._resolve(after),))
+        )
+
+    def flatten(self, name: str, after: str | None = None) -> str:
+        """Add an explicit flatten (pure view change, zero compute)."""
+        return self._add(
+            Layer(name=name, kind=LayerKind.FLATTEN, inputs=(self._resolve(after),))
+        )
+
+    # -- multi-input layers -------------------------------------------------------
+
+    def concat(self, name: str, inputs: Sequence[str]) -> str:
+        """Concatenate two or more producers along channels."""
+        return self._add(
+            Layer(name=name, kind=LayerKind.CONCAT, inputs=tuple(inputs))
+        )
+
+    def add(self, name: str, inputs: Sequence[str]) -> str:
+        """Element-wise sum of two or more producers (residual joins)."""
+        return self._add(
+            Layer(name=name, kind=LayerKind.ELTWISE_ADD, inputs=tuple(inputs))
+        )
+
+    # -- composite blocks -----------------------------------------------------------
+
+    def conv_bn_relu(
+        self,
+        prefix: str,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        after: str | None = None,
+    ) -> str:
+        """Conv -> BatchNorm -> ReLU, the standard MobileNet/ResNet block."""
+        c = self.conv(
+            f"{prefix}", out_channels, kernel, stride=stride, padding=padding, after=after
+        )
+        b = self.batch_norm(f"{prefix}/bn", after=c)
+        return self.relu(f"{prefix}/relu", after=b)
+
+    def dw_bn_relu(
+        self,
+        prefix: str,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        after: str | None = None,
+    ) -> str:
+        """DepthwiseConv -> BatchNorm -> ReLU (MobileNet separable half)."""
+        d = self.depthwise(f"{prefix}", kernel, stride=stride, padding=padding, after=after)
+        b = self.batch_norm(f"{prefix}/bn", after=d)
+        return self.relu(f"{prefix}/relu", after=b)
+
+    # -- finalization ------------------------------------------------------------------
+
+    @property
+    def cursor(self) -> str:
+        """Name of the most recently added layer."""
+        return self._cursor
+
+    def output_shape(self, name: str) -> TensorShape:
+        """Shape of an already-added layer (for stride/projection decisions)."""
+        return self._graph.output_shape(name)
+
+    def build(self, check_single_output: bool = True) -> NetworkGraph:
+        """Validate and return the finished graph; the builder is spent.
+
+        ``check_single_output=False`` skips the unique-sink check — every
+        zoo network has one head, but test/analysis graphs may fan out.
+        """
+        if check_single_output:
+            self._graph.validate()
+        self._built = True
+        return self._graph

@@ -1,0 +1,104 @@
+"""FLOP and byte accounting per layer.
+
+These numbers feed the hardware cost models: compute-bound primitives are
+priced from FLOPs, memory-bound ones from activation + weight traffic.
+Conventions: one multiply-accumulate = 2 FLOPs; comparisons and pointwise
+ops count 1 FLOP per output element.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ShapeError
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import Layer
+from repro.nn.tensor import DTYPE_BYTES
+from repro.nn.types import LayerKind
+
+#: LRN cross-channel window (AlexNet's local_size), fixed across the zoo.
+LRN_LOCAL_SIZE = 5
+
+
+def layer_flops(layer: Layer, graph: NetworkGraph) -> float:
+    """Forward-pass FLOPs of ``layer`` inside ``graph``."""
+    kind = layer.kind
+    if kind is LayerKind.INPUT:
+        return 0.0
+    out = graph.output_shape(layer.name)
+    ins = graph.input_shapes(layer.name)
+
+    if kind is LayerKind.CONV:
+        cin = ins[0].channels
+        return 2.0 * layer.kernel * layer.kernel * cin * out.numel
+
+    if kind is LayerKind.DEPTHWISE_CONV:
+        return 2.0 * layer.kernel * layer.kernel * out.numel
+
+    if kind is LayerKind.FULLY_CONNECTED:
+        return 2.0 * ins[0].numel * out.channels
+
+    if kind in (LayerKind.POOL_MAX, LayerKind.POOL_AVG):
+        if layer.variant == "global":
+            return float(ins[0].numel)
+        return float(layer.kernel * layer.kernel * out.numel)
+
+    if kind is LayerKind.RELU:
+        return float(out.numel)
+
+    if kind is LayerKind.BATCH_NORM:
+        # Folded at inference: one multiply + one add per element.
+        return 2.0 * out.numel
+
+    if kind is LayerKind.LRN:
+        # Square, window sum, power, divide per element.
+        return float((LRN_LOCAL_SIZE + 3) * out.numel)
+
+    if kind is LayerKind.SOFTMAX:
+        # exp + max-subtract + sum + divide.
+        return 4.0 * out.numel
+
+    if kind is LayerKind.ELTWISE_ADD:
+        return float((len(ins) - 1) * out.numel)
+
+    if kind in (LayerKind.CONCAT, LayerKind.FLATTEN):
+        return 0.0
+
+    raise ShapeError(f"no FLOP rule for layer kind {kind}")
+
+
+def layer_weight_bytes(layer: Layer, graph: NetworkGraph) -> float:
+    """Parameter bytes (weights + bias) of ``layer``."""
+    kind = layer.kind
+    if kind is LayerKind.CONV:
+        cin = graph.input_shapes(layer.name)[0].channels
+        weights = layer.kernel * layer.kernel * cin * layer.out_channels
+        return float((weights + layer.out_channels) * DTYPE_BYTES)
+    if kind is LayerKind.DEPTHWISE_CONV:
+        c = graph.output_shape(layer.name).channels
+        return float((layer.kernel * layer.kernel * c + c) * DTYPE_BYTES)
+    if kind is LayerKind.FULLY_CONNECTED:
+        cin = graph.input_shapes(layer.name)[0].numel
+        return float((cin * layer.out_channels + layer.out_channels) * DTYPE_BYTES)
+    if kind is LayerKind.BATCH_NORM:
+        c = graph.output_shape(layer.name).channels
+        return float(2 * c * DTYPE_BYTES)  # folded scale + shift
+    return 0.0
+
+
+def layer_io_bytes(layer: Layer, graph: NetworkGraph) -> float:
+    """Activation traffic: bytes read from producers plus bytes written."""
+    if layer.kind is LayerKind.INPUT:
+        return 0.0
+    read = sum(s.nbytes for s in graph.input_shapes(layer.name))
+    written = graph.output_shape(layer.name).nbytes
+    if layer.kind is LayerKind.FLATTEN:
+        return 0.0  # pure metadata view, no data movement
+    return float(read + written)
+
+
+def layer_arithmetic_intensity(layer: Layer, graph: NetworkGraph) -> float:
+    """FLOPs per byte of total traffic — the roofline x-axis."""
+    flops = layer_flops(layer, graph)
+    traffic = layer_io_bytes(layer, graph) + layer_weight_bytes(layer, graph)
+    if traffic == 0:
+        return 0.0
+    return flops / traffic

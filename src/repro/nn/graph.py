@@ -1,0 +1,184 @@
+"""The network DAG.
+
+Layers are stored in insertion order, which the builder guarantees to be a
+topological order (a layer may only consume already-inserted producers).
+All shape inference happens eagerly at insertion, so a fully constructed
+graph is always shape-consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import GraphError, UnknownLayerError
+from repro.nn.layers import Layer
+from repro.nn.shapes import infer_output_shape
+from repro.nn.tensor import TensorShape
+from repro.nn.types import LayerKind
+
+
+class NetworkGraph:
+    """A validated DAG of layers with per-layer output shapes.
+
+    Use :class:`~repro.nn.builder.NetworkBuilder` to construct one; the
+    raw :meth:`add_layer` API is available for tests and tooling.
+    """
+
+    def __init__(self, name: str, input_shape: TensorShape) -> None:
+        if not name:
+            raise GraphError("network name must be non-empty")
+        self.name = name
+        self._layers: dict[str, Layer] = {}
+        self._shapes: dict[str, TensorShape] = {}
+        self._successors: dict[str, list[str]] = {}
+        input_layer = Layer(name="input", kind=LayerKind.INPUT)
+        self._layers[input_layer.name] = input_layer
+        self._shapes[input_layer.name] = input_shape
+        self._successors[input_layer.name] = []
+
+    # -- construction -------------------------------------------------------
+
+    def add_layer(self, layer: Layer) -> Layer:
+        """Insert ``layer``; all its inputs must already be present."""
+        if layer.name in self._layers:
+            raise GraphError(f"duplicate layer name {layer.name!r}")
+        if layer.kind is LayerKind.INPUT:
+            raise GraphError("a graph has exactly one input layer, added implicitly")
+        input_shapes = []
+        for producer in layer.inputs:
+            if producer not in self._layers:
+                raise UnknownLayerError(
+                    f"layer {layer.name!r} consumes unknown producer {producer!r}"
+                )
+            input_shapes.append(self._shapes[producer])
+        shape = infer_output_shape(layer, input_shapes)
+        self._layers[layer.name] = layer
+        self._shapes[layer.name] = shape
+        self._successors[layer.name] = []
+        for producer in layer.inputs:
+            self._successors[producer].append(layer.name)
+        return layer
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def input_shape(self) -> TensorShape:
+        """Shape of the single input tensor."""
+        return self._shapes["input"]
+
+    def __len__(self) -> int:
+        """Number of layers, input included."""
+        return len(self._layers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._layers
+
+    def __iter__(self) -> Iterator[Layer]:
+        """Iterate layers in topological (insertion) order."""
+        return iter(self._layers.values())
+
+    def layer(self, name: str) -> Layer:
+        """Look a layer up by name."""
+        try:
+            return self._layers[name]
+        except KeyError:
+            raise UnknownLayerError(f"no layer named {name!r} in {self.name}") from None
+
+    def output_shape(self, name: str) -> TensorShape:
+        """The output shape of layer ``name``."""
+        if name not in self._shapes:
+            raise UnknownLayerError(f"no layer named {name!r} in {self.name}")
+        return self._shapes[name]
+
+    def input_shapes(self, name: str) -> list[TensorShape]:
+        """Shapes of the tensors feeding layer ``name``."""
+        return [self._shapes[p] for p in self.layer(name).inputs]
+
+    def layers(self, include_input: bool = False) -> list[Layer]:
+        """Layers in topological order; the INPUT node is skipped by default.
+
+        The schedulable layers (everything except INPUT) are what the
+        search assigns primitives to.
+        """
+        out = list(self._layers.values())
+        if include_input:
+            return out
+        return [l for l in out if l.kind is not LayerKind.INPUT]
+
+    def predecessors(self, name: str) -> list[Layer]:
+        """Producer layers of ``name``."""
+        return [self._layers[p] for p in self.layer(name).inputs]
+
+    def successors(self, name: str) -> list[Layer]:
+        """Consumer layers of ``name``."""
+        self.layer(name)
+        return [self._layers[s] for s in self._successors[name]]
+
+    def edges(self, include_input: bool = False) -> list[tuple[str, str]]:
+        """All ``(producer, consumer)`` pairs in topological order.
+
+        These are exactly the sites where a compatibility layer (layout
+        conversion and/or processor transfer) may be inserted (Fig. 3).
+        """
+        out: list[tuple[str, str]] = []
+        for layer in self._layers.values():
+            for producer in layer.inputs:
+                if producer == "input" and not include_input:
+                    continue
+                out.append((producer, layer.name))
+        return out
+
+    @property
+    def output_layer(self) -> Layer:
+        """The unique sink of the graph.
+
+        Raises :class:`~repro.errors.GraphError` if the graph has zero or
+        several sinks — all zoo networks end in a single classifier /
+        detector head.
+        """
+        sinks = [
+            l
+            for l in self._layers.values()
+            if not self._successors[l.name] and l.kind is not LayerKind.INPUT
+        ]
+        if len(sinks) != 1:
+            raise GraphError(
+                f"{self.name} has {len(sinks)} output layers, expected exactly 1"
+            )
+        return sinks[0]
+
+    # -- whole-network accounting --------------------------------------------
+
+    def total_flops(self) -> float:
+        """Total forward-pass FLOPs across all layers."""
+        from repro.nn.flops import layer_flops
+
+        return sum(layer_flops(l, self) for l in self.layers())
+
+    def total_weight_bytes(self) -> float:
+        """Total parameter bytes across all layers."""
+        from repro.nn.flops import layer_weight_bytes
+
+        return sum(layer_weight_bytes(l, self) for l in self.layers())
+
+    def validate(self) -> None:
+        """Re-check global structural invariants.
+
+        Construction already enforces acyclicity (consume-before-produce),
+        shape consistency and name uniqueness; this re-validates edge
+        symmetry and that exactly one sink exists.  Cheap enough to run in
+        tests after any graph surgery.
+        """
+        for layer in self._layers.values():
+            for producer in layer.inputs:
+                if layer.name not in self._successors.get(producer, []):
+                    raise GraphError(
+                        f"edge {producer!r}->{layer.name!r} missing successor record"
+                    )
+        _ = self.output_layer
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkGraph({self.name!r}, layers={len(self.layers())}, "
+            f"input={self.input_shape})"
+        )

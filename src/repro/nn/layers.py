@@ -1,0 +1,123 @@
+"""Layer specifications.
+
+A :class:`Layer` is an immutable record of one node in a network graph:
+its kind, hyper-parameters and the names of the layers feeding it.  The
+fields are a superset over all kinds; :meth:`Layer.validate_params`
+enforces that each kind carries exactly the parameters it needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import GraphError, ShapeError
+from repro.nn.types import LayerKind, WINDOWED_KINDS
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One node of a network DAG.
+
+    Parameters
+    ----------
+    name:
+        Graph-unique identifier.
+    kind:
+        The :class:`~repro.nn.types.LayerKind`.
+    inputs:
+        Names of producer layers.  ``INPUT`` layers have none; ``CONCAT``
+        and ``ELTWISE_ADD`` take two or more; everything else exactly one.
+    out_channels:
+        Output channel count for CONV / FULLY_CONNECTED.  Derived for
+        other kinds.
+    kernel / stride / padding:
+        Square window hyper-parameters for windowed kinds.
+    variant:
+        Free-form tag for activation flavours (``"relu6"``, ``"leaky"``)
+        or pooling globality (``"global"``).
+    """
+
+    name: str
+    kind: LayerKind
+    inputs: tuple[str, ...] = field(default=())
+    out_channels: int | None = None
+    kernel: int | None = None
+    stride: int = 1
+    padding: int = 0
+    variant: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise GraphError(f"layer name must be a non-empty string, got {self.name!r}")
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        self.validate_params()
+
+    # -- arity ------------------------------------------------------------
+
+    @property
+    def is_multi_input(self) -> bool:
+        """True for kinds that merge several producers."""
+        return self.kind in (LayerKind.CONCAT, LayerKind.ELTWISE_ADD)
+
+    def _check_arity(self) -> None:
+        n = len(self.inputs)
+        if self.kind is LayerKind.INPUT:
+            if n != 0:
+                raise GraphError(f"INPUT layer {self.name!r} cannot have inputs")
+        elif self.is_multi_input:
+            if n < 2:
+                raise GraphError(
+                    f"{self.kind} layer {self.name!r} needs >=2 inputs, got {n}"
+                )
+        elif n != 1:
+            raise GraphError(
+                f"{self.kind} layer {self.name!r} needs exactly 1 input, got {n}"
+            )
+
+    # -- parameter validation ----------------------------------------------
+
+    def validate_params(self) -> None:
+        """Raise if the hyper-parameters are inconsistent with the kind."""
+        self._check_arity()
+        if self.kind in WINDOWED_KINDS:
+            if self.variant == "global":
+                if self.kernel is not None:
+                    raise ShapeError(
+                        f"global pooling layer {self.name!r} must not set kernel"
+                    )
+            elif self.kernel is None or self.kernel < 1:
+                raise ShapeError(
+                    f"{self.kind} layer {self.name!r} needs a positive kernel"
+                )
+            if self.stride < 1:
+                raise ShapeError(f"{self.kind} layer {self.name!r} needs stride >= 1")
+            if self.padding < 0:
+                raise ShapeError(f"{self.kind} layer {self.name!r} needs padding >= 0")
+        if self.kind in (LayerKind.CONV, LayerKind.FULLY_CONNECTED):
+            if self.out_channels is None or self.out_channels < 1:
+                raise ShapeError(
+                    f"{self.kind} layer {self.name!r} needs positive out_channels"
+                )
+        if self.kind is LayerKind.DEPTHWISE_CONV and self.out_channels is not None:
+            raise ShapeError(
+                f"depthwise layer {self.name!r} derives out_channels from its input"
+            )
+
+    # -- convenience --------------------------------------------------------
+
+    def with_inputs(self, inputs: tuple[str, ...]) -> "Layer":
+        """A copy of this layer fed by different producers."""
+        return replace(self, inputs=tuple(inputs))
+
+    def describe(self) -> str:
+        """Compact one-line description used by summaries."""
+        bits = [f"{self.kind}"]
+        if self.kernel is not None:
+            bits.append(f"k{self.kernel}s{self.stride}p{self.padding}")
+        if self.variant == "global":
+            bits.append("global")
+        if self.out_channels is not None:
+            bits.append(f"->{self.out_channels}")
+        if self.variant and self.variant != "global":
+            bits.append(self.variant)
+        return " ".join(bits)

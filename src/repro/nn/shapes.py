@@ -1,0 +1,83 @@
+"""Shape inference for every layer kind."""
+
+from __future__ import annotations
+
+from repro.errors import ShapeError
+from repro.nn.layers import Layer
+from repro.nn.tensor import TensorShape
+from repro.nn.types import LayerKind
+
+
+def _window_output(extent: int, kernel: int, stride: int, padding: int) -> int:
+    out = (extent + 2 * padding - kernel) // stride + 1
+    if out < 1:
+        raise ShapeError(
+            f"window (k={kernel}, s={stride}, p={padding}) does not fit extent {extent}"
+        )
+    return out
+
+
+def infer_output_shape(layer: Layer, input_shapes: list[TensorShape]) -> TensorShape:
+    """Compute the output shape of ``layer`` given its producers' shapes.
+
+    Raises :class:`~repro.errors.ShapeError` on any inconsistency (window
+    larger than the padded input, mismatched concat spatial dims, ...).
+    """
+    kind = layer.kind
+    if kind is LayerKind.INPUT:
+        raise ShapeError("INPUT layers carry their own shape; nothing to infer")
+
+    if layer.is_multi_input:
+        if len(input_shapes) < 2:
+            raise ShapeError(f"{layer.name!r} needs >=2 input shapes")
+    elif len(input_shapes) != 1:
+        raise ShapeError(f"{layer.name!r} needs exactly 1 input shape")
+
+    if kind is LayerKind.CONV:
+        x = input_shapes[0]
+        h = _window_output(x.height, layer.kernel, layer.stride, layer.padding)
+        w = _window_output(x.width, layer.kernel, layer.stride, layer.padding)
+        return TensorShape(layer.out_channels, h, w)
+
+    if kind is LayerKind.DEPTHWISE_CONV:
+        x = input_shapes[0]
+        h = _window_output(x.height, layer.kernel, layer.stride, layer.padding)
+        w = _window_output(x.width, layer.kernel, layer.stride, layer.padding)
+        return TensorShape(x.channels, h, w)
+
+    if kind in (LayerKind.POOL_MAX, LayerKind.POOL_AVG):
+        x = input_shapes[0]
+        if layer.variant == "global":
+            return TensorShape(x.channels, 1, 1)
+        h = _window_output(x.height, layer.kernel, layer.stride, layer.padding)
+        w = _window_output(x.width, layer.kernel, layer.stride, layer.padding)
+        return TensorShape(x.channels, h, w)
+
+    if kind is LayerKind.FULLY_CONNECTED:
+        return TensorShape(layer.out_channels, 1, 1)
+
+    if kind is LayerKind.FLATTEN:
+        return input_shapes[0].flattened()
+
+    if kind is LayerKind.CONCAT:
+        spatial = input_shapes[0].spatial
+        for s in input_shapes[1:]:
+            if s.spatial != spatial:
+                raise ShapeError(
+                    f"concat {layer.name!r}: spatial mismatch {s.spatial} vs {spatial}"
+                )
+        return TensorShape(sum(s.channels for s in input_shapes), *spatial)
+
+    if kind is LayerKind.ELTWISE_ADD:
+        first = input_shapes[0]
+        for s in input_shapes[1:]:
+            if s != first:
+                raise ShapeError(
+                    f"eltwise {layer.name!r}: shape mismatch {s} vs {first}"
+                )
+        return first
+
+    if kind in (LayerKind.RELU, LayerKind.BATCH_NORM, LayerKind.LRN, LayerKind.SOFTMAX):
+        return input_shapes[0]
+
+    raise ShapeError(f"no shape rule for layer kind {kind}")

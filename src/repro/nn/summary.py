@@ -1,0 +1,40 @@
+"""Human-readable network summaries."""
+
+from __future__ import annotations
+
+from repro.nn.flops import layer_flops, layer_weight_bytes
+from repro.nn.graph import NetworkGraph
+from repro.utils.tables import AsciiTable
+from repro.utils.units import gflops, mbytes
+
+
+def summarize(graph: NetworkGraph) -> str:
+    """Render a per-layer table plus whole-network totals.
+
+    The format mirrors a framework's ``model.summary()``: one row per
+    layer with its description, output shape and cost.
+    """
+    table = AsciiTable(
+        ["#", "layer", "spec", "inputs", "output", "MFLOPs", "params(KiB)"],
+        title=f"{graph.name}  (input {graph.input_shape})",
+    )
+    for i, layer in enumerate(graph.layers()):
+        flops = layer_flops(layer, graph)
+        weights = layer_weight_bytes(layer, graph)
+        table.add_row(
+            [
+                i,
+                layer.name,
+                layer.describe(),
+                ",".join(layer.inputs),
+                str(graph.output_shape(layer.name)),
+                f"{flops / 1e6:.2f}",
+                f"{weights / 1024:.1f}",
+            ]
+        )
+    totals = (
+        f"total: {len(graph.layers())} layers, "
+        f"{gflops(graph.total_flops()):.3f} GFLOPs, "
+        f"{mbytes(graph.total_weight_bytes()):.2f} MiB params"
+    )
+    return table.render() + "\n" + totals

@@ -1,0 +1,60 @@
+"""Logical tensor shapes.
+
+Shapes are *logical* ``(channels, height, width)`` triples for a batch of
+one image — the paper measures single-image latency.  The physical memory
+layout (NCHW, NHWC, lowered buffers, ...) is a property of the *primitive*
+executing a layer, not of the tensor itself; see
+:mod:`repro.backends.layout`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShapeError
+
+#: All zoo networks and all Table II measurements use fp32 (paper §VI-A).
+DTYPE_BYTES = 4
+
+
+@dataclass(frozen=True, order=True)
+class TensorShape:
+    """A ``(channels, height, width)`` logical activation shape."""
+
+    channels: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        for field_name in ("channels", "height", "width"):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or value < 1:
+                raise ShapeError(
+                    f"TensorShape.{field_name} must be a positive int, got {value!r}"
+                )
+
+    @property
+    def numel(self) -> int:
+        """Number of scalar elements."""
+        return self.channels * self.height * self.width
+
+    @property
+    def nbytes(self) -> int:
+        """Size in bytes at fp32."""
+        return self.numel * DTYPE_BYTES
+
+    @property
+    def spatial(self) -> tuple[int, int]:
+        """The ``(height, width)`` pair."""
+        return (self.height, self.width)
+
+    def flattened(self) -> "TensorShape":
+        """The shape after a flatten layer: all elements in channels."""
+        return TensorShape(self.numel, 1, 1)
+
+    def with_channels(self, channels: int) -> "TensorShape":
+        """Same spatial extent, different channel count."""
+        return TensorShape(channels, self.height, self.width)
+
+    def __str__(self) -> str:
+        return f"{self.channels}x{self.height}x{self.width}"

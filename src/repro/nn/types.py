@@ -1,0 +1,65 @@
+"""Layer taxonomy.
+
+The kinds mirror what the paper's inference engine distinguishes: the
+acceleration libraries advertise coverage *per layer kind* (e.g. cuDNN
+implements convolutions but not fully-connected layers; ArmCL has a
+dedicated depth-wise convolution routine).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LayerKind(enum.Enum):
+    """Every layer kind the zoo networks use."""
+
+    INPUT = "input"
+    CONV = "conv"
+    DEPTHWISE_CONV = "depthwise_conv"
+    FULLY_CONNECTED = "fully_connected"
+    POOL_MAX = "pool_max"
+    POOL_AVG = "pool_avg"
+    RELU = "relu"
+    BATCH_NORM = "batch_norm"
+    LRN = "lrn"
+    SOFTMAX = "softmax"
+    CONCAT = "concat"
+    ELTWISE_ADD = "eltwise_add"
+    FLATTEN = "flatten"
+
+    def __str__(self) -> str:  # compact rendering in tables/logs
+        return self.value
+
+
+#: Kinds that are pure element-wise / normalization operators.  These are
+#: memory-bound and every library prices them from tensor traffic.
+ACTIVATION_KINDS = frozenset(
+    {
+        LayerKind.RELU,
+        LayerKind.BATCH_NORM,
+        LayerKind.LRN,
+        LayerKind.SOFTMAX,
+        LayerKind.ELTWISE_ADD,
+    }
+)
+
+#: Kinds that carry trainable weights (and therefore weight traffic).
+WEIGHT_KINDS = frozenset(
+    {
+        LayerKind.CONV,
+        LayerKind.DEPTHWISE_CONV,
+        LayerKind.FULLY_CONNECTED,
+        LayerKind.BATCH_NORM,
+    }
+)
+
+#: Kinds with spatial kernels / windows.
+WINDOWED_KINDS = frozenset(
+    {
+        LayerKind.CONV,
+        LayerKind.DEPTHWISE_CONV,
+        LayerKind.POOL_MAX,
+        LayerKind.POOL_AVG,
+    }
+)

@@ -1,0 +1,33 @@
+"""Shared utilities: seeded RNG plumbing, units, tables, ASCII plots."""
+
+from repro.utils.rng import RngStream, derive_rng, spawn_seed
+from repro.utils.units import (
+    format_ms,
+    format_speedup,
+    gflops,
+    mbytes,
+    ms_to_s,
+    s_to_ms,
+    us_to_ms,
+)
+from repro.utils.tables import AsciiTable
+from repro.utils.ascii_plot import line_plot
+from repro.utils.stats import geometric_mean, mean_and_ci, running_min
+
+__all__ = [
+    "RngStream",
+    "derive_rng",
+    "spawn_seed",
+    "format_ms",
+    "format_speedup",
+    "gflops",
+    "mbytes",
+    "ms_to_s",
+    "s_to_ms",
+    "us_to_ms",
+    "AsciiTable",
+    "line_plot",
+    "geometric_mean",
+    "mean_and_ci",
+    "running_min",
+]

@@ -1,0 +1,64 @@
+"""Terminal line plots for learning curves (Figs. 4 and 5).
+
+A dependency-free scatter/line renderer: good enough to *see* the learning
+curve converge in CI logs, which is all the figure reproductions need.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def line_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 72,
+    height: int = 18,
+    title: str | None = None,
+    xlabel: str = "",
+    ylabel: str = "",
+    marker: str = "*",
+) -> str:
+    """Render ``ys`` against ``xs`` on a character canvas.
+
+    Points are plotted with ``marker``; axes carry min/max annotations.
+    Returns the plot as a multi-line string.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not xs:
+        return "(empty plot)"
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small")
+
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int(round((x - x_min) / x_span * (width - 1)))
+        row = int(round((y - y_min) / y_span * (height - 1)))
+        canvas[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_w = 10
+    for i, row_cells in enumerate(canvas):
+        if i == 0:
+            label = f"{y_max:9.3g} "
+        elif i == height - 1:
+            label = f"{y_min:9.3g} "
+        else:
+            label = " " * label_w
+        lines.append(label + "|" + "".join(row_cells))
+    lines.append(" " * label_w + "+" + "-" * width)
+    x_left = f"{x_min:g}"
+    x_right = f"{x_max:g}"
+    gap = width - len(x_left) - len(x_right)
+    lines.append(" " * (label_w + 1) + x_left + " " * max(gap, 1) + x_right)
+    if xlabel or ylabel:
+        lines.append(" " * (label_w + 1) + f"x: {xlabel}   y: {ylabel}".rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Small statistics helpers used by the analysis layer."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (the right mean for speedups)."""
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def mean_and_ci(values: Sequence[float], z: float = 1.96) -> tuple[float, float]:
+    """Return ``(mean, half-width)`` of a normal-approx confidence interval.
+
+    With fewer than two samples the half-width is 0 by convention.
+    """
+    if not values:
+        raise ValueError("mean_and_ci of empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return mean, 0.0
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, z * math.sqrt(var / n)
+
+
+def running_min(values: Sequence[float]) -> list[float]:
+    """Prefix minimum — the 'best seen so far' curve of a search."""
+    out: list[float] = []
+    best = math.inf
+    for v in values:
+        best = min(best, v)
+        out.append(best)
+    return out

@@ -1,0 +1,71 @@
+"""Minimal ASCII table rendering for benchmark and report output.
+
+The benchmark harnesses print the same rows as the paper's tables; this
+module keeps that presentation logic in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class AsciiTable:
+    """Accumulate rows and render them as an aligned ASCII table.
+
+    Example
+    -------
+    >>> t = AsciiTable(["net", "speedup"])
+    >>> t.add_row(["LeNet-5", "3.2x"])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    net     | speedup
+    --------+--------
+    LeNet-5 | 3.2x
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        self.title = title
+        self._headers = [str(h) for h in headers]
+        self._rows: list[list[str]] = []
+
+    @property
+    def headers(self) -> list[str]:
+        """Column headers, as strings."""
+        return list(self._headers)
+
+    @property
+    def rows(self) -> list[list[str]]:
+        """All rows added so far, as strings."""
+        return [list(row) for row in self._rows]
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append one row; cells are stringified with ``str``."""
+        row = [str(c) for c in cells]
+        if len(row) != len(self._headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self._headers)} columns"
+            )
+        self._rows.append(row)
+
+    def _widths(self) -> list[int]:
+        widths = [len(h) for h in self._headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Render the table to a string (no trailing newline)."""
+        widths = self._widths()
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(h.ljust(w) for h, w in zip(self._headers, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        lines.append(header.rstrip())
+        lines.append(rule)
+        for row in self._rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,63 @@
+"""Unit conversions and human-readable formatting.
+
+Internally the whole code base works in **milliseconds** for latency,
+**FLOPs** (floating-point operations, not FLOP/s) for work and **bytes**
+for traffic.  These helpers keep conversions explicit at the boundaries.
+"""
+
+from __future__ import annotations
+
+US_PER_MS = 1000.0
+MS_PER_S = 1000.0
+BYTES_PER_MB = 1024.0 * 1024.0
+
+
+def us_to_ms(microseconds: float) -> float:
+    """Convert microseconds to milliseconds."""
+    return microseconds / US_PER_MS
+
+
+def ms_to_s(milliseconds: float) -> float:
+    """Convert milliseconds to seconds."""
+    return milliseconds / MS_PER_S
+
+
+def s_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * MS_PER_S
+
+
+def gflops(flops: float) -> float:
+    """Express a FLOP count in GFLOPs."""
+    return flops / 1e9
+
+
+def mbytes(num_bytes: float) -> float:
+    """Express a byte count in MiB."""
+    return num_bytes / BYTES_PER_MB
+
+
+def format_ms(milliseconds: float, digits: int = 3) -> str:
+    """Format a latency with an adaptive unit (us / ms / s).
+
+    >>> format_ms(0.0123)
+    '12.3us'
+    >>> format_ms(1.5)
+    '1.50ms'
+    >>> format_ms(2500.0)
+    '2.50s'
+    """
+    if milliseconds < 0.1:
+        return f"{milliseconds * US_PER_MS:.{max(digits - 2, 0)}f}us"
+    if milliseconds < MS_PER_S:
+        return f"{milliseconds:.{max(digits - 1, 0)}f}ms"
+    return f"{milliseconds / MS_PER_S:.{max(digits - 1, 0)}f}s"
+
+
+def format_speedup(ratio: float) -> str:
+    """Format a speedup ratio the way the paper's Table II does (``12.3x``)."""
+    if ratio >= 100:
+        return f"{ratio:.0f}x"
+    if ratio >= 10:
+        return f"{ratio:.1f}x"
+    return f"{ratio:.2f}x"

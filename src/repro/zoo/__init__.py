@@ -1,0 +1,104 @@
+"""Network zoo: the CNNs the paper evaluates (plus the Fig. 1 toy net).
+
+Architectures are shape-faithful reconstructions of the standard Caffe /
+Darknet deployments of each model.  Primitive selection depends only on
+layer hyper-parameters, so weights are never materialized.  Where the
+original used ceil-mode pooling, padding is adjusted to reach the
+canonical feature-map sizes (noted per network).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.nn.graph import NetworkGraph
+from repro.zoo.lenet import lenet5
+from repro.zoo.alexnet import alexnet
+from repro.zoo.vgg import vgg16, vgg19
+from repro.zoo.googlenet import googlenet
+from repro.zoo.mobilenet import mobilenet_v1
+from repro.zoo.squeezenet import squeezenet_v11
+from repro.zoo.resnet import resnet18, resnet34, resnet50
+from repro.zoo.tinyyolo import tiny_yolo_v2
+from repro.zoo.facenet import spherenet20
+from repro.zoo.mtcnn import mtcnn_onet, mtcnn_pnet, mtcnn_rnet
+from repro.zoo.ssd_mobilenet import ssd_mobilenet
+from repro.zoo.toy import fig1_network
+
+#: Builders for every zoo network, keyed by canonical name.
+ZOO: dict[str, Callable[[], NetworkGraph]] = {
+    "lenet5": lenet5,
+    "alexnet": alexnet,
+    "vgg16": vgg16,
+    "vgg19": vgg19,
+    "googlenet": googlenet,
+    "mobilenet_v1": mobilenet_v1,
+    "squeezenet_v1.1": squeezenet_v11,
+    "resnet18": resnet18,
+    "resnet34": resnet34,
+    "resnet50": resnet50,
+    "tiny_yolo_v2": tiny_yolo_v2,
+    "spherenet20": spherenet20,
+    "ssd_mobilenet": ssd_mobilenet,
+    "mtcnn_pnet": mtcnn_pnet,
+    "mtcnn_rnet": mtcnn_rnet,
+    "mtcnn_onet": mtcnn_onet,
+    "fig1_toy": fig1_network,
+}
+
+#: The networks reported in Table II (classification + face + detection).
+TABLE2_NETWORKS: tuple[str, ...] = (
+    "lenet5",
+    "alexnet",
+    "vgg16",
+    "vgg19",
+    "googlenet",
+    "mobilenet_v1",
+    "squeezenet_v1.1",
+    "resnet18",
+    "resnet50",
+    "spherenet20",
+    "tiny_yolo_v2",
+)
+
+
+def available_networks() -> list[str]:
+    """Names accepted by :func:`build_network`."""
+    return sorted(ZOO)
+
+
+def build_network(name: str) -> NetworkGraph:
+    """Instantiate a zoo network by name."""
+    try:
+        builder = ZOO[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown network {name!r}; available: {', '.join(available_networks())}"
+        ) from None
+    return builder()
+
+
+__all__ = [
+    "ZOO",
+    "TABLE2_NETWORKS",
+    "available_networks",
+    "build_network",
+    "lenet5",
+    "alexnet",
+    "vgg16",
+    "vgg19",
+    "googlenet",
+    "mobilenet_v1",
+    "squeezenet_v11",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "tiny_yolo_v2",
+    "spherenet20",
+    "ssd_mobilenet",
+    "mtcnn_pnet",
+    "mtcnn_rnet",
+    "mtcnn_onet",
+    "fig1_network",
+]

@@ -1,0 +1,40 @@
+"""AlexNet, the Caffe (BVLC) single-column deployment.
+
+AlexNet matters for the GPGPU story: its fc6/fc7 layers hold ~59 M
+parameters, and cuDNN *has no fully-connected primitive* (paper §III-B),
+so the best-single-library cuDNN schedule pays for Vanilla FC on the CPU.
+QS-DNN learns to route FC through cuBLAS GEMV instead (paper §VI-A).
+"""
+
+from __future__ import annotations
+
+from repro.nn.builder import NetworkBuilder
+from repro.nn.graph import NetworkGraph
+from repro.nn.tensor import TensorShape
+
+
+def alexnet() -> NetworkGraph:
+    """AlexNet (227x227 RGB input, grouped convs flattened to dense)."""
+    b = NetworkBuilder("alexnet", TensorShape(3, 227, 227))
+    b.conv("conv1", out_channels=96, kernel=11, stride=4)   # 96 x 55 x 55
+    b.relu("relu1")
+    b.lrn("norm1")
+    b.pool_max("pool1", kernel=3, stride=2)                 # 96 x 27 x 27
+    b.conv("conv2", out_channels=256, kernel=5, padding=2)  # 256 x 27 x 27
+    b.relu("relu2")
+    b.lrn("norm2")
+    b.pool_max("pool2", kernel=3, stride=2)                 # 256 x 13 x 13
+    b.conv("conv3", out_channels=384, kernel=3, padding=1)
+    b.relu("relu3")
+    b.conv("conv4", out_channels=384, kernel=3, padding=1)
+    b.relu("relu4")
+    b.conv("conv5", out_channels=256, kernel=3, padding=1)
+    b.relu("relu5")
+    b.pool_max("pool5", kernel=3, stride=2)                 # 256 x 6 x 6
+    b.fc("fc6", out_channels=4096)
+    b.relu("relu6")
+    b.fc("fc7", out_channels=4096)
+    b.relu("relu7")
+    b.fc("fc8", out_channels=1000)
+    b.softmax("prob")
+    return b.build()

@@ -1,0 +1,44 @@
+"""SphereNet-20, a face-recognition embedding network (SphereFace, CVPR'17).
+
+Stands in for the paper's face-recognition workload: a 20-layer residual
+CNN over 112x96 aligned face crops, ending in a 512-d embedding FC.  The
+original's PReLU activations are tagged ``variant="leaky"`` (identical
+cost structure: one extra multiply per element).
+"""
+
+from __future__ import annotations
+
+from repro.nn.builder import NetworkBuilder
+from repro.nn.graph import NetworkGraph
+from repro.nn.tensor import TensorShape
+
+#: (stage channels, residual unit count) — the 20-layer configuration.
+_STAGES = ((64, 1), (128, 2), (256, 4), (512, 1))
+
+
+def _residual_unit(b: NetworkBuilder, name: str, after: str, channels: int) -> str:
+    conv = b.conv(f"{name}/conv1", out_channels=channels, kernel=3, padding=1,
+                  after=after)
+    conv = b.relu(f"{name}/prelu1", variant="leaky", after=conv)
+    conv = b.conv(f"{name}/conv2", out_channels=channels, kernel=3, padding=1,
+                  after=conv)
+    conv = b.relu(f"{name}/prelu2", variant="leaky", after=conv)
+    return b.add(f"{name}/add", inputs=[conv, after])
+
+
+def spherenet20() -> NetworkGraph:
+    """SphereFace-20 face embedding network (112x96 RGB input)."""
+    b = NetworkBuilder("spherenet20", TensorShape(3, 112, 96))
+    cursor = "input"
+    for stage_idx, (channels, units) in enumerate(_STAGES, start=1):
+        cursor = b.conv(
+            f"conv{stage_idx}_stride", out_channels=channels, kernel=3,
+            stride=2, padding=1, after=cursor,
+        )
+        cursor = b.relu(f"prelu{stage_idx}_stride", variant="leaky", after=cursor)
+        for unit_idx in range(units):
+            cursor = _residual_unit(
+                b, f"stage{stage_idx}/unit{unit_idx}", cursor, channels
+            )
+    b.fc("fc5", out_channels=512, after=cursor)
+    return b.build()

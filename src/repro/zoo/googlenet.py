@@ -1,0 +1,81 @@
+"""GoogLeNet (Inception v1), the BVLC Caffe deployment.
+
+GoogLeNet's nine inception modules create the widest design space in the
+zoo (branches multiply the number of edges where layout conversions can
+appear), which is where the paper reports the largest RL-over-RS gains
+(up to ~15x, §VI-B).  Caffe's ceil-mode pools are reproduced with
+padding 1, giving the canonical 56/28/14/7 feature-map ladder.
+"""
+
+from __future__ import annotations
+
+from repro.nn.builder import NetworkBuilder
+from repro.nn.graph import NetworkGraph
+from repro.nn.tensor import TensorShape
+
+#: (name, 1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5, pool proj) per module.
+_INCEPTIONS = (
+    ("3a", 64, 96, 128, 16, 32, 32),
+    ("3b", 128, 128, 192, 32, 96, 64),
+    ("4a", 192, 96, 208, 16, 48, 64),
+    ("4b", 160, 112, 224, 24, 64, 64),
+    ("4c", 128, 128, 256, 24, 64, 64),
+    ("4d", 112, 144, 288, 32, 64, 64),
+    ("4e", 256, 160, 320, 32, 128, 128),
+    ("5a", 256, 160, 320, 32, 128, 128),
+    ("5b", 384, 192, 384, 48, 128, 128),
+)
+
+#: Modules after which a stride-2 max-pool follows.
+_POOL_AFTER = {"3b", "4e"}
+
+
+def _inception(b: NetworkBuilder, tag: str, after: str, cfg: tuple[int, ...]) -> str:
+    c1, r3, c3, r5, c5, pp = cfg
+    p = f"inception_{tag}"
+    br1 = b.conv(f"{p}/1x1", out_channels=c1, kernel=1, after=after)
+    br1 = b.relu(f"{p}/relu_1x1", after=br1)
+
+    br2 = b.conv(f"{p}/3x3_reduce", out_channels=r3, kernel=1, after=after)
+    br2 = b.relu(f"{p}/relu_3x3_reduce", after=br2)
+    br2 = b.conv(f"{p}/3x3", out_channels=c3, kernel=3, padding=1, after=br2)
+    br2 = b.relu(f"{p}/relu_3x3", after=br2)
+
+    br3 = b.conv(f"{p}/5x5_reduce", out_channels=r5, kernel=1, after=after)
+    br3 = b.relu(f"{p}/relu_5x5_reduce", after=br3)
+    br3 = b.conv(f"{p}/5x5", out_channels=c5, kernel=5, padding=2, after=br3)
+    br3 = b.relu(f"{p}/relu_5x5", after=br3)
+
+    br4 = b.pool_max(f"{p}/pool", kernel=3, stride=1, padding=1, after=after)
+    br4 = b.conv(f"{p}/pool_proj", out_channels=pp, kernel=1, after=br4)
+    br4 = b.relu(f"{p}/relu_pool_proj", after=br4)
+
+    return b.concat(f"{p}/output", inputs=[br1, br2, br3, br4])
+
+
+def googlenet() -> NetworkGraph:
+    """GoogLeNet / Inception v1 (224x224 RGB input)."""
+    b = NetworkBuilder("googlenet", TensorShape(3, 224, 224))
+    b.conv("conv1/7x7_s2", out_channels=64, kernel=7, stride=2, padding=3)  # 112
+    b.relu("conv1/relu_7x7")
+    b.pool_max("pool1/3x3_s2", kernel=3, stride=2, padding=1)               # 56
+    b.lrn("pool1/norm1")
+    b.conv("conv2/3x3_reduce", out_channels=64, kernel=1)
+    b.relu("conv2/relu_3x3_reduce")
+    b.conv("conv2/3x3", out_channels=192, kernel=3, padding=1)
+    b.relu("conv2/relu_3x3")
+    b.lrn("conv2/norm2")
+    b.pool_max("pool2/3x3_s2", kernel=3, stride=2, padding=1)               # 28
+
+    cursor = b.cursor
+    for tag, *cfg in _INCEPTIONS:
+        cursor = _inception(b, tag, cursor, tuple(cfg))
+        if tag in _POOL_AFTER:
+            cursor = b.pool_max(
+                f"pool{tag[0]}/3x3_s2", kernel=3, stride=2, padding=1, after=cursor
+            )
+
+    b.global_pool_avg("pool5/7x7_s1", after=cursor)
+    b.fc("loss3/classifier", out_channels=1000)
+    b.softmax("prob")
+    return b.build()

@@ -1,0 +1,26 @@
+"""LeNet-5, the Caffe MNIST deployment.
+
+The paper singles LeNet-5 out: its layers are so small that in GPGPU mode
+the learned optimum is a *pure CPU* schedule — GPU kernel-launch and
+transfer overheads outweigh any compute advantage (paper §VI-A).
+"""
+
+from __future__ import annotations
+
+from repro.nn.builder import NetworkBuilder
+from repro.nn.graph import NetworkGraph
+from repro.nn.tensor import TensorShape
+
+
+def lenet5() -> NetworkGraph:
+    """LeNet-5 as deployed by Caffe's MNIST example (28x28 grayscale)."""
+    b = NetworkBuilder("lenet5", TensorShape(1, 28, 28))
+    b.conv("conv1", out_channels=20, kernel=5)          # 20 x 24 x 24
+    b.pool_max("pool1", kernel=2)                       # 20 x 12 x 12
+    b.conv("conv2", out_channels=50, kernel=5)          # 50 x 8 x 8
+    b.pool_max("pool2", kernel=2)                       # 50 x 4 x 4
+    b.fc("ip1", out_channels=500)
+    b.relu("relu1")
+    b.fc("ip2", out_channels=10)
+    b.softmax("prob")
+    return b.build()

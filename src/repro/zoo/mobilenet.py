@@ -1,0 +1,56 @@
+"""MobileNet-v1 with depth-wise separable convolutions.
+
+MobileNet is the paper's showcase for heterogeneous mixing (§VI-A): the
+learned schedule combines ArmCL's NEON depth-wise kernels (CPU), cuDNN
+point-wise convolutions (GPU) and Vanilla ReLU / BatchNorm in between to
+avoid extra round-trips to the GPU — over 1.4x faster than cuDNN alone.
+Fig. 5's RL-vs-RS study also runs on this network.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.nn.builder import NetworkBuilder
+from repro.nn.graph import NetworkGraph
+from repro.nn.tensor import TensorShape
+
+#: (stride, output channels) of the 13 separable blocks at width 1.0.
+_BLOCKS = (
+    (1, 64),
+    (2, 128),
+    (1, 128),
+    (2, 256),
+    (1, 256),
+    (2, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (2, 1024),
+    (1, 1024),
+)
+
+
+def mobilenet_v1(width_multiplier: float = 1.0) -> NetworkGraph:
+    """MobileNet-v1 (224x224 RGB input).
+
+    ``width_multiplier`` scales every channel count (the paper's alpha),
+    enabling the reduced variants (0.75 / 0.5 / 0.25) as an extension.
+    """
+    if not 0.0 < width_multiplier <= 1.0:
+        raise ConfigError(f"width_multiplier must be in (0, 1], got {width_multiplier}")
+
+    def scaled(channels: int) -> int:
+        return max(8, int(round(channels * width_multiplier)))
+
+    suffix = "" if width_multiplier == 1.0 else f"_{width_multiplier:g}"
+    b = NetworkBuilder(f"mobilenet_v1{suffix}", TensorShape(3, 224, 224))
+    b.conv_bn_relu("conv1", out_channels=scaled(32), kernel=3, stride=2, padding=1)
+    for i, (stride, channels) in enumerate(_BLOCKS, start=1):
+        b.dw_bn_relu(f"conv{i}_dw", kernel=3, stride=stride, padding=1)
+        b.conv_bn_relu(f"conv{i}_pw", out_channels=scaled(channels), kernel=1)
+    b.global_pool_avg("pool6")
+    b.fc("fc7", out_channels=1000)
+    b.softmax("prob")
+    return b.build()

@@ -1,0 +1,72 @@
+"""MTCNN: the cascaded face-detection networks (P-Net, R-Net, O-Net).
+
+A classic industrial face-recognition *pipeline* starts with MTCNN
+detection before any embedding network runs.  The three stages are tiny
+(thousands to a few million FLOPs) — exactly the regime where the paper
+observes GPU launch overheads and transfers dominating, so their learned
+GPGPU schedules collapse to pure CPU just like LeNet-5's.
+
+Architectures follow Zhang et al., IEEE SPL 2016 (PReLU activations
+tagged ``variant="leaky"``).  P-Net is fully convolutional on a 12x12
+proposal window; R-Net and O-Net end in FC layers.
+"""
+
+from __future__ import annotations
+
+from repro.nn.builder import NetworkBuilder
+from repro.nn.graph import NetworkGraph
+from repro.nn.tensor import TensorShape
+
+
+def mtcnn_pnet() -> NetworkGraph:
+    """P-Net: the 12x12 fully-convolutional proposal network."""
+    b = NetworkBuilder("mtcnn_pnet", TensorShape(3, 12, 12))
+    b.conv("conv1", out_channels=10, kernel=3)        # 10 x 10 x 10
+    b.relu("prelu1", variant="leaky")
+    b.pool_max("pool1", kernel=2)                     # 10 x 5 x 5
+    b.conv("conv2", out_channels=16, kernel=3)        # 16 x 3 x 3
+    b.relu("prelu2", variant="leaky")
+    b.conv("conv3", out_channels=32, kernel=3)        # 32 x 1 x 1
+    b.relu("prelu3", variant="leaky")
+    b.conv("conv4_1", out_channels=2, kernel=1)       # face classification
+    b.softmax("prob1")
+    return b.build()
+
+
+def mtcnn_rnet() -> NetworkGraph:
+    """R-Net: the 24x24 refinement network."""
+    b = NetworkBuilder("mtcnn_rnet", TensorShape(3, 24, 24))
+    b.conv("conv1", out_channels=28, kernel=3)        # 28 x 22 x 22
+    b.relu("prelu1", variant="leaky")
+    b.pool_max("pool1", kernel=3, stride=2)           # 28 x 10 x 10
+    b.conv("conv2", out_channels=48, kernel=3)        # 48 x 8 x 8
+    b.relu("prelu2", variant="leaky")
+    b.pool_max("pool2", kernel=3, stride=2)           # 48 x 3 x 3
+    b.conv("conv3", out_channels=64, kernel=2)        # 64 x 2 x 2
+    b.relu("prelu3", variant="leaky")
+    b.fc("fc4", out_channels=128)
+    b.relu("prelu4", variant="leaky")
+    b.fc("fc5_1", out_channels=2)
+    b.softmax("prob1")
+    return b.build()
+
+
+def mtcnn_onet() -> NetworkGraph:
+    """O-Net: the 48x48 output network (landmarks head omitted)."""
+    b = NetworkBuilder("mtcnn_onet", TensorShape(3, 48, 48))
+    b.conv("conv1", out_channels=32, kernel=3)        # 32 x 46 x 46
+    b.relu("prelu1", variant="leaky")
+    b.pool_max("pool1", kernel=3, stride=2)           # 32 x 22 x 22
+    b.conv("conv2", out_channels=64, kernel=3)        # 64 x 20 x 20
+    b.relu("prelu2", variant="leaky")
+    b.pool_max("pool2", kernel=3, stride=2)           # 64 x 9 x 9
+    b.conv("conv3", out_channels=64, kernel=3)        # 64 x 7 x 7
+    b.relu("prelu3", variant="leaky")
+    b.pool_max("pool3", kernel=2)                     # 64 x 3 x 3
+    b.conv("conv4", out_channels=128, kernel=2)       # 128 x 2 x 2
+    b.relu("prelu4", variant="leaky")
+    b.fc("fc5", out_channels=256)
+    b.relu("prelu5", variant="leaky")
+    b.fc("fc6_1", out_channels=2)
+    b.softmax("prob1")
+    return b.build()

@@ -1,0 +1,96 @@
+"""ResNet-18 and ResNet-50 (CVPR'16, the torchvision/Caffe deployments).
+
+Residual joins are ``ELTWISE_ADD`` layers with two producers, so every
+block contributes an extra compatibility edge — the skip path and the
+conv path must agree on layout/processor or pay a conversion penalty.
+"""
+
+from __future__ import annotations
+
+from repro.nn.builder import NetworkBuilder
+from repro.nn.graph import NetworkGraph
+from repro.nn.tensor import TensorShape
+
+#: Blocks per stage for each depth.
+_STAGES_18 = (2, 2, 2, 2)
+_STAGES_34 = (3, 4, 6, 3)
+_STAGES_50 = (3, 4, 6, 3)
+#: Base channels per stage.
+_CHANNELS = (64, 128, 256, 512)
+
+
+def _basic_block(b: NetworkBuilder, name: str, after: str, channels: int, stride: int) -> str:
+    """Two 3x3 convs with identity (or projected) shortcut."""
+    conv = b.conv(f"{name}/conv1", out_channels=channels, kernel=3, stride=stride,
+                  padding=1, after=after)
+    conv = b.batch_norm(f"{name}/bn1", after=conv)
+    conv = b.relu(f"{name}/relu1", after=conv)
+    conv = b.conv(f"{name}/conv2", out_channels=channels, kernel=3, padding=1, after=conv)
+    conv = b.batch_norm(f"{name}/bn2", after=conv)
+    shortcut = after
+    if stride != 1 or _out_channels(b, after) != channels:
+        shortcut = b.conv(f"{name}/downsample", out_channels=channels, kernel=1,
+                          stride=stride, after=after)
+        shortcut = b.batch_norm(f"{name}/downsample_bn", after=shortcut)
+    joined = b.add(f"{name}/add", inputs=[conv, shortcut])
+    return b.relu(f"{name}/relu_out", after=joined)
+
+
+def _bottleneck_block(b: NetworkBuilder, name: str, after: str, channels: int,
+                      stride: int) -> str:
+    """1x1 reduce -> 3x3 -> 1x1 expand(4x) with shortcut."""
+    expanded = channels * 4
+    conv = b.conv(f"{name}/conv1", out_channels=channels, kernel=1, after=after)
+    conv = b.batch_norm(f"{name}/bn1", after=conv)
+    conv = b.relu(f"{name}/relu1", after=conv)
+    conv = b.conv(f"{name}/conv2", out_channels=channels, kernel=3, stride=stride,
+                  padding=1, after=conv)
+    conv = b.batch_norm(f"{name}/bn2", after=conv)
+    conv = b.relu(f"{name}/relu2", after=conv)
+    conv = b.conv(f"{name}/conv3", out_channels=expanded, kernel=1, after=conv)
+    conv = b.batch_norm(f"{name}/bn3", after=conv)
+    shortcut = after
+    if stride != 1 or _out_channels(b, after) != expanded:
+        shortcut = b.conv(f"{name}/downsample", out_channels=expanded, kernel=1,
+                          stride=stride, after=after)
+        shortcut = b.batch_norm(f"{name}/downsample_bn", after=shortcut)
+    joined = b.add(f"{name}/add", inputs=[conv, shortcut])
+    return b.relu(f"{name}/relu_out", after=joined)
+
+
+def _out_channels(b: NetworkBuilder, layer_name: str) -> int:
+    return b.output_shape(layer_name).channels
+
+
+def _resnet(name: str, stages: tuple[int, ...], bottleneck: bool) -> NetworkGraph:
+    b = NetworkBuilder(name, TensorShape(3, 224, 224))
+    b.conv("conv1", out_channels=64, kernel=7, stride=2, padding=3)      # 112
+    b.batch_norm("bn1")
+    b.relu("relu1")
+    cursor = b.pool_max("pool1", kernel=3, stride=2, padding=1)          # 56
+    block = _bottleneck_block if bottleneck else _basic_block
+    for stage_idx, (block_count, channels) in enumerate(zip(stages, _CHANNELS), start=1):
+        for block_idx in range(block_count):
+            stride = 2 if (stage_idx > 1 and block_idx == 0) else 1
+            cursor = block(
+                b, f"layer{stage_idx}/block{block_idx}", cursor, channels, stride
+            )
+    b.global_pool_avg("avgpool", after=cursor)
+    b.fc("fc", out_channels=1000)
+    b.softmax("prob")
+    return b.build()
+
+
+def resnet18() -> NetworkGraph:
+    """ResNet-18 (basic blocks, 224x224 RGB input)."""
+    return _resnet("resnet18", _STAGES_18, bottleneck=False)
+
+
+def resnet34() -> NetworkGraph:
+    """ResNet-34 (basic blocks, 224x224 RGB input)."""
+    return _resnet("resnet34", _STAGES_34, bottleneck=False)
+
+
+def resnet50() -> NetworkGraph:
+    """ResNet-50 (bottleneck blocks, 224x224 RGB input)."""
+    return _resnet("resnet50", _STAGES_50, bottleneck=True)

@@ -1,0 +1,57 @@
+"""SqueezeNet v1.1 (the forked, 2.4x-cheaper revision of the SqueezeNet repo).
+
+Fire modules (squeeze 1x1 -> parallel expand 1x1 / 3x3 -> concat) give a
+branchy topology at tiny channel counts — lots of compatibility edges,
+little compute, so penalties weigh heavily in the learned schedule.
+Ceil-mode pools are reproduced with padding 1 (giving 56/28/14 maps).
+"""
+
+from __future__ import annotations
+
+from repro.nn.builder import NetworkBuilder
+from repro.nn.graph import NetworkGraph
+from repro.nn.tensor import TensorShape
+
+#: (name, squeeze, expand1x1, expand3x3) per fire module.
+_FIRES = (
+    ("fire2", 16, 64, 64),
+    ("fire3", 16, 64, 64),
+    ("fire4", 32, 128, 128),
+    ("fire5", 32, 128, 128),
+    ("fire6", 48, 192, 192),
+    ("fire7", 48, 192, 192),
+    ("fire8", 64, 256, 256),
+    ("fire9", 64, 256, 256),
+)
+
+#: Fire modules preceded by a stride-2 max-pool.
+_POOL_BEFORE = {"fire4", "fire6"}
+
+
+def _fire(b: NetworkBuilder, name: str, after: str, s: int, e1: int, e3: int) -> str:
+    sq = b.conv(f"{name}/squeeze1x1", out_channels=s, kernel=1, after=after)
+    sq = b.relu(f"{name}/relu_squeeze1x1", after=sq)
+    left = b.conv(f"{name}/expand1x1", out_channels=e1, kernel=1, after=sq)
+    left = b.relu(f"{name}/relu_expand1x1", after=left)
+    right = b.conv(f"{name}/expand3x3", out_channels=e3, kernel=3, padding=1, after=sq)
+    right = b.relu(f"{name}/relu_expand3x3", after=right)
+    return b.concat(f"{name}/concat", inputs=[left, right])
+
+
+def squeezenet_v11() -> NetworkGraph:
+    """SqueezeNet v1.1 (227x227 RGB input)."""
+    b = NetworkBuilder("squeezenet_v1.1", TensorShape(3, 227, 227))
+    b.conv("conv1", out_channels=64, kernel=3, stride=2)       # 64 x 113 x 113
+    b.relu("relu_conv1")
+    cursor = b.pool_max("pool1", kernel=3, stride=2)           # 64 x 56 x 56
+    for name, s, e1, e3 in _FIRES:
+        if name in _POOL_BEFORE:
+            cursor = b.pool_max(
+                f"pool_{name}", kernel=3, stride=2, padding=1, after=cursor
+            )
+        cursor = _fire(b, name, cursor, s, e1, e3)
+    b.conv("conv10", out_channels=1000, kernel=1, after=cursor)
+    b.relu("relu_conv10")
+    b.global_pool_avg("pool10")
+    b.softmax("prob")
+    return b.build()

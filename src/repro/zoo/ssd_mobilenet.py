@@ -1,0 +1,72 @@
+"""SSD-MobileNet: single-shot detection on a MobileNet-v1 backbone.
+
+The paper's object-detection workload class.  The SSD head hangs six
+detection branches (class + box 3x3 convs) off feature maps of
+decreasing resolution, plus a pyramid of 1x1/3x3-s2 feature-extension
+blocks — a wide, shallow fan-out that stresses the compatibility-edge
+handling very differently from classification trunks.
+
+The head follows the standard SSD300-MobileNet deployment (Caffe /
+TensorFlow object detection API, VOC classes): detection taps at
+conv11/relu (19x19) and conv13/relu (10x10... here 7x7 at our ladder)
+plus four extension blocks.  Detection outputs are concatenated per
+type.  Anchor counts: 3 on the first tap, 6 elsewhere.
+"""
+
+from __future__ import annotations
+
+from repro.nn.builder import NetworkBuilder
+from repro.nn.graph import NetworkGraph
+from repro.nn.tensor import TensorShape
+from repro.zoo.mobilenet import _BLOCKS
+
+#: (channels_mid, channels_out) of the four SSD extension blocks.
+_EXTENSIONS = ((256, 512), (128, 256), (128, 256), (64, 128))
+#: VOC: 20 classes + background.
+_NUM_CLASSES = 21
+
+
+def ssd_mobilenet() -> NetworkGraph:
+    """SSD-MobileNet-v1 (300x300 RGB input, VOC head)."""
+    b = NetworkBuilder("ssd_mobilenet", TensorShape(3, 300, 300))
+    b.conv_bn_relu("conv1", out_channels=32, kernel=3, stride=2, padding=1)
+    taps: list[tuple[str, int]] = []  # (layer name, anchors)
+    for i, (stride, channels) in enumerate(_BLOCKS, start=1):
+        b.dw_bn_relu(f"conv{i}_dw", kernel=3, stride=stride, padding=1)
+        out = b.conv_bn_relu(f"conv{i}_pw", out_channels=channels, kernel=1)
+        if i == 11:
+            taps.append((out, 3))
+    taps.append((b.cursor, 6))  # conv13 output
+
+    cursor = b.cursor
+    for j, (mid, out_channels) in enumerate(_EXTENSIONS, start=14):
+        cursor = b.conv_bn_relu(
+            f"conv{j}_1", out_channels=mid, kernel=1, after=cursor
+        )
+        cursor = b.conv_bn_relu(
+            f"conv{j}_2", out_channels=out_channels, kernel=3, stride=2,
+            padding=1, after=cursor,
+        )
+        taps.append((cursor, 6))
+
+    class_heads, box_heads = [], []
+    for k, (tap, anchors) in enumerate(taps):
+        class_heads.append(
+            b.conv(
+                f"cls{k}", out_channels=anchors * _NUM_CLASSES, kernel=3,
+                padding=1, after=tap,
+            )
+        )
+        box_heads.append(
+            b.conv(
+                f"box{k}", out_channels=anchors * 4, kernel=3, padding=1,
+                after=tap,
+            )
+        )
+    # Flatten every head so the final concats merge 1x1 spatial tensors.
+    class_flat = [b.flatten(f"cls{k}_flat", after=h) for k, h in enumerate(class_heads)]
+    box_flat = [b.flatten(f"box{k}_flat", after=h) for k, h in enumerate(box_heads)]
+    scores = b.concat("mbox_conf", inputs=class_flat)
+    boxes = b.concat("mbox_loc", inputs=box_flat)
+    b.concat("detection_out", inputs=[scores, boxes])
+    return b.build()

@@ -1,0 +1,37 @@
+"""Tiny-YOLO-v2 (Darknet's tiny-yolo-voc), the paper's object detector.
+
+The Darknet original uses a stride-1 'same' max-pool before conv7; that is
+reproduced here as a 3x3 stride-1 padding-1 pool (identical output size).
+Leaky ReLU activations are tagged ``variant="leaky"``.
+"""
+
+from __future__ import annotations
+
+from repro.nn.builder import NetworkBuilder
+from repro.nn.graph import NetworkGraph
+from repro.nn.tensor import TensorShape
+
+#: Output channels of the six pooled conv stages.
+_STAGE_CHANNELS = (16, 32, 64, 128, 256, 512)
+
+
+def tiny_yolo_v2() -> NetworkGraph:
+    """Tiny-YOLO-v2 for VOC (416x416 RGB input, 125-channel head)."""
+    b = NetworkBuilder("tiny_yolo_v2", TensorShape(3, 416, 416))
+    for i, channels in enumerate(_STAGE_CHANNELS, start=1):
+        b.conv(f"conv{i}", out_channels=channels, kernel=3, padding=1)
+        b.batch_norm(f"bn{i}")
+        b.relu(f"leaky{i}", variant="leaky")
+        if i < 6:
+            b.pool_max(f"pool{i}", kernel=2, stride=2)
+        else:
+            # Darknet: maxpool size=2 stride=1 'same'; 3x3/s1/p1 keeps 13x13.
+            b.pool_max(f"pool{i}", kernel=3, stride=1, padding=1)
+    b.conv("conv7", out_channels=1024, kernel=3, padding=1)
+    b.batch_norm("bn7")
+    b.relu("leaky7", variant="leaky")
+    b.conv("conv8", out_channels=1024, kernel=3, padding=1)
+    b.batch_norm("bn8")
+    b.relu("leaky8", variant="leaky")
+    b.conv("conv9", out_channels=125, kernel=1)  # 5 anchors x (5 + 20 classes)
+    return b.build()

@@ -1,0 +1,49 @@
+"""VGG-16 and VGG-19 (the ICLR'15 configurations D and E).
+
+VGG-19 is the paper's largest workload: ~39 GFLOPs of 3x3 convolutions
+(ideal for Winograd — the source of the ~45x CPU speedup over Vanilla)
+plus a 102 M-parameter fc6 whose absence from cuDNN drives the big
+QS-DNN-vs-cuDNN gap in GPGPU mode (paper §VI-A).
+"""
+
+from __future__ import annotations
+
+from repro.nn.builder import NetworkBuilder
+from repro.nn.graph import NetworkGraph
+from repro.nn.tensor import TensorShape
+
+#: (block index, conv count, channels) for configuration D (VGG-16).
+_VGG16_BLOCKS = ((1, 2, 64), (2, 2, 128), (3, 3, 256), (4, 3, 512), (5, 3, 512))
+#: Configuration E (VGG-19) has four convs in blocks 3-5.
+_VGG19_BLOCKS = ((1, 2, 64), (2, 2, 128), (3, 4, 256), (4, 4, 512), (5, 4, 512))
+
+
+def _vgg(name: str, blocks: tuple[tuple[int, int, int], ...]) -> NetworkGraph:
+    b = NetworkBuilder(name, TensorShape(3, 224, 224))
+    for block_idx, conv_count, channels in blocks:
+        for conv_idx in range(1, conv_count + 1):
+            b.conv(
+                f"conv{block_idx}_{conv_idx}",
+                out_channels=channels,
+                kernel=3,
+                padding=1,
+            )
+            b.relu(f"relu{block_idx}_{conv_idx}")
+        b.pool_max(f"pool{block_idx}", kernel=2)
+    b.fc("fc6", out_channels=4096)
+    b.relu("relu6")
+    b.fc("fc7", out_channels=4096)
+    b.relu("relu7")
+    b.fc("fc8", out_channels=1000)
+    b.softmax("prob")
+    return b.build()
+
+
+def vgg16() -> NetworkGraph:
+    """VGG-16 (configuration D), 224x224 RGB input."""
+    return _vgg("vgg16", _VGG16_BLOCKS)
+
+
+def vgg19() -> NetworkGraph:
+    """VGG-19 (configuration E), 224x224 RGB input."""
+    return _vgg("vgg19", _VGG19_BLOCKS)

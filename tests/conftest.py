@@ -1,0 +1,73 @@
+"""Shared fixtures: platforms, networks, and session-scoped LUTs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Mode, jetson_tx2
+from repro.engine import InferenceEngineOptimizer
+from repro.hw.presets import cpu_only
+from repro.zoo import build_network
+
+
+@pytest.fixture(scope="session")
+def tx2():
+    """The calibrated Jetson TX-2 model."""
+    return jetson_tx2()
+
+
+@pytest.fixture(scope="session")
+def tx2_quiet():
+    """TX-2 with measurement noise disabled (exact model times)."""
+    return jetson_tx2(noise_sigma=0.0)
+
+
+@pytest.fixture(scope="session")
+def tx2_cpu_only(tx2):
+    """The TX-2's CPU alone (CPU-mode platform)."""
+    return cpu_only(tx2)
+
+
+@pytest.fixture(scope="session")
+def lenet():
+    return build_network("lenet5")
+
+
+@pytest.fixture(scope="session")
+def toy():
+    return build_network("fig1_toy")
+
+
+@pytest.fixture(scope="session")
+def mobilenet():
+    return build_network("mobilenet_v1")
+
+
+def _profile(network_name: str, platform, mode: Mode, seed: int = 0):
+    graph = build_network(network_name)
+    optimizer = InferenceEngineOptimizer(graph, platform, mode=mode, seed=seed)
+    return optimizer.profile()
+
+
+@pytest.fixture(scope="session")
+def lenet_lut_gpgpu(tx2):
+    """LeNet-5 profiled in GPGPU mode (small, fast, heterogeneous)."""
+    return _profile("lenet5", tx2, Mode.GPGPU)
+
+
+@pytest.fixture(scope="session")
+def lenet_lut_cpu(tx2):
+    """LeNet-5 profiled in CPU mode."""
+    return _profile("lenet5", tx2, Mode.CPU)
+
+
+@pytest.fixture(scope="session")
+def toy_lut_gpgpu(tx2):
+    """The Fig. 1 toy network profiled in GPGPU mode."""
+    return _profile("fig1_toy", tx2, Mode.GPGPU)
+
+
+@pytest.fixture(scope="session")
+def squeezenet_lut_gpgpu(tx2):
+    """SqueezeNet (branchy) profiled in GPGPU mode."""
+    return _profile("squeezenet_v1.1", tx2, Mode.GPGPU)

@@ -1,0 +1,53 @@
+"""Edge-case tests for the Fig. 4 / Fig. 5 data structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.curves import Fig4Data, Fig5Data
+from repro.core import QSDNNSearch, SearchConfig
+
+from tests.helpers import synthetic_chain_lut
+
+
+def _result(episodes=35, seed=0):
+    lut = synthetic_chain_lut(5, 3, seed=1)
+    return QSDNNSearch(lut, SearchConfig(episodes=episodes, seed=seed)).run()
+
+
+class TestFig4Buckets:
+    def test_uneven_final_bucket(self):
+        data = Fig4Data(result=_result(episodes=35), bucket=10)
+        xs, ys = data.bucketed
+        assert len(xs) == 4  # 10+10+10+5
+        assert xs[-1] == pytest.approx(30 + 2.5)
+
+    def test_bucket_of_one(self):
+        result = _result(episodes=25)
+        data = Fig4Data(result=result, bucket=1)
+        xs, ys = data.bucketed
+        assert ys == result.curve_ms
+
+    def test_bucket_means_bound_by_extremes(self):
+        result = _result(episodes=40)
+        data = Fig4Data(result=result, bucket=8)
+        _, ys = data.bucketed
+        assert min(result.curve_ms) <= min(ys)
+        assert max(ys) <= max(result.curve_ms)
+
+    def test_render_handles_small_curve(self):
+        data = Fig4Data(result=_result(episodes=25), bucket=5)
+        assert "Fig.4" in data.render(width=30, height=6)
+
+
+class TestFig5Accessors:
+    def test_ratio_at_unknown_budget_raises(self):
+        data = Fig5Data(network="x", budgets=[25, 50],
+                        rl_mean=[2.0, 1.0], rs_mean=[3.0, 2.5])
+        with pytest.raises(ValueError):
+            data.ratio_at(100)
+
+    def test_ratio_at(self):
+        data = Fig5Data(network="x", budgets=[25],
+                        rl_mean=[2.0], rs_mean=[3.0])
+        assert data.ratio_at(25) == pytest.approx(1.5)

@@ -1,0 +1,70 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import claim_checks, full_report, markdown_table2
+from repro.analysis.speedup import Table2Row
+
+
+def _row(network="lenet5", qsdnn_ms=1.0, bsl_ms=1.2, rs_ms=1.5):
+    return Table2Row(
+        network=network,
+        mode="gpgpu",
+        vanilla_ms=20.0,
+        library_ms={"vanilla": 20.0, "nnpack": bsl_ms, "cudnn": 2.0},
+        bsl_library="nnpack",
+        bsl_ms=bsl_ms,
+        qsdnn_ms=qsdnn_ms,
+        rs_ms=rs_ms,
+        qsdnn_libraries=["nnpack", "blas"],
+        space_log10=8.0,
+    )
+
+
+class TestMarkdownTable2:
+    def test_contains_networks_and_columns(self):
+        out = markdown_table2([_row()], "Test title")
+        assert "## Test title" in out
+        assert "lenet5" in out
+        assert "QS vs BSL" in out
+
+    def test_pipe_table_structure(self):
+        out = markdown_table2([_row()], "T")
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len(lines) == 3  # header, rule, one row
+        assert lines[0].count("|") == lines[2].count("|")
+
+    def test_empty_rows(self):
+        assert "(no rows)" in markdown_table2([], "T")
+
+    def test_missing_library_dash(self):
+        row = _row()
+        del row.library_ms["cudnn"]
+        other = _row(network="b")
+        out = markdown_table2([row, other], "T")
+        assert " - " in out
+
+
+class TestClaimChecks:
+    def test_gpgpu_mentions_geomean(self):
+        out = claim_checks([_row(), _row(network="x")], "gpgpu")
+        assert "mean speedup over best vendor library" in out
+        assert "yes" in out
+
+    def test_cpu_mentions_max_vanilla_speedup(self):
+        out = claim_checks([_row()], "cpu")
+        assert "max speedup over Vanilla" in out
+
+    def test_failing_claim_flagged(self):
+        bad = _row(qsdnn_ms=2.0, bsl_ms=1.0)  # QS slower than BSL
+        assert "NO" in claim_checks([bad], "gpgpu")
+
+
+class TestFullReport:
+    def test_assembles_both_halves(self):
+        report = full_report([_row()], [_row()], "jetson_tx2", seed=0)
+        assert report.count("Table II") == 2
+        assert "jetson_tx2" in report
+        assert "# QS-DNN reproduction report" in report

@@ -1,0 +1,133 @@
+"""Tests for the shared cost-model building blocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import cost
+from repro.hw import jetson_tx2
+from repro.hw.processor import ProcessorKind
+from repro.nn.builder import NetworkBuilder
+from repro.nn.tensor import TensorShape
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return jetson_tx2().cpu
+
+
+@pytest.fixture(scope="module")
+def gpu():
+    return jetson_tx2().processor(ProcessorKind.GPU)
+
+
+@pytest.fixture(scope="module")
+def net():
+    b = NetworkBuilder("cost", TensorShape(16, 32, 32))
+    b.conv("c3", out_channels=32, kernel=3, padding=1)
+    b.conv("c1", out_channels=32, kernel=1)
+    b.conv("c5", out_channels=32, kernel=5, padding=2)
+    b.conv("c3s2", out_channels=32, kernel=3, stride=2, padding=1)
+    b.fc("fc", out_channels=100)
+    return b.build()
+
+
+class TestUtilization:
+    def test_ramp_in_unit_interval(self, cpu, gpu):
+        for flops in (1e2, 1e5, 1e8, 1e11):
+            assert 0 < cost.utilization(flops, cpu) <= 1
+            assert 0 < cost.utilization(flops, gpu) <= 1
+
+    def test_cpu_saturates_before_gpu(self, cpu, gpu):
+        flops = 1e6
+        assert cost.utilization(flops, cpu) > cost.utilization(flops, gpu)
+
+    def test_monotone_in_flops(self, gpu):
+        assert cost.utilization(1e7, gpu) < cost.utilization(1e8, gpu)
+
+    def test_zero_flops_small_positive(self, cpu):
+        assert 0 < cost.utilization(0, cpu) < 0.01
+
+    def test_ramped_floor(self, gpu):
+        assert cost.ramped(0.5, 0.0, gpu) >= 1e-6
+
+
+class TestChannelRamp:
+    def test_monotone(self):
+        assert cost.channel_ramp(3, 48) < cost.channel_ramp(512, 48)
+
+    def test_half_point(self):
+        assert cost.channel_ramp(48, 48) == pytest.approx(0.5)
+
+    def test_invalid_channels(self):
+        with pytest.raises(ValueError):
+            cost.channel_ramp(0, 48)
+
+
+class TestGemmDims:
+    def test_conv_gemm_dims(self, net):
+        dims = cost.conv_gemm_dims(net.layer("c3"), net)
+        assert dims.m == 32
+        assert dims.n == 32 * 32
+        assert dims.k == 9 * 16
+        assert dims.flops == 2 * 32 * 1024 * 144
+
+    def test_needs_lowering(self, net):
+        assert cost.needs_lowering(net.layer("c3"))
+        assert not cost.needs_lowering(net.layer("c1"))
+        assert cost.needs_lowering(net.layer("c3s2"))
+
+
+class TestAlgorithms:
+    def test_winograd_beats_direct_on_3x3(self, net, cpu):
+        layer = net.layer("c3")
+        wino = cost.winograd_ms(layer, net, cpu, 0.6, 0.7, 2.5)
+        direct = cost.direct_ms(layer, net, cpu, 0.022, 0.3)
+        assert wino < direct
+
+    def test_fft_discount_grows_with_kernel(self):
+        assert cost.fft_flop_discount(3) < cost.fft_flop_discount(5)
+        assert cost.fft_flop_discount(5) < cost.fft_flop_discount(11)
+
+    def test_fft_discount_floor_is_one(self):
+        assert cost.fft_flop_discount(2) == 1.0
+
+    def test_kn2row_free_for_1x1(self, net, cpu):
+        layer = net.layer("c1")
+        dims = cost.conv_gemm_dims(layer, net)
+        assert cost.kn2row_extra_ms(layer, dims, cpu, 0.7) == 0.0
+
+    def test_kn2row_costs_for_3x3(self, net, cpu):
+        layer = net.layer("c3")
+        dims = cost.conv_gemm_dims(layer, net)
+        assert cost.kn2row_extra_ms(layer, dims, cpu, 0.7) > 0.0
+
+    def test_lowering_positive(self, net, cpu):
+        dims = cost.conv_gemm_dims(net.layer("c3"), net)
+        assert cost.lowering_ms(dims, cpu, 0.6) > 0
+
+    def test_gemm_time_positive(self, net, cpu):
+        dims = cost.conv_gemm_dims(net.layer("c3"), net)
+        assert cost.gemm_ms(dims, cpu, 0.5, 0.7) > 0
+
+    def test_memory_op_includes_extra_overhead(self, net, cpu):
+        layer = net.layer("fc")
+        base = cost.memory_op_ms(layer, net, cpu, 0.5)
+        padded = cost.memory_op_ms(layer, net, cpu, 0.5, extra_overhead_ms=1.0)
+        assert padded - base == pytest.approx(1.0)
+
+    def test_gemv_is_memory_bound_for_fat_fc(self, cpu):
+        b = NetworkBuilder("fat", TensorShape(256, 6, 6))
+        b.fc("fc", out_channels=4096)
+        fat = b.build()
+        layer = fat.layer("fc")
+        ms = cost.gemv_ms(layer, fat, cpu, 0.8, 0.5)
+        from repro.nn.flops import layer_weight_bytes
+
+        expected = cpu.memory_ms(
+            layer_weight_bytes(layer, fat)
+            + sum(s.nbytes for s in fat.input_shapes("fc"))
+            + fat.output_shape("fc").nbytes,
+            0.8,
+        )
+        assert ms == pytest.approx(expected + cpu.overhead_ms, rel=1e-6)

@@ -1,0 +1,53 @@
+"""Tests for layouts and conversion costs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends.layout import Layout, conversion_ms, layouts_equivalent
+from repro.hw import jetson_tx2
+from repro.nn.tensor import TensorShape
+
+
+class TestLayoutEquivalence:
+    def test_spatial_tensor_not_equivalent(self):
+        assert not layouts_equivalent(TensorShape(8, 4, 4))
+
+    def test_vector_equivalent(self):
+        assert layouts_equivalent(TensorShape(1000, 1, 1))
+
+    def test_single_channel_equivalent(self):
+        assert layouts_equivalent(TensorShape(1, 28, 28))
+
+    def test_1xN_spatial_not_equivalent(self):
+        # height 1 but width > 1 with channels > 1: layouts still differ.
+        assert not layouts_equivalent(TensorShape(4, 1, 8))
+
+
+class TestConversionCost:
+    def test_degenerate_tensor_free(self):
+        plat = jetson_tx2()
+        assert conversion_ms(TensorShape(1000, 1, 1), plat.cpu) == 0.0
+
+    def test_cost_scales_with_size(self):
+        plat = jetson_tx2()
+        small = conversion_ms(TensorShape(8, 8, 8), plat.cpu)
+        large = conversion_ms(TensorShape(8, 64, 64), plat.cpu)
+        assert large > small
+
+    def test_gpu_conversion_faster_for_large_tensors(self):
+        plat = jetson_tx2()
+        from repro.hw.processor import ProcessorKind
+
+        gpu = plat.processor(ProcessorKind.GPU)
+        shape = TensorShape(64, 56, 56)
+        assert conversion_ms(shape, gpu) < conversion_ms(shape, plat.cpu)
+
+    def test_includes_processor_overhead(self):
+        plat = jetson_tx2()
+        shape = TensorShape(2, 2, 2)  # tiny: overhead dominates
+        assert conversion_ms(shape, plat.cpu) >= plat.cpu.overhead_ms
+
+    def test_layout_enum_str(self):
+        assert str(Layout.NCHW) == "nchw"
+        assert str(Layout.NHWC) == "nhwc"

@@ -1,0 +1,319 @@
+"""Per-library tests: coverage, layouts, processors and speed ordering.
+
+These encode the qualitative facts the paper's results rest on:
+cuDNN has no FC primitive, ArmCL has the only fast depth-wise kernel,
+Vanilla covers everything, tuned BLAS crushes Vanilla on convolutions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import armcl, blas, cublas, cudnn, nnpack, sparse, vanilla
+from repro.backends.layout import Layout
+from repro.errors import UnsupportedLayerError
+from repro.hw import jetson_tx2
+from repro.hw.processor import ProcessorKind
+from repro.nn.builder import NetworkBuilder
+from repro.nn.tensor import TensorShape
+from repro.nn.types import LayerKind
+
+
+@pytest.fixture(scope="module")
+def tx2():
+    return jetson_tx2()
+
+
+@pytest.fixture(scope="module")
+def net():
+    b = NetworkBuilder("libnet", TensorShape(32, 28, 28))
+    b.conv("conv3", out_channels=64, kernel=3, padding=1)
+    b.conv("conv5", out_channels=64, kernel=5, padding=2)
+    b.conv("conv1", out_channels=64, kernel=1)
+    b.conv("conv3s2", out_channels=64, kernel=3, stride=2, padding=1)
+    b.depthwise("dw", kernel=3, padding=1, after="conv3")
+    b.batch_norm("bn")
+    b.relu("relu")
+    b.pool_max("pool", kernel=2)
+    b.pool_avg("avgpool", kernel=2, after="relu")
+    b.lrn("lrn", after="relu")
+    b.softmax("sm", after="relu")
+    b.fc("fc", out_channels=100, after="pool")
+    b.concat("cat", inputs=["conv3", "dw"])
+    b.add("add", inputs=["conv3", "dw"])
+    return b.build(check_single_output=False)
+
+
+def find(prims, uid_part):
+    matches = [p for p in prims if uid_part in p.uid]
+    assert matches, f"no primitive matching {uid_part!r}"
+    return matches[0]
+
+
+def supported_kinds(prim, net):
+    return {l.kind for l in net.layers() if prim.supports(l, net)}
+
+
+class TestVanilla:
+    def test_full_coverage(self, net):
+        prims = vanilla.primitives()
+        for layer in net.layers():
+            assert any(p.supports(layer, net) for p in prims), layer.name
+
+    def test_all_cpu_nchw(self):
+        for p in vanilla.primitives():
+            assert p.processor is ProcessorKind.CPU
+            assert p.layout is Layout.NCHW
+
+    def test_conv_is_slow(self, net, tx2):
+        layer = net.layer("conv3")
+        van = find(vanilla.primitives(), "direct.conv")
+        fast = find(blas.primitives(), "im2col@openblas")
+        assert van.estimate_ms(layer, net, tx2) > 5 * fast.estimate_ms(layer, net, tx2)
+
+    def test_unsupported_raises(self, net, tx2):
+        van_conv = find(vanilla.primitives(), "direct.conv")
+        with pytest.raises(UnsupportedLayerError):
+            van_conv.estimate_ms(net.layer("relu"), net, tx2)
+
+    def test_flatten_is_nearly_free(self, tx2):
+        b = NetworkBuilder("f", TensorShape(4, 4, 4))
+        b.flatten("fl")
+        g = b.build()
+        p = find(vanilla.primitives(), "view.flatten")
+        assert p.estimate_ms(g.layer("fl"), g, tx2) <= 0.01
+
+
+class TestBlas:
+    def test_covers_conv_and_fc_only(self, net):
+        kinds = set()
+        for p in blas.primitives():
+            kinds |= supported_kinds(p, net)
+        assert kinds == {LayerKind.CONV, LayerKind.FULLY_CONNECTED}
+
+    def test_openblas_faster_than_atlas(self, net, tx2):
+        layer = net.layer("conv3")
+        ob = find(blas.primitives(), "im2col@openblas")
+        at = find(blas.primitives(), "im2col@atlas")
+        assert ob.estimate_ms(layer, net, tx2) < at.estimate_ms(layer, net, tx2)
+
+    def test_kn2row_best_lowering_for_1x1(self, net, tx2):
+        layer = net.layer("conv1")
+        kn = find(blas.primitives(), "kn2row@openblas")
+        im = find(blas.primitives(), "im2col@openblas")
+        assert kn.estimate_ms(layer, net, tx2) < im.estimate_ms(layer, net, tx2)
+
+    def test_kn2row_requires_unit_stride(self, net):
+        kn = find(blas.primitives(), "kn2row@openblas")
+        assert not kn.supports(net.layer("conv3s2"), net)
+
+    def test_im2row_is_nhwc(self):
+        assert find(blas.primitives(), "im2row@openblas").layout is Layout.NHWC
+
+    def test_im2col_is_nchw(self):
+        assert find(blas.primitives(), "im2col@openblas").layout is Layout.NCHW
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            blas.BlasIm2colConv("mkl")
+
+    def test_uid_contains_blas_name(self):
+        assert "@openblas" in find(blas.primitives(), "im2col@openblas").uid
+
+
+class TestNnpack:
+    def test_winograd_only_3x3_stride1(self, net):
+        wino = find(nnpack.primitives(), "winograd")
+        assert wino.supports(net.layer("conv3"), net)
+        assert not wino.supports(net.layer("conv5"), net)
+        assert not wino.supports(net.layer("conv3s2"), net)
+
+    def test_fft_only_kernel_5_plus(self, net):
+        fft = find(nnpack.primitives(), "fft")
+        assert fft.supports(net.layer("conv5"), net)
+        assert not fft.supports(net.layer("conv3"), net)
+        assert not fft.supports(net.layer("conv1"), net)
+
+    def test_fft_beats_gemm_on_5x5(self, net, tx2):
+        layer = net.layer("conv5")
+        fft = find(nnpack.primitives(), "fft")
+        gemm = find(blas.primitives(), "im2col@openblas")
+        assert fft.estimate_ms(layer, net, tx2) < gemm.estimate_ms(layer, net, tx2)
+
+    def test_no_batch_norm(self, net):
+        for p in nnpack.primitives():
+            assert not p.supports(net.layer("bn"), net)
+
+    def test_no_avg_pool(self, net):
+        for p in nnpack.primitives():
+            assert not p.supports(net.layer("avgpool"), net)
+
+    def test_no_depthwise(self, net):
+        for p in nnpack.primitives():
+            assert not p.supports(net.layer("dw"), net)
+
+
+class TestArmcl:
+    def test_all_nhwc_cpu(self):
+        for p in armcl.primitives():
+            assert p.layout is Layout.NHWC
+            assert p.processor is ProcessorKind.CPU
+
+    def test_winograd_shallow_channels_lose_to_nnpack(self, tx2):
+        b = NetworkBuilder("shallow", TensorShape(3, 64, 64))
+        b.conv("c", out_channels=16, kernel=3, padding=1)
+        g = b.build()
+        layer = g.layer("c")
+        acl = find(armcl.primitives(), "winograd")
+        nnp = find(nnpack.primitives(), "winograd")
+        assert nnp.estimate_ms(layer, g, tx2) < acl.estimate_ms(layer, g, tx2)
+
+    def test_winograd_deep_channels_beat_nnpack(self, tx2):
+        b = NetworkBuilder("deep", TensorShape(512, 14, 14))
+        b.conv("c", out_channels=512, kernel=3, padding=1)
+        g = b.build()
+        layer = g.layer("c")
+        acl = find(armcl.primitives(), "winograd")
+        nnp = find(nnpack.primitives(), "winograd")
+        assert acl.estimate_ms(layer, g, tx2) < nnp.estimate_ms(layer, g, tx2)
+
+    def test_depthwise_fastest_on_platform(self, net, tx2):
+        layer = net.layer("dw")
+        acl = find(armcl.primitives(), "depthwise")
+        van = find(vanilla.primitives(), "depthwise")
+        cud = find(cudnn.primitives(), "depthwise")
+        acl_ms = acl.estimate_ms(layer, net, tx2)
+        assert acl_ms < van.estimate_ms(layer, net, tx2)
+        assert acl_ms < cud.estimate_ms(layer, net, tx2)
+
+    def test_eltwise_has_dispatch_overhead(self, tx2):
+        b = NetworkBuilder("tiny", TensorShape(2, 2, 2))
+        b.relu("r")
+        g = b.build()
+        layer = g.layer("r")
+        acl = find(armcl.primitives(), "direct.eltwise")
+        van = find(vanilla.primitives(), "direct.eltwise")
+        # On a tiny tensor Vanilla's bare loop beats ArmCL's dispatch.
+        assert van.estimate_ms(layer, g, tx2) < acl.estimate_ms(layer, g, tx2)
+
+    def test_covers_lrn_and_concat(self, net):
+        kinds = set()
+        for p in armcl.primitives():
+            kinds |= supported_kinds(p, net)
+        assert LayerKind.LRN in kinds and LayerKind.CONCAT in kinds
+
+
+class TestSparse:
+    def test_covers_conv_and_fc_only(self, net):
+        kinds = set()
+        for p in sparse.primitives():
+            kinds |= supported_kinds(p, net)
+        assert kinds == {LayerKind.CONV, LayerKind.FULLY_CONNECTED}
+
+    def test_sparse_fc_beats_vanilla_fc(self, tx2):
+        b = NetworkBuilder("fcnet", TensorShape(256, 6, 6))
+        b.fc("fc", out_channels=4096)
+        g = b.build()
+        layer = g.layer("fc")
+        sp = find(sparse.primitives(), "csr.fc")
+        van = find(vanilla.primitives(), "gemv.naive")
+        assert sp.estimate_ms(layer, g, tx2) < van.estimate_ms(layer, g, tx2)
+
+    def test_sparse_conv_loses_to_openblas(self, net, tx2):
+        layer = net.layer("conv3")
+        sp = find(sparse.primitives(), "csr.conv")
+        ob = find(blas.primitives(), "im2col@openblas")
+        assert ob.estimate_ms(layer, net, tx2) < sp.estimate_ms(layer, net, tx2)
+
+
+class TestCudnn:
+    def test_no_fully_connected(self, net):
+        """The paper's crucial caveat (§III-B)."""
+        for p in cudnn.primitives():
+            assert not p.supports(net.layer("fc"), net)
+
+    def test_all_gpu_nchw(self):
+        for p in cudnn.primitives():
+            assert p.processor is ProcessorKind.GPU
+            assert p.layout is Layout.NCHW
+
+    def test_winograd_beats_implicit_gemm_on_3x3(self, net, tx2):
+        layer = net.layer("conv3")
+        wino = find(cudnn.primitives(), "winograd")
+        ig = find(cudnn.primitives(), "implicit_gemm")
+        assert wino.estimate_ms(layer, net, tx2) < ig.estimate_ms(layer, net, tx2)
+
+    def test_gpu_conv_beats_best_cpu_on_large_layer(self, tx2):
+        b = NetworkBuilder("big", TensorShape(256, 56, 56))
+        b.conv("c", out_channels=256, kernel=3, padding=1)
+        g = b.build()
+        layer = g.layer("c")
+        gpu = find(cudnn.primitives(), "winograd")
+        cpu = find(armcl.primitives(), "winograd")
+        assert gpu.estimate_ms(layer, g, tx2) < cpu.estimate_ms(layer, g, tx2)
+
+    def test_cpu_beats_gpu_on_tiny_layer(self, tx2):
+        b = NetworkBuilder("small", TensorShape(1, 28, 28))
+        b.conv("c", out_channels=20, kernel=5)
+        g = b.build()
+        layer = g.layer("c")
+        gpu = find(cudnn.primitives(), "implicit_gemm")
+        cpu = find(blas.primitives(), "im2col@openblas")
+        assert cpu.estimate_ms(layer, g, tx2) < gpu.estimate_ms(layer, g, tx2)
+
+    def test_depthwise_slow_path(self, net, tx2):
+        layer = net.layer("dw")
+        dw = find(cudnn.primitives(), "depthwise")
+        conv = find(cudnn.primitives(), "winograd")
+        # Depth-wise does far less work than the 3x3 conv but costs more.
+        assert dw.estimate_ms(layer, net, tx2) > conv.estimate_ms(
+            net.layer("conv3"), net, tx2
+        )
+
+
+class TestCublas:
+    def test_fc_only(self, net):
+        (gemv,) = cublas.primitives()
+        assert supported_kinds(gemv, net) == {LayerKind.FULLY_CONNECTED}
+
+    def test_beats_vanilla_fc_on_big_layer(self, tx2):
+        b = NetworkBuilder("fcnet", TensorShape(256, 6, 6))
+        b.fc("fc", out_channels=4096)
+        g = b.build()
+        layer = g.layer("fc")
+        (gemv,) = cublas.primitives()
+        van = find(vanilla.primitives(), "gemv.naive")
+        assert gemv.estimate_ms(layer, g, tx2) < van.estimate_ms(layer, g, tx2)
+
+
+class TestPrimitiveProtocol:
+    def test_uids_unique_across_all_libraries(self):
+        all_prims = (
+            vanilla.primitives() + blas.primitives() + nnpack.primitives()
+            + armcl.primitives() + sparse.primitives() + cudnn.primitives()
+            + cublas.primitives()
+        )
+        uids = [p.uid for p in all_prims]
+        assert len(set(uids)) == len(uids)
+
+    def test_equality_by_uid(self):
+        assert vanilla.VanillaDirectConv() == vanilla.VanillaDirectConv()
+        assert hash(vanilla.VanillaDirectConv()) == hash(vanilla.VanillaDirectConv())
+
+    def test_describe_mentions_processor(self):
+        (gemv,) = cublas.primitives()
+        assert "gpu" in gemv.describe()
+
+    def test_repr(self):
+        assert "vanilla.direct.conv" in repr(vanilla.VanillaDirectConv())
+
+    def test_estimates_are_positive(self, net, tx2):
+        all_prims = (
+            vanilla.primitives() + blas.primitives() + nnpack.primitives()
+            + armcl.primitives() + sparse.primitives() + cudnn.primitives()
+            + cublas.primitives()
+        )
+        for prim in all_prims:
+            for layer in net.layers():
+                if prim.supports(layer, net):
+                    assert prim.estimate_ms(layer, net, tx2) > 0

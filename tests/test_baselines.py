@@ -1,0 +1,185 @@
+"""Tests for the baseline searchers and exact solvers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    best_single_library,
+    brute_force,
+    chain_dp,
+    greedy_per_layer,
+    is_chain,
+    pbqp_solve,
+    random_search,
+    single_library_results,
+)
+from repro.errors import ConfigError
+
+from tests.helpers import synthetic_chain_lut, trap_lut
+
+
+class TestRandomSearch:
+    def test_deterministic_per_seed(self):
+        lut = synthetic_chain_lut(6, 4, seed=1)
+        a = random_search(lut, episodes=100, seed=5)
+        b = random_search(lut, episodes=100, seed=5)
+        assert a.best_ms == b.best_ms and a.curve_ms == b.curve_ms
+
+    def test_more_episodes_never_worse(self):
+        lut = synthetic_chain_lut(6, 4, seed=1)
+        short = random_search(lut, episodes=50, seed=5)
+        long = random_search(lut, episodes=500, seed=5)
+        assert long.best_ms <= short.best_ms
+
+    def test_best_matches_assignments(self):
+        lut = synthetic_chain_lut(6, 4, seed=1)
+        result = random_search(lut, episodes=100, seed=5)
+        assert lut.schedule_time(result.best_assignments) == pytest.approx(
+            result.best_ms
+        )
+
+    def test_bad_episodes(self):
+        with pytest.raises(ConfigError):
+            random_search(synthetic_chain_lut(3, 2), episodes=0)
+
+    def test_curve_recorded(self):
+        lut = synthetic_chain_lut(4, 3, seed=2)
+        result = random_search(lut, episodes=25, seed=0)
+        assert len(result.curve_ms) == 25
+
+
+class TestBruteForce:
+    def test_optimal_on_trap(self):
+        result = brute_force(trap_lut())
+        assert result.best_ms == pytest.approx(10.0)
+
+    def test_episodes_is_space_size(self):
+        lut = synthetic_chain_lut(3, 4, seed=3)
+        assert brute_force(lut).episodes == 4**3
+
+    def test_refuses_huge_spaces(self):
+        lut = synthetic_chain_lut(30, 8, seed=3)
+        with pytest.raises(ConfigError):
+            brute_force(lut)
+
+    def test_never_beaten_by_random(self):
+        lut = synthetic_chain_lut(5, 3, seed=4)
+        exact = brute_force(lut)
+        rs = random_search(lut, episodes=500, seed=1)
+        assert exact.best_ms <= rs.best_ms + 1e-12
+
+
+class TestChainDP:
+    def test_matches_brute_force(self):
+        for seed in range(5):
+            lut = synthetic_chain_lut(6, 4, seed=seed)
+            assert chain_dp(lut).best_ms == pytest.approx(
+                brute_force(lut).best_ms, rel=1e-12
+            )
+
+    def test_is_chain_on_synthetic(self):
+        assert is_chain(synthetic_chain_lut(5, 3))
+
+    def test_not_chain_on_branchy(self, squeezenet_lut_gpgpu):
+        assert not is_chain(squeezenet_lut_gpgpu)
+
+    def test_rejects_non_chain(self, squeezenet_lut_gpgpu):
+        with pytest.raises(ConfigError):
+            chain_dp(squeezenet_lut_gpgpu)
+
+    def test_chain_on_real_lenet(self, lenet_lut_gpgpu):
+        assert is_chain(lenet_lut_gpgpu)
+        result = chain_dp(lenet_lut_gpgpu)
+        assert lenet_lut_gpgpu.schedule_time(result.best_assignments) == (
+            pytest.approx(result.best_ms)
+        )
+
+
+class TestPBQP:
+    def test_exact_on_chains(self):
+        for seed in range(5):
+            lut = synthetic_chain_lut(8, 4, seed=10 + seed)
+            assert pbqp_solve(lut).best_ms == pytest.approx(
+                chain_dp(lut).best_ms, rel=1e-12
+            )
+
+    def test_solves_trap(self):
+        assert pbqp_solve(trap_lut()).best_ms == pytest.approx(10.0)
+
+    def test_near_optimal_on_branchy_graph(self, squeezenet_lut_gpgpu):
+        lut = squeezenet_lut_gpgpu
+        pb = pbqp_solve(lut)
+        rs = random_search(lut, episodes=2000, seed=0)
+        assert pb.best_ms < rs.best_ms
+        # And the assignment must be internally consistent.
+        assert lut.schedule_time(pb.best_assignments) == pytest.approx(pb.best_ms)
+
+    def test_branchy_assignment_complete(self, squeezenet_lut_gpgpu):
+        pb = pbqp_solve(squeezenet_lut_gpgpu)
+        assert set(pb.best_assignments) == set(squeezenet_lut_gpgpu.layers)
+
+
+class TestGreedy:
+    def test_picks_per_layer_fastest(self):
+        lut = synthetic_chain_lut(5, 4, seed=6)
+        result = greedy_per_layer(lut)
+        for layer in lut.layers:
+            uid = result.best_assignments[layer]
+            assert uid == lut.best_uid(layer)
+
+    def test_falls_into_fig1_trap(self):
+        """Greedy picks the fastest middle layer and pays the penalties."""
+        result = greedy_per_layer(trap_lut())
+        assert result.best_assignments["l1"] == "prim1"
+        assert result.best_ms == pytest.approx(12.0)
+        assert result.best_ms > brute_force(trap_lut()).best_ms
+
+    def test_total_includes_penalties(self):
+        lut = synthetic_chain_lut(5, 4, seed=6)
+        result = greedy_per_layer(lut)
+        raw = sum(
+            lut.layer_time(l, result.best_assignments[l]) for l in lut.layers
+        )
+        assert result.best_ms >= raw
+
+
+class TestSingleLibrary:
+    def test_results_sorted_fastest_first(self, lenet_lut_cpu):
+        results = single_library_results(lenet_lut_cpu)
+        totals = [r.total_ms for r in results]
+        assert totals == sorted(totals)
+
+    def test_every_library_covered(self, lenet_lut_cpu):
+        libs = {r.library for r in single_library_results(lenet_lut_cpu)}
+        assert libs == {m.library for m in lenet_lut_cpu.meta.values()}
+
+    def test_bsl_is_fastest(self, lenet_lut_cpu):
+        results = single_library_results(lenet_lut_cpu)
+        assert best_single_library(lenet_lut_cpu).total_ms == results[0].total_ms
+
+    def test_vanilla_schedule_uses_only_vanilla(self, lenet_lut_cpu):
+        from repro.baselines.best_single_library import single_library_schedule
+
+        result = single_library_schedule(lenet_lut_cpu, "vanilla")
+        metas = {lenet_lut_cpu.meta[u].library for u in result.assignments.values()}
+        assert metas == {"vanilla"}
+
+    def test_partial_library_falls_back_to_vanilla(self, lenet_lut_gpgpu):
+        from repro.baselines.best_single_library import single_library_schedule
+
+        result = single_library_schedule(lenet_lut_gpgpu, "cudnn")
+        libs = {
+            lenet_lut_gpgpu.meta[u].library for u in result.assignments.values()
+        }
+        assert libs == {"cudnn", "vanilla"}
+        # FC layers must be the Vanilla fallback.
+        assert lenet_lut_gpgpu.meta[result.assignments["ip1"]].library == "vanilla"
+
+    def test_exclude_vanilla(self, lenet_lut_cpu):
+        bsl = best_single_library(lenet_lut_cpu, exclude_vanilla=True)
+        assert bsl.library != "vanilla"
+
+    def test_vanilla_is_never_bsl(self, lenet_lut_cpu):
+        """Any accelerated library beats pure Vanilla."""
+        assert best_single_library(lenet_lut_cpu).library != "vanilla"

@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestNetworksCommand:
+    def test_lists_all_networks(self, capsys):
+        assert main(["networks"]) == 0
+        out = capsys.readouterr().out
+        assert "lenet5" in out and "mobilenet_v1" in out
+
+
+class TestSummaryCommand:
+    def test_renders_layers(self, capsys):
+        assert main(["summary", "--network", "lenet5"]) == 0
+        out = capsys.readouterr().out
+        assert "conv1" in out and "GFLOPs" in out
+
+    def test_unknown_network_exits(self):
+        with pytest.raises(SystemExit):
+            main(["summary", "--network", "nope"])
+
+
+class TestProfileSearchRoundtrip:
+    def test_profile_then_search(self, tmp_path, capsys):
+        lut_path = tmp_path / "lut.json"
+        sched_path = tmp_path / "sched.json"
+        assert main([
+            "profile", "--network", "fig1_toy", "--mode", "gpgpu",
+            "--repeats", "10", "--out", str(lut_path),
+        ]) == 0
+        assert lut_path.exists()
+        assert main([
+            "search", "--lut", str(lut_path), "--episodes", "150",
+            "--out", str(sched_path),
+        ]) == 0
+        payload = json.loads(sched_path.read_text())
+        assert payload["graph"] == "fig1_toy"
+        assert payload["total_ms"] > 0
+        assert set(payload["assignments"]) == {"layer1", "layer2", "layer3"}
+
+    def test_search_no_polish_flag(self, tmp_path, capsys):
+        lut_path = tmp_path / "lut.json"
+        main([
+            "profile", "--network", "fig1_toy", "--mode", "cpu",
+            "--repeats", "5", "--out", str(lut_path),
+        ])
+        assert main([
+            "search", "--lut", str(lut_path), "--episodes", "100",
+            "--no-polish",
+        ]) == 0
+        assert "qs-dnn" in capsys.readouterr().out
+
+    def test_cpu_platform_choice(self, tmp_path, capsys):
+        lut_path = tmp_path / "lut.json"
+        assert main([
+            "profile", "--network", "fig1_toy", "--mode", "cpu",
+            "--platform", "raspberry_pi3", "--repeats", "5",
+            "--out", str(lut_path),
+        ]) == 0
+        assert "raspberry_pi3" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    def test_renders_method_table(self, capsys):
+        assert main([
+            "compare", "--network", "fig1_toy", "--mode", "gpgpu",
+            "--episodes", "120",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "QS-DNN" in out and "PBQP" in out
+
+
+class TestTable2Command:
+    def test_single_network_row(self, capsys):
+        assert main([
+            "table2", "--mode", "cpu", "--networks", "lenet5",
+            "--episodes", "200",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "lenet5" in out and "BSL" in out
+
+
+class TestReportCommand:
+    def test_writes_markdown_report(self, tmp_path, capsys):
+        out_path = tmp_path / "report.md"
+        assert main([
+            "report", "--networks", "fig1_toy", "--episodes", "150",
+            "--out", str(out_path),
+        ]) == 0
+        text = out_path.read_text()
+        assert "# QS-DNN reproduction report" in text
+        assert text.count("Table II") == 2
+        assert "fig1_toy" in text
+
+
+class TestSearchValidatesLut:
+    def test_corrupt_lut_rejected(self, tmp_path):
+        import json
+
+        from repro.errors import ProfilingError
+
+        lut_path = tmp_path / "lut.json"
+        main([
+            "profile", "--network", "fig1_toy", "--mode", "cpu",
+            "--repeats", "5", "--out", str(lut_path),
+        ])
+        payload = json.loads(lut_path.read_text())
+        # Drop all measurements of one layer.
+        payload["times_ms"]["layer2"] = {}
+        lut_path.write_text(json.dumps(payload))
+        with pytest.raises(ProfilingError):
+            main(["search", "--lut", str(lut_path), "--episodes", "50"])

@@ -1,0 +1,91 @@
+"""Tests for the epsilon-greedy schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.epsilon import EpsilonPhase, EpsilonSchedule
+from repro.errors import SearchError
+
+
+class TestPaperSchedule:
+    """The schedule of §V-B / Fig. 4."""
+
+    def test_total_matches(self):
+        assert EpsilonSchedule.paper(1000).total_episodes == 1000
+
+    def test_first_half_explores(self):
+        sched = EpsilonSchedule.paper(1000)
+        assert all(sched.epsilon_for(i) == 1.0 for i in range(500))
+
+    def test_fig4_structure_50_per_step(self):
+        """Fig. 4: after episode 500, eps drops by 0.1 every 50 episodes."""
+        sched = EpsilonSchedule.paper(1000)
+        for step in range(9):
+            eps = 0.9 - step * 0.1
+            start = 500 + step * 50
+            for i in range(start, start + 50):
+                assert sched.epsilon_for(i) == pytest.approx(eps)
+
+    def test_tail_is_full_exploitation(self):
+        sched = EpsilonSchedule.paper(1000)
+        assert sched.epsilon_for(999) == 0.0
+        assert sched.epsilon_for(950) == 0.0
+
+    def test_non_multiple_totals_still_cover(self):
+        for total in (20, 37, 101, 733):
+            sched = EpsilonSchedule.paper(total)
+            assert sched.total_episodes == total
+            assert sched.epsilon_for(total - 1) == 0.0
+
+    def test_epsilon_never_increases(self):
+        trace = EpsilonSchedule.paper(400).trace()
+        assert all(a >= b for a, b in zip(trace, trace[1:]))
+
+    def test_too_few_episodes_rejected(self):
+        with pytest.raises(SearchError):
+            EpsilonSchedule.paper(10)
+
+
+class TestOtherSchedules:
+    def test_constant(self):
+        sched = EpsilonSchedule.constant(0.3, 100)
+        assert set(sched.trace()) == {0.3}
+
+    def test_linear_decays(self):
+        trace = EpsilonSchedule.linear(100).trace()
+        assert trace[0] == 1.0
+        assert trace[-1] == 0.0
+        assert all(a >= b for a, b in zip(trace, trace[1:]))
+
+    def test_linear_needs_10(self):
+        with pytest.raises(SearchError):
+            EpsilonSchedule.linear(5)
+
+
+class TestValidation:
+    def test_out_of_range_episode(self):
+        sched = EpsilonSchedule.constant(0.5, 10)
+        with pytest.raises(SearchError):
+            sched.epsilon_for(10)
+        with pytest.raises(SearchError):
+            sched.epsilon_for(-1)
+
+    def test_bad_epsilon_rejected(self):
+        with pytest.raises(SearchError):
+            EpsilonPhase(1.5, 10)
+
+    def test_negative_episodes_rejected(self):
+        with pytest.raises(SearchError):
+            EpsilonPhase(0.5, -1)
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(SearchError):
+            EpsilonSchedule([])
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(SearchError):
+            EpsilonSchedule([EpsilonPhase(0.5, 0)])
+
+    def test_repr(self):
+        assert "1x" in repr(EpsilonSchedule.constant(1.0, 5))

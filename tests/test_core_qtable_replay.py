@@ -1,0 +1,190 @@
+"""Tests for the Q table (eq. 2) and the experience-replay buffer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.qtable import QTable
+from repro.core.replay import ReplayBuffer, Transition
+from repro.errors import SearchError
+from repro.utils.rng import derive_rng
+
+
+class TestQTableUpdate:
+    def test_single_update_matches_eq2(self):
+        q = QTable([2, 2], learning_rate=0.05, discount=0.9)
+        new = q.update(0, 0, 1, reward=-3.0)
+        # Q starts at 0; next-state max is 0 -> target = -3.
+        assert new == pytest.approx(0.05 * -3.0)
+
+    def test_bootstrap_from_next_state(self):
+        q = QTable([2, 2], learning_rate=1.0, discount=0.9)
+        q.update(1, 1, 0, reward=-1.0)  # Q[1][1,0] = -1
+        q.update(1, 1, 1, reward=-5.0)  # Q[1][1,1] = -5
+        new = q.update(0, 0, 1, reward=-2.0)
+        # next_best = max Q[1][1] = -1 -> target = -2 + 0.9*(-1).
+        assert new == pytest.approx(-2.0 - 0.9)
+
+    def test_terminal_layer_has_zero_bootstrap(self):
+        q = QTable([2, 2], learning_rate=1.0, discount=0.9)
+        new = q.update(1, 0, 1, reward=-4.0)
+        assert new == pytest.approx(-4.0)
+
+    def test_update_is_exponential_average(self):
+        q = QTable([2], learning_rate=0.5, discount=0.9)
+        q.update(0, 0, 0, reward=-2.0)  # -> -1.0
+        new = q.update(0, 0, 0, reward=-2.0)  # -> -1.5
+        assert new == pytest.approx(-1.5)
+
+    def test_greedy_action_picks_max(self):
+        q = QTable([3], learning_rate=1.0, discount=0.9)
+        q.update(0, 0, 0, reward=-5.0)
+        q.update(0, 0, 1, reward=-1.0)
+        q.update(0, 0, 2, reward=-3.0)
+        assert q.greedy_action(0, 0) == 1
+
+    def test_greedy_rollout_follows_chain(self):
+        q = QTable([2, 2], learning_rate=1.0, discount=0.9)
+        q.update(0, 0, 1, reward=1.0)
+        q.update(1, 1, 0, reward=1.0)
+        assert q.greedy_rollout() == [1, 0]
+
+    def test_best_value(self):
+        q = QTable([2, 2], learning_rate=1.0, discount=0.9)
+        q.update(1, 0, 1, reward=-2.0)
+        assert q.best_value(1, 0) == pytest.approx(-0.0)
+        q.update(1, 0, 0, reward=3.0)
+        assert q.best_value(1, 0) == pytest.approx(3.0)
+
+    def test_best_value_past_terminal_is_zero(self):
+        q = QTable([2, 2], learning_rate=1.0, discount=0.9)
+        assert q.best_value(2, 0) == 0.0
+
+    def test_explicit_next_row_bootstrap(self):
+        """DAG semantics: the successor row need not equal the action."""
+        q = QTable([2, 3], learning_rate=1.0, discount=0.9,
+                   row_sizes=[1, 2])
+        q.update(1, 0, 0, reward=-3.0)
+        q.update(1, 0, 1, reward=-2.0)
+        q.update(1, 0, 2, reward=-1.0)  # row 0 of layer 1: [-3, -2, -1]
+        new = q.update(0, 0, 1, reward=-2.0, next_row=0)
+        assert new == pytest.approx(-2.0 + 0.9 * -1.0)
+
+    def test_custom_row_sizes(self):
+        q = QTable([3, 3], learning_rate=0.5, discount=0.9, row_sizes=[1, 1])
+        q.update(1, 0, 2, reward=-4.0)
+        assert q.greedy_action(1, 0) in range(3)
+
+    def test_bad_row_sizes_rejected(self):
+        with pytest.raises(SearchError):
+            QTable([2, 2], 0.1, 0.9, row_sizes=[1])
+        with pytest.raises(SearchError):
+            QTable([2, 2], 0.1, 0.9, row_sizes=[1, 0])
+
+    def test_first_visit_bootstrap_writes_target(self):
+        q = QTable([2], learning_rate=0.05, discount=0.9,
+                   first_visit_bootstrap=True)
+        new = q.update(0, 0, 0, reward=-7.0)
+        assert new == pytest.approx(-7.0)  # alpha = 1 on first visit
+        new = q.update(0, 0, 0, reward=-9.0)
+        assert new == pytest.approx(-7.0 * 0.95 + 0.05 * -9.0)
+
+    def test_bootstrap_greedy_prefers_visited(self):
+        q = QTable([2], learning_rate=1.0, discount=0.9,
+                   first_visit_bootstrap=True)
+        q.update(0, 0, 1, reward=-5.0)
+        # Action 0 is unvisited (Q=0 > -5) but greedy must pick 1.
+        assert q.greedy_action(0, 0) == 1
+
+    def test_greedy_rollout_with_parents(self):
+        # Layer 2's parent is layer 0 (a branch join), not layer 1.
+        q = QTable([2, 2, 2], learning_rate=1.0, discount=0.9,
+                   row_sizes=[1, 2, 2])
+        q.update(0, 0, 1, reward=1.0)   # layer 0 picks 1
+        q.update(1, 1, 0, reward=1.0)   # layer 1 (row=choice@0=1) picks 0
+        q.update(2, 1, 1, reward=1.0)   # layer 2 keyed on layer 0's choice
+        rollout = q.greedy_rollout(parents=[-1, 0, 0])
+        assert rollout == [1, 0, 1]
+
+    def test_copy_is_independent(self):
+        q = QTable([2, 2], learning_rate=1.0, discount=0.9)
+        clone = q.copy()
+        q.update(0, 0, 0, reward=-1.0)
+        assert clone.q_values(0, 0)[0] == 0.0
+
+    def test_len(self):
+        assert len(QTable([2, 3, 4], 0.1, 0.9)) == 3
+
+
+class TestQTableValidation:
+    def test_empty_layers_rejected(self):
+        with pytest.raises(SearchError):
+            QTable([], 0.1, 0.9)
+
+    def test_zero_actions_rejected(self):
+        with pytest.raises(SearchError):
+            QTable([2, 0], 0.1, 0.9)
+
+    def test_bad_learning_rate(self):
+        with pytest.raises(SearchError):
+            QTable([2], 0.0, 0.9)
+
+    def test_bad_discount(self):
+        with pytest.raises(SearchError):
+            QTable([2], 0.1, 1.5)
+
+
+class TestReplayBuffer:
+    def test_push_and_len(self):
+        buf = ReplayBuffer(capacity=4)
+        for i in range(3):
+            buf.push(Transition(0, 0, 0, float(-i)))
+        assert len(buf) == 3
+
+    def test_fifo_eviction(self):
+        buf = ReplayBuffer(capacity=2)
+        buf.push(Transition(0, 0, 0, -1.0))
+        buf.push(Transition(0, 0, 1, -2.0))
+        buf.push(Transition(0, 0, 0, -3.0))  # evicts the first
+        assert len(buf) == 2
+        rewards = {t.reward for t in buf._items}
+        assert rewards == {-2.0, -3.0}
+
+    def test_replay_applies_all(self):
+        buf = ReplayBuffer(capacity=8)
+        q = QTable([2, 2], learning_rate=0.1, discount=0.9)
+        for _ in range(5):
+            buf.push(Transition(0, 0, 1, -1.0))
+        applied = buf.replay(q, derive_rng(0, "r"))
+        assert applied == 5
+        assert q.q_values(0, 0)[1] < 0
+
+    def test_replay_empty_is_noop(self):
+        buf = ReplayBuffer()
+        q = QTable([2], learning_rate=0.1, discount=0.9)
+        assert buf.replay(q, derive_rng(0, "r")) == 0
+
+    def test_default_capacity_is_paper_128(self):
+        assert ReplayBuffer().capacity == 128
+
+    def test_clear(self):
+        buf = ReplayBuffer(capacity=2)
+        buf.push(Transition(0, 0, 0, -1.0))
+        buf.clear()
+        assert len(buf) == 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(SearchError):
+            ReplayBuffer(capacity=0)
+
+    def test_replay_moves_q_toward_reward(self):
+        buf = ReplayBuffer(capacity=128)
+        q = QTable([2], learning_rate=0.05, discount=0.9)
+        for _ in range(128):
+            buf.push(Transition(0, 0, 0, -10.0))
+        buf.replay(q, derive_rng(1, "r"))
+        # After 128 replays of the same reward, Q approaches -10.
+        assert q.q_values(0, 0)[0] == pytest.approx(
+            -10.0 * (1 - (1 - 0.05) ** 128), rel=1e-6
+        )

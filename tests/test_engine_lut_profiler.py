@@ -1,0 +1,261 @@
+"""Tests for the latency table, profiler and compatibility profiling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import Mode, gpgpu_space
+from repro.engine import InferenceEngineOptimizer, Profiler
+from repro.engine.compat import profile_compatibility
+from repro.engine.lut import LatencyTable
+from repro.errors import LookupError_, ProfilingError, ScheduleError
+from repro.hw import jetson_tx2
+from repro.hw.processor import ProcessorKind
+from repro.zoo import build_network
+
+from tests.helpers import synthetic_chain_lut
+
+
+class TestLatencyTableLookups:
+    def test_layer_time_present(self, lenet_lut_gpgpu):
+        lut = lenet_lut_gpgpu
+        assert lut.layer_time("conv1", "vanilla.direct.conv") > 0
+
+    def test_missing_pair_raises(self, lenet_lut_gpgpu):
+        with pytest.raises(LookupError_):
+            lenet_lut_gpgpu.layer_time("conv1", "cublas.gemv.sgemv")
+
+    def test_missing_layer_raises(self, lenet_lut_gpgpu):
+        with pytest.raises(LookupError_):
+            lenet_lut_gpgpu.layer_time("ghost", "vanilla.direct.conv")
+
+    def test_best_uid_is_fastest(self, lenet_lut_gpgpu):
+        lut = lenet_lut_gpgpu
+        best = lut.best_uid("conv2")
+        assert all(
+            lut.layer_time("conv2", best) <= lut.layer_time("conv2", u)
+            for u in lut.candidates["conv2"]
+        )
+
+    def test_best_uid_within_subset(self, lenet_lut_gpgpu):
+        lut = lenet_lut_gpgpu
+        vans = {u for u in lut.candidates["conv1"] if u.startswith("vanilla")}
+        assert lut.best_uid("conv1", within=vans) in vans
+
+    def test_best_uid_empty_subset_raises(self, lenet_lut_gpgpu):
+        with pytest.raises(LookupError_):
+            lenet_lut_gpgpu.best_uid("conv1", within={"nope"})
+
+    def test_penalty_same_proc_same_layout_zero(self, lenet_lut_gpgpu):
+        lut = lenet_lut_gpgpu
+        edge = ("conv1", "pool1")
+        p = lut.penalty(edge, "vanilla.direct.conv", "vanilla.direct.pool")
+        assert p == 0.0
+
+    def test_penalty_processor_switch_positive(self, lenet_lut_gpgpu):
+        lut = lenet_lut_gpgpu
+        edge = ("conv1", "pool1")
+        p = lut.penalty(edge, "vanilla.direct.conv", "cudnn.direct.pool")
+        assert p > 0.0
+
+    def test_penalty_layout_switch_positive(self, lenet_lut_gpgpu):
+        lut = lenet_lut_gpgpu
+        edge = ("conv1", "pool1")
+        p = lut.penalty(edge, "armcl.gemm.neon", "vanilla.direct.pool")
+        assert p > 0.0
+
+    def test_penalty_layout_free_for_degenerate_tensor(self, lenet_lut_gpgpu):
+        lut = lenet_lut_gpgpu
+        # ip1 output is 500x1x1: layouts coincide, conversion is free.
+        edge = ("ip1", "relu1")
+        p = lut.penalty(edge, "armcl.gemv.neon", "vanilla.direct.eltwise")
+        assert p == 0.0
+
+    def test_schedule_time_matches_manual_sum(self, lenet_lut_gpgpu):
+        lut = lenet_lut_gpgpu
+        assignments = {l: lut.candidates[l][0] for l in lut.layers}
+        manual = sum(lut.layer_time(l, assignments[l]) for l in lut.layers)
+        manual += sum(
+            lut.penalty(e, assignments[e[0]], assignments[e[1]])
+            for e in lut.edges
+        )
+        assert lut.schedule_time(assignments) == pytest.approx(manual)
+
+    def test_schedule_time_missing_layer_raises(self, lenet_lut_gpgpu):
+        with pytest.raises(ScheduleError):
+            lenet_lut_gpgpu.schedule_time({})
+
+
+class TestIndexedLUT:
+    def test_roundtrip_assignments(self, lenet_lut_gpgpu):
+        idx = lenet_lut_gpgpu.indexed()
+        import numpy as np
+
+        choices = np.zeros(len(idx), dtype=np.int64)
+        assignments = idx.assignments(choices)
+        assert set(assignments) == set(lenet_lut_gpgpu.layers)
+
+    def test_total_matches_schedule_time(self, lenet_lut_gpgpu):
+        import numpy as np
+
+        lut = lenet_lut_gpgpu
+        idx = lut.indexed()
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            choices = np.array(
+                [rng.integers(n) for n in idx.num_actions], dtype=np.int64
+            )
+            assert idx.total_ms(choices) == pytest.approx(
+                lut.schedule_time(idx.assignments(choices))
+            )
+
+    def test_edge_matrices_nonnegative(self, squeezenet_lut_gpgpu):
+        idx = squeezenet_lut_gpgpu.indexed()
+        for matrix in idx.edge_matrices:
+            assert (matrix >= 0).all()
+
+    def test_incoming_covers_all_edges(self, squeezenet_lut_gpgpu):
+        idx = squeezenet_lut_gpgpu.indexed()
+        assert sum(len(inc) for inc in idx.incoming) == len(idx.edges)
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, lenet_lut_gpgpu):
+        lut = lenet_lut_gpgpu
+        clone = LatencyTable.from_json(lut.to_json())
+        assert clone.layers == lut.layers
+        assert clone.graph_name == lut.graph_name
+        assert clone.times_ms == lut.times_ms
+        assert clone.edges == lut.edges
+        assert clone.transfer_ms == lut.transfer_ms
+
+    def test_roundtrip_preserves_schedule_time(self, lenet_lut_gpgpu):
+        lut = lenet_lut_gpgpu
+        clone = LatencyTable.from_json(lut.to_json())
+        assignments = {l: lut.best_uid(l) for l in lut.layers}
+        assert clone.schedule_time(assignments) == pytest.approx(
+            lut.schedule_time(assignments)
+        )
+
+    def test_synthetic_roundtrip(self):
+        lut = synthetic_chain_lut(4, 3, seed=9)
+        clone = LatencyTable.from_json(lut.to_json())
+        assignments = {l: lut.candidates[l][1] for l in lut.layers}
+        assert clone.schedule_time(assignments) == pytest.approx(
+            lut.schedule_time(assignments)
+        )
+
+
+class TestProfiler:
+    def test_lut_complete_for_all_candidates(self, lenet_lut_gpgpu):
+        lut = lenet_lut_gpgpu
+        for layer, uids in lut.candidates.items():
+            for uid in uids:
+                assert lut.layer_time(layer, uid) > 0
+
+    def test_inference_count_is_primitive_types_present(self, tx2=None):
+        platform = jetson_tx2()
+        graph = build_network("lenet5")
+        space = gpgpu_space(platform)
+        profiler = Profiler(graph, space, platform, seed=0, repeats=5)
+        lut, report = profiler.profile()
+        # 1 vanilla pass + one per non-vanilla primitive present in LeNet.
+        present = {
+            p.uid
+            for p in space.primitives
+            if p.library != "vanilla"
+            and any(p.supports(l, graph) for l in graph.layers())
+        }
+        assert report.network_inferences == 1 + len(present)
+        assert report.compatibility_passes == 1
+        assert report.total_passes == report.network_inferences + 1
+        assert lut.profiling_inferences == report.network_inferences
+
+    def test_profiling_much_cheaper_than_exhaustive(self):
+        platform = jetson_tx2()
+        graph = build_network("lenet5")
+        space = gpgpu_space(platform)
+        profiler = Profiler(graph, space, platform, seed=0, repeats=5)
+        _, report = profiler.profile()
+        assert report.network_inferences < 50  # vs 12^8 exhaustive configs
+
+    def test_measurements_near_true_model(self):
+        quiet = jetson_tx2(noise_sigma=0.0)
+        noisy = jetson_tx2(noise_sigma=0.03)
+        graph = build_network("lenet5")
+        lut_q = InferenceEngineOptimizer(
+            graph, quiet, mode=Mode.GPGPU, seed=0
+        ).profile()
+        lut_n = InferenceEngineOptimizer(
+            graph, noisy, mode=Mode.GPGPU, seed=0
+        ).profile()
+        for layer in lut_q.layers:
+            for uid in lut_q.candidates[layer]:
+                true = lut_q.layer_time(layer, uid)
+                measured = lut_n.layer_time(layer, uid)
+                assert measured == pytest.approx(true, rel=0.05)
+
+    def test_bad_repeats_rejected(self):
+        platform = jetson_tx2()
+        graph = build_network("lenet5")
+        with pytest.raises(ProfilingError):
+            Profiler(graph, gpgpu_space(platform), platform, repeats=0)
+
+
+class TestCompatProfiling:
+    def test_every_edge_profiled(self):
+        platform = jetson_tx2()
+        graph = build_network("squeezenet_v1.1")
+        conversions, transfers = profile_compatibility(graph, platform)
+        assert set(conversions) == set(graph.edges())
+        assert set(transfers) == set(graph.edges())
+
+    def test_cpu_only_platform_has_no_transfers(self):
+        from repro.hw.presets import cpu_only
+
+        platform = cpu_only(jetson_tx2())
+        graph = build_network("lenet5")
+        conversions, transfers = profile_compatibility(graph, platform)
+        assert transfers == {}
+        for per_proc in conversions.values():
+            assert set(per_proc) == {ProcessorKind.CPU}
+
+    def test_conversion_free_for_degenerate_edges(self):
+        platform = jetson_tx2()
+        graph = build_network("lenet5")
+        conversions, _ = profile_compatibility(graph, platform)
+        # ip1 -> relu1 carries a 500x1x1 tensor: layouts equivalent.
+        assert conversions[("ip1", "relu1")][ProcessorKind.CPU] == 0.0
+
+
+class TestOptimizerFacade:
+    def test_profile_is_cached(self):
+        platform = jetson_tx2()
+        graph = build_network("lenet5")
+        opt = InferenceEngineOptimizer(graph, platform, mode=Mode.GPGPU)
+        assert opt.profile() is opt.profile()
+
+    def test_deploy_report(self):
+        platform = jetson_tx2()
+        graph = build_network("lenet5")
+        opt = InferenceEngineOptimizer(graph, platform, mode=Mode.GPGPU)
+        lut = opt.profile()
+        from repro.engine.schedule import vanilla_schedule
+
+        report = opt.deploy(vanilla_schedule(graph, opt.space))
+        assert report.total_ms > 0
+        assert report.libraries == ["vanilla"]
+        assert "Deployment" in report.render()
+
+    def test_deploy_matches_lut_within_noise(self):
+        platform = jetson_tx2()
+        graph = build_network("lenet5")
+        opt = InferenceEngineOptimizer(graph, platform, mode=Mode.GPGPU)
+        lut = opt.profile()
+        assignments = {l: lut.best_uid(l) for l in lut.layers}
+        from repro.engine.schedule import NetworkSchedule
+
+        report = opt.deploy(NetworkSchedule(graph.name, assignments))
+        assert report.total_ms == pytest.approx(
+            lut.schedule_time(assignments), rel=0.1
+        )

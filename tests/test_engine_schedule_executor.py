@@ -1,0 +1,177 @@
+"""Tests for schedules and the simulated executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import Mode, gpgpu_space
+from repro.engine.executor import Executor
+from repro.engine.schedule import (
+    NetworkSchedule,
+    primitive_type_schedule,
+    vanilla_schedule,
+)
+from repro.errors import ScheduleError
+from repro.hw import jetson_tx2
+from repro.utils.rng import derive_rng
+from repro.zoo import build_network
+
+
+@pytest.fixture(scope="module")
+def tx2():
+    return jetson_tx2()
+
+
+@pytest.fixture(scope="module")
+def tx2_quiet():
+    return jetson_tx2(noise_sigma=0.0)
+
+
+@pytest.fixture(scope="module")
+def lenet():
+    return build_network("lenet5")
+
+
+@pytest.fixture(scope="module")
+def space(tx2):
+    return gpgpu_space(tx2)
+
+
+class TestVanillaSchedule:
+    def test_assigns_every_layer(self, lenet, space):
+        sched = vanilla_schedule(lenet, space)
+        assert len(sched) == len(lenet.layers())
+
+    def test_only_vanilla(self, lenet, space):
+        sched = vanilla_schedule(lenet, space)
+        assert sched.libraries_used(space) == ["vanilla"]
+
+    def test_validates(self, lenet, space):
+        vanilla_schedule(lenet, space).validate(lenet, space)
+
+
+class TestPrimitiveTypeSchedule:
+    def test_substitutes_where_supported(self, lenet, space):
+        cudnn_conv = space.primitive("cudnn.implicit_gemm.precomp")
+        sched = primitive_type_schedule(lenet, space, cudnn_conv)
+        assert sched.primitive_uid("conv1") == "cudnn.implicit_gemm.precomp"
+        assert sched.primitive_uid("conv2") == "cudnn.implicit_gemm.precomp"
+        # FC layers stay Vanilla: cuDNN cannot implement them.
+        assert sched.primitive_uid("ip1").startswith("vanilla")
+
+    def test_libraries_used(self, lenet, space):
+        prim = space.primitive("nnpack.gemv.inference")
+        sched = primitive_type_schedule(lenet, space, prim)
+        assert sched.libraries_used(space) == ["nnpack", "vanilla"]
+
+
+class TestScheduleValidation:
+    def test_missing_layer_raises(self, lenet, space):
+        sched = NetworkSchedule(lenet.name)
+        with pytest.raises(ScheduleError):
+            sched.validate(lenet, space)
+
+    def test_wrong_graph_name_raises(self, lenet, space):
+        sched = NetworkSchedule("other")
+        with pytest.raises(ScheduleError):
+            sched.validate(lenet, space)
+
+    def test_unsupported_assignment_raises(self, lenet, space):
+        sched = vanilla_schedule(lenet, space)
+        sched.assign("ip1", "cudnn.implicit_gemm.precomp")  # FC via cuDNN: no
+        with pytest.raises(ScheduleError):
+            sched.validate(lenet, space)
+
+    def test_extra_layer_raises(self, lenet, space):
+        sched = vanilla_schedule(lenet, space)
+        sched.assign("ghost", "vanilla.direct.conv")
+        with pytest.raises(ScheduleError):
+            sched.validate(lenet, space)
+
+    def test_unknown_layer_lookup_raises(self, lenet):
+        with pytest.raises(ScheduleError):
+            NetworkSchedule(lenet.name).primitive_uid("conv1")
+
+
+class TestExecutor:
+    def test_noiseless_run_is_deterministic(self, lenet, space, tx2_quiet):
+        ex = Executor(lenet, gpgpu_space(tx2_quiet), tx2_quiet)
+        sched = vanilla_schedule(lenet, gpgpu_space(tx2_quiet))
+        a = ex.run(sched).total_ms
+        b = ex.run(sched).total_ms
+        assert a == b
+
+    def test_vanilla_run_has_no_penalties(self, lenet, space, tx2):
+        ex = Executor(lenet, space, tx2)
+        result = ex.run(vanilla_schedule(lenet, space))
+        assert result.overhead_ms == 0.0
+
+    def test_total_is_compute_plus_overhead(self, lenet, space, tx2):
+        ex = Executor(lenet, space, tx2)
+        prim = space.primitive("cudnn.implicit_gemm.precomp")
+        result = ex.run(primitive_type_schedule(lenet, space, prim))
+        assert result.total_ms == pytest.approx(
+            result.compute_ms + result.overhead_ms
+        )
+
+    def test_mixed_processors_pay_transfers(self, lenet, space, tx2):
+        ex = Executor(lenet, space, tx2)
+        prim = space.primitive("cudnn.implicit_gemm.precomp")
+        result = ex.run(primitive_type_schedule(lenet, space, prim))
+        # conv layers on GPU, rest on CPU: at least two boundary crossings.
+        assert result.overhead_ms > 0.0
+        assert len(result.penalty_ms) >= 2
+
+    def test_noise_changes_measurements(self, lenet, space, tx2):
+        ex = Executor(lenet, space, tx2)
+        sched = vanilla_schedule(lenet, space)
+        a = ex.run(sched, rng=derive_rng(1, "a")).total_ms
+        b = ex.run(sched, rng=derive_rng(2, "b")).total_ms
+        assert a != b
+
+    def test_same_rng_same_measurement(self, lenet, space, tx2):
+        ex = Executor(lenet, space, tx2)
+        sched = vanilla_schedule(lenet, space)
+        a = ex.run(sched, rng=derive_rng(5, "x")).total_ms
+        b = ex.run(sched, rng=derive_rng(5, "x")).total_ms
+        assert a == b
+
+    def test_repeats_shrink_jitter(self, lenet, space, tx2):
+        ex = Executor(lenet, space, tx2)
+        sched = vanilla_schedule(lenet, space)
+        noiseless = ex.run(sched).total_ms
+        single = [
+            abs(ex.run(sched, rng=derive_rng(i, "s")).total_ms - noiseless)
+            for i in range(20)
+        ]
+        averaged = [
+            abs(
+                ex.run(sched, rng=derive_rng(i, "m"), repeats=50).total_ms
+                - noiseless
+            )
+            for i in range(20)
+        ]
+        assert sum(averaged) < sum(single)
+
+    def test_slowest_layers_ranked(self, lenet, space, tx2):
+        ex = Executor(lenet, space, tx2)
+        result = ex.run(vanilla_schedule(lenet, space))
+        top = result.slowest_layers(3)
+        assert len(top) == 3
+        assert top[0][1] >= top[1][1] >= top[2][1]
+
+    def test_true_penalty_zero_for_same_primitive(self, lenet, space, tx2):
+        ex = Executor(lenet, space, tx2)
+        uid = "vanilla.direct.conv"
+        assert ex.true_penalty_ms("conv1", "pool1", uid, "vanilla.direct.pool") == 0.0
+
+    def test_true_penalty_transfer_and_conversion(self, lenet, space, tx2):
+        ex = Executor(lenet, space, tx2)
+        # CPU/NHWC producer -> GPU/NCHW consumer: transfer + conversion.
+        both = ex.true_penalty_ms(
+            "conv1", "pool1", "armcl.gemm.neon", "cudnn.direct.pool"
+        )
+        transfer_only = ex.true_penalty_ms(
+            "conv1", "pool1", "blas.gemm.im2col@openblas", "cudnn.direct.pool"
+        )
+        assert both > transfer_only > 0

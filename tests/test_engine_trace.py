@@ -1,0 +1,95 @@
+"""Tests for execution traces."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Mode, jetson_tx2
+from repro.backends import gpgpu_space
+from repro.engine import Executor
+from repro.engine.schedule import primitive_type_schedule, vanilla_schedule
+from repro.engine.trace import (
+    build_trace,
+    chrome_trace_json,
+    lane_totals,
+    render_timeline,
+)
+from repro.zoo import build_network
+
+
+@pytest.fixture(scope="module")
+def setup():
+    platform = jetson_tx2(noise_sigma=0.0)
+    graph = build_network("lenet5")
+    space = gpgpu_space(platform)
+    executor = Executor(graph, space, platform)
+    return graph, space, executor
+
+
+class TestBuildTrace:
+    def test_one_event_per_layer_vanilla(self, setup):
+        graph, space, executor = setup
+        result = executor.run(vanilla_schedule(graph, space))
+        events = build_trace(graph, space, result)
+        assert len(events) == len(graph.layers())  # no penalties
+
+    def test_events_are_contiguous(self, setup):
+        graph, space, executor = setup
+        result = executor.run(vanilla_schedule(graph, space))
+        events = build_trace(graph, space, result)
+        clock = 0.0
+        for event in events:
+            assert event.start_ms == pytest.approx(clock)
+            clock += event.duration_ms
+
+    def test_total_matches_execution(self, setup):
+        graph, space, executor = setup
+        schedule = primitive_type_schedule(
+            graph, space, space.primitive("cudnn.implicit_gemm.precomp")
+        )
+        result = executor.run(schedule)
+        events = build_trace(graph, space, result)
+        end = events[-1].start_ms + events[-1].duration_ms
+        assert end == pytest.approx(result.total_ms)
+
+    def test_penalty_events_for_mixed_schedule(self, setup):
+        graph, space, executor = setup
+        schedule = primitive_type_schedule(
+            graph, space, space.primitive("cudnn.implicit_gemm.precomp")
+        )
+        result = executor.run(schedule)
+        events = build_trace(graph, space, result)
+        lanes = {e.lane for e in events}
+        assert "penalty" in lanes and "gpu" in lanes and "cpu" in lanes
+
+    def test_lane_totals_sum_to_total(self, setup):
+        graph, space, executor = setup
+        schedule = primitive_type_schedule(
+            graph, space, space.primitive("cudnn.implicit_gemm.precomp")
+        )
+        result = executor.run(schedule)
+        totals = lane_totals(build_trace(graph, space, result))
+        assert sum(totals.values()) == pytest.approx(result.total_ms)
+
+
+class TestRendering:
+    def test_timeline_mentions_layers(self, setup):
+        graph, space, executor = setup
+        result = executor.run(vanilla_schedule(graph, space))
+        text = render_timeline(build_trace(graph, space, result))
+        assert "conv1" in text and "total" in text
+
+    def test_empty_trace(self):
+        assert render_timeline([]) == "(empty trace)"
+
+    def test_chrome_trace_parses(self, setup):
+        graph, space, executor = setup
+        result = executor.run(vanilla_schedule(graph, space))
+        payload = json.loads(
+            chrome_trace_json(build_trace(graph, space, result))
+        )
+        assert len(payload["traceEvents"]) == len(graph.layers())
+        event = payload["traceEvents"][0]
+        assert event["ph"] == "X" and event["dur"] > 0

@@ -1,0 +1,94 @@
+"""Tests for LUT integrity validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.validate import lut_problems, validate_lut
+from repro.errors import ProfilingError
+
+from tests.helpers import synthetic_chain_lut
+
+
+class TestHealthyLuts:
+    def test_synthetic_is_clean(self):
+        assert lut_problems(synthetic_chain_lut(5, 3, seed=0)) == []
+
+    def test_profiled_is_clean(self, lenet_lut_gpgpu):
+        assert lut_problems(lenet_lut_gpgpu) == []
+
+    def test_validate_passes_silently(self, lenet_lut_gpgpu):
+        validate_lut(lenet_lut_gpgpu)
+
+
+class TestBrokenLuts:
+    def test_missing_measurement_detected(self):
+        lut = synthetic_chain_lut(4, 3, seed=1)
+        del lut.times_ms["layer1"]["prim0"]
+        assert any("no measurement" in p for p in lut_problems(lut))
+
+    def test_non_positive_time_detected(self):
+        lut = synthetic_chain_lut(4, 3, seed=1)
+        lut.times_ms["layer0"]["prim1"] = 0.0
+        assert any("non-positive" in p for p in lut_problems(lut))
+
+    def test_missing_metadata_detected(self):
+        lut = synthetic_chain_lut(4, 3, seed=1)
+        del lut.meta["prim2"]
+        assert any("lacks metadata" in p for p in lut_problems(lut))
+
+    def test_empty_candidates_detected(self):
+        lut = synthetic_chain_lut(4, 3, seed=1)
+        lut.candidates["layer2"] = []
+        assert any("no candidates" in p for p in lut_problems(lut))
+
+    def test_unknown_edge_layer_detected(self):
+        lut = synthetic_chain_lut(4, 3, seed=1)
+        lut.edges.append(("ghost", "layer1"))
+        assert any("unknown layers" in p for p in lut_problems(lut))
+
+    def test_missing_transfer_detected(self):
+        lut = synthetic_chain_lut(4, 3, seed=1)  # has GPU primitives
+        del lut.transfer_ms[("layer0", "layer1")]
+        assert any("lacks a transfer" in p for p in lut_problems(lut))
+
+    def test_missing_conversion_detected(self):
+        lut = synthetic_chain_lut(4, 3, seed=1)
+        del lut.conversion_ms[("layer1", "layer2")]
+        assert any("lacks conversion" in p for p in lut_problems(lut))
+
+    def test_negative_penalty_detected(self):
+        lut = synthetic_chain_lut(4, 3, seed=1)
+        lut.transfer_ms[("layer0", "layer1")] = -1.0
+        assert any("negative transfer" in p for p in lut_problems(lut))
+
+    def test_validate_raises_with_summary(self):
+        lut = synthetic_chain_lut(4, 3, seed=1)
+        del lut.times_ms["layer1"]["prim0"]
+        with pytest.raises(ProfilingError, match="no measurement"):
+            validate_lut(lut)
+
+    def test_many_problems_are_truncated(self):
+        lut = synthetic_chain_lut(6, 4, seed=1)
+        lut.times_ms = {l: {} for l in lut.layers}  # everything missing
+        with pytest.raises(ProfilingError, match="more"):
+            validate_lut(lut)
+
+
+class TestScheduleJsonRoundtrip:
+    def test_roundtrip(self):
+        from repro.engine.schedule import NetworkSchedule
+
+        sched = NetworkSchedule("net", {"a": "prim0", "b": "prim1"})
+        clone = NetworkSchedule.from_json(sched.to_json())
+        assert clone.graph_name == "net"
+        assert clone.assignments == sched.assignments
+
+    def test_malformed_json_raises(self):
+        from repro.engine.schedule import NetworkSchedule
+        from repro.errors import ScheduleError
+
+        with pytest.raises(ScheduleError):
+            NetworkSchedule.from_json("{not json")
+        with pytest.raises(ScheduleError):
+            NetworkSchedule.from_json('{"missing": "keys"}')

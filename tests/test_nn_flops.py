@@ -1,0 +1,84 @@
+"""Unit tests for FLOP/byte accounting — checked against hand counts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nn.builder import NetworkBuilder
+from repro.nn.flops import (
+    layer_arithmetic_intensity,
+    layer_flops,
+    layer_io_bytes,
+    layer_weight_bytes,
+)
+from repro.nn.tensor import TensorShape
+
+
+@pytest.fixture()
+def net():
+    b = NetworkBuilder("flops", TensorShape(3, 8, 8))
+    b.conv("conv", out_channels=4, kernel=3, padding=1)       # 4 x 8 x 8
+    b.depthwise("dw", kernel=3, padding=1)                    # 4 x 8 x 8
+    b.batch_norm("bn")
+    b.relu("relu")
+    b.pool_max("pool", kernel=2)                              # 4 x 4 x 4
+    b.fc("fc", out_channels=10)
+    b.softmax("sm")
+    return b.build()
+
+
+class TestFlops:
+    def test_conv(self, net):
+        # 2 * k*k * cin * out_numel = 2*9*3*256
+        assert layer_flops(net.layer("conv"), net) == 2 * 9 * 3 * 4 * 64
+
+    def test_depthwise(self, net):
+        # 2 * k*k * out_numel
+        assert layer_flops(net.layer("dw"), net) == 2 * 9 * 4 * 64
+
+    def test_fc(self, net):
+        # 2 * in * out = 2 * 64 * 10
+        assert layer_flops(net.layer("fc"), net) == 2 * 64 * 10
+
+    def test_pool(self, net):
+        assert layer_flops(net.layer("pool"), net) == 4 * 4 * 16
+
+    def test_relu(self, net):
+        assert layer_flops(net.layer("relu"), net) == 4 * 64
+
+    def test_batch_norm(self, net):
+        assert layer_flops(net.layer("bn"), net) == 2 * 4 * 64
+
+    def test_softmax(self, net):
+        assert layer_flops(net.layer("sm"), net) == 4 * 10
+
+
+class TestWeights:
+    def test_conv_weights(self, net):
+        # (k*k*cin*cout + bias) * 4 bytes
+        assert layer_weight_bytes(net.layer("conv"), net) == (9 * 3 * 4 + 4) * 4
+
+    def test_depthwise_weights(self, net):
+        assert layer_weight_bytes(net.layer("dw"), net) == (9 * 4 + 4) * 4
+
+    def test_fc_weights(self, net):
+        assert layer_weight_bytes(net.layer("fc"), net) == (64 * 10 + 10) * 4
+
+    def test_bn_weights(self, net):
+        assert layer_weight_bytes(net.layer("bn"), net) == 2 * 4 * 4
+
+    def test_relu_no_weights(self, net):
+        assert layer_weight_bytes(net.layer("relu"), net) == 0
+
+
+class TestIO:
+    def test_relu_io(self, net):
+        # read 4x8x8, write 4x8x8, fp32.
+        assert layer_io_bytes(net.layer("relu"), net) == 2 * 4 * 64 * 4
+
+    def test_pool_io(self, net):
+        assert layer_io_bytes(net.layer("pool"), net) == (4 * 64 + 4 * 16) * 4
+
+    def test_intensity_positive(self, net):
+        for layer in net.layers():
+            assert layer_arithmetic_intensity(layer, net) >= 0

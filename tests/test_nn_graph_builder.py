@@ -1,0 +1,173 @@
+"""Unit tests for the network graph and fluent builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError, UnknownLayerError
+from repro.nn.builder import NetworkBuilder
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import Layer
+from repro.nn.tensor import TensorShape
+from repro.nn.types import LayerKind
+
+
+def small_chain() -> NetworkGraph:
+    b = NetworkBuilder("chain", TensorShape(3, 8, 8))
+    b.conv("c1", out_channels=4, kernel=3, padding=1)
+    b.relu("r1")
+    b.fc("f1", out_channels=10)
+    return b.build()
+
+
+def branchy() -> NetworkGraph:
+    b = NetworkBuilder("branchy", TensorShape(3, 8, 8))
+    trunk = b.conv("trunk", out_channels=4, kernel=1)
+    left = b.conv("left", out_channels=2, kernel=1, after=trunk)
+    right = b.conv("right", out_channels=2, kernel=1, after=trunk)
+    b.concat("merge", inputs=[left, right])
+    return b.build()
+
+
+class TestGraphStructure:
+    def test_layers_exclude_input_by_default(self):
+        net = small_chain()
+        assert [l.name for l in net.layers()] == ["c1", "r1", "f1"]
+
+    def test_layers_include_input(self):
+        net = small_chain()
+        assert net.layers(include_input=True)[0].kind is LayerKind.INPUT
+
+    def test_len_counts_input(self):
+        assert len(small_chain()) == 4
+
+    def test_contains(self):
+        net = small_chain()
+        assert "c1" in net and "nope" not in net
+
+    def test_duplicate_name_rejected(self):
+        b = NetworkBuilder("dup", TensorShape(1, 4, 4))
+        b.relu("r")
+        with pytest.raises(GraphError):
+            b.relu("r")
+
+    def test_unknown_producer_rejected(self):
+        net = small_chain()
+        with pytest.raises(UnknownLayerError):
+            net.add_layer(Layer(name="x", kind=LayerKind.RELU, inputs=("ghost",)))
+
+    def test_second_input_layer_rejected(self):
+        net = small_chain()
+        with pytest.raises(GraphError):
+            net.add_layer(Layer(name="input2", kind=LayerKind.INPUT))
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(UnknownLayerError):
+            small_chain().layer("ghost")
+
+    def test_output_shape_lookup(self):
+        net = small_chain()
+        assert net.output_shape("c1") == TensorShape(4, 8, 8)
+        assert net.output_shape("f1") == TensorShape(10, 1, 1)
+
+    def test_predecessors_successors(self):
+        net = branchy()
+        assert {l.name for l in net.successors("trunk")} == {"left", "right"}
+        assert [l.name for l in net.predecessors("merge")] == ["left", "right"]
+
+    def test_edges_exclude_input_by_default(self):
+        net = small_chain()
+        assert ("input", "c1") not in net.edges()
+        assert ("input", "c1") in net.edges(include_input=True)
+
+    def test_branch_edges(self):
+        net = branchy()
+        edges = net.edges()
+        assert ("trunk", "left") in edges and ("left", "merge") in edges
+
+    def test_output_layer_unique_sink(self):
+        assert branchy().output_layer.name == "merge"
+
+    def test_two_sinks_rejected(self):
+        b = NetworkBuilder("twosinks", TensorShape(1, 4, 4))
+        b.relu("a")
+        b.relu("b", after="input")
+        net = b._graph  # bypass build() validation deliberately
+        with pytest.raises(GraphError):
+            _ = net.output_layer
+
+    def test_validate_passes_on_good_graph(self):
+        branchy().validate()
+
+    def test_repr(self):
+        assert "chain" in repr(small_chain())
+
+
+class TestBuilder:
+    def test_cursor_follows_additions(self):
+        b = NetworkBuilder("c", TensorShape(1, 4, 4))
+        name = b.relu("r")
+        assert b.cursor == name == "r"
+
+    def test_after_overrides_cursor(self):
+        net = branchy()
+        assert net.layer("right").inputs == ("trunk",)
+
+    def test_builder_is_spent_after_build(self):
+        b = NetworkBuilder("c", TensorShape(1, 4, 4))
+        b.relu("r")
+        b.build()
+        with pytest.raises(GraphError):
+            b.relu("again")
+
+    def test_pool_stride_defaults_to_kernel(self):
+        b = NetworkBuilder("p", TensorShape(1, 8, 8))
+        b.pool_max("p1", kernel=2)
+        net = b.build()
+        assert net.layer("p1").stride == 2
+        assert net.output_shape("p1") == TensorShape(1, 4, 4)
+
+    def test_conv_bn_relu_block(self):
+        b = NetworkBuilder("blk", TensorShape(3, 8, 8))
+        out = b.conv_bn_relu("conv1", out_channels=8, kernel=3, padding=1)
+        net = b.build()
+        assert out == "conv1/relu"
+        assert net.layer("conv1/bn").kind is LayerKind.BATCH_NORM
+
+    def test_dw_bn_relu_block(self):
+        b = NetworkBuilder("blk", TensorShape(8, 8, 8))
+        out = b.dw_bn_relu("dw1", kernel=3, padding=1)
+        net = b.build()
+        assert out == "dw1/relu"
+        assert net.layer("dw1").kind is LayerKind.DEPTHWISE_CONV
+
+    def test_output_shape_accessor(self):
+        b = NetworkBuilder("s", TensorShape(3, 8, 8))
+        b.conv("c", out_channels=5, kernel=1)
+        assert b.output_shape("c").channels == 5
+
+    def test_flatten(self):
+        b = NetworkBuilder("f", TensorShape(2, 3, 3))
+        b.flatten("fl")
+        net = b.build()
+        assert net.output_shape("fl") == TensorShape(18, 1, 1)
+
+    def test_add_layer_eltwise(self):
+        b = NetworkBuilder("res", TensorShape(4, 8, 8))
+        c = b.conv("c", out_channels=4, kernel=3, padding=1)
+        s = b.add("sum", inputs=[c, "input"])
+        net = b.build()
+        assert net.layer(s).kind is LayerKind.ELTWISE_ADD
+
+
+class TestAccounting:
+    def test_total_flops_positive(self):
+        assert small_chain().total_flops() > 0
+
+    def test_total_weight_bytes_positive(self):
+        assert small_chain().total_weight_bytes() > 0
+
+    def test_relu_adds_no_weights(self):
+        b = NetworkBuilder("w", TensorShape(1, 4, 4))
+        b.relu("r")
+        assert b.build().total_weight_bytes() == 0

@@ -1,0 +1,107 @@
+"""Unit tests for shape inference."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import Layer
+from repro.nn.shapes import infer_output_shape
+from repro.nn.tensor import TensorShape
+from repro.nn.types import LayerKind
+
+
+def _conv(kernel=3, stride=1, padding=0, out_channels=8):
+    return Layer(
+        name="c", kind=LayerKind.CONV, inputs=("x",),
+        kernel=kernel, stride=stride, padding=padding, out_channels=out_channels,
+    )
+
+
+class TestConvShapes:
+    def test_same_padding(self):
+        out = infer_output_shape(_conv(3, 1, 1), [TensorShape(3, 32, 32)])
+        assert out == TensorShape(8, 32, 32)
+
+    def test_valid_padding(self):
+        out = infer_output_shape(_conv(5), [TensorShape(1, 28, 28)])
+        assert out == TensorShape(8, 24, 24)
+
+    def test_stride(self):
+        out = infer_output_shape(_conv(11, 4, 0, 96), [TensorShape(3, 227, 227)])
+        assert out == TensorShape(96, 55, 55)
+
+    def test_window_too_large_raises(self):
+        with pytest.raises(ShapeError):
+            infer_output_shape(_conv(7), [TensorShape(3, 5, 5)])
+
+    def test_rectangular_input(self):
+        out = infer_output_shape(_conv(3, 2, 1), [TensorShape(3, 112, 96)])
+        assert out == TensorShape(8, 56, 48)
+
+
+class TestOtherShapes:
+    def test_depthwise_keeps_channels(self):
+        dw = Layer(name="d", kind=LayerKind.DEPTHWISE_CONV, inputs=("x",),
+                   kernel=3, stride=2, padding=1)
+        out = infer_output_shape(dw, [TensorShape(32, 112, 112)])
+        assert out == TensorShape(32, 56, 56)
+
+    def test_global_pool(self):
+        gp = Layer(name="p", kind=LayerKind.POOL_AVG, inputs=("x",),
+                   variant="global")
+        assert infer_output_shape(gp, [TensorShape(1024, 7, 7)]) == TensorShape(1024, 1, 1)
+
+    def test_fc_flattens(self):
+        fc = Layer(name="f", kind=LayerKind.FULLY_CONNECTED, inputs=("x",),
+                   out_channels=10)
+        assert infer_output_shape(fc, [TensorShape(50, 4, 4)]) == TensorShape(10, 1, 1)
+
+    def test_flatten(self):
+        fl = Layer(name="fl", kind=LayerKind.FLATTEN, inputs=("x",))
+        assert infer_output_shape(fl, [TensorShape(2, 3, 4)]) == TensorShape(24, 1, 1)
+
+    def test_concat_sums_channels(self):
+        cat = Layer(name="cat", kind=LayerKind.CONCAT, inputs=("a", "b"))
+        out = infer_output_shape(
+            cat, [TensorShape(64, 28, 28), TensorShape(32, 28, 28)]
+        )
+        assert out == TensorShape(96, 28, 28)
+
+    def test_concat_spatial_mismatch_raises(self):
+        cat = Layer(name="cat", kind=LayerKind.CONCAT, inputs=("a", "b"))
+        with pytest.raises(ShapeError):
+            infer_output_shape(
+                cat, [TensorShape(64, 28, 28), TensorShape(32, 14, 14)]
+            )
+
+    def test_eltwise_requires_identical(self):
+        add = Layer(name="add", kind=LayerKind.ELTWISE_ADD, inputs=("a", "b"))
+        with pytest.raises(ShapeError):
+            infer_output_shape(
+                add, [TensorShape(64, 28, 28), TensorShape(32, 28, 28)]
+            )
+
+    def test_eltwise_passthrough(self):
+        add = Layer(name="add", kind=LayerKind.ELTWISE_ADD, inputs=("a", "b"))
+        shape = TensorShape(64, 28, 28)
+        assert infer_output_shape(add, [shape, shape]) == shape
+
+    @pytest.mark.parametrize(
+        "kind", [LayerKind.RELU, LayerKind.BATCH_NORM, LayerKind.LRN,
+                 LayerKind.SOFTMAX]
+    )
+    def test_elementwise_preserve_shape(self, kind):
+        layer = Layer(name="e", kind=kind, inputs=("x",))
+        shape = TensorShape(16, 8, 8)
+        assert infer_output_shape(layer, [shape]) == shape
+
+    def test_input_kind_rejected(self):
+        inp = Layer(name="input2", kind=LayerKind.INPUT)
+        with pytest.raises(ShapeError):
+            infer_output_shape(inp, [])
+
+    def test_wrong_arity_rejected(self):
+        relu = Layer(name="r", kind=LayerKind.RELU, inputs=("x",))
+        with pytest.raises(ShapeError):
+            infer_output_shape(relu, [TensorShape(1, 1, 1), TensorShape(1, 1, 1)])

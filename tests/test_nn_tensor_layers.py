@@ -1,0 +1,112 @@
+"""Unit tests for tensor shapes and layer specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError, ShapeError
+from repro.nn.layers import Layer
+from repro.nn.tensor import DTYPE_BYTES, TensorShape
+from repro.nn.types import LayerKind
+
+
+class TestTensorShape:
+    def test_numel(self):
+        assert TensorShape(3, 4, 5).numel == 60
+
+    def test_nbytes_fp32(self):
+        assert TensorShape(1, 2, 2).nbytes == 4 * DTYPE_BYTES
+
+    def test_spatial(self):
+        assert TensorShape(8, 7, 9).spatial == (7, 9)
+
+    def test_flattened(self):
+        assert TensorShape(2, 3, 4).flattened() == TensorShape(24, 1, 1)
+
+    def test_with_channels(self):
+        assert TensorShape(2, 5, 5).with_channels(7) == TensorShape(7, 5, 5)
+
+    def test_str(self):
+        assert str(TensorShape(3, 224, 224)) == "3x224x224"
+
+    @pytest.mark.parametrize("bad", [(0, 1, 1), (1, -1, 1), (1, 1, 0)])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ShapeError):
+            TensorShape(*bad)
+
+    def test_is_hashable_and_comparable(self):
+        assert TensorShape(1, 2, 3) == TensorShape(1, 2, 3)
+        assert len({TensorShape(1, 2, 3), TensorShape(1, 2, 3)}) == 1
+
+
+class TestLayerValidation:
+    def test_conv_requires_out_channels(self):
+        with pytest.raises(ShapeError):
+            Layer(name="c", kind=LayerKind.CONV, inputs=("x",), kernel=3)
+
+    def test_conv_requires_kernel(self):
+        with pytest.raises(ShapeError):
+            Layer(name="c", kind=LayerKind.CONV, inputs=("x",), out_channels=8)
+
+    def test_depthwise_rejects_out_channels(self):
+        with pytest.raises(ShapeError):
+            Layer(
+                name="d", kind=LayerKind.DEPTHWISE_CONV, inputs=("x",),
+                kernel=3, out_channels=8,
+            )
+
+    def test_global_pool_rejects_kernel(self):
+        with pytest.raises(ShapeError):
+            Layer(
+                name="p", kind=LayerKind.POOL_AVG, inputs=("x",),
+                kernel=2, variant="global",
+            )
+
+    def test_concat_needs_two_inputs(self):
+        with pytest.raises(GraphError):
+            Layer(name="cat", kind=LayerKind.CONCAT, inputs=("x",))
+
+    def test_relu_needs_exactly_one_input(self):
+        with pytest.raises(GraphError):
+            Layer(name="r", kind=LayerKind.RELU, inputs=("x", "y"))
+
+    def test_input_layer_takes_no_inputs(self):
+        with pytest.raises(GraphError):
+            Layer(name="i", kind=LayerKind.INPUT, inputs=("x",))
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(ShapeError):
+            Layer(
+                name="c", kind=LayerKind.CONV, inputs=("x",),
+                kernel=3, out_channels=4, padding=-1,
+            )
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(ShapeError):
+            Layer(
+                name="c", kind=LayerKind.CONV, inputs=("x",),
+                kernel=3, out_channels=4, stride=0,
+            )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(GraphError):
+            Layer(name="", kind=LayerKind.RELU, inputs=("x",))
+
+    def test_valid_conv_describes_itself(self):
+        layer = Layer(
+            name="c", kind=LayerKind.CONV, inputs=("x",),
+            kernel=3, stride=2, padding=1, out_channels=64,
+        )
+        desc = layer.describe()
+        assert "k3s2p1" in desc and "->64" in desc
+
+    def test_with_inputs_copies(self):
+        layer = Layer(name="r", kind=LayerKind.RELU, inputs=("x",))
+        moved = layer.with_inputs(("y",))
+        assert moved.inputs == ("y",) and layer.inputs == ("x",)
+
+    def test_multi_input_flag(self):
+        cat = Layer(name="cat", kind=LayerKind.CONCAT, inputs=("a", "b"))
+        assert cat.is_multi_input
+        relu = Layer(name="r", kind=LayerKind.RELU, inputs=("a",))
+        assert not relu.is_multi_input

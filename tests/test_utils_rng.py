@@ -1,0 +1,72 @@
+"""Unit tests for the seeded RNG plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.rng import RngStream, derive_rng, spawn_seed
+
+
+class TestSpawnSeed:
+    def test_deterministic(self):
+        assert spawn_seed(1, "a", "b") == spawn_seed(1, "a", "b")
+
+    def test_different_names_differ(self):
+        assert spawn_seed(1, "a") != spawn_seed(1, "b")
+
+    def test_different_bases_differ(self):
+        assert spawn_seed(1, "a") != spawn_seed(2, "a")
+
+    def test_fits_in_uint64(self):
+        assert 0 <= spawn_seed(123, "x") < 2**64
+
+    def test_rejects_non_int_seed(self):
+        with pytest.raises(ConfigError):
+            spawn_seed("nope", "a")  # type: ignore[arg-type]
+
+    def test_name_path_order_matters(self):
+        assert spawn_seed(1, "a", "b") != spawn_seed(1, "b", "a")
+
+
+class TestDeriveRng:
+    def test_same_stream_same_draws(self):
+        a = derive_rng(7, "noise").normal(size=5)
+        b = derive_rng(7, "noise").normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinct_streams_distinct_draws(self):
+        a = derive_rng(7, "noise").normal(size=5)
+        b = derive_rng(7, "policy").normal(size=5)
+        assert not np.allclose(a, b)
+
+
+class TestRngStream:
+    def test_child_reproducible(self):
+        assert RngStream(7).child("x").normal() == RngStream(7).child("x").normal()
+
+    def test_substream_nesting(self):
+        direct = RngStream(7, "a").child("b").normal()
+        nested = RngStream(7).substream("a").child("b").normal()
+        assert direct == nested
+
+    def test_children_independent_of_creation_order(self):
+        s1 = RngStream(7)
+        first = s1.child("one").normal()
+        s2 = RngStream(7)
+        _ = s2.child("zero").normal()  # extra stream must not disturb "one"
+        assert first == s2.child("one").normal()
+
+    def test_seed_property(self):
+        assert RngStream(42).seed == 42
+
+    def test_path_property(self):
+        assert RngStream(42, "a", 1).path == ("a", 1)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ConfigError):
+            RngStream(3.5)  # type: ignore[arg-type]
+
+    def test_repr_mentions_seed(self):
+        assert "42" in repr(RngStream(42))

@@ -1,0 +1,71 @@
+"""Unit tests for statistics helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.utils.stats import geometric_mean, mean_and_ci, running_min
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single_value(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_below_arithmetic_mean(self):
+        values = [1.0, 2.0, 10.0]
+        assert geometric_mean(values) < sum(values) / len(values)
+
+
+class TestMeanAndCi:
+    def test_mean(self):
+        mean, _ = mean_and_ci([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+
+    def test_single_sample_zero_halfwidth(self):
+        _, ci = mean_and_ci([5.0])
+        assert ci == 0.0
+
+    def test_halfwidth_scales_with_spread(self):
+        _, narrow = mean_and_ci([1.0, 1.1, 0.9])
+        _, wide = mean_and_ci([1.0, 2.0, 0.0])
+        assert wide > narrow
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_and_ci([])
+
+    def test_known_value(self):
+        # Two samples 0 and 2: mean 1, sample sd sqrt(2), se 1.
+        mean, ci = mean_and_ci([0.0, 2.0], z=1.0)
+        assert mean == pytest.approx(1.0)
+        assert ci == pytest.approx(1.0)
+
+
+class TestRunningMin:
+    def test_monotone_non_increasing(self):
+        curve = running_min([5.0, 7.0, 3.0, 4.0, 1.0])
+        assert curve == [5.0, 5.0, 3.0, 3.0, 1.0]
+
+    def test_empty(self):
+        assert running_min([]) == []
+
+    def test_never_above_input(self):
+        values = [3.0, 1.0, 2.0]
+        for v, m in zip(values, running_min(values)):
+            assert m <= v
+
+    def test_handles_inf(self):
+        assert running_min([math.inf, 2.0]) == [math.inf, 2.0]

@@ -1,0 +1,82 @@
+"""Unit tests for ASCII table and plot rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.ascii_plot import line_plot
+from repro.utils.tables import AsciiTable
+
+
+class TestAsciiTable:
+    def test_renders_headers_and_rows(self):
+        t = AsciiTable(["net", "speedup"])
+        t.add_row(["LeNet-5", "3.2x"])
+        out = t.render()
+        assert "net" in out and "LeNet-5" in out and "3.2x" in out
+
+    def test_alignment_pads_columns(self):
+        t = AsciiTable(["a", "b"])
+        t.add_row(["xxxxxx", "1"])
+        lines = t.render().splitlines()
+        assert lines[0].index("b") == lines[2].index("1")
+
+    def test_title_is_first_line(self):
+        t = AsciiTable(["a"], title="My Table")
+        assert t.render().splitlines()[0] == "My Table"
+
+    def test_cells_are_stringified(self):
+        t = AsciiTable(["a"])
+        t.add_row([3.5])
+        assert "3.5" in t.render()
+
+    def test_wrong_arity_raises(self):
+        t = AsciiTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(["only-one"])
+
+    def test_rows_property_copies(self):
+        t = AsciiTable(["a"])
+        t.add_row(["x"])
+        rows = t.rows
+        rows[0][0] = "mutated"
+        assert t.rows[0][0] == "x"
+
+    def test_str_equals_render(self):
+        t = AsciiTable(["a"])
+        t.add_row(["1"])
+        assert str(t) == t.render()
+
+
+class TestLinePlot:
+    def test_contains_markers(self):
+        out = line_plot([0, 1, 2], [1.0, 5.0, 2.0], width=20, height=6)
+        assert "*" in out
+
+    def test_axis_labels(self):
+        out = line_plot([0, 10], [0.0, 1.0], width=20, height=6,
+                        xlabel="episode", ylabel="ms")
+        assert "episode" in out and "ms" in out
+
+    def test_title(self):
+        out = line_plot([0, 1], [0, 1], width=20, height=6, title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_empty_is_graceful(self):
+        assert line_plot([], [], width=20, height=6) == "(empty plot)"
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            line_plot([1, 2], [1.0], width=20, height=6)
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot([1], [1.0], width=2, height=2)
+
+    def test_constant_series_does_not_crash(self):
+        out = line_plot([0, 1, 2], [5.0, 5.0, 5.0], width=20, height=6)
+        assert "*" in out
+
+    def test_custom_marker(self):
+        out = line_plot([0, 1], [0.0, 1.0], width=20, height=6, marker="o")
+        assert "o" in out

@@ -1,0 +1,63 @@
+"""Unit tests for unit conversions and formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.units import (
+    format_ms,
+    format_speedup,
+    gflops,
+    mbytes,
+    ms_to_s,
+    s_to_ms,
+    us_to_ms,
+)
+
+
+class TestConversions:
+    def test_us_to_ms(self):
+        assert us_to_ms(1500.0) == 1.5
+
+    def test_ms_to_s(self):
+        assert ms_to_s(2500.0) == 2.5
+
+    def test_s_to_ms(self):
+        assert s_to_ms(0.25) == 250.0
+
+    def test_s_ms_roundtrip(self):
+        assert ms_to_s(s_to_ms(1.234)) == pytest.approx(1.234)
+
+    def test_gflops(self):
+        assert gflops(3.2e9) == pytest.approx(3.2)
+
+    def test_mbytes(self):
+        assert mbytes(1024 * 1024) == 1.0
+
+
+class TestFormatMs:
+    def test_microseconds(self):
+        assert format_ms(0.0123) == "12.3us"
+
+    def test_milliseconds(self):
+        assert format_ms(1.5) == "1.50ms"
+
+    def test_seconds(self):
+        assert format_ms(2500.0) == "2.50s"
+
+    def test_boundary_tenth_ms(self):
+        assert format_ms(0.1).endswith("ms")
+
+    def test_zero(self):
+        assert format_ms(0.0) == "0.0us"
+
+
+class TestFormatSpeedup:
+    def test_small(self):
+        assert format_speedup(1.234) == "1.23x"
+
+    def test_medium(self):
+        assert format_speedup(45.2) == "45.2x"
+
+    def test_large(self):
+        assert format_speedup(461.5) == "462x"

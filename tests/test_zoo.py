@@ -1,0 +1,194 @@
+"""Tests for the network zoo: canonical shapes, costs and structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.summary import summarize
+from repro.nn.tensor import TensorShape
+from repro.nn.types import LayerKind
+from repro.utils.units import gflops, mbytes
+from repro.zoo import TABLE2_NETWORKS, available_networks, build_network
+from repro.zoo.mobilenet import mobilenet_v1
+
+#: (network, GFLOPs, params MiB) from the original papers / model zoos.
+CANONICAL = {
+    "lenet5": (0.0046, 1.64),
+    "alexnet": (2.28, 238.0),
+    "vgg16": (30.96, 528.0),
+    "vgg19": (39.28, 548.0),
+    "googlenet": (3.19, 26.7),
+    "mobilenet_v1": (1.15, 16.2),
+    "squeezenet_v1.1": (0.78, 4.7),
+    "resnet18": (3.64, 44.6),
+    "resnet50": (8.22, 97.6),
+}
+
+
+class TestRegistry:
+    def test_all_available_build(self):
+        for name in available_networks():
+            net = build_network(name)
+            assert len(net.layers()) > 0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError):
+            build_network("resnet9000")
+
+    def test_table2_networks_are_available(self):
+        assert set(TABLE2_NETWORKS) <= set(available_networks())
+
+    def test_networks_validate(self):
+        for name in available_networks():
+            build_network(name).validate()
+
+
+@pytest.mark.parametrize("name,flops,params", [
+    (k, v[0], v[1]) for k, v in CANONICAL.items()
+])
+class TestCanonicalCosts:
+    def test_flops_match_published(self, name, flops, params):
+        net = build_network(name)
+        assert gflops(net.total_flops()) == pytest.approx(flops, rel=0.05)
+
+    def test_params_match_published(self, name, flops, params):
+        net = build_network(name)
+        assert mbytes(net.total_weight_bytes()) == pytest.approx(params, rel=0.05)
+
+
+class TestSpecificStructures:
+    def test_lenet_output(self):
+        net = build_network("lenet5")
+        assert net.output_shape("prob") == TensorShape(10, 1, 1)
+
+    def test_alexnet_conv1_is_55x55(self):
+        net = build_network("alexnet")
+        assert net.output_shape("conv1") == TensorShape(96, 55, 55)
+
+    def test_alexnet_has_lrn(self):
+        net = build_network("alexnet")
+        kinds = {l.kind for l in net.layers()}
+        assert LayerKind.LRN in kinds
+
+    def test_vgg19_has_16_convs(self):
+        net = build_network("vgg19")
+        convs = [l for l in net.layers() if l.kind is LayerKind.CONV]
+        assert len(convs) == 16
+
+    def test_googlenet_feature_ladder(self):
+        net = build_network("googlenet")
+        assert net.output_shape("pool2/3x3_s2").spatial == (28, 28)
+        assert net.output_shape("inception_4e/output").spatial == (14, 14)
+        assert net.output_shape("inception_5b/output") == TensorShape(1024, 7, 7)
+
+    def test_googlenet_inception_branch_count(self):
+        net = build_network("googlenet")
+        concat = net.layer("inception_3a/output")
+        assert len(concat.inputs) == 4
+        assert net.output_shape("inception_3a/output").channels == 256
+
+    def test_mobilenet_has_13_depthwise(self):
+        net = build_network("mobilenet_v1")
+        dws = [l for l in net.layers() if l.kind is LayerKind.DEPTHWISE_CONV]
+        assert len(dws) == 13
+
+    def test_mobilenet_width_multiplier_scales(self):
+        half = mobilenet_v1(width_multiplier=0.5)
+        assert half.output_shape("conv1").channels == 16
+        assert half.total_flops() < build_network("mobilenet_v1").total_flops()
+
+    def test_mobilenet_bad_multiplier(self):
+        with pytest.raises(ConfigError):
+            mobilenet_v1(width_multiplier=0.0)
+
+    def test_squeezenet_fire_concat(self):
+        net = build_network("squeezenet_v1.1")
+        assert net.output_shape("fire2/concat").channels == 128
+
+    def test_resnet18_residual_joins(self):
+        net = build_network("resnet18")
+        adds = [l for l in net.layers() if l.kind is LayerKind.ELTWISE_ADD]
+        assert len(adds) == 8  # two blocks per stage, four stages
+
+    def test_resnet50_bottleneck_expansion(self):
+        net = build_network("resnet50")
+        assert net.output_shape("layer1/block0/conv3").channels == 256
+
+    def test_resnet_downsample_only_where_needed(self):
+        net = build_network("resnet18")
+        assert "layer1/block1/downsample" not in net
+        assert "layer2/block0/downsample" in net
+
+    def test_tiny_yolo_head(self):
+        net = build_network("tiny_yolo_v2")
+        assert net.output_shape("conv9") == TensorShape(125, 13, 13)
+
+    def test_tiny_yolo_leaky_activations(self):
+        net = build_network("tiny_yolo_v2")
+        assert net.layer("leaky1").variant == "leaky"
+
+    def test_spherenet_embedding(self):
+        net = build_network("spherenet20")
+        assert net.output_shape("fc5") == TensorShape(512, 1, 1)
+
+    def test_spherenet_input_aspect(self):
+        net = build_network("spherenet20")
+        assert net.input_shape == TensorShape(3, 112, 96)
+
+    def test_toy_is_three_layers(self):
+        net = build_network("fig1_toy")
+        assert len(net.layers()) == 3
+
+    def test_resnet34_deeper_than_18(self):
+        assert len(build_network("resnet34").layers()) > len(
+            build_network("resnet18").layers()
+        )
+
+    def test_ssd_mobilenet_six_detection_taps(self):
+        net = build_network("ssd_mobilenet")
+        scores = net.layer("mbox_conf")
+        boxes = net.layer("mbox_loc")
+        assert len(scores.inputs) == 6 and len(boxes.inputs) == 6
+        assert net.output_layer.name == "detection_out"
+
+    def test_ssd_mobilenet_anchor_channels(self):
+        net = build_network("ssd_mobilenet")
+        # First tap: 3 anchors x 21 classes; later taps: 6 x 21.
+        assert net.output_shape("cls0").channels == 3 * 21
+        assert net.output_shape("cls1").channels == 6 * 21
+        assert net.output_shape("box0").channels == 3 * 4
+
+    def test_mtcnn_pnet_fully_convolutional(self):
+        net = build_network("mtcnn_pnet")
+        kinds = {l.kind for l in net.layers()}
+        assert LayerKind.FULLY_CONNECTED not in kinds
+        assert net.output_shape("conv4_1") == TensorShape(2, 1, 1)
+
+    def test_mtcnn_cascade_grows(self):
+        pnet = build_network("mtcnn_pnet")
+        rnet = build_network("mtcnn_rnet")
+        onet = build_network("mtcnn_onet")
+        assert pnet.total_flops() < rnet.total_flops() < onet.total_flops()
+
+    def test_mtcnn_nets_are_tiny(self):
+        for name in ("mtcnn_pnet", "mtcnn_rnet", "mtcnn_onet"):
+            assert build_network(name).total_flops() < 50e6
+
+    def test_chain_networks_have_no_branches(self):
+        for name in ("lenet5", "alexnet", "vgg16", "vgg19", "mobilenet_v1",
+                     "tiny_yolo_v2", "fig1_toy"):
+            net = build_network(name)
+            for layer in net.layers():
+                assert len(layer.inputs) == 1
+
+
+class TestSummary:
+    def test_summary_renders_every_layer(self):
+        net = build_network("lenet5")
+        text = summarize(net)
+        for layer in net.layers():
+            assert layer.name in text
+
+    def test_summary_totals_line(self):
+        assert "GFLOPs" in summarize(build_network("lenet5"))

@@ -30,6 +30,7 @@ from repro.core import (
     SearchResult,
 )
 from repro.engine import (
+    CostEngine,
     InferenceEngineOptimizer,
     LatencyTable,
     NetworkSchedule,
@@ -59,6 +60,7 @@ __all__ = [
     "QSDNNSearch",
     "SearchConfig",
     "SearchResult",
+    "CostEngine",
     "InferenceEngineOptimizer",
     "LatencyTable",
     "NetworkSchedule",

@@ -53,6 +53,42 @@ class MethodComparison:
         return table.render()
 
 
+def compare_methods_many(
+    networks: list[str],
+    mode,
+    platform,
+    episodes: int | None = None,
+    seed: int = 0,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> list[MethodComparison]:
+    """Method comparisons for many networks, sharded across processes.
+
+    Each network is one :class:`~repro.runtime.campaign.CampaignJob`
+    (kind ``"compare"``); ``jobs`` controls worker processes and
+    ``cache_dir`` the on-disk LUT cache.
+    """
+    from repro.runtime.campaign import (
+        Campaign,
+        grid,
+        require_canonical_platform,
+    )
+
+    campaign = Campaign(
+        grid(
+            networks,
+            platforms=[require_canonical_platform(platform)],
+            modes=[str(mode)],
+            seeds=[seed],
+            episodes=episodes,
+            kind="compare",
+        ),
+        workers=jobs,
+        cache_dir=cache_dir,
+    )
+    return [result.payload for result in campaign.run()]
+
+
 def compare_methods(
     lut: LatencyTable, episodes: int = 1000, seed: int = 0
 ) -> MethodComparison:

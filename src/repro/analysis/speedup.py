@@ -89,7 +89,14 @@ def run_table2_row(
     graph = build_network(network)
     optimizer = InferenceEngineOptimizer(graph, platform, mode=mode, seed=seed)
     lut = optimizer.profile()
+    return table2_row_from_lut(lut, episodes=episodes, seed=seed)
 
+
+def table2_row_from_lut(
+    lut, episodes: int | None = None, seed: int = 0
+) -> Table2Row:
+    """Search + baselines for one already-profiled LUT (the campaign
+    worker's entry point — LUTs may come from the on-disk cache)."""
     per_library = single_library_results(lut)
     vanilla_ms = next(r.total_ms for r in per_library if r.library == "vanilla")
     accelerated = [r for r in per_library if r.library != "vanilla"]
@@ -102,8 +109,8 @@ def run_table2_row(
     rs = random_search(lut, episodes=episodes, seed=seed)
 
     return Table2Row(
-        network=network,
-        mode=str(mode),
+        network=lut.graph_name,
+        mode=str(lut.mode),
         vanilla_ms=vanilla_ms,
         library_ms={r.library: r.total_ms for r in per_library},
         bsl_library=bsl.library,
@@ -129,8 +136,34 @@ def run_table2(
     platform: Platform,
     episodes: int | None = None,
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> list[Table2Row]:
-    """All rows of one Table II half (CPU or GPGPU)."""
+    """All rows of one Table II half (CPU or GPGPU).
+
+    ``jobs > 1`` shards the per-network cells across worker processes
+    via a :class:`~repro.runtime.campaign.Campaign`; ``cache_dir``
+    enables the on-disk LUT cache (used even when serial).
+    """
+    if jobs > 1 or cache_dir is not None:
+        from repro.runtime.campaign import (
+            Campaign,
+            grid,
+            require_canonical_platform,
+        )
+
+        campaign = Campaign(
+            grid(
+                networks,
+                platforms=[require_canonical_platform(platform)],
+                modes=[str(mode)],
+                seeds=[seed],
+                episodes=episodes,
+            ),
+            workers=jobs,
+            cache_dir=cache_dir,
+        )
+        return [result.payload for result in campaign.run()]
     return [
         run_table2_row(n, mode, platform, episodes=episodes, seed=seed)
         for n in networks

@@ -24,22 +24,6 @@ from repro.errors import ConfigError
 from repro.utils.rng import derive_rng
 
 
-def _delta_for_move(idx, choices: np.ndarray, layer: int, new_choice: int,
-                    touching) -> float:
-    """Objective change of flipping one layer's primitive."""
-    old_choice = choices[layer]
-    delta = idx.times[layer][new_choice] - idx.times[layer][old_choice]
-    for edge_idx, other, is_consumer in touching[layer]:
-        matrix = idx.edge_matrices[edge_idx]
-        if is_consumer:
-            delta += matrix[choices[other], new_choice]
-            delta -= matrix[choices[other], old_choice]
-        else:
-            delta += matrix[new_choice, choices[other]]
-            delta -= matrix[old_choice, choices[other]]
-    return float(delta)
-
-
 def simulated_annealing(
     lut: LatencyTable,
     episodes: int = 1000,
@@ -50,18 +34,15 @@ def simulated_annealing(
     """Anneal for an evaluation budget equivalent to ``episodes``."""
     if episodes < 1:
         raise ConfigError(f"episodes must be >= 1, got {episodes}")
-    from repro.core.polish import _incident_edges
-
-    idx = lut.indexed()
+    engine = lut.engine()
     rng = derive_rng(seed, "annealing", lut.graph_name, lut.mode)
-    num_layers = len(idx)
-    touching = _incident_edges(idx)
+    num_layers = len(engine)
+    num_actions = [int(n) for n in engine.num_actions]
+    delta_ms = engine.delta_ms
     started = time.perf_counter()
 
-    choices = np.array(
-        [rng.integers(n) for n in idx.num_actions], dtype=np.int64
-    )
-    current = idx.total_ms(choices)
+    choices = np.array([rng.integers(n) for n in num_actions], dtype=np.int64)
+    current = engine.price(choices)
     best = current
     best_choices = choices.copy()
 
@@ -74,12 +55,12 @@ def simulated_annealing(
 
     for step in range(steps):
         layer = int(rng.integers(num_layers))
-        n = idx.num_actions[layer]
+        n = num_actions[layer]
         if n > 1:
             new_choice = int(rng.integers(n - 1))
             if new_choice >= choices[layer]:
                 new_choice += 1
-            delta = _delta_for_move(idx, choices, layer, new_choice, touching)
+            delta = delta_ms(choices, layer, new_choice)
             if delta <= 0 or rng.random() < math.exp(-delta / temperature):
                 choices[layer] = new_choice
                 current += delta
@@ -91,11 +72,11 @@ def simulated_annealing(
             curve.append(current)
 
     # Guard against floating-point drift in the incremental objective.
-    best = idx.total_ms(best_choices)
+    best = engine.price(best_choices)
     return SearchResult(
         graph_name=lut.graph_name,
         method="simulated-annealing",
-        best_assignments=idx.assignments(best_choices),
+        best_assignments=engine.assignments(best_choices),
         best_ms=float(best),
         episodes=episodes,
         curve_ms=curve,

@@ -43,10 +43,11 @@ def single_library_schedule(lut: LatencyTable, library: str) -> SingleLibraryRes
             assignments[layer] = lut.best_uid(layer, within=lib_uids)
         else:
             assignments[layer] = _vanilla_uid(lut, layer)
+    engine = lut.engine()
     return SingleLibraryResult(
         library=library,
         assignments=assignments,
-        total_ms=lut.schedule_time(assignments),
+        total_ms=engine.price(engine.choices_of(assignments)),
     )
 
 

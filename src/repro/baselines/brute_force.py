@@ -20,35 +20,46 @@ from repro.errors import ConfigError
 #: Refuse to enumerate spaces larger than this.
 MAX_CONFIGURATIONS = 2_000_000
 
+#: Configurations priced per batch call (bounds peak memory).
+CHUNK_CONFIGURATIONS = 65_536
+
 
 def brute_force(lut: LatencyTable, limit: int = MAX_CONFIGURATIONS) -> SearchResult:
     """Enumerate every configuration; returns the global optimum.
 
-    Raises :class:`~repro.errors.ConfigError` when the space exceeds
+    Enumeration is chunked and each chunk priced with one vectorized
+    :meth:`~repro.engine.pricing.CostEngine.price_batch` call.  Raises
+    :class:`~repro.errors.ConfigError` when the space exceeds
     ``limit`` — use :func:`~repro.baselines.dp_optimal.chain_dp` or the
     PBQP solver for real networks.
     """
-    idx = lut.indexed()
-    size = math.prod(int(n) for n in idx.num_actions)
+    engine = lut.engine()
+    size = math.prod(int(n) for n in engine.num_actions)
     if size > limit:
         raise ConfigError(
             f"design space of {lut.graph_name} has {size} configurations, "
             f"exceeding the brute-force limit of {limit}"
         )
     best_total = np.inf
-    best_choices: tuple[int, ...] | None = None
+    best_choices: np.ndarray | None = None
     started = time.perf_counter()
-    for combo in itertools.product(*(range(n) for n in idx.num_actions)):
-        total = idx.total_ms(np.array(combo, dtype=np.int64))
-        if total < best_total:
-            best_total = total
-            best_choices = combo
+    combos = itertools.product(*(range(int(n)) for n in engine.num_actions))
+    while True:
+        chunk = list(itertools.islice(combos, CHUNK_CONFIGURATIONS))
+        if not chunk:
+            break
+        batch = np.array(chunk, dtype=np.int64)
+        totals = engine.price_batch(batch)
+        winner = int(np.argmin(totals))
+        if totals[winner] < best_total:
+            best_total = float(totals[winner])
+            best_choices = batch[winner].copy()
     assert best_choices is not None
     return SearchResult(
         graph_name=lut.graph_name,
         method="brute-force",
-        best_assignments=idx.assignments(np.array(best_choices, dtype=np.int64)),
-        best_ms=float(best_total),
+        best_assignments=engine.assignments(best_choices),
+        best_ms=engine.price(best_choices),
         episodes=size,
         curve_ms=[],
         wall_clock_s=time.perf_counter() - started,

@@ -17,7 +17,8 @@ import time
 import numpy as np
 
 from repro.core.result import SearchResult
-from repro.engine.lut import IndexedLUT, LatencyTable
+from repro.engine.lut import LatencyTable
+from repro.engine.pricing import CostEngine
 from repro.errors import ConfigError
 
 
@@ -43,29 +44,32 @@ def chain_dp(lut: LatencyTable) -> SearchResult:
         raise ConfigError(
             f"{lut.graph_name} is not a chain; use the PBQP solver instead"
         )
-    idx: IndexedLUT = lut.indexed()
-    num_layers = len(idx)
+    engine: CostEngine = lut.engine()
+    num_layers = len(engine)
     started = time.perf_counter()
 
     # Edge matrix between consecutive layers (zeros where no edge exists,
     # e.g. between the input layer's consumer and an isolated head).
     def pair_matrix(i: int) -> np.ndarray:
-        for edge_idx, (producer, consumer) in enumerate(idx.edges):
-            if idx.layer_index[producer] == i and idx.layer_index[consumer] == i + 1:
-                return idx.edge_matrices[edge_idx]
+        for (producer, consumer), matrix in zip(engine.edges, engine.edge_matrices):
+            if (
+                engine.layer_index[producer] == i
+                and engine.layer_index[consumer] == i + 1
+            ):
+                return matrix
         return np.zeros(
-            (idx.num_actions[i], idx.num_actions[i + 1]), dtype=np.float64
+            (engine.num_actions[i], engine.num_actions[i + 1]), dtype=np.float64
         )
 
     # Forward pass: cost[i][a] = cheapest way to finish layers 0..i with
     # layer i using primitive a.
-    cost = idx.times[0].copy()
+    cost = engine.times[0].copy()
     backptr: list[np.ndarray] = []
     for i in range(num_layers - 1):
         trans = cost[:, None] + pair_matrix(i)  # (n_i, n_{i+1})
         best_prev = np.argmin(trans, axis=0)
         backptr.append(best_prev)
-        cost = trans[best_prev, np.arange(trans.shape[1])] + idx.times[i + 1]
+        cost = trans[best_prev, np.arange(trans.shape[1])] + engine.times[i + 1]
 
     # Backward pass.
     choices = np.empty(num_layers, dtype=np.int64)
@@ -73,12 +77,11 @@ def chain_dp(lut: LatencyTable) -> SearchResult:
     for i in range(num_layers - 2, -1, -1):
         choices[i] = backptr[i][choices[i + 1]]
 
-    total = idx.total_ms(choices)
     return SearchResult(
         graph_name=lut.graph_name,
         method="chain-dp",
-        best_assignments=idx.assignments(choices),
-        best_ms=float(total),
+        best_assignments=engine.assignments(choices),
+        best_ms=engine.price(choices),
         episodes=1,
         curve_ms=[],
         wall_clock_s=time.perf_counter() - started,

@@ -15,12 +15,13 @@ from repro.engine.lut import LatencyTable
 
 def greedy_per_layer(lut: LatencyTable) -> SearchResult:
     """Pick each layer's fastest primitive; pay the penalties afterwards."""
-    assignments = {layer: lut.best_uid(layer) for layer in lut.layers}
-    total = lut.schedule_time(assignments)
+    engine = lut.engine()
+    choices = engine.greedy_choices()
+    total = engine.price(choices)
     return SearchResult(
         graph_name=lut.graph_name,
         method="greedy-per-layer",
-        best_assignments=assignments,
+        best_assignments=engine.assignments(choices),
         best_ms=total,
         episodes=1,
         curve_ms=[total],

@@ -43,24 +43,29 @@ class _Elimination:
 
 
 class PBQPSolver:
-    """Solve one PBQP instance built from a latency table."""
+    """Solve one PBQP instance built from a latency table.
+
+    The instance *is* the :class:`~repro.engine.pricing.CostEngine`'s
+    representation — per-layer cost vectors plus per-edge cost matrices
+    — consumed directly from the compiled engine.
+    """
 
     def __init__(self, lut: LatencyTable) -> None:
         self.lut = lut
-        self.idx = lut.indexed()
+        self.engine = lut.engine()
 
     # -- graph construction -------------------------------------------------
 
     def _build(self) -> tuple[list[np.ndarray], dict[int, dict[int, np.ndarray]]]:
         """Cost vectors and adjacency; parallel edges are pre-merged."""
-        vectors = [t.copy() for t in self.idx.times]
+        engine = self.engine
+        vectors = [t.copy() for t in engine.times]
         adjacency: dict[int, dict[int, np.ndarray]] = {
             i: {} for i in range(len(vectors))
         }
-        for edge_idx, (producer, consumer) in enumerate(self.idx.edges):
-            u = self.idx.layer_index[producer]
-            v = self.idx.layer_index[consumer]
-            matrix = self.idx.edge_matrices[edge_idx]
+        for (producer, consumer), matrix in zip(engine.edges, engine.edge_matrices):
+            u = engine.layer_index[producer]
+            v = engine.layer_index[consumer]
             self._add_edge(adjacency, u, v, matrix)
         return vectors, adjacency
 
@@ -102,12 +107,11 @@ class PBQPSolver:
             alive.remove(node)
 
         choices = self._backpropagate(eliminations, len(vectors))
-        total = self.idx.total_ms(choices)
         return SearchResult(
             graph_name=self.lut.graph_name,
             method="pbqp",
-            best_assignments=self.idx.assignments(choices),
-            best_ms=float(total),
+            best_assignments=self.engine.assignments(choices),
+            best_ms=self.engine.price(choices),
             episodes=1,
             curve_ms=[],
             wall_clock_s=time.perf_counter() - started,

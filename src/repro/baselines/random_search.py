@@ -5,6 +5,12 @@ primitive per layer, score the full configuration (penalties included)
 and keep the best seen.  "RS's implementations decrease inference time
 after seeing more options as it discards naive implementations, but it
 only converges towards the infinite."
+
+The whole budget is drawn as one ``(episodes, L)`` matrix and priced
+with a single :meth:`~repro.engine.pricing.CostEngine.price_batch`
+call per chunk — no Python-level per-episode loop.  Draws are
+generated row-major, so a longer budget strictly extends a shorter one
+(more episodes can never be worse at the same seed).
 """
 
 from __future__ import annotations
@@ -18,6 +24,9 @@ from repro.engine.lut import LatencyTable
 from repro.errors import ConfigError
 from repro.utils.rng import derive_rng
 
+#: Episodes priced per batch call (bounds peak memory on huge budgets).
+CHUNK_EPISODES = 16_384
+
 
 def random_search(
     lut: LatencyTable,
@@ -28,32 +37,31 @@ def random_search(
     """Run RS for ``episodes`` draws; returns the best configuration."""
     if episodes < 1:
         raise ConfigError(f"episodes must be >= 1, got {episodes}")
-    idx = lut.indexed()
+    engine = lut.engine()
     rng = derive_rng(seed, "random-search", lut.graph_name, lut.mode)
-    num_layers = len(idx)
 
     best_total = np.inf
     best_choices: np.ndarray | None = None
     curve: list[float] = []
     started = time.perf_counter()
 
-    for _ in range(episodes):
-        choices = np.array(
-            [rng.integers(idx.num_actions[i]) for i in range(num_layers)],
-            dtype=np.int64,
-        )
-        total = idx.total_ms(choices)
-        if total < best_total:
-            best_total = total
-            best_choices = choices
+    remaining = episodes
+    while remaining > 0:
+        batch = engine.sample_batch(rng, min(remaining, CHUNK_EPISODES))
+        totals = engine.price_batch(batch)
+        winner = int(np.argmin(totals))
+        if totals[winner] < best_total:
+            best_total = float(totals[winner])
+            best_choices = batch[winner].copy()
         if track_curve:
-            curve.append(total)
+            curve.extend(totals.tolist())
+        remaining -= len(batch)
 
     assert best_choices is not None
     return SearchResult(
         graph_name=lut.graph_name,
         method="random-search",
-        best_assignments=idx.assignments(best_choices),
+        best_assignments=engine.assignments(best_choices),
         best_ms=float(best_total),
         episodes=episodes,
         curve_ms=curve,

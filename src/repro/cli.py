@@ -6,6 +6,8 @@
     python -m repro search   --lut lut.json --episodes 1000 --out sched.json
     python -m repro compare  --network lenet5 --mode gpgpu
     python -m repro table2   --mode cpu --networks lenet5 alexnet
+    python -m repro campaign --networks lenet5 alexnet --modes cpu gpgpu \
+        --seeds 0 1 2 --jobs 4 --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -22,16 +24,10 @@ from repro.core.config import SearchConfig
 from repro.core.search import QSDNNSearch
 from repro.engine.lut import LatencyTable
 from repro.engine.optimizer import InferenceEngineOptimizer
-from repro.hw import jetson_tx2, jetson_tx2_maxn, raspberry_pi3
 from repro.nn.summary import summarize
+from repro.runtime.campaign import PLATFORM_FACTORIES as PLATFORMS
 from repro.utils.units import format_ms
 from repro.zoo import TABLE2_NETWORKS, available_networks, build_network
-
-PLATFORMS = {
-    "jetson_tx2": jetson_tx2,
-    "jetson_tx2_maxn": jetson_tx2_maxn,
-    "raspberry_pi3": raspberry_pi3,
-}
 
 
 def _mode(text: str) -> Mode:
@@ -132,13 +128,77 @@ def cmd_table2(args: argparse.Namespace) -> int:
     platform = PLATFORMS[args.platform]()
     networks = args.networks or list(TABLE2_NETWORKS)
     rows = run_table2(
-        networks, args.mode, platform, episodes=args.episodes, seed=args.seed
+        networks,
+        args.mode,
+        platform,
+        episodes=args.episodes,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     print(
         render_table2(
             rows, title=f"Table II ({args.mode} mode) on {platform.name}"
         )
     )
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    import time
+    from dataclasses import asdict
+
+    from repro.runtime.campaign import Campaign, grid
+
+    networks = args.networks or list(TABLE2_NETWORKS)
+    jobs = grid(
+        networks,
+        platforms=args.platforms,
+        modes=[str(m) for m in args.modes],
+        seeds=args.seeds,
+        episodes=args.episodes,
+        kind=args.kind,
+    )
+    campaign = Campaign(jobs, workers=args.jobs, cache_dir=args.cache_dir)
+    started = time.perf_counter()
+    results = campaign.run()
+    wall = time.perf_counter() - started
+
+    if args.kind == "table2":
+        # One rendered Table II block per (platform, mode) shard.
+        blocks: dict[tuple[str, str, int], list] = {}
+        for result in results:
+            key = (result.job.platform, result.job.mode, result.job.seed)
+            blocks.setdefault(key, []).append(result.payload)
+        for (platform, mode, seed), rows in blocks.items():
+            print(
+                render_table2(
+                    rows,
+                    title=f"Table II ({mode} mode) on {platform} [seed {seed}]",
+                )
+            )
+    else:
+        for result in results:
+            print(result.payload.render())
+
+    cached = sum(1 for r in results if r.lut_from_cache)
+    busy = sum(r.wall_clock_s for r in results)
+    print(
+        f"campaign: {len(results)} jobs on {args.jobs} worker(s) in {wall:.1f}s "
+        f"({busy:.1f}s aggregate, {cached} LUT cache hit(s))"
+    )
+    if args.out:
+        payload = [
+            {
+                "job": asdict(result.job),
+                "wall_clock_s": result.wall_clock_s,
+                "lut_from_cache": result.lut_from_cache,
+                "result": asdict(result.payload),
+            }
+            for result in results
+        ]
+        Path(args.out).write_text(json.dumps(payload, indent=2))
+        print(f"results -> {args.out}")
     return 0
 
 
@@ -203,7 +263,34 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=available_networks())
     _add_platform_args(p)
     p.add_argument("--episodes", type=int, default=None)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (one network cell per job)")
+    p.add_argument("--cache-dir", default=None,
+                   help="on-disk LUT cache directory")
     p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run a (network x platform x mode x seed) search campaign",
+    )
+    p.add_argument("--networks", nargs="*", default=None,
+                   choices=available_networks(),
+                   help="networks (default: the Table II set)")
+    p.add_argument("--platforms", nargs="*", default=["jetson_tx2"],
+                   choices=sorted(PLATFORMS))
+    p.add_argument("--modes", nargs="*", type=_mode, default=[Mode.CPU],
+                   help="design-space modes (cpu and/or gpgpu)")
+    p.add_argument("--seeds", nargs="*", type=int, default=[0])
+    p.add_argument("--episodes", type=int, default=None,
+                   help="episode budget (default: per-network auto)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes to shard jobs across")
+    p.add_argument("--cache-dir", default=None,
+                   help="on-disk LUT cache directory")
+    p.add_argument("--kind", choices=["table2", "compare"], default="table2",
+                   help="payload per job: Table II row or full comparison")
+    p.add_argument("--out", default=None, help="save all results as JSON")
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(
         "report", help="full markdown reproduction report (both modes)"

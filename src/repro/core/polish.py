@@ -4,6 +4,8 @@ The search phase owns a complete latency model (the LUT), so improving a
 configuration by single-layer moves is free: for each layer in turn,
 pick the primitive minimizing (own time + penalties on all incident
 edges) with every other layer fixed, and sweep until a fixed point.
+The move neighborhood and all pricing come from the
+:class:`~repro.engine.pricing.CostEngine`.
 
 This is a standard post-search step in autotuners and is *additive* to
 the paper's method: QS-DNN hands over its best configuration and the
@@ -18,48 +20,40 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine.lut import IndexedLUT
+from repro.engine.pricing import CostEngine
 
 
-def _incident_edges(idx: IndexedLUT) -> list[list[tuple[int, int, bool]]]:
-    """Per layer: (edge index, other-layer index, layer_is_consumer)."""
-    touching: list[list[tuple[int, int, bool]]] = [[] for _ in range(len(idx))]
-    for edge_idx, (producer, consumer) in enumerate(idx.edges):
-        pi = idx.layer_index[producer]
-        ci = idx.layer_index[consumer]
-        touching[ci].append((edge_idx, pi, True))
-        touching[pi].append((edge_idx, ci, False))
-    return touching
+def _as_engine(pricer) -> CostEngine:
+    """Accept a CostEngine, an IndexedLUT, or a LatencyTable."""
+    if isinstance(pricer, CostEngine):
+        return pricer
+    return pricer.engine()
 
 
 def coordinate_descent(
-    idx: IndexedLUT,
+    pricer,
     choices: np.ndarray,
     max_sweeps: int = 2,
 ) -> tuple[np.ndarray, float]:
     """Sweep single-layer improvements until a fixed point (or budget).
 
-    Returns the (possibly improved) choice vector and its total.  The
-    input array is not modified.
+    ``pricer`` is a :class:`CostEngine` (or anything with an
+    ``engine()`` accessor, e.g. an ``IndexedLUT``).  Returns the
+    (possibly improved) choice vector and its total.  The input array
+    is not modified.
     """
     if max_sweeps < 0:
         raise ValueError(f"max_sweeps must be >= 0, got {max_sweeps}")
-    current = choices.copy()
-    touching = _incident_edges(idx)
+    engine = _as_engine(pricer)
+    current = np.array(choices, dtype=np.int64)
     for _ in range(max_sweeps):
         improved = False
-        for layer in range(len(idx)):
-            costs = idx.times[layer].copy()
-            for edge_idx, other, is_consumer in touching[layer]:
-                matrix = idx.edge_matrices[edge_idx]
-                if is_consumer:
-                    costs += matrix[current[other], :]
-                else:
-                    costs += matrix[:, current[other]]
+        for layer in range(len(engine)):
+            costs = engine.move_costs(current, layer)
             best = int(np.argmin(costs))
             if costs[best] < costs[current[layer]]:
                 current[layer] = best
                 improved = True
         if not improved:
             break
-    return current, idx.total_ms(current)
+    return current, engine.price(current)

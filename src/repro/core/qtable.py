@@ -20,6 +20,12 @@ The update is the paper's eq. (2)::
 where s' is the state the agent is in when making the *next* decision —
 so the bootstrap row of layer i+1 is the episode's choice at layer
 i+1's own parent, supplied by the caller via ``next_row``.
+
+The matrices are stored as plain Python lists: the search applies
+hundreds of thousands of single-entry updates per run, and scalar
+list arithmetic is several times faster than numpy element access
+while computing bit-identical IEEE-754 results.  :meth:`q_values`
+materializes a numpy row for callers that want array semantics.
 """
 
 from __future__ import annotations
@@ -78,21 +84,32 @@ class QTable:
         if any(r < 1 for r in row_sizes):
             raise SearchError("every layer needs at least one state row")
         self.row_sizes = list(row_sizes)
-        self._q = [
-            np.zeros((r, n), dtype=np.float64)
+        self._keep_rate = 1.0 - learning_rate
+        self._q: list[list[list[float]]] = [
+            [[0.0] * n for _ in range(r)]
             for r, n in zip(self.row_sizes, self.num_actions)
         ]
-        self._visited = [
-            np.zeros((r, n), dtype=bool)
+        self._visited: list[list[list[bool]]] = [
+            [[False] * n for _ in range(r)]
             for r, n in zip(self.row_sizes, self.num_actions)
         ]
+        # Exact per-row maxima, maintained incrementally: the eq. (2)
+        # bootstrap reads max_a' Q(s', a') on every update, and an O(1)
+        # cached lookup replaces an O(n) scan on the hottest path.  The
+        # cache is rescanned only when the maximal entry decreases, so
+        # it always equals max(row) bit-for-bit.
+        self._row_max: list[list[float]] = [
+            [0.0] * r for r in self.row_sizes
+        ]
+        self._num_layers = len(self._q)
 
     def __len__(self) -> int:
-        return len(self._q)
+        return self._num_layers
 
     def q_values(self, layer: int, row: int) -> np.ndarray:
-        """The action-value row for (layer, parent choice). Read-only view."""
-        return self._q[layer][row]
+        """The action-value row for (layer, parent choice), as an array
+        (a snapshot copy — mutations do not write back)."""
+        return np.array(self._q[layer][row], dtype=np.float64)
 
     def greedy_action(self, layer: int, row: int) -> int:
         """argmax_a Q(s, a) with deterministic first-index tie-breaking.
@@ -103,11 +120,17 @@ class QTable:
         """
         values = self._q[layer][row]
         if self.first_visit_bootstrap:
-            mask = self._visited[layer][row]
-            if mask.any():
-                candidates = np.where(mask)[0]
-                return int(candidates[np.argmax(values[mask])])
-        return int(np.argmax(values))
+            visited = self._visited[layer][row]
+            best_action = -1
+            best_value = -np.inf
+            for action, (value, seen) in enumerate(zip(values, visited)):
+                if seen and value > best_value:
+                    best_value = value
+                    best_action = action
+            if best_action >= 0:
+                return best_action
+            return values.index(max(values))
+        return values.index(self._row_max[layer][row])
 
     def best_value(self, layer: int, row: int) -> float:
         """max_a' Q(layer, row, a') — the bootstrap value of a state.
@@ -115,14 +138,16 @@ class QTable:
         Returns 0 past the terminal layer (episodic objective).  With
         bootstrapping on, unvisited entries are excluded when possible.
         """
-        if layer >= len(self._q):
+        if layer >= self._num_layers:
             return 0.0
-        values = self._q[layer][row]
         if self.first_visit_bootstrap:
-            mask = self._visited[layer][row]
-            if mask.any():
-                return float(values[mask].max())
-        return float(values.max())
+            values = self._q[layer][row]
+            visited = self._visited[layer][row]
+            seen = [v for v, f in zip(values, visited) if f]
+            if seen:
+                return max(seen)
+            return max(values)
+        return self._row_max[layer][row]
 
     def update(
         self,
@@ -140,16 +165,35 @@ class QTable:
         layer i+1 is layer i itself.
         """
         successor = action if next_row is None else next_row
-        target = reward + self.discount * self.best_value(layer + 1, successor)
-        q = self._q[layer]
-        if self.first_visit_bootstrap and not self._visited[layer][row, action]:
-            new = target
+        q_row = self._q[layer][row]
+        old = q_row[action]
+        if not self.first_visit_bootstrap:
+            # Hot path: inline the bootstrap (best_value) as a cached
+            # row-max read — this method runs hundreds of thousands of
+            # times per search.
+            nxt = layer + 1
+            boot = 0.0 if nxt >= self._num_layers else self._row_max[nxt][successor]
+            new = (
+                old * self._keep_rate
+                + self.learning_rate * (reward + self.discount * boot)
+            )
         else:
-            old = q[row, action]
-            new = old * (1.0 - self.learning_rate) + self.learning_rate * target
-        q[row, action] = new
-        self._visited[layer][row, action] = True
-        return float(new)
+            target = reward + self.discount * self.best_value(layer + 1, successor)
+            if not self._visited[layer][row][action]:
+                new = target
+            else:
+                new = old * self._keep_rate + self.learning_rate * target
+        q_row[action] = new
+        max_row = self._row_max[layer]
+        current_max = max_row[row]
+        if new > current_max:
+            max_row[row] = new
+        elif old == current_max and new < old:
+            # The maximal entry decreased: rescan (another entry may
+            # still hold the same maximum, which the rescan preserves).
+            max_row[row] = max(q_row)
+        self._visited[layer][row][action] = True
+        return new
 
     def greedy_rollout(self, parents: list[int] | None = None) -> list[int]:
         """The current fully-greedy decision sequence.
@@ -158,9 +202,9 @@ class QTable:
         (-1 for the virtual start).  Defaults to chain wiring.
         """
         if parents is None:
-            parents = list(range(-1, len(self._q) - 1))
+            parents = list(range(-1, self._num_layers - 1))
         choices: list[int] = []
-        for layer in range(len(self._q)):
+        for layer in range(self._num_layers):
             parent = parents[layer]
             row = 0 if parent < 0 else choices[parent]
             choices.append(self.greedy_action(layer, row))
@@ -175,6 +219,7 @@ class QTable:
             row_sizes=self.row_sizes,
             first_visit_bootstrap=self.first_visit_bootstrap,
         )
-        clone._q = [q.copy() for q in self._q]
-        clone._visited = [v.copy() for v in self._visited]
+        clone._q = [[list(row) for row in layer] for layer in self._q]
+        clone._visited = [[list(row) for row in layer] for layer in self._visited]
+        clone._row_max = [list(row) for row in self._row_max]
         return clone

@@ -11,7 +11,7 @@ Q table (so late replays benefit from earlier ones).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
@@ -19,14 +19,16 @@ from repro.core.qtable import QTable
 from repro.errors import SearchError
 
 
-@dataclass(frozen=True)
-class Transition:
+class Transition(NamedTuple):
     """One (state, action, reward, next-state) step of an episode.
 
     ``layer`` and ``prev_choice`` identify the state; ``action`` the
     primitive picked for ``layer``; ``reward`` the shaped reward;
     ``next_row`` the successor state's row at layer + 1 (None for chain
     semantics, where it equals ``action``).
+
+    A ``NamedTuple`` so the replay buffer can treat it interchangeably
+    with the plain tuples of its fast path.
     """
 
     layer: int
@@ -37,13 +39,19 @@ class Transition:
 
 
 class ReplayBuffer:
-    """Fixed-capacity FIFO of transitions."""
+    """Fixed-capacity FIFO of transitions.
+
+    Transitions are stored as plain ``(layer, prev_choice, action,
+    reward, next_row)`` tuples — the buffer is written and replayed
+    hundreds of thousands of times per search, and tuple packing is
+    several times cheaper than dataclass construction.
+    """
 
     def __init__(self, capacity: int = 128) -> None:
         if capacity < 1:
             raise SearchError(f"replay capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._items: list[Transition] = []
+        self._items: list[tuple[int, int, int, float, int | None]] = []
         self._next = 0
 
     def __len__(self) -> int:
@@ -51,10 +59,23 @@ class ReplayBuffer:
 
     def push(self, transition: Transition) -> None:
         """Insert, evicting the oldest transition when full."""
+        self.push_step(*transition)
+
+    def push_step(
+        self,
+        layer: int,
+        prev_choice: int,
+        action: int,
+        reward: float,
+        next_row: int | None = None,
+    ) -> None:
+        """Insert one transition by fields (the search-loop fast path:
+        packs a plain tuple, skipping :class:`Transition` construction)."""
+        item = (layer, prev_choice, action, reward, next_row)
         if len(self._items) < self.capacity:
-            self._items.append(transition)
+            self._items.append(item)
         else:
-            self._items[self._next] = transition
+            self._items[self._next] = item
         self._next = (self._next + 1) % self.capacity
 
     def replay(self, qtable: QTable, rng: np.random.Generator) -> int:
@@ -64,11 +85,12 @@ class ReplayBuffer:
         """
         if not self._items:
             return 0
-        order = rng.permutation(len(self._items))
-        for idx in order:
-            t = self._items[idx]
-            qtable.update(t.layer, t.prev_choice, t.action, t.reward, t.next_row)
-        return len(self._items)
+        items = self._items
+        update = qtable.update
+        for idx in rng.permutation(len(items)).tolist():
+            layer, prev_choice, action, reward, next_row = items[idx]
+            update(layer, prev_choice, action, reward, next_row)
+        return len(items)
 
     def clear(self) -> None:
         """Empty the buffer."""

@@ -14,6 +14,10 @@ reward of a layer sums the penalty matrices of *all* its graph
 predecessors — so residual joins and inception branches price their
 conversions exactly, even though the MDP sees a linear state sequence
 (the paper's Fig. 3 "exceptions and branches are handled").
+
+All pricing — episode costs, the shaped rewards, the greedy-policy
+total — is delegated to the :class:`~repro.engine.pricing.CostEngine`;
+the rollout loop only makes decisions.
 """
 
 from __future__ import annotations
@@ -25,9 +29,10 @@ import numpy as np
 from repro.core.config import SearchConfig
 from repro.core.polish import coordinate_descent
 from repro.core.qtable import QTable
-from repro.core.replay import ReplayBuffer, Transition
+from repro.core.replay import ReplayBuffer
 from repro.core.result import SearchResult
-from repro.engine.lut import IndexedLUT, LatencyTable
+from repro.engine.lut import LatencyTable
+from repro.engine.pricing import CostEngine
 from repro.utils.rng import RngStream
 
 
@@ -38,65 +43,82 @@ class QSDNNSearch:
         self.lut = lut
         self.config = config or SearchConfig()
         self.indexed = lut.indexed()
+        self.engine = self.indexed.engine()
         self._num_layers = len(self.indexed)
+        self._action_counts = np.asarray(self.indexed.num_actions, dtype=np.int64)
 
     # -- episode mechanics -----------------------------------------------------
 
     def _rollout(
         self, qtable: QTable, epsilon: float, rng: np.random.Generator
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    ) -> tuple[list[int], list[int], np.ndarray, float]:
         """Sample one episode; returns (choices, rows, costs, total).
 
         ``rows[i]`` is the Q-state row used when deciding layer i: the
         episode's choice at layer i's primary graph predecessor (0 for
-        virtual-start layers).
+        virtual-start layers).  The decision loop is sequential (each
+        epsilon-greedy pick conditions on its parent's choice), but all
+        of the episode's random numbers are drawn in two vectorized
+        calls up front, and the episode's cost vector is priced in one
+        engine call.
         """
-        idx = self.indexed
-        choices = np.empty(self._num_layers, dtype=np.int64)
-        rows = np.empty(self._num_layers, dtype=np.int64)
-        costs = np.empty(self._num_layers, dtype=np.float64)
-        for i in range(self._num_layers):
-            parent = idx.q_parent[i]
-            row = 0 if parent < 0 else int(choices[parent])
-            rows[i] = row
-            n = idx.num_actions[i]
-            if epsilon > 0.0 and rng.random() < epsilon:
-                action = int(rng.integers(n))
-            else:
-                action = qtable.greedy_action(i, row)
-            choices[i] = action
-            # Layer cost: own time + penalties on incoming edges
-            # (predecessors are already decided in topological order).
-            cost = idx.times[i][action]
-            for pred_layer, edge_idx in idx.incoming[i]:
-                cost += idx.edge_matrices[edge_idx][choices[pred_layer], action]
-            costs[i] = cost
+        num_layers = self._num_layers
+        q_parent = self.indexed.q_parent
+        greedy_action = qtable.greedy_action
+        choices: list[int] = [0] * num_layers
+        rows: list[int] = [0] * num_layers
+        if epsilon >= 1.0:
+            # Full exploration: every decision is a uniform draw.
+            explored = rng.integers(0, self._action_counts).tolist()
+            for i in range(num_layers):
+                parent = q_parent[i]
+                rows[i] = 0 if parent < 0 else choices[parent]
+                choices[i] = explored[i]
+        elif epsilon <= 0.0:
+            # Full exploitation: no randomness at all.
+            for i in range(num_layers):
+                parent = q_parent[i]
+                row = 0 if parent < 0 else choices[parent]
+                rows[i] = row
+                choices[i] = greedy_action(i, row)
+        else:
+            explore = (rng.random(num_layers) < epsilon).tolist()
+            explored = rng.integers(0, self._action_counts).tolist()
+            for i in range(num_layers):
+                parent = q_parent[i]
+                row = 0 if parent < 0 else choices[parent]
+                rows[i] = row
+                choices[i] = explored[i] if explore[i] else greedy_action(i, row)
+        # Layer cost: own time + penalties on incoming edges, charged
+        # to the consumer (paper §V-B) — one vectorized pricing call.
+        costs = self.engine.layer_costs(choices)
         return choices, rows, costs, float(costs.sum())
 
     def _learn_episode(
         self,
         qtable: QTable,
         replay: ReplayBuffer | None,
-        choices: np.ndarray,
-        rows: np.ndarray,
+        choices: list[int],
+        rows: list[int],
         costs: np.ndarray,
         total: float,
         rng: np.random.Generator,
     ) -> None:
         """Online eq. 2 updates for the episode, then a full replay pass."""
-        shaping = self.config.reward_shaping
         last = self._num_layers - 1
+        if self.config.reward_shaping:
+            rewards = (-costs).tolist()
+        else:
+            rewards = [0.0] * last + [-total]
+        update = qtable.update
+        push = replay.push_step if replay is not None else None
         for i in range(self._num_layers):
-            action = int(choices[i])
-            row = int(rows[i])
-            next_row = int(rows[i + 1]) if i < last else 0
-            if shaping:
-                reward = -float(costs[i])
-            else:
-                reward = -total if i == last else 0.0
-            qtable.update(i, row, action, reward, next_row)
-            if replay is not None:
-                replay.push(Transition(i, row, action, reward, next_row))
+            row = rows[i]
+            next_row = rows[i + 1] if i < last else 0
+            reward = rewards[i]
+            update(i, row, choices[i], reward, next_row)
+            if push is not None:
+                push(i, row, choices[i], reward, next_row)
         if replay is not None:
             replay.replay(qtable, rng)
 
@@ -123,39 +145,39 @@ class QSDNNSearch:
         replay_rng = stream.child("replay")
 
         best_total = np.inf
-        best_choices: np.ndarray | None = None
+        best_choices: list[int] | np.ndarray | None = None
         curve: list[float] = []
         epsilon_trace: list[float] = []
+        epsilon_for = cfg.epsilon.epsilon_for
+        track_curve = cfg.track_curve
         started = time.perf_counter()
 
         for episode in range(cfg.episodes):
-            epsilon = cfg.epsilon.epsilon_for(episode)
+            epsilon = epsilon_for(episode)
             choices, rows, costs, total = self._rollout(qtable, epsilon, policy_rng)
             self._learn_episode(
                 qtable, replay, choices, rows, costs, total, replay_rng
             )
             if total < best_total:
                 best_total = total
-                best_choices = choices.copy()
-            if cfg.track_curve:
+                best_choices = choices
+            if track_curve:
                 curve.append(total)
                 epsilon_trace.append(epsilon)
 
         assert best_choices is not None
+        best_choices = np.asarray(best_choices, dtype=np.int64)
         if cfg.polish_sweeps > 0:
             best_choices, best_total = coordinate_descent(
-                idx, best_choices, max_sweeps=cfg.polish_sweeps
+                self.engine, best_choices, max_sweeps=cfg.polish_sweeps
             )
-        greedy_choices = np.array(
-            qtable.greedy_rollout(parents=idx.q_parent), dtype=np.int64
-        )
-        greedy_ms = idx.total_ms(greedy_choices)
+        greedy_ms = self.engine.price(qtable.greedy_rollout(parents=idx.q_parent))
         wall = time.perf_counter() - started
 
         return SearchResult(
             graph_name=self.lut.graph_name,
             method="qs-dnn",
-            best_assignments=idx.assignments(best_choices),
+            best_assignments=self.engine.assignments(best_choices),
             best_ms=float(best_total),
             episodes=cfg.episodes,
             curve_ms=curve,

@@ -8,6 +8,7 @@ into a :class:`~repro.engine.lut.LatencyTable` that the search consumes.
 from repro.engine.schedule import NetworkSchedule, vanilla_schedule, primitive_type_schedule
 from repro.engine.executor import ExecutionResult, Executor
 from repro.engine.lut import LatencyTable, PrimitiveMeta, IndexedLUT
+from repro.engine.pricing import CostEngine
 from repro.engine.compat import profile_compatibility
 from repro.engine.profiler import Profiler, ProfilingReport
 from repro.engine.optimizer import InferenceEngineOptimizer, DeploymentReport
@@ -22,6 +23,7 @@ __all__ = [
     "LatencyTable",
     "PrimitiveMeta",
     "IndexedLUT",
+    "CostEngine",
     "profile_compatibility",
     "Profiler",
     "ProfilingReport",

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.backends.layout import conversion_ms, layouts_equivalent
 from repro.backends.registry import DesignSpace
+from repro.engine.pricing import CostEngine
 from repro.engine.schedule import NetworkSchedule
 from repro.hw.platform import Platform
 from repro.nn.graph import NetworkGraph
@@ -67,6 +68,19 @@ class Executor:
         self.graph = graph
         self.space = space
         self.platform = platform
+        self._engine: CostEngine | None = None
+
+    def engine(self) -> CostEngine:
+        """The compiled cost-model pricing engine (built once, cached).
+
+        Every (layer, candidate) time and every per-edge candidate-pair
+        penalty of the analytic model, in the same dense representation
+        the search-phase engine uses — so simulated measurements are
+        array gathers instead of repeated model evaluations.
+        """
+        if self._engine is None:
+            self._engine = CostEngine.from_model(self)
+        return self._engine
 
     # -- noiseless pieces -------------------------------------------------------
 
@@ -102,29 +116,30 @@ class Executor:
         ``repeats`` averages that many noisy inferences per measurement
         (the paper's 50-image mean).  Without ``rng`` the result is the
         exact model time.
+
+        True (model) times come from the compiled :meth:`engine` — two
+        array gathers per run instead of one model evaluation per layer
+        and edge.
         """
         schedule.validate(self.graph, self.space)
+        engine = self.engine()
+        choices = engine.choices_of(schedule.assignments)
+        layer_true = engine.gather_layer_times(choices).tolist()
+        edge_true = engine.gather_edge_penalties(choices).tolist()
         noise = self.platform.noise
         result = ExecutionResult(schedule=schedule)
-        for layer in self.graph.layers():
-            true_ms = self.true_layer_ms(layer.name, schedule.primitive_uid(layer.name))
+        for name, true_ms in zip(engine.layer_names, layer_true):
             if rng is None:
                 measured = true_ms
             else:
                 measured = noise.sample_mean(true_ms, rng, repeats)
-            result.layer_ms[layer.name] = measured
-        for producer, consumer in self.graph.edges():
-            true_ms = self.true_penalty_ms(
-                producer,
-                consumer,
-                schedule.primitive_uid(producer),
-                schedule.primitive_uid(consumer),
-            )
+            result.layer_ms[name] = measured
+        for edge, true_ms in zip(engine.edges, edge_true):
             if true_ms == 0.0:
                 continue
             if rng is None:
                 measured = true_ms
             else:
                 measured = noise.sample_mean(true_ms, rng, repeats)
-            result.penalty_ms[(producer, consumer)] = measured
+            result.penalty_ms[edge] = measured
         return result

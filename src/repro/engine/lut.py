@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -22,6 +23,9 @@ from repro.backends.layout import Layout
 from repro.backends.primitive import Primitive
 from repro.errors import LookupError_, ScheduleError
 from repro.hw.processor import ProcessorKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.pricing import CostEngine
 
 
 @dataclass(frozen=True)
@@ -89,6 +93,7 @@ class LatencyTable:
     def __post_init__(self) -> None:
         if not self.layer_depth:
             self.layer_depth = {name: i for i, name in enumerate(self.layers)}
+        self._indexed: IndexedLUT | None = None
 
     # -- lookups ------------------------------------------------------------
 
@@ -152,8 +157,18 @@ class LatencyTable:
         return total
 
     def indexed(self) -> "IndexedLUT":
-        """A numpy view for the search inner loop."""
-        return IndexedLUT(self)
+        """The numpy view for the search inner loop (built once, cached).
+
+        The cache assumes the table is not mutated after its first
+        indexing — true for every profiled or deserialized LUT.
+        """
+        if self._indexed is None:
+            self._indexed = IndexedLUT(self)
+        return self._indexed
+
+    def engine(self) -> "CostEngine":
+        """The compiled vectorized pricing engine for this table."""
+        return self.indexed().engine()
 
     # -- serialization ----------------------------------------------------------------
 
@@ -242,6 +257,7 @@ class IndexedLUT:
 
     def __init__(self, lut: LatencyTable) -> None:
         self.lut = lut
+        self._engine = None
         self.layer_names = list(lut.layers)
         self.layer_index = {name: i for i, name in enumerate(self.layer_names)}
         self.candidate_uids = [list(lut.candidates[n]) for n in self.layer_names]
@@ -279,16 +295,17 @@ class IndexedLUT:
     def __len__(self) -> int:
         return len(self.layer_names)
 
+    def engine(self) -> "CostEngine":
+        """The compiled (cached) vectorized pricing engine."""
+        if self._engine is None:
+            from repro.engine.pricing import CostEngine
+
+            self._engine = CostEngine.from_indexed(self)
+        return self._engine
+
     def total_ms(self, choices: np.ndarray) -> float:
         """Objective for a full choice vector (one index per layer)."""
-        total = 0.0
-        for i, c in enumerate(choices):
-            total += self.times[i][c]
-        for edge_idx, (producer, consumer) in enumerate(self.edges):
-            pi = self.layer_index[producer]
-            ci = self.layer_index[consumer]
-            total += self.edge_matrices[edge_idx][choices[pi], choices[ci]]
-        return float(total)
+        return self.engine().price(choices)
 
     def assignments(self, choices: np.ndarray) -> dict[str, str]:
         """Convert a choice vector back to layer -> uid assignments."""

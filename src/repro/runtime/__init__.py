@@ -1,0 +1,31 @@
+"""Scale-out runtime: batched campaigns over many search scenarios.
+
+The search phase runs on a workstation CPU (paper §VI-A), so serving
+many (network, platform, mode, seed) scenarios is an embarrassingly
+parallel batch problem.  This package owns that layer — job
+descriptions, process-pool sharding, and the on-disk LUT cache.
+"""
+
+from repro.runtime.campaign import (
+    Campaign,
+    CampaignJob,
+    CampaignResult,
+    PLATFORM_FACTORIES,
+    execute_job,
+    grid,
+    load_or_profile_lut,
+    lut_cache_path,
+    require_canonical_platform,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignJob",
+    "CampaignResult",
+    "PLATFORM_FACTORIES",
+    "execute_job",
+    "grid",
+    "load_or_profile_lut",
+    "lut_cache_path",
+    "require_canonical_platform",
+]

@@ -1,0 +1,258 @@
+"""Batched search campaigns: many (network x platform x mode x seed)
+jobs, sharded across worker processes.
+
+The paper runs one search at a time; serving "as many scenarios as you
+can imagine" means running whole grids of them — every Table II cell,
+multi-seed robustness sweeps, per-platform comparisons.  A
+:class:`Campaign` takes a list of :class:`CampaignJob` descriptions and
+
+* shards them across a :class:`concurrent.futures.ProcessPoolExecutor`
+  (``workers=1`` runs inline, no process overhead),
+* caches profiled LUTs on disk (keyed by network/platform/mode/seed/
+  repeats), so re-running a campaign — or sharing a cache directory
+  between campaigns — skips the expensive profiling phase entirely,
+* returns results in job order, each carrying its payload (a Table II
+  row or a full method comparison) plus cache/wall-clock accounting.
+
+Jobs carry platform *names* (resolved via :data:`PLATFORM_FACTORIES`
+in the worker), so a campaign pickles cheaply and runs identically in
+every process.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.backends.registry import Mode
+from repro.engine.lut import LatencyTable
+from repro.engine.optimizer import InferenceEngineOptimizer
+from repro.errors import ConfigError
+from repro.hw import jetson_tx2, jetson_tx2_maxn, raspberry_pi3
+from repro.zoo import available_networks, build_network
+
+#: Platform factories by name — the unit a job ships across processes.
+PLATFORM_FACTORIES = {
+    "jetson_tx2": jetson_tx2,
+    "jetson_tx2_maxn": jetson_tx2_maxn,
+    "raspberry_pi3": raspberry_pi3,
+}
+
+#: Payload kinds a campaign job can compute.
+JOB_KINDS = ("table2", "compare")
+
+
+def require_canonical_platform(platform) -> str:
+    """The platform's registry name, or ConfigError if it is not a
+    stock preset.
+
+    Campaign jobs rebuild platforms *by name* in worker processes;
+    accepting a customized platform here (e.g. a different noise
+    sigma, or a derived preset like ``cpu_only``) would silently
+    discard the customization and price against a different board.
+    """
+    factory = PLATFORM_FACTORIES.get(platform.name)
+    if factory is None or factory() != platform:
+        raise ConfigError(
+            f"platform {platform.name!r} is not a stock preset; campaign "
+            "jobs rebuild platforms by name, which would discard this "
+            "platform's customizations — run serially without a cache "
+            "directory, or add a factory to PLATFORM_FACTORIES"
+        )
+    return platform.name
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One search scenario: a (network, platform, mode, seed) cell.
+
+    ``kind`` selects the payload: ``"table2"`` produces a
+    :class:`~repro.analysis.speedup.Table2Row`; ``"compare"`` a
+    :class:`~repro.analysis.compare.MethodComparison` (every method at
+    the same budget).  ``episodes=None`` uses the per-network auto
+    budget.
+    """
+
+    network: str
+    platform: str = "jetson_tx2"
+    mode: str = "cpu"
+    seed: int = 0
+    episodes: int | None = None
+    kind: str = "table2"
+    repeats: int = 50
+
+    def __post_init__(self) -> None:
+        if self.network not in available_networks():
+            raise ConfigError(f"unknown network {self.network!r}")
+        if self.platform not in PLATFORM_FACTORIES:
+            raise ConfigError(
+                f"unknown platform {self.platform!r}; "
+                f"have {sorted(PLATFORM_FACTORIES)}"
+            )
+        Mode(self.mode)  # validates
+        if self.kind not in JOB_KINDS:
+            raise ConfigError(f"unknown job kind {self.kind!r}; have {JOB_KINDS}")
+        if self.episodes is not None and self.episodes < 1:
+            raise ConfigError(f"episodes must be >= 1, got {self.episodes}")
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable job identity."""
+        return f"{self.network}/{self.platform}/{self.mode}/seed{self.seed}"
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign job."""
+
+    job: CampaignJob
+    #: Table2Row (kind="table2") or MethodComparison (kind="compare").
+    payload: object
+    wall_clock_s: float = 0.0
+    lut_from_cache: bool = False
+
+
+def lut_cache_path(cache_dir: Path, job: CampaignJob) -> Path:
+    """Where a job's profiled LUT lives on disk.
+
+    The package version is part of the key so a cache directory shared
+    across repo revisions never silently serves LUTs profiled under an
+    older cost model.
+    """
+    from repro import __version__
+
+    name = (
+        f"{job.platform}__{job.network}__{job.mode}"
+        f"__seed{job.seed}__r{job.repeats}__v{__version__}.json"
+    )
+    return cache_dir / name
+
+
+def load_or_profile_lut(
+    job: CampaignJob, cache_dir: Path | None = None
+) -> tuple[LatencyTable, bool]:
+    """Fetch a job's LUT from the on-disk cache, profiling on a miss.
+
+    Returns ``(lut, from_cache)``.  JSON round-trips preserve floats
+    exactly, so a cached LUT prices identically to a fresh profile.
+    """
+    path = None
+    if cache_dir is not None:
+        path = lut_cache_path(Path(cache_dir), job)
+        if path.exists():
+            return LatencyTable.from_json(path.read_text()), True
+    platform = PLATFORM_FACTORIES[job.platform]()
+    graph = build_network(job.network)
+    optimizer = InferenceEngineOptimizer(
+        graph, platform, mode=Mode(job.mode), seed=job.seed, repeats=job.repeats
+    )
+    lut = optimizer.profile()
+    if path is not None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Per-writer temp name: concurrent workers profiling the same
+        # key must not interleave writes into one temp file; each
+        # publishes its own (identical) result atomically.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(lut.to_json())
+        tmp.replace(path)
+    return lut, False
+
+
+def execute_job(
+    job: CampaignJob, cache_dir: str | Path | None = None
+) -> CampaignResult:
+    """Run one job to completion (profiling, search, baselines).
+
+    Module-level so worker processes can import it by reference.
+    """
+    from repro.analysis.compare import compare_methods
+    from repro.analysis.speedup import auto_episodes, table2_row_from_lut
+
+    started = time.perf_counter()
+    lut, from_cache = load_or_profile_lut(job, cache_dir)
+    if job.kind == "table2":
+        payload = table2_row_from_lut(lut, episodes=job.episodes, seed=job.seed)
+    else:  # "compare" — validated at construction
+        episodes = (
+            auto_episodes(len(lut.layers))
+            if job.episodes is None
+            else job.episodes
+        )
+        payload = compare_methods(lut, episodes=episodes, seed=job.seed)
+    return CampaignResult(
+        job=job,
+        payload=payload,
+        wall_clock_s=time.perf_counter() - started,
+        lut_from_cache=from_cache,
+    )
+
+
+class Campaign:
+    """A batch of search jobs sharded across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        The scenarios to run.  Duplicate jobs are allowed (they run
+        again — use distinct seeds for robustness sweeps).
+    workers:
+        Process count.  ``1`` (default) runs inline in this process;
+        ``N > 1`` shards over a :class:`ProcessPoolExecutor`.
+    cache_dir:
+        Directory for the on-disk LUT cache; ``None`` disables caching.
+    """
+
+    def __init__(
+        self,
+        jobs: list[CampaignJob],
+        workers: int = 1,
+        cache_dir: str | Path | None = None,
+    ) -> None:
+        if not jobs:
+            raise ConfigError("a campaign needs at least one job")
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.jobs = list(jobs)
+        self.workers = workers
+        self.cache_dir = cache_dir
+
+    def run(self) -> list[CampaignResult]:
+        """Execute every job; results come back in job order."""
+        if self.workers == 1:
+            return [execute_job(job, self.cache_dir) for job in self.jobs]
+        max_workers = min(self.workers, len(self.jobs))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(execute_job, job, self.cache_dir)
+                for job in self.jobs
+            ]
+            return [f.result() for f in futures]
+
+
+def grid(
+    networks: list[str],
+    platforms: list[str] | None = None,
+    modes: list[str] | None = None,
+    seeds: list[int] | None = None,
+    episodes: int | None = None,
+    kind: str = "table2",
+) -> list[CampaignJob]:
+    """The full (network x platform x mode x seed) job cross-product."""
+    jobs = [
+        CampaignJob(
+            network=network,
+            platform=platform,
+            mode=mode,
+            seed=seed,
+            episodes=episodes,
+            kind=kind,
+        )
+        for platform in (platforms or ["jetson_tx2"])
+        for mode in (modes or ["cpu"])
+        for seed in (seeds or [0])
+        for network in networks
+    ]
+    return jobs

@@ -14,6 +14,7 @@ from repro.baselines import (
     random_search,
     single_library_results,
 )
+from repro.engine.pricing import CostEngine
 from repro.errors import ConfigError
 
 from tests.helpers import synthetic_chain_lut, trap_lut
@@ -118,6 +119,44 @@ class TestPBQP:
     def test_branchy_assignment_complete(self, squeezenet_lut_gpgpu):
         pb = pbqp_solve(squeezenet_lut_gpgpu)
         assert set(pb.best_assignments) == set(squeezenet_lut_gpgpu.layers)
+
+
+class TestExactPricingAgreement:
+    """The exact solvers must report *exactly* the CostEngine price of
+    the assignment they return — any drift means a solver priced its
+    result through a different (buggy) code path."""
+
+    def test_brute_force_exactly_equals_engine_price(self):
+        for seed in range(5):
+            lut = synthetic_chain_lut(5, 4, seed=seed)
+            engine = CostEngine.from_lut(lut)
+            result = brute_force(lut)
+            choices = engine.choices_of(result.best_assignments)
+            assert result.best_ms == engine.price(choices)  # bitwise
+
+    def test_chain_dp_exactly_equals_engine_price(self):
+        for seed in range(5):
+            lut = synthetic_chain_lut(7, 4, seed=seed)
+            engine = CostEngine.from_lut(lut)
+            result = chain_dp(lut)
+            choices = engine.choices_of(result.best_assignments)
+            assert result.best_ms == engine.price(choices)  # bitwise
+
+    def test_exact_solvers_on_real_lut(self, lenet_lut_gpgpu):
+        engine = CostEngine.from_lut(lenet_lut_gpgpu)
+        result = chain_dp(lenet_lut_gpgpu)
+        choices = engine.choices_of(result.best_assignments)
+        assert result.best_ms == engine.price(choices)  # bitwise
+
+    def test_brute_force_equals_dp_on_trap(self):
+        lut = trap_lut()
+        engine = CostEngine.from_lut(lut)
+        bf = brute_force(lut)
+        dp = chain_dp(lut)
+        assert bf.best_ms == dp.best_ms  # both priced by the engine
+        assert bf.best_ms == engine.price(
+            engine.choices_of(bf.best_assignments)
+        )
 
 
 class TestGreedy:

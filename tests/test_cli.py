@@ -117,3 +117,40 @@ class TestSearchValidatesLut:
         lut_path.write_text(json.dumps(payload))
         with pytest.raises(ProfilingError):
             main(["search", "--lut", str(lut_path), "--episodes", "50"])
+
+
+class TestCampaignCommand:
+    def test_grid_with_cache_and_json_out(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        args = [
+            "campaign", "--networks", "fig1_toy", "--modes", "cpu", "gpgpu",
+            "--episodes", "150", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "luts"), "--out", str(out_path),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Table II (cpu mode)" in out
+        assert "Table II (gpgpu mode)" in out
+        assert "2 jobs" in out and "2 worker(s)" in out
+        payload = json.loads(out_path.read_text())
+        assert len(payload) == 2
+        assert payload[0]["job"]["network"] == "fig1_toy"
+        assert payload[0]["result"]["qsdnn_ms"] > 0
+        # Second run hits the LUT cache for every job.
+        assert main(args) == 0
+        assert "2 LUT cache hit(s)" in capsys.readouterr().out
+
+    def test_compare_kind(self, capsys):
+        assert main([
+            "campaign", "--networks", "fig1_toy", "--modes", "cpu",
+            "--episodes", "150", "--kind", "compare",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "QS-DNN" in out and "PBQP" in out
+
+    def test_table2_jobs_flag(self, capsys):
+        assert main([
+            "table2", "--networks", "fig1_toy", "--mode", "cpu",
+            "--episodes", "150", "--jobs", "2",
+        ]) == 0
+        assert "Table II" in capsys.readouterr().out

@@ -1,0 +1,207 @@
+"""The unified pricing engine: CostEngine vs. every other pricer.
+
+The engine is the single source of truth for the search objective, so
+these tests pin it against the two independent references:
+
+* the executor's analytic cost model (board-side pricing), on *every*
+  zoo network in *both* modes — the acceptance bar of the engine;
+* the LUT's dict-walking ``schedule_time`` (search-side pricing).
+
+Plus the structural properties batch pricing must satisfy: pricing B
+schedules at once is exactly B single prices, and ``layer_costs`` sums
+to the total.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backends.registry import Mode, design_space
+from repro.engine.executor import Executor
+from repro.engine.pricing import CostEngine
+from repro.engine.schedule import NetworkSchedule
+from repro.errors import ScheduleError
+from repro.hw import jetson_tx2
+from repro.hw.presets import cpu_only
+from repro.zoo import available_networks, build_network
+
+from tests.helpers import synthetic_chain_lut, trap_lut
+
+#: Shared noiseless platform — model pricing must be exact, not noisy.
+_QUIET = jetson_tx2(noise_sigma=0.0)
+
+#: (executor, engine) per (network, mode), compiled once per session.
+_MODEL_CACHE: dict[tuple[str, str], tuple[Executor, CostEngine]] = {}
+
+
+def _model(network: str, mode: Mode) -> tuple[Executor, CostEngine]:
+    key = (network, str(mode))
+    if key not in _MODEL_CACHE:
+        platform = _QUIET if mode is Mode.GPGPU else cpu_only(_QUIET)
+        graph = build_network(network)
+        space = design_space(mode, platform)
+        executor = Executor(graph, space, platform)
+        _MODEL_CACHE[key] = (executor, executor.engine())
+    return _MODEL_CACHE[key]
+
+
+def _random_choices(engine: CostEngine, rng: np.random.Generator) -> np.ndarray:
+    return np.array(
+        [rng.integers(n) for n in engine.num_actions], dtype=np.int64
+    )
+
+
+class TestEngineMatchesExecutor:
+    """Acceptance: engine pricing == board pricing on every zoo network."""
+
+    @pytest.mark.parametrize("network", available_networks())
+    @pytest.mark.parametrize("mode", [Mode.CPU, Mode.GPGPU])
+    def test_price_matches_executor_run(self, network, mode):
+        executor, engine = _model(network, mode)
+        rng = np.random.default_rng(hash((network, str(mode))) % 2**32)
+        batch = np.stack([_random_choices(engine, rng) for _ in range(3)])
+        batch_totals = engine.price_batch(batch)
+        for k, choices in enumerate(batch):
+            schedule = NetworkSchedule(network, engine.assignments(choices))
+            measured = executor.run(schedule)  # noiseless: exact model time
+            assert engine.price(choices) == pytest.approx(
+                measured.total_ms, abs=1e-9
+            )
+            # Batch pricing is single pricing (to reduction-order ulps).
+            assert batch_totals[k] == pytest.approx(
+                engine.price(choices), rel=1e-12
+            )
+
+    @pytest.mark.parametrize("mode", [Mode.CPU, Mode.GPGPU])
+    def test_per_layer_and_per_edge_breakdowns(self, mode):
+        executor, engine = _model("lenet5", mode)
+        rng = np.random.default_rng(7)
+        choices = _random_choices(engine, rng)
+        schedule = NetworkSchedule("lenet5", engine.assignments(choices))
+        measured = executor.run(schedule)
+        times = engine.gather_layer_times(choices)
+        for name, t in zip(engine.layer_names, times):
+            assert measured.layer_ms[name] == pytest.approx(float(t), abs=1e-12)
+        penalties = engine.gather_edge_penalties(choices)
+        for edge, p in zip(engine.edges, penalties):
+            assert measured.penalty_ms.get(edge, 0.0) == pytest.approx(
+                float(p), abs=1e-12
+            )
+
+
+class TestEngineMatchesLut:
+    def test_price_matches_schedule_time(self, lenet_lut_gpgpu):
+        engine = lenet_lut_gpgpu.engine()
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            choices = _random_choices(engine, rng)
+            assert engine.price(choices) == pytest.approx(
+                lenet_lut_gpgpu.schedule_time(engine.assignments(choices)),
+                abs=1e-9,
+            )
+
+    def test_layer_costs_sum_to_price(self, squeezenet_lut_gpgpu):
+        engine = squeezenet_lut_gpgpu.engine()
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            choices = _random_choices(engine, rng)
+            assert engine.layer_costs(choices).sum() == pytest.approx(
+                engine.price(choices), rel=1e-12
+            )
+
+    def test_trap_prices(self):
+        engine = trap_lut().engine()
+        assert engine.price([0, 0, 0]) == pytest.approx(10.0)
+        assert engine.price([0, 1, 0]) == pytest.approx(12.0)
+        assert engine.price([1, 1, 1]) == pytest.approx(17.0)
+
+
+class TestEngineProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_batch_equals_singles_hypothesis(self, data):
+        """price_batch == N x price, on random synthetic problems."""
+        num_layers = data.draw(st.integers(2, 10), label="layers")
+        num_actions = data.draw(st.integers(1, 8), label="actions")
+        seed = data.draw(st.integers(0, 999), label="seed")
+        lut = synthetic_chain_lut(num_layers, num_actions, seed=seed)
+        engine = lut.engine()
+        rows = data.draw(
+            st.lists(
+                st.lists(
+                    st.integers(0, num_actions - 1),
+                    min_size=num_layers,
+                    max_size=num_layers,
+                ),
+                min_size=1,
+                max_size=8,
+            ),
+            label="choices",
+        )
+        batch = np.array(rows, dtype=np.int64)
+        totals = engine.price_batch(batch)
+        for k, choices in enumerate(batch):
+            assert totals[k] == pytest.approx(engine.price(choices), rel=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_price_matches_executor_hypothesis(self, data):
+        """Random schedules on real (small) networks price like the board."""
+        network = data.draw(
+            st.sampled_from(["fig1_toy", "lenet5", "mobilenet_v1"]),
+            label="network",
+        )
+        mode = data.draw(st.sampled_from([Mode.CPU, Mode.GPGPU]), label="mode")
+        executor, engine = _model(network, mode)
+        choices = np.array(
+            [
+                data.draw(st.integers(0, int(n) - 1))
+                for n in engine.num_actions
+            ],
+            dtype=np.int64,
+        )
+        schedule = NetworkSchedule(network, engine.assignments(choices))
+        measured = executor.run(schedule)
+        assert engine.price(choices) == pytest.approx(
+            measured.total_ms, abs=1e-9
+        )
+
+    def test_roundtrip_choices_assignments(self):
+        lut = synthetic_chain_lut(5, 4, seed=9)
+        engine = lut.engine()
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            choices = _random_choices(engine, rng)
+            again = engine.choices_of(engine.assignments(choices))
+            assert (again == choices).all()
+
+    def test_rejects_bad_shapes_and_uids(self):
+        engine = synthetic_chain_lut(4, 3, seed=1).engine()
+        with pytest.raises(ScheduleError):
+            engine.price_batch(np.zeros((2, 99), dtype=np.int64))
+        with pytest.raises(ScheduleError):
+            engine.choices_of({})
+        with pytest.raises(ScheduleError):
+            engine.choices_of(
+                {name: "no-such-uid" for name in engine.layer_names}
+            )
+
+    def test_move_costs_are_exact_deltas(self):
+        lut = synthetic_chain_lut(6, 4, seed=2)
+        engine = lut.engine()
+        rng = np.random.default_rng(1)
+        choices = _random_choices(engine, rng)
+        base = engine.price(choices)
+        for layer in range(len(engine)):
+            costs = engine.move_costs(choices, layer)
+            for action in range(int(engine.num_actions[layer])):
+                flipped = choices.copy()
+                flipped[layer] = action
+                assert base + (costs[action] - costs[choices[layer]]) == (
+                    pytest.approx(engine.price(flipped), rel=1e-12)
+                )
+                assert engine.delta_ms(choices, layer, action) == (
+                    pytest.approx(engine.price(flipped) - base, abs=1e-9)
+                )

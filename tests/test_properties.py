@@ -180,7 +180,7 @@ class TestQTableProperties:
             q.update(i % 2, 0, i % 2, r)
         bound = -100 / (1 - 0.9) - 1e-9
         for layer in range(2):
-            for prev in range(q._q[layer].shape[0]):
+            for prev in range(q.row_sizes[layer]):
                 for value in q.q_values(layer, prev):
                     assert bound <= value <= 0.0
 

@@ -1,0 +1,167 @@
+"""The campaign runtime: job grids, sharding, and the LUT disk cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.compare import MethodComparison, compare_methods_many
+from repro.analysis.speedup import Table2Row, run_table2
+from repro.backends.registry import Mode
+from repro.errors import ConfigError
+from repro.hw import jetson_tx2
+from repro.runtime.campaign import (
+    Campaign,
+    CampaignJob,
+    execute_job,
+    grid,
+    load_or_profile_lut,
+    lut_cache_path,
+)
+
+EPISODES = 120  # small but >= the 20-episode floor of the paper schedule
+
+
+class TestCampaignJob:
+    def test_rejects_unknown_network(self):
+        with pytest.raises(ConfigError):
+            CampaignJob(network="nope")
+
+    def test_rejects_unknown_platform(self):
+        with pytest.raises(ConfigError):
+            CampaignJob(network="lenet5", platform="beagleboard")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            CampaignJob(network="lenet5", kind="wat")
+
+    def test_label(self):
+        job = CampaignJob(network="lenet5", mode="gpgpu", seed=3)
+        assert job.label == "lenet5/jetson_tx2/gpgpu/seed3"
+
+    def test_grid_cross_product(self):
+        jobs = grid(
+            ["lenet5", "fig1_toy"], modes=["cpu", "gpgpu"], seeds=[0, 1]
+        )
+        assert len(jobs) == 8
+        assert len({(j.network, j.mode, j.seed) for j in jobs}) == 8
+
+
+class TestLutCache:
+    def test_miss_then_hit(self, tmp_path):
+        job = CampaignJob(network="fig1_toy", mode="cpu", episodes=EPISODES)
+        lut, cached = load_or_profile_lut(job, tmp_path)
+        assert not cached
+        assert lut_cache_path(tmp_path, job).exists()
+        again, cached = load_or_profile_lut(job, tmp_path)
+        assert cached
+        # The JSON round-trip preserves pricing exactly.
+        engine, engine2 = lut.engine(), again.engine()
+        choices = [0] * len(engine)
+        assert engine.price(choices) == engine2.price(choices)
+
+    def test_cache_keys_are_distinct(self, tmp_path):
+        a = CampaignJob(network="fig1_toy", mode="cpu")
+        b = CampaignJob(network="fig1_toy", mode="gpgpu")
+        c = CampaignJob(network="fig1_toy", mode="cpu", seed=1)
+        paths = {lut_cache_path(tmp_path, j) for j in (a, b, c)}
+        assert len(paths) == 3
+
+    def test_no_cache_dir_profiles_fresh(self):
+        job = CampaignJob(network="fig1_toy", mode="cpu")
+        lut, cached = load_or_profile_lut(job, None)
+        assert not cached and lut.graph_name == "fig1_toy"
+
+
+class TestExecuteJob:
+    def test_table2_payload(self, tmp_path):
+        job = CampaignJob(network="fig1_toy", mode="cpu", episodes=EPISODES)
+        result = execute_job(job, tmp_path)
+        assert isinstance(result.payload, Table2Row)
+        assert result.payload.network == "fig1_toy"
+        assert result.payload.qsdnn_ms > 0
+        assert not result.lut_from_cache
+        assert execute_job(job, tmp_path).lut_from_cache
+
+    def test_compare_payload(self):
+        job = CampaignJob(
+            network="fig1_toy", mode="gpgpu", episodes=EPISODES, kind="compare"
+        )
+        result = execute_job(job, None)
+        assert isinstance(result.payload, MethodComparison)
+        assert result.payload.optimal_ms is not None  # toy net is a chain
+
+
+class TestCampaign:
+    def test_rejects_empty_and_bad_workers(self):
+        with pytest.raises(ConfigError):
+            Campaign([])
+        with pytest.raises(ConfigError):
+            Campaign([CampaignJob(network="fig1_toy")], workers=0)
+
+    def test_serial_run_preserves_job_order(self, tmp_path):
+        jobs = grid(["fig1_toy", "lenet5"], modes=["cpu"], episodes=EPISODES)
+        results = Campaign(jobs, workers=1, cache_dir=tmp_path).run()
+        assert [r.payload.network for r in results] == ["fig1_toy", "lenet5"]
+
+    def test_parallel_equals_serial(self, tmp_path):
+        jobs = grid(
+            ["fig1_toy"], modes=["cpu", "gpgpu"], episodes=EPISODES
+        )
+        serial = Campaign(jobs, workers=1, cache_dir=tmp_path).run()
+        parallel = Campaign(jobs, workers=2, cache_dir=tmp_path).run()
+        for s, p in zip(serial, parallel):
+            assert s.job == p.job
+            assert s.payload.qsdnn_ms == p.payload.qsdnn_ms
+            assert s.payload.rs_ms == p.payload.rs_ms
+        assert all(r.lut_from_cache for r in parallel)
+
+
+class TestAnalysisWiring:
+    def test_customized_platform_rejected(self, tmp_path):
+        """Campaign workers rebuild platforms by name; a customized
+        platform must fail loudly rather than silently lose its
+        configuration."""
+        noisy = jetson_tx2(noise_sigma=0.5)  # same name, different board
+        with pytest.raises(ConfigError):
+            run_table2(
+                ["fig1_toy"], Mode.CPU, noisy,
+                episodes=EPISODES, jobs=2, cache_dir=str(tmp_path),
+            )
+        from repro.hw.presets import cpu_only
+
+        derived = cpu_only(jetson_tx2())  # name not in the registry
+        with pytest.raises(ConfigError):
+            compare_methods_many(
+                ["fig1_toy"], Mode.CPU, derived, episodes=EPISODES
+            )
+
+    def test_run_table2_sharded(self, tmp_path):
+        tx2 = jetson_tx2()
+        serial = run_table2(
+            ["fig1_toy"], Mode.CPU, tx2, episodes=EPISODES, seed=0
+        )
+        sharded = run_table2(
+            ["fig1_toy"],
+            Mode.CPU,
+            tx2,
+            episodes=EPISODES,
+            seed=0,
+            jobs=2,
+            cache_dir=str(tmp_path),
+        )
+        assert serial[0].qsdnn_ms == sharded[0].qsdnn_ms
+        assert serial[0].vanilla_ms == sharded[0].vanilla_ms
+
+    def test_compare_methods_many(self, tmp_path):
+        tx2 = jetson_tx2()
+        comps = compare_methods_many(
+            ["fig1_toy"],
+            Mode.CPU,
+            tx2,
+            episodes=EPISODES,
+            jobs=1,
+            cache_dir=str(tmp_path),
+        )
+        assert len(comps) == 1
+        assert comps[0].network == "fig1_toy"
+        assert comps[0].qsdnn_ms <= comps[0].greedy_ms + 1e-9

@@ -1,4 +1,4 @@
-"""E7 — search runtime (paper §VI-A).
+"""E7 — search runtime (paper §VI-A) and multi-seed amortization.
 
 "The design space search is carried out in a standard Intel CPU and
 takes less than 10 min to converge"; the abstract quotes ~5 minutes.
@@ -6,29 +6,48 @@ Our tabular search over the same LUT structure runs in seconds — this
 bench records the wall-clock per network so the claim is auditable,
 and writes the machine-readable ``BENCH_search.json`` next to the repo
 root so CI (and speedup comparisons between revisions) can diff it.
+``scripts/check_bench_regression.py`` gates CI on the recorded wall
+clocks.
+
+The multi-seed benches measure the lockstep runner's amortization: K=8
+seeds sharing one engine, every episode's K rollouts priced in a single
+``layer_costs_batch`` call and the eq. (2) updates batched across
+seeds.  Both sides run the vectorized-friendly configuration (replay
+off — replay is an inherently sequential per-seed update chain) so the
+ratio isolates what lockstep batching buys; results are bit-identical
+to K independent runs either way.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import time
 
 import pytest
 
 from repro import Mode, __version__
 from repro.analysis._cache import cached_lut
-from repro.core import QSDNNSearch, SearchConfig
-from repro.utils.tables import AsciiTable
+from repro.core import MultiSeedSearch, QSDNNSearch, SearchConfig, seed_range
 
 from benchmarks.conftest import EPISODES, SEED
 
 NETWORKS = ["lenet5", "alexnet", "mobilenet_v1", "googlenet", "resnet50", "vgg19"]
 
+#: Networks the multi-seed amortization claim is checked on.
+MULTI_SEED_NETWORKS = ["mobilenet_v1", "resnet50"]
+MULTI_SEED_K = 8
+#: K=8 lockstep seeds must cost < this many single-seed wall clocks.
+MULTI_SEED_MAX_RATIO = 4.0
+
 #: Machine-readable artifact consumed by CI and revision comparisons.
 BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_search.json"
+#: Artifact layout version (validated by the CI artifact check).
+BENCH_SCHEMA_VERSION = 2
 
 _wall_clocks: dict[str, float] = {}
 _best_ms: dict[str, float] = {}
+_multi_seed: dict[str, dict[str, float]] = {}
 
 
 @pytest.mark.parametrize("network", NETWORKS)
@@ -46,30 +65,86 @@ def test_search_wall_clock(benchmark, network, tx2):
     assert result.wall_clock_s < 600.0
 
 
-def test_search_runtime_summary(benchmark, emit):
+@pytest.mark.parametrize("network", MULTI_SEED_NETWORKS)
+def test_multi_seed_lockstep_amortization(network, tx2):
+    """K=8 lockstep seeds well under K single-seed wall clocks.
+
+    Single and multi run back-to-back in this process, so the ratio is
+    robust to the absolute speed of the machine.
+    """
+    lut = cached_lut(network, Mode.GPGPU, tx2, seed=SEED)
+    lut.indexed().engine()  # compile once, outside both timings
+
+    def config(seed: int) -> SearchConfig:
+        return SearchConfig(
+            episodes=EPISODES, seed=seed, track_curve=False,
+            replay_enabled=False,
+        )
+
+    single = min(
+        _timed(lambda: QSDNNSearch(lut, config(SEED)).run()) for _ in range(2)
+    )
+    multi = min(
+        _timed(
+            lambda: MultiSeedSearch(
+                lut, config(SEED), seeds=seed_range(SEED, MULTI_SEED_K)
+            ).run()
+        )
+        for _ in range(2)
+    )
+    ratio = multi / single
+    _multi_seed[network] = {
+        "seeds": MULTI_SEED_K,
+        "wall_clock_s": multi,
+        "single_wall_clock_s": single,
+        "ratio": ratio,
+    }
+    assert ratio < MULTI_SEED_MAX_RATIO, (
+        f"{MULTI_SEED_K} lockstep seeds on {network} took {ratio:.2f}x one "
+        f"seed (limit {MULTI_SEED_MAX_RATIO}x)"
+    )
+
+
+def _timed(run) -> float:
+    started = time.perf_counter()
+    run()
+    return time.perf_counter() - started
+
+
+def test_search_runtime_summary(benchmark, emit, tx2):
+    from repro.utils.tables import AsciiTable
+
     def summarize():
         table = AsciiTable(
-            ["network", f"{EPISODES}-episode search (s)"],
+            ["network", f"{EPISODES}-episode search (s)", "8-seed lockstep"],
             title="E7 | QS-DNN search wall-clock (paper: < 10 min)",
         )
         for network in NETWORKS:
             if network in _wall_clocks:
-                table.add_row([network, f"{_wall_clocks[network]:.2f}"])
+                sweep = _multi_seed.get(network)
+                table.add_row([
+                    network,
+                    f"{_wall_clocks[network]:.2f}",
+                    f"{sweep['ratio']:.2f}x" if sweep else "-",
+                ])
         return table.render()
 
     emit("search_runtime", benchmark.pedantic(summarize, rounds=1, iterations=1))
-    if not _wall_clocks:
+    if not _wall_clocks and not _multi_seed:
         return  # nothing measured this run (e.g. -k summary alone)
     # Merge into any existing artifact so a partial run (-k lenet5)
     # refreshes only the networks it measured instead of clobbering a
     # complete BENCH_search.json with an empty one.
     payload = {
         "version": __version__,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "platform": tx2.name,
         "episodes": EPISODES,
         "seed": SEED,
         "mode": "gpgpu",
         "search_wall_clock_s": {},
         "best_ms": {},
+        "multi_seed": {},
     }
     if BENCH_JSON.exists():
         try:
@@ -85,6 +160,8 @@ def test_search_runtime_summary(benchmark, emit):
                 previous.get("search_wall_clock_s", {})
             )
             payload["best_ms"] = dict(previous.get("best_ms", {}))
+            payload["multi_seed"] = dict(previous.get("multi_seed", {}))
     payload["search_wall_clock_s"].update(_wall_clocks)
     payload["best_ms"].update(_best_ms)
+    payload["multi_seed"].update(_multi_seed)
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Fail CI when the search benchmark regresses against the committed baseline.
+
+Compares the freshly generated ``BENCH_search.json`` against the
+baseline committed in the repository (snapshotted before the bench
+runs) and exits non-zero if any ``search_wall_clock_s`` entry got more
+than ``--threshold`` times slower.  Entries measured below
+``--min-seconds`` on both sides are ignored: at sub-50ms scales shared
+CI runners produce ratios that say more about the neighbor's workload
+than about this commit.
+
+Usage (mirrors the CI step)::
+
+    python scripts/check_bench_regression.py \
+        --baseline BENCH_baseline.json --current BENCH_search.json
+
+Dry-run the gate locally by injecting a slowdown into a copy of the
+artifact (doubling every wall clock must exit 1)::
+
+    python scripts/check_bench_regression.py \
+        --baseline BENCH_search.json --current /tmp/slowed.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 1.5
+DEFAULT_MIN_SECONDS = 0.05
+
+
+def load_wall_clocks(path: Path) -> dict[str, float]:
+    """The ``search_wall_clock_s`` mapping of one bench artifact."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"cannot read bench artifact {path}: {error}")
+    clocks = payload.get("search_wall_clock_s")
+    if not isinstance(clocks, dict) or not clocks:
+        raise SystemExit(f"{path} has no search_wall_clock_s entries")
+    return {str(key): float(value) for key, value in clocks.items()}
+
+
+def check(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    threshold: float,
+    min_seconds: float,
+) -> list[str]:
+    """Human-readable regression lines (empty means the gate passes)."""
+    failures = []
+    for network in sorted(set(baseline) & set(current)):
+        base = baseline[network]
+        now = current[network]
+        if base < min_seconds and now < min_seconds:
+            continue
+        ratio = now / base if base > 0 else float("inf")
+        if ratio > threshold:
+            detail = f"{base:.3f}s -> {now:.3f}s ({ratio:.2f}x > {threshold}x)"
+            failures.append(f"{network}: {detail}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("BENCH_baseline.json"),
+        help="bench artifact of the previous revision (committed baseline)",
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=Path("BENCH_search.json"),
+        help="bench artifact of this revision",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fail when current/baseline exceeds this factor",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help="skip entries below this wall clock on both sides",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_wall_clocks(args.baseline)
+    current = load_wall_clocks(args.current)
+    compared = sorted(set(baseline) & set(current))
+    if not compared:
+        print("bench-regression gate: no overlapping networks to compare")
+        return 1
+    for network in compared:
+        base = baseline[network]
+        now = current[network]
+        ratio = now / base if base > 0 else float("inf")
+        print(f"  {network}: baseline {base:.3f}s, current {now:.3f}s ({ratio:.2f}x)")
+    failures = check(baseline, current, args.threshold, args.min_seconds)
+    if failures:
+        print("bench-regression gate FAILED:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    count = len(compared)
+    print(f"bench-regression gate passed: {count} network(s) within {args.threshold}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,8 @@ from repro.baselines import (
     best_single_library,
     brute_force,
     chain_dp,
+    cross_entropy_method,
+    genetic_search,
     greedy_per_layer,
     pbqp_solve,
     random_search,
@@ -25,9 +27,12 @@ from repro.baselines import (
 )
 from repro.core import (
     EpsilonSchedule,
+    MultiSeedResult,
+    MultiSeedSearch,
     QSDNNSearch,
     SearchConfig,
     SearchResult,
+    seed_range,
 )
 from repro.engine import (
     CostEngine,
@@ -55,8 +60,13 @@ __all__ = [
     "greedy_per_layer",
     "brute_force",
     "chain_dp",
+    "cross_entropy_method",
+    "genetic_search",
     "pbqp_solve",
     "EpsilonSchedule",
+    "MultiSeedResult",
+    "MultiSeedSearch",
+    "seed_range",
     "QSDNNSearch",
     "SearchConfig",
     "SearchResult",

@@ -6,7 +6,9 @@ from dataclasses import dataclass
 
 from repro.baselines.annealing import simulated_annealing
 from repro.baselines.best_single_library import best_single_library
+from repro.baselines.cem import cross_entropy_method
 from repro.baselines.dp_optimal import chain_dp, is_chain
+from repro.baselines.genetic import genetic_search
 from repro.baselines.greedy import greedy_per_layer
 from repro.baselines.pbqp import pbqp_solve
 from repro.baselines.random_search import random_search
@@ -30,6 +32,8 @@ class MethodComparison:
     rs_ms: float
     annealing_ms: float
     pbqp_ms: float
+    cem_ms: float
+    ga_ms: float
     optimal_ms: float | None  # exact (chain DP) when the graph is a chain
 
     def render(self) -> str:
@@ -43,6 +47,8 @@ class MethodComparison:
             ("greedy per layer", self.greedy_ms),
             ("random search", self.rs_ms),
             ("simulated annealing", self.annealing_ms),
+            ("cross-entropy method", self.cem_ms),
+            ("genetic algorithm", self.ga_ms),
             ("PBQP (Anderson & Gregg)", self.pbqp_ms),
             ("QS-DNN", self.qsdnn_ms),
         ]
@@ -114,5 +120,7 @@ def compare_methods(
         rs_ms=random_search(lut, episodes=episodes, seed=seed).best_ms,
         annealing_ms=simulated_annealing(lut, episodes=episodes, seed=seed).best_ms,
         pbqp_ms=pbqp_solve(lut).best_ms,
+        cem_ms=cross_entropy_method(lut, episodes=episodes, seed=seed).best_ms,
+        ga_ms=genetic_search(lut, episodes=episodes, seed=seed).best_ms,
         optimal_ms=chain_dp(lut).best_ms if is_chain(lut) else None,
     )

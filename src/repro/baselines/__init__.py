@@ -12,9 +12,14 @@
   approach of Anderson & Gregg [14] the paper positions itself against.
 * :func:`simulated_annealing` — a classic non-learning local-search DSE
   baseline at an evaluation-matched budget.
+* :func:`cross_entropy_method` / :func:`genetic_search` —
+  population-based baselines that price whole generations per
+  :meth:`~repro.engine.pricing.CostEngine.price_batch` call.
 """
 
 from repro.baselines.annealing import simulated_annealing
+from repro.baselines.cem import cross_entropy_method
+from repro.baselines.genetic import genetic_search
 from repro.baselines.random_search import random_search
 from repro.baselines.best_single_library import (
     SingleLibraryResult,
@@ -29,6 +34,8 @@ from repro.baselines.pbqp import PBQPSolver, pbqp_solve
 __all__ = [
     "random_search",
     "simulated_annealing",
+    "cross_entropy_method",
+    "genetic_search",
     "SingleLibraryResult",
     "best_single_library",
     "single_library_results",

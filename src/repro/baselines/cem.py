@@ -1,0 +1,112 @@
+"""Cross-entropy method over per-layer categorical distributions.
+
+A strong population-based baseline for the primitive-selection space:
+maintain one categorical distribution per layer, sample a population of
+full schedules, price the whole population with a single
+:meth:`~repro.engine.pricing.CostEngine.price_batch` call, and move
+each layer's distribution toward the empirical frequencies of the
+elite fraction (smoothed, floored so no primitive becomes unreachable).
+
+Like the paper's RS comparison the budget is counted in *schedule
+evaluations*, so ``episodes=1000`` is apples-to-apples with a
+1000-episode QS-DNN run.  The reported best is the best schedule seen
+anywhere in the run, refined by the same coordinate-descent polish the
+RL search applies (disable with ``polish_sweeps=0``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.core.polish import coordinate_descent
+from repro.core.population import (
+    categorical_sample,
+    elite_distribution,
+    elite_indices,
+    floor_and_renormalize,
+    uniform_distribution,
+)
+from repro.core.result import SearchResult
+from repro.engine.lut import LatencyTable
+from repro.errors import ConfigError
+from repro.utils.rng import derive_rng
+
+#: Called with each priced generation: ``(population, totals_ms)``.
+PopulationObserver = Callable[[np.ndarray, np.ndarray], None]
+
+
+def cross_entropy_method(
+    lut: LatencyTable,
+    episodes: int = 1000,
+    seed: int = 0,
+    population: int = 64,
+    elite_frac: float = 0.125,
+    smoothing: float = 0.7,
+    min_prob: float = 1e-3,
+    polish_sweeps: int = 2,
+    track_curve: bool = True,
+    on_population: PopulationObserver | None = None,
+) -> SearchResult:
+    """Run CEM for ``episodes`` schedule evaluations on one LUT."""
+    if episodes < 1:
+        raise ConfigError(f"episodes must be >= 1, got {episodes}")
+    if population < 2:
+        raise ConfigError(f"population must be >= 2, got {population}")
+    if not 0.0 < elite_frac <= 1.0:
+        raise ConfigError(f"elite_frac must be in (0, 1], got {elite_frac}")
+    if not 0.0 < smoothing <= 1.0:
+        raise ConfigError(f"smoothing must be in (0, 1], got {smoothing}")
+    if min_prob < 0.0:
+        raise ConfigError(f"min_prob must be >= 0, got {min_prob}")
+
+    engine = lut.engine()
+    counts = engine.num_actions
+    rng = derive_rng(seed, "cem", lut.graph_name, lut.mode)
+    probs = uniform_distribution(counts)
+
+    best_total = np.inf
+    best_choices: np.ndarray | None = None
+    curve: list[float] = []
+    started = time.perf_counter()
+
+    remaining = episodes
+    while remaining > 0:
+        batch_size = min(population, remaining)
+        batch = categorical_sample(probs, counts, rng, batch_size)
+        totals = engine.price_batch(batch)
+        if on_population is not None:
+            on_population(batch, totals)
+        winner = int(np.argmin(totals))
+        if totals[winner] < best_total:
+            best_total = float(totals[winner])
+            best_choices = batch[winner].copy()
+        if track_curve:
+            curve.extend(totals.tolist())
+        # Elite re-estimation on full generations only: a truncated
+        # trailing batch still counts toward the budget and the best,
+        # but is too small to re-fit the distribution from.
+        if batch_size == population:
+            elite = elite_indices(totals, max(1, round(population * elite_frac)))
+            freq = elite_distribution(batch, counts, elite)
+            probs = floor_and_renormalize(
+                smoothing * freq + (1.0 - smoothing) * probs, counts, min_prob
+            )
+        remaining -= batch_size
+
+    assert best_choices is not None
+    if polish_sweeps > 0:
+        best_choices, best_total = coordinate_descent(
+            engine, best_choices, max_sweeps=polish_sweeps
+        )
+    return SearchResult(
+        graph_name=lut.graph_name,
+        method="cem",
+        best_assignments=engine.assignments(best_choices),
+        best_ms=float(best_total),
+        episodes=episodes,
+        curve_ms=curve,
+        wall_clock_s=time.perf_counter() - started,
+    )

@@ -1,0 +1,122 @@
+"""Genetic algorithm with tournament selection over the LUT objective.
+
+The classic population-based DSE baseline: a population of full
+schedules evolves by elitism, tournament selection, uniform crossover
+and per-gene resampling mutation.  Every generation is priced with one
+:meth:`~repro.engine.pricing.CostEngine.price_batch` call — the GA has
+no Python-level per-individual loop anywhere.
+
+The budget is counted in *schedule evaluations* (initial population
+included) so ``episodes=1000`` matches a 1000-episode QS-DNN or RS run.
+The reported best is the best individual ever priced, refined by the
+same coordinate-descent polish the RL search applies.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines.cem import PopulationObserver
+from repro.core.polish import coordinate_descent
+from repro.core.population import (
+    elite_indices,
+    mutate,
+    random_population,
+    tournament_select,
+    uniform_crossover,
+)
+from repro.core.result import SearchResult
+from repro.engine.lut import LatencyTable
+from repro.errors import ConfigError
+from repro.utils.rng import derive_rng
+
+
+def genetic_search(
+    lut: LatencyTable,
+    episodes: int = 1000,
+    seed: int = 0,
+    population: int = 64,
+    elite: int | None = None,
+    tournament: int = 3,
+    mutation_rate: float | None = None,
+    polish_sweeps: int = 2,
+    track_curve: bool = True,
+    on_population: PopulationObserver | None = None,
+) -> SearchResult:
+    """Evolve schedules for ``episodes`` evaluations on one LUT."""
+    if episodes < 1:
+        raise ConfigError(f"episodes must be >= 1, got {episodes}")
+    if population < 2:
+        raise ConfigError(f"population must be >= 2, got {population}")
+    if elite is None:
+        # 1/16th of the population survives unchanged (>= 1).
+        elite = max(1, population // 16)
+    if not 0 <= elite < population:
+        raise ConfigError(
+            f"elite must be in [0, {population}), got {elite}"
+        )
+    if tournament < 1:
+        raise ConfigError(f"tournament size must be >= 1, got {tournament}")
+
+    engine = lut.engine()
+    counts = engine.num_actions
+    num_layers = engine.num_layers
+    if mutation_rate is None:
+        # ~1.5 resampled genes per offspring, independent of depth.
+        mutation_rate = min(1.0, 1.5 / num_layers)
+    rng = derive_rng(seed, "genetic", lut.graph_name, lut.mode)
+
+    best_total = np.inf
+    best_choices: np.ndarray | None = None
+    curve: list[float] = []
+    started = time.perf_counter()
+
+    size = min(population, episodes)
+    pop = random_population(counts, rng, size)
+    fitness = engine.price_batch(pop)
+    remaining = episodes - size
+
+    def observe(batch: np.ndarray, totals: np.ndarray) -> None:
+        nonlocal best_total, best_choices
+        if on_population is not None:
+            on_population(batch, totals)
+        winner = int(np.argmin(totals))
+        if totals[winner] < best_total:
+            best_total = float(totals[winner])
+            best_choices = batch[winner].copy()
+        if track_curve:
+            curve.extend(totals.tolist())
+
+    observe(pop, fitness)
+    while remaining > 0:
+        offspring_count = min(max(population - elite, 1), remaining)
+        mothers = tournament_select(fitness, rng, offspring_count, tournament)
+        fathers = tournament_select(fitness, rng, offspring_count, tournament)
+        offspring = uniform_crossover(pop[mothers], pop[fathers], rng)
+        offspring = mutate(offspring, counts, rng, mutation_rate)
+        offspring_fitness = engine.price_batch(offspring)
+        observe(offspring, offspring_fitness)
+        if elite > 0:
+            keep = elite_indices(fitness, min(elite, len(pop)))
+            pop = np.concatenate([pop[keep], offspring])
+            fitness = np.concatenate([fitness[keep], offspring_fitness])
+        else:
+            pop, fitness = offspring, offspring_fitness
+        remaining -= offspring_count
+
+    assert best_choices is not None
+    if polish_sweeps > 0:
+        best_choices, best_total = coordinate_descent(
+            engine, best_choices, max_sweeps=polish_sweeps
+        )
+    return SearchResult(
+        graph_name=lut.graph_name,
+        method="genetic",
+        best_assignments=engine.assignments(best_choices),
+        best_ms=float(best_total),
+        episodes=episodes,
+        curve_ms=curve,
+        wall_clock_s=time.perf_counter() - started,
+    )

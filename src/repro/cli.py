@@ -4,6 +4,9 @@
     python -m repro summary  --network mobilenet_v1
     python -m repro profile  --network lenet5 --mode gpgpu --out lut.json
     python -m repro search   --lut lut.json --episodes 1000 --out sched.json
+    python -m repro search   --lut lut.json --seeds 8      # lockstep sweep
+    python -m repro cem      --network lenet5 --mode gpgpu
+    python -m repro ga       --network lenet5 --mode gpgpu
     python -m repro compare  --network lenet5 --mode gpgpu
     python -m repro table2   --mode cpu --networks lenet5 alexnet
     python -m repro campaign --networks lenet5 alexnet --modes cpu gpgpu \
@@ -25,6 +28,7 @@ from repro.core.search import QSDNNSearch
 from repro.engine.lut import LatencyTable
 from repro.engine.optimizer import InferenceEngineOptimizer
 from repro.nn.summary import summarize
+from repro.runtime.campaign import JOB_KINDS
 from repro.runtime.campaign import PLATFORM_FACTORIES as PLATFORMS
 from repro.utils.units import format_ms
 from repro.zoo import TABLE2_NETWORKS, available_networks, build_network
@@ -98,8 +102,19 @@ def cmd_search(args: argparse.Namespace) -> int:
         seed=args.seed,
         polish_sweeps=0 if args.no_polish else 2,
     )
-    result = QSDNNSearch(lut, config).run()
-    print(result.summary())
+    if args.seeds > 1:
+        from repro.core import MultiSeedSearch, seed_range
+
+        sweep = MultiSeedSearch(
+            lut, config, seeds=seed_range(args.seed, args.seeds)
+        ).run()
+        for member in sweep.results:
+            print(member.summary())
+        print(sweep.summary())
+        result = sweep.best
+    else:
+        result = QSDNNSearch(lut, config).run()
+        print(result.summary())
     if args.out:
         payload = {
             "graph": result.graph_name,
@@ -122,6 +137,45 @@ def cmd_compare(args: argparse.Namespace) -> int:
     episodes = args.episodes or max(1000, 25 * len(lut.layers))
     print(compare_methods(lut, episodes=episodes, seed=args.seed).render())
     return 0
+
+
+def _run_population_baseline(args: argparse.Namespace, runner) -> int:
+    """Profile a network and run one population-based baseline on it."""
+    from repro.analysis.speedup import auto_episodes
+
+    platform = PLATFORMS[args.platform]()
+    graph = build_network(args.network)
+    lut = InferenceEngineOptimizer(
+        graph, platform, mode=args.mode, seed=args.seed
+    ).profile()
+    # Same auto budget as campaign cem/ga jobs (apples-to-apples).
+    episodes = args.episodes or auto_episodes(len(lut.layers))
+    result = runner(
+        lut, episodes=episodes, seed=args.seed, population=args.population
+    )
+    print(result.summary())
+    if args.out:
+        payload = {
+            "graph": result.graph_name,
+            "method": result.method,
+            "total_ms": result.best_ms,
+            "assignments": result.best_assignments,
+        }
+        Path(args.out).write_text(json.dumps(payload, indent=2))
+        print(f"schedule -> {args.out}")
+    return 0
+
+
+def cmd_cem(args: argparse.Namespace) -> int:
+    from repro.baselines import cross_entropy_method
+
+    return _run_population_baseline(args, cross_entropy_method)
+
+
+def cmd_ga(args: argparse.Namespace) -> int:
+    from repro.baselines import genetic_search
+
+    return _run_population_baseline(args, genetic_search)
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
@@ -158,6 +212,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         seeds=args.seeds,
         episodes=args.episodes,
         kind=args.kind,
+        seeds_per_job=args.seeds_per_job,
     )
     campaign = Campaign(jobs, workers=args.jobs, cache_dir=args.cache_dir)
     started = time.perf_counter()
@@ -179,7 +234,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             )
     else:
         for result in results:
-            print(result.payload.render())
+            payload = result.payload
+            render = getattr(payload, "render", None)
+            print(render() if render is not None else payload.summary())
 
     cached = sum(1 for r in results if r.lut_from_cache)
     busy = sum(r.wall_clock_s for r in results)
@@ -197,7 +254,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             }
             for result in results
         ]
-        Path(args.out).write_text(json.dumps(payload, indent=2))
+        # default=str covers the few non-JSON leaves (epsilon schedules
+        # inside multi-seed member configs).
+        Path(args.out).write_text(json.dumps(payload, indent=2, default=str))
         print(f"results -> {args.out}")
     return 0
 
@@ -249,8 +308,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-polish", action="store_true",
                    help="raw Algorithm 1 output, no local refinement")
+    p.add_argument("--seeds", type=int, default=1,
+                   help="run K consecutive seeds in one lockstep sweep "
+                        "(batched pricing; results identical to K runs)")
     p.add_argument("--out", default=None, help="save the schedule as JSON")
     p.set_defaults(func=cmd_search)
+
+    for name, func, blurb in (
+        ("cem", cmd_cem, "cross-entropy method over one network's LUT"),
+        ("ga", cmd_ga, "genetic algorithm over one network's LUT"),
+    ):
+        p = sub.add_parser(name, help=blurb)
+        p.add_argument("--network", required=True, choices=available_networks())
+        _add_platform_args(p)
+        p.add_argument("--episodes", type=int, default=None,
+                       help="evaluation budget (default: max(1000, 25 x layers))")
+        p.add_argument("--population", type=int, default=64,
+                       help="schedules priced per generation")
+        p.add_argument("--out", default=None, help="save the schedule as JSON")
+        p.set_defaults(func=func)
 
     p = sub.add_parser("compare", help="all search methods on one network")
     p.add_argument("--network", required=True, choices=available_networks())
@@ -287,8 +363,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes to shard jobs across")
     p.add_argument("--cache-dir", default=None,
                    help="on-disk LUT cache directory")
-    p.add_argument("--kind", choices=["table2", "compare"], default="table2",
-                   help="payload per job: Table II row or full comparison")
+    p.add_argument("--kind", choices=list(JOB_KINDS), default="table2",
+                   help="payload per job: Table II row, full comparison, "
+                        "a population baseline, or a multi-seed sweep")
+    p.add_argument("--seeds-per-job", type=int, default=8,
+                   help="K of each multi-seed job (kind=multi-seed only)")
     p.add_argument("--out", default=None, help="save all results as JSON")
     p.set_defaults(func=cmd_campaign)
 

@@ -7,6 +7,7 @@ than 10 min" while the board is needed only for profiling.
 
 from repro.core.config import SearchConfig
 from repro.core.epsilon import EpsilonSchedule
+from repro.core.multi_seed import MultiSeedResult, MultiSeedSearch, seed_range
 from repro.core.polish import coordinate_descent
 from repro.core.qtable import QTable
 from repro.core.replay import ReplayBuffer, Transition
@@ -18,6 +19,9 @@ __all__ = [
     "SearchConfig",
     "EpsilonSchedule",
     "coordinate_descent",
+    "MultiSeedResult",
+    "MultiSeedSearch",
+    "seed_range",
     "QTable",
     "ReplayBuffer",
     "Transition",

@@ -1,0 +1,214 @@
+"""Vectorized schedule populations: the shared substrate of the
+population-based searchers.
+
+A *population* is a plain ``(P, L)`` int64 matrix — one row per
+candidate schedule, one column per schedulable layer, each entry a
+candidate index into that layer's primitive list.  Everything the
+CEM/GA baselines (and the multi-seed runner's bookkeeping) need on top
+of :meth:`~repro.engine.pricing.CostEngine.price_batch` lives here as
+batched numpy operations with no Python per-individual loop:
+
+* uniform initialization (:func:`random_population`),
+* per-gene resampling mutation (:func:`mutate`),
+* uniform crossover between parent matrices (:func:`uniform_crossover`),
+* tournament and elite selection over fitness vectors
+  (:func:`tournament_select`, :func:`elite_indices`),
+* masked categorical sampling and elite re-estimation for CEM
+  (:func:`categorical_sample`, :func:`elite_distribution`).
+
+The invariant every operation preserves (and
+:func:`validate_population` enforces) is per-layer validity: column
+``l`` only ever holds values in ``[0, num_actions[l])``.  Invalid
+indices would price to ``+inf`` via the engine's padding, so a
+violation here is a bug, not a bad schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ScheduleError, SearchError
+
+
+def as_action_counts(num_actions) -> np.ndarray:
+    """Per-layer candidate counts as a validated int64 vector."""
+    counts = np.asarray(num_actions, dtype=np.int64)
+    if counts.ndim != 1 or counts.size == 0:
+        raise SearchError("num_actions must be a non-empty 1-D vector")
+    if counts.min() < 1:
+        raise SearchError("every layer needs at least one candidate")
+    return counts
+
+
+def validate_population(num_actions, population: np.ndarray) -> np.ndarray:
+    """Check a ``(P, L)`` population for per-layer index validity.
+
+    Returns the population (as int64) so callers can chain; raises
+    :class:`~repro.errors.ScheduleError` on any out-of-range gene.
+    """
+    counts = as_action_counts(num_actions)
+    matrix = np.asarray(population, dtype=np.int64)
+    if matrix.ndim != 2 or matrix.shape[1] != counts.size:
+        raise ScheduleError(
+            f"population must be (P, {counts.size}), got {matrix.shape}"
+        )
+    if matrix.size and (matrix.min() < 0 or (matrix >= counts[None, :]).any()):
+        raise ScheduleError("population contains out-of-range candidate indices")
+    return matrix
+
+
+def random_population(
+    num_actions, rng: np.random.Generator, size: int
+) -> np.ndarray:
+    """``(size, L)`` uniformly random valid population."""
+    counts = as_action_counts(num_actions)
+    if size < 1:
+        raise SearchError(f"population size must be >= 1, got {size}")
+    return rng.integers(0, counts[None, :], size=(size, counts.size))
+
+
+def mutate(
+    population: np.ndarray,
+    num_actions,
+    rng: np.random.Generator,
+    rate: float,
+) -> np.ndarray:
+    """Resample each gene with probability ``rate`` (returns a copy).
+
+    Mutation draws a fresh uniform candidate for the mutated gene, so a
+    mutated population is valid by construction.
+    """
+    counts = as_action_counts(num_actions)
+    if not 0.0 <= rate <= 1.0:
+        raise SearchError(f"mutation rate must be in [0, 1], got {rate}")
+    matrix = np.asarray(population, dtype=np.int64)
+    mask = rng.random(matrix.shape) < rate
+    resampled = rng.integers(0, counts[None, :], size=matrix.shape)
+    return np.where(mask, resampled, matrix)
+
+
+def uniform_crossover(
+    parents_a: np.ndarray,
+    parents_b: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-gene 50/50 mix of two aligned parent matrices."""
+    a = np.asarray(parents_a, dtype=np.int64)
+    b = np.asarray(parents_b, dtype=np.int64)
+    if a.shape != b.shape:
+        raise ScheduleError(
+            f"crossover parents must align, got {a.shape} vs {b.shape}"
+        )
+    return np.where(rng.random(a.shape) < 0.5, a, b)
+
+
+def tournament_select(
+    fitness: np.ndarray,
+    rng: np.random.Generator,
+    rounds: int,
+    tournament: int,
+) -> np.ndarray:
+    """``rounds`` tournament winners over a (lower-is-better) fitness.
+
+    Each round draws ``tournament`` contestants uniformly with
+    replacement and keeps the fittest; ties break toward the earliest
+    drawn contestant.  Returns the winner indices, shape ``(rounds,)``.
+    """
+    scores = np.asarray(fitness, dtype=np.float64)
+    if scores.ndim != 1 or scores.size == 0:
+        raise SearchError("fitness must be a non-empty 1-D vector")
+    if rounds < 1 or tournament < 1:
+        raise SearchError("rounds and tournament size must be >= 1")
+    contestants = rng.integers(0, scores.size, size=(rounds, tournament))
+    return contestants[
+        np.arange(rounds), np.argmin(scores[contestants], axis=1)
+    ]
+
+
+def elite_indices(fitness: np.ndarray, count: int) -> np.ndarray:
+    """Indices of the ``count`` fittest individuals, best first.
+
+    Stable order: ties keep their population order, so elite selection
+    is deterministic across platforms.
+    """
+    scores = np.asarray(fitness, dtype=np.float64)
+    if count < 1 or count > scores.size:
+        raise SearchError(
+            f"elite count must be in [1, {scores.size}], got {count}"
+        )
+    return np.argsort(scores, kind="stable")[:count]
+
+
+def uniform_distribution(num_actions) -> np.ndarray:
+    """``(L, A_max)`` per-layer uniform categorical over valid actions."""
+    counts = as_action_counts(num_actions)
+    max_actions = int(counts.max())
+    probs = np.zeros((counts.size, max_actions), dtype=np.float64)
+    valid = np.arange(max_actions)[None, :] < counts[:, None]
+    probs[valid] = np.repeat(1.0 / counts, counts)
+    return probs
+
+
+def categorical_sample(
+    probs: np.ndarray,
+    num_actions,
+    rng: np.random.Generator,
+    size: int,
+) -> np.ndarray:
+    """``(size, L)`` draws from per-layer categorical distributions.
+
+    ``probs`` is ``(L, A_max)`` with zero mass on invalid (padded)
+    actions.  Sampling is one inverse-CDF pass over the whole matrix;
+    the final clip guards the ``u ~ 1.0`` float edge so every draw is a
+    valid index even when a row's mass sums marginally below 1.
+    """
+    counts = as_action_counts(num_actions)
+    matrix = np.asarray(probs, dtype=np.float64)
+    if matrix.shape != (counts.size, int(counts.max())):
+        raise SearchError(
+            f"probs must be (L, A_max) = ({counts.size}, {int(counts.max())}), "
+            f"got {matrix.shape}"
+        )
+    if size < 1:
+        raise SearchError(f"sample size must be >= 1, got {size}")
+    cdf = np.cumsum(matrix, axis=1)
+    draws = rng.random((size, counts.size))
+    choices = (draws[:, :, None] >= cdf[None, :, :]).sum(axis=2)
+    return np.minimum(choices, counts[None, :] - 1)
+
+
+def elite_distribution(
+    population: np.ndarray, num_actions, elite: np.ndarray
+) -> np.ndarray:
+    """Per-layer empirical action frequencies of the elite rows.
+
+    Returns ``(L, A_max)`` with zero mass outside each layer's valid
+    range — the maximum-likelihood categorical update of CEM.
+    """
+    counts = as_action_counts(num_actions)
+    matrix = validate_population(counts, population)[np.asarray(elite)]
+    max_actions = int(counts.max())
+    freq = np.zeros((counts.size, max_actions), dtype=np.float64)
+    for layer in range(counts.size):
+        freq[layer, : counts[layer]] = np.bincount(
+            matrix[:, layer], minlength=int(counts[layer])
+        )[: counts[layer]]
+    return freq / matrix.shape[0]
+
+
+def floor_and_renormalize(
+    probs: np.ndarray, num_actions, min_prob: float
+) -> np.ndarray:
+    """Clamp valid-action probabilities to at least ``min_prob`` and
+    renormalize each layer row to sum to 1 (invalid actions stay 0).
+
+    Keeps every primitive reachable for the lifetime of a CEM run —
+    without a floor the categorical collapses after a few elite updates
+    and can lock out the true optimum.
+    """
+    counts = as_action_counts(num_actions)
+    matrix = np.asarray(probs, dtype=np.float64).copy()
+    valid = np.arange(matrix.shape[1])[None, :] < counts[:, None]
+    matrix[valid] = np.maximum(matrix[valid], min_prob)
+    matrix[~valid] = 0.0
+    return matrix / matrix.sum(axis=1, keepdims=True)

@@ -106,6 +106,16 @@ class QTable:
     def __len__(self) -> int:
         return self._num_layers
 
+    @property
+    def storage(self) -> tuple[list, list]:
+        """The live ``(q, row_max)`` nested lists.
+
+        The performance surface for fused update loops (the lockstep
+        multi-seed runner): callers may mutate entries in place but must
+        preserve the row-max invariant exactly as :meth:`update` does.
+        """
+        return self._q, self._row_max
+
     def q_values(self, layer: int, row: int) -> np.ndarray:
         """The action-value row for (layer, parent choice), as an array
         (a snapshot copy — mutations do not write back)."""

@@ -120,6 +120,33 @@ class CostEngine:
 
         self._layer_arange = np.arange(num_layers)
         self._edge_arange = np.arange(num_edges)
+        # Flat views + per-row offsets: batched pricing gathers via
+        # ``take`` on these, which is markedly faster than broadcast
+        # advanced indexing for the small (B, L) batches the lockstep
+        # searches issue every episode.
+        self._times_flat = self.times_dense.reshape(-1)
+        self._times_offsets = self._layer_arange * max_actions
+        self._edge_flat = self.edge_penalties.reshape(-1)
+        self._edge_offsets = self._edge_arange * max_actions * max_actions
+        self._max_actions = max_actions
+        # Edges grouped into "rounds": round r holds every consumer's
+        # (r+1)-th incoming edge, in edge order.  Applying the rounds
+        # in sequence adds each consumer's penalties in exactly the
+        # edge order ``np.add.at`` would use — bit-identical batched
+        # accumulation without the (slow) buffered ufunc.at path.
+        # Round count == the graph's max in-degree (tiny).
+        per_dst_seen: dict[int, int] = {}
+        round_members: list[list[int]] = []
+        for e in range(num_edges):
+            r = per_dst_seen.get(int(self.edge_dst[e]), 0)
+            per_dst_seen[int(self.edge_dst[e])] = r + 1
+            if r == len(round_members):
+                round_members.append([])
+            round_members[r].append(e)
+        self._edge_rounds = [
+            (self.edge_dst[members], np.asarray(members, dtype=np.int64))
+            for members in round_members
+        ]
 
     # -- construction -------------------------------------------------------
 
@@ -226,16 +253,20 @@ class CostEngine:
                 f"choices matrix must be (B, {self.num_layers}), "
                 f"got {batch.shape}"
             )
-        if batch.size and batch.min() < 0:
-            raise ScheduleError("choice indices must be non-negative")
-        totals = self.times_dense[self._layer_arange[None, :], batch].sum(axis=1)
+        if batch.size and (batch.min() < 0 or batch.max() >= self._max_actions):
+            raise ScheduleError("choice indices out of range")
+        totals = self._times_flat.take(self._times_offsets + batch).sum(axis=1)
         if self.num_edges:
-            totals = totals + self.edge_penalties[
-                self._edge_arange[None, :],
-                batch[:, self.edge_src],
-                batch[:, self.edge_dst],
-            ].sum(axis=1)
+            totals = totals + self._gather_edge_penalties(batch).sum(axis=1)
         return totals
+
+    def _gather_edge_penalties(self, batch: np.ndarray) -> np.ndarray:
+        """``(B, E)`` per-edge penalties of a validated ``(B, L)`` batch."""
+        return self._edge_flat.take(
+            self._edge_offsets
+            + batch[:, self.edge_src] * self._max_actions
+            + batch[:, self.edge_dst]
+        )
 
     def price(self, choices: np.ndarray | Sequence[int]) -> float:
         """Objective of one full choice vector (one index per layer)."""
@@ -262,6 +293,40 @@ class CostEngine:
                     self._edge_arange, vec[self.edge_src], vec[self.edge_dst]
                 ],
             )
+        return costs
+
+    def layer_costs_batch(
+        self, choices_matrix: np.ndarray, checked: bool = True
+    ) -> np.ndarray:
+        """Per-layer shaped cost vectors of ``B`` schedules at once.
+
+        ``choices_matrix`` is ``(B, L)``; returns ``(B, L)`` where row
+        ``b`` equals ``layer_costs(choices_matrix[b])`` bit-for-bit:
+        the penalty accumulation applies each consumer's incoming edges
+        in edge order, exactly like the single-schedule scatter-add, so
+        lockstep multi-seed searches that price all their rollouts in
+        one call reproduce per-seed pricing to the last ulp.
+
+        ``checked=False`` skips conversion and validation for callers
+        (the per-episode lockstep loop) that already hold a validated
+        int64 ``(B, L)`` matrix.
+        """
+        if checked:
+            batch = np.asarray(choices_matrix, dtype=np.int64)
+            if batch.ndim != 2 or batch.shape[1] != self.num_layers:
+                raise ScheduleError(
+                    f"choices matrix must be (B, {self.num_layers}), "
+                    f"got {batch.shape}"
+                )
+            if batch.size and (batch.min() < 0 or batch.max() >= self._max_actions):
+                raise ScheduleError("choice indices out of range")
+        else:
+            batch = choices_matrix
+        costs = self._times_flat.take(self._times_offsets + batch)
+        if self.num_edges:
+            penalties = self._gather_edge_penalties(batch)
+            for dsts, members in self._edge_rounds:
+                costs[:, dsts] += penalties[:, members]
         return costs
 
     def gather_layer_times(self, choices: np.ndarray | Sequence[int]) -> np.ndarray:

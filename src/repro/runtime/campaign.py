@@ -42,7 +42,7 @@ PLATFORM_FACTORIES = {
 }
 
 #: Payload kinds a campaign job can compute.
-JOB_KINDS = ("table2", "compare")
+JOB_KINDS = ("table2", "compare", "cem", "ga", "multi-seed")
 
 
 def require_canonical_platform(platform) -> str:
@@ -72,8 +72,11 @@ class CampaignJob:
     ``kind`` selects the payload: ``"table2"`` produces a
     :class:`~repro.analysis.speedup.Table2Row`; ``"compare"`` a
     :class:`~repro.analysis.compare.MethodComparison` (every method at
-    the same budget).  ``episodes=None`` uses the per-network auto
-    budget.
+    the same budget); ``"cem"`` / ``"ga"`` a single population-based
+    :class:`~repro.core.result.SearchResult`; ``"multi-seed"`` a
+    :class:`~repro.core.multi_seed.MultiSeedResult` over ``seeds``
+    consecutive seeds starting at ``seed``.  ``episodes=None`` uses the
+    per-network auto budget.
     """
 
     network: str
@@ -83,6 +86,8 @@ class CampaignJob:
     episodes: int | None = None
     kind: str = "table2"
     repeats: int = 50
+    #: Seed count for ``kind="multi-seed"`` (ignored by other kinds).
+    seeds: int = 8
 
     def __post_init__(self) -> None:
         if self.network not in available_networks():
@@ -97,6 +102,8 @@ class CampaignJob:
             raise ConfigError(f"unknown job kind {self.kind!r}; have {JOB_KINDS}")
         if self.episodes is not None and self.episodes < 1:
             raise ConfigError(f"episodes must be >= 1, got {self.episodes}")
+        if self.seeds < 1:
+            raise ConfigError(f"seeds must be >= 1, got {self.seeds}")
 
     @property
     def label(self) -> str:
@@ -109,7 +116,8 @@ class CampaignResult:
     """Outcome of one campaign job."""
 
     job: CampaignJob
-    #: Table2Row (kind="table2") or MethodComparison (kind="compare").
+    #: Table2Row (table2), MethodComparison (compare), SearchResult
+    #: (cem/ga) or MultiSeedResult (multi-seed).
     payload: object
     wall_clock_s: float = 0.0
     lut_from_cache: bool = False
@@ -170,18 +178,33 @@ def execute_job(
     """
     from repro.analysis.compare import compare_methods
     from repro.analysis.speedup import auto_episodes, table2_row_from_lut
+    from repro.baselines.cem import cross_entropy_method
+    from repro.baselines.genetic import genetic_search
+    from repro.core.config import SearchConfig
+    from repro.core.multi_seed import MultiSeedSearch, seed_range
 
     started = time.perf_counter()
     lut, from_cache = load_or_profile_lut(job, cache_dir)
     if job.kind == "table2":
         payload = table2_row_from_lut(lut, episodes=job.episodes, seed=job.seed)
-    else:  # "compare" — validated at construction
+    else:
         episodes = (
             auto_episodes(len(lut.layers))
             if job.episodes is None
             else job.episodes
         )
-        payload = compare_methods(lut, episodes=episodes, seed=job.seed)
+        if job.kind == "compare":
+            payload = compare_methods(lut, episodes=episodes, seed=job.seed)
+        elif job.kind == "cem":
+            payload = cross_entropy_method(lut, episodes=episodes, seed=job.seed)
+        elif job.kind == "ga":
+            payload = genetic_search(lut, episodes=episodes, seed=job.seed)
+        else:  # "multi-seed" — validated at construction
+            payload = MultiSeedSearch(
+                lut,
+                SearchConfig(episodes=episodes, seed=job.seed),
+                seeds=seed_range(job.seed, job.seeds),
+            ).run()
     return CampaignResult(
         job=job,
         payload=payload,
@@ -239,8 +262,13 @@ def grid(
     seeds: list[int] | None = None,
     episodes: int | None = None,
     kind: str = "table2",
+    seeds_per_job: int = 8,
 ) -> list[CampaignJob]:
-    """The full (network x platform x mode x seed) job cross-product."""
+    """The full (network x platform x mode x seed) job cross-product.
+
+    ``seeds_per_job`` is the K of ``kind="multi-seed"`` jobs (each grid
+    seed starts an independent K-seed lockstep sweep).
+    """
     jobs = [
         CampaignJob(
             network=network,
@@ -249,6 +277,7 @@ def grid(
             seed=seed,
             episodes=episodes,
             kind=kind,
+            seeds=seeds_per_job,
         )
         for platform in (platforms or ["jetson_tx2"])
         for mode in (modes or ["cpu"])

@@ -1,0 +1,96 @@
+"""The CI bench-regression gate (scripts/check_bench_regression.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_SCRIPT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "scripts"
+    / "check_bench_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+gate = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_bench_regression", gate)
+_spec.loader.exec_module(gate)
+
+
+def _artifact(path, clocks):
+    path.write_text(
+        json.dumps(
+            {
+                "version": "1.0.0",
+                "schema_version": 2,
+                "platform": "jetson_tx2",
+                "search_wall_clock_s": clocks,
+            }
+        )
+    )
+    return path
+
+
+class TestCheck:
+    def test_passes_within_threshold(self):
+        base = {"lenet5": 0.10, "resnet50": 0.30}
+        now = {"lenet5": 0.12, "resnet50": 0.40}
+        assert gate.check(base, now, threshold=1.5, min_seconds=0.05) == []
+
+    def test_fails_on_regression(self):
+        base = {"lenet5": 0.10, "resnet50": 0.30}
+        now = {"lenet5": 0.10, "resnet50": 0.70}
+        failures = gate.check(base, now, threshold=1.5, min_seconds=0.05)
+        assert len(failures) == 1 and "resnet50" in failures[0]
+
+    def test_noise_floor_skips_tiny_entries(self):
+        base = {"lenet5": 0.001}
+        now = {"lenet5": 0.004}  # 4x, but both under the floor
+        assert gate.check(base, now, threshold=1.5, min_seconds=0.05) == []
+        # Above the floor on one side, the ratio counts again.
+        now = {"lenet5": 0.2}
+        assert gate.check(base, now, threshold=1.5, min_seconds=0.05)
+
+    def test_only_common_networks_compared(self):
+        base = {"lenet5": 0.10}
+        now = {"vgg19": 9.99}
+        assert gate.check(base, now, threshold=1.5, min_seconds=0.05) == []
+
+
+class TestMain:
+    def test_exit_zero_on_identical(self, tmp_path, capsys):
+        artifact = _artifact(tmp_path / "a.json", {"lenet5": 0.1, "vgg19": 0.2})
+        code = gate.main(
+            ["--baseline", str(artifact), "--current", str(artifact)]
+        )
+        assert code == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_exit_one_on_injected_2x_slowdown(self, tmp_path, capsys):
+        base = _artifact(tmp_path / "base.json", {"lenet5": 0.1, "vgg19": 0.2})
+        slow = _artifact(tmp_path / "slow.json", {"lenet5": 0.2, "vgg19": 0.4})
+        code = gate.main(["--baseline", str(base), "--current", str(slow)])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_exit_one_when_nothing_overlaps(self, tmp_path):
+        base = _artifact(tmp_path / "base.json", {"lenet5": 0.1})
+        now = _artifact(tmp_path / "now.json", {"vgg19": 0.1})
+        assert gate.main(["--baseline", str(base), "--current", str(now)]) == 1
+
+    def test_missing_artifact_is_fatal(self, tmp_path):
+        artifact = _artifact(tmp_path / "a.json", {"lenet5": 0.1})
+        with pytest.raises(SystemExit):
+            gate.main(
+                ["--baseline", str(tmp_path / "nope.json"), "--current", str(artifact)]
+            )
+
+    def test_empty_clocks_fatal(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"search_wall_clock_s": {}}))
+        good = _artifact(tmp_path / "good.json", {"lenet5": 0.1})
+        with pytest.raises(SystemExit):
+            gate.main(["--baseline", str(bad), "--current", str(good)])

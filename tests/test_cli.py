@@ -154,3 +154,48 @@ class TestCampaignCommand:
             "--episodes", "150", "--jobs", "2",
         ]) == 0
         assert "Table II" in capsys.readouterr().out
+
+    def test_multi_seed_kind(self, tmp_path, capsys):
+        out_path = tmp_path / "sweep.json"
+        assert main([
+            "campaign", "--networks", "fig1_toy", "--modes", "gpgpu",
+            "--episodes", "120", "--kind", "multi-seed",
+            "--seeds-per-job", "3", "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "multi-seed qs-dnn" in out and "3 seeds" in out
+        payload = json.loads(out_path.read_text())
+        assert len(payload[0]["result"]["results"]) == 3
+
+
+class TestPopulationCommands:
+    @pytest.mark.parametrize("command,method", [("cem", "cem"), ("ga", "genetic")])
+    def test_runs_and_saves_schedule(self, command, method, tmp_path, capsys):
+        sched_path = tmp_path / "sched.json"
+        assert main([
+            command, "--network", "fig1_toy", "--mode", "gpgpu",
+            "--episodes", "150", "--population", "16",
+            "--out", str(sched_path),
+        ]) == 0
+        assert method in capsys.readouterr().out
+        payload = json.loads(sched_path.read_text())
+        assert payload["method"] == method
+        assert payload["total_ms"] > 0
+        assert set(payload["assignments"]) == {"layer1", "layer2", "layer3"}
+
+
+class TestMultiSeedSearchCommand:
+    def test_lockstep_sweep(self, tmp_path, capsys):
+        lut_path = tmp_path / "lut.json"
+        main([
+            "profile", "--network", "fig1_toy", "--mode", "gpgpu",
+            "--repeats", "5", "--out", str(lut_path),
+        ])
+        capsys.readouterr()
+        assert main([
+            "search", "--lut", str(lut_path), "--episodes", "120",
+            "--seeds", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("qs-dnn on fig1_toy") >= 3
+        assert "multi-seed qs-dnn" in out and "3 seeds" in out

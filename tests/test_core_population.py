@@ -1,0 +1,138 @@
+"""The vectorized population substrate: validity invariants and ops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.population import (
+    as_action_counts,
+    categorical_sample,
+    elite_distribution,
+    elite_indices,
+    floor_and_renormalize,
+    mutate,
+    random_population,
+    tournament_select,
+    uniform_crossover,
+    uniform_distribution,
+    validate_population,
+)
+from repro.errors import ScheduleError, SearchError
+
+
+def _counts(data, max_layers=12, max_actions=9):
+    layers = data.draw(st.integers(1, max_layers), label="layers")
+    return np.array(
+        data.draw(
+            st.lists(
+                st.integers(1, max_actions),
+                min_size=layers,
+                max_size=layers,
+            ),
+            label="counts",
+        ),
+        dtype=np.int64,
+    )
+
+
+class TestValidation:
+    def test_rejects_empty_and_nonpositive_counts(self):
+        with pytest.raises(SearchError):
+            as_action_counts([])
+        with pytest.raises(SearchError):
+            as_action_counts([3, 0, 2])
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ScheduleError):
+            validate_population([2, 3], np.zeros((4, 5), dtype=np.int64))
+
+    def test_rejects_out_of_range_genes(self):
+        pop = np.array([[0, 1], [1, 3]], dtype=np.int64)
+        with pytest.raises(ScheduleError):
+            validate_population([2, 3], pop)
+        pop = np.array([[0, -1]], dtype=np.int64)
+        with pytest.raises(ScheduleError):
+            validate_population([2, 3], pop)
+
+
+class TestOpsStayValid:
+    """Every operation preserves per-layer index validity (Hypothesis)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_random_mutate_crossover_valid(self, data):
+        counts = _counts(data)
+        seed = data.draw(st.integers(0, 999), label="seed")
+        rate = data.draw(st.floats(0.0, 1.0), label="rate")
+        rng = np.random.default_rng(seed)
+        pop = random_population(counts, rng, size=data.draw(st.integers(1, 20)))
+        validate_population(counts, pop)
+        mutated = mutate(pop, counts, rng, rate)
+        validate_population(counts, mutated)
+        crossed = uniform_crossover(pop, mutated, rng)
+        validate_population(counts, crossed)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_categorical_sample_valid(self, data):
+        counts = _counts(data)
+        seed = data.draw(st.integers(0, 999), label="seed")
+        rng = np.random.default_rng(seed)
+        probs = uniform_distribution(counts)
+        pop = categorical_sample(probs, counts, rng, data.draw(st.integers(1, 30)))
+        validate_population(counts, pop)
+        # A floored/renormalized elite re-fit still samples valid.
+        elite = elite_indices(rng.random(len(pop)), max(1, len(pop) // 4))
+        freq = elite_distribution(pop, counts, elite)
+        refit = floor_and_renormalize(0.7 * freq + 0.3 * probs, counts, 1e-3)
+        assert np.allclose(refit.sum(axis=1), 1.0)
+        validate_population(counts, categorical_sample(refit, counts, rng, 16))
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_degenerate_distribution_still_valid(self, data):
+        """All mass on one action per layer: every draw is that action."""
+        counts = _counts(data)
+        rng = np.random.default_rng(data.draw(st.integers(0, 999)))
+        winners = rng.integers(0, counts)
+        probs = np.zeros((counts.size, int(counts.max())))
+        probs[np.arange(counts.size), winners] = 1.0
+        pop = categorical_sample(probs, counts, rng, 25)
+        assert (pop == winners[None, :]).all()
+
+
+class TestSelection:
+    def test_elite_indices_stable_best_first(self):
+        fitness = np.array([3.0, 1.0, 2.0, 1.0])
+        assert elite_indices(fitness, 3).tolist() == [1, 3, 2]
+        with pytest.raises(SearchError):
+            elite_indices(fitness, 5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_tournament_prefers_fitter(self, data):
+        size = data.draw(st.integers(2, 30), label="size")
+        rng = np.random.default_rng(data.draw(st.integers(0, 999)))
+        fitness = rng.random(size) * 100.0
+        winners = tournament_select(fitness, rng, rounds=200, tournament=3)
+        assert winners.shape == (200,)
+        assert winners.min() >= 0 and winners.max() < size
+        # Winners are no worse than the population mean on average.
+        assert fitness[winners].mean() <= fitness.mean() + 1e-9
+
+    def test_tournament_of_one_is_uniform_draw(self):
+        rng = np.random.default_rng(0)
+        fitness = np.array([5.0, 1.0])
+        winners = tournament_select(fitness, rng, rounds=500, tournament=1)
+        # Both individuals appear: no selection pressure at size 1.
+        assert set(winners.tolist()) == {0, 1}
+
+    def test_uniform_distribution_masses(self):
+        probs = uniform_distribution([2, 4, 1])
+        assert probs.shape == (3, 4)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert probs[0, 2] == 0.0 and probs[2, 1] == 0.0
+        assert probs[0, 0] == pytest.approx(0.5)

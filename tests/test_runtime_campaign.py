@@ -89,6 +89,35 @@ class TestExecuteJob:
         result = execute_job(job, None)
         assert isinstance(result.payload, MethodComparison)
         assert result.payload.optimal_ms is not None  # toy net is a chain
+        assert result.payload.cem_ms > 0 and result.payload.ga_ms > 0
+
+    @pytest.mark.parametrize("kind,method", [("cem", "cem"), ("ga", "genetic")])
+    def test_population_baseline_payloads(self, kind, method):
+        job = CampaignJob(
+            network="fig1_toy", mode="gpgpu", episodes=EPISODES, kind=kind
+        )
+        result = execute_job(job, None)
+        assert result.payload.method == method
+        assert result.payload.best_ms > 0
+
+    def test_multi_seed_payload(self):
+        from repro.core import MultiSeedResult
+
+        job = CampaignJob(
+            network="fig1_toy",
+            mode="gpgpu",
+            episodes=EPISODES,
+            kind="multi-seed",
+            seeds=3,
+        )
+        result = execute_job(job, None)
+        assert isinstance(result.payload, MultiSeedResult)
+        assert len(result.payload.results) == 3
+        assert result.payload.seeds == [0, 1, 2]
+
+    def test_rejects_bad_seed_count(self):
+        with pytest.raises(ConfigError):
+            CampaignJob(network="fig1_toy", kind="multi-seed", seeds=0)
 
 
 class TestCampaign:

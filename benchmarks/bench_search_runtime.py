@@ -1,13 +1,20 @@
-"""E7 — search runtime (paper §VI-A) and multi-seed amortization.
+"""E7 — search runtime (paper §VI-A), kernel backends, multi-seed amortization.
 
 "The design space search is carried out in a standard Intel CPU and
 takes less than 10 min to converge"; the abstract quotes ~5 minutes.
 Our tabular search over the same LUT structure runs in seconds — this
-bench records the wall-clock per network so the claim is auditable,
-and writes the machine-readable ``BENCH_search.json`` next to the repo
-root so CI (and speedup comparisons between revisions) can diff it.
+bench records the wall-clock and episode throughput per network so the
+claim is auditable, and writes the machine-readable
+``BENCH_search.json`` next to the repo root so CI (and speedup
+comparisons between revisions) can diff it.
 ``scripts/check_bench_regression.py`` gates CI on the recorded wall
-clocks.
+clocks and multi-seed ratios.
+
+The kernel bench measures the compiled episode kernels
+(:mod:`repro.core.kernels`): the same replay-on search run on the
+pure-Python reference backend and the numba backend, which must be
+bit-identical and substantially faster.  It is skipped (and the
+``kernel.speedup`` section left empty) when numba is not installed.
 
 The multi-seed benches measure the lockstep runner's amortization: K=8
 seeds sharing one engine, every episode's K rollouts priced in a single
@@ -28,7 +35,14 @@ import pytest
 
 from repro import Mode, __version__
 from repro.analysis._cache import cached_lut
-from repro.core import MultiSeedSearch, QSDNNSearch, SearchConfig, seed_range
+from repro.core import (
+    MultiSeedSearch,
+    QSDNNSearch,
+    SearchConfig,
+    numba_available,
+    resolve_backend,
+    seed_range,
+)
 
 from benchmarks.conftest import EPISODES, SEED
 
@@ -38,16 +52,27 @@ NETWORKS = ["lenet5", "alexnet", "mobilenet_v1", "googlenet", "resnet50", "vgg19
 MULTI_SEED_NETWORKS = ["mobilenet_v1", "resnet50"]
 MULTI_SEED_K = 8
 #: K=8 lockstep seeds must cost < this many single-seed wall clocks.
-MULTI_SEED_MAX_RATIO = 4.0
+#: (Recalibrated from 4.0 when the episode kernels made single-seed
+#: searches ~30% faster — the ratio's denominator; the regression gate
+#: tracks growth of the committed ratios from there.)
+MULTI_SEED_MAX_RATIO = 6.0
+
+#: Networks the compiled-kernel speedup claim is checked on.
+KERNEL_NETWORKS = ["mobilenet_v1", "resnet50"]
+#: numba must beat the reference backend by at least this factor on
+#: replay-on searches (the acceptance bar of the kernels subsystem).
+KERNEL_MIN_SPEEDUP = 5.0
 
 #: Machine-readable artifact consumed by CI and revision comparisons.
 BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_search.json"
 #: Artifact layout version (validated by the CI artifact check).
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 _wall_clocks: dict[str, float] = {}
+_episodes_per_s: dict[str, float] = {}
 _best_ms: dict[str, float] = {}
 _multi_seed: dict[str, dict[str, float]] = {}
+_kernel_speedup: dict[str, dict[str, float]] = {}
 
 
 @pytest.mark.parametrize("network", NETWORKS)
@@ -60,9 +85,51 @@ def test_search_wall_clock(benchmark, network, tx2):
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     _wall_clocks[network] = result.wall_clock_s
+    _episodes_per_s[network] = result.episodes_per_s or 0.0
     _best_ms[network] = result.best_ms
     # Paper bound: well under 10 minutes per search.
     assert result.wall_clock_s < 600.0
+
+
+@pytest.mark.parametrize("network", KERNEL_NETWORKS)
+def test_kernel_backend_speedup(network, tx2):
+    """Replay-on search: numba kernels >= 5x the reference backend.
+
+    Both backends run back-to-back in this process (reference vs numba,
+    min of two runs each), so the speedup is robust to the absolute
+    speed of the machine.  Results must be bit-identical.
+    """
+    if not numba_available():
+        pytest.skip("numba not installed — reference backend only")
+    lut = cached_lut(network, Mode.GPGPU, tx2, seed=SEED)
+    lut.indexed().engine()  # compile once, outside both timings
+
+    def config(kernel: str) -> SearchConfig:
+        return SearchConfig(
+            episodes=EPISODES, seed=SEED, track_curve=False, kernel=kernel
+        )
+
+    # First numba run also warms the JIT cache, outside the timings.
+    warm = QSDNNSearch(lut, config("numba")).run()
+    reference = min(
+        _timed(lambda: QSDNNSearch(lut, config("reference")).run())
+        for _ in range(2)
+    )
+    compiled = min(
+        _timed(lambda: QSDNNSearch(lut, config("numba")).run()) for _ in range(2)
+    )
+    check = QSDNNSearch(lut, config("reference")).run()
+    assert check.best_ms == warm.best_ms, "backends disagree on best_ms"
+    speedup = reference / compiled
+    _kernel_speedup[network] = {
+        "reference_wall_clock_s": reference,
+        "numba_wall_clock_s": compiled,
+        "speedup": speedup,
+    }
+    assert speedup >= KERNEL_MIN_SPEEDUP, (
+        f"numba kernels on {network}: {speedup:.2f}x over reference "
+        f"(need >= {KERNEL_MIN_SPEEDUP}x)"
+    )
 
 
 @pytest.mark.parametrize("network", MULTI_SEED_NETWORKS)
@@ -116,21 +183,30 @@ def test_search_runtime_summary(benchmark, emit, tx2):
 
     def summarize():
         table = AsciiTable(
-            ["network", f"{EPISODES}-episode search (s)", "8-seed lockstep"],
+            [
+                "network",
+                f"{EPISODES}-episode search (s)",
+                "eps/s",
+                "8-seed lockstep",
+                "numba speedup",
+            ],
             title="E7 | QS-DNN search wall-clock (paper: < 10 min)",
         )
         for network in NETWORKS:
             if network in _wall_clocks:
                 sweep = _multi_seed.get(network)
+                kernel = _kernel_speedup.get(network)
                 table.add_row([
                     network,
                     f"{_wall_clocks[network]:.2f}",
+                    f"{_episodes_per_s[network]:,.0f}",
                     f"{sweep['ratio']:.2f}x" if sweep else "-",
+                    f"{kernel['speedup']:.1f}x" if kernel else "-",
                 ])
         return table.render()
 
     emit("search_runtime", benchmark.pedantic(summarize, rounds=1, iterations=1))
-    if not _wall_clocks and not _multi_seed:
+    if not _wall_clocks and not _multi_seed and not _kernel_speedup:
         return  # nothing measured this run (e.g. -k summary alone)
     # Merge into any existing artifact so a partial run (-k lenet5)
     # refreshes only the networks it measured instead of clobbering a
@@ -142,7 +218,13 @@ def test_search_runtime_summary(benchmark, emit, tx2):
         "episodes": EPISODES,
         "seed": SEED,
         "mode": "gpgpu",
+        "kernel": {
+            "backend": resolve_backend("auto"),
+            "numba_available": numba_available(),
+            "speedup": {},
+        },
         "search_wall_clock_s": {},
+        "episodes_per_s": {},
         "best_ms": {},
         "multi_seed": {},
     }
@@ -159,9 +241,17 @@ def test_search_runtime_summary(benchmark, emit, tx2):
             payload["search_wall_clock_s"] = dict(
                 previous.get("search_wall_clock_s", {})
             )
+            payload["episodes_per_s"] = dict(previous.get("episodes_per_s", {}))
             payload["best_ms"] = dict(previous.get("best_ms", {}))
             payload["multi_seed"] = dict(previous.get("multi_seed", {}))
+            kernel_prev = previous.get("kernel", {})
+            if kernel_prev.get("numba_available") == numba_available():
+                payload["kernel"]["speedup"] = dict(
+                    kernel_prev.get("speedup", {})
+                )
     payload["search_wall_clock_s"].update(_wall_clocks)
+    payload["episodes_per_s"].update(_episodes_per_s)
     payload["best_ms"].update(_best_ms)
     payload["multi_seed"].update(_multi_seed)
+    payload["kernel"]["speedup"].update(_kernel_speedup)
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")

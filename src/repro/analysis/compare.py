@@ -96,7 +96,7 @@ def compare_methods_many(
 
 
 def compare_methods(
-    lut: LatencyTable, episodes: int = 1000, seed: int = 0
+    lut: LatencyTable, episodes: int = 1000, seed: int = 0, kernel: str = "auto"
 ) -> MethodComparison:
     """Run every method at the same budget on one LUT."""
     vanilla = {
@@ -109,7 +109,9 @@ def compare_methods(
         )
         for layer in lut.layers
     }
-    rl = QSDNNSearch(lut, SearchConfig(episodes=episodes, seed=seed)).run()
+    rl = QSDNNSearch(
+        lut, SearchConfig(episodes=episodes, seed=seed, kernel=kernel)
+    ).run()
     return MethodComparison(
         network=lut.graph_name,
         mode=lut.mode,

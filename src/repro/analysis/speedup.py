@@ -80,6 +80,7 @@ def run_table2_row(
     platform: Platform,
     episodes: int | None = None,
     seed: int = 0,
+    kernel: str = "auto",
 ) -> Table2Row:
     """Profile + search + baselines for one (network, mode) cell.
 
@@ -89,11 +90,11 @@ def run_table2_row(
     graph = build_network(network)
     optimizer = InferenceEngineOptimizer(graph, platform, mode=mode, seed=seed)
     lut = optimizer.profile()
-    return table2_row_from_lut(lut, episodes=episodes, seed=seed)
+    return table2_row_from_lut(lut, episodes=episodes, seed=seed, kernel=kernel)
 
 
 def table2_row_from_lut(
-    lut, episodes: int | None = None, seed: int = 0
+    lut, episodes: int | None = None, seed: int = 0, kernel: str = "auto"
 ) -> Table2Row:
     """Search + baselines for one already-profiled LUT (the campaign
     worker's entry point — LUTs may come from the on-disk cache)."""
@@ -104,7 +105,7 @@ def table2_row_from_lut(
 
     if episodes is None:
         episodes = auto_episodes(len(lut.layers))
-    config = SearchConfig(episodes=episodes, seed=seed)
+    config = SearchConfig(episodes=episodes, seed=seed, kernel=kernel)
     rl = QSDNNSearch(lut, config).run()
     rs = random_search(lut, episodes=episodes, seed=seed)
 

@@ -101,6 +101,7 @@ def cmd_search(args: argparse.Namespace) -> int:
         episodes=episodes,
         seed=args.seed,
         polish_sweeps=0 if args.no_polish else 2,
+        kernel=args.kernel,
     )
     if args.seeds > 1:
         from repro.core import MultiSeedSearch, seed_range
@@ -213,6 +214,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         episodes=args.episodes,
         kind=args.kind,
         seeds_per_job=args.seeds_per_job,
+        kernel=args.kernel,
     )
     campaign = Campaign(jobs, workers=args.jobs, cache_dir=args.cache_dir)
     started = time.perf_counter()
@@ -311,6 +313,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, default=1,
                    help="run K consecutive seeds in one lockstep sweep "
                         "(batched pricing; results identical to K runs)")
+    p.add_argument("--kernel", choices=["auto", "numba", "reference"],
+                   default="auto",
+                   help="episode-kernel backend (auto: numba when "
+                        "installed; results are bit-identical either way)")
     p.add_argument("--out", default=None, help="save the schedule as JSON")
     p.set_defaults(func=cmd_search)
 
@@ -368,6 +374,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "a population baseline, or a multi-seed sweep")
     p.add_argument("--seeds-per-job", type=int, default=8,
                    help="K of each multi-seed job (kind=multi-seed only)")
+    p.add_argument("--kernel", choices=["auto", "numba", "reference"],
+                   default="auto",
+                   help="episode-kernel backend of every job's searches")
     p.add_argument("--out", default=None, help="save all results as JSON")
     p.set_defaults(func=cmd_campaign)
 

@@ -7,9 +7,10 @@ than 10 min" while the board is needed only for profiling.
 
 from repro.core.config import SearchConfig
 from repro.core.epsilon import EpsilonSchedule
+from repro.core.kernels import numba_available, resolve_backend
 from repro.core.multi_seed import MultiSeedResult, MultiSeedSearch, seed_range
 from repro.core.polish import coordinate_descent
-from repro.core.qtable import QTable
+from repro.core.qtable import QTable, QTableFlat
 from repro.core.replay import ReplayBuffer, Transition
 from repro.core.state import SearchState
 from repro.core.result import SearchResult
@@ -21,8 +22,11 @@ __all__ = [
     "coordinate_descent",
     "MultiSeedResult",
     "MultiSeedSearch",
+    "numba_available",
+    "resolve_backend",
     "seed_range",
     "QTable",
+    "QTableFlat",
     "ReplayBuffer",
     "Transition",
     "SearchState",

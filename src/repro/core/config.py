@@ -34,6 +34,11 @@ class SearchConfig:
     #: before reporting (LUT-only, strictly improving; see
     #: :mod:`repro.core.polish`).  0 disables (raw RL output).
     polish_sweeps: int = 2
+    #: Episode-kernel backend: ``"auto"`` picks numba when installed
+    #: (honoring ``REPRO_KERNEL_BACKEND``), else the pure-Python
+    #: reference backend.  Both are bit-identical; see
+    #: :mod:`repro.core.kernels`.
+    kernel: str = "auto"
     seed: int = 0
     epsilon: EpsilonSchedule = field(default=None)  # type: ignore[assignment]
     #: Record the per-episode latency curve (Figs. 4/5).
@@ -55,6 +60,10 @@ class SearchConfig:
         if self.polish_sweeps < 0:
             raise ConfigError(
                 f"polish_sweeps must be >= 0, got {self.polish_sweeps}"
+            )
+        if self.kernel not in ("auto", "numba", "reference"):
+            raise ConfigError(
+                f"kernel must be auto, numba or reference, got {self.kernel!r}"
             )
         if self.epsilon is None:
             self.epsilon = (

@@ -1,0 +1,335 @@
+"""The pure-Python reference backend: exact semantics, no dependencies.
+
+This backend is the correctness anchor the numba kernels are property-
+tested against, and the production fallback when numba is absent — so
+it is written for speed within pure Python: the flat-array
+:class:`~repro.core.qtable.QTable` state is mirrored into nested
+Python lists once per search (scalar float arithmetic on list entries
+is several times faster than numpy element access while computing
+bit-identical IEEE-754 results), the replay ring stores tuples holding
+direct row references, and the inner loops pre-bind every attribute
+they touch.  ``finalize()`` flushes the mirrors back into the flat
+arrays.
+
+Pricing delegates to :meth:`CostEngine.layer_costs` (already
+vectorized); only decisions and learning run as Python loops.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+
+import numpy as np
+
+
+class ReferenceRunner:
+    """Episode runner over nested-list mirrors of the Q state."""
+
+    backend = "reference"
+
+    def __init__(
+        self,
+        engine,
+        qtable,
+        q_parent,
+        replay_enabled: bool,
+        replay_capacity: int,
+    ) -> None:
+        self._engine = engine
+        self._qtable = qtable
+        self._q_parent = [int(p) for p in q_parent]
+        self._num_layers = len(qtable)
+        self._fvb = qtable.first_visit_bootstrap
+        self._lr = qtable.learning_rate
+        self._keep = 1.0 - qtable.learning_rate
+        self._gamma = qtable.discount
+        self._replay_on = replay_enabled
+        self._capacity = replay_capacity
+        self._items: list[tuple] = []
+        self._ring_next = 0
+        self._perm_scratch = np.empty(replay_capacity, dtype=np.int64)
+        self._iota = np.arange(replay_capacity, dtype=np.int64)
+        self.choices: list[int] = [0] * self._num_layers
+        self._rows: list[int] = [0] * self._num_layers
+
+        # Nested-list mirrors of the flat arrays: q[i][row] is one
+        # action-value row, rm[i] the row-max cache of layer i.
+        flat = qtable.flat()
+        data = flat.data.tolist()
+        vis = flat.visited.tolist() if self._fvb else []
+        self._q: list[list[list[float]]] = []
+        self._vis: list[list[list[bool]]] = []
+        pos = 0
+        for r, n in zip(qtable.row_sizes, qtable.num_actions):
+            layer_rows = []
+            vis_rows = []
+            for _ in range(r):
+                layer_rows.append(data[pos : pos + n])
+                if self._fvb:
+                    vis_rows.append(vis[pos : pos + n])
+                pos += n
+            self._q.append(layer_rows)
+            self._vis.append(vis_rows)
+        row_max = flat.row_max.tolist()
+        self._rm: list[list[float]] = []
+        pos = 0
+        for r in qtable.row_sizes:
+            self._rm.append(row_max[pos : pos + r])
+            pos += r
+
+    # -- decisions -----------------------------------------------------------
+
+    def _greedy_fvb(self, layer: int, row: int) -> int:
+        """First-index argmax over visited entries (all, if none seen)."""
+        values = self._q[layer][row]
+        visited = self._vis[layer][row]
+        best = -np.inf
+        pick = -1
+        for a, (value, seen) in enumerate(zip(values, visited)):
+            if seen and value > best:
+                best = value
+                pick = a
+        if pick >= 0:
+            return pick
+        return values.index(max(values))
+
+    def rollout(self, explore, explored) -> None:
+        """One epsilon-greedy decision walk; fills ``choices``.
+
+        ``explored is None`` → fully greedy; ``explore is None`` →
+        every decision is the pre-drawn uniform action; both arrays
+        given → per-layer mix.
+        """
+        q_parent = self._q_parent
+        choices = self.choices
+        rows = self._rows
+        num_layers = self._num_layers
+        if explored is None:
+            if self._fvb:
+                greedy = self._greedy_fvb
+                for i in range(num_layers):
+                    parent = q_parent[i]
+                    row = 0 if parent < 0 else choices[parent]
+                    rows[i] = row
+                    choices[i] = greedy(i, row)
+            else:
+                q = self._q
+                rm = self._rm
+                for i in range(num_layers):
+                    parent = q_parent[i]
+                    row = 0 if parent < 0 else choices[parent]
+                    rows[i] = row
+                    choices[i] = q[i][row].index(rm[i][row])
+        elif explore is None:
+            picks = explored.tolist()
+            for i in range(num_layers):
+                parent = q_parent[i]
+                rows[i] = 0 if parent < 0 else choices[parent]
+                choices[i] = picks[i]
+        else:
+            flags = explore.tolist()
+            picks = explored.tolist()
+            if self._fvb:
+                greedy = self._greedy_fvb
+                for i in range(num_layers):
+                    parent = q_parent[i]
+                    row = 0 if parent < 0 else choices[parent]
+                    rows[i] = row
+                    choices[i] = picks[i] if flags[i] else greedy(i, row)
+            else:
+                q = self._q
+                rm = self._rm
+                for i in range(num_layers):
+                    parent = q_parent[i]
+                    row = 0 if parent < 0 else choices[parent]
+                    rows[i] = row
+                    pick = picks[i] if flags[i] else q[i][row].index(rm[i][row])
+                    choices[i] = pick
+
+    def rollout_price(self, explore, explored) -> np.ndarray:
+        """Rollout, then the per-layer shaped cost vector."""
+        self.rollout(explore, explored)
+        return self._engine.layer_costs(self.choices)
+
+    # -- learning ------------------------------------------------------------
+
+    def draw_replay_order(self, rng) -> np.ndarray | None:
+        """The replay order for the ring as it will stand after this
+        episode's pushes (None when replay is disabled).
+
+        Shuffles the preallocated scratch in place; the draw consumes
+        exactly the stream of ``rng.permutation(n)``.  The view is
+        valid until the next call.
+        """
+        if not self._replay_on:
+            return None
+        stored = min(len(self._items) + self._num_layers, self._capacity)
+        order = self._perm_scratch[:stored]
+        order[:] = self._iota[:stored]
+        rng.shuffle(order)
+        return order
+
+    def learn(self, rewards: np.ndarray, perm) -> None:
+        """Online eq. (2) sweep + replay-ring pushes + the replay pass.
+
+        ``rewards`` is the episode's per-layer reward vector; ``perm``
+        the replay order over the ring's content after this episode's
+        pushes (None when replay is disabled).
+        """
+        if self._fvb:
+            self._learn_fvb(rewards.tolist(), perm)
+        else:
+            self._learn_plain(rewards.tolist(), perm)
+
+    def _learn_plain(self, rewards: list[float], perm) -> None:
+        q = self._q
+        rm = self._rm
+        rows = self._rows
+        choices = self.choices
+        keep = self._keep
+        lr = self._lr
+        gamma = self._gamma
+        boot_rows: list = rm[1:]
+        boot_rows.append(None)
+        next_rows = rows[1:]
+        next_rows.append(0)
+        replay_on = self._replay_on
+        capacity = self._capacity
+        items = self._items
+        ring_next = self._ring_next
+        stored = len(items)
+        for q_i, mr_i, boot_i, row, choice, reward, nxt_row in zip(
+            q, rm, boot_rows, rows, choices, rewards, next_rows
+        ):
+            q_row = q_i[row]
+            old = q_row[choice]
+            boot = 0.0 if boot_i is None else boot_i[nxt_row]
+            new = old * keep + lr * (reward + gamma * boot)
+            q_row[choice] = new
+            cur = mr_i[row]
+            if new > cur:
+                mr_i[row] = new
+            elif old == cur and new < old:
+                mr_i[row] = max(q_row)
+            if replay_on:
+                item = (q_row, choice, reward, boot_i, nxt_row, mr_i, row)
+                if stored < capacity:
+                    items.append(item)
+                    stored += 1
+                else:
+                    items[ring_next] = item
+                ring_next = (ring_next + 1) % capacity
+        if replay_on:
+            self._ring_next = ring_next
+            # tolist(): iterating the ndarray view would yield np.int64
+            # picks, and list indexing with those is several times
+            # slower than with plain ints.
+            for pick in perm.tolist():
+                q_row, choice, reward, boot_i, nxt_row, mr_i, row = items[pick]
+                old = q_row[choice]
+                boot = 0.0 if boot_i is None else boot_i[nxt_row]
+                new = old * keep + lr * (reward + gamma * boot)
+                q_row[choice] = new
+                cur = mr_i[row]
+                if new > cur:
+                    mr_i[row] = new
+                elif old == cur and new < old:
+                    mr_i[row] = max(q_row)
+
+    def _update_fvb(
+        self, q_row, vis_row, mr_row, row, choice, reward, nxt_q, nxt_vis
+    ) -> None:
+        """One first-visit-bootstrap update (online or replayed)."""
+        if nxt_q is None:
+            boot = 0.0
+        else:
+            best = -np.inf
+            seen = False
+            for value, flag in zip(nxt_q, nxt_vis):
+                if flag and (not seen or value > best):
+                    best = value
+                    seen = True
+            boot = best if seen else max(nxt_q)
+        target = reward + self._gamma * boot
+        old = q_row[choice]
+        if vis_row[choice]:
+            new = old * self._keep + self._lr * target
+        else:
+            new = target
+        q_row[choice] = new
+        vis_row[choice] = True
+        cur = mr_row[row]
+        if new > cur:
+            mr_row[row] = new
+        elif old == cur and new < old:
+            mr_row[row] = max(q_row)
+
+    def _learn_fvb(self, rewards: list[float], perm) -> None:
+        q = self._q
+        rm = self._rm
+        vis = self._vis
+        rows = self._rows
+        choices = self.choices
+        last = self._num_layers - 1
+        replay_on = self._replay_on
+        capacity = self._capacity
+        items = self._items
+        ring_next = self._ring_next
+        stored = len(items)
+        update = self._update_fvb
+        for i in range(self._num_layers):
+            row = rows[i]
+            choice = choices[i]
+            reward = rewards[i]
+            if i < last:
+                nxt_row = rows[i + 1]
+                nxt_q = q[i + 1][nxt_row]
+                nxt_vis = vis[i + 1][nxt_row]
+            else:
+                nxt_q = nxt_vis = None
+            update(q[i][row], vis[i][row], rm[i], row, choice, reward, nxt_q, nxt_vis)
+            if replay_on:
+                item = (
+                    q[i][row],
+                    vis[i][row],
+                    rm[i],
+                    row,
+                    choice,
+                    reward,
+                    nxt_q,
+                    nxt_vis,
+                )
+                if stored < capacity:
+                    items.append(item)
+                    stored += 1
+                else:
+                    items[ring_next] = item
+                ring_next = (ring_next + 1) % capacity
+        if replay_on:
+            self._ring_next = ring_next
+            for pick in perm.tolist():
+                update(*items[pick])
+
+    # -- fused episode -------------------------------------------------------
+
+    def episode(self, explore, explored, perm) -> np.ndarray:
+        """Rollout + pricing + eq. (2) + replay with shaped rewards."""
+        self.rollout(explore, explored)
+        costs = self._engine.layer_costs(self.choices)
+        self.learn(-costs, perm)
+        return costs
+
+    # -- state ---------------------------------------------------------------
+
+    def snapshot(self) -> list[int]:
+        """A copy of the current episode's choices."""
+        return list(self.choices)
+
+    def finalize(self) -> None:
+        """Flush the list mirrors back into the QTable's flat arrays."""
+        flat = self._qtable.flat()
+        flat.data[:] = list(chain.from_iterable(chain.from_iterable(self._q)))
+        flat.row_max[:] = list(chain.from_iterable(self._rm))
+        if self._fvb:
+            vis_flat = chain.from_iterable(chain.from_iterable(self._vis))
+            flat.visited[:] = list(vis_flat)

@@ -17,21 +17,20 @@ of K scalar ones.  On top of the batched pricing the lockstep loop
 * vectorizes the decision pass of full-exploration episodes (the first
   half of the paper's schedule) across layers, skipping the Python
   per-layer loop entirely;
-* fuses the eq. (2) online updates and the replay pass into an inlined
-  loop over pre-bound Q-row references, avoiding the per-update method
-  dispatch of the reference implementation.
+* runs each seed's eq. (2) online sweep and replay chain through a
+  per-seed episode kernel (:mod:`repro.core.kernels`): one compiled
+  call per (seed, episode) on the numba backend, the bit-identical
+  pure-Python reference backend otherwise.
 
 Exactness is the contract: the lockstep fast path reproduces the exact
 per-seed results of K independent runs (property-tested), it just
 amortizes the work.  Experience replay is an inherently sequential
-per-seed update chain, so replay-enabled configs amortize less; with
-replay disabled the runner prices and learns nearly everything batched
-and K=8 seeds cost well under half of 8 independent runs.
-
-Configs the fused loop cannot reproduce faithfully
-(``first_visit_bootstrap``) fall back to K sequential
-:class:`QSDNNSearch` runs sharing the engine — same results, no
-amortization.
+per-seed update chain, so replay-enabled configs run the kernel-fused
+path (batched pricing + per-seed kernels) — as does
+``first_visit_bootstrap``, whose visit bookkeeping the kernels carry
+natively; with replay disabled and plain eq. (2) the runner prices and
+learns nearly everything batched across seeds and K=8 seeds cost well
+under half of 8 independent runs.
 """
 
 from __future__ import annotations
@@ -43,10 +42,10 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.config import SearchConfig
+from repro.core.kernels import make_runner, resolve_backend
 from repro.core.polish import coordinate_descent
 from repro.core.qtable import QTable
 from repro.core.result import SearchResult
-from repro.core.search import QSDNNSearch
 from repro.engine.lut import LatencyTable
 from repro.errors import ConfigError
 from repro.utils.rng import RngStream
@@ -110,24 +109,22 @@ class _SeedState:
     __slots__ = (
         "seed",
         "qtable",
+        "runner",
         "policy_rng",
         "replay_rng",
-        "items",
-        "ring_next",
         "best_total",
         "best_choices",
         "curve",
     )
 
-    def __init__(self, seed, qtable, policy_rng, replay_rng):
+    def __init__(self, seed, qtable, runner, policy_rng, replay_rng):
         self.seed = seed
         self.qtable = qtable
+        self.runner = runner
         self.policy_rng = policy_rng
         self.replay_rng = replay_rng
-        self.items: list[tuple] = []
-        self.ring_next = 0
         self.best_total = np.inf
-        self.best_choices: list[int] | None = None
+        self.best_choices = None
         self.curve: list[float] = []
 
 
@@ -150,86 +147,69 @@ class MultiSeedSearch:
 
     def run(self) -> MultiSeedResult:
         """Run every seed to completion; results come back in seed order."""
-        if self.config.first_visit_bootstrap:
-            # The fast paths inline the plain eq. (2) hot path; the
-            # bootstrap variant tracks per-entry visit state, so those
-            # configs run the reference implementation per seed.
-            return self._run_sequential()
-        if self.config.replay_enabled:
+        if (
+            self.config.replay_enabled
+            or self.config.first_visit_bootstrap
+            or resolve_backend(self.config.kernel) == "numba"
+        ):
             # Replay is a sequential per-seed update chain (each replayed
-            # transition bootstraps from the chain so far), so it cannot
-            # batch across the episode; the fused-loop path amortizes
-            # pricing and decision draws only.
+            # transition bootstraps from the chain so far) and the
+            # first-visit bootstrap tracks per-entry visit state — both
+            # run per-seed episode kernels behind one batched pricing
+            # call per episode.  With the numba backend the compiled
+            # kernels beat numpy seed-batching on every config, so all
+            # configs route through them.
             return self._run_lockstep_fused()
         return self._run_lockstep_vectorized()
 
-    # -- reference fallback --------------------------------------------------
-
-    def _run_sequential(self) -> MultiSeedResult:
-        started = time.perf_counter()
-        results = []
-        for seed in self.seeds:
-            cfg = replace(self.config, seed=seed)
-            results.append(QSDNNSearch(self.lut, cfg).run())
-        wall = time.perf_counter() - started
-        for result in results:
-            result.wall_clock_s = wall / len(results)
-        return MultiSeedResult(
-            results=results,
-            wall_clock_s=wall,
-            batched_pricings=0,
-            lockstep=False,
-        )
-
-    # -- the lockstep fused path (replay on) --------------------------------
+    # -- the lockstep kernel-fused path (replay on / first-visit) ------------
 
     def _run_lockstep_fused(self) -> MultiSeedResult:
         cfg = self.config
         idx = self.indexed
         engine = self.engine
         num_layers = len(idx)
-        last = num_layers - 1
         action_counts = np.asarray(idx.num_actions, dtype=np.int64)
         q_parent = idx.q_parent
-        parent_idx = np.asarray(q_parent, dtype=np.int64)
-        virtual_start = parent_idx < 0
-        parent_gather = np.maximum(parent_idx, 0)
         row_sizes = [
             1 if parent < 0 else int(idx.num_actions[parent])
             for parent in q_parent
         ]
+        backend = resolve_backend(cfg.kernel)
 
         states: list[_SeedState] = []
         for seed in self.seeds:
             stream = RngStream(seed, "qsdnn", self.lut.graph_name, self.lut.mode)
+            qtable = QTable(
+                list(idx.num_actions),
+                cfg.learning_rate,
+                cfg.discount,
+                row_sizes=row_sizes,
+                first_visit_bootstrap=cfg.first_visit_bootstrap,
+            )
             states.append(
                 _SeedState(
                     seed,
-                    QTable(
-                        list(idx.num_actions),
-                        cfg.learning_rate,
-                        cfg.discount,
-                        row_sizes=row_sizes,
-                        first_visit_bootstrap=False,
+                    qtable,
+                    make_runner(
+                        engine,
+                        qtable,
+                        q_parent,
+                        replay_enabled=cfg.replay_enabled,
+                        replay_capacity=cfg.replay_capacity,
+                        backend=backend,
                     ),
                     stream.child("policy"),
                     stream.child("replay"),
                 )
             )
 
-        keep = 1.0 - cfg.learning_rate
-        lr = cfg.learning_rate
-        gamma = cfg.discount
         shaping = cfg.reward_shaping
-        replay_on = cfg.replay_enabled
-        capacity = cfg.replay_capacity
         track_curve = cfg.track_curve
         epsilon_for = cfg.epsilon.epsilon_for
         num_seeds = len(states)
 
         batch = np.empty((num_seeds, num_layers), dtype=np.int64)
-        all_choices: list[list[int]] = [[] for _ in states]
-        all_rows: list[list[int]] = [[] for _ in states]
         epsilon_trace: list[float] = []
         batched_pricings = 0
         started = time.perf_counter()
@@ -237,108 +217,39 @@ class MultiSeedSearch:
         for episode in range(cfg.episodes):
             epsilon = epsilon_for(episode)
             # -- decision pass (per seed, same RNG calls as QSDNNSearch)
-            if epsilon >= 1.0:
-                for s, state in enumerate(states):
-                    batch[s] = state.policy_rng.integers(0, action_counts)
-                rows_batch = np.where(
-                    virtual_start[None, :], 0, batch[:, parent_gather]
-                )
-                all_choices = batch.tolist()
-                all_rows = rows_batch.tolist()
-            elif epsilon <= 0.0:
-                for s, state in enumerate(states):
-                    q, row_max = state.qtable.storage
-                    choices = [0] * num_layers
-                    rows = [0] * num_layers
-                    for i in range(num_layers):
-                        parent = q_parent[i]
-                        row = 0 if parent < 0 else choices[parent]
-                        rows[i] = row
-                        choices[i] = q[i][row].index(row_max[i][row])
-                    all_choices[s] = choices
-                    all_rows[s] = rows
-                    batch[s] = choices
-            else:
-                for s, state in enumerate(states):
+            full_explore = epsilon >= 1.0
+            full_exploit = epsilon <= 0.0
+            for s, state in enumerate(states):
+                if full_explore:
+                    explore = None
+                    explored = state.policy_rng.integers(0, action_counts)
+                elif full_exploit:
+                    explore = None
+                    explored = None
+                else:
                     rng = state.policy_rng
-                    q, row_max = state.qtable.storage
-                    explore = (rng.random(num_layers) < epsilon).tolist()
-                    explored = rng.integers(0, action_counts).tolist()
-                    choices = [0] * num_layers
-                    rows = [0] * num_layers
-                    for i in range(num_layers):
-                        parent = q_parent[i]
-                        row = 0 if parent < 0 else choices[parent]
-                        rows[i] = row
-                        choices[i] = (
-                            explored[i]
-                            if explore[i]
-                            else q[i][row].index(row_max[i][row])
-                        )
-                    all_choices[s] = choices
-                    all_rows[s] = rows
-                    batch[s] = choices
+                    explore = rng.random(num_layers) < epsilon
+                    explored = rng.integers(0, action_counts)
+                state.runner.rollout(explore, explored)
+                batch[s] = state.runner.choices
             # -- pricing pass: all K rollouts in one engine call
             costs = engine.layer_costs_batch(batch, checked=False)
             totals = costs.sum(axis=1).tolist()
-            rewards_batch = (-costs).tolist() if shaping else None
+            rewards_batch = -costs if shaping else None
             batched_pricings += 1
-            # -- learning pass (per seed; fused eq. (2) + replay)
+            # -- learning pass: one fused kernel call per seed
             for s, state in enumerate(states):
                 total = totals[s]
-                choices = all_choices[s]
-                rows = all_rows[s]
                 if rewards_batch is not None:
                     rewards = rewards_batch[s]
                 else:
-                    rewards = [0.0] * last + [-total]
-                q, row_max = state.qtable.storage
-                boot_rows = row_max[1:]
-                boot_rows.append(None)
-                next_rows = rows[1:]
-                next_rows.append(0)
-                items = state.items
-                ring_next = state.ring_next
-                stored = len(items)
-                for q_i, mr_i, boot_i, row, choice, reward, nxt_row in zip(
-                    q, row_max, boot_rows, rows, choices, rewards, next_rows
-                ):
-                    q_row = q_i[row]
-                    old = q_row[choice]
-                    boot = 0.0 if boot_i is None else boot_i[nxt_row]
-                    new = old * keep + lr * (reward + gamma * boot)
-                    q_row[choice] = new
-                    cur = mr_i[row]
-                    if new > cur:
-                        mr_i[row] = new
-                    elif old == cur and new < old:
-                        mr_i[row] = max(q_row)
-                    if replay_on:
-                        item = (q_row, choice, reward, boot_i, nxt_row, mr_i, row)
-                        if stored < capacity:
-                            items.append(item)
-                            stored += 1
-                        else:
-                            items[ring_next] = item
-                        ring_next = (ring_next + 1) % capacity
-                if replay_on:
-                    state.ring_next = ring_next
-                    for pick in state.replay_rng.permutation(stored).tolist():
-                        q_row, choice, reward, boot_i, nxt_row, mr_i, row = items[
-                            pick
-                        ]
-                        old = q_row[choice]
-                        boot = 0.0 if boot_i is None else boot_i[nxt_row]
-                        new = old * keep + lr * (reward + gamma * boot)
-                        q_row[choice] = new
-                        cur = mr_i[row]
-                        if new > cur:
-                            mr_i[row] = new
-                        elif old == cur and new < old:
-                            mr_i[row] = max(q_row)
+                    rewards = np.zeros(num_layers, dtype=np.float64)
+                    rewards[num_layers - 1] = -total
+                perm = state.runner.draw_replay_order(state.replay_rng)
+                state.runner.learn(rewards, perm)
                 if total < state.best_total:
                     state.best_total = total
-                    state.best_choices = choices
+                    state.best_choices = state.runner.snapshot()
                 if track_curve:
                     state.curve.append(total)
             if track_curve:
@@ -347,6 +258,7 @@ class MultiSeedSearch:
         # -- per-seed finalization (polish, greedy policy, packaging)
         results = []
         for state in states:
+            state.runner.finalize()
             assert state.best_choices is not None
             best_choices = np.asarray(state.best_choices, dtype=np.int64)
             best_total = state.best_total
@@ -368,6 +280,7 @@ class MultiSeedSearch:
                     epsilon_trace=list(epsilon_trace) if track_curve else [],
                     config=replace(cfg, seed=state.seed),
                     greedy_ms=float(greedy_ms),
+                    kernel_backend=backend,
                 )
             )
         wall = time.perf_counter() - started

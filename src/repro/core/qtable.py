@@ -21,18 +21,45 @@ where s' is the state the agent is in when making the *next* decision —
 so the bootstrap row of layer i+1 is the episode's choice at layer
 i+1's own parent, supplied by the caller via ``next_row``.
 
-The matrices are stored as plain Python lists: the search applies
-hundreds of thousands of single-entry updates per run, and scalar
-list arithmetic is several times faster than numpy element access
-while computing bit-identical IEEE-754 results.  :meth:`q_values`
-materializes a numpy row for callers that want array semantics.
+Storage is one contiguous flat ``float64`` array plus per-layer offsets
+(row ``(i, r)`` starts at ``q_offsets[i] + r * num_actions[i]``), with
+the incremental row-max cache held the same way — the layout the
+compiled episode kernels (:mod:`repro.core.kernels`) operate on in
+place.  The scalar methods below are the reference semantics those
+kernels reproduce bit-for-bit; they compute in Python floats (IEEE-754
+doubles, identical results to the compiled path) and are fast enough
+for the replay buffer's generic path and for tests, while searches
+drive the flat arrays through a kernel backend.
 """
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
 import numpy as np
 
 from repro.errors import SearchError
+
+
+class QTableFlat(NamedTuple):
+    """The live flat-array state of a :class:`QTable`.
+
+    The performance surface for the episode kernels: ``data`` holds
+    every Q entry (row ``(layer, r)`` starts at
+    ``q_offsets[layer] + r * num_actions[layer]``), ``row_max`` the
+    per-row maxima (row ``(layer, r)`` at ``rm_offsets[layer] + r``),
+    ``visited`` the per-entry visit flags (same layout as ``data``;
+    empty unless ``first_visit_bootstrap``).  Kernels may mutate all
+    three in place but must preserve the row-max invariant exactly as
+    :meth:`QTable.update` does.
+    """
+
+    data: np.ndarray
+    row_max: np.ndarray
+    visited: np.ndarray
+    q_offsets: np.ndarray
+    rm_offsets: np.ndarray
+    num_actions: np.ndarray
 
 
 class QTable:
@@ -85,41 +112,52 @@ class QTable:
             raise SearchError("every layer needs at least one state row")
         self.row_sizes = list(row_sizes)
         self._keep_rate = 1.0 - learning_rate
-        self._q: list[list[list[float]]] = [
-            [[0.0] * n for _ in range(r)]
-            for r, n in zip(self.row_sizes, self.num_actions)
-        ]
-        self._visited: list[list[list[bool]]] = [
-            [[False] * n for _ in range(r)]
-            for r, n in zip(self.row_sizes, self.num_actions)
-        ]
+        self._num_layers = len(self.num_actions)
+        # Contiguous flat layout: layer i's block spans
+        # row_sizes[i] * num_actions[i] entries starting at q_off[i];
+        # the row-max cache is flat with one slot per (layer, row).
+        q_off = [0]
+        rm_off = [0]
+        for r, n in zip(self.row_sizes, self.num_actions):
+            q_off.append(q_off[-1] + r * n)
+            rm_off.append(rm_off[-1] + r)
+        self._q_off = q_off  # Python ints for the scalar methods
+        self._rm_off = rm_off
+        self._data = np.zeros(q_off[-1], dtype=np.float64)
         # Exact per-row maxima, maintained incrementally: the eq. (2)
         # bootstrap reads max_a' Q(s', a') on every update, and an O(1)
         # cached lookup replaces an O(n) scan on the hottest path.  The
         # cache is rescanned only when the maximal entry decreases, so
         # it always equals max(row) bit-for-bit.
-        self._row_max: list[list[float]] = [
-            [0.0] * r for r in self.row_sizes
-        ]
-        self._num_layers = len(self._q)
+        self._row_max = np.zeros(rm_off[-1], dtype=np.float64)
+        # Visit flags exist (and are maintained) only under
+        # first_visit_bootstrap — nothing reads them otherwise.
+        self._visited = np.zeros(
+            q_off[-1] if first_visit_bootstrap else 0, dtype=np.bool_
+        )
 
     def __len__(self) -> int:
         return self._num_layers
 
-    @property
-    def storage(self) -> tuple[list, list]:
-        """The live ``(q, row_max)`` nested lists.
+    def flat(self) -> QTableFlat:
+        """The live flat-array state (see :class:`QTableFlat`)."""
+        return QTableFlat(
+            data=self._data,
+            row_max=self._row_max,
+            visited=self._visited,
+            q_offsets=np.asarray(self._q_off[:-1], dtype=np.int64),
+            rm_offsets=np.asarray(self._rm_off[:-1], dtype=np.int64),
+            num_actions=np.asarray(self.num_actions, dtype=np.int64),
+        )
 
-        The performance surface for fused update loops (the lockstep
-        multi-seed runner): callers may mutate entries in place but must
-        preserve the row-max invariant exactly as :meth:`update` does.
-        """
-        return self._q, self._row_max
+    def _row_base(self, layer: int, row: int) -> int:
+        return self._q_off[layer] + row * self.num_actions[layer]
 
     def q_values(self, layer: int, row: int) -> np.ndarray:
         """The action-value row for (layer, parent choice), as an array
         (a snapshot copy — mutations do not write back)."""
-        return np.array(self._q[layer][row], dtype=np.float64)
+        base = self._row_base(layer, row)
+        return self._data[base : base + self.num_actions[layer]].copy()
 
     def greedy_action(self, layer: int, row: int) -> int:
         """argmax_a Q(s, a) with deterministic first-index tie-breaking.
@@ -128,19 +166,22 @@ class QTable:
         any exist — exploitation follows learned values, leaving pure
         exploration to the epsilon schedule.
         """
-        values = self._q[layer][row]
+        base = self._row_base(layer, row)
+        n = self.num_actions[layer]
         if self.first_visit_bootstrap:
-            visited = self._visited[layer][row]
             best_action = -1
             best_value = -np.inf
-            for action, (value, seen) in enumerate(zip(values, visited)):
-                if seen and value > best_value:
-                    best_value = value
-                    best_action = action
+            for a in range(n):
+                if self._visited[base + a]:
+                    value = self._data[base + a]
+                    if value > best_value:
+                        best_value = value
+                        best_action = a
             if best_action >= 0:
                 return best_action
-            return values.index(max(values))
-        return values.index(self._row_max[layer][row])
+            return int(np.argmax(self._data[base : base + n]))
+        target = self._row_max[self._rm_off[layer] + row]
+        return int(np.argmax(self._data[base : base + n] == target))
 
     def best_value(self, layer: int, row: int) -> float:
         """max_a' Q(layer, row, a') — the bootstrap value of a state.
@@ -151,13 +192,14 @@ class QTable:
         if layer >= self._num_layers:
             return 0.0
         if self.first_visit_bootstrap:
-            values = self._q[layer][row]
-            visited = self._visited[layer][row]
-            seen = [v for v, f in zip(values, visited) if f]
-            if seen:
-                return max(seen)
-            return max(values)
-        return self._row_max[layer][row]
+            base = self._row_base(layer, row)
+            n = self.num_actions[layer]
+            values = self._data[base : base + n]
+            mask = self._visited[base : base + n]
+            if mask.any():
+                return float(values[mask].max())
+            return float(values.max())
+        return float(self._row_max[self._rm_off[layer] + row])
 
     def update(
         self,
@@ -175,34 +217,39 @@ class QTable:
         layer i+1 is layer i itself.
         """
         successor = action if next_row is None else next_row
-        q_row = self._q[layer][row]
-        old = q_row[action]
+        data = self._data
+        base = self._q_off[layer] + row * self.num_actions[layer]
+        idx = base + action
+        old = float(data[idx])
         if not self.first_visit_bootstrap:
-            # Hot path: inline the bootstrap (best_value) as a cached
-            # row-max read — this method runs hundreds of thousands of
-            # times per search.
             nxt = layer + 1
-            boot = 0.0 if nxt >= self._num_layers else self._row_max[nxt][successor]
+            boot = (
+                0.0
+                if nxt >= self._num_layers
+                else float(self._row_max[self._rm_off[nxt] + successor])
+            )
             new = (
                 old * self._keep_rate
                 + self.learning_rate * (reward + self.discount * boot)
             )
         else:
             target = reward + self.discount * self.best_value(layer + 1, successor)
-            if not self._visited[layer][row][action]:
+            if not self._visited[idx]:
                 new = target
             else:
                 new = old * self._keep_rate + self.learning_rate * target
-        q_row[action] = new
-        max_row = self._row_max[layer]
-        current_max = max_row[row]
+            self._visited[idx] = True
+        data[idx] = new
+        rm_idx = self._rm_off[layer] + row
+        current_max = float(self._row_max[rm_idx])
         if new > current_max:
-            max_row[row] = new
+            self._row_max[rm_idx] = new
         elif old == current_max and new < old:
             # The maximal entry decreased: rescan (another entry may
             # still hold the same maximum, which the rescan preserves).
-            max_row[row] = max(q_row)
-        self._visited[layer][row][action] = True
+            self._row_max[rm_idx] = data[
+                base : base + self.num_actions[layer]
+            ].max()
         return new
 
     def greedy_rollout(self, parents: list[int] | None = None) -> list[int]:
@@ -229,7 +276,7 @@ class QTable:
             row_sizes=self.row_sizes,
             first_visit_bootstrap=self.first_visit_bootstrap,
         )
-        clone._q = [[list(row) for row in layer] for layer in self._q]
-        clone._visited = [[list(row) for row in layer] for layer in self._visited]
-        clone._row_max = [list(row) for row in self._row_max]
+        clone._data = self._data.copy()
+        clone._row_max = self._row_max.copy()
+        clone._visited = self._visited.copy()
         return clone

@@ -7,6 +7,15 @@ replay's buffer size to 128 following [29]."
 The buffer is a FIFO ring of transitions; after each episode its whole
 content is replayed in a random order, bootstrapping from the *current*
 Q table (so late replays benefit from earlier ones).
+
+Storage is a preallocated ``(capacity, 5)`` float64 ring — one row per
+transition, ``(layer, prev_choice, action, reward, next_row)`` with
+``next_row = -1`` encoding chain semantics — so pushes never allocate
+and the whole pass replays as one compiled kernel call when the numba
+backend is available.  The replay order is drawn into a preallocated
+int64 scratch buffer via an in-place shuffle (bit-identical to
+``rng.permutation`` — the generator consumes the same stream), so the
+pure-Python fallback stops churning per-episode permutation lists too.
 """
 
 from __future__ import annotations
@@ -15,8 +24,9 @@ from typing import NamedTuple
 
 import numpy as np
 
+from repro.core.kernels import resolve_backend
 from repro.core.qtable import QTable
-from repro.errors import SearchError
+from repro.errors import ConfigError, SearchError
 
 
 class Transition(NamedTuple):
@@ -26,9 +36,6 @@ class Transition(NamedTuple):
     primitive picked for ``layer``; ``reward`` the shaped reward;
     ``next_row`` the successor state's row at layer + 1 (None for chain
     semantics, where it equals ``action``).
-
-    A ``NamedTuple`` so the replay buffer can treat it interchangeably
-    with the plain tuples of its fast path.
     """
 
     layer: int
@@ -39,23 +46,21 @@ class Transition(NamedTuple):
 
 
 class ReplayBuffer:
-    """Fixed-capacity FIFO of transitions.
-
-    Transitions are stored as plain ``(layer, prev_choice, action,
-    reward, next_row)`` tuples — the buffer is written and replayed
-    hundreds of thousands of times per search, and tuple packing is
-    several times cheaper than dataclass construction.
-    """
+    """Fixed-capacity FIFO ring of transitions over a ``(capacity, 5)``
+    preallocated array (see module docstring for the row layout)."""
 
     def __init__(self, capacity: int = 128) -> None:
         if capacity < 1:
             raise SearchError(f"replay capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._items: list[tuple[int, int, int, float, int | None]] = []
+        self._data = np.empty((capacity, 5), dtype=np.float64)
+        self._size = 0
         self._next = 0
+        self._perm = np.empty(capacity, dtype=np.int64)
+        self._iota = np.arange(capacity, dtype=np.int64)
 
     def __len__(self) -> int:
-        return len(self._items)
+        return self._size
 
     def push(self, transition: Transition) -> None:
         """Insert, evicting the oldest transition when full."""
@@ -69,30 +74,84 @@ class ReplayBuffer:
         reward: float,
         next_row: int | None = None,
     ) -> None:
-        """Insert one transition by fields (the search-loop fast path:
-        packs a plain tuple, skipping :class:`Transition` construction)."""
-        item = (layer, prev_choice, action, reward, next_row)
-        if len(self._items) < self.capacity:
-            self._items.append(item)
-        else:
-            self._items[self._next] = item
+        """Insert one transition by fields (no allocation: writes the
+        ring row in place)."""
+        row = self._data[self._next]
+        row[0] = layer
+        row[1] = prev_choice
+        row[2] = action
+        row[3] = reward
+        row[4] = -1.0 if next_row is None else next_row
+        if self._size < self.capacity:
+            self._size += 1
         self._next = (self._next + 1) % self.capacity
+
+    def transitions(self) -> list[Transition]:
+        """The buffered transitions, in ring-storage order (a copy)."""
+        out = []
+        for k in range(self._size):
+            row = self._data[k]
+            next_row = row[4]
+            out.append(
+                Transition(
+                    int(row[0]),
+                    int(row[1]),
+                    int(row[2]),
+                    float(row[3]),
+                    None if next_row < 0 else int(next_row),
+                )
+            )
+        return out
+
+    def sample_order(self, rng: np.random.Generator) -> np.ndarray:
+        """A fresh replay order over the buffered transitions.
+
+        Shuffles the preallocated scratch in place; the draw consumes
+        exactly the stream of ``rng.permutation(len(self))``.  The
+        returned view is valid until the next call.
+        """
+        order = self._perm[: self._size]
+        order[:] = self._iota[: self._size]
+        rng.shuffle(order)
+        return order
 
     def replay(self, qtable: QTable, rng: np.random.Generator) -> int:
         """Re-apply every buffered transition in random order.
 
-        Returns the number of updates applied.
+        Runs as one compiled kernel call when the numba backend is
+        selected; the fallback applies :meth:`QTable.update` per
+        transition.  Returns the number of updates applied.
         """
-        if not self._items:
+        if not self._size:
             return 0
-        items = self._items
+        order = self.sample_order(rng)
+        try:
+            compiled = resolve_backend() == "numba"
+        except ConfigError:
+            # e.g. REPRO_KERNEL_BACKEND=numba without numba installed —
+            # this method always has a working scalar fallback, so a
+            # backend-selection problem must not make replay fail.
+            compiled = False
+        if compiled:
+            from repro.core.kernels import numba_backend
+
+            numba_backend.replay_ring(qtable, self._data, order)
+            return self._size
+        data = self._data
         update = qtable.update
-        for idx in rng.permutation(len(items)).tolist():
-            layer, prev_choice, action, reward, next_row = items[idx]
-            update(layer, prev_choice, action, reward, next_row)
-        return len(items)
+        for idx in order:
+            row = data[idx]
+            next_row = row[4]
+            update(
+                int(row[0]),
+                int(row[1]),
+                int(row[2]),
+                float(row[3]),
+                None if next_row < 0 else int(next_row),
+            )
+        return self._size
 
     def clear(self) -> None:
         """Empty the buffer."""
-        self._items.clear()
+        self._size = 0
         self._next = 0

@@ -31,11 +31,23 @@ class SearchResult:
     config: SearchConfig | None = None
     #: Total latency of the final fully-greedy policy (RL only).
     greedy_ms: float | None = None
+    #: Episode-kernel backend that ran the search ("numba" or
+    #: "reference").  None for methods that never enter an episode
+    #: kernel — baselines, and the replay-off multi-seed sweep, whose
+    #: lockstep path batches eq. (2) across seeds in numpy instead.
+    kernel_backend: str | None = None
 
     @property
     def best_curve(self) -> list[float]:
         """Best-so-far latency per episode (monotone non-increasing)."""
         return running_min(self.curve_ms)
+
+    @property
+    def episodes_per_s(self) -> float | None:
+        """Episode throughput of the search (None if not timed)."""
+        if self.wall_clock_s > 0:
+            return self.episodes / self.wall_clock_s
+        return None
 
     def schedule(self) -> NetworkSchedule:
         """The best configuration as a deployable schedule."""
@@ -48,8 +60,11 @@ class SearchResult:
             if self.greedy_ms is not None
             else ""
         )
+        throughput = self.episodes_per_s
+        rate = f", {throughput:,.0f} eps/s" if throughput is not None else ""
+        backend = f" [{self.kernel_backend}]" if self.kernel_backend else ""
         return (
             f"{self.method} on {self.graph_name}: best {format_ms(self.best_ms)} "
             f"after {self.episodes} episodes{greedy} "
-            f"({self.wall_clock_s:.2f}s wall-clock)"
+            f"({self.wall_clock_s:.2f}s wall-clock{rate}){backend}"
         )

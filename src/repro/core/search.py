@@ -15,9 +15,12 @@ predecessors — so residual joins and inception branches price their
 conversions exactly, even though the MDP sees a linear state sequence
 (the paper's Fig. 3 "exceptions and branches are handled").
 
-All pricing — episode costs, the shaped rewards, the greedy-policy
-total — is delegated to the :class:`~repro.engine.pricing.CostEngine`;
-the rollout loop only makes decisions.
+The whole per-episode hot path — rollout walk, pricing, the eq. (2)
+sweep and the replay chain — runs inside an episode kernel
+(:mod:`repro.core.kernels`): one fused call per episode on the numba
+backend, the bit-identical pure-Python reference backend otherwise.
+This loop only draws the episode's randomness (same named streams as
+ever), dispatches the kernel, and tracks the best configuration.
 """
 
 from __future__ import annotations
@@ -27,9 +30,9 @@ import time
 import numpy as np
 
 from repro.core.config import SearchConfig
+from repro.core.kernels import make_runner, resolve_backend
 from repro.core.polish import coordinate_descent
 from repro.core.qtable import QTable
-from repro.core.replay import ReplayBuffer
 from repro.core.result import SearchResult
 from repro.engine.lut import LatencyTable
 from repro.engine.pricing import CostEngine
@@ -43,91 +46,17 @@ class QSDNNSearch:
         self.lut = lut
         self.config = config or SearchConfig()
         self.indexed = lut.indexed()
-        self.engine = self.indexed.engine()
+        self.engine: CostEngine = self.indexed.engine()
         self._num_layers = len(self.indexed)
         self._action_counts = np.asarray(self.indexed.num_actions, dtype=np.int64)
 
-    # -- episode mechanics -----------------------------------------------------
-
-    def _rollout(
-        self, qtable: QTable, epsilon: float, rng: np.random.Generator
-    ) -> tuple[list[int], list[int], np.ndarray, float]:
-        """Sample one episode; returns (choices, rows, costs, total).
-
-        ``rows[i]`` is the Q-state row used when deciding layer i: the
-        episode's choice at layer i's primary graph predecessor (0 for
-        virtual-start layers).  The decision loop is sequential (each
-        epsilon-greedy pick conditions on its parent's choice), but all
-        of the episode's random numbers are drawn in two vectorized
-        calls up front, and the episode's cost vector is priced in one
-        engine call.
-        """
-        num_layers = self._num_layers
-        q_parent = self.indexed.q_parent
-        greedy_action = qtable.greedy_action
-        choices: list[int] = [0] * num_layers
-        rows: list[int] = [0] * num_layers
-        if epsilon >= 1.0:
-            # Full exploration: every decision is a uniform draw.
-            explored = rng.integers(0, self._action_counts).tolist()
-            for i in range(num_layers):
-                parent = q_parent[i]
-                rows[i] = 0 if parent < 0 else choices[parent]
-                choices[i] = explored[i]
-        elif epsilon <= 0.0:
-            # Full exploitation: no randomness at all.
-            for i in range(num_layers):
-                parent = q_parent[i]
-                row = 0 if parent < 0 else choices[parent]
-                rows[i] = row
-                choices[i] = greedy_action(i, row)
-        else:
-            explore = (rng.random(num_layers) < epsilon).tolist()
-            explored = rng.integers(0, self._action_counts).tolist()
-            for i in range(num_layers):
-                parent = q_parent[i]
-                row = 0 if parent < 0 else choices[parent]
-                rows[i] = row
-                choices[i] = explored[i] if explore[i] else greedy_action(i, row)
-        # Layer cost: own time + penalties on incoming edges, charged
-        # to the consumer (paper §V-B) — one vectorized pricing call.
-        costs = self.engine.layer_costs(choices)
-        return choices, rows, costs, float(costs.sum())
-
-    def _learn_episode(
-        self,
-        qtable: QTable,
-        replay: ReplayBuffer | None,
-        choices: list[int],
-        rows: list[int],
-        costs: np.ndarray,
-        total: float,
-        rng: np.random.Generator,
-    ) -> None:
-        """Online eq. 2 updates for the episode, then a full replay pass."""
-        last = self._num_layers - 1
-        if self.config.reward_shaping:
-            rewards = (-costs).tolist()
-        else:
-            rewards = [0.0] * last + [-total]
-        update = qtable.update
-        push = replay.push_step if replay is not None else None
-        for i in range(self._num_layers):
-            row = rows[i]
-            next_row = rows[i + 1] if i < last else 0
-            reward = rewards[i]
-            update(i, row, choices[i], reward, next_row)
-            if push is not None:
-                push(i, row, choices[i], reward, next_row)
-        if replay is not None:
-            replay.replay(qtable, rng)
-
-    # -- the search (Algorithm 1) --------------------------------------------------
+    # -- the search (Algorithm 1) ----------------------------------------------
 
     def run(self) -> SearchResult:
         """Run the full epsilon-schedule search; returns the best result."""
         cfg = self.config
         idx = self.indexed
+        num_layers = self._num_layers
         row_sizes = [
             1 if parent < 0 else int(idx.num_actions[parent])
             for parent in idx.q_parent
@@ -139,32 +68,63 @@ class QSDNNSearch:
             row_sizes=row_sizes,
             first_visit_bootstrap=cfg.first_visit_bootstrap,
         )
-        replay = ReplayBuffer(cfg.replay_capacity) if cfg.replay_enabled else None
+        runner = make_runner(
+            self.engine,
+            qtable,
+            idx.q_parent,
+            replay_enabled=cfg.replay_enabled,
+            replay_capacity=cfg.replay_capacity,
+            backend=resolve_backend(cfg.kernel),
+        )
         stream = RngStream(cfg.seed, "qsdnn", self.lut.graph_name, self.lut.mode)
         policy_rng = stream.child("policy")
         replay_rng = stream.child("replay")
 
+        shaping = cfg.reward_shaping
+        track_curve = cfg.track_curve
+        epsilon_for = cfg.epsilon.epsilon_for
+        action_counts = self._action_counts
+        draw_replay_order = runner.draw_replay_order
+
         best_total = np.inf
-        best_choices: list[int] | np.ndarray | None = None
+        best_choices = None
         curve: list[float] = []
         epsilon_trace: list[float] = []
-        epsilon_for = cfg.epsilon.epsilon_for
-        track_curve = cfg.track_curve
         started = time.perf_counter()
 
         for episode in range(cfg.episodes):
             epsilon = epsilon_for(episode)
-            choices, rows, costs, total = self._rollout(qtable, epsilon, policy_rng)
-            self._learn_episode(
-                qtable, replay, choices, rows, costs, total, replay_rng
-            )
+            # -- the episode's randomness, from the usual named streams
+            if epsilon >= 1.0:
+                explore = None
+                explored = policy_rng.integers(0, action_counts)
+            elif epsilon <= 0.0:
+                explore = None
+                explored = None
+            else:
+                explore = policy_rng.random(num_layers) < epsilon
+                explored = policy_rng.integers(0, action_counts)
+            perm = draw_replay_order(replay_rng)
+            # -- one kernel-fused episode: rollout + eq. (2) + replay
+            if shaping:
+                costs = runner.episode(explore, explored, perm)
+                total = float(costs.sum())
+            else:
+                # The terminal reward needs the episode total, so the
+                # rollout/pricing and learning halves run as two calls.
+                costs = runner.rollout_price(explore, explored)
+                total = float(costs.sum())
+                rewards = np.zeros(num_layers, dtype=np.float64)
+                rewards[num_layers - 1] = -total
+                runner.learn(rewards, perm)
             if total < best_total:
                 best_total = total
-                best_choices = choices
+                best_choices = runner.snapshot()
             if track_curve:
                 curve.append(total)
                 epsilon_trace.append(epsilon)
 
+        runner.finalize()
         assert best_choices is not None
         best_choices = np.asarray(best_choices, dtype=np.int64)
         if cfg.polish_sweeps > 0:
@@ -185,4 +145,5 @@ class QSDNNSearch:
             wall_clock_s=wall,
             config=cfg,
             greedy_ms=float(greedy_ms),
+            kernel_backend=runner.backend,
         )

@@ -329,6 +329,30 @@ class CostEngine:
                 costs[:, dsts] += penalties[:, members]
         return costs
 
+    def kernel_views(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+        """Flat pricing arrays for the compiled episode kernels.
+
+        Returns ``(times_flat, times_offsets, edge_flat, edge_offsets,
+        edge_src, edge_dst, max_actions)``: layer ``i``'s candidate
+        ``c`` prices at ``times_flat[times_offsets[i] + c]`` and edge
+        ``e``'s penalty for (producer choice ``a``, consumer choice
+        ``b``) at ``edge_flat[edge_offsets[e] + a * max_actions + b]``.
+        A scalar walk over these — per-layer gather, then incoming-edge
+        penalties accumulated in edge order — reproduces
+        :meth:`layer_costs` bit-for-bit.
+        """
+        return (
+            self._times_flat,
+            self._times_offsets,
+            self._edge_flat,
+            self._edge_offsets,
+            self.edge_src,
+            self.edge_dst,
+            self._max_actions,
+        )
+
     def gather_layer_times(self, choices: np.ndarray | Sequence[int]) -> np.ndarray:
         """Per-layer times only (no penalties) of one schedule."""
         vec = np.asarray(choices, dtype=np.int64)

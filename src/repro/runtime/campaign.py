@@ -88,6 +88,9 @@ class CampaignJob:
     repeats: int = 50
     #: Seed count for ``kind="multi-seed"`` (ignored by other kinds).
     seeds: int = 8
+    #: Episode-kernel backend of the job's QS-DNN searches ("auto",
+    #: "numba" or "reference"; see :mod:`repro.core.kernels`).
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.network not in available_networks():
@@ -104,6 +107,10 @@ class CampaignJob:
             raise ConfigError(f"episodes must be >= 1, got {self.episodes}")
         if self.seeds < 1:
             raise ConfigError(f"seeds must be >= 1, got {self.seeds}")
+        if self.kernel not in ("auto", "numba", "reference"):
+            raise ConfigError(
+                f"kernel must be auto, numba or reference, got {self.kernel!r}"
+            )
 
     @property
     def label(self) -> str:
@@ -186,7 +193,9 @@ def execute_job(
     started = time.perf_counter()
     lut, from_cache = load_or_profile_lut(job, cache_dir)
     if job.kind == "table2":
-        payload = table2_row_from_lut(lut, episodes=job.episodes, seed=job.seed)
+        payload = table2_row_from_lut(
+            lut, episodes=job.episodes, seed=job.seed, kernel=job.kernel
+        )
     else:
         episodes = (
             auto_episodes(len(lut.layers))
@@ -194,7 +203,9 @@ def execute_job(
             else job.episodes
         )
         if job.kind == "compare":
-            payload = compare_methods(lut, episodes=episodes, seed=job.seed)
+            payload = compare_methods(
+                lut, episodes=episodes, seed=job.seed, kernel=job.kernel
+            )
         elif job.kind == "cem":
             payload = cross_entropy_method(lut, episodes=episodes, seed=job.seed)
         elif job.kind == "ga":
@@ -202,7 +213,7 @@ def execute_job(
         else:  # "multi-seed" — validated at construction
             payload = MultiSeedSearch(
                 lut,
-                SearchConfig(episodes=episodes, seed=job.seed),
+                SearchConfig(episodes=episodes, seed=job.seed, kernel=job.kernel),
                 seeds=seed_range(job.seed, job.seeds),
             ).run()
     return CampaignResult(
@@ -263,11 +274,13 @@ def grid(
     episodes: int | None = None,
     kind: str = "table2",
     seeds_per_job: int = 8,
+    kernel: str = "auto",
 ) -> list[CampaignJob]:
     """The full (network x platform x mode x seed) job cross-product.
 
     ``seeds_per_job`` is the K of ``kind="multi-seed"`` jobs (each grid
-    seed starts an independent K-seed lockstep sweep).
+    seed starts an independent K-seed lockstep sweep); ``kernel``
+    selects the episode-kernel backend of every job's searches.
     """
     jobs = [
         CampaignJob(
@@ -278,6 +291,7 @@ def grid(
             episodes=episodes,
             kind=kind,
             seeds=seeds_per_job,
+            kernel=kernel,
         )
         for platform in (platforms or ["jetson_tx2"])
         for mode in (modes or ["cpu"])

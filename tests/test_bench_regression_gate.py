@@ -20,18 +20,28 @@ sys.modules.setdefault("check_bench_regression", gate)
 _spec.loader.exec_module(gate)
 
 
-def _artifact(path, clocks):
+def _artifact(path, clocks, multi_seed=None, backend="reference"):
     path.write_text(
         json.dumps(
             {
                 "version": "1.0.0",
-                "schema_version": 2,
+                "schema_version": 3,
                 "platform": "jetson_tx2",
+                "kernel": {
+                    "backend": backend,
+                    "numba_available": backend == "numba",
+                    "speedup": {},
+                },
                 "search_wall_clock_s": clocks,
+                "multi_seed": multi_seed or {},
             }
         )
     )
     return path
+
+
+def _ratio_entry(ratio, wall=1.0):
+    return {"seeds": 8, "wall_clock_s": wall, "ratio": ratio}
 
 
 class TestCheck:
@@ -60,6 +70,32 @@ class TestCheck:
         assert gate.check(base, now, threshold=1.5, min_seconds=0.05) == []
 
 
+class TestCheckRatios:
+    def test_passes_within_threshold(self):
+        base = {"mobilenet_v1": _ratio_entry(3.3)}
+        now = {"mobilenet_v1": _ratio_entry(3.9)}
+        assert gate.check_ratios(base, now, threshold=1.5, min_seconds=0.05) == []
+
+    def test_fails_on_ratio_regression(self):
+        base = {"mobilenet_v1": _ratio_entry(3.3)}
+        now = {"mobilenet_v1": _ratio_entry(6.0)}
+        failures = gate.check_ratios(base, now, threshold=1.5, min_seconds=0.05)
+        assert len(failures) == 1
+        assert "multi_seed" in failures[0] and "mobilenet_v1" in failures[0]
+
+    def test_noise_floor_uses_multi_seed_wall_clock(self):
+        base = {"mobilenet_v1": _ratio_entry(3.0, wall=0.002)}
+        now = {"mobilenet_v1": _ratio_entry(9.0, wall=0.003)}
+        assert gate.check_ratios(base, now, threshold=1.5, min_seconds=0.05) == []
+        # Above the floor on one side, the growth counts again.
+        now = {"mobilenet_v1": _ratio_entry(9.0, wall=0.4)}
+        assert gate.check_ratios(base, now, threshold=1.5, min_seconds=0.05)
+
+    def test_schema_v2_artifacts_not_ratio_gated(self, tmp_path):
+        legacy = {"search_wall_clock_s": {"lenet5": 0.1}}
+        assert gate.multi_seed_of(legacy) == {}
+
+
 class TestMain:
     def test_exit_zero_on_identical(self, tmp_path, capsys):
         artifact = _artifact(tmp_path / "a.json", {"lenet5": 0.1, "vgg19": 0.2})
@@ -76,10 +112,42 @@ class TestMain:
         assert code == 1
         assert "FAILED" in capsys.readouterr().out
 
+    def test_exit_one_on_ratio_regression_alone(self, tmp_path, capsys):
+        base = _artifact(
+            tmp_path / "base.json",
+            {"lenet5": 0.1},
+            multi_seed={"resnet50": _ratio_entry(3.2, wall=0.4)},
+        )
+        slow = _artifact(
+            tmp_path / "slow.json",
+            {"lenet5": 0.1},
+            multi_seed={"resnet50": _ratio_entry(6.5, wall=0.8)},
+        )
+        code = gate.main(["--baseline", str(base), "--current", str(slow)])
+        assert code == 1
+        assert "multi_seed" in capsys.readouterr().out
+
     def test_exit_one_when_nothing_overlaps(self, tmp_path):
         base = _artifact(tmp_path / "base.json", {"lenet5": 0.1})
         now = _artifact(tmp_path / "now.json", {"vgg19": 0.1})
         assert gate.main(["--baseline", str(base), "--current", str(now)]) == 1
+
+    def test_backend_mismatch_skips_gate(self, tmp_path, capsys):
+        """numba clocks vs a reference baseline are not comparable —
+        the gate must skip (not pass vacuously, not fail spuriously)."""
+        base = _artifact(tmp_path / "base.json", {"lenet5": 0.15})
+        fast = _artifact(
+            tmp_path / "fast.json", {"lenet5": 0.9}, backend="numba"
+        )
+        code = gate.main(["--baseline", str(base), "--current", str(fast)])
+        assert code == 0
+        assert "not comparable" in capsys.readouterr().out
+
+    def test_legacy_schema_counts_as_reference_backend(self, tmp_path):
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(json.dumps({"search_wall_clock_s": {"lenet5": 0.1}}))
+        current = _artifact(tmp_path / "cur.json", {"lenet5": 0.1})
+        assert gate.main(["--baseline", str(legacy), "--current", str(current)]) == 0
 
     def test_missing_artifact_is_fatal(self, tmp_path):
         artifact = _artifact(tmp_path / "a.json", {"lenet5": 0.1})

@@ -86,13 +86,15 @@ class TestExactnessOnRealLuts:
             seed_range(0, 2),
         )
 
-    def test_first_visit_bootstrap_falls_back_sequential(self, toy_lut_gpgpu):
+    def test_first_visit_bootstrap_runs_lockstep(self, toy_lut_gpgpu):
+        """The episode kernels carry visit bookkeeping natively, so
+        first-visit configs lockstep too (one pricing per episode)."""
         config = SearchConfig(episodes=60, first_visit_bootstrap=True)
         sweep = _assert_members_match_singles(
             toy_lut_gpgpu, config, seed_range(0, 2)
         )
-        assert not sweep.lockstep
-        assert sweep.batched_pricings == 0
+        assert sweep.lockstep
+        assert sweep.batched_pricings == 60
 
 
 class TestRunnerSurface:

@@ -148,7 +148,7 @@ class TestReplayBuffer:
         buf.push(Transition(0, 0, 1, -2.0))
         buf.push(Transition(0, 0, 0, -3.0))  # evicts the first
         assert len(buf) == 2
-        rewards = {Transition(*t).reward for t in buf._items}
+        rewards = {t.reward for t in buf.transitions()}
         assert rewards == {-2.0, -3.0}
 
     def test_replay_applies_all(self):

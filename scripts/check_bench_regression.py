@@ -129,6 +129,7 @@ def check_ratios(
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--baseline",
@@ -156,6 +157,30 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    # A missing artifact must fail with marching orders, not pass
+    # silently (an empty gate run looks exactly like a healthy one in
+    # CI logs) and not with a bare stack trace.
+    if not args.baseline.exists():
+        print(
+            f"bench-regression gate FAILED: baseline artifact "
+            f"{args.baseline} does not exist.\n"
+            "  The committed BENCH_search.json is the baseline; CI "
+            "snapshots it before the bench runs.\n"
+            "  To (re)create it: PYTHONPATH=src python -m pytest "
+            "benchmarks/bench_search_runtime.py -q\n"
+            "  then commit the refreshed BENCH_search.json."
+        )
+        return 1
+    if not args.current.exists():
+        print(
+            f"bench-regression gate FAILED: current artifact "
+            f"{args.current} does not exist.\n"
+            "  The bench smoke must run first (it always writes the "
+            "v3 schema file, even when nothing was measured):\n"
+            "  PYTHONPATH=src python -m pytest "
+            "benchmarks/bench_search_runtime.py -q -k summary"
+        )
+        return 1
     base_payload = load_payload(args.baseline)
     cur_payload = load_payload(args.current)
     base_backend = backend_of(base_payload)

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Fail CI when docs contain dead relative links or dangling anchors.
+
+Scans README.md and every ``docs/*.md`` file for markdown links and
+images.  For each **relative** target (no URL scheme, not mailto) the
+linked file must exist on disk, and when the link carries a
+``#fragment`` the target file must contain a heading that slugifies to
+that fragment (GitHub's anchor rules: lowercase, punctuation stripped,
+spaces to dashes).  External http(s) links are not fetched — CI must
+not depend on the network — but their syntax is still validated.
+
+Usage::
+
+    python scripts/check_docs_links.py            # README.md + docs/
+    python scripts/check_docs_links.py FILE...    # explicit file set
+
+Exits non-zero listing every dead link as ``file:line: message``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links/images: [text](target) / ![alt](target).
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Fenced code blocks (links inside are examples, not navigation).
+_FENCE = re.compile(r"^(```|~~~)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def default_files() -> list[Path]:
+    """README.md plus every markdown file under docs/."""
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").glob("**/*.md"))
+    return [f for f in files if f.exists()]
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading -> anchor id transformation (close enough:
+    inline code/links stripped, lowercase, punctuation removed,
+    spaces dashed)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def headings_of(path: Path) -> set[str]:
+    """All anchor slugs a markdown file exposes."""
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            slugs.add(github_slug(match.group(1)))
+    return slugs
+
+
+def links_of(path: Path) -> list[tuple[int, str]]:
+    """Every (line_number, target) link in a markdown file."""
+    links: list[tuple[int, str]] = []
+    in_fence = False
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            links.append((number, match.group(1)))
+    return links
+
+
+def check_file(path: Path) -> list[str]:
+    """Human-readable problems with one file's links (empty = clean)."""
+    problems: list[str] = []
+    try:
+        display = path.relative_to(REPO_ROOT)
+    except ValueError:  # explicit file outside the repo
+        display = path
+    for number, target in links_of(path):
+        where = f"{display}:{number}"
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+            continue  # absolute URL (http:, https:, mailto:) — not checked
+        if target.startswith("#"):
+            fragment = target[1:]
+            if fragment not in headings_of(path):
+                problems.append(f"{where}: no heading for anchor {target!r}")
+            continue
+        file_part, _, fragment = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append(f"{where}: dead relative link {target!r}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in headings_of(resolved):
+                problems.append(
+                    f"{where}: {file_part} has no heading for "
+                    f"anchor #{fragment}"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    argv = sys.argv[1:] if argv is None else argv
+    files = [Path(arg).resolve() for arg in argv] or default_files()
+    problems: list[str] = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: file does not exist")
+            continue
+        checked += 1
+        problems.extend(check_file(path))
+    if problems:
+        print("docs link check FAILED:")
+        for line in problems:
+            print(f"  {line}")
+        return 1
+    print(f"docs link check passed: {checked} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,7 @@ class MethodComparison:
     optimal_ms: float | None  # exact (chain DP) when the graph is a chain
 
     def render(self) -> str:
+        """Ascii table of every method's latency, normalized to QS-DNN."""
         table = AsciiTable(
             ["method", "latency", "vs QS-DNN"],
             title=f"{self.network} ({self.mode})",
@@ -67,12 +68,18 @@ def compare_methods_many(
     seed: int = 0,
     jobs: int = 1,
     cache_dir: str | None = None,
+    store_path: str | None = None,
 ) -> list[MethodComparison]:
     """Method comparisons for many networks, sharded across processes.
 
     Each network is one :class:`~repro.runtime.campaign.CampaignJob`
     (kind ``"compare"``); ``jobs`` controls worker processes and
-    ``cache_dir`` the on-disk LUT cache.
+    ``cache_dir`` the on-disk LUT cache.  ``store_path`` names a
+    :class:`~repro.runtime.store.ResultStore` database: comparisons
+    already stored there are returned without recomputation (floats
+    round-trip bitwise) and fresh ones are persisted — the same store
+    a running ``repro serve`` fills, so analysis can reuse the
+    service's solved corpus.
     """
     from repro.runtime.campaign import (
         Campaign,
@@ -80,19 +87,39 @@ def compare_methods_many(
         require_canonical_platform,
     )
 
-    campaign = Campaign(
-        grid(
-            networks,
-            platforms=[require_canonical_platform(platform)],
-            modes=[str(mode)],
-            seeds=[seed],
-            episodes=episodes,
-            kind="compare",
-        ),
-        workers=jobs,
-        cache_dir=cache_dir,
+    job_list = grid(
+        networks,
+        platforms=[require_canonical_platform(platform)],
+        modes=[str(mode)],
+        seeds=[seed],
+        episodes=episodes,
+        kind="compare",
     )
-    return [result.payload for result in campaign.run()]
+    if store_path is None:
+        campaign = Campaign(job_list, workers=jobs, cache_dir=cache_dir)
+        return [result.payload for result in campaign.run()]
+
+    from repro.runtime.store import ResultStore
+
+    with ResultStore(store_path) as store:
+        payloads: list[MethodComparison | None] = []
+        missing = []
+        for job in job_list:
+            stored = store.get(job)
+            payloads.append(stored.payload if stored is not None else None)
+            if stored is None:
+                missing.append(job)
+        if missing:
+            campaign = Campaign(missing, workers=jobs, cache_dir=cache_dir)
+            fresh = iter(campaign.run())
+            for index, payload in enumerate(payloads):
+                if payload is None:
+                    result = next(fresh)
+                    store.put(
+                        result.job, result.payload, result.wall_clock_s
+                    )
+                    payloads[index] = result.payload
+    return payloads
 
 
 def compare_methods(

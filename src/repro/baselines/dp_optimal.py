@@ -51,6 +51,7 @@ def chain_dp(lut: LatencyTable) -> SearchResult:
     # Edge matrix between consecutive layers (zeros where no edge exists,
     # e.g. between the input layer's consumer and an isolated head).
     def pair_matrix(i: int) -> np.ndarray:
+        """Penalty matrix between consecutive layers i and i+1."""
         for (producer, consumer), matrix in zip(engine.edges, engine.edge_matrices):
             if (
                 engine.layer_index[producer] == i

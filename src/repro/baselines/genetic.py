@@ -79,6 +79,7 @@ def genetic_search(
     remaining = episodes - size
 
     def observe(batch: np.ndarray, totals: np.ndarray) -> None:
+        """Track the best schedule seen across priced generations."""
         nonlocal best_total, best_choices
         if on_population is not None:
             on_population(batch, totals)

@@ -11,6 +11,8 @@
     python -m repro table2   --mode cpu --networks lenet5 alexnet
     python -m repro campaign --networks lenet5 alexnet --modes cpu gpgpu \
         --seeds 0 1 2 --jobs 4 --cache-dir .repro-cache
+    python -m repro serve    --port 8421 --workers 2 --store results.sqlite
+    python -m repro submit   --network lenet5 --mode gpgpu --wait --watch
 """
 
 from __future__ import annotations
@@ -263,6 +265,73 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.config import ServiceConfig
+    from repro.runtime.service import run_service
+
+    return run_service(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            store_path=args.store,
+            cache_dir=args.cache_dir,
+        )
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.runtime.client import ServiceClient
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    body = {
+        "network": args.network,
+        "platform": args.platform,
+        "mode": str(args.mode),
+        "seed": args.seed,
+        "kind": args.kind,
+        "kernel": args.kernel,
+        "priority": args.priority,
+    }
+    if args.episodes is not None:
+        body["episodes"] = args.episodes
+    if args.kind == "multi-seed":
+        body["seeds"] = args.seeds_per_job
+    records = client.submit(body)
+    for record in records:
+        print(f"{record['id']} {record['state']} {record['key']}")
+    if not (args.wait or args.watch):
+        return 0
+    exit_code = 0
+    for record in records:
+        job_id = record["id"]
+        if args.watch:
+            for event, data in client.stream_progress(job_id):
+                if event == "checkpoint":
+                    print(
+                        f"{job_id} episode {data['episode']}: "
+                        f"best {format_ms(data['best_ms'])}"
+                    )
+                elif event in ("done", "failed", "cancelled"):
+                    print(f"{job_id} {event}: {json.dumps(data)}")
+        final = client.wait(job_id, timeout=args.timeout)
+        if final["state"] != "done":
+            print(f"{job_id} {final['state']}: {final.get('error')}")
+            exit_code = 1
+            continue
+        best = final.get("best_ms")
+        print(
+            f"{job_id} done: best_ms={best!r} "
+            f"({final['wall_clock_s']:.2f}s, "
+            f"from_store={final['from_store']})"
+        )
+        if args.out:
+            Path(args.out).write_text(json.dumps(final, indent=2))
+            print(f"result -> {args.out}")
+    return exit_code
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import full_report
 
@@ -379,6 +448,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="episode-kernel backend of every job's searches")
     p.add_argument("--out", default=None, help="save all results as JSON")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the async campaign service (job queue + result store)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8421,
+                   help="TCP port (0: let the OS pick; printed at startup)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes draining the job queue")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="queued-job cap before POST /jobs answers 429")
+    p.add_argument("--store", default=None,
+                   help="sqlite result-store path (default: in-memory)")
+    p.add_argument("--cache-dir", default=None,
+                   help="on-disk LUT cache directory shared by workers")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a search scenario to a running service"
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8421",
+                   help="service address (repro serve prints it)")
+    p.add_argument("--network", required=True, choices=available_networks())
+    _add_platform_args(p)
+    p.add_argument("--episodes", type=int, default=None,
+                   help="episode budget (default: per-network auto)")
+    p.add_argument("--kind", choices=list(JOB_KINDS), default="search",
+                   help="job payload (default: a plain QS-DNN search)")
+    p.add_argument("--kernel", choices=["auto", "numba", "reference"],
+                   default="auto", help="episode-kernel backend")
+    p.add_argument("--seeds-per-job", type=int, default=8,
+                   help="K of a multi-seed job (kind=multi-seed only)")
+    p.add_argument("--priority", type=int, default=10,
+                   help="queue priority (lower runs first)")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until the job finishes, print the result")
+    p.add_argument("--watch", action="store_true",
+                   help="stream progress checkpoints while waiting")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="seconds to wait for completion")
+    p.add_argument("--out", default=None,
+                   help="save the final job record as JSON")
+    p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser(
         "report", help="full markdown reproduction report (both modes)"

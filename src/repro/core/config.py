@@ -15,6 +15,61 @@ from repro.errors import ConfigError
 
 
 @dataclass
+class ServiceConfig:
+    """Configuration of the async campaign service (``repro serve``).
+
+    The service accepts :class:`~repro.runtime.campaign.CampaignJob`
+    submissions over HTTP, runs them on a bounded worker pool and
+    persists payloads in a :class:`~repro.runtime.store.ResultStore`;
+    see :mod:`repro.runtime.service` and ``docs/service.md``.
+    """
+
+    #: Interface the HTTP server binds (loopback by default; bind
+    #: 0.0.0.0 explicitly to serve a fleet).
+    host: str = "127.0.0.1"
+    #: TCP port; 0 lets the OS pick (the bound port is printed and
+    #: exposed as ``CampaignService.port``).
+    port: int = 8421
+    #: Worker processes draining the job queue.  0 accepts jobs but
+    #: never runs them (useful for tests and manual queue control).
+    workers: int = 2
+    #: Maximum queued (not yet running) jobs before ``POST /jobs``
+    #: answers 429 — the service's back-pressure valve.
+    queue_limit: int = 64
+    #: Result-store database path (None: in-memory, lives with the
+    #: service process; see :class:`~repro.runtime.store.ResultStore`).
+    store_path: str | None = None
+    #: On-disk LUT cache directory shared by worker jobs (None: every
+    #: job profiles from scratch).
+    cache_dir: str | None = None
+    #: Seconds between keep-alive events on an idle progress stream.
+    heartbeat_s: float = 0.5
+    #: Finished job records retained in memory for ``GET /jobs``.
+    #: Oldest terminal records are evicted past this bound (payloads
+    #: stay available through the result store); queued/running
+    #: records are never evicted.
+    keep_records: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.port < 0 or self.port > 65535:
+            raise ConfigError(f"port must be in [0, 65535], got {self.port}")
+        if self.workers < 0:
+            raise ConfigError(f"workers must be >= 0, got {self.workers}")
+        if self.queue_limit < 1:
+            raise ConfigError(
+                f"queue_limit must be >= 1, got {self.queue_limit}"
+            )
+        if self.heartbeat_s <= 0:
+            raise ConfigError(
+                f"heartbeat_s must be > 0, got {self.heartbeat_s}"
+            )
+        if self.keep_records < 1:
+            raise ConfigError(
+                f"keep_records must be >= 1, got {self.keep_records}"
+            )
+
+
+@dataclass
 class SearchConfig:
     """Hyper-parameters of one QS-DNN search."""
 

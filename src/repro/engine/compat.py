@@ -44,6 +44,7 @@ def profile_compatibility(
     transfers: dict[tuple[str, str], float] = {}
 
     def measure(true_ms: float) -> float:
+        """One noisy mean-of-repeats measurement of a true latency."""
         if rng is None or true_ms == 0.0:
             return true_ms
         return noise.sample_mean(true_ms, rng, repeats)

@@ -42,6 +42,7 @@ class PrimitiveMeta:
 
     @classmethod
     def from_primitive(cls, prim: Primitive) -> "PrimitiveMeta":
+        """Extract the metadata of one design-space primitive."""
         return cls(
             uid=prim.uid,
             library=prim.library,

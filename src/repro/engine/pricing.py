@@ -210,10 +210,12 @@ class CostEngine:
 
     @property
     def num_layers(self) -> int:
+        """Number of schedulable layers (the L of every choice vector)."""
         return len(self.layer_names)
 
     @property
     def num_edges(self) -> int:
+        """Number of penalized producer→consumer edges."""
         return len(self.edges)
 
     def choices_of(self, assignments: Mapping[str, str]) -> np.ndarray:

@@ -71,3 +71,15 @@ class SearchError(ReproError):
 
 class ConfigError(ReproError):
     """A user-supplied configuration value is out of its legal range."""
+
+
+class ServiceError(ReproError):
+    """The campaign service rejected a request or is unavailable."""
+
+
+class QueueFullError(ServiceError):
+    """The service's job queue hit its depth limit (HTTP 429).
+
+    Back-pressure, not failure: re-submit after running jobs drain, or
+    run the service with a larger ``--queue-limit``.
+    """

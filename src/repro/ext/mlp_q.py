@@ -64,13 +64,16 @@ class _MLP:
         self.b2 = 0.0
 
     def forward(self, phi: np.ndarray) -> tuple[float, np.ndarray]:
+        """Q estimate plus the hidden activations (for the backward pass)."""
         hidden = np.tanh(self.w1 @ phi + self.b1)
         return float(self.w2 @ hidden + self.b2), hidden
 
     def predict(self, phi: np.ndarray) -> float:
+        """Q estimate of one feature vector."""
         return self.forward(phi)[0]
 
     def sgd_step(self, phi: np.ndarray, target: float, lr: float) -> None:
+        """One TD step: backprop the squared error to ``target``."""
         prediction, hidden = self.forward(phi)
         delta = target - prediction
         grad_hidden = delta * self.w2 * (1.0 - hidden**2)

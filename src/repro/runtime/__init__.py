@@ -1,9 +1,18 @@
-"""Scale-out runtime: batched campaigns over many search scenarios.
+"""Scale-out runtime: campaigns, the async service, and the result store.
 
 The search phase runs on a workstation CPU (paper §VI-A), so serving
 many (network, platform, mode, seed) scenarios is an embarrassingly
-parallel batch problem.  This package owns that layer — job
-descriptions, process-pool sharding, and the on-disk LUT cache.
+parallel batch problem.  This package owns that layer:
+
+* :mod:`repro.runtime.campaign` — job descriptions, process-pool
+  sharding, and the on-disk LUT cache (one-shot batch runs).
+* :mod:`repro.runtime.service` — the long-running asyncio service:
+  priority job queue, bounded workers, HTTP API with SSE progress
+  streams (``repro serve``).
+* :mod:`repro.runtime.store` — the persistent sqlite result store
+  keyed by full job identity (repeat submissions become cache hits).
+* :mod:`repro.runtime.client` — the stdlib HTTP client behind
+  ``repro submit``.
 """
 
 from repro.runtime.campaign import (
@@ -17,14 +26,24 @@ from repro.runtime.campaign import (
     lut_cache_path,
     require_canonical_platform,
 )
+from repro.runtime.client import ServiceClient
+from repro.runtime.service import CampaignService, JobRecord, checkpoints_of
+from repro.runtime.store import ResultStore, StoredResult, job_key
 
 __all__ = [
     "Campaign",
     "CampaignJob",
     "CampaignResult",
+    "CampaignService",
+    "JobRecord",
     "PLATFORM_FACTORIES",
+    "ResultStore",
+    "ServiceClient",
+    "StoredResult",
+    "checkpoints_of",
     "execute_job",
     "grid",
+    "job_key",
     "load_or_profile_lut",
     "lut_cache_path",
     "require_canonical_platform",

@@ -42,7 +42,7 @@ PLATFORM_FACTORIES = {
 }
 
 #: Payload kinds a campaign job can compute.
-JOB_KINDS = ("table2", "compare", "cem", "ga", "multi-seed")
+JOB_KINDS = ("table2", "compare", "cem", "ga", "multi-seed", "search")
 
 
 def require_canonical_platform(platform) -> str:
@@ -75,8 +75,10 @@ class CampaignJob:
     the same budget); ``"cem"`` / ``"ga"`` a single population-based
     :class:`~repro.core.result.SearchResult`; ``"multi-seed"`` a
     :class:`~repro.core.multi_seed.MultiSeedResult` over ``seeds``
-    consecutive seeds starting at ``seed``.  ``episodes=None`` uses the
-    per-network auto budget.
+    consecutive seeds starting at ``seed``; ``"search"`` a single
+    QS-DNN :class:`~repro.core.result.SearchResult` — the same search
+    (and bitwise the same ``best_ms``) that ``repro search`` runs over
+    a saved LUT.  ``episodes=None`` uses the per-network auto budget.
     """
 
     network: str
@@ -103,8 +105,24 @@ class CampaignJob:
         Mode(self.mode)  # validates
         if self.kind not in JOB_KINDS:
             raise ConfigError(f"unknown job kind {self.kind!r}; have {JOB_KINDS}")
+        # Jobs arrive from untrusted JSON (the service's POST /jobs):
+        # integer fields must be *checked* integers, not duck-typed —
+        # a string seed would otherwise be admitted and only blow up
+        # later inside a worker process.
+        for name in ("seed", "repeats", "seeds"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigError(f"{name} must be an integer, got {value!r}")
+        if self.episodes is not None and (
+            not isinstance(self.episodes, int) or isinstance(self.episodes, bool)
+        ):
+            raise ConfigError(
+                f"episodes must be an integer or null, got {self.episodes!r}"
+            )
         if self.episodes is not None and self.episodes < 1:
             raise ConfigError(f"episodes must be >= 1, got {self.episodes}")
+        if self.repeats < 1:
+            raise ConfigError(f"repeats must be >= 1, got {self.repeats}")
         if self.seeds < 1:
             raise ConfigError(f"seeds must be >= 1, got {self.seeds}")
         if self.kernel not in ("auto", "numba", "reference"):
@@ -189,6 +207,7 @@ def execute_job(
     from repro.baselines.genetic import genetic_search
     from repro.core.config import SearchConfig
     from repro.core.multi_seed import MultiSeedSearch, seed_range
+    from repro.core.search import QSDNNSearch
 
     started = time.perf_counter()
     lut, from_cache = load_or_profile_lut(job, cache_dir)
@@ -210,6 +229,14 @@ def execute_job(
             payload = cross_entropy_method(lut, episodes=episodes, seed=job.seed)
         elif job.kind == "ga":
             payload = genetic_search(lut, episodes=episodes, seed=job.seed)
+        elif job.kind == "search":
+            # Deliberately identical to `repro search` over this LUT:
+            # same config defaults, same auto budget -> bitwise-equal
+            # best_ms (the service's e2e acceptance check).
+            payload = QSDNNSearch(
+                lut,
+                SearchConfig(episodes=episodes, seed=job.seed, kernel=job.kernel),
+            ).run()
         else:  # "multi-seed" — validated at construction
             payload = MultiSeedSearch(
                 lut,

@@ -1,0 +1,151 @@
+"""Stdlib HTTP client for the campaign service (``repro submit``).
+
+A thin wrapper over :mod:`http.client` — the service speaks plain
+HTTP/1.1 with JSON bodies and Server-Sent-Events progress streams, so
+no third-party client is needed.  Maps the service's error statuses
+back onto the package's exception hierarchy: 429 raises
+:class:`~repro.errors.QueueFullError`, other non-2xx statuses raise
+:class:`~repro.errors.ServiceError` carrying the server's message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from urllib.parse import urlencode, urlsplit
+
+from repro.errors import QueueFullError, ServiceError
+
+#: Default service address (the ``ServiceConfig`` defaults).
+DEFAULT_URL = "http://127.0.0.1:8421"
+
+
+class ServiceClient:
+    """Synchronous client for one campaign-service endpoint.
+
+    Parameters
+    ----------
+    url:
+        Base address, e.g. ``http://127.0.0.1:8421``.
+    timeout:
+        Socket timeout in seconds for each request (progress streams
+        use it per-read, so heartbeats keep long streams alive).
+    """
+
+    def __init__(self, url: str = DEFAULT_URL, timeout: float = 60.0) -> None:
+        split = urlsplit(url if "//" in url else f"//{url}")
+        if split.scheme not in ("", "http"):
+            raise ServiceError(f"only http:// URLs are supported, got {url!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 8421
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict]:
+        """One request/response cycle; returns ``(status, json_body)``."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            parsed = json.loads(raw) if raw else {}
+            return response.status, parsed
+        finally:
+            conn.close()
+
+    def _checked(self, method: str, path: str, body: dict | None = None) -> dict:
+        status, parsed = self.request(method, path, body)
+        if status == 429:
+            raise QueueFullError(parsed.get("error", "queue full"))
+        if status >= 400:
+            raise ServiceError(
+                f"{method} {path} -> {status}: "
+                f"{parsed.get('error', 'unknown error')}"
+            )
+        return parsed
+
+    # -- the API ------------------------------------------------------------
+
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        return self._checked("GET", "/healthz")
+
+    def submit(self, body: dict) -> list[dict]:
+        """``POST /jobs``; returns the accepted job records."""
+        return self._checked("POST", "/jobs", body)["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/{id}`` — full record, payload included when done."""
+        return self._checked("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        """``GET /jobs`` — every record the service tracks."""
+        return self._checked("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        """``DELETE /jobs/{id}`` (queued jobs only)."""
+        return self._checked("DELETE", f"/jobs/{job_id}")
+
+    def results(self, **filters) -> list[dict]:
+        """``GET /results`` with optional equality filters."""
+        query = urlencode({k: v for k, v in filters.items() if v is not None})
+        path = f"/results?{query}" if query else "/results"
+        return self._checked("GET", path)["results"]
+
+    def shutdown(self) -> dict:
+        """``POST /shutdown`` — graceful remote stop."""
+        return self._checked("POST", "/shutdown")
+
+    def wait(
+        self, job_id: str, poll_s: float = 0.2, timeout: float = 600.0
+    ) -> dict:
+        """Poll ``GET /jobs/{id}`` until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record['state']} after {timeout}s"
+                )
+            time.sleep(poll_s)
+
+    def stream_progress(self, job_id: str):
+        """``GET /jobs/{id}/progress`` — yields ``(event, data)`` pairs.
+
+        Iterates the SSE stream until the server closes it (after the
+        terminal event), decoding each ``data:`` line from JSON.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/progress")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                parsed = json.loads(raw) if raw else {}
+                raise ServiceError(
+                    f"GET /jobs/{job_id}/progress -> {response.status}: "
+                    f"{parsed.get('error', 'unknown error')}"
+                )
+            event = None
+            for raw_line in response:
+                line = raw_line.decode().rstrip("\n")
+                if line.startswith("event: "):
+                    event = line[len("event: "):]
+                elif line.startswith("data: ") and event is not None:
+                    yield event, json.loads(line[len("data: "):])
+                elif not line:
+                    event = None
+        finally:
+            conn.close()

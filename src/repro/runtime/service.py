@@ -1,0 +1,830 @@
+"""Async campaign service: a job queue + result store behind HTTP.
+
+The paper's workflow is one offline search per run; the ROADMAP's north
+star is a long-running service that many clients throw scenarios at.
+This module is that service layer:
+
+* **Priority job queue** — ``POST /jobs`` enqueues
+  :class:`~repro.runtime.campaign.CampaignJob` submissions (single
+  scenarios or whole grids) with an integer priority (lower runs
+  first).  The queue is depth-bounded: past ``queue_limit`` the service
+  answers **429** instead of buffering unboundedly (back-pressure).
+* **Bounded worker pool** — N asyncio workers drain the queue and shard
+  jobs onto a :class:`~concurrent.futures.ProcessPoolExecutor` via
+  :func:`~repro.runtime.campaign.execute_job`, so searches run off the
+  event loop with the kernel backend each job requested and the shared
+  on-disk LUT cache.
+* **Persistent result store** — every payload lands in a
+  :class:`~repro.runtime.store.ResultStore` keyed by the full job
+  identity; re-submitting a solved scenario is an instant cache hit
+  (state ``done``, ``from_store: true``) and identical submissions
+  in flight are coalesced onto one record.
+* **Progress streaming** — ``GET /jobs/{id}/progress`` is a
+  Server-Sent-Events stream: heartbeats while the job is queued or
+  running, then the search's best-so-far checkpoints (derived from
+  ``SearchResult.curve_ms``, monotone non-increasing, in episode
+  order), then a terminal ``done``/``failed``/``cancelled`` event.
+  Checkpoints are emitted from the completed curve — the per-episode
+  hot loop is a compiled kernel (:mod:`repro.core.kernels`) and is not
+  interrupted for IPC.
+* **Graceful shutdown** — ``POST /shutdown`` (or SIGINT/SIGTERM under
+  ``repro serve``) stops intake, cancels queued jobs, waits for
+  in-flight jobs to finish, persists their results, then exits.
+
+The HTTP layer is stdlib-only: a minimal HTTP/1.1 server written
+directly on :func:`asyncio.start_server` (one request per connection,
+``Connection: close``), so the service runs anywhere the repo does —
+no aiohttp, no frameworks.  Every endpoint is documented with examples
+in ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from urllib.parse import parse_qs, urlsplit
+
+from repro import __version__
+from repro.core.config import ServiceConfig
+from repro.core.multi_seed import MultiSeedResult
+from repro.errors import ConfigError, QueueFullError, ServiceError
+from repro.runtime.campaign import (
+    CampaignJob,
+    CampaignResult,
+    execute_job,
+    grid,
+)
+from repro.runtime.store import ResultStore, StoredResult, best_ms_of, job_key
+
+#: Sentinel: "submit() should consult the store itself" (distinct from
+#: an explicit ``stored=None``, which asserts a known store miss).
+_UNRESOLVED = object()
+
+#: Job lifecycle states (terminal: done, failed, cancelled).
+QUEUED, RUNNING, DONE, FAILED, CANCELLED = (
+    "queued",
+    "running",
+    "done",
+    "failed",
+    "cancelled",
+)
+
+#: Default submission priority (lower runs first).
+DEFAULT_PRIORITY = 10
+
+#: Seconds a connection may take to deliver its request before being
+#: dropped (bounds slow/idle clients; SSE *responses* are unbounded).
+REQUEST_READ_TIMEOUT_S = 30.0
+
+#: Maximum accepted request body (JSON job submissions are tiny; an
+#: unbounded Content-Length would let any client allocate server
+#: memory at will).
+MAX_BODY_BYTES = 1 << 20
+
+
+def checkpoints_of(payload) -> list[dict]:
+    """Best-so-far progress checkpoints of a finished payload.
+
+    For payloads carrying an episode curve (``SearchResult``; the best
+    member of a ``MultiSeedResult``) this is the sequence of strict
+    improvements of ``running_min(curve_ms)`` — episode indices are
+    strictly increasing, ``best_ms`` values monotone non-increasing,
+    and every value satisfies ``best_ms == min(curve_ms[: episode+1])``
+    bitwise.  The final episode is always included.  Payloads without a
+    curve (Table II rows, method comparisons) yield a single terminal
+    checkpoint when they expose a headline latency.
+    """
+    if isinstance(payload, MultiSeedResult):
+        payload = payload.best
+    curve = getattr(payload, "curve_ms", None)
+    if not curve:
+        best = best_ms_of(payload)
+        if best is None:
+            return []
+        return [{"episode": 0, "best_ms": best}]
+    points = []
+    best = float("inf")
+    for episode, total in enumerate(curve):
+        if total < best:
+            best = total
+            points.append({"episode": episode, "best_ms": best})
+    last = len(curve) - 1
+    if points[-1]["episode"] != last:
+        points.append({"episode": last, "best_ms": best})
+    return points
+
+
+@dataclass
+class JobRecord:
+    """One submitted job as the service tracks (and serves) it."""
+
+    id: str
+    job: CampaignJob
+    priority: int = DEFAULT_PRIORITY
+    state: str = QUEUED
+    from_store: bool = False
+    error: str | None = None
+    result: CampaignResult | None = None
+    submitted_s: float = field(default_factory=time.time)
+    started_s: float | None = None
+    finished_s: float | None = None
+    done_event: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.state in (DONE, FAILED, CANCELLED)
+
+    def to_dict(self, include_payload: bool = False) -> dict:
+        """JSON-ready view of the record (the wire format of ``/jobs``).
+
+        ``include_payload`` attaches the full result payload (encoded
+        exactly like the store encodes it) — ``GET /jobs/{id}`` sets
+        it, the ``GET /jobs`` listing does not.
+        """
+        body = {
+            "id": self.id,
+            "state": self.state,
+            "job": asdict(self.job),
+            "key": job_key(self.job),
+            "priority": self.priority,
+            "from_store": self.from_store,
+            "error": self.error,
+            "submitted_s": self.submitted_s,
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
+            "links": {
+                "self": f"/jobs/{self.id}",
+                "progress": f"/jobs/{self.id}/progress",
+            },
+        }
+        if self.result is not None:
+            body["best_ms"] = best_ms_of(self.result.payload)
+            body["wall_clock_s"] = self.result.wall_clock_s
+            body["lut_from_cache"] = self.result.lut_from_cache
+            if include_payload:
+                from repro.runtime.store import encode_payload
+
+                kind, text = encode_payload(self.result.payload)
+                body["payload_kind"] = kind
+                body["payload"] = json.loads(text)
+        return body
+
+
+def jobs_from_body(body: dict) -> tuple[list[CampaignJob], int]:
+    """Parse a ``POST /jobs`` body into jobs plus a priority.
+
+    Two forms are accepted: a single scenario (``network`` plus
+    optional job fields) and a grid (``networks`` with optional
+    ``platforms``/``modes``/``seeds`` lists, expanded via
+    :func:`~repro.runtime.campaign.grid`).  The presence of
+    ``networks`` selects the grid form — ``seeds`` alone does not,
+    since a single multi-seed job carries a scalar ``seeds`` field.
+    Unknown keys are rejected so typos fail loudly instead of
+    silently running defaults.
+    """
+    if not isinstance(body, dict):
+        raise ConfigError("request body must be a JSON object")
+    body = dict(body)
+    priority = body.pop("priority", DEFAULT_PRIORITY)
+    if not isinstance(priority, int):
+        raise ConfigError(f"priority must be an integer, got {priority!r}")
+    if "networks" in body:
+        allowed = {
+            "networks",
+            "platforms",
+            "modes",
+            "seeds",
+            "episodes",
+            "kind",
+            "seeds_per_job",
+            "kernel",
+        }
+        unknown = set(body) - allowed
+        if unknown:
+            raise ConfigError(f"unknown grid field(s): {sorted(unknown)}")
+        networks = body.get("networks")
+        if not networks or not isinstance(networks, list):
+            raise ConfigError("grid submissions need a non-empty 'networks' list")
+        jobs = grid(
+            networks,
+            platforms=body.get("platforms"),
+            modes=body.get("modes"),
+            seeds=body.get("seeds"),
+            episodes=body.get("episodes"),
+            kind=body.get("kind", "search"),
+            seeds_per_job=body.get("seeds_per_job", 8),
+            kernel=body.get("kernel", "auto"),
+        )
+        return jobs, priority
+    allowed = {
+        "network",
+        "platform",
+        "mode",
+        "seed",
+        "episodes",
+        "kind",
+        "repeats",
+        "seeds",
+        "kernel",
+    }
+    unknown = set(body) - allowed
+    if unknown:
+        raise ConfigError(f"unknown job field(s): {sorted(unknown)}")
+    if "network" not in body:
+        raise ConfigError("job submissions need a 'network'")
+    body.setdefault("kind", "search")
+    return [CampaignJob(**body)], priority
+
+
+class CampaignService:
+    """The long-running campaign service (queue + workers + store + HTTP).
+
+    Lifecycle::
+
+        service = CampaignService(ServiceConfig(port=0, workers=2))
+        await service.start()        # binds HTTP, spawns workers
+        ...                          # service.port is the bound port
+        await service.shutdown()     # graceful: drains in-flight jobs
+
+    or, from the CLI, ``repro serve`` which runs
+    :meth:`serve_forever` with signal handlers installed.  All state
+    lives on one event loop; jobs execute in worker *processes* so the
+    loop stays responsive while searches run.
+    """
+
+    def __init__(
+        self, config: ServiceConfig | None = None, store: ResultStore | None = None
+    ) -> None:
+        self.config = config or ServiceConfig()
+        # `store or ...` would discard an *empty* injected store
+        # (ResultStore defines __len__, so empty is falsy).
+        self.store = (
+            store
+            if store is not None
+            else ResultStore(self.config.store_path or ":memory:")
+        )
+        self.records: dict[str, JobRecord] = {}
+        self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
+        self._seq = itertools.count(1)
+        self._order = itertools.count()  # FIFO tie-break within a priority
+        self._active: dict[str, JobRecord] = {}  # job key -> queued/running
+        self._pending = 0  # queued (not yet running) job count
+        self._workers: list[asyncio.Task] = []
+        self._executor: ProcessPoolExecutor | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._closing = False
+        self._closed = asyncio.Event()
+        self.port: int | None = None
+
+    # -- submission and queue state -----------------------------------------
+
+    def submit(
+        self,
+        job: CampaignJob,
+        priority: int = DEFAULT_PRIORITY,
+        stored: StoredResult | None | object = _UNRESOLVED,
+    ) -> JobRecord:
+        """Accept one job: store hit, coalesced duplicate, or enqueue.
+
+        Returns the job's :class:`JobRecord` — immediately ``done``
+        (``from_store=True``) when the result store already has this
+        exact scenario, the *existing* record when an identical job is
+        already queued or running, and a fresh ``queued`` record
+        otherwise.  ``stored`` lets a caller that already looked the
+        job up in the store pass the answer in (``None`` for a known
+        miss) so admission does not query twice.  Raises
+        :class:`QueueFullError` past the queue depth limit and
+        :class:`ServiceError` once shutdown has begun.
+        """
+        if self._closing:
+            raise ServiceError("service is shutting down; not accepting jobs")
+        key = job_key(job)
+        active = self._active.get(key)
+        if active is not None:
+            return active
+        if stored is _UNRESOLVED:
+            stored = self.store.get(job)
+        if stored is not None:
+            record = JobRecord(
+                id=f"job-{next(self._seq)}",
+                job=job,
+                priority=priority,
+                state=DONE,
+                from_store=True,
+                result=CampaignResult(
+                    job=job,
+                    payload=stored.payload,
+                    wall_clock_s=stored.wall_clock_s,
+                    lut_from_cache=True,
+                ),
+                finished_s=time.time(),
+            )
+            record.done_event.set()
+            self.records[record.id] = record
+            self._prune_records(keep=record.id)
+            return record
+        if self._pending >= self.config.queue_limit:
+            raise QueueFullError(
+                f"job queue is full ({self._pending}/"
+                f"{self.config.queue_limit} queued)"
+            )
+        record = JobRecord(
+            id=f"job-{next(self._seq)}", job=job, priority=priority
+        )
+        self.records[record.id] = record
+        self._active[key] = record
+        self._pending += 1
+        self._queue.put_nowait((priority, next(self._order), record))
+        self._prune_records(keep=record.id)
+        return record
+
+    def _prune_records(self, keep: str) -> None:
+        """Evict the oldest terminal records past ``keep_records``.
+
+        A long-running service would otherwise grow memory linearly
+        with submissions (every record keeps its full payload).
+        Evicted payloads remain queryable through the result store;
+        queued/running records are never evicted, nor is ``keep`` (the
+        record the caller is about to hand to a client — an
+        acknowledged job id must stay queryable at least once).
+        """
+        excess = len(self.records) - self.config.keep_records
+        if excess <= 0:
+            return
+        for job_id in [
+            record.id
+            for record in self.records.values()
+            if record.finished and record.id != keep
+        ][:excess]:
+            del self.records[job_id]
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; returns False when it already left the
+        queue (running or terminal jobs are not interrupted)."""
+        record = self.records.get(job_id)
+        if record is None or record.state != QUEUED:
+            return False
+        self._mark_cancelled(record)
+        return True
+
+    def _mark_cancelled(self, record: JobRecord) -> None:
+        record.state = CANCELLED
+        record.finished_s = time.time()
+        self._active.pop(job_key(record.job), None)
+        self._pending -= 1
+        record.done_event.set()
+
+    def stats(self) -> dict:
+        """Queue/worker/job counters (the ``/healthz`` body)."""
+        states: dict[str, int] = {}
+        for record in self.records.values():
+            states[record.state] = states.get(record.state, 0) + 1
+        return {
+            "status": "shutting-down" if self._closing else "ok",
+            "version": __version__,
+            "workers": self.config.workers,
+            "queue_depth": self._pending,
+            "queue_limit": self.config.queue_limit,
+            "jobs": states,
+            "stored_results": len(self.store),
+        }
+
+    # -- workers -------------------------------------------------------------
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            _, _, record = await self._queue.get()
+            if record is None:  # shutdown sentinel
+                return
+            if record.state != QUEUED:  # cancelled while queued
+                continue
+            record.state = RUNNING
+            record.started_s = time.time()
+            self._pending -= 1
+            try:
+                result = await loop.run_in_executor(
+                    self._executor,
+                    execute_job,
+                    record.job,
+                    self.config.cache_dir,
+                )
+            except Exception as error:  # job failure — keep serving
+                record.error = f"{type(error).__name__}: {error}"
+                record.state = FAILED
+            else:
+                record.result = result
+                record.state = DONE
+                try:
+                    self.store.put(
+                        record.job, result.payload, result.wall_clock_s
+                    )
+                except Exception as error:
+                    # The computed result is still served from memory;
+                    # a store failure must not kill the worker task or
+                    # leave the record stuck in `running`.
+                    record.error = (
+                        "result not persisted — "
+                        f"{type(error).__name__}: {error}"
+                    )
+            finally:
+                record.finished_s = time.time()
+                self._active.pop(job_key(record.job), None)
+                record.done_event.set()
+
+    # -- progress streaming --------------------------------------------------
+
+    async def progress_events(self, record: JobRecord):
+        """Async iterator of progress events for one job.
+
+        Yields ``status`` heartbeats (every ``heartbeat_s`` while the
+        job is queued/running), then — once finished — the best-so-far
+        ``checkpoint`` sequence of :func:`checkpoints_of` and one
+        terminal ``done``/``failed``/``cancelled`` event.
+        """
+        yield "status", {"id": record.id, "state": record.state}
+        while not record.finished:
+            try:
+                await asyncio.wait_for(
+                    record.done_event.wait(), timeout=self.config.heartbeat_s
+                )
+            except asyncio.TimeoutError:
+                yield "status", {"id": record.id, "state": record.state}
+        if record.state == DONE:
+            assert record.result is not None
+            for point in checkpoints_of(record.result.payload):
+                yield "checkpoint", point
+            yield (
+                "done",
+                {
+                    "id": record.id,
+                    "best_ms": best_ms_of(record.result.payload),
+                    "wall_clock_s": record.result.wall_clock_s,
+                    "from_store": record.from_store,
+                },
+            )
+        else:
+            yield record.state, {"id": record.id, "error": record.error}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the HTTP server and spawn the worker pool."""
+        if self.config.workers > 0:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.config.workers
+            )
+            self._workers = [
+                asyncio.create_task(self._worker())
+                for _ in range(self.config.workers)
+            ]
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def shutdown(self) -> None:
+        """Graceful shutdown: refuse intake, cancel queued jobs, wait
+        for in-flight jobs to finish, then release every resource."""
+        if self._closing:
+            await self._closed.wait()
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+        for record in list(self.records.values()):
+            if record.state == QUEUED:
+                self._mark_cancelled(record)
+        for _ in self._workers:
+            # Sentinels sort behind every real priority, so a worker
+            # only exits once the queue holds nothing runnable.
+            self._queue.put_nowait((float("inf"), next(self._order), None))
+        if self._workers:
+            await asyncio.gather(*self._workers)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        # Sever lingering client connections (idle keep-alives, open
+        # progress streams — every job is terminal by now).  Without
+        # this, wait_closed() on Python >= 3.12.1 blocks until every
+        # connection handler returns, so one idle client would hang
+        # shutdown forever.
+        for writer in list(self._connections):
+            writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+        self.store.close()
+        self._closed.set()
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`shutdown` completes (the ``repro serve`` body)."""
+        if self._server is None:
+            await self.start()
+        await self._closed.wait()
+
+    async def wait_closed(self) -> None:
+        """Block until a (possibly remote) shutdown has fully completed."""
+        await self._closed.wait()
+
+    # -- HTTP layer ----------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            try:
+                request = await asyncio.wait_for(
+                    _read_request(reader), timeout=REQUEST_READ_TIMEOUT_S
+                )
+            except asyncio.TimeoutError:
+                return  # slow/idle client — drop without a response
+            if request is None:
+                return
+            method, path, query, body = request
+            await self._route(writer, method, path, query, body)
+        except ConfigError as error:
+            # Malformed wire requests (bad request line, oversized
+            # headers/body, non-JSON payload) get a 400, not a drop.
+            # The client may already be gone — that is not an error.
+            try:
+                await _respond(writer, 400, {"error": str(error)})
+            except (ConnectionError, OSError):
+                pass
+        except ConnectionError:
+            pass
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(self, writer, method: str, path: str, query, body) -> None:
+        parts = [p for p in path.split("/") if p]
+        try:
+            if method == "GET" and not parts:
+                await _respond(writer, 200, self._index())
+            elif method == "GET" and parts == ["healthz"]:
+                await _respond(writer, 200, self.stats())
+            elif method == "POST" and parts == ["jobs"]:
+                await self._post_jobs(writer, body)
+            elif method == "GET" and parts == ["jobs"]:
+                records = [r.to_dict() for r in self.records.values()]
+                await _respond(writer, 200, {"jobs": records})
+            elif method == "GET" and len(parts) == 2 and parts[0] == "jobs":
+                record = self.records.get(parts[1])
+                if record is None:
+                    await _respond(writer, 404, {"error": f"no job {parts[1]!r}"})
+                else:
+                    await _respond(
+                        writer, 200, record.to_dict(include_payload=True)
+                    )
+            elif (
+                method == "GET"
+                and len(parts) == 3
+                and parts[0] == "jobs"
+                and parts[2] == "progress"
+            ):
+                record = self.records.get(parts[1])
+                if record is None:
+                    await _respond(writer, 404, {"error": f"no job {parts[1]!r}"})
+                else:
+                    await self._stream_progress(writer, record)
+            elif method == "DELETE" and len(parts) == 2 and parts[0] == "jobs":
+                record = self.records.get(parts[1])
+                if record is None:
+                    await _respond(writer, 404, {"error": f"no job {parts[1]!r}"})
+                elif self.cancel(parts[1]):
+                    await _respond(writer, 200, record.to_dict())
+                else:
+                    await _respond(
+                        writer,
+                        409,
+                        {
+                            "error": f"job {parts[1]} is {record.state}; "
+                            "only queued jobs can be cancelled"
+                        },
+                    )
+            elif method == "GET" and parts == ["results"]:
+                await self._get_results(writer, query)
+            elif method == "POST" and parts == ["shutdown"]:
+                await _respond(writer, 202, {"shutting_down": True})
+                asyncio.get_running_loop().create_task(self.shutdown())
+            else:
+                await _respond(
+                    writer, 404, {"error": f"no route {method} {path}"}
+                )
+        except QueueFullError as error:
+            await _respond(
+                writer, 429, {"error": str(error)}, headers={"Retry-After": "1"}
+            )
+        except ConfigError as error:
+            await _respond(writer, 400, {"error": str(error)})
+        except ServiceError as error:
+            await _respond(writer, 503, {"error": str(error)})
+        except (ValueError, TypeError) as error:
+            # Bad field values that slip past explicit validation
+            # (e.g. an unknown Mode, a non-integer episodes/seed) must
+            # still answer 400, not drop the connection.
+            await _respond(writer, 400, {"error": str(error)})
+
+    def _index(self) -> dict:
+        return {
+            "service": "qs-dnn campaign service",
+            "version": __version__,
+            "endpoints": [
+                "GET /healthz",
+                "POST /jobs",
+                "GET /jobs",
+                "GET /jobs/{id}",
+                "GET /jobs/{id}/progress",
+                "DELETE /jobs/{id}",
+                "GET /results",
+                "POST /shutdown",
+            ],
+        }
+
+    async def _post_jobs(self, writer, body) -> None:
+        jobs, priority = jobs_from_body(body)
+        # All-or-nothing admission: a partially accepted grid would
+        # leave the client guessing which cells ran.  One store lookup
+        # per job serves both the slot count and the submit below
+        # (there is no await between here and the submits, so the
+        # counts cannot go stale).
+        lookups = [(job, self.store.get(job)) for job in jobs]
+        free = self.config.queue_limit - self._pending
+        fresh = sum(
+            1
+            for job, hit in lookups
+            if job_key(job) not in self._active and hit is None
+        )
+        if fresh > free:
+            raise QueueFullError(
+                f"job queue is full: submission needs {fresh} slot(s), "
+                f"{free} free (limit {self.config.queue_limit})"
+            )
+        records = [
+            self.submit(job, priority=priority, stored=hit)
+            for job, hit in lookups
+        ]
+        await _respond(
+            writer, 202, {"jobs": [record.to_dict() for record in records]}
+        )
+
+    async def _get_results(self, writer, query) -> None:
+        unknown = set(query) - {"network", "platform", "mode", "kind", "seed"}
+        if unknown:
+            # A typo'd filter must not silently return the whole
+            # corpus as if it matched (same contract as POST /jobs).
+            raise ConfigError(f"unknown result filter(s): {sorted(unknown)}")
+        seed = query.get("seed")
+        rows = self.store.query(
+            network=query.get("network"),
+            platform=query.get("platform"),
+            mode=query.get("mode"),
+            kind=query.get("kind"),
+            seed=int(seed) if seed is not None else None,
+        )
+        results = [
+            {
+                "key": job_key(row.job),
+                "job": asdict(row.job),
+                "best_ms": row.best_ms,
+                "wall_clock_s": row.wall_clock_s,
+                "created_s": row.created_s,
+            }
+            for row in rows
+        ]
+        await _respond(writer, 200, {"count": len(results), "results": results})
+
+    async def _stream_progress(self, writer, record: JobRecord) -> None:
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        async for event, data in self.progress_events(record):
+            writer.write(
+                f"event: {event}\ndata: {json.dumps(data)}\n\n".encode()
+            )
+            await writer.drain()
+
+
+# -- wire helpers ------------------------------------------------------------
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    429: "Too Many Requests",
+    503: "Service Unavailable",
+}
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one HTTP/1.1 request: ``(method, path, query, json_body)``.
+
+    Returns None on an empty connection (client connected and left).
+    Raises :class:`ConfigError` for malformed requests so the router
+    answers 400 instead of dropping the connection.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ConfigError("truncated HTTP request") from None
+    except asyncio.LimitOverrunError:
+        raise ConfigError("request headers too large") from None
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _ = lines[0].split(" ", 2)
+    except ValueError:
+        raise ConfigError(f"malformed request line {lines[0]!r}") from None
+    headers = {}
+    for line in lines[1:]:
+        if ":" in line:
+            name, value = line.split(":", 1)
+            headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise ConfigError("malformed Content-Length header") from None
+    if length > MAX_BODY_BYTES:
+        raise ConfigError(
+            f"request body of {length} bytes exceeds the "
+            f"{MAX_BODY_BYTES}-byte limit"
+        )
+    raw = await reader.readexactly(length) if length else b""
+    body = None
+    if raw:
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ConfigError(f"request body is not JSON: {error}") from None
+    split = urlsplit(target)
+    query = {
+        key: values[-1] for key, values in parse_qs(split.query).items()
+    }
+    return method.upper(), split.path, query, body
+
+
+async def _respond(
+    writer, status: int, payload: dict, headers: dict | None = None
+) -> None:
+    """Write one JSON response and flush (connection closes after)."""
+    body = json.dumps(payload, indent=2).encode() + b"\n"
+    text = _STATUS_TEXT.get(status, "OK")
+    head = [
+        f"HTTP/1.1 {status} {text}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (headers or {}).items():
+        head.append(f"{name}: {value}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+    await writer.drain()
+
+
+def run_service(config: ServiceConfig | None = None) -> int:
+    """Run a service until SIGINT/SIGTERM or ``POST /shutdown``.
+
+    The blocking entry point behind ``repro serve``: installs signal
+    handlers for graceful shutdown and prints the bound address (parse
+    the ``serving on`` line to discover a ``--port 0`` choice).
+    """
+    import signal
+
+    service = CampaignService(config)
+
+    async def _main() -> int:
+        await service.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(
+                signum, lambda: loop.create_task(service.shutdown())
+            )
+        print(
+            f"serving on http://{service.config.host}:{service.port} "
+            f"({service.config.workers} worker(s), "
+            f"queue limit {service.config.queue_limit}, "
+            f"store {service.store.path})",
+            flush=True,
+        )
+        await service.serve_forever()
+        print("service stopped", flush=True)
+        return 0
+
+    return asyncio.run(_main())

@@ -1,0 +1,376 @@
+"""Persistent result store: solved search scenarios, queryable by key.
+
+The campaign service (:mod:`repro.runtime.service`) treats every
+:class:`~repro.runtime.campaign.CampaignJob` as an *instance* of the
+primitive-selection problem.  Solved instances are worth keeping:
+repeated submissions of the same (network, platform, mode, seed,
+kernel, ...) scenario become cache hits instead of re-running the
+search, and the accumulated corpus is exactly the transfer-learning
+substrate the ROADMAP's warm-start item needs (per Mulder et al.,
+searches of related networks/platforms initialize new ones).
+
+:class:`ResultStore` is sqlite-backed (stdlib ``sqlite3``; pass
+``":memory:"`` for an ephemeral store) and keyed by the *full* job
+identity — every :class:`CampaignJob` field participates, so two jobs
+collide only when they would compute byte-identical payloads.  Payloads
+are stored as JSON; Python's ``json`` emits shortest-round-trip float
+literals, so ``best_ms`` (and every curve entry) survives the
+round-trip **bitwise** — the store can answer for a live search without
+perturbing Table II or the service's exactness contract.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.core.config import SearchConfig
+from repro.core.multi_seed import MultiSeedResult
+from repro.core.result import SearchResult
+from repro.errors import ConfigError
+from repro.runtime.campaign import CampaignJob
+
+#: Bump when the row layout or payload encoding changes; rows written
+#: under another schema are ignored (never mis-decoded).
+STORE_SCHEMA_VERSION = 1
+
+_TABLE_DDL = """
+CREATE TABLE IF NOT EXISTS results (
+    key TEXT PRIMARY KEY,
+    schema_version INTEGER NOT NULL,
+    network TEXT NOT NULL,
+    platform TEXT NOT NULL,
+    mode TEXT NOT NULL,
+    seed INTEGER NOT NULL,
+    kind TEXT NOT NULL,
+    kernel TEXT NOT NULL,
+    episodes INTEGER,
+    repeats INTEGER NOT NULL,
+    seeds INTEGER NOT NULL,
+    payload_kind TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    best_ms REAL,
+    wall_clock_s REAL NOT NULL,
+    created_s REAL NOT NULL
+)
+"""
+
+
+def job_key(job: CampaignJob) -> str:
+    """The store's primary key for one job: its full identity.
+
+    Every field of the job participates (episodes/repeats/seeds/kernel
+    included), so distinct scenarios never alias.  ``episodes=None``
+    (the per-network auto budget) keys as ``auto``.
+    """
+    episodes = "auto" if job.episodes is None else str(job.episodes)
+    return "/".join(
+        [
+            job.network,
+            job.platform,
+            job.mode,
+            f"seed{job.seed}",
+            job.kind,
+            f"ep{episodes}",
+            f"r{job.repeats}",
+            f"k{job.seeds}",
+            job.kernel,
+        ]
+    )
+
+
+def encode_payload(payload) -> tuple[str, str]:
+    """Serialize a campaign payload to ``(payload_kind, json)``.
+
+    Supports every payload ``execute_job`` produces: ``SearchResult``,
+    ``MultiSeedResult``, ``Table2Row`` and ``MethodComparison``.
+    Floats round-trip bitwise (shortest-repr JSON literals); a
+    ``SearchResult``'s ``config`` is reduced to the fields needed to
+    re-label the run (the epsilon schedule object is not persisted).
+    """
+    from repro.analysis.compare import MethodComparison
+    from repro.analysis.speedup import Table2Row
+
+    if isinstance(payload, SearchResult):
+        return "search_result", json.dumps(_search_result_dict(payload))
+    if isinstance(payload, MultiSeedResult):
+        body = {
+            "results": [_search_result_dict(r) for r in payload.results],
+            "wall_clock_s": payload.wall_clock_s,
+            "batched_pricings": payload.batched_pricings,
+            "lockstep": payload.lockstep,
+        }
+        return "multi_seed_result", json.dumps(body)
+    if isinstance(payload, Table2Row):
+        return "table2_row", json.dumps(asdict(payload))
+    if isinstance(payload, MethodComparison):
+        return "method_comparison", json.dumps(asdict(payload))
+    raise ConfigError(
+        f"cannot store payload of type {type(payload).__name__}"
+    )
+
+
+def decode_payload(payload_kind: str, text: str):
+    """Inverse of :func:`encode_payload`."""
+    from repro.analysis.compare import MethodComparison
+    from repro.analysis.speedup import Table2Row
+
+    body = json.loads(text)
+    if payload_kind == "search_result":
+        return _search_result_from(body)
+    if payload_kind == "multi_seed_result":
+        return MultiSeedResult(
+            results=[_search_result_from(r) for r in body["results"]],
+            wall_clock_s=body["wall_clock_s"],
+            batched_pricings=body["batched_pricings"],
+            lockstep=body["lockstep"],
+        )
+    if payload_kind == "table2_row":
+        return Table2Row(**body)
+    if payload_kind == "method_comparison":
+        return MethodComparison(**body)
+    raise ConfigError(f"unknown stored payload kind {payload_kind!r}")
+
+
+def best_ms_of(payload) -> float | None:
+    """The headline latency of a payload (None when it has no single one)."""
+    best = getattr(payload, "best_ms", None)
+    if best is not None:
+        return float(best)
+    qsdnn = getattr(payload, "qsdnn_ms", None)
+    if qsdnn is not None:
+        return float(qsdnn)
+    results = getattr(payload, "results", None)
+    if results:
+        return min(float(r.best_ms) for r in results)
+    return None
+
+
+def _search_result_dict(result: SearchResult) -> dict:
+    config = result.config
+    return {
+        "graph_name": result.graph_name,
+        "method": result.method,
+        "best_assignments": result.best_assignments,
+        "best_ms": result.best_ms,
+        "episodes": result.episodes,
+        "curve_ms": result.curve_ms,
+        "epsilon_trace": result.epsilon_trace,
+        "wall_clock_s": result.wall_clock_s,
+        "greedy_ms": result.greedy_ms,
+        "kernel_backend": result.kernel_backend,
+        "seed": config.seed if config is not None else None,
+    }
+
+
+def _search_result_from(body: dict) -> SearchResult:
+    seed = body.get("seed")
+    config = None
+    if seed is not None and body["episodes"] >= 1:
+        config = SearchConfig(episodes=body["episodes"], seed=seed)
+    return SearchResult(
+        graph_name=body["graph_name"],
+        method=body["method"],
+        best_assignments=dict(body["best_assignments"]),
+        best_ms=body["best_ms"],
+        episodes=body["episodes"],
+        curve_ms=list(body["curve_ms"]),
+        epsilon_trace=list(body["epsilon_trace"]),
+        wall_clock_s=body["wall_clock_s"],
+        config=config,
+        greedy_ms=body["greedy_ms"],
+        kernel_backend=body["kernel_backend"],
+    )
+
+
+@dataclass
+class StoredResult:
+    """One solved scenario as the store returns it."""
+
+    job: CampaignJob
+    payload: object
+    #: Headline latency (None for payloads without a single best).
+    best_ms: float | None = None
+    wall_clock_s: float = 0.0
+    #: Unix timestamp of the original computation.
+    created_s: float = field(default=0.0)
+
+
+class ResultStore:
+    """Sqlite-backed store of solved campaign jobs, keyed by identity.
+
+    Parameters
+    ----------
+    path:
+        Database file (parent directories are created), or
+        ``":memory:"`` for a store that lives only as long as this
+        object.
+
+    The connection is shared across threads behind a lock (the service
+    touches the store from its event-loop thread and from HTTP handler
+    coroutines; the CLI from the main thread), and every write commits
+    immediately — a crash never loses acknowledged results.
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        with self._lock:
+            self._conn.execute(_TABLE_DDL)
+            self._conn.commit()
+
+    # -- writes -------------------------------------------------------------
+
+    def put(self, job: CampaignJob, payload, wall_clock_s: float = 0.0) -> str:
+        """Insert (or replace) one solved job; returns its key."""
+        key = job_key(job)
+        payload_kind, text = encode_payload(payload)
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results VALUES "
+                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    key,
+                    STORE_SCHEMA_VERSION,
+                    job.network,
+                    job.platform,
+                    job.mode,
+                    job.seed,
+                    job.kind,
+                    job.kernel,
+                    job.episodes,
+                    job.repeats,
+                    job.seeds,
+                    payload_kind,
+                    text,
+                    best_ms_of(payload),
+                    wall_clock_s,
+                    time.time(),
+                ),
+            )
+            self._conn.commit()
+        return key
+
+    def delete(self, job: CampaignJob) -> bool:
+        """Drop one solved job; returns whether it existed."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE key = ?", (job_key(job),)
+            )
+            self._conn.commit()
+            return cursor.rowcount > 0
+
+    # -- reads --------------------------------------------------------------
+
+    def contains(self, job: CampaignJob) -> bool:
+        """Whether this exact job is stored (no payload decode)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM results WHERE key = ? AND schema_version = ?",
+                (job_key(job), STORE_SCHEMA_VERSION),
+            ).fetchone()
+        return row is not None
+
+    def get(self, job: CampaignJob) -> StoredResult | None:
+        """The stored result of exactly this job, or None on a miss."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload_kind, payload, best_ms, wall_clock_s, created_s "
+                "FROM results WHERE key = ? AND schema_version = ?",
+                (job_key(job), STORE_SCHEMA_VERSION),
+            ).fetchone()
+        if row is None:
+            return None
+        payload_kind, text, best_ms, wall_clock_s, created_s = row
+        return StoredResult(
+            job=job,
+            payload=decode_payload(payload_kind, text),
+            best_ms=best_ms,
+            wall_clock_s=wall_clock_s,
+            created_s=created_s,
+        )
+
+    def query(
+        self,
+        network: str | None = None,
+        platform: str | None = None,
+        mode: str | None = None,
+        kind: str | None = None,
+        seed: int | None = None,
+    ) -> list[StoredResult]:
+        """All stored results matching the given filters (AND semantics).
+
+        Results come back oldest-first; every filter is optional, so
+        ``query()`` lists the whole corpus.
+        """
+        clauses, params = ["schema_version = ?"], [STORE_SCHEMA_VERSION]
+        for column, value in (
+            ("network", network),
+            ("platform", platform),
+            ("mode", mode),
+            ("kind", kind),
+            ("seed", seed),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        sql = (
+            "SELECT network, platform, mode, seed, kind, kernel, episodes, "
+            "repeats, seeds, payload_kind, payload, best_ms, wall_clock_s, "
+            "created_s FROM results WHERE " + " AND ".join(clauses)
+            + " ORDER BY created_s"
+        )
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        results = []
+        for row in rows:
+            job = CampaignJob(
+                network=row[0],
+                platform=row[1],
+                mode=row[2],
+                seed=row[3],
+                kind=row[4],
+                kernel=row[5],
+                episodes=row[6],
+                repeats=row[7],
+                seeds=row[8],
+            )
+            results.append(
+                StoredResult(
+                    job=job,
+                    payload=decode_payload(row[9], row[10]),
+                    best_ms=row[11],
+                    wall_clock_s=row[12],
+                    created_s=row[13],
+                )
+            )
+        return results
+
+    def __len__(self) -> int:
+        """Number of stored results (current schema only)."""
+        with self._lock:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM results WHERE schema_version = ?",
+                (STORE_SCHEMA_VERSION,),
+            ).fetchone()
+        return int(count)
+
+    def close(self) -> None:
+        """Close the underlying sqlite connection."""
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        """Context-manager entry (returns self)."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: close the connection."""
+        self.close()

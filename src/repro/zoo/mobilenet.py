@@ -42,6 +42,7 @@ def mobilenet_v1(width_multiplier: float = 1.0) -> NetworkGraph:
         raise ConfigError(f"width_multiplier must be in (0, 1], got {width_multiplier}")
 
     def scaled(channels: int) -> int:
+        """Channel count under the width multiplier (floor 8)."""
         return max(8, int(round(channels * width_multiplier)))
 
     suffix = "" if width_multiplier == 1.0 else f"_{width_multiplier:g}"

@@ -149,12 +149,34 @@ class TestMain:
         current = _artifact(tmp_path / "cur.json", {"lenet5": 0.1})
         assert gate.main(["--baseline", str(legacy), "--current", str(current)]) == 0
 
-    def test_missing_artifact_is_fatal(self, tmp_path):
+    def test_missing_baseline_fails_with_marching_orders(self, tmp_path, capsys):
+        """A missing baseline must not pass silently — and the failure
+        must tell the operator exactly how to regenerate the file."""
         artifact = _artifact(tmp_path / "a.json", {"lenet5": 0.1})
+        code = gate.main(
+            ["--baseline", str(tmp_path / "nope.json"), "--current", str(artifact)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "bench_search_runtime.py" in out  # the regeneration command
+        assert "commit" in out
+
+    def test_missing_current_fails_with_marching_orders(self, tmp_path, capsys):
+        artifact = _artifact(tmp_path / "a.json", {"lenet5": 0.1})
+        code = gate.main(
+            ["--baseline", str(artifact), "--current", str(tmp_path / "nope.json")]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "-k summary" in out
+
+    def test_unreadable_artifact_is_fatal(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        good = _artifact(tmp_path / "good.json", {"lenet5": 0.1})
         with pytest.raises(SystemExit):
-            gate.main(
-                ["--baseline", str(tmp_path / "nope.json"), "--current", str(artifact)]
-            )
+            gate.main(["--baseline", str(bad), "--current", str(good)])
 
     def test_empty_clocks_fatal(self, tmp_path):
         bad = tmp_path / "bad.json"

@@ -1,0 +1,116 @@
+"""The docs link checker (scripts/check_docs_links.py) and the repo docs."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+_SCRIPT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "scripts"
+    / "check_docs_links.py"
+)
+_spec = importlib.util.spec_from_file_location("check_docs_links", _SCRIPT)
+checker = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_docs_links", checker)
+_spec.loader.exec_module(checker)
+
+
+class TestGithubSlug:
+    def test_basic(self):
+        assert checker.github_slug("Running the service") == "running-the-service"
+
+    def test_strips_inline_code_and_punctuation(self):
+        assert checker.github_slug("`POST /jobs`") == "post-jobs"
+        assert checker.github_slug("`GET /jobs/{id}/progress`") == (
+            "get-jobsidprogress"
+        )
+        assert checker.github_slug("Errors and back-pressure") == (
+            "errors-and-back-pressure"
+        )
+
+
+class TestCheckFile:
+    def test_dead_relative_link_reported(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [other](missing.md) for details\n")
+        problems = checker.check_file(doc)
+        assert len(problems) == 1
+        assert "dead relative link" in problems[0]
+        assert "doc.md:1" in problems[0]
+
+    def test_live_relative_link_and_anchor_pass(self, tmp_path):
+        other = tmp_path / "other.md"
+        other.write_text("# Deep Dive\n\ntext\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "[there](other.md) and [anchored](other.md#deep-dive)\n"
+        )
+        assert checker.check_file(doc) == []
+
+    def test_dangling_anchor_reported(self, tmp_path):
+        other = tmp_path / "other.md"
+        other.write_text("# Present\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text("[bad](other.md#absent)\n")
+        problems = checker.check_file(doc)
+        assert len(problems) == 1 and "#absent" in problems[0]
+
+    def test_same_file_fragment(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# A Heading\n\n[up](#a-heading) [bad](#nope)\n")
+        problems = checker.check_file(doc)
+        assert len(problems) == 1 and "'#nope'" in problems[0]
+
+    def test_external_urls_not_checked(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "[x](https://example.com/missing) [m](mailto:a@b.c)\n"
+        )
+        assert checker.check_file(doc) == []
+
+    def test_links_in_code_fences_ignored(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "```bash\ncurl [not a real link](missing.md)\n```\n"
+        )
+        assert checker.check_file(doc) == []
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.md"
+        good.write_text("no links\n")
+        bad = tmp_path / "bad.md"
+        bad.write_text("[dead](nope.md)\n")
+        assert checker.main([str(good)]) == 0
+        assert checker.main([str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+
+
+class TestRepoDocs:
+    def test_committed_docs_are_clean(self):
+        """The real README + docs/ tree passes the checker (the CI
+        docs job runs the same command)."""
+        assert checker.main([]) == 0
+
+    def test_docs_tree_exists(self):
+        docs = pathlib.Path(__file__).resolve().parent.parent / "docs"
+        for name in ("architecture.md", "service.md", "kernels.md"):
+            assert (docs / name).exists(), f"docs/{name} missing"
+
+    def test_service_doc_covers_every_implemented_endpoint(self):
+        """Every route the service implements is documented (and the
+        doc does not drift from the code)."""
+        from repro.core.config import ServiceConfig
+        from repro.runtime.service import CampaignService
+
+        doc = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "docs"
+            / "service.md"
+        ).read_text()
+        service = CampaignService(ServiceConfig(workers=0))
+        for endpoint in service._index()["endpoints"]:
+            _, route = endpoint.split(" ", 1)
+            assert route in doc, f"docs/service.md missing {endpoint}"

@@ -100,6 +100,20 @@ class TestExecuteJob:
         assert result.payload.method == method
         assert result.payload.best_ms > 0
 
+    def test_search_payload_matches_direct_run(self):
+        """kind="search" is bitwise the same search `repro search` runs."""
+        from repro.core import QSDNNSearch, SearchConfig, SearchResult
+
+        job = CampaignJob(
+            network="fig1_toy", mode="gpgpu", episodes=EPISODES, kind="search"
+        )
+        result = execute_job(job)
+        assert isinstance(result.payload, SearchResult)
+        lut, _ = load_or_profile_lut(job)
+        direct = QSDNNSearch(lut, SearchConfig(episodes=EPISODES)).run()
+        assert result.payload.best_ms == direct.best_ms
+        assert result.payload.curve_ms == direct.curve_ms
+
     def test_multi_seed_payload(self):
         from repro.core import MultiSeedResult
 

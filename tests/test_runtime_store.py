@@ -1,0 +1,178 @@
+"""The persistent result store: keys, codecs, queries, persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.campaign import CampaignJob, execute_job
+from repro.runtime.store import (
+    ResultStore,
+    best_ms_of,
+    decode_payload,
+    encode_payload,
+    job_key,
+)
+
+EPISODES = 120
+
+
+def _search_result(episodes=EPISODES, seed=0):
+    job = CampaignJob(
+        network="fig1_toy", mode="gpgpu", episodes=episodes, seed=seed,
+        kind="search",
+    )
+    return job, execute_job(job).payload
+
+
+class TestJobKey:
+    def test_every_field_participates(self):
+        base = CampaignJob(network="fig1_toy", mode="cpu", episodes=100)
+        variants = [
+            CampaignJob(network="lenet5", mode="cpu", episodes=100),
+            CampaignJob(network="fig1_toy", mode="gpgpu", episodes=100),
+            CampaignJob(network="fig1_toy", mode="cpu", episodes=200),
+            CampaignJob(network="fig1_toy", mode="cpu", episodes=None),
+            CampaignJob(network="fig1_toy", mode="cpu", episodes=100, seed=1),
+            CampaignJob(
+                network="fig1_toy", mode="cpu", episodes=100, kind="search"
+            ),
+            CampaignJob(
+                network="fig1_toy", mode="cpu", episodes=100, kernel="reference"
+            ),
+            CampaignJob(network="fig1_toy", mode="cpu", episodes=100, repeats=10),
+            CampaignJob(network="fig1_toy", mode="cpu", episodes=100, seeds=3),
+        ]
+        keys = {job_key(base)} | {job_key(v) for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_auto_budget_keys_as_auto(self):
+        job = CampaignJob(network="fig1_toy", mode="cpu")
+        assert "/epauto/" in job_key(job)
+
+
+class TestCodecs:
+    def test_search_result_roundtrip_is_bitwise(self):
+        _, payload = _search_result()
+        kind, text = encode_payload(payload)
+        back = decode_payload(kind, text)
+        assert kind == "search_result"
+        assert back.best_ms == payload.best_ms  # bitwise
+        assert back.curve_ms == payload.curve_ms
+        assert back.greedy_ms == payload.greedy_ms
+        assert back.best_assignments == payload.best_assignments
+        assert back.kernel_backend == payload.kernel_backend
+        assert back.config is not None and back.config.seed == 0
+
+    def test_multi_seed_roundtrip(self):
+        job = CampaignJob(
+            network="fig1_toy", mode="gpgpu", episodes=EPISODES,
+            kind="multi-seed", seeds=2,
+        )
+        payload = execute_job(job).payload
+        kind, text = encode_payload(payload)
+        back = decode_payload(kind, text)
+        assert back.seeds == payload.seeds
+        assert back.best_ms_per_seed == payload.best_ms_per_seed
+        assert back.lockstep == payload.lockstep
+
+    def test_table2_and_compare_roundtrip(self):
+        for job_kind in ("table2", "compare"):
+            job = CampaignJob(
+                network="fig1_toy", mode="gpgpu", episodes=EPISODES,
+                kind=job_kind,
+            )
+            payload = execute_job(job).payload
+            kind, text = encode_payload(payload)
+            back = decode_payload(kind, text)
+            assert back == payload  # flat float dataclasses compare exactly
+
+    def test_unknown_payload_rejected(self):
+        with pytest.raises(ConfigError):
+            encode_payload(object())
+        with pytest.raises(ConfigError):
+            decode_payload("wat", "{}")
+
+    def test_best_ms_of(self):
+        job, payload = _search_result()
+        assert best_ms_of(payload) == payload.best_ms
+        table2 = execute_job(
+            CampaignJob(network="fig1_toy", mode="gpgpu", episodes=EPISODES)
+        ).payload
+        assert best_ms_of(table2) == table2.qsdnn_ms
+        assert best_ms_of(object()) is None
+
+
+class TestResultStore:
+    def test_put_get_roundtrip(self):
+        job, payload = _search_result()
+        with ResultStore(":memory:") as store:
+            assert store.get(job) is None
+            store.put(job, payload, wall_clock_s=1.5)
+            hit = store.get(job)
+            assert hit is not None
+            assert hit.payload.best_ms == payload.best_ms  # bitwise
+            assert hit.best_ms == payload.best_ms
+            assert hit.wall_clock_s == 1.5
+            assert hit.created_s > 0
+            assert len(store) == 1
+
+    def test_contains_without_decode(self):
+        job, payload = _search_result()
+        with ResultStore(":memory:") as store:
+            assert not store.contains(job)
+            store.put(job, payload)
+            assert store.contains(job)
+
+    def test_distinct_scenarios_do_not_alias(self):
+        job, payload = _search_result(seed=0)
+        other = CampaignJob(
+            network="fig1_toy", mode="gpgpu", episodes=EPISODES, seed=1,
+            kind="search",
+        )
+        with ResultStore(":memory:") as store:
+            store.put(job, payload)
+            assert store.get(other) is None
+
+    def test_put_replaces(self):
+        job, payload = _search_result()
+        with ResultStore(":memory:") as store:
+            store.put(job, payload, wall_clock_s=1.0)
+            store.put(job, payload, wall_clock_s=2.0)
+            assert len(store) == 1
+            assert store.get(job).wall_clock_s == 2.0
+
+    def test_delete(self):
+        job, payload = _search_result()
+        with ResultStore(":memory:") as store:
+            store.put(job, payload)
+            assert store.delete(job)
+            assert not store.delete(job)
+            assert store.get(job) is None
+
+    def test_query_filters(self):
+        job, payload = _search_result(seed=0)
+        job2, payload2 = _search_result(seed=1)
+        with ResultStore(":memory:") as store:
+            store.put(job, payload)
+            store.put(job2, payload2)
+            assert len(store.query()) == 2
+            assert len(store.query(seed=1)) == 1
+            assert store.query(seed=1)[0].job == job2
+            assert store.query(network="lenet5") == []
+            assert len(store.query(network="fig1_toy", mode="gpgpu")) == 2
+            # Round-trips reconstruct the exact job (keys included).
+            assert {job_key(r.job) for r in store.query()} == {
+                job_key(job), job_key(job2)
+            }
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "store" / "results.sqlite"
+        job, payload = _search_result()
+        with ResultStore(path) as store:
+            store.put(job, payload)
+        with ResultStore(path) as store:
+            hit = store.get(job)
+            assert hit is not None
+            assert hit.payload.best_ms == payload.best_ms
+            assert hit.payload.curve_ms == payload.curve_ms

@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Two-host smoke of the tiered LUT shard cache against live processes.
+
+The acceptance script for the fleet cache (CI runs it):
+
+1. start ``python -m repro serve`` (host A) with a ``--cache-dir`` —
+   the instance is both a search service and the fleet's shard server;
+2. ``repro submit`` a scenario: host A's worker profiles the LUT into
+   its local tier (the file must land in the sharded layout);
+3. run ``repro campaign`` as host B — a separate process with an
+   *empty* local tier chained to host A via ``--cache-remote`` — and
+   assert the job reports ``lut_from_cache: true`` (zero profiling
+   passes on host B) with a ``best_ms`` **bitwise-equal** to host A's;
+4. check the fill-forward: host B's local tier now holds the entry,
+   and ``repro lut-cache stats`` accounts for it;
+5. stop the service gracefully.
+
+Usage::
+
+    PYTHONPATH=src python scripts/lutcache_smoke.py [--episodes N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+NETWORK = "lenet5"
+PLATFORM = "jetson_tx2"
+MODE = "gpgpu"
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _repro(*args: str, timeout: float = 300.0) -> subprocess.CompletedProcess:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=_env(),
+        cwd=REPO_ROOT,
+    )
+    if result.returncode != 0:
+        raise SystemExit(
+            f"repro {' '.join(args)} failed ({result.returncode}):\n"
+            f"{result.stdout}{result.stderr}"
+        )
+    return result
+
+
+def main() -> int:
+    """Run the smoke; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--episodes", type=int, default=600)
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="lutcache-smoke-") as tmp:
+        tmp_path = Path(tmp)
+        host_a = tmp_path / "hostA-luts"
+        host_b = tmp_path / "hostB-luts"
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--workers", "1",
+                "--store", str(tmp_path / "results.sqlite"),
+                "--cache-dir", str(host_a),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=_env(),
+            cwd=REPO_ROOT,
+        )
+        try:
+            banner = server.stdout.readline()
+            assert "serving on http://" in banner, banner
+            url = banner.split()[2]
+            print(f"[1/5] host A (serve + shard server) up at {url}")
+
+            record_path = tmp_path / "record.json"
+            _repro(
+                "submit", "--url", url,
+                "--network", NETWORK, "--platform", PLATFORM, "--mode", MODE,
+                "--episodes", str(args.episodes),
+                "--wait", "--out", str(record_path),
+            )
+            record = json.loads(record_path.read_text())
+            assert record["state"] == "done", record
+            assert not record["lut_from_cache"], (
+                "host A's first job should have profiled"
+            )
+            shard = host_a / PLATFORM / NETWORK
+            entries = [
+                p.name for p in shard.glob("*.json") if p.name != "index.json"
+            ]
+            assert entries, f"no shard entry in {shard}"
+            print(
+                f"[2/5] host A profiled into its tier: "
+                f"{PLATFORM}/{NETWORK}/{entries[0]}"
+            )
+
+            results_path = tmp_path / "campaign.json"
+            campaign = _repro(
+                "campaign", "--networks", NETWORK, "--platforms", PLATFORM,
+                "--modes", MODE, "--episodes", str(args.episodes),
+                "--kind", "search",
+                "--cache-dir", str(host_b), "--cache-remote", url,
+                "--out", str(results_path),
+            )
+            assert "1 LUT cache hit(s)" in campaign.stdout, campaign.stdout
+            payload = json.loads(results_path.read_text())
+            assert payload[0]["lut_from_cache"] is True, payload[0]
+            served_best = record["best_ms"]
+            campaign_best = payload[0]["result"]["best_ms"]
+            assert campaign_best == served_best, (
+                f"host B best_ms {campaign_best!r} != host A "
+                f"{served_best!r} (must be bitwise-equal)"
+            )
+            print(
+                f"[3/5] host B hit the remote shard, zero profiling "
+                f"passes; best_ms bitwise-equal: {campaign_best!r}"
+            )
+
+            filled = [
+                p.name
+                for p in (host_b / PLATFORM / NETWORK).glob("*.json")
+                if p.name != "index.json"
+            ]
+            assert filled, (
+                "remote hit was not filled forward into host B's tier"
+            )
+            stats = _repro("lut-cache", "stats", "--cache-dir", str(host_b))
+            assert f"{PLATFORM}/{NETWORK}" in stats.stdout, stats.stdout
+            print("[4/5] fill-forward landed; lut-cache stats agrees")
+
+            from repro.runtime.client import ServiceClient
+
+            client = ServiceClient(url, timeout=30)
+            index = client.lut_index()
+            assert len(index) == 1 and index[0]["network"] == NETWORK
+            client.shutdown()
+            code = server.wait(timeout=60)
+            assert code == 0, f"serve exited {code}"
+            print("[5/5] graceful shutdown, exit 0")
+            print("lutcache smoke OK")
+            return 0
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(10)
+                print(server.stdout.read())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

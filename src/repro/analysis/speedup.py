@@ -139,14 +139,16 @@ def run_table2(
     seed: int = 0,
     jobs: int = 1,
     cache_dir: str | None = None,
+    cache_remote: str | None = None,
 ) -> list[Table2Row]:
     """All rows of one Table II half (CPU or GPGPU).
 
     ``jobs > 1`` shards the per-network cells across worker processes
-    via a :class:`~repro.runtime.campaign.Campaign`; ``cache_dir``
-    enables the on-disk LUT cache (used even when serial).
+    via a :class:`~repro.runtime.campaign.Campaign`; ``cache_dir`` /
+    ``cache_remote`` enable the tiered LUT cache (used even when
+    serial; see :mod:`repro.runtime.lutcache`).
     """
-    if jobs > 1 or cache_dir is not None:
+    if jobs > 1 or cache_dir is not None or cache_remote is not None:
         from repro.runtime.campaign import (
             Campaign,
             grid,
@@ -163,6 +165,7 @@ def run_table2(
             ),
             workers=jobs,
             cache_dir=cache_dir,
+            cache_remote=cache_remote,
         )
         return [result.payload for result in campaign.run()]
     return [

@@ -13,6 +13,11 @@
         --seeds 0 1 2 --jobs 4 --cache-dir .repro-cache
     python -m repro serve    --port 8421 --workers 2 --store results.sqlite
     python -m repro submit   --network lenet5 --mode gpgpu --wait --watch
+    python -m repro campaign --networks lenet5 --cache-dir .repro-cache \
+        --cache-remote http://fleet-cache:8421     # fetch LUTs from the fleet
+    python -m repro lut-cache stats --cache-dir .repro-cache
+    python -m repro lut-cache push  --cache-dir .repro-cache \
+        --url http://fleet-cache:8421
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ import sys
 from pathlib import Path
 
 from repro.analysis.compare import compare_methods
-from repro.analysis.speedup import render_table2, run_table2
+from repro.analysis.speedup import auto_episodes, render_table2, run_table2
 from repro.backends.registry import Mode
 from repro.core.config import SearchConfig
 from repro.core.search import QSDNNSearch
@@ -32,12 +37,29 @@ from repro.engine.optimizer import InferenceEngineOptimizer
 from repro.nn.summary import summarize
 from repro.runtime.campaign import JOB_KINDS
 from repro.runtime.campaign import PLATFORM_FACTORIES as PLATFORMS
+from repro.utils.fsio import atomic_write_text
 from repro.utils.units import format_ms
 from repro.zoo import TABLE2_NETWORKS, available_networks, build_network
 
 
 def _mode(text: str) -> Mode:
     return Mode(text.lower())
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for counts that must be >= 1.
+
+    ``--episodes 0`` used to slip through ``args.episodes or auto``
+    as falsy and silently run the auto budget; rejecting it at parse
+    time makes the mistake loud.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _add_platform_args(parser: argparse.ArgumentParser) -> None:
@@ -84,7 +106,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     )
     lut = optimizer.profile()
     report = optimizer.profiling_report
-    Path(args.out).write_text(lut.to_json())
+    atomic_write_text(args.out, lut.to_json())
     print(
         f"profiled {args.network} on {platform.name} ({args.mode}): "
         f"{report.network_inferences} network passes + "
@@ -98,7 +120,10 @@ def cmd_search(args: argparse.Namespace) -> int:
 
     lut = LatencyTable.from_json(Path(args.lut).read_text())
     validate_lut(lut)
-    episodes = args.episodes or max(1000, 25 * len(lut.layers))
+    # Same per-network auto budget as campaign/table2 jobs.
+    episodes = (
+        auto_episodes(len(lut.layers)) if args.episodes is None else args.episodes
+    )
     config = SearchConfig(
         episodes=episodes,
         seed=args.seed,
@@ -125,7 +150,7 @@ def cmd_search(args: argparse.Namespace) -> int:
             "total_ms": result.best_ms,
             "assignments": result.best_assignments,
         }
-        Path(args.out).write_text(json.dumps(payload, indent=2))
+        atomic_write_text(args.out, json.dumps(payload, indent=2))
         print(f"schedule -> {args.out}")
     return 0
 
@@ -137,22 +162,24 @@ def cmd_compare(args: argparse.Namespace) -> int:
         graph, platform, mode=args.mode, seed=args.seed
     )
     lut = optimizer.profile()
-    episodes = args.episodes or max(1000, 25 * len(lut.layers))
+    episodes = (
+        auto_episodes(len(lut.layers)) if args.episodes is None else args.episodes
+    )
     print(compare_methods(lut, episodes=episodes, seed=args.seed).render())
     return 0
 
 
 def _run_population_baseline(args: argparse.Namespace, runner) -> int:
     """Profile a network and run one population-based baseline on it."""
-    from repro.analysis.speedup import auto_episodes
-
     platform = PLATFORMS[args.platform]()
     graph = build_network(args.network)
     lut = InferenceEngineOptimizer(
         graph, platform, mode=args.mode, seed=args.seed
     ).profile()
     # Same auto budget as campaign cem/ga jobs (apples-to-apples).
-    episodes = args.episodes or auto_episodes(len(lut.layers))
+    episodes = (
+        auto_episodes(len(lut.layers)) if args.episodes is None else args.episodes
+    )
     result = runner(
         lut, episodes=episodes, seed=args.seed, population=args.population
     )
@@ -164,7 +191,7 @@ def _run_population_baseline(args: argparse.Namespace, runner) -> int:
             "total_ms": result.best_ms,
             "assignments": result.best_assignments,
         }
-        Path(args.out).write_text(json.dumps(payload, indent=2))
+        atomic_write_text(args.out, json.dumps(payload, indent=2))
         print(f"schedule -> {args.out}")
     return 0
 
@@ -192,6 +219,7 @@ def cmd_table2(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        cache_remote=args.cache_remote,
     )
     print(
         render_table2(
@@ -218,7 +246,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         seeds_per_job=args.seeds_per_job,
         kernel=args.kernel,
     )
-    campaign = Campaign(jobs, workers=args.jobs, cache_dir=args.cache_dir)
+    campaign = Campaign(
+        jobs,
+        workers=args.jobs,
+        cache_dir=args.cache_dir,
+        cache_remote=args.cache_remote,
+    )
     started = time.perf_counter()
     results = campaign.run()
     wall = time.perf_counter() - started
@@ -260,7 +293,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         ]
         # default=str covers the few non-JSON leaves (epsilon schedules
         # inside multi-seed member configs).
-        Path(args.out).write_text(json.dumps(payload, indent=2, default=str))
+        atomic_write_text(args.out, json.dumps(payload, indent=2, default=str))
         print(f"results -> {args.out}")
     return 0
 
@@ -277,6 +310,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             queue_limit=args.queue_limit,
             store_path=args.store,
             cache_dir=args.cache_dir,
+            cache_remote=args.cache_remote,
         )
     )
 
@@ -327,9 +361,116 @@ def cmd_submit(args: argparse.Namespace) -> int:
             f"from_store={final['from_store']})"
         )
         if args.out:
-            Path(args.out).write_text(json.dumps(final, indent=2))
+            atomic_write_text(args.out, json.dumps(final, indent=2))
             print(f"result -> {args.out}")
     return exit_code
+
+
+def _key_selected(key, args: argparse.Namespace) -> bool:
+    """Whether a shard key passes the optional CLI filters."""
+    if getattr(args, "platform", None) and key.platform != args.platform:
+        return False
+    if getattr(args, "network", None) and key.network != args.network:
+        return False
+    if getattr(args, "mode", None) and key.mode != str(args.mode):
+        return False
+    return True
+
+
+def cmd_lut_cache_stats(args: argparse.Namespace) -> int:
+    from repro import __version__
+    from repro.runtime.lutcache import LocalTier
+    from repro.utils.tables import AsciiTable
+
+    tier = LocalTier(args.cache_dir)
+    stats = tier.stats()
+    table = AsciiTable(["shard", "entries", "KiB", "versions"])
+    for stat in stats:
+        table.add_row(
+            [
+                stat.shard,
+                stat.entries,
+                f"{stat.bytes / 1024:.1f}",
+                ",".join(sorted(stat.versions)),
+            ]
+        )
+    print(table.render())
+    entries = sum(s.entries for s in stats)
+    total = sum(s.bytes for s in stats)
+    stale = sum(
+        1 for s in stats for v in s.versions if v != __version__
+    )
+    print(
+        f"lut-cache: {entries} entr{'y' if entries == 1 else 'ies'} in "
+        f"{len(stats)} shard(s), {total / 1024:.1f} KiB "
+        f"(current version v{__version__}"
+        + (f"; {stale} shard version(s) stale — run gc)" if stale else ")")
+    )
+    return 0
+
+
+def cmd_lut_cache_gc(args: argparse.Namespace) -> int:
+    from repro import __version__
+    from repro.runtime.lutcache import LocalTier
+
+    removed, reclaimed = LocalTier(args.cache_dir).gc(keep_version=__version__)
+    print(
+        f"lut-cache gc: removed {removed} file(s), reclaimed "
+        f"{reclaimed / 1024:.1f} KiB (kept v{__version__} entries)"
+    )
+    return 0
+
+
+def cmd_lut_cache_push(args: argparse.Namespace) -> int:
+    from repro.errors import LutCacheError, ServiceError
+    from repro.runtime.lutcache import LocalTier, RemoteTier
+
+    local = LocalTier(args.cache_dir)
+    remote = RemoteTier(args.url)
+    pushed = 0
+    try:
+        for key in local.keys():
+            if not _key_selected(key, args):
+                continue
+            remote.put(key, local.get(key))
+            print(f"pushed {key.shard}/{key.filename}")
+            pushed += 1
+    except (LutCacheError, ServiceError) as error:
+        print(f"lut-cache push failed after {pushed} entr(ies): {error}")
+        return 1
+    print(f"lut-cache push: {pushed} entr(ies) -> {args.url}")
+    return 0
+
+
+def cmd_lut_cache_prefetch(args: argparse.Namespace) -> int:
+    from repro.errors import LutCacheError, ServiceError
+    from repro.runtime.lutcache import LocalTier, RemoteTier, validate_entry
+
+    local = LocalTier(args.cache_dir)
+    remote = RemoteTier(args.url)
+    fetched = present = 0
+    try:
+        for key in remote.keys():
+            if not _key_selected(key, args):
+                continue
+            if local.path_for(key).exists():
+                present += 1
+                continue
+            text = remote.get(key)
+            if text is None:  # raced a remote gc; not an error
+                continue
+            validate_entry(text, key)
+            local.put(key, text)
+            print(f"fetched {key.shard}/{key.filename}")
+            fetched += 1
+    except (LutCacheError, ServiceError) as error:
+        print(f"lut-cache prefetch failed after {fetched} entr(ies): {error}")
+        return 1
+    print(
+        f"lut-cache prefetch: {fetched} fetched, {present} already local "
+        f"<- {args.url}"
+    )
+    return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -344,7 +485,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         networks, Mode.GPGPU, platform, episodes=args.episodes, seed=args.seed
     )
     report = full_report(cpu_rows, gpgpu_rows, platform.name, args.seed)
-    Path(args.out).write_text(report)
+    atomic_write_text(args.out, report)
     print(f"report -> {args.out}")
     return 0
 
@@ -367,19 +508,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("profile", help="run the inference phase, save the LUT")
     p.add_argument("--network", required=True, choices=available_networks())
     _add_platform_args(p)
-    p.add_argument("--repeats", type=int, default=50,
+    p.add_argument("--repeats", type=_positive_int, default=50,
                    help="measurements per primitive (paper: 50)")
     p.add_argument("--out", default="lut.json", help="output LUT path")
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("search", help="run QS-DNN over a saved LUT")
     p.add_argument("--lut", required=True, help="LUT JSON from 'profile'")
-    p.add_argument("--episodes", type=int, default=None,
+    p.add_argument("--episodes", type=_positive_int, default=None,
                    help="episode budget (default: max(1000, 25 x layers))")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-polish", action="store_true",
                    help="raw Algorithm 1 output, no local refinement")
-    p.add_argument("--seeds", type=int, default=1,
+    p.add_argument("--seeds", type=_positive_int, default=1,
                    help="run K consecutive seeds in one lockstep sweep "
                         "(batched pricing; results identical to K runs)")
     p.add_argument("--kernel", choices=["auto", "numba", "reference"],
@@ -396,9 +537,9 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=blurb)
         p.add_argument("--network", required=True, choices=available_networks())
         _add_platform_args(p)
-        p.add_argument("--episodes", type=int, default=None,
+        p.add_argument("--episodes", type=_positive_int, default=None,
                        help="evaluation budget (default: max(1000, 25 x layers))")
-        p.add_argument("--population", type=int, default=64,
+        p.add_argument("--population", type=_positive_int, default=64,
                        help="schedules priced per generation")
         p.add_argument("--out", default=None, help="save the schedule as JSON")
         p.set_defaults(func=func)
@@ -406,18 +547,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="all search methods on one network")
     p.add_argument("--network", required=True, choices=available_networks())
     _add_platform_args(p)
-    p.add_argument("--episodes", type=int, default=None)
+    p.add_argument("--episodes", type=_positive_int, default=None)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("table2", help="regenerate Table II rows")
     p.add_argument("--networks", nargs="*", default=None,
                    choices=available_networks())
     _add_platform_args(p)
-    p.add_argument("--episodes", type=int, default=None)
+    p.add_argument("--episodes", type=_positive_int, default=None)
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (one network cell per job)")
     p.add_argument("--cache-dir", default=None,
-                   help="on-disk LUT cache directory")
+                   help="local LUT cache tier directory")
+    p.add_argument("--cache-remote", default=None,
+                   help="remote LUT shard server URL (a `repro serve` "
+                        "instance with --cache-dir)")
     p.set_defaults(func=cmd_table2)
 
     p = sub.add_parser(
@@ -432,16 +576,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--modes", nargs="*", type=_mode, default=[Mode.CPU],
                    help="design-space modes (cpu and/or gpgpu)")
     p.add_argument("--seeds", nargs="*", type=int, default=[0])
-    p.add_argument("--episodes", type=int, default=None,
+    p.add_argument("--episodes", type=_positive_int, default=None,
                    help="episode budget (default: per-network auto)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes to shard jobs across")
     p.add_argument("--cache-dir", default=None,
-                   help="on-disk LUT cache directory")
+                   help="local LUT cache tier directory")
+    p.add_argument("--cache-remote", default=None,
+                   help="remote LUT shard server URL (a `repro serve` "
+                        "instance with --cache-dir)")
     p.add_argument("--kind", choices=list(JOB_KINDS), default="table2",
                    help="payload per job: Table II row, full comparison, "
                         "a population baseline, or a multi-seed sweep")
-    p.add_argument("--seeds-per-job", type=int, default=8,
+    p.add_argument("--seeds-per-job", type=_positive_int, default=8,
                    help="K of each multi-seed job (kind=multi-seed only)")
     p.add_argument("--kernel", choices=["auto", "numba", "reference"],
                    default="auto",
@@ -463,7 +610,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store", default=None,
                    help="sqlite result-store path (default: in-memory)")
     p.add_argument("--cache-dir", default=None,
-                   help="on-disk LUT cache directory shared by workers")
+                   help="local LUT cache tier shared by workers — also "
+                        "the shard tree served over GET/PUT /luts")
+    p.add_argument("--cache-remote", default=None,
+                   help="upstream LUT shard server chained behind the "
+                        "local tier")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -473,13 +624,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="service address (repro serve prints it)")
     p.add_argument("--network", required=True, choices=available_networks())
     _add_platform_args(p)
-    p.add_argument("--episodes", type=int, default=None,
+    p.add_argument("--episodes", type=_positive_int, default=None,
                    help="episode budget (default: per-network auto)")
     p.add_argument("--kind", choices=list(JOB_KINDS), default="search",
                    help="job payload (default: a plain QS-DNN search)")
     p.add_argument("--kernel", choices=["auto", "numba", "reference"],
                    default="auto", help="episode-kernel backend")
-    p.add_argument("--seeds-per-job", type=int, default=8,
+    p.add_argument("--seeds-per-job", type=_positive_int, default=8,
                    help="K of a multi-seed job (kind=multi-seed only)")
     p.add_argument("--priority", type=int, default=10,
                    help="queue priority (lower runs first)")
@@ -494,12 +645,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser(
+        "lut-cache",
+        help="inspect and sync the tiered LUT shard cache",
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+
+    s = cache_sub.add_parser(
+        "stats", help="per-shard entry counts, bytes and versions"
+    )
+    s.add_argument("--cache-dir", required=True,
+                   help="local LUT cache tier directory")
+    s.set_defaults(func=cmd_lut_cache_stats)
+
+    s = cache_sub.add_parser(
+        "gc", help="drop other-version entries and orphaned temp files"
+    )
+    s.add_argument("--cache-dir", required=True,
+                   help="local LUT cache tier directory")
+    s.set_defaults(func=cmd_lut_cache_gc)
+
+    for name, func, blurb in (
+        ("push", cmd_lut_cache_push,
+         "upload local shard entries to a remote shard server"),
+        ("prefetch", cmd_lut_cache_prefetch,
+         "download a remote server's shard entries into the local tier"),
+    ):
+        s = cache_sub.add_parser(name, help=blurb)
+        s.add_argument("--cache-dir", required=True,
+                       help="local LUT cache tier directory")
+        s.add_argument("--url", required=True,
+                       help="shard server address (repro serve prints it)")
+        s.add_argument("--platform", default=None,
+                       help="only this platform's shards")
+        s.add_argument("--network", default=None,
+                       help="only this network's shards")
+        s.add_argument("--mode", default=None,
+                       help="only entries of this design-space mode")
+        s.set_defaults(func=func)
+
+    p = sub.add_parser(
         "report", help="full markdown reproduction report (both modes)"
     )
     p.add_argument("--networks", nargs="*", default=None,
                    choices=available_networks())
     _add_platform_args(p)
-    p.add_argument("--episodes", type=int, default=None)
+    p.add_argument("--episodes", type=_positive_int, default=None)
     p.add_argument("--out", default="report.md")
     p.set_defaults(func=cmd_report)
 

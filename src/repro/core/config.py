@@ -39,9 +39,14 @@ class ServiceConfig:
     #: Result-store database path (None: in-memory, lives with the
     #: service process; see :class:`~repro.runtime.store.ResultStore`).
     store_path: str | None = None
-    #: On-disk LUT cache directory shared by worker jobs (None: every
-    #: job profiles from scratch).
+    #: Local LUT cache tier shared by worker jobs — also the shard
+    #: tree this instance serves over ``GET/PUT /luts`` (None: no
+    #: local tier, and the LUT endpoints answer misses/503).
     cache_dir: str | None = None
+    #: Remote shard server URL(s) chained behind the local tier —
+    #: worker jobs fetch LUTs profiled elsewhere in the fleet before
+    #: profiling themselves (see :mod:`repro.runtime.lutcache`).
+    cache_remote: str | None = None
     #: Seconds between keep-alive events on an idle progress stream.
     heartbeat_s: float = 0.5
     #: Finished job records retained in memory for ``GET /jobs``.

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.backends.layout import Layout
 from repro.backends.primitive import Primitive
-from repro.errors import LookupError_, ScheduleError
+from repro.errors import LookupError_, ProfilingError, ScheduleError
 from repro.hw.processor import ProcessorKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -134,7 +134,13 @@ class LatencyTable:
                     f"no transfer measurement for edge {edge!r}"
                 ) from None
         if prod.layout is not cons.layout:
-            penalty += self.conversion_ms[edge][cons.processor]
+            try:
+                penalty += self.conversion_ms[edge][cons.processor]
+            except KeyError:
+                raise LookupError_(
+                    f"no conversion measurement for edge {edge!r} on "
+                    f"{cons.processor}"
+                ) from None
         return penalty
 
     # -- whole-schedule evaluation ------------------------------------------------
@@ -174,8 +180,23 @@ class LatencyTable:
     # -- serialization ----------------------------------------------------------------
 
     def to_json(self) -> str:
-        """Serialize to a JSON string."""
+        """Serialize to a JSON string (format 2).
+
+        Edge-keyed tables (``conversion_ms``/``transfer_ms``) are
+        stored as ``[[producer, consumer], value]`` pairs — JSON has no
+        tuple keys, and the format-1 ``"producer->consumer"`` string
+        keys could not be split back unambiguously for layer names
+        containing ``->``.  Such names are rejected outright: a
+        format-1 reader of this payload would silently mis-parse them.
+        """
+        ambiguous = sorted(name for name in self.layers if "->" in name)
+        if ambiguous:
+            raise ProfilingError(
+                f"layer name(s) {ambiguous} contain '->', which is "
+                "ambiguous in serialized edge keys; rename the layers"
+            )
         payload = {
+            "format": 2,
             "graph_name": self.graph_name,
             "mode": self.mode,
             "platform_name": self.platform_name,
@@ -183,11 +204,17 @@ class LatencyTable:
             "candidates": self.candidates,
             "times_ms": self.times_ms,
             "edges": [list(e) for e in self.edges],
-            "conversion_ms": {
-                f"{u}->{v}": {str(k): ms for k, ms in per_proc.items()}
+            "conversion_ms": [
+                [[u, v], {str(k): ms for k, ms in per_proc.items()}]
                 for (u, v), per_proc in self.conversion_ms.items()
-            },
-            "transfer_ms": {f"{u}->{v}": ms for (u, v), ms in self.transfer_ms.items()},
+            ],
+            "transfer_ms": [
+                [[u, v], ms] for (u, v), ms in self.transfer_ms.items()
+            ],
+            # Depths drive Q-state ordering on branchy graphs; dropping
+            # them here once silently reverted non-positional tables to
+            # index order after a cache round-trip.
+            "layer_depth": self.layer_depth,
             "meta": {
                 uid: {
                     "library": m.library,
@@ -203,9 +230,37 @@ class LatencyTable:
         }
         return json.dumps(payload, indent=2)
 
+    @staticmethod
+    def _edge_items(table) -> list[tuple[tuple[str, str], object]]:
+        """Normalize an edge-keyed JSON table to ``((u, v), value)`` pairs.
+
+        Format 2 stores ``[[u, v], value]`` pairs; format 1 stored
+        ``"u->v"`` string keys, which are still read but rejected when
+        the split is ambiguous (a layer name containing ``->`` would
+        otherwise be reassembled into the wrong edge and silently
+        corrupt the penalty tables).
+        """
+        if isinstance(table, list):  # format 2
+            items = []
+            for pair, value in table:
+                u, v = pair
+                items.append(((str(u), str(v)), value))
+            return items
+        items = []
+        for key, value in table.items():  # format 1 (legacy)
+            parts = key.split("->")
+            if len(parts) != 2:
+                raise ProfilingError(
+                    f"ambiguous legacy edge key {key!r}: layer names "
+                    "containing '->' cannot be split back; re-profile "
+                    "and re-save the LUT in the current format"
+                )
+            items.append(((parts[0], parts[1]), value))
+        return items
+
     @classmethod
     def from_json(cls, text: str) -> "LatencyTable":
-        """Deserialize a LUT saved by :meth:`to_json`."""
+        """Deserialize a LUT saved by :meth:`to_json` (format 1 or 2)."""
         payload = json.loads(text)
         meta = {
             uid: PrimitiveMeta(
@@ -231,17 +286,21 @@ class LatencyTable:
             },
             edges=[tuple(e) for e in payload["edges"]],
             conversion_ms={
-                tuple(key.split("->")): {
-                    ProcessorKind(k): float(ms) for k, ms in per_proc.items()
-                }
-                for key, per_proc in payload["conversion_ms"].items()
+                edge: {ProcessorKind(k): float(ms) for k, ms in per_proc.items()}
+                for edge, per_proc in cls._edge_items(payload["conversion_ms"])
             },
             transfer_ms={
-                tuple(key.split("->")): float(ms)
-                for key, ms in payload["transfer_ms"].items()
+                edge: float(ms)
+                for edge, ms in cls._edge_items(payload["transfer_ms"])
             },
             meta=meta,
             profiling_inferences=int(payload.get("profiling_inferences", 0)),
+            # Format-1 payloads carried no depths; the empty default
+            # lets __post_init__ rebuild the positional fallback.
+            layer_depth={
+                str(k): int(v)
+                for k, v in payload.get("layer_depth", {}).items()
+            },
         )
 
 

@@ -73,6 +73,17 @@ class ConfigError(ReproError):
     """A user-supplied configuration value is out of its legal range."""
 
 
+class LutCacheError(ReproError):
+    """A tiered LUT-cache entry is corrupt or mismatches its key.
+
+    Raised when a fetched shard entry does not parse as a LUT, or when
+    its identity fields (network/platform/mode) disagree with the key
+    it was resolved under — serving it would price a different
+    scenario.  Missing entries are not errors (they fall through to the
+    next tier, ultimately profiling on miss).
+    """
+
+
 class ServiceError(ReproError):
     """The campaign service rejected a request or is unavailable."""
 

@@ -5,7 +5,11 @@ many (network, platform, mode, seed) scenarios is an embarrassingly
 parallel batch problem.  This package owns that layer:
 
 * :mod:`repro.runtime.campaign` — job descriptions, process-pool
-  sharding, and the on-disk LUT cache (one-shot batch runs).
+  sharding, and LUT resolution through the tiered cache (one-shot
+  batch runs).
+* :mod:`repro.runtime.lutcache` — the tiered, sharded LUT cache:
+  local ``platform/network`` shard directories chained with remote
+  shard servers, so profiling cost is paid once per fleet.
 * :mod:`repro.runtime.service` — the long-running asyncio service:
   priority job queue, bounded workers, HTTP API with SSE progress
   streams (``repro serve``).
@@ -27,6 +31,14 @@ from repro.runtime.campaign import (
     require_canonical_platform,
 )
 from repro.runtime.client import ServiceClient
+from repro.runtime.lutcache import (
+    LocalTier,
+    LutKey,
+    LutResolution,
+    RemoteTier,
+    TieredLutCache,
+    open_cache,
+)
 from repro.runtime.service import CampaignService, JobRecord, checkpoints_of
 from repro.runtime.store import ResultStore, StoredResult, job_key
 
@@ -36,15 +48,21 @@ __all__ = [
     "CampaignResult",
     "CampaignService",
     "JobRecord",
+    "LocalTier",
+    "LutKey",
+    "LutResolution",
     "PLATFORM_FACTORIES",
+    "RemoteTier",
     "ResultStore",
     "ServiceClient",
     "StoredResult",
+    "TieredLutCache",
     "checkpoints_of",
     "execute_job",
     "grid",
     "job_key",
     "load_or_profile_lut",
     "lut_cache_path",
+    "open_cache",
     "require_canonical_platform",
 ]

@@ -8,9 +8,11 @@ multi-seed robustness sweeps, per-platform comparisons.  A
 
 * shards them across a :class:`concurrent.futures.ProcessPoolExecutor`
   (``workers=1`` runs inline, no process overhead),
-* caches profiled LUTs on disk (keyed by network/platform/mode/seed/
-  repeats), so re-running a campaign — or sharing a cache directory
-  between campaigns — skips the expensive profiling phase entirely,
+* resolves profiled LUTs through the tiered shard cache
+  (:mod:`repro.runtime.lutcache`: local ``platform/network`` shard
+  directories, then remote shard servers), so re-running a campaign —
+  or sharing a cache directory or a fleet shard server between
+  campaigns — skips the expensive profiling phase entirely,
 * returns results in job order, each carrying its payload (a Table II
   row or a full method comparison) plus cache/wall-clock accounting.
 
@@ -21,7 +23,6 @@ every process.
 
 from __future__ import annotations
 
-import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -32,6 +33,7 @@ from repro.engine.lut import LatencyTable
 from repro.engine.optimizer import InferenceEngineOptimizer
 from repro.errors import ConfigError
 from repro.hw import jetson_tx2, jetson_tx2_maxn, raspberry_pi3
+from repro.runtime.lutcache import LutKey, open_cache
 from repro.zoo import available_networks, build_network
 
 #: Platform factories by name — the unit a job ships across processes.
@@ -149,53 +151,51 @@ class CampaignResult:
 
 
 def lut_cache_path(cache_dir: Path, job: CampaignJob) -> Path:
-    """Where a job's profiled LUT lives on disk.
+    """Where a job's profiled LUT lives in the sharded local tier.
 
-    The package version is part of the key so a cache directory shared
+    ``cache_dir/platform/network/mode__seedS__rR__vVERSION.json`` — the
+    package version is part of the key so a cache directory shared
     across repo revisions never silently serves LUTs profiled under an
-    older cost model.
+    older cost model (see :mod:`repro.runtime.lutcache`).
     """
-    from repro import __version__
-
-    name = (
-        f"{job.platform}__{job.network}__{job.mode}"
-        f"__seed{job.seed}__r{job.repeats}__v{__version__}.json"
-    )
-    return cache_dir / name
+    key = LutKey.from_job(job)
+    return Path(cache_dir) / key.platform / key.network / key.filename
 
 
-def load_or_profile_lut(
-    job: CampaignJob, cache_dir: Path | None = None
-) -> tuple[LatencyTable, bool]:
-    """Fetch a job's LUT from the on-disk cache, profiling on a miss.
-
-    Returns ``(lut, from_cache)``.  JSON round-trips preserve floats
-    exactly, so a cached LUT prices identically to a fresh profile.
-    """
-    path = None
-    if cache_dir is not None:
-        path = lut_cache_path(Path(cache_dir), job)
-        if path.exists():
-            return LatencyTable.from_json(path.read_text()), True
+def profile_lut(job: CampaignJob) -> LatencyTable:
+    """Run the inference phase for one job (the cache chain's last rung)."""
     platform = PLATFORM_FACTORIES[job.platform]()
     graph = build_network(job.network)
     optimizer = InferenceEngineOptimizer(
         graph, platform, mode=Mode(job.mode), seed=job.seed, repeats=job.repeats
     )
-    lut = optimizer.profile()
-    if path is not None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Per-writer temp name: concurrent workers profiling the same
-        # key must not interleave writes into one temp file; each
-        # publishes its own (identical) result atomically.
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(lut.to_json())
-        tmp.replace(path)
-    return lut, False
+    return optimizer.profile()
+
+
+def load_or_profile_lut(
+    job: CampaignJob,
+    cache_dir: Path | None = None,
+    cache_remote: str | list[str] | None = None,
+) -> tuple[LatencyTable, bool]:
+    """Resolve a job's LUT through the tiered cache, profiling on miss.
+
+    Returns ``(lut, from_cache)``.  The chain is local shard tier →
+    remote shard server(s) → profile, with remote hits published into
+    the local tier and fresh profiles written through to every
+    writable tier.  JSON round-trips preserve floats exactly, so a LUT
+    from any tier prices bitwise-identically to a fresh profile.
+    """
+    cache = open_cache(cache_dir, cache_remote)
+    if cache is None:
+        return profile_lut(job), False
+    resolution = cache.resolve(job, lambda: profile_lut(job))
+    return resolution.lut, resolution.from_cache
 
 
 def execute_job(
-    job: CampaignJob, cache_dir: str | Path | None = None
+    job: CampaignJob,
+    cache_dir: str | Path | None = None,
+    cache_remote: str | list[str] | None = None,
 ) -> CampaignResult:
     """Run one job to completion (profiling, search, baselines).
 
@@ -210,7 +210,7 @@ def execute_job(
     from repro.core.search import QSDNNSearch
 
     started = time.perf_counter()
-    lut, from_cache = load_or_profile_lut(job, cache_dir)
+    lut, from_cache = load_or_profile_lut(job, cache_dir, cache_remote)
     if job.kind == "table2":
         payload = table2_row_from_lut(
             lut, episodes=job.episodes, seed=job.seed, kernel=job.kernel
@@ -263,7 +263,12 @@ class Campaign:
         Process count.  ``1`` (default) runs inline in this process;
         ``N > 1`` shards over a :class:`ProcessPoolExecutor`.
     cache_dir:
-        Directory for the on-disk LUT cache; ``None`` disables caching.
+        Directory for the local LUT cache tier; ``None`` disables the
+        local tier.
+    cache_remote:
+        URL (or list of URLs) of remote shard servers (a ``repro
+        serve`` instance with a ``--cache-dir``) chained behind the
+        local tier; see :mod:`repro.runtime.lutcache`.
     """
 
     def __init__(
@@ -271,6 +276,7 @@ class Campaign:
         jobs: list[CampaignJob],
         workers: int = 1,
         cache_dir: str | Path | None = None,
+        cache_remote: str | list[str] | None = None,
     ) -> None:
         if not jobs:
             raise ConfigError("a campaign needs at least one job")
@@ -279,15 +285,19 @@ class Campaign:
         self.jobs = list(jobs)
         self.workers = workers
         self.cache_dir = cache_dir
+        self.cache_remote = cache_remote
 
     def run(self) -> list[CampaignResult]:
         """Execute every job; results come back in job order."""
         if self.workers == 1:
-            return [execute_job(job, self.cache_dir) for job in self.jobs]
+            return [
+                execute_job(job, self.cache_dir, self.cache_remote)
+                for job in self.jobs
+            ]
         max_workers = min(self.workers, len(self.jobs))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             futures = [
-                pool.submit(execute_job, job, self.cache_dir)
+                pool.submit(execute_job, job, self.cache_dir, self.cache_remote)
                 for job in self.jobs
             ]
             return [f.result() for f in futures]

@@ -104,6 +104,47 @@ class ServiceClient:
         """``POST /shutdown`` — graceful remote stop."""
         return self._checked("POST", "/shutdown")
 
+    # -- LUT shard endpoints (the fleet cache; see runtime/lutcache.py) --
+
+    def lut_index(self) -> list[dict]:
+        """``GET /luts`` — every shard entry the service advertises."""
+        return self._checked("GET", "/luts")["luts"]
+
+    def get_lut(self, platform: str, network: str, **key) -> dict | None:
+        """``GET /luts/{platform}/{network}`` — the LUT JSON payload.
+
+        ``key`` holds the remaining identity fields (``mode``, and
+        optionally ``seed``/``repeats``/``version``).  Returns None on
+        a 404 miss instead of raising — a miss is an answer.
+        """
+        query = urlencode({k: v for k, v in key.items() if v is not None})
+        status, parsed = self.request(
+            "GET", f"/luts/{platform}/{network}?{query}"
+        )
+        if status == 404:
+            return None
+        if status >= 400:
+            raise ServiceError(
+                f"GET /luts/{platform}/{network} -> {status}: "
+                f"{parsed.get('error', 'unknown error')}"
+            )
+        return parsed
+
+    def put_lut(
+        self, platform: str, network: str, payload: dict, **key
+    ) -> dict:
+        """``PUT /luts/{platform}/{network}`` — publish one LUT entry."""
+        query = urlencode({k: v for k, v in key.items() if v is not None})
+        status, parsed = self.request(
+            "PUT", f"/luts/{platform}/{network}?{query}", payload
+        )
+        if status >= 400:
+            raise ServiceError(
+                f"PUT /luts/{platform}/{network} -> {status}: "
+                f"{parsed.get('error', 'unknown error')}"
+            )
+        return parsed
+
     def wait(
         self, job_id: str, poll_s: float = 0.2, timeout: float = 600.0
     ) -> dict:

@@ -27,6 +27,12 @@ This module is that service layer:
   Checkpoints are emitted from the completed curve — the per-episode
   hot loop is a compiled kernel (:mod:`repro.core.kernels`) and is not
   interrupted for IPC.
+* **LUT shard serving** — ``GET/PUT /luts/{platform}/{network}``
+  expose the instance's local LUT cache tier to the fleet: any other
+  machine's campaign (``--cache-remote URL``) fetches LUTs profiled
+  here instead of re-profiling, and pushes fresh profiles back
+  (:mod:`repro.runtime.lutcache`; every entry is validated against
+  its key before it is stored).
 * **Graceful shutdown** — ``POST /shutdown`` (or SIGINT/SIGTERM under
   ``repro serve``) stops intake, cancels queued jobs, waits for
   in-flight jobs to finish, persists their results, then exits.
@@ -51,13 +57,14 @@ from urllib.parse import parse_qs, urlsplit
 from repro import __version__
 from repro.core.config import ServiceConfig
 from repro.core.multi_seed import MultiSeedResult
-from repro.errors import ConfigError, QueueFullError, ServiceError
+from repro.errors import ConfigError, LutCacheError, QueueFullError, ServiceError
 from repro.runtime.campaign import (
     CampaignJob,
     CampaignResult,
     execute_job,
     grid,
 )
+from repro.runtime.lutcache import LocalTier, LutKey, validate_entry
 from repro.runtime.store import ResultStore, StoredResult, best_ms_of, job_key
 
 #: Sentinel: "submit() should consult the store itself" (distinct from
@@ -275,6 +282,11 @@ class CampaignService:
         self._active: dict[str, JobRecord] = {}  # job key -> queued/running
         self._pending = 0  # queued (not yet running) job count
         self._workers: list[asyncio.Task] = []
+        self._lut_tier: LocalTier | None = (
+            LocalTier(self.config.cache_dir)
+            if self.config.cache_dir is not None
+            else None
+        )
         self._executor: ProcessPoolExecutor | None = None
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
@@ -414,6 +426,7 @@ class CampaignService:
                     execute_job,
                     record.job,
                     self.config.cache_dir,
+                    self.config.cache_remote,
                 )
             except Exception as error:  # job failure — keep serving
                 record.error = f"{type(error).__name__}: {error}"
@@ -614,6 +627,17 @@ class CampaignService:
                     )
             elif method == "GET" and parts == ["results"]:
                 await self._get_results(writer, query)
+            elif method == "GET" and parts == ["luts"]:
+                await self._list_luts(writer)
+            elif (
+                method in ("GET", "PUT")
+                and len(parts) == 3
+                and parts[0] == "luts"
+            ):
+                if method == "GET":
+                    await self._get_lut(writer, parts[1], parts[2], query)
+                else:
+                    await self._put_lut(writer, parts[1], parts[2], query, body)
             elif method == "POST" and parts == ["shutdown"]:
                 await _respond(writer, 202, {"shutting_down": True})
                 asyncio.get_running_loop().create_task(self.shutdown())
@@ -625,7 +649,10 @@ class CampaignService:
             await _respond(
                 writer, 429, {"error": str(error)}, headers={"Retry-After": "1"}
             )
-        except ConfigError as error:
+        except (ConfigError, LutCacheError) as error:
+            # LutCacheError here is a *client* problem (bad shard
+            # segment, entry mismatching its key) — the local tier
+            # itself is strict and healthy.
             await _respond(writer, 400, {"error": str(error)})
         except ServiceError as error:
             await _respond(writer, 503, {"error": str(error)})
@@ -647,9 +674,111 @@ class CampaignService:
                 "GET /jobs/{id}/progress",
                 "DELETE /jobs/{id}",
                 "GET /results",
+                "GET /luts",
+                "GET /luts/{platform}/{network}",
+                "PUT /luts/{platform}/{network}",
                 "POST /shutdown",
             ],
         }
+
+    # -- LUT shard serving ---------------------------------------------------
+
+    def _lut_key(self, platform: str, network: str, query: dict) -> LutKey:
+        """Build (and validate) the shard key a ``/luts`` request names.
+
+        ``mode`` is required; ``seed``/``repeats`` default to the job
+        defaults and ``version`` to this server's package version, so
+        a hand-typed curl still addresses the common entry.
+        """
+        mode = query.get("mode")
+        if mode is None:
+            raise ConfigError("the 'mode' query parameter is required")
+        try:
+            seed = int(query.get("seed", "0"))
+            repeats = int(query.get("repeats", "50"))
+        except ValueError as error:
+            raise ConfigError(f"bad LUT key parameter: {error}") from None
+        return LutKey(
+            platform=platform,
+            network=network,
+            mode=mode,
+            seed=seed,
+            repeats=repeats,
+            version=query.get("version", __version__),
+        )
+
+    async def _list_luts(self, writer) -> None:
+        # Tier calls walk the shard tree on disk — run them on the
+        # default thread pool so slow disks cannot stall the event
+        # loop (and with it every SSE heartbeat in flight).
+        loop = asyncio.get_running_loop()
+        keys = (
+            await loop.run_in_executor(None, self._lut_tier.keys)
+            if self._lut_tier is not None
+            else []
+        )
+        await _respond(
+            writer,
+            200,
+            {
+                "enabled": self._lut_tier is not None,
+                "count": len(keys),
+                "luts": [key.to_dict() for key in keys],
+            },
+        )
+
+    async def _get_lut(self, writer, platform: str, network: str, query) -> None:
+        key = self._lut_key(platform, network, query)
+        text = (
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._lut_tier.get, key
+            )
+            if self._lut_tier is not None
+            else None
+        )
+        if text is None:
+            await _respond(
+                writer,
+                404,
+                {"error": f"no cached LUT for {key.shard}/{key.filename}"},
+            )
+            return
+        # Entries are validated on write; served verbatim from disk
+        # (the loads/dumps hop is float-exact either way).
+        await _respond(writer, 200, json.loads(text))
+
+    async def _put_lut(
+        self, writer, platform: str, network: str, query, body
+    ) -> None:
+        if self._lut_tier is None:
+            raise ServiceError(
+                "this instance has no --cache-dir and does not accept "
+                "LUT shards"
+            )
+        if not isinstance(body, dict):
+            raise ConfigError("PUT /luts body must be a LUT JSON object")
+        key = self._lut_key(platform, network, query)
+
+        def _validate_and_store() -> bool:
+            # Validate before publishing: a mislabeled or corrupt entry
+            # must never enter the fleet's cache.  Storing the
+            # canonical to_json() text keeps shard bytes identical no
+            # matter which client pushed them (floats are exact
+            # through the re-parse).  Runs off-loop: the re-parse plus
+            # the shard index rebuild are the costliest handler work.
+            lut = validate_entry(json.dumps(body), key)
+            existed = self._lut_tier.path_for(key).exists()
+            self._lut_tier.put(key, lut.to_json())
+            return existed
+
+        existed = await asyncio.get_running_loop().run_in_executor(
+            None, _validate_and_store
+        )
+        await _respond(
+            writer,
+            200 if existed else 201,
+            {"stored": True, "existed": existed, "key": key.to_dict()},
+        )
 
     async def _post_jobs(self, writer, body) -> None:
         jobs, priority = jobs_from_body(body)

@@ -12,6 +12,7 @@ from repro.utils.units import (
 )
 from repro.utils.tables import AsciiTable
 from repro.utils.ascii_plot import line_plot
+from repro.utils.fsio import atomic_write_text
 from repro.utils.stats import geometric_mean, mean_and_ci, running_min
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "s_to_ms",
     "us_to_ms",
     "AsciiTable",
+    "atomic_write_text",
     "line_plot",
     "geometric_mean",
     "mean_and_ci",

@@ -1,0 +1,39 @@
+"""Crash-safe file publication: write to a temp name, then rename.
+
+Every artifact the repo persists (LUT cache entries, CLI ``--out``
+schedules, campaign result dumps, reports) goes through
+:func:`atomic_write_text`.  A plain ``Path.write_text`` interrupted
+mid-write leaves a truncated file behind — a half-written LUT JSON
+later fails ``repro search --lut`` with an opaque decode error, and a
+half-written cache entry would poison every fleet member that fetches
+it.  ``os.replace`` is atomic on POSIX and Windows, so readers observe
+either the old complete file or the new complete file, never a mix.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Publish ``text`` at ``path`` atomically; returns the final path.
+
+    Writes to a per-writer temp name in the same directory (same
+    filesystem, so the rename cannot degrade to a copy), fsync-free by
+    design (these are caches and reports, not databases), then renames
+    over the target.  Concurrent writers publishing the same path do
+    not interleave: each owns its temp file and the last rename wins
+    whole.  Parent directories are created as needed.  On failure the
+    temp file is removed and the previous target content is untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(text)
+        tmp.replace(path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path

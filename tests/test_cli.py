@@ -100,6 +100,97 @@ class TestReportCommand:
         assert "fig1_toy" in text
 
 
+class TestEpisodesValidation:
+    """Regression: `--episodes 0` used to fall through `args.episodes
+    or auto` as falsy and silently run the auto budget."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["search", "--lut", "x.json", "--episodes", "0"],
+            ["compare", "--network", "fig1_toy", "--episodes", "0"],
+            ["cem", "--network", "fig1_toy", "--episodes", "-5"],
+            ["table2", "--episodes", "0"],
+            ["campaign", "--episodes", "0"],
+            ["submit", "--network", "fig1_toy", "--episodes", "0"],
+            ["report", "--episodes", "0"],
+            ["search", "--lut", "x.json", "--episodes", "ten"],
+            ["profile", "--network", "fig1_toy", "--repeats", "0"],
+        ],
+    )
+    def test_non_positive_episodes_rejected_at_parse_time(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2  # argparse usage error
+        err = capsys.readouterr().err
+        assert "must be >= 1" in err or "not an integer" in err
+
+    def test_search_uses_shared_auto_budget(self, tmp_path, capsys):
+        """Without --episodes, `repro search` runs the same
+        auto_episodes budget as campaign/table2 jobs."""
+        from repro.analysis.speedup import auto_episodes
+        from repro.engine.lut import LatencyTable
+
+        lut_path = tmp_path / "lut.json"
+        main([
+            "profile", "--network", "fig1_toy", "--mode", "cpu",
+            "--repeats", "5", "--out", str(lut_path),
+        ])
+        capsys.readouterr()
+        assert main(["search", "--lut", str(lut_path)]) == 0
+        out = capsys.readouterr().out
+        lut = LatencyTable.from_json(lut_path.read_text())
+        assert f"{auto_episodes(len(lut.layers))} episodes" in out
+
+
+class TestAtomicOutWrites:
+    def test_out_files_leave_no_temp_litter(self, tmp_path):
+        """Every --out write publishes tmp-then-replace; the directory
+        must hold only the finished artifacts."""
+        lut_path = tmp_path / "lut.json"
+        sched_path = tmp_path / "sched.json"
+        main([
+            "profile", "--network", "fig1_toy", "--mode", "cpu",
+            "--repeats", "5", "--out", str(lut_path),
+        ])
+        main([
+            "search", "--lut", str(lut_path), "--episodes", "100",
+            "--out", str(sched_path),
+        ])
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "lut.json", "sched.json"
+        ]
+        json.loads(sched_path.read_text())  # complete, parseable
+
+    def test_crash_mid_out_write_preserves_previous_schedule(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash between temp-write and publish must leave the old
+        --out artifact intact (a truncated JSON used to poison later
+        `repro search --lut` runs)."""
+        from pathlib import Path
+
+        lut_path = tmp_path / "lut.json"
+        main([
+            "profile", "--network", "fig1_toy", "--mode", "cpu",
+            "--repeats", "5", "--out", str(lut_path),
+        ])
+        before = lut_path.read_text()
+
+        def exploding_replace(self, other):
+            raise OSError("simulated crash mid-publish")
+
+        monkeypatch.setattr(Path, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            main([
+                "profile", "--network", "fig1_toy", "--mode", "gpgpu",
+                "--repeats", "5", "--out", str(lut_path),
+            ])
+        monkeypatch.undo()
+        assert lut_path.read_text() == before  # old artifact intact
+        assert [p.name for p in tmp_path.iterdir()] == ["lut.json"]
+
+
 class TestSearchValidatesLut:
     def test_corrupt_lut_rejected(self, tmp_path):
         import json

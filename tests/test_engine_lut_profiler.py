@@ -119,6 +119,33 @@ class TestIndexedLUT:
         assert sum(len(inc) for inc in idx.incoming) == len(idx.edges)
 
 
+class TestPenaltyErrorConsistency:
+    """Both penalty branches raise LookupError_, never a raw KeyError."""
+
+    def test_missing_transfer_entry(self):
+        lut = synthetic_chain_lut(3, 4, seed=2)
+        edge = lut.edges[0]
+        del lut.transfer_ms[edge]
+        # prim0 (CPU) -> prim1 (GPU): processor switch needs a transfer.
+        with pytest.raises(LookupError_):
+            lut.penalty(edge, "prim0", "prim1")
+
+    def test_missing_conversion_entry(self):
+        lut = synthetic_chain_lut(3, 4, seed=2)
+        edge = lut.edges[0]
+        del lut.conversion_ms[edge]
+        # prim0 (CPU/NCHW) -> prim2 (CPU/NHWC): layout switch only.
+        with pytest.raises(LookupError_):
+            lut.penalty(edge, "prim0", "prim2")
+
+    def test_missing_conversion_processor(self):
+        lut = synthetic_chain_lut(3, 4, seed=2)
+        edge = lut.edges[0]
+        del lut.conversion_ms[edge][ProcessorKind.CPU]
+        with pytest.raises(LookupError_):
+            lut.penalty(edge, "prim0", "prim2")
+
+
 class TestSerialization:
     def test_json_roundtrip(self, lenet_lut_gpgpu):
         lut = lenet_lut_gpgpu
@@ -144,6 +171,82 @@ class TestSerialization:
         assert clone.schedule_time(assignments) == pytest.approx(
             lut.schedule_time(assignments)
         )
+
+    def test_roundtrip_preserves_floats_bitwise(self):
+        lut = synthetic_chain_lut(5, 4, seed=11)
+        clone = LatencyTable.from_json(lut.to_json())
+        assert clone.times_ms == lut.times_ms
+        assert clone.conversion_ms == lut.conversion_ms
+        assert clone.transfer_ms == lut.transfer_ms
+
+    def test_roundtrip_preserves_layer_depth(self):
+        """Regression: non-positional depths (branchy graphs) used to be
+        dropped by to_json and silently revert to index order."""
+        lut = synthetic_chain_lut(4, 3, seed=9)
+        lut.layer_depth = {
+            "layer0": 0, "layer1": 5, "layer2": 6, "layer3": 9
+        }
+        clone = LatencyTable.from_json(lut.to_json())
+        assert clone.layer_depth == lut.layer_depth
+        # And a second hop stays stable too (cache round-trips chain).
+        again = LatencyTable.from_json(clone.to_json())
+        assert again.layer_depth == lut.layer_depth
+
+    def test_legacy_format1_payload_still_loads(self):
+        """Old caches hold format-1 payloads ('u->v' string edge keys,
+        no layer_depth); they must keep loading, with the positional
+        depth fallback."""
+        import json
+
+        lut = synthetic_chain_lut(3, 2, seed=4)
+        payload = json.loads(lut.to_json())
+        del payload["format"]
+        del payload["layer_depth"]
+        payload["conversion_ms"] = {
+            f"{u}->{v}": per_proc
+            for (u, v), per_proc in payload["conversion_ms"]
+        }
+        payload["transfer_ms"] = {
+            f"{u}->{v}": ms for (u, v), ms in payload["transfer_ms"]
+        }
+        clone = LatencyTable.from_json(json.dumps(payload))
+        assert clone.conversion_ms.keys() == lut.conversion_ms.keys()
+        assert clone.transfer_ms == lut.transfer_ms
+        assert clone.layer_depth == {l: i for i, l in enumerate(lut.layers)}
+
+    def test_legacy_ambiguous_edge_key_rejected(self):
+        """A format-1 key that splits into more than two parts must fail
+        loudly instead of silently corrupting the penalty tables."""
+        import json
+
+        lut = synthetic_chain_lut(3, 2, seed=4)
+        payload = json.loads(lut.to_json())
+        payload["transfer_ms"] = {"a->b->c": 1.0}
+        with pytest.raises(ProfilingError):
+            LatencyTable.from_json(json.dumps(payload))
+
+    def test_arrow_layer_names_rejected_on_serialize(self):
+        """Names containing '->' would be ambiguous to format-1 readers
+        of the payload; serialization refuses them."""
+        lut = synthetic_chain_lut(3, 2, seed=4)
+        lut.layers[1] = "conv->relu"
+        with pytest.raises(ProfilingError):
+            lut.to_json()
+
+    def test_format2_edge_tables_survive_arrowless_roundtrip(self):
+        """Format 2 stores edges as JSON arrays: the keys come back as
+        exact (producer, consumer) tuples, not re-split strings."""
+        import json
+
+        lut = synthetic_chain_lut(3, 2, seed=4)
+        payload = json.loads(lut.to_json())
+        assert payload["format"] == 2
+        assert all(
+            isinstance(pair, list) and len(pair) == 2
+            for pair, _ in payload["conversion_ms"]
+        )
+        clone = LatencyTable.from_json(json.dumps(payload))
+        assert clone.conversion_ms.keys() == lut.conversion_ms.keys()
 
 
 class TestProfiler:

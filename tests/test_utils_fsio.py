@@ -1,0 +1,71 @@
+"""Crash-safe file publication (tmp-then-replace)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.utils.fsio import atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_and_returns_path(self, tmp_path):
+        target = tmp_path / "deep" / "er" / "out.json"
+        returned = atomic_write_text(target, '{"a": 1}')
+        assert returned == target
+        assert target.read_text() == '{"a": 1}'
+
+    def test_no_temp_litter_on_success(self, tmp_path):
+        atomic_write_text(tmp_path / "out.json", "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_overwrites_existing_content_whole(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("old-and-longer-content")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_crash_mid_publish_leaves_target_intact(self, tmp_path, monkeypatch):
+        """A failure between temp-write and rename must neither truncate
+        the previous file nor leave the temp file behind."""
+        target = tmp_path / "out.json"
+        target.write_text("previous complete content")
+
+        def exploding_replace(self, other):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(Path, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "half-written garbage")
+        monkeypatch.undo()
+        assert target.read_text() == "previous complete content"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_crash_during_temp_write_leaves_no_litter(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.json"
+
+        def exploding_write(self, text):
+            self.touch()  # the partial file exists...
+            raise OSError("disk full")
+
+        monkeypatch.setattr(Path, "write_text", exploding_write)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "doomed")
+        monkeypatch.undo()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_temp_name_embeds_writer_pid(self, tmp_path, monkeypatch):
+        """Concurrent processes publishing the same path must own
+        distinct temp files; the pid in the name guarantees it."""
+        seen = []
+        original = Path.write_text
+
+        def spying_write(self, text):
+            seen.append(self.name)
+            return original(self, text)
+
+        monkeypatch.setattr(Path, "write_text", spying_write)
+        atomic_write_text(tmp_path / "out.json", "x")
+        assert seen == [f"out.json.{os.getpid()}.tmp"]

@@ -63,16 +63,26 @@ KERNEL_NETWORKS = ["mobilenet_v1", "resnet50"]
 #: replay-on searches (the acceptance bar of the kernels subsystem).
 KERNEL_MIN_SPEEDUP = 5.0
 
+#: Networks the mega-batch (thousand-seed SoA) claim is checked on.
+MEGA_NETWORKS = ["mobilenet_v1"]
+MEGA_K = 1000
+#: K=1000 mega-batch seeds must cost <= this many single-seed wall
+#: clocks under numba (the acceptance bar of the SoA kernel path —
+#: tens-of-x for a thousand seeds).
+MEGA_MAX_RATIO = 40.0
+
 #: Machine-readable artifact consumed by CI and revision comparisons.
 BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_search.json"
 #: Artifact layout version (validated by the CI artifact check).
-BENCH_SCHEMA_VERSION = 3
+#: v4 added the ``mega_batch`` section.
+BENCH_SCHEMA_VERSION = 4
 
 _wall_clocks: dict[str, float] = {}
 _episodes_per_s: dict[str, float] = {}
 _best_ms: dict[str, float] = {}
 _multi_seed: dict[str, dict[str, float]] = {}
 _kernel_speedup: dict[str, dict[str, float]] = {}
+_mega_batch: dict[str, dict[str, float]] = {}
 
 
 @pytest.mark.parametrize("network", NETWORKS)
@@ -172,6 +182,53 @@ def test_multi_seed_lockstep_amortization(network, tx2):
     )
 
 
+@pytest.mark.parametrize("network", MEGA_NETWORKS)
+def test_mega_batch_thousand_seeds(network, tx2):
+    """K=1000 SoA mega-batch seeds in tens-of-x one-seed wall clock.
+
+    The mega kernel fuses the across-seed loop into one ``prange``
+    dispatch per episode; a thousand lockstep seeds should amortize to
+    well under a thousand single-seed runs.  Single and mega run
+    back-to-back in this process (numba backend both sides), so the
+    ratio is robust to the absolute speed of the machine.
+    """
+    if not numba_available():
+        pytest.skip("numba not installed — mega path needs the JIT")
+    from repro.utils.proc import peak_rss_mb
+
+    lut = cached_lut(network, Mode.GPGPU, tx2, seed=SEED)
+    lut.indexed().engine()  # compile once, outside both timings
+
+    def config(kernel: str) -> SearchConfig:
+        return SearchConfig(
+            episodes=EPISODES, seed=SEED, track_curve=False,
+            replay_enabled=False, kernel=kernel,
+        )
+
+    QSDNNSearch(lut, config("numba")).run()  # warm the JIT cache
+    single = min(
+        _timed(lambda: QSDNNSearch(lut, config("numba")).run())
+        for _ in range(2)
+    )
+    mega = _timed(
+        lambda: MultiSeedSearch(
+            lut, config("mega"), seeds=seed_range(SEED, MEGA_K)
+        ).run()
+    )
+    ratio = mega / single
+    _mega_batch[network] = {
+        "seeds": MEGA_K,
+        "wall_clock_s": mega,
+        "single_wall_clock_s": single,
+        "ratio": ratio,
+        "peak_rss_mb": peak_rss_mb(),
+    }
+    assert ratio <= MEGA_MAX_RATIO, (
+        f"{MEGA_K} mega-batch seeds on {network} took {ratio:.2f}x one "
+        f"seed (limit {MEGA_MAX_RATIO}x)"
+    )
+
+
 def _timed(run) -> float:
     started = time.perf_counter()
     run()
@@ -188,6 +245,7 @@ def test_search_runtime_summary(benchmark, emit, tx2):
                 f"{EPISODES}-episode search (s)",
                 "eps/s",
                 "8-seed lockstep",
+                f"K={MEGA_K} mega",
                 "numba speedup",
             ],
             title="E7 | QS-DNN search wall-clock (paper: < 10 min)",
@@ -195,12 +253,14 @@ def test_search_runtime_summary(benchmark, emit, tx2):
         for network in NETWORKS:
             if network in _wall_clocks:
                 sweep = _multi_seed.get(network)
+                mega = _mega_batch.get(network)
                 kernel = _kernel_speedup.get(network)
                 table.add_row([
                     network,
                     f"{_wall_clocks[network]:.2f}",
                     f"{_episodes_per_s[network]:,.0f}",
                     f"{sweep['ratio']:.2f}x" if sweep else "-",
+                    f"{mega['ratio']:.1f}x" if mega else "-",
                     f"{kernel['speedup']:.1f}x" if kernel else "-",
                 ])
         return table.render()
@@ -229,6 +289,7 @@ def test_search_runtime_summary(benchmark, emit, tx2):
         "episodes_per_s": {},
         "best_ms": {},
         "multi_seed": {},
+        "mega_batch": {},
     }
     if BENCH_JSON.exists():
         try:
@@ -246,7 +307,7 @@ def test_search_runtime_summary(benchmark, emit, tx2):
             and previous_backend == payload["kernel"]["backend"]
         )
         if not mergeable and not any(
-            (_wall_clocks, _multi_seed, _kernel_speedup)
+            (_wall_clocks, _multi_seed, _kernel_speedup, _mega_batch)
         ):
             # Nothing measured and nothing mergeable: overwriting the
             # existing artifact would replace real data (a different
@@ -259,6 +320,7 @@ def test_search_runtime_summary(benchmark, emit, tx2):
             payload["episodes_per_s"] = dict(previous.get("episodes_per_s", {}))
             payload["best_ms"] = dict(previous.get("best_ms", {}))
             payload["multi_seed"] = dict(previous.get("multi_seed", {}))
+            payload["mega_batch"] = dict(previous.get("mega_batch", {}))
             kernel_prev = previous.get("kernel", {})
             if kernel_prev.get("numba_available") == numba_available():
                 payload["kernel"]["speedup"] = dict(
@@ -268,5 +330,6 @@ def test_search_runtime_summary(benchmark, emit, tx2):
     payload["episodes_per_s"].update(_episodes_per_s)
     payload["best_ms"].update(_best_ms)
     payload["multi_seed"].update(_multi_seed)
+    payload["mega_batch"].update(_mega_batch)
     payload["kernel"]["speedup"].update(_kernel_speedup)
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")

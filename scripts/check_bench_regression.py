@@ -64,10 +64,13 @@ def backend_of(payload: dict) -> str:
     return "reference"
 
 
-def multi_seed_of(payload: dict) -> dict[str, dict[str, float]]:
-    """The ``multi_seed`` entries (empty when the artifact lacks them —
-    older schemas or partial runs are not gated on ratios)."""
-    entries = payload.get("multi_seed")
+def ratio_section_of(
+    payload: dict, section: str
+) -> dict[str, dict[str, float]]:
+    """One ratio-bearing section (``multi_seed`` or ``mega_batch``);
+    empty when the artifact lacks it — older schemas or partial runs
+    are not gated on ratios."""
+    entries = payload.get(section)
     if not isinstance(entries, dict):
         return {}
     return {
@@ -75,6 +78,11 @@ def multi_seed_of(payload: dict) -> dict[str, dict[str, float]]:
         for network, entry in entries.items()
         if isinstance(entry, dict) and "ratio" in entry
     }
+
+
+def multi_seed_of(payload: dict) -> dict[str, dict[str, float]]:
+    """The ``multi_seed`` entries (back-compat spelling)."""
+    return ratio_section_of(payload, "multi_seed")
 
 
 def check(
@@ -102,11 +110,13 @@ def check_ratios(
     current: dict[str, dict[str, float]],
     threshold: float,
     min_seconds: float,
+    section: str = "multi_seed",
 ) -> list[str]:
-    """Regression lines for the multi-seed amortization ratios.
+    """Regression lines for one section's amortization ratios
+    (``multi_seed`` K=8 lockstep, ``mega_batch`` K=1000 SoA).
 
     A ratio entry is skipped under the same noise floor as the wall
-    clocks, judged on the multi-seed wall clocks behind the ratio.
+    clocks, judged on the batch wall clocks behind the ratio.
     """
     failures = []
     for network in sorted(set(baseline) & set(current)):
@@ -124,7 +134,7 @@ def check_ratios(
                 f"ratio {base_ratio:.2f}x -> {now_ratio:.2f}x "
                 f"({growth:.2f}x > {threshold}x)"
             )
-            failures.append(f"{network} [multi_seed]: {detail}")
+            failures.append(f"{network} [{section}]: {detail}")
     return failures
 
 
@@ -210,14 +220,21 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {network}: baseline {base:.3f}s, current {now:.3f}s ({ratio:.2f}x)")
     failures = check(baseline, current, args.threshold, args.min_seconds)
 
-    base_ms = multi_seed_of(base_payload)
-    cur_ms = multi_seed_of(cur_payload)
-    for network in sorted(set(base_ms) & set(cur_ms)):
-        print(
-            f"  {network} [multi_seed]: baseline {base_ms[network]['ratio']:.2f}x, "
-            f"current {cur_ms[network]['ratio']:.2f}x"
+    ratio_count = 0
+    for section in ("multi_seed", "mega_batch"):
+        base_ms = ratio_section_of(base_payload, section)
+        cur_ms = ratio_section_of(cur_payload, section)
+        overlap = sorted(set(base_ms) & set(cur_ms))
+        ratio_count += len(overlap)
+        for network in overlap:
+            print(
+                f"  {network} [{section}]: "
+                f"baseline {base_ms[network]['ratio']:.2f}x, "
+                f"current {cur_ms[network]['ratio']:.2f}x"
+            )
+        failures += check_ratios(
+            base_ms, cur_ms, args.threshold, args.min_seconds, section
         )
-    failures += check_ratios(base_ms, cur_ms, args.threshold, args.min_seconds)
 
     if failures:
         print("bench-regression gate FAILED:")
@@ -225,10 +242,9 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {line}")
         return 1
     count = len(compared)
-    ratio_count = len(set(base_ms) & set(cur_ms))
     print(
         f"bench-regression gate passed: {count} network(s) and "
-        f"{ratio_count} multi-seed ratio(s) within {args.threshold}x"
+        f"{ratio_count} amortization ratio(s) within {args.threshold}x"
     )
     return 0
 

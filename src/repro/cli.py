@@ -133,12 +133,14 @@ def cmd_search(args: argparse.Namespace) -> int:
     if args.seeds > 1:
         from repro.core import MultiSeedSearch, seed_range
 
+        from repro.utils.proc import peak_rss_mb
+
         sweep = MultiSeedSearch(
             lut, config, seeds=seed_range(args.seed, args.seeds)
         ).run()
         for member in sweep.results:
             print(member.summary())
-        print(sweep.summary())
+        print(f"{sweep.summary()}, peak RSS {peak_rss_mb():.0f} MB")
         result = sweep.best
     else:
         result = QSDNNSearch(lut, config).run()
@@ -275,12 +277,23 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             render = getattr(payload, "render", None)
             print(render() if render is not None else payload.summary())
 
+    from repro.core.multi_seed import MultiSeedResult
+    from repro.utils.proc import peak_rss_mb
+
     cached = sum(1 for r in results if r.lut_from_cache)
     busy = sum(r.wall_clock_s for r in results)
-    print(
+    line = (
         f"campaign: {len(results)} jobs on {args.jobs} worker(s) in {wall:.1f}s "
-        f"({busy:.1f}s aggregate, {cached} LUT cache hit(s))"
+        f"({busy:.1f}s aggregate, {cached} LUT cache hit(s)"
     )
+    swept = sum(
+        len(r.payload.results)
+        for r in results
+        if isinstance(r.payload, MultiSeedResult)
+    )
+    if swept and wall > 0:
+        line += f", {swept / wall:.0f} seeds/s"
+    print(line + f", peak RSS {peak_rss_mb():.0f} MB)")
     if args.out:
         payload = [
             {
@@ -523,10 +536,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=_positive_int, default=1,
                    help="run K consecutive seeds in one lockstep sweep "
                         "(batched pricing; results identical to K runs)")
-    p.add_argument("--kernel", choices=["auto", "numba", "reference"],
+    p.add_argument("--kernel",
+                   choices=["auto", "numba", "reference", "mega"],
                    default="auto",
                    help="episode-kernel backend (auto: numba when "
-                        "installed; results are bit-identical either way)")
+                        "installed, and the mega batch path once --seeds "
+                        "is large; results are bit-identical either way)")
     p.add_argument("--out", default=None, help="save the schedule as JSON")
     p.set_defaults(func=cmd_search)
 
@@ -589,8 +604,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="payload per job: Table II row, full comparison, "
                         "a population baseline, or a multi-seed sweep")
     p.add_argument("--seeds-per-job", type=_positive_int, default=8,
-                   help="K of each multi-seed job (kind=multi-seed only)")
-    p.add_argument("--kernel", choices=["auto", "numba", "reference"],
+                   help="K of each multi-seed job (kind=multi-seed only; "
+                        "large K auto-routes through the mega batch "
+                        "kernel when numba is installed)")
+    p.add_argument("--kernel",
+                   choices=["auto", "numba", "reference", "mega"],
                    default="auto",
                    help="episode-kernel backend of every job's searches")
     p.add_argument("--out", default=None, help="save all results as JSON")
@@ -628,7 +646,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="episode budget (default: per-network auto)")
     p.add_argument("--kind", choices=list(JOB_KINDS), default="search",
                    help="job payload (default: a plain QS-DNN search)")
-    p.add_argument("--kernel", choices=["auto", "numba", "reference"],
+    p.add_argument("--kernel",
+                   choices=["auto", "numba", "reference", "mega"],
                    default="auto", help="episode-kernel backend")
     p.add_argument("--seeds-per-job", type=_positive_int, default=8,
                    help="K of a multi-seed job (kind=multi-seed only)")

@@ -96,8 +96,9 @@ class SearchConfig:
     polish_sweeps: int = 2
     #: Episode-kernel backend: ``"auto"`` picks numba when installed
     #: (honoring ``REPRO_KERNEL_BACKEND``), else the pure-Python
-    #: reference backend.  Both are bit-identical; see
-    #: :mod:`repro.core.kernels`.
+    #: reference backend; ``"mega"`` forces the structure-of-arrays
+    #: multi-seed path (scalar searches degrade it to the per-seed
+    #: backend).  All are bit-identical; see :mod:`repro.core.kernels`.
     kernel: str = "auto"
     seed: int = 0
     epsilon: EpsilonSchedule = field(default=None)  # type: ignore[assignment]
@@ -121,9 +122,10 @@ class SearchConfig:
             raise ConfigError(
                 f"polish_sweeps must be >= 0, got {self.polish_sweeps}"
             )
-        if self.kernel not in ("auto", "numba", "reference"):
+        if self.kernel not in ("auto", "numba", "reference", "mega"):
             raise ConfigError(
-                f"kernel must be auto, numba or reference, got {self.kernel!r}"
+                "kernel must be auto, numba, reference or mega, "
+                f"got {self.kernel!r}"
             )
         if self.epsilon is None:
             self.epsilon = (

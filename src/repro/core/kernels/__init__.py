@@ -20,6 +20,15 @@ IEEE-754 double applied in the same sequence, so the same seeds produce
 the same Q tables, the same ``best_ms``, and the same per-episode
 curves (property-tested in ``tests/test_core_kernels.py``).
 
+A third spelling, ``mega``, names the structure-of-arrays multi-seed
+path (:mod:`repro.core.kernels.mega`): one ``numba.prange`` dispatch
+per episode running *all* K seeds, built from the very same scalar
+kernels as the per-seed numba backend.  ``mega`` is a routing choice,
+not a third arithmetic: in scalar contexts (single-seed searches) it
+resolves to the per-seed backend, and ``MultiSeedSearch`` auto-routes
+K >= :data:`MEGA_SEED_THRESHOLD` sweeps through it whenever numba is
+available (see :func:`mega_selected`).
+
 Backend selection: an explicit name always wins; ``"auto"`` honors the
 ``REPRO_KERNEL_BACKEND`` environment variable and otherwise picks
 ``numba`` when importable, ``reference`` when not.
@@ -62,8 +71,16 @@ from repro.errors import ConfigError
 #: Environment variable overriding ``"auto"`` backend resolution.
 ENV_VAR = "REPRO_KERNEL_BACKEND"
 
-#: Concrete backend names (resolution targets of ``"auto"``).
+#: Concrete per-seed backend names (resolution targets of ``"auto"``).
 BACKENDS = ("numba", "reference")
+
+#: Every accepted ``kernel`` spelling (configs, jobs, CLI flags).
+KERNEL_CHOICES = ("auto", "numba", "reference", "mega")
+
+#: ``"auto"`` multi-seed sweeps with at least this many seeds route
+#: through the mega path when numba is available (below it the
+#: per-seed lockstep paths win on dispatch overhead).
+MEGA_SEED_THRESHOLD = 64
 
 _numba_cache: bool | None = None
 
@@ -81,24 +98,37 @@ def numba_available() -> bool:
     return _numba_cache
 
 
-def resolve_backend(choice: str = "auto") -> str:
-    """Resolve a backend request to a concrete backend name.
-
-    ``choice`` is ``"auto"``, ``"numba"`` or ``"reference"`` (a config
-    value or CLI flag).  ``"auto"`` consults ``REPRO_KERNEL_BACKEND``
-    and falls back to auto-detection; an explicit request for a missing
-    backend fails loudly rather than silently degrading.
-    """
+def requested_backend(choice: str = "auto") -> str:
+    """The effective backend request after applying the environment:
+    the explicit ``choice`` when given, else ``REPRO_KERNEL_BACKEND``,
+    else ``"auto"``.  May return ``"mega"`` — callers that need a
+    concrete per-seed backend go through :func:`resolve_backend`."""
     name = (choice or "auto").strip().lower()
     if name == "auto":
         env = os.environ.get(ENV_VAR, "").strip().lower()
         if env and env != "auto":
             name = env
-    if name == "auto":
+    return name
+
+
+def resolve_backend(choice: str = "auto") -> str:
+    """Resolve a backend request to a concrete per-seed backend name.
+
+    ``choice`` is one of :data:`KERNEL_CHOICES` (a config value or CLI
+    flag).  ``"auto"`` consults ``REPRO_KERNEL_BACKEND`` and falls back
+    to auto-detection; ``"mega"`` resolves to its per-seed arithmetic
+    twin (numba when available, the reference mirror otherwise) so
+    scalar contexts handed a mega request still run the identical
+    arithmetic; an explicit request for a missing backend fails loudly
+    rather than silently degrading.
+    """
+    name = requested_backend(choice)
+    if name in ("auto", "mega"):
         return "numba" if numba_available() else "reference"
     if name not in BACKENDS:
         raise ConfigError(
-            f"unknown kernel backend {name!r}; have auto, numba, reference"
+            f"unknown kernel backend {name!r}; "
+            "have auto, numba, reference, mega"
         )
     if name == "numba" and not numba_available():
         raise ConfigError(
@@ -106,6 +136,27 @@ def resolve_backend(choice: str = "auto") -> str:
             "pip install numba or use --kernel reference"
         )
     return name
+
+
+def mega_selected(choice: str, num_seeds: int) -> bool:
+    """Whether a K-seed sweep should run the mega SoA path.
+
+    Explicit ``"mega"`` (config, CLI flag, or ``REPRO_KERNEL_BACKEND``)
+    always wins — including without numba, where the kernels run as
+    plain Python (the correctness anchor the property tests drive).
+    ``"auto"`` opts in only for K >= :data:`MEGA_SEED_THRESHOLD` *and*
+    with numba importable: below the threshold the per-seed lockstep
+    paths win, and auto-routing a thousand pure-Python seed loops
+    through mega would be a pathological slowdown, not a fast path.
+    """
+    name = requested_backend(choice)
+    if name == "mega":
+        return True
+    return (
+        name == "auto"
+        and num_seeds >= MEGA_SEED_THRESHOLD
+        and numba_available()
+    )
 
 
 def make_runner(

@@ -1,0 +1,399 @@
+"""Mega-batch episode kernels: K lockstep seeds per compiled dispatch.
+
+The per-seed kernel backends (:mod:`repro.core.kernels.numba_backend`,
+:mod:`repro.core.kernels.reference`) fuse one seed's episode into one
+call; a thousand-seed sweep still pays a thousand Python dispatches per
+episode.  This module restructures the whole multi-seed state as
+structure-of-arrays over the seed axis K —
+
+* ``q``        — ``(K, Q)`` float64, every seed's flat Q data block
+  (the same contiguous layout as :meth:`QTable.flat`, one row per
+  seed);
+* ``row_max``  — ``(K, R)`` float64 per-seed row-max caches;
+* ``visited``  — ``(K, Q)`` bool visit flags (``(K, 0)`` unless
+  ``first_visit_bootstrap``);
+* ``ring``     — ``(K, capacity, 5)`` float64 replay rings (columns
+  ``layer, row, action, next_row, reward``; integers stored as exact
+  doubles);
+
+— and fuses the *across-seed* loop of each episode phase into a single
+``numba.prange`` dispatch.  Inside the parallel region every seed runs
+the exact scalar kernels of the per-seed numba backend (``_rollout``,
+``_price``, ``_apply_update``) over its own array slices, so each
+seed's arithmetic is the same IEEE-754 sequence as an independent
+single-seed :class:`~repro.core.search.QSDNNSearch` run — bit-identity
+per seed is inherited, not re-proven.
+
+Seeds advance in lockstep, so the replay ring's fill/position counters
+are identical across seeds and live as two Python scalars in the
+driver (:meth:`MegaState.advance_ring`), not per-seed state.
+
+Without numba the ``njit`` decorator degrades to a no-op and
+``prange`` to ``range``: the kernels run as plain Python over the same
+arrays — far too slow for real sweeps (auto-routing never selects mega
+without numba) but exactly right for pinning the algorithms bit-for-bit
+in no-JIT environments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels.numba_backend import (
+    _MODE_EXPLORE,
+    _MODE_GREEDY,
+    _MODE_MIXED,
+    _apply_update,
+    _price,
+    _rollout,
+)
+from repro.core.qtable import QTable
+
+try:
+    from numba import njit, prange
+except ImportError:  # pragma: no cover - exercised in no-numba installs
+    prange = range
+
+    def njit(**_kwargs):
+        def passthrough(func):
+            return func
+
+        return passthrough
+
+
+_EMPTY_BOOL_2D = np.empty((0, 0), dtype=np.bool_)
+_EMPTY_I64_2D = np.empty((0, 0), dtype=np.int64)
+
+
+@njit(cache=True)
+def _seed_learn(
+    qstate, choices, rows, rewards, eq2, fvb, replay_on, ring, capacity, fill, pos, perm
+):
+    """One seed's eq. (2) sweep + ring pushes + replay pass.
+
+    ``ring`` is the seed's ``(capacity, 5)`` float slab; transitions
+    round-trip through it losslessly (layer/row/action/next_row are
+    small integers, exact as doubles).  The update sequence is
+    identical to the per-seed backends' ``_learn``.
+    """
+    num_layers = choices.shape[0]
+    last = num_layers - 1
+    for i in range(num_layers):
+        row = rows[i]
+        action = choices[i]
+        reward = rewards[i]
+        next_row = rows[i + 1] if i < last else 0
+        _apply_update(qstate, num_layers, i, row, action, reward, next_row, eq2, fvb)
+        if replay_on:
+            ring[pos, 0] = i
+            ring[pos, 1] = row
+            ring[pos, 2] = action
+            ring[pos, 3] = next_row
+            ring[pos, 4] = reward
+            if fill < capacity:
+                fill += 1
+            pos = (pos + 1) % capacity
+    if replay_on:
+        for k in range(perm.shape[0]):
+            t = perm[k]
+            _apply_update(
+                qstate,
+                num_layers,
+                np.int64(ring[t, 0]),
+                np.int64(ring[t, 1]),
+                np.int64(ring[t, 2]),
+                ring[t, 4],
+                np.int64(ring[t, 3]),
+                eq2,
+                fvb,
+            )
+
+
+@njit(cache=True, parallel=True)
+def _mega_rollout(
+    q2, rm2, vis2, q_off, rm_off, n_act, q_parent, fvb, mode, explore2, explored2,
+    choices2, rows2,
+):
+    for s in prange(q2.shape[0]):
+        _rollout(
+            (q2[s], rm2[s], vis2[s], q_off, rm_off, n_act),
+            q_parent,
+            fvb,
+            mode,
+            explore2[s] if explore2.shape[0] else explore2.reshape(-1),
+            explored2[s] if explored2.shape[0] else explored2.reshape(-1),
+            choices2[s],
+            rows2[s],
+        )
+
+
+@njit(cache=True, parallel=True)
+def _mega_rollout_price(
+    q2, rm2, vis2, q_off, rm_off, n_act, q_parent, fvb, mode, explore2, explored2,
+    choices2, rows2, pricing, max_actions, costs2,
+):
+    for s in prange(q2.shape[0]):
+        _rollout(
+            (q2[s], rm2[s], vis2[s], q_off, rm_off, n_act),
+            q_parent,
+            fvb,
+            mode,
+            explore2[s] if explore2.shape[0] else explore2.reshape(-1),
+            explored2[s] if explored2.shape[0] else explored2.reshape(-1),
+            choices2[s],
+            rows2[s],
+        )
+        _price(pricing, max_actions, choices2[s], costs2[s])
+
+
+@njit(cache=True, parallel=True)
+def _mega_learn(
+    q2, rm2, vis2, q_off, rm_off, n_act, choices2, rows2, rewards2, eq2, fvb,
+    replay_on, ring3, capacity, fill, pos, perm2,
+):
+    for s in prange(q2.shape[0]):
+        _seed_learn(
+            (q2[s], rm2[s], vis2[s], q_off, rm_off, n_act),
+            choices2[s],
+            rows2[s],
+            rewards2[s],
+            eq2,
+            fvb,
+            replay_on,
+            ring3[s],
+            capacity,
+            fill,
+            pos,
+            perm2[s] if perm2.shape[0] else perm2.reshape(-1),
+        )
+
+
+@njit(cache=True, parallel=True)
+def _mega_episode(
+    q2, rm2, vis2, q_off, rm_off, n_act, q_parent, fvb, mode, explore2, explored2,
+    choices2, rows2, pricing, max_actions, costs2, rewards2, eq2, replay_on, ring3,
+    capacity, fill, pos, perm2,
+):
+    num_layers = q_parent.shape[0]
+    for s in prange(q2.shape[0]):
+        qstate = (q2[s], rm2[s], vis2[s], q_off, rm_off, n_act)
+        _rollout(
+            qstate,
+            q_parent,
+            fvb,
+            mode,
+            explore2[s] if explore2.shape[0] else explore2.reshape(-1),
+            explored2[s] if explored2.shape[0] else explored2.reshape(-1),
+            choices2[s],
+            rows2[s],
+        )
+        _price(pricing, max_actions, choices2[s], costs2[s])
+        for i in range(num_layers):
+            rewards2[s, i] = -costs2[s, i]
+        _seed_learn(
+            qstate,
+            choices2[s],
+            rows2[s],
+            rewards2[s],
+            eq2,
+            fvb,
+            replay_on,
+            ring3[s],
+            capacity,
+            fill,
+            pos,
+            perm2[s] if perm2.shape[0] else perm2.reshape(-1),
+        )
+
+
+_warmed = False
+
+
+def ensure_warm() -> None:
+    """Compile (or cache-load) every mega kernel on tiny K=2 state."""
+    global _warmed
+    if _warmed:
+        return
+    for fvb in (False, True):
+        state = MegaState(
+            num_seeds=2,
+            num_actions=[1, 1],
+            row_sizes=[1, 1],
+            q_parent=np.array([-1, 0], dtype=np.int64),
+            pricing=(
+                np.zeros(2, dtype=np.float64),
+                np.array([0, 1], dtype=np.int64),
+                np.zeros(0, dtype=np.float64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+            ),
+            max_actions=1,
+            learning_rate=0.05,
+            discount=0.9,
+            first_visit_bootstrap=fvb,
+            replay_enabled=True,
+            replay_capacity=4,
+        )
+        explored = np.zeros((2, 2), dtype=np.int64)
+        perm = np.zeros((2, 1), dtype=np.int64)
+        state.episode(_MODE_EXPLORE, None, explored, perm)
+        state.rollout_price(_MODE_GREEDY, None, None)
+        state.learn(np.zeros((2, 2), dtype=np.float64), None)
+        state.greedy_choices()
+    _warmed = True
+
+
+class MegaState:
+    """The structure-of-arrays state of K lockstep seeds plus the
+    dispatch surface of the mega kernels.
+
+    Construction mirrors K independent :class:`QTable` instances: a
+    single template table supplies the flat layout (offsets, initial
+    zeros), tiled along a leading seed axis.  All dispatch methods
+    mutate the arrays in place.
+    """
+
+    def __init__(
+        self,
+        num_seeds: int,
+        num_actions: list[int],
+        row_sizes: list[int],
+        q_parent: np.ndarray,
+        pricing: tuple,
+        max_actions: int,
+        learning_rate: float,
+        discount: float,
+        first_visit_bootstrap: bool,
+        replay_enabled: bool,
+        replay_capacity: int,
+    ) -> None:
+        template = QTable(
+            list(num_actions),
+            learning_rate,
+            discount,
+            row_sizes=list(row_sizes),
+            first_visit_bootstrap=first_visit_bootstrap,
+        ).flat()
+        self.num_seeds = num_seeds
+        self.num_layers = len(num_actions)
+        self.q_offsets = template.q_offsets
+        self.rm_offsets = template.rm_offsets
+        self.num_actions = template.num_actions
+        self.q_parent = np.asarray(q_parent, dtype=np.int64)
+        self.fvb = first_visit_bootstrap
+        self.eq2 = (learning_rate, 1.0 - learning_rate, discount)
+        self.pricing = pricing
+        self.max_actions = max_actions
+        # One contiguous block per state component, seeds along axis 0.
+        self.q = np.zeros((num_seeds, template.data.shape[0]), dtype=np.float64)
+        self.row_max = np.zeros(
+            (num_seeds, template.row_max.shape[0]), dtype=np.float64
+        )
+        self.visited = np.zeros(
+            (num_seeds, template.visited.shape[0]), dtype=np.bool_
+        )
+        self.choices = np.zeros((num_seeds, self.num_layers), dtype=np.int64)
+        self.rows = np.zeros((num_seeds, self.num_layers), dtype=np.int64)
+        self.costs = np.zeros((num_seeds, self.num_layers), dtype=np.float64)
+        self._rewards = np.zeros((num_seeds, self.num_layers), dtype=np.float64)
+        self.replay_enabled = replay_enabled
+        self.capacity = replay_capacity
+        # Allocated per seed even with replay off: the kernels slice
+        # ``ring[s]`` unconditionally (numba specializes on one type),
+        # they just never read or write it when ``replay_on`` is False.
+        self.ring = np.zeros(
+            (num_seeds, max(replay_capacity, 1), 5), dtype=np.float64
+        )
+        #: Lockstep ring counters — identical across seeds by
+        #: construction, so they live once, not per seed.
+        self.fill = 0
+        self.pos = 0
+
+    def _decision_args(self, explore2, explored2):
+        return (
+            explore2 if explore2 is not None else _EMPTY_BOOL_2D,
+            explored2 if explored2 is not None else _EMPTY_I64_2D,
+        )
+
+    def rollout(self, mode: int, explore2, explored2) -> np.ndarray:
+        """One decision walk per seed; fills and returns ``choices``."""
+        flags, picks = self._decision_args(explore2, explored2)
+        _mega_rollout(
+            self.q, self.row_max, self.visited,
+            self.q_offsets, self.rm_offsets, self.num_actions,
+            self.q_parent, self.fvb, mode, flags, picks,
+            self.choices, self.rows,
+        )
+        return self.choices
+
+    def rollout_price(self, mode: int, explore2, explored2) -> np.ndarray:
+        """Rollout plus per-seed shaped cost vectors (``(K, L)``)."""
+        flags, picks = self._decision_args(explore2, explored2)
+        _mega_rollout_price(
+            self.q, self.row_max, self.visited,
+            self.q_offsets, self.rm_offsets, self.num_actions,
+            self.q_parent, self.fvb, mode, flags, picks,
+            self.choices, self.rows, self.pricing, self.max_actions, self.costs,
+        )
+        return self.costs
+
+    def learn(self, rewards2: np.ndarray, perm2) -> None:
+        """Every seed's eq. (2) sweep + ring pushes + replay pass."""
+        _mega_learn(
+            self.q, self.row_max, self.visited,
+            self.q_offsets, self.rm_offsets, self.num_actions,
+            self.choices, self.rows, rewards2, self.eq2, self.fvb,
+            self.replay_enabled, self.ring, self.capacity, self.fill, self.pos,
+            perm2 if perm2 is not None else _EMPTY_I64_2D,
+        )
+        self.advance_ring()
+
+    def episode(self, mode: int, explore2, explored2, perm2) -> np.ndarray:
+        """The fully fused episode (rewards = -costs); returns costs."""
+        flags, picks = self._decision_args(explore2, explored2)
+        _mega_episode(
+            self.q, self.row_max, self.visited,
+            self.q_offsets, self.rm_offsets, self.num_actions,
+            self.q_parent, self.fvb, mode, flags, picks,
+            self.choices, self.rows, self.pricing, self.max_actions,
+            self.costs, self._rewards, self.eq2,
+            self.replay_enabled, self.ring, self.capacity, self.fill, self.pos,
+            perm2 if perm2 is not None else _EMPTY_I64_2D,
+        )
+        self.advance_ring()
+        return self.costs
+
+    def advance_ring(self) -> None:
+        """Advance the lockstep fill/position counters by one episode's
+        pushes (every seed pushes exactly L transitions)."""
+        if not self.replay_enabled:
+            return
+        self.fill = min(self.fill + self.num_layers, self.capacity)
+        self.pos = (self.pos + self.num_layers) % self.capacity
+
+    def stored(self) -> int:
+        """Ring occupancy as it will stand *after* the next episode's
+        pushes — the length of the replay permutation to draw (the
+        mega twin of ``NumbaRunner.draw_replay_order``'s ``stored``)."""
+        return min(self.fill + self.num_layers, self.capacity)
+
+    def greedy_choices(self) -> np.ndarray:
+        """Every seed's fully-greedy decision walk over the final Q
+        state (bitwise ``QTable.greedy_rollout`` per seed)."""
+        _mega_rollout(
+            self.q, self.row_max, self.visited,
+            self.q_offsets, self.rm_offsets, self.num_actions,
+            self.q_parent, self.fvb, _MODE_GREEDY, _EMPTY_BOOL_2D, _EMPTY_I64_2D,
+            self.choices, self.rows,
+        )
+        return self.choices
+
+
+__all__ = [
+    "MegaState",
+    "ensure_warm",
+    "_MODE_GREEDY",
+    "_MODE_EXPLORE",
+    "_MODE_MIXED",
+]

@@ -42,7 +42,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.config import SearchConfig
-from repro.core.kernels import make_runner, resolve_backend
+from repro.core.kernels import make_runner, mega_selected, resolve_backend
 from repro.core.polish import coordinate_descent
 from repro.core.qtable import QTable
 from repro.core.result import SearchResult
@@ -95,11 +95,17 @@ class MultiSeedResult:
         best = self.best
         spread = max(self.best_ms_per_seed) - min(self.best_ms_per_seed)
         mode = "lockstep" if self.lockstep else "sequential"
+        throughput = (
+            f", {len(self.results) / self.wall_clock_s:.0f} seeds/s"
+            if self.wall_clock_s > 0
+            else ""
+        )
         return (
             f"multi-seed qs-dnn on {best.graph_name}: {len(self.results)} seeds "
             f"({mode}), best {format_ms(best.best_ms)} "
             f"(seed {best.config.seed if best.config else '?'}, "
             f"spread {format_ms(spread)}) in {self.wall_clock_s:.2f}s"
+            f"{throughput}"
         )
 
 
@@ -147,6 +153,11 @@ class MultiSeedSearch:
 
     def run(self) -> MultiSeedResult:
         """Run every seed to completion; results come back in seed order."""
+        if mega_selected(self.config.kernel, len(self.seeds)):
+            # The structure-of-arrays path: one prange dispatch per
+            # episode runs all K seeds (explicit --kernel mega, or
+            # auto with K >= MEGA_SEED_THRESHOLD under numba).
+            return self._run_mega()
         if (
             self.config.replay_enabled
             or self.config.first_visit_bootstrap
@@ -286,6 +297,196 @@ class MultiSeedSearch:
         wall = time.perf_counter() - started
         for result in results:
             result.wall_clock_s = wall / num_seeds
+        return MultiSeedResult(
+            results=results,
+            wall_clock_s=wall,
+            batched_pricings=batched_pricings,
+            lockstep=True,
+        )
+
+    # -- the mega SoA path (K seeds per kernel dispatch) --------------------
+
+    def _run_mega(self) -> MultiSeedResult:
+        """Run all K seeds as structure-of-arrays mega-kernel dispatches.
+
+        One :class:`~repro.core.kernels.mega.MegaState` holds every
+        seed's flat Q block, row-max cache and replay ring along a
+        leading seed axis; each episode issues a single fused kernel
+        call (two when reward shaping is off, which needs the totals
+        before learning — same split as ``QSDNNSearch``).  The driver
+        keeps every random draw per seed, in the exact stream order of
+        an independent single-seed run: consecutive full-exploration
+        episodes block-draw per seed (a row-major ``(run, L)`` block is
+        bitwise the same stream as ``run`` per-episode draws), mixed
+        episodes draw per (seed, episode), exploitation draws nothing,
+        and replay permutations shuffle a per-seed scratch row exactly
+        like ``draw_replay_order``.
+        """
+        from repro.core.kernels import mega as mega_kernels
+
+        cfg = self.config
+        idx = self.indexed
+        engine = self.engine
+        num_layers = len(idx)
+        num_seeds = len(self.seeds)
+        action_counts = np.asarray(idx.num_actions, dtype=np.int64)
+        q_parent = np.asarray(idx.q_parent, dtype=np.int64)
+        row_sizes = [
+            1 if parent < 0 else int(idx.num_actions[parent])
+            for parent in idx.q_parent
+        ]
+        views = engine.kernel_views()
+        mega_kernels.ensure_warm()
+        state = mega_kernels.MegaState(
+            num_seeds=num_seeds,
+            num_actions=list(idx.num_actions),
+            row_sizes=row_sizes,
+            q_parent=q_parent,
+            pricing=views[:6],
+            max_actions=views[6],
+            learning_rate=cfg.learning_rate,
+            discount=cfg.discount,
+            first_visit_bootstrap=cfg.first_visit_bootstrap,
+            replay_enabled=cfg.replay_enabled,
+            replay_capacity=cfg.replay_capacity,
+        )
+
+        streams = [
+            RngStream(seed, "qsdnn", self.lut.graph_name, self.lut.mode)
+            for seed in self.seeds
+        ]
+        policy_rngs = [s.child("policy") for s in streams]
+        replay_rngs = [s.child("replay") for s in streams]
+
+        shaping = cfg.reward_shaping
+        track_curve = cfg.track_curve
+        eps_list = [cfg.epsilon.epsilon_for(e) for e in range(cfg.episodes)]
+
+        explored_buf = np.empty((num_seeds, num_layers), dtype=np.int64)
+        explore_buf = np.empty((num_seeds, num_layers), dtype=np.bool_)
+        perm_buf = (
+            np.empty((num_seeds, cfg.replay_capacity), dtype=np.int64)
+            if cfg.replay_enabled
+            else None
+        )
+        iota = np.arange(cfg.replay_capacity, dtype=np.int64)
+        # Full-exploration blocks: cap the pre-drawn run so a K=1000
+        # sweep over a 500-episode explore phase never materializes
+        # hundreds of megabytes of entropy at once.
+        block_cap = max(1, 8192 // max(num_layers, 1))
+        blocks: np.ndarray | None = None
+        block_pos = block_len = 0
+
+        best_total = np.full(num_seeds, np.inf, dtype=np.float64)
+        best_choices = np.zeros((num_seeds, num_layers), dtype=np.int64)
+        episode_totals: list[np.ndarray] = []
+        epsilon_trace: list[float] = []
+        batched_pricings = 0
+        started = time.perf_counter()
+
+        for episode in range(cfg.episodes):
+            epsilon = eps_list[episode]
+            # -- decision entropy (per seed, stream-identical draws)
+            if epsilon >= 1.0:
+                if block_pos == block_len:
+                    run = 1
+                    while (
+                        episode + run < cfg.episodes
+                        and eps_list[episode + run] >= 1.0
+                        and run < block_cap
+                    ):
+                        run += 1
+                    if blocks is None or blocks.shape[1] < run:
+                        blocks = np.empty(
+                            (num_seeds, run, num_layers), dtype=np.int64
+                        )
+                    for s, rng in enumerate(policy_rngs):
+                        blocks[s, :run] = rng.integers(
+                            0, action_counts[None, :], size=(run, num_layers)
+                        )
+                    block_len = run
+                    block_pos = 0
+                np.copyto(explored_buf, blocks[:, block_pos, :])
+                block_pos += 1
+                mode = mega_kernels._MODE_EXPLORE
+                explore2, explored2 = None, explored_buf
+            elif epsilon <= 0.0:
+                mode = mega_kernels._MODE_GREEDY
+                explore2 = explored2 = None
+            else:
+                for s, rng in enumerate(policy_rngs):
+                    explore_buf[s] = rng.random(num_layers) < epsilon
+                    explored_buf[s] = rng.integers(0, action_counts)
+                mode = mega_kernels._MODE_MIXED
+                explore2, explored2 = explore_buf, explored_buf
+            # -- replay entropy (per seed, same shuffle as the runners)
+            if perm_buf is not None:
+                stored = state.stored()
+                perm2 = perm_buf[:, :stored]
+                for s, rng in enumerate(replay_rngs):
+                    row = perm_buf[s, :stored]
+                    row[:] = iota[:stored]
+                    rng.shuffle(row)
+            else:
+                perm2 = None
+            # -- one (or two) mega dispatches for all K seeds
+            if shaping:
+                costs = state.episode(mode, explore2, explored2, perm2)
+                totals = costs.sum(axis=1)
+            else:
+                costs = state.rollout_price(mode, explore2, explored2)
+                totals = costs.sum(axis=1)
+                rewards = np.zeros((num_seeds, num_layers), dtype=np.float64)
+                rewards[:, num_layers - 1] = -totals
+                state.learn(rewards, perm2)
+            batched_pricings += 1
+            # -- vectorized best tracking
+            improved = totals < best_total
+            if improved.any():
+                best_total[improved] = totals[improved]
+                best_choices[improved] = state.choices[improved]
+            if track_curve:
+                episode_totals.append(totals.copy())
+                epsilon_trace.append(epsilon)
+
+        # -- finalization: one greedy mega dispatch, per-seed packaging
+        greedy_choices = state.greedy_choices().copy()
+        curve_matrix = (
+            np.stack(episode_totals) if episode_totals else None
+        )
+        results = []
+        for s, seed in enumerate(self.seeds):
+            chosen = best_choices[s].copy()
+            total = float(best_total[s])
+            if cfg.polish_sweeps > 0:
+                chosen, total = coordinate_descent(
+                    engine, chosen, max_sweeps=cfg.polish_sweeps
+                )
+            greedy_ms = engine.price(greedy_choices[s])
+            results.append(
+                SearchResult(
+                    graph_name=self.lut.graph_name,
+                    method="qs-dnn",
+                    best_assignments=engine.assignments(chosen),
+                    best_ms=float(total),
+                    episodes=cfg.episodes,
+                    curve_ms=(
+                        curve_matrix[:, s].tolist()
+                        if curve_matrix is not None
+                        else []
+                    ),
+                    epsilon_trace=list(epsilon_trace) if track_curve else [],
+                    config=replace(cfg, seed=seed),
+                    greedy_ms=float(greedy_ms),
+                    kernel_backend="mega",
+                )
+            )
+        wall = time.perf_counter() - started
+        for result in results:
+            result.wall_clock_s = wall / num_seeds
+        #: Test hook: the final SoA state (Q, row_max, visited, ring)
+        #: the exactness property compares against per-seed runs.
+        self._mega_state = state
         return MultiSeedResult(
             results=results,
             wall_clock_s=wall,

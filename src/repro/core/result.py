@@ -31,10 +31,11 @@ class SearchResult:
     config: SearchConfig | None = None
     #: Total latency of the final fully-greedy policy (RL only).
     greedy_ms: float | None = None
-    #: Episode-kernel backend that ran the search ("numba" or
-    #: "reference").  None for methods that never enter an episode
-    #: kernel — baselines, and the replay-off multi-seed sweep, whose
-    #: lockstep path batches eq. (2) across seeds in numpy instead.
+    #: Episode-kernel backend that ran the search ("numba",
+    #: "reference", or "mega" for members of a SoA mega-batch sweep).
+    #: None for methods that never enter an episode kernel —
+    #: baselines, and the replay-off multi-seed sweep, whose lockstep
+    #: path batches eq. (2) across seeds in numpy instead.
     kernel_backend: str | None = None
 
     @property

@@ -23,6 +23,8 @@ every process.
 
 from __future__ import annotations
 
+import atexit
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -31,7 +33,8 @@ from pathlib import Path
 from repro.backends.registry import Mode
 from repro.engine.lut import LatencyTable
 from repro.engine.optimizer import InferenceEngineOptimizer
-from repro.errors import ConfigError
+from repro.engine.pricing import SharedCostTables
+from repro.errors import ConfigError, ScheduleError
 from repro.hw import jetson_tx2, jetson_tx2_maxn, raspberry_pi3
 from repro.runtime.lutcache import LutKey, open_cache
 from repro.zoo import available_networks, build_network
@@ -93,7 +96,7 @@ class CampaignJob:
     #: Seed count for ``kind="multi-seed"`` (ignored by other kinds).
     seeds: int = 8
     #: Episode-kernel backend of the job's QS-DNN searches ("auto",
-    #: "numba" or "reference"; see :mod:`repro.core.kernels`).
+    #: "numba", "reference" or "mega"; see :mod:`repro.core.kernels`).
     kernel: str = "auto"
 
     def __post_init__(self) -> None:
@@ -127,9 +130,10 @@ class CampaignJob:
             raise ConfigError(f"repeats must be >= 1, got {self.repeats}")
         if self.seeds < 1:
             raise ConfigError(f"seeds must be >= 1, got {self.seeds}")
-        if self.kernel not in ("auto", "numba", "reference"):
+        if self.kernel not in ("auto", "numba", "reference", "mega"):
             raise ConfigError(
-                f"kernel must be auto, numba or reference, got {self.kernel!r}"
+                "kernel must be auto, numba, reference or mega, "
+                f"got {self.kernel!r}"
             )
 
     @property
@@ -172,6 +176,30 @@ def profile_lut(job: CampaignJob) -> LatencyTable:
     return optimizer.profile()
 
 
+#: Per-process memo of cache-resolved LUTs.  A worker that runs many
+#: jobs against the same (platform, network, mode, seed, repeats) key
+#: used to re-read and re-parse the cache entry — and rebuild the
+#: IndexedLUT / CostEngine tensors — once per job.  Holding the
+#: resolved ``LatencyTable`` keeps its ``indexed()`` / ``engine()``
+#: caches warm across jobs in one process.  The key includes the cache
+#: *identity* (directory and remotes), so distinct cache trees never
+#: serve each other's entries, and the memo only engages when a cache
+#: is configured at all: no cache means the caller asked for a fresh
+#: profile every call, and that contract stands.
+_LUT_MEMO: dict = {}
+_LUT_MEMO_CAP = 32
+
+
+def _lut_memo_key(job: CampaignJob, cache_dir, cache_remote):
+    remotes = (
+        (cache_remote,)
+        if isinstance(cache_remote, str)
+        else tuple(cache_remote or ())
+    )
+    root = str(Path(cache_dir).resolve()) if cache_dir is not None else None
+    return (root, remotes, LutKey.from_job(job))
+
+
 def load_or_profile_lut(
     job: CampaignJob,
     cache_dir: Path | None = None,
@@ -179,27 +207,108 @@ def load_or_profile_lut(
 ) -> tuple[LatencyTable, bool]:
     """Resolve a job's LUT through the tiered cache, profiling on miss.
 
-    Returns ``(lut, from_cache)``.  The chain is local shard tier →
-    remote shard server(s) → profile, with remote hits published into
-    the local tier and fresh profiles written through to every
-    writable tier.  JSON round-trips preserve floats exactly, so a LUT
-    from any tier prices bitwise-identically to a fresh profile.
+    Returns ``(lut, from_cache)``.  The chain is per-process memo →
+    local shard tier → remote shard server(s) → profile, with remote
+    hits published into the local tier and fresh profiles written
+    through to every writable tier.  JSON round-trips preserve floats
+    exactly, so a LUT from any tier prices bitwise-identically to a
+    fresh profile; a memo hit *is* a cache hit (the memoized table was
+    resolved through — or written through to — this same cache).
     """
     cache = open_cache(cache_dir, cache_remote)
     if cache is None:
         return profile_lut(job), False
+    memo_key = _lut_memo_key(job, cache_dir, cache_remote)
+    memoized = _LUT_MEMO.get(memo_key)
+    if memoized is not None:
+        return memoized, True
     resolution = cache.resolve(job, lambda: profile_lut(job))
+    if len(_LUT_MEMO) >= _LUT_MEMO_CAP:
+        _LUT_MEMO.pop(next(iter(_LUT_MEMO)))
+    _LUT_MEMO[memo_key] = resolution.lut
     return resolution.lut, resolution.from_cache
+
+
+#: Per-process map of *attached* shared-table segments by name — a
+#: worker maps each segment once and reuses the attachment (and its
+#: zero-copy engine) for every subsequent job.  Mappings are closed at
+#: interpreter exit; the segment itself is the owner's to unlink.
+_ATTACHED_TABLES: dict[str, SharedCostTables] = {}
+
+
+def _close_attached_tables() -> None:
+    for shared in _ATTACHED_TABLES.values():
+        shared.close()
+    _ATTACHED_TABLES.clear()
+
+
+def _attach_shared_tables(lut: LatencyTable, name: str) -> None:
+    """Point a LUT's pricing at the host's shared tensor segment.
+
+    Best-effort by design: if the segment is gone (the owner died or
+    already cleaned up) or describes a different table, the job simply
+    builds its own engine — bitwise the same prices, one extra private
+    copy.  Sharing is an optimization, never a correctness dependency.
+    """
+    view = lut.indexed()
+    if view.has_engine:
+        return  # memoized LUT already carries an engine (shared or not)
+    try:
+        shared = _ATTACHED_TABLES.get(name)
+        if shared is None:
+            shared = SharedCostTables.attach(name)
+            if not _ATTACHED_TABLES:
+                atexit.register(_close_attached_tables)
+            _ATTACHED_TABLES[name] = shared
+        view.adopt_engine(shared.engine())
+    except (OSError, ScheduleError, ValueError):
+        return
+
+
+#: Batches of *owned* segments still live in this process, unlinked at
+#: interpreter exit as a last resort (normal lifecycles unlink them in
+#: a ``finally`` the moment their worker pool drains).  ``unlink`` is
+#: idempotent, so the atexit sweep is free for well-behaved runs.
+_OWNED_TABLES: list[list[SharedCostTables]] = []
+_OWNER_PID = os.getpid()
+
+
+@atexit.register
+def _unlink_owned_tables() -> None:
+    if os.getpid() != _OWNER_PID:
+        # A forked worker inherited the registry; the segments belong
+        # to the parent and must outlive this child.
+        return
+    for batch in _OWNED_TABLES:
+        for shared in batch:
+            shared.close()
+            shared.unlink()
+    _OWNED_TABLES.clear()
+
+
+def release_shared_tables(exported: dict[LutKey, SharedCostTables]) -> None:
+    """Unmap and unlink a batch of owned segments (idempotent)."""
+    batch = list(exported.values())
+    for shared in batch:
+        shared.close()
+        shared.unlink()
+    if batch in _OWNED_TABLES:
+        _OWNED_TABLES.remove(batch)
 
 
 def execute_job(
     job: CampaignJob,
     cache_dir: str | Path | None = None,
     cache_remote: str | list[str] | None = None,
+    shared_tables: str | None = None,
 ) -> CampaignResult:
     """Run one job to completion (profiling, search, baselines).
 
     Module-level so worker processes can import it by reference.
+    ``shared_tables`` names a :class:`SharedCostTables` segment the
+    campaign parent exported for this job's LUT key; when given, the
+    job prices against the host's single shared tensor copy instead of
+    building its own (bitwise-identical either way).
     """
     from repro.analysis.compare import compare_methods
     from repro.analysis.speedup import auto_episodes, table2_row_from_lut
@@ -211,6 +320,8 @@ def execute_job(
 
     started = time.perf_counter()
     lut, from_cache = load_or_profile_lut(job, cache_dir, cache_remote)
+    if shared_tables is not None:
+        _attach_shared_tables(lut, shared_tables)
     if job.kind == "table2":
         payload = table2_row_from_lut(
             lut, episodes=job.episodes, seed=job.seed, kernel=job.kernel
@@ -288,19 +399,70 @@ class Campaign:
         self.cache_remote = cache_remote
 
     def run(self) -> list[CampaignResult]:
-        """Execute every job; results come back in job order."""
+        """Execute every job; results come back in job order.
+
+        With ``workers > 1`` the parent first exports each
+        cache-resolvable job LUT's dense pricing tensors into one
+        shared-memory segment per unique LUT key
+        (:meth:`export_shared_tables`), hands workers the segment
+        names, and unlinks every segment when the pool drains — even
+        when a worker crashes mid-job (``finally``), so a killed
+        worker never leaks ``/dev/shm`` space.
+        """
         if self.workers == 1:
             return [
                 execute_job(job, self.cache_dir, self.cache_remote)
                 for job in self.jobs
             ]
         max_workers = min(self.workers, len(self.jobs))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = [
-                pool.submit(execute_job, job, self.cache_dir, self.cache_remote)
-                for job in self.jobs
-            ]
-            return [f.result() for f in futures]
+        exported = self.export_shared_tables()
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = [
+                    pool.submit(
+                        execute_job,
+                        job,
+                        self.cache_dir,
+                        self.cache_remote,
+                        self._segment_name(exported, job),
+                    )
+                    for job in self.jobs
+                ]
+                return [f.result() for f in futures]
+        finally:
+            release_shared_tables(exported)
+
+    def export_shared_tables(self) -> dict[LutKey, SharedCostTables]:
+        """Export one shared segment per unique cache-resolvable LUT key.
+
+        Only keys the cache can already answer are exported — a peek
+        miss means a worker is about to profile that LUT anyway (and
+        write it through the cache for the next campaign), so the
+        parent never profiles.  The caller owns the returned segments
+        and must :func:`release_shared_tables` them.
+        """
+        exported: dict[LutKey, SharedCostTables] = {}
+        cache = open_cache(self.cache_dir, self.cache_remote)
+        if cache is None:
+            return exported
+        for job in self.jobs:
+            key = LutKey.from_job(job)
+            if key in exported:
+                continue
+            lut = cache.peek(job)
+            if lut is None:
+                continue
+            exported[key] = SharedCostTables.create(lut.engine())
+        if exported:
+            _OWNED_TABLES.append(list(exported.values()))
+        return exported
+
+    @staticmethod
+    def _segment_name(
+        exported: dict[LutKey, SharedCostTables], job: CampaignJob
+    ) -> str | None:
+        shared = exported.get(LutKey.from_job(job))
+        return shared.name if shared is not None else None
 
 
 def grid(

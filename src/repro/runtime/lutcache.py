@@ -482,6 +482,30 @@ class TieredLutCache:
             lut=lut, source="profiled", from_cache=False, errors=errors
         )
 
+    def peek(self, job) -> LatencyTable | None:
+        """Cached-only lookup: the job's LUT if any tier already holds
+        it, else None — never profiles, never fills forward.
+
+        The campaign parent uses this to export shared pricing tables
+        *before* dispatching workers: only keys the cache can already
+        answer are worth exporting (a miss means a worker is about to
+        profile anyway, and the fresh entry lands in the cache for the
+        next campaign).  Soft-tier failures are swallowed — a peek must
+        never be louder than the resolution that follows it.
+        """
+        key = LutKey.from_job(job)
+        for tier in self.tiers:
+            try:
+                text = tier.get(key)
+                if text is None:
+                    continue
+                return validate_entry(text, key)
+            except (LutCacheError, ServiceError):
+                if not tier.soft:
+                    raise
+                continue
+        return None
+
     def _fill(self, tiers, key: LutKey, text: str, errors: list[str]) -> None:
         for tier in tiers:
             if not tier.writable:

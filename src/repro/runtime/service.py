@@ -57,6 +57,7 @@ from urllib.parse import parse_qs, urlsplit
 from repro import __version__
 from repro.core.config import ServiceConfig
 from repro.core.multi_seed import MultiSeedResult
+from repro.engine.pricing import SharedCostTables
 from repro.errors import ConfigError, LutCacheError, QueueFullError, ServiceError
 from repro.runtime.campaign import (
     CampaignJob,
@@ -288,6 +289,9 @@ class CampaignService:
             else None
         )
         self._executor: ProcessPoolExecutor | None = None
+        #: Shared pricing-table segments exported for worker jobs, one
+        #: per LUT key, owned by the service and unlinked at shutdown.
+        self._shared_tables: dict[LutKey, SharedCostTables] = {}
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
         self._closing = False
@@ -421,12 +425,17 @@ class CampaignService:
             record.started_s = time.time()
             self._pending -= 1
             try:
+                # Synchronous on purpose: a quick local-tier read plus
+                # a small tensor pack, and keeping it off a helper
+                # thread avoids racing the executor's worker fork.
+                segment = self._shared_segment_for(record.job)
                 result = await loop.run_in_executor(
                     self._executor,
                     execute_job,
                     record.job,
                     self.config.cache_dir,
                     self.config.cache_remote,
+                    segment,
                 )
             except Exception as error:  # job failure — keep serving
                 record.error = f"{type(error).__name__}: {error}"
@@ -450,6 +459,33 @@ class CampaignService:
                 record.finished_s = time.time()
                 self._active.pop(job_key(record.job), None)
                 record.done_event.set()
+
+    def _shared_segment_for(self, job: CampaignJob) -> str | None:
+        """Name of the shared pricing-table segment for a job's LUT key,
+        exporting it from the local cache tier on first use.
+
+        Only locally cached LUTs are exported (a miss means the worker
+        is about to profile — its write-through makes the *next* job
+        with this key shareable), and export failures degrade to
+        ``None``: the worker then builds a private engine, bitwise the
+        same prices.
+        """
+        if self._lut_tier is None or self._executor is None:
+            return None
+        key = LutKey.from_job(job)
+        shared = self._shared_tables.get(key)
+        if shared is not None:
+            return shared.name
+        try:
+            text = self._lut_tier.get(key)
+            if text is None:
+                return None
+            lut = validate_entry(text, key)
+            shared = SharedCostTables.create(lut.engine())
+        except (LutCacheError, OSError, ValueError):
+            return None
+        self._shared_tables[key] = shared
+        return shared.name
 
     # -- progress streaming --------------------------------------------------
 
@@ -522,6 +558,13 @@ class CampaignService:
             await asyncio.gather(*self._workers)
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        # The worker pool is drained and gone: release every shared
+        # pricing-table segment (close + unlink) so a service lifetime
+        # leaves /dev/shm exactly as it found it.
+        for shared in self._shared_tables.values():
+            shared.close()
+            shared.unlink()
+        self._shared_tables.clear()
         # Sever lingering client connections (idle keep-alives, open
         # progress streams — every job is terminal by now).  Without
         # this, wait_closed() on Python >= 3.12.1 blocks until every

@@ -1,0 +1,24 @@
+"""Process-level accounting helpers (stdlib-only).
+
+One home for the "how big did this process get" question the CLI and
+benchmarks both ask after a large sweep — the mega-batch path trades
+memory (one ``(K, S, A)`` Q block) for wall clock, and peak RSS is the
+honest way to report that trade.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in megabytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and *bytes* on macOS — the
+    only portability wrinkle worth handling here.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0

@@ -20,12 +20,12 @@ sys.modules.setdefault("check_bench_regression", gate)
 _spec.loader.exec_module(gate)
 
 
-def _artifact(path, clocks, multi_seed=None, backend="reference"):
+def _artifact(path, clocks, multi_seed=None, mega_batch=None, backend="reference"):
     path.write_text(
         json.dumps(
             {
                 "version": "1.0.0",
-                "schema_version": 3,
+                "schema_version": 4,
                 "platform": "jetson_tx2",
                 "kernel": {
                     "backend": backend,
@@ -34,6 +34,7 @@ def _artifact(path, clocks, multi_seed=None, backend="reference"):
                 },
                 "search_wall_clock_s": clocks,
                 "multi_seed": multi_seed or {},
+                "mega_batch": mega_batch or {},
             }
         )
     )
@@ -94,6 +95,15 @@ class TestCheckRatios:
     def test_schema_v2_artifacts_not_ratio_gated(self, tmp_path):
         legacy = {"search_wall_clock_s": {"lenet5": 0.1}}
         assert gate.multi_seed_of(legacy) == {}
+        assert gate.ratio_section_of(legacy, "mega_batch") == {}
+
+    def test_mega_batch_section_labeled(self):
+        base = {"mobilenet_v1": _ratio_entry(20.0)}
+        now = {"mobilenet_v1": _ratio_entry(38.0)}
+        failures = gate.check_ratios(
+            base, now, threshold=1.5, min_seconds=0.05, section="mega_batch"
+        )
+        assert len(failures) == 1 and "mega_batch" in failures[0]
 
 
 class TestMain:
@@ -126,6 +136,21 @@ class TestMain:
         code = gate.main(["--baseline", str(base), "--current", str(slow)])
         assert code == 1
         assert "multi_seed" in capsys.readouterr().out
+
+    def test_exit_one_on_mega_batch_regression_alone(self, tmp_path, capsys):
+        base = _artifact(
+            tmp_path / "base.json",
+            {"lenet5": 0.1},
+            mega_batch={"mobilenet_v1": _ratio_entry(18.0, wall=2.0)},
+        )
+        slow = _artifact(
+            tmp_path / "slow.json",
+            {"lenet5": 0.1},
+            mega_batch={"mobilenet_v1": _ratio_entry(39.0, wall=4.5)},
+        )
+        code = gate.main(["--baseline", str(base), "--current", str(slow)])
+        assert code == 1
+        assert "mega_batch" in capsys.readouterr().out
 
     def test_exit_one_when_nothing_overlaps(self, tmp_path):
         base = _artifact(tmp_path / "base.json", {"lenet5": 0.1})

@@ -1,0 +1,238 @@
+"""The mega-batch SoA path: K-seed sweeps bitwise-equal to K scalar runs.
+
+The mega kernels restructure K independent searches as
+structure-of-arrays over the seed axis (one contiguous Q block, one
+``(K, capacity, 5)`` replay ring) and sweep all seeds in a single
+dispatch per episode.  The contract is the repo's usual one: every
+per-seed result — and the final flat Q state itself — must equal an
+independent single-seed :class:`QSDNNSearch` run bit-for-bit, for
+every config corner ({replay on/off} x {first-visit bootstrap} x
+{shaping on/off}) and on both kernel backends (without numba the fused
+kernels run as plain Python over the same arrays).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MultiSeedSearch,
+    QSDNNSearch,
+    SearchConfig,
+    seed_range,
+)
+from repro.core.kernels import (
+    MEGA_SEED_THRESHOLD,
+    make_runner,
+    mega_selected,
+    numba_available,
+    resolve_backend,
+)
+from repro.core.qtable import QTable
+from repro.utils.rng import RngStream
+from tests.helpers import synthetic_chain_lut
+
+
+def _mega_config(base: SearchConfig) -> SearchConfig:
+    """The same hyper-parameters with the mega path forced."""
+    return SearchConfig(
+        episodes=base.episodes,
+        replay_enabled=base.replay_enabled,
+        reward_shaping=base.reward_shaping,
+        first_visit_bootstrap=base.first_visit_bootstrap,
+        polish_sweeps=base.polish_sweeps,
+        track_curve=base.track_curve,
+        seed=base.seed,
+        kernel="mega",
+    )
+
+
+def _scalar_final_qtable(lut, config: SearchConfig, seed: int) -> QTable:
+    """Replay one scalar search keeping the Q table (QSDNNSearch keeps
+    it local), driving the runner exactly as ``QSDNNSearch.run`` does."""
+    idx = lut.indexed()
+    num_layers = len(idx)
+    action_counts = np.asarray(idx.num_actions, dtype=np.int64)
+    row_sizes = [
+        1 if parent < 0 else int(idx.num_actions[parent])
+        for parent in idx.q_parent
+    ]
+    qtable = QTable(
+        list(idx.num_actions),
+        config.learning_rate,
+        config.discount,
+        row_sizes=row_sizes,
+        first_visit_bootstrap=config.first_visit_bootstrap,
+    )
+    runner = make_runner(
+        idx.engine(),
+        qtable,
+        idx.q_parent,
+        replay_enabled=config.replay_enabled,
+        replay_capacity=config.replay_capacity,
+        backend=resolve_backend("auto"),
+    )
+    stream = RngStream(seed, "qsdnn", lut.graph_name, lut.mode)
+    policy_rng = stream.child("policy")
+    replay_rng = stream.child("replay")
+    for episode in range(config.episodes):
+        epsilon = config.epsilon.epsilon_for(episode)
+        if epsilon >= 1.0:
+            explore = None
+            explored = policy_rng.integers(0, action_counts)
+        elif epsilon <= 0.0:
+            explore = explored = None
+        else:
+            explore = policy_rng.random(num_layers) < epsilon
+            explored = policy_rng.integers(0, action_counts)
+        perm = runner.draw_replay_order(replay_rng)
+        if config.reward_shaping:
+            runner.episode(explore, explored, perm)
+        else:
+            costs = runner.rollout_price(explore, explored)
+            rewards = np.zeros(num_layers, dtype=np.float64)
+            rewards[num_layers - 1] = -float(costs.sum())
+            runner.learn(rewards, perm)
+    runner.finalize()
+    return qtable
+
+
+def _assert_mega_matches_singles(lut, config, seeds):
+    """Mega sweep vs K independent scalar runs: results AND flat state."""
+    search = MultiSeedSearch(lut, _mega_config(config), seeds=seeds)
+    sweep = search.run()
+    state = search._mega_state  # test hook set by the mega path
+    assert len(sweep.results) == len(seeds)
+    for s, (seed, member) in enumerate(zip(seeds, sweep.results)):
+        single_cfg = SearchConfig(
+            episodes=config.episodes,
+            replay_enabled=config.replay_enabled,
+            reward_shaping=config.reward_shaping,
+            first_visit_bootstrap=config.first_visit_bootstrap,
+            polish_sweeps=config.polish_sweeps,
+            track_curve=config.track_curve,
+            seed=seed,
+        )
+        single = QSDNNSearch(lut, single_cfg).run()
+        assert member.best_ms == single.best_ms
+        assert member.curve_ms == single.curve_ms
+        assert member.epsilon_trace == single.epsilon_trace
+        assert member.best_assignments == single.best_assignments
+        assert member.greedy_ms == single.greedy_ms
+        assert member.config.seed == seed
+        assert member.kernel_backend == "mega"
+        # The SoA row is the scalar run's flat Q state, bitwise.
+        flat = _scalar_final_qtable(lut, config, seed).flat()
+        assert np.array_equal(state.q[s], flat.data)
+        assert np.array_equal(state.row_max[s], flat.row_max)
+        assert np.array_equal(state.visited[s], flat.visited)
+    return sweep, state
+
+
+class TestExactnessProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_matches_independent_runs(self, data):
+        lut = synthetic_chain_lut(
+            data.draw(st.integers(2, 7), label="layers"),
+            data.draw(st.integers(2, 5), label="actions"),
+            seed=data.draw(st.integers(0, 99), label="lut_seed"),
+        )
+        base = data.draw(st.integers(0, 500), label="base_seed")
+        count = data.draw(st.integers(1, 4), label="seed_count")
+        config = SearchConfig(
+            episodes=data.draw(st.sampled_from([12, 40, 90]), label="episodes"),
+            replay_enabled=data.draw(st.booleans(), label="replay"),
+            reward_shaping=data.draw(st.booleans(), label="shaping"),
+            first_visit_bootstrap=data.draw(st.booleans(), label="fvb"),
+            polish_sweeps=data.draw(st.sampled_from([0, 2]), label="polish"),
+        )
+        _assert_mega_matches_singles(lut, config, seed_range(base, count))
+
+
+class TestExactnessOnRealLuts:
+    def test_lenet_gpgpu_both_replay_paths(self, lenet_lut_gpgpu):
+        for replay in (True, False):
+            _assert_mega_matches_singles(
+                lenet_lut_gpgpu,
+                SearchConfig(episodes=150, replay_enabled=replay),
+                seed_range(0, 3),
+            )
+
+    def test_branchy_network(self, squeezenet_lut_gpgpu):
+        _assert_mega_matches_singles(
+            squeezenet_lut_gpgpu,
+            SearchConfig(episodes=80, first_visit_bootstrap=True),
+            seed_range(0, 2),
+        )
+
+    def test_replay_ring_is_seed_isolated(self, toy_lut_gpgpu):
+        """Each SoA ring row equals the ring of a K=1 mega run with
+        that seed — batching never cross-contaminates seeds."""
+        config = SearchConfig(episodes=60)
+        seeds = seed_range(0, 3)
+        _, batched = _assert_mega_matches_singles(toy_lut_gpgpu, config, seeds)
+        for s, seed in enumerate(seeds):
+            solo_search = MultiSeedSearch(
+                toy_lut_gpgpu, _mega_config(config), seeds=[seed]
+            )
+            solo_search.run()
+            solo = solo_search._mega_state
+            assert np.array_equal(batched.ring[s], solo.ring[0])
+            assert batched.fill == solo.fill and batched.pos == solo.pos
+
+
+class TestRouting:
+    def test_explicit_mega_always_selected(self):
+        assert mega_selected("mega", 1)
+        assert mega_selected("mega", MEGA_SEED_THRESHOLD + 1)
+
+    def test_auto_needs_threshold_and_numba(self):
+        expected = numba_available()
+        assert mega_selected("auto", MEGA_SEED_THRESHOLD) == expected
+        assert mega_selected("auto", MEGA_SEED_THRESHOLD - 1) is False
+        assert mega_selected("auto", 1) is False
+
+    def test_env_var_mega_routes_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "mega")
+        assert mega_selected("auto", 1)
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "reference")
+        assert not mega_selected("auto", 1)
+
+    def test_named_backends_never_mega(self):
+        for choice in ("numba", "reference"):
+            assert not mega_selected(choice, 10_000)
+
+    def test_scalar_search_degrades_mega(self, toy_lut_gpgpu):
+        """A scalar QSDNNSearch with kernel="mega" runs the per-seed
+        backend (there is no K to batch) and stays bitwise-equal."""
+        mega = QSDNNSearch(
+            toy_lut_gpgpu, SearchConfig(episodes=45, kernel="mega")
+        ).run()
+        auto = QSDNNSearch(toy_lut_gpgpu, SearchConfig(episodes=45)).run()
+        assert mega.best_ms == auto.best_ms
+        assert mega.curve_ms == auto.curve_ms
+        assert mega.kernel_backend == resolve_backend("auto")
+
+    def test_sweep_surface(self, toy_lut_gpgpu):
+        config = SearchConfig(episodes=45, kernel="mega")
+        sweep = MultiSeedSearch(
+            toy_lut_gpgpu, config, seeds=seed_range(0, 3)
+        ).run()
+        assert sweep.lockstep
+        assert all(r.kernel_backend == "mega" for r in sweep.results)
+        assert "seeds/s" in sweep.summary()
+
+
+class TestConfigValidation:
+    def test_mega_is_a_valid_kernel_choice(self):
+        assert SearchConfig(episodes=10, kernel="mega").kernel == "mega"
+
+    def test_unknown_kernel_still_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            SearchConfig(episodes=10, kernel="giga")

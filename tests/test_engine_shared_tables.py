@@ -1,0 +1,137 @@
+"""Shared-memory pricing tables (exactness contract 7).
+
+A :class:`SharedCostTables` segment must hand every attaching process
+an engine that prices bitwise-identically to the private one it was
+packed from, zero-copy and read-only, and the owner's unlink must
+remove the segment from the system exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Mode
+from repro.engine.pricing import SharedCostTables
+from repro.errors import ScheduleError
+from tests.helpers import synthetic_chain_lut
+
+
+@pytest.fixture()
+def engine(toy_lut_gpgpu):
+    return toy_lut_gpgpu.indexed().engine()
+
+
+@pytest.fixture()
+def shared(engine):
+    tables = SharedCostTables.create(engine)
+    yield tables
+    tables.close()
+    tables.unlink()
+
+
+def _all_choice_vectors(engine, rng, count=32):
+    counts = np.asarray(engine.num_actions, dtype=np.int64)
+    return [rng.integers(0, counts) for _ in range(count)]
+
+
+class TestRoundTrip:
+    def test_attached_engine_prices_bitwise(self, engine, shared):
+        attached = SharedCostTables.attach(shared.name)
+        try:
+            twin = attached.engine()
+            rng = np.random.default_rng(0)
+            for choices in _all_choice_vectors(engine, rng):
+                assert twin.price(choices) == engine.price(choices)
+                assert np.array_equal(
+                    twin.layer_costs(choices), engine.layer_costs(choices)
+                )
+            batch = np.stack(_all_choice_vectors(engine, rng, count=8))
+            assert np.array_equal(
+                twin.layer_costs_batch(batch), engine.layer_costs_batch(batch)
+            )
+        finally:
+            attached.close()
+
+    def test_branchy_synthetic_round_trip(self):
+        lut = synthetic_chain_lut(6, 4, seed=3)
+        engine = lut.indexed().engine()
+        tables = SharedCostTables.create(engine)
+        try:
+            twin = SharedCostTables.attach(tables.name).engine()
+            rng = np.random.default_rng(1)
+            for choices in _all_choice_vectors(engine, rng, count=16):
+                assert twin.price(choices) == engine.price(choices)
+        finally:
+            tables.close()
+            tables.unlink()
+
+    def test_kernel_views_identical(self, engine, shared):
+        twin = SharedCostTables.attach(shared.name).engine()
+        for mine, theirs in zip(engine.kernel_views(), twin.kernel_views()):
+            if isinstance(mine, np.ndarray):
+                assert np.array_equal(mine, theirs)
+            else:
+                assert mine == theirs
+
+
+class TestMemoryModel:
+    def test_attached_views_are_zero_copy_and_read_only(self, shared):
+        twin = SharedCostTables.attach(shared.name)
+        engine = twin.engine()
+        for times in engine.times:
+            assert times.base is not None  # a view, not a copy
+            with pytest.raises(ValueError):
+                times[0] = 1.0
+        for matrix in engine.edge_matrices:
+            assert matrix.base is not None
+            if matrix.size:
+                with pytest.raises(ValueError):
+                    matrix[0, 0] = 1.0
+
+    def test_engine_is_cached_per_attachment(self, shared):
+        twin = SharedCostTables.attach(shared.name)
+        assert twin.engine() is twin.engine()
+
+
+class TestLifecycle:
+    def test_unlink_removes_segment(self, engine):
+        tables = SharedCostTables.create(engine)
+        name = tables.name
+        SharedCostTables.attach(name).close()  # attachable while live
+        tables.close()
+        tables.unlink()
+        with pytest.raises(FileNotFoundError):
+            SharedCostTables.attach(name)
+
+    def test_unlink_is_idempotent(self, engine):
+        tables = SharedCostTables.create(engine)
+        tables.close()
+        tables.unlink()
+        tables.unlink()  # second call must not raise
+
+    def test_attach_unknown_name_raises(self):
+        with pytest.raises(FileNotFoundError):
+            SharedCostTables.attach("repro-no-such-segment")
+
+
+class TestAdoptEngine:
+    def test_adopt_installs_shared_engine(self, toy_lut_gpgpu, shared):
+        attached = SharedCostTables.attach(shared.name)
+        twin = attached.engine()
+        view = toy_lut_gpgpu.indexed()
+        original = view._engine  # session fixture: restore when done
+        try:
+            view._engine = None
+            assert view.adopt_engine(twin) is twin
+            assert view.has_engine
+            assert view.engine() is twin
+        finally:
+            view._engine = original
+
+    def test_adopt_rejects_mismatched_engine(self, toy_lut_gpgpu, tx2):
+        from repro.analysis._cache import cached_lut
+
+        other = cached_lut("lenet5", Mode.GPGPU, tx2, seed=0)
+        with pytest.raises(ScheduleError):
+            toy_lut_gpgpu.indexed().adopt_engine(other.indexed().engine())

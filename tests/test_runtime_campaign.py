@@ -2,6 +2,12 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
 import pytest
 
 from repro.analysis.compare import MethodComparison, compare_methods_many
@@ -16,6 +22,7 @@ from repro.runtime.campaign import (
     grid,
     load_or_profile_lut,
     lut_cache_path,
+    release_shared_tables,
 )
 
 EPISODES = 120  # small but >= the 20-episode floor of the paper schedule
@@ -157,6 +164,170 @@ class TestCampaign:
             assert s.payload.qsdnn_ms == p.payload.qsdnn_ms
             assert s.payload.rs_ms == p.payload.rs_ms
         assert all(r.lut_from_cache for r in parallel)
+
+
+class TestLutMemo:
+    def test_memo_serves_repeat_calls_without_reparsing(self, tmp_path):
+        job = CampaignJob(network="fig1_toy", mode="cpu", episodes=EPISODES)
+        first, cached = load_or_profile_lut(job, tmp_path)
+        assert not cached
+        again, cached = load_or_profile_lut(job, tmp_path)
+        assert cached
+        # Same object: the indexed()/engine() caches stay warm across
+        # jobs in one process instead of being rebuilt per job.
+        assert again is first
+
+    def test_memo_is_scoped_to_the_cache_identity(self, tmp_path):
+        job = CampaignJob(network="fig1_toy", mode="cpu", episodes=EPISODES)
+        load_or_profile_lut(job, tmp_path / "a")
+        # A different cache directory is a different world: the first
+        # call against it must profile (and report from_cache=False),
+        # never be answered by another cache's memo entry.
+        lut, cached = load_or_profile_lut(job, tmp_path / "b")
+        assert not cached
+        assert lut.graph_name == "fig1_toy"
+
+    def test_no_cache_means_no_memo(self):
+        job = CampaignJob(network="fig1_toy", mode="cpu", episodes=EPISODES)
+        a, cached_a = load_or_profile_lut(job, None)
+        b, cached_b = load_or_profile_lut(job, None)
+        assert not cached_a and not cached_b
+        assert a is not b  # fresh profile every call, as documented
+
+
+class TestSharedTables:
+    def test_one_segment_per_unique_lut_key(self, tmp_path):
+        jobs = grid(
+            ["fig1_toy"], modes=["cpu", "gpgpu"], seeds=[0, 1],
+            episodes=EPISODES,
+        )
+        Campaign(jobs, workers=1, cache_dir=tmp_path).run()  # warm cache
+        camp = Campaign(jobs, workers=2, cache_dir=tmp_path)
+        exported = camp.export_shared_tables()
+        try:
+            # 4 jobs, but (mode x seed) gives 4 distinct LUT keys here;
+            # duplicate-key jobs must share, so re-listing the same
+            # jobs twice still exports the same segments.
+            assert len(exported) == 4
+            doubled = Campaign(
+                jobs + jobs, workers=2, cache_dir=tmp_path
+            ).export_shared_tables()
+            try:
+                assert len(doubled) == len(exported)
+            finally:
+                release_shared_tables(doubled)
+        finally:
+            release_shared_tables(exported)
+
+    def test_peek_miss_exports_nothing(self, tmp_path):
+        jobs = grid(["fig1_toy"], modes=["cpu"], episodes=EPISODES)
+        camp = Campaign(jobs, workers=2, cache_dir=tmp_path)
+        assert camp.export_shared_tables() == {}  # cold cache: no export
+        camp_nocache = Campaign(jobs, workers=2)
+        assert camp_nocache.export_shared_tables() == {}
+
+    def test_job_with_shared_segment_prices_bitwise(self, tmp_path):
+        job = CampaignJob(
+            network="fig1_toy", mode="gpgpu", episodes=EPISODES, kind="search"
+        )
+        plain = execute_job(job, tmp_path)
+        camp = Campaign([job], workers=2, cache_dir=tmp_path)
+        exported = camp.export_shared_tables()
+        try:
+            (shared,) = exported.values()
+            from repro.runtime.campaign import _ATTACHED_TABLES, _LUT_MEMO
+
+            _LUT_MEMO.clear()  # force a fresh attach path in-process
+            result = execute_job(job, tmp_path, None, shared.name)
+            assert shared.name in _ATTACHED_TABLES
+            assert result.payload.best_ms == plain.payload.best_ms
+            assert result.payload.curve_ms == plain.payload.curve_ms
+        finally:
+            release_shared_tables(exported)
+
+    def test_bogus_segment_name_degrades_to_private_engine(self, tmp_path):
+        job = CampaignJob(
+            network="fig1_toy", mode="cpu", episodes=EPISODES, kind="search"
+        )
+        plain = execute_job(job, tmp_path)
+        from repro.runtime.campaign import _LUT_MEMO
+
+        _LUT_MEMO.clear()
+        result = execute_job(job, tmp_path, None, "repro-gone-segment")
+        assert result.payload.best_ms == plain.payload.best_ms
+
+    def test_parallel_run_unlinks_all_segments(self, tmp_path):
+        jobs = grid(
+            ["fig1_toy"], modes=["cpu", "gpgpu"], episodes=EPISODES
+        )
+        Campaign(jobs, workers=1, cache_dir=tmp_path).run()
+        before = set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else None
+        Campaign(jobs, workers=2, cache_dir=tmp_path).run()
+        if before is not None:
+            assert set(os.listdir("/dev/shm")) - before == set()
+
+    @pytest.mark.skipif(
+        not os.path.isdir("/dev/shm"), reason="needs a POSIX shm mount"
+    )
+    def test_killed_worker_leaks_no_segments(self, tmp_path):
+        """SIGKILL a pool worker mid-job: the campaign's finally must
+        still unlink every exported segment, with no resource_tracker
+        leak warnings at interpreter exit."""
+        script = textwrap.dedent(
+            """
+            import multiprocessing, os, signal, sys, threading, time
+
+            from repro.runtime.campaign import Campaign, grid
+
+            cache = sys.argv[1]
+            warm = grid(["fig1_toy"], modes=["cpu"], episodes=120)
+            Campaign(warm, workers=1, cache_dir=cache).run()
+
+            before = set(os.listdir("/dev/shm"))
+            jobs = grid(
+                ["fig1_toy"], modes=["cpu"], episodes=200_000,
+                kind="multi-seed", seeds_per_job=8,
+            )
+            camp = Campaign(jobs, workers=2, cache_dir=cache)
+            errors = []
+
+            def run():
+                try:
+                    camp.run()
+                except Exception as error:
+                    errors.append(error)
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            deadline = time.time() + 30
+            victims = []
+            while time.time() < deadline and not victims:
+                victims = multiprocessing.active_children()
+                time.sleep(0.05)
+            assert victims, "no pool worker observed"
+            os.kill(victims[0].pid, signal.SIGKILL)
+            thread.join(120)
+            assert not thread.is_alive(), "campaign did not unwind"
+            assert errors, "expected BrokenProcessPool from the kill"
+            leaked = set(os.listdir("/dev/shm")) - before
+            assert not leaked, f"segments leaked: {leaked}"
+            print("CLEAN-EXIT")
+            """
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(tmp_path)],
+            capture_output=True,
+            text=True,
+            timeout=240,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "CLEAN-EXIT" in proc.stdout
+        assert "leaked" not in proc.stderr  # resource_tracker warnings
+        assert "resource_tracker" not in proc.stderr
 
 
 class TestAnalysisWiring:

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Validate the schema of a freshly generated bench artifact.
+
+The bench smoke writes ``BENCH_search.json``; this gate asserts the
+artifact still carries everything downstream consumers rely on — the
+regression gate (wall clocks, ratio sections), the uploaded artifact's
+human readers (platform, kernel section) and the numba CI leg's proof
+obligations (recorded speedups, a mega-batch run).  It replaces an
+inline heredoc that used to live in ``.github/workflows/ci.yml``, so
+the assertions are unit-testable (``tests/test_check_bench_artifact.py``)
+instead of only failing in CI.
+
+Usage (mirrors the CI step)::
+
+    python scripts/check_bench_artifact.py BENCH_search.json
+
+Exits non-zero with one line per violation; prints the artifact when
+``--print`` is given (the CI step does, for the build log).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Oldest artifact schema the gate accepts (schema 4 added the kernel
+#: section and the mega_batch ratios).
+MIN_SCHEMA_VERSION = 4
+
+#: Kernel backends an artifact may legitimately report.
+KNOWN_BACKENDS = ("numba", "reference")
+
+
+def check_artifact(payload: dict) -> list[str]:
+    """Every schema violation in one parsed artifact (empty = valid)."""
+    problems: list[str] = []
+    if not payload.get("search_wall_clock_s"):
+        problems.append("no wall clocks recorded (search_wall_clock_s)")
+    if payload.get("schema_version", 0) < MIN_SCHEMA_VERSION:
+        problems.append(
+            f"bench schema too old: need >= {MIN_SCHEMA_VERSION}, got "
+            f"{payload.get('schema_version', 0)}"
+        )
+    if not payload.get("platform"):
+        problems.append("bench artifact missing platform")
+    if "multi_seed" not in payload:
+        problems.append("bench artifact missing multi_seed")
+    if "mega_batch" not in payload:
+        problems.append("bench artifact missing mega_batch")
+    if not payload.get("episodes_per_s"):
+        problems.append("no episode throughput recorded (episodes_per_s)")
+    kernel = payload.get("kernel")
+    if not isinstance(kernel, dict):
+        problems.append("bench artifact missing kernel section")
+        return problems
+    if kernel.get("backend") not in KNOWN_BACKENDS:
+        problems.append(
+            f"unknown kernel backend {kernel.get('backend')!r} "
+            f"(expected one of {list(KNOWN_BACKENDS)})"
+        )
+    if not isinstance(kernel.get("numba_available"), bool):
+        problems.append("kernel.numba_available must be a bool")
+    if not isinstance(kernel.get("speedup"), dict):
+        problems.append("kernel.speedup must be a dict")
+    if kernel.get("numba_available") is True:
+        # The compiled-kernel CI leg exists to prove the numba paths;
+        # an empty speedup table or a skipped mega-batch run means the
+        # leg silently proved nothing.
+        if not kernel.get("speedup"):
+            problems.append("numba leg recorded no kernel speedups")
+        if not payload.get("mega_batch"):
+            problems.append("numba leg recorded no mega_batch run")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "artifact",
+        nargs="?",
+        default="BENCH_search.json",
+        help="bench artifact path (default: BENCH_search.json)",
+    )
+    parser.add_argument(
+        "--print",
+        dest="print_artifact",
+        action="store_true",
+        help="pretty-print the artifact before checking (for CI logs)",
+    )
+    args = parser.parse_args(argv)
+    path = Path(args.artifact)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read bench artifact {path}: {error}")
+        return 1
+    if args.print_artifact:
+        print(json.dumps(payload, indent=2))
+    problems = check_artifact(payload)
+    for problem in problems:
+        print(f"bench artifact: {problem}")
+    if problems:
+        return 1
+    print(f"bench artifact {path} ok (schema >= {MIN_SCHEMA_VERSION})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,9 +64,7 @@ def backend_of(payload: dict) -> str:
     return "reference"
 
 
-def ratio_section_of(
-    payload: dict, section: str
-) -> dict[str, dict[str, float]]:
+def ratio_section_of(payload: dict, section: str) -> dict[str, dict[str, float]]:
     """One ratio-bearing section (``multi_seed`` or ``mega_batch``);
     empty when the artifact lacks it — older schemas or partial runs
     are not gated on ratios."""

@@ -74,13 +74,14 @@ def main() -> int:
         tmp_path = Path(tmp)
         host_a = tmp_path / "hostA-luts"
         host_b = tmp_path / "hostB-luts"
+        serve_args = [
+            "--port", "0",
+            "--workers", "1",
+            "--store", str(tmp_path / "results.sqlite"),
+            "--cache-dir", str(host_a),
+        ]  # fmt: skip
         server = subprocess.Popen(
-            [
-                sys.executable, "-m", "repro", "serve",
-                "--port", "0", "--workers", "1",
-                "--store", str(tmp_path / "results.sqlite"),
-                "--cache-dir", str(host_a),
-            ],
+            [sys.executable, "-m", "repro", "serve", *serve_args],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
@@ -95,20 +96,22 @@ def main() -> int:
 
             record_path = tmp_path / "record.json"
             _repro(
-                "submit", "--url", url,
-                "--network", NETWORK, "--platform", PLATFORM, "--mode", MODE,
+                "submit",
+                "--url", url,
+                "--network", NETWORK,
+                "--platform", PLATFORM,
+                "--mode", MODE,
                 "--episodes", str(args.episodes),
-                "--wait", "--out", str(record_path),
-            )
+                "--wait",
+                "--out", str(record_path),
+            )  # fmt: skip
             record = json.loads(record_path.read_text())
             assert record["state"] == "done", record
             assert not record["lut_from_cache"], (
                 "host A's first job should have profiled"
             )
             shard = host_a / PLATFORM / NETWORK
-            entries = [
-                p.name for p in shard.glob("*.json") if p.name != "index.json"
-            ]
+            entries = [p.name for p in shard.glob("*.json") if p.name != "index.json"]
             assert entries, f"no shard entry in {shard}"
             print(
                 f"[2/5] host A profiled into its tier: "
@@ -117,12 +120,16 @@ def main() -> int:
 
             results_path = tmp_path / "campaign.json"
             campaign = _repro(
-                "campaign", "--networks", NETWORK, "--platforms", PLATFORM,
-                "--modes", MODE, "--episodes", str(args.episodes),
+                "campaign",
+                "--networks", NETWORK,
+                "--platforms", PLATFORM,
+                "--modes", MODE,
+                "--episodes", str(args.episodes),
                 "--kind", "search",
-                "--cache-dir", str(host_b), "--cache-remote", url,
+                "--cache-dir", str(host_b),
+                "--cache-remote", url,
                 "--out", str(results_path),
-            )
+            )  # fmt: skip
             assert "1 LUT cache hit(s)" in campaign.stdout, campaign.stdout
             payload = json.loads(results_path.read_text())
             assert payload[0]["lut_from_cache"] is True, payload[0]
@@ -142,9 +149,7 @@ def main() -> int:
                 for p in (host_b / PLATFORM / NETWORK).glob("*.json")
                 if p.name != "index.json"
             ]
-            assert filled, (
-                "remote hit was not filled forward into host B's tier"
-            )
+            assert filled, "remote hit was not filled forward into host B's tier"
             stats = _repro("lut-cache", "stats", "--cache-dir", str(host_b))
             assert f"{PLATFORM}/{NETWORK}" in stats.stdout, stats.stdout
             print("[4/5] fill-forward landed; lut-cache stats agrees")

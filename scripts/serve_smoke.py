@@ -81,7 +81,7 @@ def main() -> int:
                 "--port", "0", "--workers", "1",
                 "--store", str(tmp_path / "results.sqlite"),
                 "--cache-dir", str(tmp_path / "luts"),
-            ],
+            ],  # fmt: skip
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
@@ -100,12 +100,13 @@ def main() -> int:
                 "--network", NETWORK, "--platform", PLATFORM, "--mode", MODE,
                 "--episodes", str(args.episodes),
                 "--wait", "--watch", "--out", str(record_path),
-            )
+            )  # fmt: skip
             first_line = submit.stdout.splitlines()[0]
             job_id = first_line.split()[0]
             assert job_id.startswith("job-"), first_line
             checkpoints = [
-                line for line in submit.stdout.splitlines()
+                line
+                for line in submit.stdout.splitlines()
                 if " episode " in line
             ]
             assert checkpoints, f"no progress checkpoints:\n{submit.stdout}"
@@ -125,11 +126,11 @@ def main() -> int:
             _repro(
                 "profile", "--network", NETWORK, "--platform", PLATFORM,
                 "--mode", MODE, "--out", str(lut_path),
-            )
+            )  # fmt: skip
             _repro(
                 "search", "--lut", str(lut_path),
                 "--episodes", str(args.episodes), "--out", str(sched_path),
-            )
+            )  # fmt: skip
             local_best = json.loads(sched_path.read_text())["total_ms"]
             assert served_best == local_best, (
                 f"service best_ms {served_best!r} != local repro search "
@@ -141,7 +142,7 @@ def main() -> int:
                 "submit", "--url", url,
                 "--network", NETWORK, "--platform", PLATFORM, "--mode", MODE,
                 "--episodes", str(args.episodes), "--wait",
-            )
+            )  # fmt: skip
             assert "from_store=True" in again.stdout, again.stdout
             from repro.runtime.client import ServiceClient
 

@@ -324,6 +324,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
             store_path=args.store,
             cache_dir=args.cache_dir,
             cache_remote=args.cache_remote,
+            lease_ttl_s=args.lease_ttl,
+            lease_check_s=args.lease_check,
+            max_lease_retries=args.max_lease_retries,
+            quota_jobs=args.quota_jobs,
+            rate_limit_per_s=args.rate_limit,
+            rate_burst=args.rate_burst,
+            drain_timeout_s=args.drain_timeout,
+        )
+    )
+
+
+def cmd_work(args: argparse.Namespace) -> int:
+    from repro.runtime.worker import WorkerConfig, run_worker
+
+    return run_worker(
+        WorkerConfig(
+            server=args.server,
+            name=args.name,
+            cache_dir=args.cache_dir,
+            cache_remote=args.cache_remote,
+            poll_s=args.poll,
+            max_jobs=args.max_jobs,
         )
     )
 
@@ -633,7 +655,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-remote", default=None,
                    help="upstream LUT shard server chained behind the "
                         "local tier")
+    p.add_argument("--lease-ttl", type=float, default=30.0,
+                   help="seconds a fleet worker's lease survives without "
+                        "a heartbeat before its job is requeued")
+    p.add_argument("--lease-check", type=float, default=1.0,
+                   help="seconds between lease-reaper sweeps")
+    p.add_argument("--max-lease-retries", type=_positive_int, default=3,
+                   help="lease grants per job before a further expiry "
+                        "marks it failed")
+    p.add_argument("--quota-jobs", type=int, default=0,
+                   help="per-tenant cap on active jobs (0: unlimited)")
+    p.add_argument("--rate-limit", type=float, default=0.0,
+                   help="per-tenant POST /jobs requests per second "
+                        "(0: unlimited)")
+    p.add_argument("--rate-burst", type=_positive_int, default=10,
+                   help="token-bucket burst size of the rate limit")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="seconds shutdown waits for outstanding fleet "
+                        "leases before releasing them")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "work",
+        help="run a fleet worker against a campaign service",
+    )
+    p.add_argument("--server", required=True,
+                   help="campaign-service URL (repro serve prints it)")
+    p.add_argument("--name", default=None,
+                   help="worker name shown in GET /workers and metrics")
+    p.add_argument("--cache-dir", default=None,
+                   help="local LUT cache tier for executed jobs")
+    p.add_argument("--cache-remote", default=None,
+                   help="remote LUT shard server chained behind the "
+                        "local tier")
+    p.add_argument("--poll", type=float, default=0.5,
+                   help="seconds between lease polls on an empty queue")
+    p.add_argument("--max-jobs", type=int, default=0,
+                   help="exit after this many executed jobs (0: run "
+                        "until the service goes away)")
+    p.set_defaults(func=cmd_work)
 
     p = sub.add_parser(
         "submit", help="submit a search scenario to a running service"

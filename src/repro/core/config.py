@@ -54,6 +54,29 @@ class ServiceConfig:
     #: stay available through the result store); queued/running
     #: records are never evicted.
     keep_records: int = 1024
+    #: Seconds a fleet worker's lease stays valid without a heartbeat.
+    #: Each heartbeat extends the deadline by this much; a missed
+    #: deadline expires the lease and requeues the job.
+    lease_ttl_s: float = 30.0
+    #: Seconds between lease-reaper sweeps (expiry detection latency).
+    lease_check_s: float = 1.0
+    #: Times a job may be (re)leased before a further expiry marks it
+    #: failed instead of requeueing it — bounds crash loops on a job
+    #: that reliably kills its workers.
+    max_lease_retries: int = 3
+    #: Per-tenant cap on *active* (queued + running/leased) jobs; 0
+    #: disables the quota.  Exceeding it answers 429 + Retry-After.
+    quota_jobs: int = 0
+    #: Per-tenant token-bucket rate limit on ``POST /jobs`` requests,
+    #: in requests per second; 0 disables rate limiting.
+    rate_limit_per_s: float = 0.0
+    #: Token-bucket burst capacity (requests a quiet tenant may send
+    #: back-to-back before the per-second rate applies).
+    rate_burst: int = 10
+    #: Seconds graceful shutdown waits for outstanding fleet leases to
+    #: complete before releasing them (their jobs are then requeued
+    #: and cancelled like other queued jobs).
+    drain_timeout_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:
@@ -71,6 +94,34 @@ class ServiceConfig:
         if self.keep_records < 1:
             raise ConfigError(
                 f"keep_records must be >= 1, got {self.keep_records}"
+            )
+        if self.lease_ttl_s <= 0:
+            raise ConfigError(
+                f"lease_ttl_s must be > 0, got {self.lease_ttl_s}"
+            )
+        if self.lease_check_s <= 0:
+            raise ConfigError(
+                f"lease_check_s must be > 0, got {self.lease_check_s}"
+            )
+        if self.max_lease_retries < 1:
+            raise ConfigError(
+                f"max_lease_retries must be >= 1, got {self.max_lease_retries}"
+            )
+        if self.quota_jobs < 0:
+            raise ConfigError(
+                f"quota_jobs must be >= 0, got {self.quota_jobs}"
+            )
+        if self.rate_limit_per_s < 0:
+            raise ConfigError(
+                f"rate_limit_per_s must be >= 0, got {self.rate_limit_per_s}"
+            )
+        if self.rate_burst < 1:
+            raise ConfigError(
+                f"rate_burst must be >= 1, got {self.rate_burst}"
+            )
+        if self.drain_timeout_s < 0:
+            raise ConfigError(
+                f"drain_timeout_s must be >= 0, got {self.drain_timeout_s}"
             )
 
 

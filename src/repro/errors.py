@@ -94,3 +94,30 @@ class QueueFullError(ServiceError):
     Back-pressure, not failure: re-submit after running jobs drain, or
     run the service with a larger ``--queue-limit``.
     """
+
+
+class QuotaExceededError(QueueFullError):
+    """A tenant exceeded its admission quota or rate limit (HTTP 429).
+
+    Carries ``retry_after_s`` — the earliest moment a retry can
+    succeed (token-bucket refill time, or "when running jobs drain"
+    for admission quotas).  Like its parent, this is back-pressure:
+    the request was well-formed, the fleet is just protecting itself.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class LeaseError(ServiceError):
+    """A worker-protocol request violated the lease state machine."""
+
+
+class LeaseExpiredError(LeaseError):
+    """The lease a worker acted on is no longer active (HTTP 409).
+
+    Heartbeats and result submissions after expiry answer 409: the
+    job has been requeued (or finished elsewhere), so the worker must
+    discard its work and lease afresh.
+    """

@@ -221,6 +221,12 @@ def load_or_profile_lut(
     memo_key = _lut_memo_key(job, cache_dir, cache_remote)
     memoized = _LUT_MEMO.get(memo_key)
     if memoized is not None:
+        from repro.runtime.metrics import DEFAULT_REGISTRY
+
+        DEFAULT_REGISTRY.counter(
+            "repro_lut_cache_hits_total",
+            "LUT resolutions answered by a cache tier, by tier kind.",
+        ).inc(tier="memo")
         return memoized, True
     resolution = cache.resolve(job, lambda: profile_lut(job))
     if len(_LUT_MEMO) >= _LUT_MEMO_CAP:
@@ -317,7 +323,12 @@ def execute_job(
     from repro.core.config import SearchConfig
     from repro.core.multi_seed import MultiSeedSearch, seed_range
     from repro.core.search import QSDNNSearch
+    from repro.runtime.metrics import DEFAULT_REGISTRY
 
+    DEFAULT_REGISTRY.counter(
+        "repro_campaign_jobs_total",
+        "Jobs executed in this process, by kind.",
+    ).inc(kind=job.kind)
     started = time.perf_counter()
     lut, from_cache = load_or_profile_lut(job, cache_dir, cache_remote)
     if shared_tables is not None:

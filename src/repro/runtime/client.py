@@ -15,7 +15,7 @@ import json
 import time
 from urllib.parse import urlencode, urlsplit
 
-from repro.errors import QueueFullError, ServiceError
+from repro.errors import LeaseExpiredError, QueueFullError, ServiceError
 
 #: Default service address (the ``ServiceConfig`` defaults).
 DEFAULT_URL = "http://127.0.0.1:8421"
@@ -44,20 +44,34 @@ class ServiceClient:
     # -- plumbing -----------------------------------------------------------
 
     def request(
-        self, method: str, path: str, body: dict | None = None
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        headers: dict | None = None,
     ) -> tuple[int, dict]:
         """One request/response cycle; returns ``(status, json_body)``."""
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             payload = json.dumps(body).encode() if body is not None else None
-            headers = {"Content-Type": "application/json"} if payload else {}
-            conn.request(method, path, body=payload, headers=headers)
+            sent = {"Content-Type": "application/json"} if payload else {}
+            sent.update(headers or {})
+            conn.request(method, path, body=payload, headers=sent)
             response = conn.getresponse()
             raw = response.read()
             parsed = json.loads(raw) if raw else {}
             return response.status, parsed
+        finally:
+            conn.close()
+
+    def request_text(self, method: str, path: str) -> tuple[int, str]:
+        """One request/response cycle for a non-JSON endpoint
+        (``GET /metrics``); returns ``(status, text_body)``."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request(method, path)
+            response = conn.getresponse()
+            return response.status, response.read().decode()
         finally:
             conn.close()
 
@@ -78,9 +92,32 @@ class ServiceClient:
         """``GET /healthz``."""
         return self._checked("GET", "/healthz")
 
-    def submit(self, body: dict) -> list[dict]:
-        """``POST /jobs``; returns the accepted job records."""
-        return self._checked("POST", "/jobs", body)["jobs"]
+    def submit(self, body: dict, tenant: str | None = None) -> list[dict]:
+        """``POST /jobs``; returns the accepted job records.
+
+        ``tenant`` sets the ``X-Tenant`` header (admission quotas and
+        rate limits are accounted per tenant; omitted = "default").
+        """
+        headers = {"X-Tenant": tenant} if tenant is not None else None
+        status, parsed = self.request("POST", "/jobs", body, headers=headers)
+        if status == 429:
+            raise QueueFullError(parsed.get("error", "queue full"))
+        if status >= 400:
+            raise ServiceError(
+                f"POST /jobs -> {status}: "
+                f"{parsed.get('error', 'unknown error')}"
+            )
+        return parsed["jobs"]
+
+    def metrics(self) -> str:
+        """``GET /metrics`` — the Prometheus text exposition, verbatim.
+
+        Parse it with :func:`repro.runtime.metrics.parse_samples`.
+        """
+        status, text = self.request_text("GET", "/metrics")
+        if status >= 400:
+            raise ServiceError(f"GET /metrics -> {status}")
+        return text
 
     def job(self, job_id: str) -> dict:
         """``GET /jobs/{id}`` — full record, payload included when done."""
@@ -104,6 +141,64 @@ class ServiceClient:
         """``POST /shutdown`` — graceful remote stop."""
         return self._checked("POST", "/shutdown")
 
+    # -- worker protocol (the fleet; see runtime/worker.py) ---------------
+
+    def register_worker(self, name: str | None = None) -> dict:
+        """``POST /workers`` — register this host; returns the grant
+        (worker id, lease TTL, suggested heartbeat interval)."""
+        body = {"name": name} if name is not None else {}
+        return self._checked("POST", "/workers", body)
+
+    def workers(self) -> dict:
+        """``GET /workers`` — registered workers plus active leases."""
+        return self._checked("GET", "/workers")
+
+    def lease(self, worker_id: str) -> dict | None:
+        """``POST /leases`` — claim the next queued job.
+
+        Returns the grant (``lease`` + ``job``) or None when the queue
+        is empty (HTTP 204) — poll again later.
+        """
+        status, parsed = self.request("POST", "/leases", {"worker": worker_id})
+        if status == 204:
+            return None
+        if status == 409:
+            raise LeaseExpiredError(parsed.get("error", "lease conflict"))
+        if status >= 400:
+            raise ServiceError(
+                f"POST /leases -> {status}: "
+                f"{parsed.get('error', 'unknown error')}"
+            )
+        return parsed
+
+    def _checked_lease(self, path: str, body: dict | None = None) -> dict:
+        """POST to a lease sub-resource; 409 means the lease is gone."""
+        status, parsed = self.request("POST", path, body)
+        if status == 409:
+            raise LeaseExpiredError(parsed.get("error", "lease expired"))
+        if status >= 400:
+            raise ServiceError(
+                f"POST {path} -> {status}: "
+                f"{parsed.get('error', 'unknown error')}"
+            )
+        return parsed
+
+    def heartbeat(self, lease_id: str) -> dict:
+        """``POST /leases/{id}/heartbeat`` — extend the claim by one
+        TTL.  Raises :class:`LeaseExpiredError` once the lease is gone."""
+        return self._checked_lease(f"/leases/{lease_id}/heartbeat")
+
+    def submit_result(self, lease_id: str, outcome: dict) -> dict:
+        """``POST /leases/{id}/result`` — deliver the executed job.
+
+        ``outcome`` is either an encoded payload (``payload_kind`` /
+        ``payload`` / ``wall_clock_s`` / ``lut_from_cache``) or an
+        ``{"error": ...}`` job failure.  Raises
+        :class:`LeaseExpiredError` when the lease expired first (the
+        job was requeued; discard the work).
+        """
+        return self._checked_lease(f"/leases/{lease_id}/result", outcome)
+
     # -- LUT shard endpoints (the fleet cache; see runtime/lutcache.py) --
 
     def lut_index(self) -> list[dict]:
@@ -118,9 +213,7 @@ class ServiceClient:
         a 404 miss instead of raising — a miss is an answer.
         """
         query = urlencode({k: v for k, v in key.items() if v is not None})
-        status, parsed = self.request(
-            "GET", f"/luts/{platform}/{network}?{query}"
-        )
+        status, parsed = self.request("GET", f"/luts/{platform}/{network}?{query}")
         if status == 404:
             return None
         if status >= 400:
@@ -130,9 +223,7 @@ class ServiceClient:
             )
         return parsed
 
-    def put_lut(
-        self, platform: str, network: str, payload: dict, **key
-    ) -> dict:
+    def put_lut(self, platform: str, network: str, payload: dict, **key) -> dict:
         """``PUT /luts/{platform}/{network}`` — publish one LUT entry."""
         query = urlencode({k: v for k, v in key.items() if v is not None})
         status, parsed = self.request(
@@ -145,9 +236,7 @@ class ServiceClient:
             )
         return parsed
 
-    def wait(
-        self, job_id: str, poll_s: float = 0.2, timeout: float = 600.0
-    ) -> dict:
+    def wait(self, job_id: str, poll_s: float = 0.2, timeout: float = 600.0) -> dict:
         """Poll ``GET /jobs/{id}`` until the job reaches a terminal state."""
         deadline = time.monotonic() + timeout
         while True:
@@ -166,9 +255,7 @@ class ServiceClient:
         Iterates the SSE stream until the server closes it (after the
         terminal event), decoding each ``data:`` line from JSON.
         """
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             conn.request("GET", f"/jobs/{job_id}/progress")
             response = conn.getresponse()

@@ -142,9 +142,7 @@ class LutKey:
         }
 
     @classmethod
-    def from_entry_name(
-        cls, platform: str, network: str, name: str
-    ) -> "LutKey | None":
+    def from_entry_name(cls, platform: str, network: str, name: str) -> "LutKey | None":
         """Parse an entry file name back into a key (None: not an entry)."""
         if not name.endswith(".json") or name == INDEX_NAME:
             return None
@@ -397,9 +395,7 @@ class RemoteTier:
         """Fetch one entry; None on a 404 miss."""
         payload = self._call(
             "GET",
-            lambda: self.client.get_lut(
-                key.platform, key.network, **key.query()
-            ),
+            lambda: self.client.get_lut(key.platform, key.network, **key.query()),
         )
         if payload is None:
             return None
@@ -446,12 +442,21 @@ class TieredLutCache:
     **written through** to every writable tier.
     """
 
-    def __init__(self, tiers: list) -> None:
-        self.tiers = list(tiers)
+    def __init__(self, tiers: list, registry=None) -> None:
+        from repro.runtime.metrics import DEFAULT_REGISTRY
 
-    def resolve(
-        self, job, profile: Callable[[], LatencyTable]
-    ) -> LutResolution:
+        self.tiers = list(tiers)
+        registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._hits = registry.counter(
+            "repro_lut_cache_hits_total",
+            "LUT resolutions answered by a cache tier, by tier kind.",
+        )
+        self._misses = registry.counter(
+            "repro_lut_cache_misses_total",
+            "LUT resolutions that fell through to profiling.",
+        )
+
+    def resolve(self, job, profile: Callable[[], LatencyTable]) -> LutResolution:
         """Resolve one job's LUT through the chain.
 
         ``profile`` runs only when every tier misses.  Exactness holds
@@ -473,11 +478,13 @@ class TieredLutCache:
                 errors.append(f"{tier.name}: {error}")
                 continue
             self._fill(self.tiers[:i], key, text, errors)
+            self._hits.inc(tier="remote" if tier.soft else "local")
             return LutResolution(
                 lut=lut, source=tier.name, from_cache=True, errors=errors
             )
         lut = profile()
         self._fill(self.tiers, key, lut.to_json(), errors)
+        self._misses.inc()
         return LutResolution(
             lut=lut, source="profiled", from_cache=False, errors=errors
         )

@@ -1,0 +1,276 @@
+"""Counter/gauge registry with a Prometheus text exposition renderer.
+
+The fleet needs to run unattended: a service sharding jobs onto remote
+workers is only operable if queue depth, lease ages, per-worker
+throughput and cache hit rates are scrapable by standard tooling.
+This module is the (stdlib-only) observability substrate behind
+``GET /metrics``:
+
+* :class:`Counter` — monotone totals (``repro_jobs_completed_total``),
+  optionally labelled (``{worker="w1-local"}``).
+* :class:`Gauge` — point-in-time values, either set explicitly or
+  computed at scrape time from a callback (queue depth, lease ages —
+  values that already live in service state and must never drift from
+  it).
+* :class:`MetricsRegistry` — a named collection rendering the
+  `Prometheus text exposition format
+  <https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+  (version 0.0.4): ``# HELP`` / ``# TYPE`` comment pairs followed by
+  one ``name{labels} value`` sample line per label set.
+
+Every mutation is lock-protected, so campaign code running in threads
+(the tiered LUT cache is hit from HTTP handler executors) can share a
+registry with the event loop.  A process-wide :data:`DEFAULT_REGISTRY`
+exists for library instrumentation (lutcache, campaign); the service
+builds its own registry per instance so tests and co-hosted services
+never share samples.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Iterable
+
+from repro.errors import ConfigError
+
+#: Label sets are keyed by a sorted tuple of (name, value) pairs.
+LabelKey = tuple
+
+_ESCAPES = str.maketrans({"\\": "\\\\", '"': '\\"', "\n": "\\n"})
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return str(value).translate(_ESCAPES)
+
+
+def format_value(value: float) -> str:
+    """One sample value as Prometheus prints it (ints without ``.0``)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def render_sample(name: str, key: LabelKey, value: float) -> str:
+    """One exposition line: ``name{label="value",...} value``."""
+    if not key:
+        return f"{name} {format_value(value)}"
+    body = ",".join(f'{label}="{escape_label_value(text)}"' for label, text in key)
+    return f"{name}{{{body}}} {format_value(value)}"
+
+
+class Metric:
+    """Base metric: a named family of labelled samples."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise ConfigError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help_text = help_text
+        self._lock = threading.Lock()
+        self._values: dict[LabelKey, float] = {}
+
+    def samples(self) -> list[tuple[LabelKey, float]]:
+        """Snapshot of every (label set, value) sample."""
+        with self._lock:
+            return sorted(self._values.items())
+
+    def value(self, **labels) -> float:
+        """Current value of one label set (0.0 when never touched)."""
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def render(self) -> str:
+        """``# HELP`` / ``# TYPE`` header plus one line per sample."""
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        samples = self.samples()
+        if not samples:
+            # A family with no samples yet still exposes its zero so
+            # rate() queries see the series from the first scrape.
+            samples = [((), 0.0)]
+        lines.extend(render_sample(self.name, key, v) for key, v in samples)
+        return "\n".join(lines)
+
+
+class Counter(Metric):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (must be >= 0) to one label set's total."""
+        if amount < 0:
+            raise ConfigError(f"counter {self.name} cannot decrease (inc {amount})")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+
+class Gauge(Metric):
+    """A value that can go up and down (queue depth, ages, ratios)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        callback: Callable[[], dict | float] | None = None,
+    ) -> None:
+        super().__init__(name, help_text)
+        #: Scrape-time value source.  May return a bare number (one
+        #: unlabelled sample) or a ``{labels_dict_or_key: value}`` map
+        #: (one sample per label set).  Callback gauges never go stale:
+        #: the render *is* the measurement.
+        self.callback = callback
+
+    def set(self, value: float, **labels) -> None:
+        """Set one label set's current value."""
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def remove(self, **labels) -> None:
+        """Drop one label set (e.g. a lease that ended)."""
+        with self._lock:
+            self._values.pop(_label_key(labels), None)
+
+    def samples(self) -> list[tuple[LabelKey, float]]:
+        """Stored samples, or the callback's snapshot when one is set."""
+        if self.callback is None:
+            return super().samples()
+        result = self.callback()
+        if isinstance(result, dict):
+            return sorted(
+                (
+                    _label_key(k) if isinstance(k, dict) else tuple(k),
+                    float(v),
+                )
+                for k, v in result.items()
+            )
+        return [((), float(result))]
+
+
+class MetricsRegistry:
+    """A named collection of metrics, rendered in registration order.
+
+    ``counter()`` / ``gauge()`` are get-or-create: instrumentation
+    sites name the metric they want and share the family with every
+    other site using that name (mismatched kinds raise — one name, one
+    type, per the exposition format).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Metric] = {}
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        return self._register(name, help_text, Counter)
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        callback: Callable[[], dict | float] | None = None,
+    ) -> Gauge:
+        """Get or create the gauge ``name`` (optionally callback-backed)."""
+        gauge = self._register(name, help_text, Gauge)
+        if callback is not None:
+            gauge.callback = callback
+        return gauge
+
+    def _register(self, name: str, help_text: str, cls) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ConfigError(
+                        f"metric {name!r} is a {existing.kind}, not a "
+                        f"{cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help_text)
+            self._metrics[name] = metric
+            return metric
+
+    def metrics(self) -> Iterable[Metric]:
+        """Every registered metric, in registration order."""
+        with self._lock:
+            return list(self._metrics.values())
+
+    def render(self) -> str:
+        """The full exposition payload (trailing newline included)."""
+        blocks = [metric.render() for metric in self.metrics()]
+        return "\n".join(blocks) + "\n" if blocks else "\n"
+
+
+def parse_samples(text: str) -> dict[str, dict[LabelKey, float]]:
+    """Parse exposition text back into ``{name: {labels: value}}``.
+
+    A deliberately strict mini-parser used by tests and the fleet
+    smoke to assert on scraped values; raises :class:`ConfigError` on
+    lines that are neither comments nor valid samples, so a formatting
+    regression fails loudly.
+    """
+    out: dict[str, dict[LabelKey, float]] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ConfigError(f"malformed sample line {line!r}")
+        if "{" in name_part:
+            name, _, label_body = name_part.partition("{")
+            if not label_body.endswith("}"):
+                raise ConfigError(f"malformed labels in {line!r}")
+            labels = {}
+            body = label_body[:-1]
+            while body:
+                label, _, rest = body.partition('="')
+                value_text = ""
+                i = 0
+                while i < len(rest):
+                    ch = rest[i]
+                    if ch == "\\" and i + 1 < len(rest):
+                        value_text += {"n": "\n"}.get(rest[i + 1], rest[i + 1])
+                        i += 2
+                        continue
+                    if ch == '"':
+                        break
+                    value_text += ch
+                    i += 1
+                else:
+                    raise ConfigError(f"unterminated label value in {line!r}")
+                labels[label] = value_text
+                body = rest[i + 1 :].lstrip(",")
+        else:
+            name, labels = name_part, {}
+        try:
+            value = float(value_part)
+        except ValueError:
+            raise ConfigError(f"malformed value in {line!r}") from None
+        out.setdefault(name, {})[_label_key(labels)] = value
+    return out
+
+
+#: Process-wide registry for library instrumentation (the tiered LUT
+#: cache, campaign workers).  The service exposes its *own* registry
+#: over ``GET /metrics``; this one backs in-process consumers such as
+#: ``repro work`` worker stats.
+DEFAULT_REGISTRY = MetricsRegistry()

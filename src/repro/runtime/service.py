@@ -33,9 +33,31 @@ This module is that service layer:
   here instead of re-profiling, and pushes fresh profiles back
   (:mod:`repro.runtime.lutcache`; every entry is validated against
   its key before it is stored).
+* **Worker fleet (pull protocol)** — remote hosts run ``repro work
+  --server URL`` (:mod:`repro.runtime.worker`): they register over
+  ``POST /workers``, lease queued jobs one at a time over
+  ``POST /leases``, extend their claim with
+  ``POST /leases/{id}/heartbeat`` and stream results back through
+  ``POST /leases/{id}/result`` — landing in the same
+  :class:`ResultStore`, bitwise-identical to local execution.  A
+  missed heartbeat (worker crash, network partition) expires the
+  lease and requeues the job with a bounded retry budget; the local
+  process pool is just another worker of the same protocol (its
+  leases never expire — liveness is structural).
+* **Tenancy guards** — per-tenant (``X-Tenant`` header) token-bucket
+  rate limits and active-job admission quotas on ``POST /jobs``, both
+  answering 429 + ``Retry-After`` so one tenant cannot starve the
+  fleet.
+* **Metrics** — ``GET /metrics`` renders a Prometheus text exposition
+  (:mod:`repro.runtime.metrics`): queue depth, running/leased counts,
+  lease ages, per-worker throughput, LUT-cache and result-store hit
+  rates.  ``/metrics`` and ``/healthz`` bypass every admission guard —
+  a saturated service must stay observable.
 * **Graceful shutdown** — ``POST /shutdown`` (or SIGINT/SIGTERM under
   ``repro serve``) stops intake, cancels queued jobs, waits for
-  in-flight jobs to finish, persists their results, then exits.
+  outstanding fleet leases (bounded by ``drain_timeout_s``, requeue →
+  cancel past it), waits for in-flight local jobs to finish, persists
+  their results, then exits.
 
 The HTTP layer is stdlib-only: a minimal HTTP/1.1 server written
 directly on :func:`asyncio.start_server` (one request per connection,
@@ -49,6 +71,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import math
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
@@ -58,7 +81,15 @@ from repro import __version__
 from repro.core.config import ServiceConfig
 from repro.core.multi_seed import MultiSeedResult
 from repro.engine.pricing import SharedCostTables
-from repro.errors import ConfigError, LutCacheError, QueueFullError, ServiceError
+from repro.errors import (
+    ConfigError,
+    LeaseError,
+    LeaseExpiredError,
+    LutCacheError,
+    QueueFullError,
+    QuotaExceededError,
+    ServiceError,
+)
 from repro.runtime.campaign import (
     CampaignJob,
     CampaignResult,
@@ -66,7 +97,17 @@ from repro.runtime.campaign import (
     grid,
 )
 from repro.runtime.lutcache import LocalTier, LutKey, validate_entry
-from repro.runtime.store import ResultStore, StoredResult, best_ms_of, job_key
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.store import (
+    LEASE_COMPLETED,
+    LEASE_FAILED,
+    LEASE_RELEASED,
+    ResultStore,
+    StoredResult,
+    best_ms_of,
+    decode_payload,
+    job_key,
+)
 
 #: Sentinel: "submit() should consult the store itself" (distinct from
 #: an explicit ``stored=None``, which asserts a known store miss).
@@ -92,6 +133,74 @@ REQUEST_READ_TIMEOUT_S = 30.0
 #: unbounded Content-Length would let any client allocate server
 #: memory at will).
 MAX_BODY_BYTES = 1 << 20
+
+#: Lease TTL used for the local worker pool.  Local workers' liveness
+#: is structural (an awaited in-process future cannot vanish without
+#: the whole service dying), so their leases never expire — the value
+#: only exists so local and fleet execution share one lease table.
+LOCAL_LEASE_TTL_S = 1e9
+
+#: Tenant assumed when ``POST /jobs`` carries no ``X-Tenant`` header.
+DEFAULT_TENANT = "default"
+
+
+def _valid_name(name: str) -> bool:
+    """Worker/tenant names: short, metric-label and log safe."""
+    return 0 < len(name) <= 64 and all(c.isalnum() or c in "._-" for c in name)
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, capacity ``burst``.
+
+    :meth:`take` consumes one token and returns 0.0, or — when the
+    bucket is empty — leaves it untouched and returns the seconds
+    until a token becomes available (the ``Retry-After`` hint).
+    """
+
+    def __init__(self, rate: float, burst: int) -> None:
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = time.monotonic()
+
+    def take(self, now: float | None = None) -> float:
+        now = time.monotonic() if now is None else now
+        self.tokens = min(self.burst, self.tokens + (now - self.updated) * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+@dataclass
+class WorkerInfo:
+    """One registered worker (local pool member or remote fleet host)."""
+
+    id: str
+    name: str
+    local: bool = False
+    registered_s: float = field(default_factory=time.time)
+    last_seen_s: float = field(default_factory=time.time)
+    leases: int = 0
+    completed: int = 0
+    failed: int = 0
+    expired: int = 0
+    busy_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "name": self.name,
+            "local": self.local,
+            "registered_s": self.registered_s,
+            "last_seen_s": self.last_seen_s,
+            "leases": self.leases,
+            "completed": self.completed,
+            "failed": self.failed,
+            "expired": self.expired,
+            "busy_s": self.busy_s,
+        }
 
 
 def checkpoints_of(payload) -> list[dict]:
@@ -140,6 +249,12 @@ class JobRecord:
     submitted_s: float = field(default_factory=time.time)
     started_s: float | None = None
     finished_s: float | None = None
+    tenant: str = DEFAULT_TENANT
+    #: Leases granted so far (1 on first grant; requeues increment).
+    attempts: int = 0
+    #: Worker id / lease id of the *current* grant (None while queued).
+    worker: str | None = None
+    lease_id: str | None = None
     done_event: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
 
     @property
@@ -165,6 +280,10 @@ class JobRecord:
             "submitted_s": self.submitted_s,
             "started_s": self.started_s,
             "finished_s": self.finished_s,
+            "tenant": self.tenant,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "lease_id": self.lease_id,
             "links": {
                 "self": f"/jobs/{self.id}",
                 "progress": f"/jobs/{self.id}/progress",
@@ -297,6 +416,112 @@ class CampaignService:
         self._closing = False
         self._closed = asyncio.Event()
         self.port: int | None = None
+        #: Registered workers (local pool members and fleet hosts).
+        self.workers_info: dict[str, WorkerInfo] = {}
+        self._worker_seq = itertools.count(1)
+        self._lease_seq = itertools.count(1)
+        self._reaper: asyncio.Task | None = None
+        #: Per-tenant token buckets (created lazily on first POST).
+        self._buckets: dict[str, TokenBucket] = {}
+        self.metrics = MetricsRegistry()
+        self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        m = self.metrics
+        self._m_submitted = m.counter(
+            "repro_jobs_submitted_total", "Jobs admitted, by tenant."
+        )
+        self._m_completed = m.counter(
+            "repro_jobs_completed_total", "Jobs finished done, by worker."
+        )
+        self._m_failed = m.counter(
+            "repro_jobs_failed_total", "Jobs finished failed, by worker."
+        )
+        self._m_requeued = m.counter(
+            "repro_jobs_requeued_total",
+            "Jobs requeued after their lease expired.",
+        )
+        self._m_rejected = m.counter(
+            "repro_jobs_rejected_total",
+            "POST /jobs rejections, by reason "
+            "(queue_full, quota, rate_limit).",
+        )
+        self._m_leases_granted = m.counter(
+            "repro_leases_granted_total", "Leases granted, by worker."
+        )
+        self._m_leases_expired = m.counter(
+            "repro_leases_expired_total",
+            "Leases expired by the reaper, by worker.",
+        )
+        self._m_store_hits = m.counter(
+            "repro_store_hits_total",
+            "Submissions answered straight from the result store.",
+        )
+        self._m_store_misses = m.counter(
+            "repro_store_misses_total",
+            "Submissions that had to be computed.",
+        )
+        self._m_lut_hits = m.counter(
+            "repro_lut_cache_hits_total",
+            "Completed jobs whose LUT came from the tiered cache.",
+        )
+        self._m_lut_misses = m.counter(
+            "repro_lut_cache_misses_total",
+            "Completed jobs that profiled their LUT from scratch.",
+        )
+        self._m_busy = m.counter(
+            "repro_worker_busy_seconds_total",
+            "Wall-clock seconds spent executing jobs, by worker.",
+        )
+        m.gauge(
+            "repro_service_info",
+            "Constant 1, labelled with the service version.",
+            callback=lambda: {(("version", __version__),): 1.0},
+        )
+        m.gauge(
+            "repro_queue_depth",
+            "Jobs queued and not yet running.",
+            callback=lambda: float(self._pending),
+        )
+        m.gauge(
+            "repro_queue_limit",
+            "Queue depth at which POST /jobs answers 429.",
+            callback=lambda: float(self.config.queue_limit),
+        )
+        m.gauge(
+            "repro_jobs_running",
+            "Jobs currently leased and executing.",
+            callback=lambda: float(
+                sum(1 for r in self.records.values() if r.state == RUNNING)
+            ),
+        )
+        m.gauge(
+            "repro_workers_registered",
+            "Workers registered with this service.",
+            callback=lambda: float(len(self.workers_info)),
+        )
+        m.gauge(
+            "repro_leases_active",
+            "Leases currently active in the lease table.",
+            callback=lambda: float(len(self.store.active_leases())),
+        )
+        m.gauge(
+            "repro_lease_age_seconds",
+            "Age of each active lease, by lease id and worker.",
+            callback=self._lease_ages,
+        )
+        m.gauge(
+            "repro_stored_results",
+            "Rows in the persistent result store.",
+            callback=lambda: float(len(self.store)),
+        )
+
+    def _lease_ages(self) -> dict:
+        now = time.time()
+        return {
+            (("lease", lease.lease_id), ("worker", lease.worker)): lease.age_s(now)
+            for lease in self.store.active_leases()
+        }
 
     # -- submission and queue state -----------------------------------------
 
@@ -305,6 +530,7 @@ class CampaignService:
         job: CampaignJob,
         priority: int = DEFAULT_PRIORITY,
         stored: StoredResult | None | object = _UNRESOLVED,
+        tenant: str = DEFAULT_TENANT,
     ) -> JobRecord:
         """Accept one job: store hit, coalesced duplicate, or enqueue.
 
@@ -323,10 +549,13 @@ class CampaignService:
         key = job_key(job)
         active = self._active.get(key)
         if active is not None:
+            self._m_submitted.inc(tenant=tenant)
             return active
         if stored is _UNRESOLVED:
             stored = self.store.get(job)
+        self._m_submitted.inc(tenant=tenant)
         if stored is not None:
+            self._m_store_hits.inc()
             record = JobRecord(
                 id=f"job-{next(self._seq)}",
                 job=job,
@@ -340,18 +569,24 @@ class CampaignService:
                     lut_from_cache=True,
                 ),
                 finished_s=time.time(),
+                tenant=tenant,
             )
             record.done_event.set()
             self.records[record.id] = record
             self._prune_records(keep=record.id)
             return record
         if self._pending >= self.config.queue_limit:
+            self._m_rejected.inc(reason="queue_full")
             raise QueueFullError(
                 f"job queue is full ({self._pending}/"
                 f"{self.config.queue_limit} queued)"
             )
+        self._m_store_misses.inc()
         record = JobRecord(
-            id=f"job-{next(self._seq)}", job=job, priority=priority
+            id=f"job-{next(self._seq)}",
+            job=job,
+            priority=priority,
+            tenant=tenant,
         )
         self.records[record.id] = record
         self._active[key] = record
@@ -409,21 +644,149 @@ class CampaignService:
             "queue_limit": self.config.queue_limit,
             "jobs": states,
             "stored_results": len(self.store),
+            "workers_registered": len(self.workers_info),
+            "leases_active": len(self.store.active_leases()),
         }
 
     # -- workers -------------------------------------------------------------
 
-    async def _worker(self) -> None:
+    def register_worker(
+        self, name: str | None = None, local: bool = False
+    ) -> WorkerInfo:
+        """Register a worker and return its :class:`WorkerInfo`.
+
+        Local pool members register themselves at startup; fleet hosts
+        register over ``POST /workers``.  Ids are unique per service
+        lifetime (``w{seq}`` or ``w{seq}-{name}``), so two hosts
+        sharing a ``--name`` still get distinct lease ownership.
+        """
+        if name is not None and not _valid_name(name):
+            raise ConfigError(
+                f"worker name {name!r} must be 1-64 chars of "
+                "[A-Za-z0-9._-]"
+            )
+        worker_id = f"w{next(self._worker_seq)}"
+        if name:
+            worker_id = f"{worker_id}-{name}"
+        info = WorkerInfo(id=worker_id, name=name or worker_id, local=local)
+        self.workers_info[worker_id] = info
+        return info
+
+    def lease_next(self, worker_id: str) -> JobRecord | None:
+        """Grant the highest-priority queued job to ``worker_id``.
+
+        Returns None when the queue holds nothing runnable (the worker
+        should poll again after ``poll_s``).  Raises
+        :class:`LeaseError` for unregistered workers — registration is
+        what makes a crash attributable in ``GET /workers``.
+        """
+        info = self.workers_info.get(worker_id)
+        if info is None:
+            raise LeaseError(f"unknown worker {worker_id!r}; POST /workers first")
+        info.last_seen_s = time.time()
+        if self._closing:
+            return None
+        while True:
+            try:
+                _, order, record = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return None
+            if record is None:
+                # Shutdown sentinel destined for a local worker —
+                # put it back untouched.
+                self._queue.put_nowait((float("inf"), order, None))
+                return None
+            if record.state != QUEUED:  # cancelled while queued
+                continue
+            return self._grant(record, info)
+
+    def _grant(self, record: JobRecord, info: WorkerInfo) -> JobRecord:
+        """Move a queued record to running under a fresh lease."""
+        record.state = RUNNING
+        record.started_s = time.time()
+        record.attempts += 1
+        self._pending -= 1
+        ttl = LOCAL_LEASE_TTL_S if info.local else self.config.lease_ttl_s
+        lease = self.store.create_lease(
+            f"lease-{next(self._lease_seq)}",
+            record.id,
+            job_key(record.job),
+            info.id,
+            ttl,
+            attempt=record.attempts,
+        )
+        record.lease_id = lease.lease_id
+        record.worker = info.id
+        info.leases += 1
+        info.last_seen_s = time.time()
+        self._m_leases_granted.inc(worker=info.id)
+        return record
+
+    def _finish_record(
+        self,
+        record: JobRecord,
+        info: WorkerInfo | None,
+        result: CampaignResult | None,
+        error: str | None,
+    ) -> None:
+        """Common terminal path for local and fleet execution.
+
+        Persists the payload, closes the lease row, updates worker
+        accounting and metrics, and wakes progress streams.  Store
+        failures degrade to a served-from-memory result with a note in
+        ``record.error`` — they never kill the caller.
+        """
+        if record.lease_id is not None:
+            self.store.finish_lease(
+                record.lease_id,
+                LEASE_COMPLETED if error is None else LEASE_FAILED,
+            )
+        if error is not None:
+            record.error = error
+            record.state = FAILED
+        else:
+            assert result is not None
+            record.result = result
+            record.state = DONE
+            try:
+                self.store.put(record.job, result.payload, result.wall_clock_s)
+            except Exception as exc:
+                # The computed result is still served from memory; a
+                # store failure must not kill the worker task or leave
+                # the record stuck in `running`.
+                record.error = f"result not persisted — {type(exc).__name__}: {exc}"
+            if result.lut_from_cache:
+                self._m_lut_hits.inc()
+            else:
+                self._m_lut_misses.inc()
+        record.finished_s = time.time()
+        worker_id = record.worker or "unknown"
+        if info is not None:
+            busy = record.finished_s - (record.started_s or record.finished_s)
+            info.busy_s += busy
+            info.last_seen_s = record.finished_s
+            self._m_busy.inc(busy, worker=info.id)
+            if error is None:
+                info.completed += 1
+            else:
+                info.failed += 1
+        if error is None:
+            self._m_completed.inc(worker=worker_id)
+        else:
+            self._m_failed.inc(worker=worker_id)
+        self._active.pop(job_key(record.job), None)
+        record.done_event.set()
+
+    async def _worker(self, index: int) -> None:
         loop = asyncio.get_running_loop()
+        info = self.register_worker(f"local-{index}", local=True)
         while True:
             _, _, record = await self._queue.get()
             if record is None:  # shutdown sentinel
                 return
             if record.state != QUEUED:  # cancelled while queued
                 continue
-            record.state = RUNNING
-            record.started_s = time.time()
-            self._pending -= 1
+            self._grant(record, info)
             try:
                 # Synchronous on purpose: a quick local-tier read plus
                 # a small tensor pack, and keeping it off a helper
@@ -438,27 +801,139 @@ class CampaignService:
                     segment,
                 )
             except Exception as error:  # job failure — keep serving
-                record.error = f"{type(error).__name__}: {error}"
-                record.state = FAILED
+                self._finish_record(
+                    record, info, None, f"{type(error).__name__}: {error}"
+                )
             else:
-                record.result = result
-                record.state = DONE
-                try:
-                    self.store.put(
-                        record.job, result.payload, result.wall_clock_s
-                    )
-                except Exception as error:
-                    # The computed result is still served from memory;
-                    # a store failure must not kill the worker task or
-                    # leave the record stuck in `running`.
-                    record.error = (
-                        "result not persisted — "
-                        f"{type(error).__name__}: {error}"
-                    )
-            finally:
-                record.finished_s = time.time()
-                self._active.pop(job_key(record.job), None)
-                record.done_event.set()
+                self._finish_record(record, info, result, None)
+
+    # -- fleet lease lifecycle -----------------------------------------------
+
+    def heartbeat(self, lease_id: str) -> dict:
+        """Extend a fleet lease's deadline by one TTL.
+
+        Raises :class:`LeaseExpiredError` (HTTP 409) when the lease is
+        no longer active — including the deadline having passed before
+        the reaper noticed: :meth:`ResultStore.heartbeat_lease` flips
+        such a lease to ``expired`` itself, so the 409 is deterministic
+        regardless of reaper timing.
+        """
+        lease = self.store.heartbeat_lease(lease_id, self.config.lease_ttl_s)
+        if lease is None:
+            raise LeaseExpiredError(
+                f"lease {lease_id!r} is not active; the job has been "
+                "requeued or finished — discard the work and lease afresh"
+            )
+        info = self.workers_info.get(lease.worker)
+        if info is not None:
+            info.last_seen_s = time.time()
+        return lease.to_dict()
+
+    def finish_remote(self, lease_id: str, body) -> tuple[int, dict]:
+        """Apply a fleet worker's ``POST /leases/{id}/result``.
+
+        Returns ``(status, response_body)``.  First submission on an
+        active lease lands the payload in the result store exactly as
+        local execution would (the wire JSON round-trips floats
+        bitwise); a duplicate on a completed lease is idempotent
+        (``accepted: false``); submission on an expired/released lease
+        raises :class:`LeaseExpiredError` — the job was requeued, and
+        the retry will produce identical bits anyway.
+        """
+        if not isinstance(body, dict):
+            raise ConfigError("result submission body must be a JSON object")
+        lease = self.store.get_lease(lease_id)
+        if lease is None:
+            raise LeaseError(f"unknown lease {lease_id!r}")
+        record = self.records.get(lease.job_id)
+        if not lease.live:
+            if lease.state in (LEASE_COMPLETED, LEASE_FAILED):
+                return 200, {
+                    "accepted": False,
+                    "duplicate": True,
+                    "lease": lease.to_dict(),
+                    "job_state": record.state if record else None,
+                }
+            raise LeaseExpiredError(
+                f"lease {lease_id!r} is {lease.state}; the job has been "
+                "requeued — discard this result"
+            )
+        if record is None or record.state != RUNNING or record.lease_id != lease_id:
+            raise LeaseExpiredError(f"lease {lease_id!r} no longer owns its job")
+        info = self.workers_info.get(lease.worker)
+        error = body.get("error")
+        if error is not None:
+            # A worker-*reported* error is a job failure (the job ran
+            # and raised), not a worker crash — terminal, no retry.
+            self._finish_record(record, info, None, str(error))
+            return 200, {"accepted": True, "job": record.to_dict()}
+        try:
+            kind = body["payload_kind"]
+            payload = decode_payload(kind, json.dumps(body["payload"]))
+            wall_clock_s = float(body["wall_clock_s"])
+            lut_from_cache = bool(body.get("lut_from_cache", False))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed result submission: {exc}") from None
+        result = CampaignResult(
+            job=record.job,
+            payload=payload,
+            wall_clock_s=wall_clock_s,
+            lut_from_cache=lut_from_cache,
+        )
+        self._finish_record(record, info, result, None)
+        return 200, {"accepted": True, "job": record.to_dict()}
+
+    def _requeue_expired(self, lease) -> None:
+        """React to one lease the reaper just expired.
+
+        Requeues the job at its original priority with the attempt
+        budget spent; past ``max_lease_retries`` grants the job goes
+        terminal ``failed`` instead (a job that reliably kills its
+        workers must not crash-loop the fleet).  During shutdown the
+        job is cancelled — there is nobody left to run it.
+        """
+        info = self.workers_info.get(lease.worker)
+        if info is not None:
+            info.expired += 1
+        self._m_leases_expired.inc(worker=lease.worker)
+        record = self.records.get(lease.job_id)
+        if (
+            record is None
+            or record.state != RUNNING
+            or record.lease_id != lease.lease_id
+        ):
+            return  # the job already finished under this or another lease
+        record.lease_id = None
+        record.worker = None
+        if self._closing:
+            record.state = CANCELLED
+            record.error = "lease expired during shutdown"
+            record.finished_s = time.time()
+            self._active.pop(job_key(record.job), None)
+            record.done_event.set()
+        elif record.attempts >= self.config.max_lease_retries:
+            record.state = FAILED
+            record.error = (
+                f"lease expired after {record.attempts} attempt(s); "
+                "retry budget exhausted"
+            )
+            record.finished_s = time.time()
+            self._active.pop(job_key(record.job), None)
+            self._m_failed.inc(worker=lease.worker)
+            record.done_event.set()
+        else:
+            record.state = QUEUED
+            record.started_s = None
+            self._pending += 1
+            self._queue.put_nowait((record.priority, next(self._order), record))
+            self._m_requeued.inc()
+
+    async def _reap_leases(self) -> None:
+        """Periodically expire overdue leases and requeue their jobs."""
+        while True:
+            await asyncio.sleep(self.config.lease_check_s)
+            for lease in self.store.expire_due_leases():
+                self._requeue_expired(lease)
 
     def _shared_segment_for(self, job: CampaignJob) -> str | None:
         """Name of the shared pricing-table segment for a job's LUT key,
@@ -525,37 +1000,85 @@ class CampaignService:
 
     async def start(self) -> None:
         """Bind the HTTP server and spawn the worker pool."""
+        # A crashed predecessor sharing this store may have left
+        # active lease rows behind; nobody will ever heartbeat them.
+        self.store.release_active_leases()
         if self.config.workers > 0:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.config.workers
-            )
+            self._executor = ProcessPoolExecutor(max_workers=self.config.workers)
             self._workers = [
-                asyncio.create_task(self._worker())
-                for _ in range(self.config.workers)
+                asyncio.create_task(self._worker(index))
+                for index in range(self.config.workers)
             ]
+        self._reaper = asyncio.create_task(self._reap_leases())
         self._server = await asyncio.start_server(
             self._handle_client, host=self.config.host, port=self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def shutdown(self) -> None:
-        """Graceful shutdown: refuse intake, cancel queued jobs, wait
-        for in-flight jobs to finish, then release every resource."""
+        """Graceful shutdown: refuse intake, cancel queued jobs, drain
+        outstanding fleet leases, wait for in-flight local jobs to
+        finish, then release every resource.
+
+        The HTTP server stays open through the lease drain — fleet
+        workers deliver results over *new* connections, so closing the
+        listener first would discard work that is seconds from done.
+        """
         if self._closing:
             await self._closed.wait()
             return
         self._closing = True
-        if self._server is not None:
-            self._server.close()
         for record in list(self.records.values()):
             if record.state == QUEUED:
                 self._mark_cancelled(record)
+        # Drain fleet leases: give outstanding remote jobs up to
+        # drain_timeout_s to POST their results (expiries during the
+        # drain cancel their jobs via _requeue_expired's closing path).
+        deadline = time.monotonic() + self.config.drain_timeout_s
+
+        def _remote_leases():
+            return [
+                lease
+                for lease in self.store.active_leases()
+                if not self.workers_info.get(
+                    lease.worker, WorkerInfo(id="?", name="?")
+                ).local
+            ]
+
+        while _remote_leases() and time.monotonic() < deadline:
+            for lease in self.store.expire_due_leases():
+                self._requeue_expired(lease)
+            await asyncio.sleep(0.05)
+        # Past the drain window: release what is left and cancel the
+        # jobs (requeueing would be a lie — workers lease nothing once
+        # _closing is set).
+        for lease in _remote_leases():
+            self.store.finish_lease(lease.lease_id, LEASE_RELEASED)
+            record = self.records.get(lease.job_id)
+            if (
+                record is not None
+                and record.state == RUNNING
+                and record.lease_id == lease.lease_id
+            ):
+                record.state = CANCELLED
+                record.error = "lease released at shutdown"
+                record.finished_s = time.time()
+                self._active.pop(job_key(record.job), None)
+                record.done_event.set()
         for _ in self._workers:
             # Sentinels sort behind every real priority, so a worker
             # only exits once the queue holds nothing runnable.
             self._queue.put_nowait((float("inf"), next(self._order), None))
         if self._workers:
             await asyncio.gather(*self._workers)
+        if self._reaper is not None:
+            self._reaper.cancel()
+            try:
+                await self._reaper
+            except asyncio.CancelledError:
+                pass
+        if self._server is not None:
+            self._server.close()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
         # The worker pool is drained and gone: release every shared
@@ -574,6 +1097,11 @@ class CampaignService:
             writer.close()
         if self._server is not None:
             await self._server.wait_closed()
+        # Lease-table hygiene: nothing is running any more, so any row
+        # still `active` (e.g. local leases when a worker task was
+        # killed mid-await) must not look live to the next process
+        # sharing this store file.
+        self.store.release_active_leases()
         self.store.close()
         self._closed.set()
 
@@ -602,8 +1130,8 @@ class CampaignService:
                 return  # slow/idle client — drop without a response
             if request is None:
                 return
-            method, path, query, body = request
-            await self._route(writer, method, path, query, body)
+            method, path, query, headers, body = request
+            await self._route(writer, method, path, query, headers, body)
         except ConfigError as error:
             # Malformed wire requests (bad request line, oversized
             # headers/body, non-JSON payload) get a 400, not a drop.
@@ -622,15 +1150,31 @@ class CampaignService:
             except (ConnectionError, OSError):
                 pass
 
-    async def _route(self, writer, method: str, path: str, query, body) -> None:
+    async def _route(
+        self, writer, method: str, path: str, query, headers, body
+    ) -> None:
         parts = [p for p in path.split("/") if p]
+        # Observability first: /healthz and /metrics must answer even
+        # when the queue is full, a tenant is rate-limited, or the
+        # service is draining — a saturated service that cannot be
+        # scraped cannot be operated.  Neither endpoint touches any
+        # admission guard below.
+        if method == "GET" and parts == ["healthz"]:
+            await _respond(writer, 200, self.stats())
+            return
+        if method == "GET" and parts == ["metrics"]:
+            await _respond_text(
+                writer,
+                200,
+                self.metrics.render(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+            return
         try:
             if method == "GET" and not parts:
                 await _respond(writer, 200, self._index())
-            elif method == "GET" and parts == ["healthz"]:
-                await _respond(writer, 200, self.stats())
             elif method == "POST" and parts == ["jobs"]:
-                await self._post_jobs(writer, body)
+                await self._post_jobs(writer, headers, body)
             elif method == "GET" and parts == ["jobs"]:
                 records = [r.to_dict() for r in self.records.values()]
                 await _respond(writer, 200, {"jobs": records})
@@ -639,9 +1183,7 @@ class CampaignService:
                 if record is None:
                     await _respond(writer, 404, {"error": f"no job {parts[1]!r}"})
                 else:
-                    await _respond(
-                        writer, 200, record.to_dict(include_payload=True)
-                    )
+                    await _respond(writer, 200, record.to_dict(include_payload=True))
             elif (
                 method == "GET"
                 and len(parts) == 3
@@ -672,26 +1214,89 @@ class CampaignService:
                 await self._get_results(writer, query)
             elif method == "GET" and parts == ["luts"]:
                 await self._list_luts(writer)
-            elif (
-                method in ("GET", "PUT")
-                and len(parts) == 3
-                and parts[0] == "luts"
-            ):
+            elif method in ("GET", "PUT") and len(parts) == 3 and parts[0] == "luts":
                 if method == "GET":
                     await self._get_lut(writer, parts[1], parts[2], query)
                 else:
                     await self._put_lut(writer, parts[1], parts[2], query, body)
+            elif method == "POST" and parts == ["workers"]:
+                name = (body or {}).get("name") if isinstance(body, dict) else None
+                info = self.register_worker(name)
+                await _respond(
+                    writer,
+                    201,
+                    {
+                        "worker": info.to_dict(),
+                        "lease_ttl_s": self.config.lease_ttl_s,
+                        "heartbeat_s": self.config.lease_ttl_s / 3.0,
+                    },
+                )
+            elif method == "GET" and parts == ["workers"]:
+                await _respond(
+                    writer,
+                    200,
+                    {
+                        "workers": [
+                            info.to_dict()
+                            for info in self.workers_info.values()
+                        ],
+                        "leases": [
+                            lease.to_dict()
+                            for lease in self.store.active_leases()
+                        ],
+                    },
+                )
+            elif method == "POST" and parts == ["leases"]:
+                if not isinstance(body, dict) or "worker" not in body:
+                    raise ConfigError(
+                        "POST /leases needs a JSON body with a 'worker' id"
+                    )
+                record = self.lease_next(str(body["worker"]))
+                if record is None:
+                    await _respond_empty(writer, 204)
+                else:
+                    lease = self.store.get_lease(record.lease_id)
+                    await _respond(
+                        writer,
+                        200,
+                        {
+                            "lease": lease.to_dict(),
+                            "job": record.to_dict(),
+                            "lease_ttl_s": self.config.lease_ttl_s,
+                        },
+                    )
+            elif (
+                method == "POST"
+                and len(parts) == 3
+                and parts[0] == "leases"
+                and parts[2] == "heartbeat"
+            ):
+                await _respond(writer, 200, {"lease": self.heartbeat(parts[1])})
+            elif (
+                method == "POST"
+                and len(parts) == 3
+                and parts[0] == "leases"
+                and parts[2] == "result"
+            ):
+                status, payload = self.finish_remote(parts[1], body)
+                await _respond(writer, status, payload)
             elif method == "POST" and parts == ["shutdown"]:
                 await _respond(writer, 202, {"shutting_down": True})
                 asyncio.get_running_loop().create_task(self.shutdown())
             else:
-                await _respond(
-                    writer, 404, {"error": f"no route {method} {path}"}
-                )
+                await _respond(writer, 404, {"error": f"no route {method} {path}"})
         except QueueFullError as error:
+            # QuotaExceededError rides the same arm: it subclasses
+            # QueueFullError and carries its own Retry-After hint.
+            retry_after = max(1, math.ceil(getattr(error, "retry_after_s", 1.0)))
             await _respond(
-                writer, 429, {"error": str(error)}, headers={"Retry-After": "1"}
+                writer,
+                429,
+                {"error": str(error)},
+                headers={"Retry-After": str(retry_after)},
             )
+        except LeaseError as error:
+            await _respond(writer, 409, {"error": str(error)})
         except (ConfigError, LutCacheError) as error:
             # LutCacheError here is a *client* problem (bad shard
             # segment, entry mismatching its key) — the local tier
@@ -711,6 +1316,7 @@ class CampaignService:
             "version": __version__,
             "endpoints": [
                 "GET /healthz",
+                "GET /metrics",
                 "POST /jobs",
                 "GET /jobs",
                 "GET /jobs/{id}",
@@ -720,6 +1326,11 @@ class CampaignService:
                 "GET /luts",
                 "GET /luts/{platform}/{network}",
                 "PUT /luts/{platform}/{network}",
+                "POST /workers",
+                "GET /workers",
+                "POST /leases",
+                "POST /leases/{id}/heartbeat",
+                "POST /leases/{id}/result",
                 "POST /shutdown",
             ],
         }
@@ -790,9 +1401,7 @@ class CampaignService:
         # (the loads/dumps hop is float-exact either way).
         await _respond(writer, 200, json.loads(text))
 
-    async def _put_lut(
-        self, writer, platform: str, network: str, query, body
-    ) -> None:
+    async def _put_lut(self, writer, platform: str, network: str, query, body) -> None:
         if self._lut_tier is None:
             raise ServiceError(
                 "this instance has no --cache-dir and does not accept "
@@ -823,7 +1432,26 @@ class CampaignService:
             {"stored": True, "existed": existed, "key": key.to_dict()},
         )
 
-    async def _post_jobs(self, writer, body) -> None:
+    async def _post_jobs(self, writer, headers, body) -> None:
+        tenant = (headers or {}).get("x-tenant", DEFAULT_TENANT)
+        if not _valid_name(tenant):
+            raise ConfigError(f"tenant {tenant!r} must be 1-64 chars of [A-Za-z0-9._-]")
+        # Rate limit before parsing: a tenant hammering the endpoint
+        # with garbage must not get free validation cycles.
+        if self.config.rate_limit_per_s > 0:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.config.rate_limit_per_s, self.config.rate_burst
+                )
+            wait = bucket.take()
+            if wait > 0:
+                self._m_rejected.inc(reason="rate_limit")
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} exceeded "
+                    f"{self.config.rate_limit_per_s}/s on POST /jobs",
+                    retry_after_s=wait,
+                )
         jobs, priority = jobs_from_body(body)
         # All-or-nothing admission: a partially accepted grid would
         # leave the client guessing which cells ran.  One store lookup
@@ -837,18 +1465,31 @@ class CampaignService:
             for job, hit in lookups
             if job_key(job) not in self._active and hit is None
         )
+        if self.config.quota_jobs > 0:
+            active = sum(
+                1
+                for record in self._active.values()
+                if record.tenant == tenant
+            )
+            if active + fresh > self.config.quota_jobs:
+                self._m_rejected.inc(reason="quota")
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} quota is {self.config.quota_jobs} "
+                    f"active job(s); {active} active, submission adds "
+                    f"{fresh}",
+                    retry_after_s=1.0,
+                )
         if fresh > free:
+            self._m_rejected.inc(reason="queue_full")
             raise QueueFullError(
                 f"job queue is full: submission needs {fresh} slot(s), "
                 f"{free} free (limit {self.config.queue_limit})"
             )
         records = [
-            self.submit(job, priority=priority, stored=hit)
+            self.submit(job, priority=priority, stored=hit, tenant=tenant)
             for job, hit in lookups
         ]
-        await _respond(
-            writer, 202, {"jobs": [record.to_dict() for record in records]}
-        )
+        await _respond(writer, 202, {"jobs": [record.to_dict() for record in records]})
 
     async def _get_results(self, writer, query) -> None:
         unknown = set(query) - {"network", "platform", "mode", "kind", "seed"}
@@ -885,9 +1526,7 @@ class CampaignService:
         )
         await writer.drain()
         async for event, data in self.progress_events(record):
-            writer.write(
-                f"event: {event}\ndata: {json.dumps(data)}\n\n".encode()
-            )
+            writer.write(f"event: {event}\ndata: {json.dumps(data)}\n\n".encode())
             await writer.drain()
 
 
@@ -895,7 +1534,9 @@ class CampaignService:
 
 _STATUS_TEXT = {
     200: "OK",
+    201: "Created",
     202: "Accepted",
+    204: "No Content",
     400: "Bad Request",
     404: "Not Found",
     409: "Conflict",
@@ -905,7 +1546,8 @@ _STATUS_TEXT = {
 
 
 async def _read_request(reader: asyncio.StreamReader):
-    """Parse one HTTP/1.1 request: ``(method, path, query, json_body)``.
+    """Parse one HTTP/1.1 request:
+    ``(method, path, query, headers, json_body)``.
 
     Returns None on an empty connection (client connected and left).
     Raises :class:`ConfigError` for malformed requests so the router
@@ -946,10 +1588,8 @@ async def _read_request(reader: asyncio.StreamReader):
         except json.JSONDecodeError as error:
             raise ConfigError(f"request body is not JSON: {error}") from None
     split = urlsplit(target)
-    query = {
-        key: values[-1] for key, values in parse_qs(split.query).items()
-    }
-    return method.upper(), split.path, query, body
+    query = {key: values[-1] for key, values in parse_qs(split.query).items()}
+    return method.upper(), split.path, query, headers, body
 
 
 async def _respond(
@@ -967,6 +1607,32 @@ async def _respond(
     for name, value in (headers or {}).items():
         head.append(f"{name}: {value}")
     writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+    await writer.drain()
+
+
+async def _respond_text(
+    writer, status: int, text: str, content_type: str = "text/plain"
+) -> None:
+    """Write one plain-text response (the ``/metrics`` exposition)."""
+    body = text.encode()
+    head = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+    await writer.drain()
+
+
+async def _respond_empty(writer, status: int) -> None:
+    """Write one body-less response (204 lease polls)."""
+    head = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}",
+        "Content-Length: 0",
+        "Connection: close",
+    ]
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode())
     await writer.drain()
 
 

@@ -59,6 +59,39 @@ CREATE TABLE IF NOT EXISTS results (
 )
 """
 
+_LEASE_DDL = """
+CREATE TABLE IF NOT EXISTS leases (
+    lease_id TEXT PRIMARY KEY,
+    job_id TEXT NOT NULL,
+    job_key TEXT NOT NULL,
+    worker TEXT NOT NULL,
+    state TEXT NOT NULL,
+    attempt INTEGER NOT NULL,
+    created_s REAL NOT NULL,
+    deadline_s REAL NOT NULL,
+    heartbeats INTEGER NOT NULL,
+    finished_s REAL
+)
+"""
+
+#: Lease lifecycle states.  ``active`` is the only live state;
+#: ``completed``/``failed`` are worker-reported outcomes, ``expired``
+#: means the reaper (or a late heartbeat check) found the deadline
+#: passed, ``released`` means the service let go of the lease itself
+#: (shutdown, or stale rows from a previous service process).
+LEASE_ACTIVE, LEASE_COMPLETED, LEASE_FAILED, LEASE_EXPIRED, LEASE_RELEASED = (
+    "active",
+    "completed",
+    "failed",
+    "expired",
+    "released",
+)
+
+_LEASE_COLUMNS = (
+    "lease_id, job_id, job_key, worker, state, attempt, created_s, "
+    "deadline_s, heartbeats, finished_s"
+)
+
 
 def job_key(job: CampaignJob) -> str:
     """The store's primary key for one job: its full identity.
@@ -109,9 +142,7 @@ def encode_payload(payload) -> tuple[str, str]:
         return "table2_row", json.dumps(asdict(payload))
     if isinstance(payload, MethodComparison):
         return "method_comparison", json.dumps(asdict(payload))
-    raise ConfigError(
-        f"cannot store payload of type {type(payload).__name__}"
-    )
+    raise ConfigError(f"cannot store payload of type {type(payload).__name__}")
 
 
 def decode_payload(payload_kind: str, text: str):
@@ -188,6 +219,42 @@ def _search_result_from(body: dict) -> SearchResult:
 
 
 @dataclass
+class LeaseRecord:
+    """One job lease as the lease table tracks it.
+
+    A lease is the unit of the fleet's pull protocol: one worker's
+    bounded claim on one queued job.  Liveness is heartbeat-extended
+    (``deadline_s`` moves forward); a missed deadline expires the
+    lease and requeues the job.  ``attempt`` counts the job's leases
+    so far (1-based), bounding crash-requeue loops.
+    """
+
+    lease_id: str
+    job_id: str
+    job_key: str
+    worker: str
+    state: str = LEASE_ACTIVE
+    attempt: int = 1
+    created_s: float = 0.0
+    deadline_s: float = 0.0
+    heartbeats: int = 0
+    finished_s: float | None = None
+
+    @property
+    def live(self) -> bool:
+        """Whether the lease is still active (deadline not considered)."""
+        return self.state == LEASE_ACTIVE
+
+    def age_s(self, now: float) -> float:
+        """Seconds since the lease was granted."""
+        return max(0.0, now - self.created_s)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (the wire format of ``GET /workers``)."""
+        return asdict(self)
+
+
+@dataclass
 class StoredResult:
     """One solved scenario as the store returns it."""
 
@@ -224,6 +291,7 @@ class ResultStore:
         self._conn = sqlite3.connect(self.path, check_same_thread=False)
         with self._lock:
             self._conn.execute(_TABLE_DDL)
+            self._conn.execute(_LEASE_DDL)
             self._conn.commit()
 
     # -- writes -------------------------------------------------------------
@@ -352,6 +420,168 @@ class ResultStore:
                 )
             )
         return results
+
+    # -- leases (the fleet's pull protocol; see runtime/service.py) ----------
+
+    def create_lease(
+        self,
+        lease_id: str,
+        job_id: str,
+        job_key: str,
+        worker: str,
+        ttl_s: float,
+        attempt: int = 1,
+        now: float | None = None,
+    ) -> LeaseRecord:
+        """Grant one lease: ``worker`` owns ``job_id`` until the deadline."""
+        now = time.time() if now is None else now
+        record = LeaseRecord(
+            lease_id=lease_id,
+            job_id=job_id,
+            job_key=job_key,
+            worker=worker,
+            state=LEASE_ACTIVE,
+            attempt=attempt,
+            created_s=now,
+            deadline_s=now + ttl_s,
+        )
+        with self._lock:
+            self._conn.execute(
+                f"INSERT INTO leases ({_LEASE_COLUMNS}) VALUES "
+                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    record.lease_id,
+                    record.job_id,
+                    record.job_key,
+                    record.worker,
+                    record.state,
+                    record.attempt,
+                    record.created_s,
+                    record.deadline_s,
+                    record.heartbeats,
+                    record.finished_s,
+                ),
+            )
+            self._conn.commit()
+        return record
+
+    def get_lease(self, lease_id: str) -> LeaseRecord | None:
+        """One lease by id, or None."""
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT {_LEASE_COLUMNS} FROM leases WHERE lease_id = ?",
+                (lease_id,),
+            ).fetchone()
+        return LeaseRecord(*row) if row is not None else None
+
+    def heartbeat_lease(
+        self, lease_id: str, ttl_s: float, now: float | None = None
+    ) -> LeaseRecord | None:
+        """Extend an active lease's deadline; None when not extendable.
+
+        A heartbeat arriving *after* the deadline flips the lease to
+        ``expired`` right here (instead of waiting for the reaper), so
+        "heartbeat after expiry answers 409" holds deterministically —
+        the worker learns it lost the lease on its very next beat.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT state, deadline_s FROM leases WHERE lease_id = ?",
+                (lease_id,),
+            ).fetchone()
+            if row is None or row[0] != LEASE_ACTIVE:
+                return None
+            if row[1] < now:
+                self._conn.execute(
+                    "UPDATE leases SET state = ?, finished_s = ? "
+                    "WHERE lease_id = ?",
+                    (LEASE_EXPIRED, now, lease_id),
+                )
+                self._conn.commit()
+                return None
+            self._conn.execute(
+                "UPDATE leases SET deadline_s = ?, heartbeats = heartbeats + 1 "
+                "WHERE lease_id = ?",
+                (now + ttl_s, lease_id),
+            )
+            self._conn.commit()
+        return self.get_lease(lease_id)
+
+    def finish_lease(
+        self, lease_id: str, state: str, now: float | None = None
+    ) -> LeaseRecord | None:
+        """Move an *active* lease to a terminal state; None otherwise.
+
+        The active-only guard makes result submission race-free: of a
+        worker's submission and the reaper's expiry, exactly one wins.
+        """
+        if state not in (LEASE_COMPLETED, LEASE_FAILED, LEASE_EXPIRED, LEASE_RELEASED):
+            raise ConfigError(f"invalid terminal lease state {state!r}")
+        now = time.time() if now is None else now
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE leases SET state = ?, finished_s = ? "
+                "WHERE lease_id = ? AND state = ?",
+                (state, now, lease_id, LEASE_ACTIVE),
+            )
+            self._conn.commit()
+            if cursor.rowcount == 0:
+                return None
+        return self.get_lease(lease_id)
+
+    def expire_due_leases(self, now: float | None = None) -> list[LeaseRecord]:
+        """Flip every active lease past its deadline to ``expired``.
+
+        Returns the freshly expired leases — the reaper requeues their
+        jobs (bounded by the retry budget).
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT {_LEASE_COLUMNS} FROM leases "
+                "WHERE state = ? AND deadline_s < ?",
+                (LEASE_ACTIVE, now),
+            ).fetchall()
+            if rows:
+                self._conn.execute(
+                    "UPDATE leases SET state = ?, finished_s = ? "
+                    "WHERE state = ? AND deadline_s < ?",
+                    (LEASE_EXPIRED, now, LEASE_ACTIVE, now),
+                )
+                self._conn.commit()
+        expired = [LeaseRecord(*row) for row in rows]
+        for record in expired:
+            record.state = LEASE_EXPIRED
+            record.finished_s = now
+        return expired
+
+    def active_leases(self) -> list[LeaseRecord]:
+        """Every active lease, oldest first."""
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT {_LEASE_COLUMNS} FROM leases WHERE state = ? "
+                "ORDER BY created_s",
+                (LEASE_ACTIVE,),
+            ).fetchall()
+        return [LeaseRecord(*row) for row in rows]
+
+    def release_active_leases(self, now: float | None = None) -> int:
+        """Release every active lease (service start/stop hygiene).
+
+        A service inheriting a persistent store from a crashed
+        predecessor must not treat its stale leases as live work;
+        a service shutting down releases what its drain did not wait
+        out.  Returns the number of leases released.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            cursor = self._conn.execute(
+                "UPDATE leases SET state = ?, finished_s = ? WHERE state = ?",
+                (LEASE_RELEASED, now, LEASE_ACTIVE),
+            )
+            self._conn.commit()
+            return cursor.rowcount
 
     def __len__(self) -> int:
         """Number of stored results (current schema only)."""

@@ -1,0 +1,293 @@
+"""Fleet worker: pull jobs from a campaign service over HTTP.
+
+``repro work --server URL`` turns any host that can import this repo
+into fleet capacity.  The protocol is deliberately worker-*pull* (the
+service never dials out, so workers behind NAT just work):
+
+1. **Register** — ``POST /workers`` once at startup; the grant carries
+   this worker's id, the lease TTL and the suggested heartbeat
+   interval.
+2. **Lease** — ``POST /leases`` claims the highest-priority queued
+   job; 204 means "nothing to do, poll again".
+3. **Heartbeat** — while the job executes (in this process, via
+   :func:`~repro.runtime.campaign.execute_job` — the exact function
+   the service's local pool runs), a daemon thread beats
+   ``POST /leases/{id}/heartbeat`` every TTL/3 seconds.  A 409 tells
+   the worker it lost the lease (the service requeued the job) and
+   the result must be discarded.
+4. **Result** — ``POST /leases/{id}/result`` delivers the encoded
+   payload.  Encoding goes through
+   :func:`~repro.runtime.store.encode_payload` — the same JSON the
+   result store writes — so a remotely computed result lands in the
+   store bitwise-identical to local execution (shortest-repr floats
+   round-trip exactly).
+
+Worker-side job failures are *reported*, not retried: the job raised,
+so it would raise anywhere (searches are deterministic).  Crashes and
+network partitions are what the lease machinery handles — the service
+requeues after a missed heartbeat, bounded by ``max_lease_retries``.
+
+The worker exits cleanly when the service becomes unreachable or
+starts draining (both look like lease/registration failures after
+retries) — a fleet host is cattle, not a pet.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError, LeaseExpiredError, ServiceError
+from repro.runtime.campaign import CampaignJob, execute_job
+from repro.runtime.client import ServiceClient
+from repro.runtime.store import encode_payload
+
+#: Consecutive failed service round-trips before the worker gives up
+#: (covers restarts and brief partitions without spinning forever).
+MAX_CONSECUTIVE_ERRORS = 5
+
+
+@dataclass
+class WorkerConfig:
+    """Configuration of one ``repro work`` process."""
+
+    #: Campaign-service base URL (``http://host:port``).
+    server: str
+    #: Human-readable worker name (shows up in ``GET /workers``,
+    #: lease ownership and per-worker metrics).
+    name: str | None = None
+    #: Local LUT cache tier for executed jobs (same flag as serve).
+    cache_dir: str | None = None
+    #: Remote LUT shard server(s) chained behind the local tier.
+    cache_remote: str | None = None
+    #: Seconds between lease polls while the queue is empty.
+    poll_s: float = 0.5
+    #: Stop after this many executed jobs (0 = run until the service
+    #: goes away).
+    max_jobs: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.server:
+            raise ConfigError("worker needs a --server URL")
+        if self.poll_s <= 0:
+            raise ConfigError(f"poll_s must be > 0, got {self.poll_s}")
+        if self.max_jobs < 0:
+            raise ConfigError(f"max_jobs must be >= 0, got {self.max_jobs}")
+
+
+@dataclass
+class WorkerStats:
+    """What one worker run did (the ``repro work`` exit summary)."""
+
+    completed: int = 0
+    failed: int = 0
+    lost_leases: int = 0
+    polls: int = 0
+    started_s: float = field(default_factory=time.time)
+
+    def to_dict(self) -> dict:
+        return {
+            "completed": self.completed,
+            "failed": self.failed,
+            "lost_leases": self.lost_leases,
+            "polls": self.polls,
+            "uptime_s": time.time() - self.started_s,
+        }
+
+
+class _Heartbeat(threading.Thread):
+    """Daemon thread beating one lease until stopped or lost.
+
+    Transient transport errors are tolerated (the TTL absorbs a few
+    missed beats); a 409 sets :attr:`lost` and ends the thread — the
+    service has already requeued the job.
+    """
+
+    def __init__(self, client: ServiceClient, lease_id: str, interval_s: float) -> None:
+        super().__init__(daemon=True, name=f"heartbeat-{lease_id}")
+        self.client = client
+        self.lease_id = lease_id
+        self.interval_s = interval_s
+        self.lost = threading.Event()
+        # Not `_stop`: threading.Thread claims that name internally.
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval_s):
+            try:
+                self.client.heartbeat(self.lease_id)
+            except LeaseExpiredError:
+                self.lost.set()
+                return
+            except (ServiceError, OSError):
+                continue
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=self.interval_s + 5.0)
+
+
+def encode_outcome(result) -> dict:
+    """A :class:`CampaignResult` as the result-submission wire body.
+
+    ``encode_payload`` produces the store's canonical JSON text; the
+    parse/serialize hop through the HTTP body preserves every float
+    bitwise (Python's shortest-repr round-trip guarantee), which is
+    what keeps remote execution indistinguishable from local.
+    """
+    kind, text = encode_payload(result.payload)
+    return {
+        "payload_kind": kind,
+        "payload": json.loads(text),
+        "wall_clock_s": result.wall_clock_s,
+        "lut_from_cache": result.lut_from_cache,
+    }
+
+
+class FleetWorker:
+    """One worker process: register, then lease/execute/report forever."""
+
+    def __init__(
+        self, config: WorkerConfig, client: ServiceClient | None = None
+    ) -> None:
+        self.config = config
+        self.client = client or ServiceClient(config.server)
+        self.stats = WorkerStats()
+        self.worker_id: str | None = None
+        self.heartbeat_s: float = 10.0
+
+    def register(self) -> dict:
+        """Announce this worker; remembers the id and heartbeat hint."""
+        grant = self.client.register_worker(self.config.name)
+        self.worker_id = grant["worker"]["id"]
+        self.heartbeat_s = float(
+            grant.get("heartbeat_s", grant.get("lease_ttl_s", 30.0) / 3.0)
+        )
+        return grant
+
+    def run_one(self) -> bool:
+        """Lease and fully process one job; False when the queue was
+        empty."""
+        assert self.worker_id is not None, "register() first"
+        grant = self.client.lease(self.worker_id)
+        self.stats.polls += 1
+        if grant is None:
+            return False
+        self._process(grant)
+        return True
+
+    def _process(self, grant: dict) -> None:
+        lease_id = grant["lease"]["lease_id"]
+        job = CampaignJob(**grant["job"]["job"])
+        beat = _Heartbeat(self.client, lease_id, self.heartbeat_s)
+        beat.start()
+        try:
+            result = execute_job(job, self.config.cache_dir, self.config.cache_remote)
+        except Exception as error:  # job failure — report, don't die
+            outcome = {"error": f"{type(error).__name__}: {error}"}
+        else:
+            outcome = encode_outcome(result)
+        finally:
+            beat.stop()
+        if beat.lost.is_set():
+            # The service expired the lease mid-run (e.g. a long GC or
+            # paused VM): the job is already requeued, this result must
+            # not race the retry.
+            self.stats.lost_leases += 1
+            return
+        try:
+            self.client.submit_result(lease_id, outcome)
+        except LeaseExpiredError:
+            self.stats.lost_leases += 1
+            return
+        if "error" in outcome:
+            self.stats.failed += 1
+        else:
+            self.stats.completed += 1
+
+    def run(self) -> WorkerStats:
+        """The worker main loop; returns stats when the service goes
+        away or ``max_jobs`` is reached."""
+        self.register()
+        errors = 0
+        while True:
+            try:
+                worked = self.run_one()
+            except (ServiceError, OSError):
+                errors += 1
+                if errors >= MAX_CONSECUTIVE_ERRORS:
+                    return self.stats
+                time.sleep(self.config.poll_s)
+                continue
+            errors = 0
+            done = self.stats.completed + self.stats.failed
+            if self.config.max_jobs and done >= self.config.max_jobs:
+                return self.stats
+            if not worked:
+                time.sleep(self.config.poll_s)
+
+
+def run_worker(config: WorkerConfig) -> int:
+    """Blocking entry point behind ``repro work``.
+
+    Prints a line per lifecycle event (grep-able by the fleet smoke)
+    and a JSON stats summary on exit; Ctrl-C exits cleanly.
+    """
+    worker = FleetWorker(config)
+    try:
+        grant = worker.register()
+    except (ServiceError, OSError) as error:
+        print(f"cannot register with {config.server}: {error}", flush=True)
+        return 1
+    print(
+        f"worker {worker.worker_id} registered at {config.server} "
+        f"(heartbeat {worker.heartbeat_s:.3g}s)",
+        flush=True,
+    )
+    del grant
+    errors = 0
+    try:
+        while True:
+            try:
+                grant = worker.client.lease(worker.worker_id)
+                worker.stats.polls += 1
+            except (ServiceError, OSError):
+                errors += 1
+                if errors >= MAX_CONSECUTIVE_ERRORS:
+                    print("service unreachable; exiting", flush=True)
+                    break
+                time.sleep(config.poll_s)
+                continue
+            errors = 0
+            if grant is None:
+                time.sleep(config.poll_s)
+                continue
+            lease = grant["lease"]
+            key = grant["job"]["key"]
+            print(
+                f"worker {worker.worker_id} leased {lease['lease_id']} "
+                f"({key}, attempt {lease['attempt']})",
+                flush=True,
+            )
+            before = worker.stats.lost_leases
+            worker._process(grant)
+            if worker.stats.lost_leases > before:
+                print(
+                    f"worker {worker.worker_id} lost {lease['lease_id']} "
+                    "(expired; job requeued)",
+                    flush=True,
+                )
+            else:
+                print(
+                    f"worker {worker.worker_id} finished {lease['lease_id']}",
+                    flush=True,
+                )
+            done = worker.stats.completed + worker.stats.failed
+            if config.max_jobs and done >= config.max_jobs:
+                break
+    except KeyboardInterrupt:
+        pass
+    print(f"worker stats: {json.dumps(worker.stats.to_dict())}", flush=True)
+    return 0

@@ -1,0 +1,143 @@
+"""The bench-artifact schema gate (scripts/check_bench_artifact.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+_SCRIPT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "scripts"
+    / "check_bench_artifact.py"
+)
+_spec = importlib.util.spec_from_file_location("check_bench_artifact", _SCRIPT)
+gate = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_bench_artifact", gate)
+_spec.loader.exec_module(gate)
+
+
+def _valid_artifact(**overrides) -> dict:
+    """The shape ``scripts/bench_search.py`` writes (reference leg)."""
+    payload = {
+        "schema_version": gate.MIN_SCHEMA_VERSION,
+        "platform": "jetson_tx2",
+        "search_wall_clock_s": {"fig1_toy": 0.12},
+        "episodes_per_s": {"fig1_toy": 7500.0},
+        "multi_seed": {"fig1_toy": {"mean_ms": 1.0}},
+        "mega_batch": {"fig1_toy": {"episodes_per_s": 9000.0}},
+        "kernel": {
+            "backend": "reference",
+            "numba_available": False,
+            "speedup": {},
+        },
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestCheckArtifact:
+    def test_valid_reference_artifact_passes(self):
+        assert gate.check_artifact(_valid_artifact()) == []
+
+    def test_valid_numba_artifact_passes(self):
+        payload = _valid_artifact(
+            kernel={
+                "backend": "numba",
+                "numba_available": True,
+                "speedup": {"fig1_toy": 11.0},
+            }
+        )
+        assert gate.check_artifact(payload) == []
+
+    def test_each_missing_section_is_reported(self):
+        cases = {
+            "search_wall_clock_s": "wall clocks",
+            "platform": "platform",
+            "multi_seed": "multi_seed",
+            "mega_batch": "mega_batch",
+            "episodes_per_s": "throughput",
+        }
+        for field, needle in cases.items():
+            payload = _valid_artifact()
+            del payload[field]
+            problems = gate.check_artifact(payload)
+            assert len(problems) == 1, (field, problems)
+            assert needle in problems[0]
+
+    def test_old_schema_rejected(self):
+        payload = _valid_artifact(schema_version=gate.MIN_SCHEMA_VERSION - 1)
+        (problem,) = gate.check_artifact(payload)
+        assert "schema too old" in problem
+
+    def test_missing_kernel_section_short_circuits(self):
+        payload = _valid_artifact()
+        del payload["kernel"]
+        (problem,) = gate.check_artifact(payload)
+        assert "kernel section" in problem
+
+    def test_unknown_backend_reported(self):
+        payload = _valid_artifact()
+        payload["kernel"]["backend"] = "cuda"
+        problems = gate.check_artifact(payload)
+        assert any("unknown kernel backend" in p for p in problems)
+
+    def test_numba_available_must_be_bool(self):
+        payload = _valid_artifact()
+        payload["kernel"]["numba_available"] = "yes"
+        problems = gate.check_artifact(payload)
+        assert any("must be a bool" in p for p in problems)
+
+    def test_numba_leg_proof_obligations(self):
+        """A numba leg with no recorded speedups or no mega-batch run
+        silently proved nothing — the gate must say so."""
+        payload = _valid_artifact(
+            mega_batch={},
+            kernel={
+                "backend": "numba",
+                "numba_available": True,
+                "speedup": {},
+            },
+        )
+        problems = gate.check_artifact(payload)
+        assert any("no kernel speedups" in p for p in problems)
+        assert any("no mega_batch run" in p for p in problems)
+
+    def test_reference_leg_may_skip_speedups(self):
+        payload = _valid_artifact(mega_batch={})
+        assert gate.check_artifact(payload) == []
+
+
+class TestMain:
+    def test_valid_artifact_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_search.json"
+        path.write_text(json.dumps(_valid_artifact()))
+        assert gate.main([str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_violations_exit_nonzero_one_line_each(self, tmp_path, capsys):
+        payload = _valid_artifact()
+        del payload["platform"]
+        del payload["multi_seed"]
+        path = tmp_path / "BENCH_search.json"
+        path.write_text(json.dumps(payload))
+        assert gate.main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert out.count("bench artifact:") == 2
+
+    def test_missing_file_exits_nonzero(self, tmp_path, capsys):
+        assert gate.main([str(tmp_path / "absent.json")]) == 1
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_unparsable_json_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_search.json"
+        path.write_text("{not json")
+        assert gate.main([str(path)]) == 1
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_print_flag_dumps_the_artifact(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_search.json"
+        path.write_text(json.dumps(_valid_artifact()))
+        assert gate.main(["--print", str(path)]) == 0
+        assert '"schema_version"' in capsys.readouterr().out

@@ -1,0 +1,646 @@
+"""The worker fleet: leases, heartbeats, quotas, rate limits, drains.
+
+Two layers of coverage.  Deterministic lease mechanics run against an
+*unstarted* ``CampaignService`` (workers=0, no event loop): submit,
+lease, expire and finish are all plain synchronous calls, so expiry
+and retry-budget edges are driven with explicit ``now`` values instead
+of sleeps.  Protocol/admission behaviour (409s, 429 + Retry-After,
+observability bypass, shutdown drain) runs over real HTTP against a
+live service, including a full ``FleetWorker`` round trip asserting
+remote execution is bitwise-identical to local.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.config import ServiceConfig
+from repro.errors import (
+    ConfigError,
+    LeaseError,
+    LeaseExpiredError,
+    QueueFullError,
+    QuotaExceededError,
+    ServiceError,
+)
+from repro.runtime.campaign import CampaignJob, execute_job
+from repro.runtime.client import ServiceClient
+from repro.runtime.metrics import parse_samples
+from repro.runtime.service import (
+    CampaignService,
+    TokenBucket,
+    WorkerInfo,
+)
+from repro.runtime.store import (
+    LEASE_ACTIVE,
+    LEASE_COMPLETED,
+    LEASE_EXPIRED,
+    ResultStore,
+)
+from repro.runtime.worker import (
+    FleetWorker,
+    WorkerConfig,
+    encode_outcome,
+)
+
+EPISODES = 150
+
+FAR_FUTURE = 1e12  # a `now` safely past any real lease deadline
+
+
+def _toy_job(**overrides) -> CampaignJob:
+    fields = dict(
+        network="fig1_toy", mode="gpgpu", episodes=EPISODES, kind="search"
+    )
+    fields.update(overrides)
+    return CampaignJob(**fields)
+
+
+def _fleet_service(**overrides) -> CampaignService:
+    """An unstarted workers=0 service (pure-sync queue mechanics)."""
+    overrides.setdefault("workers", 0)
+    overrides.setdefault("port", 0)
+    return CampaignService(ServiceConfig(**overrides))
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        bucket = TokenBucket(rate=1.0, burst=2)
+        now = bucket.updated
+        assert bucket.take(now) == 0.0
+        assert bucket.take(now) == 0.0
+        wait = bucket.take(now)
+        assert wait == pytest.approx(1.0)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=1)
+        now = bucket.updated
+        assert bucket.take(now) == 0.0
+        assert bucket.take(now) > 0.0
+        # Half a second at 2 tokens/s refills the single token.
+        assert bucket.take(now + 0.5) == 0.0
+
+    def test_never_exceeds_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=3)
+        now = bucket.updated
+        for _ in range(3):
+            assert bucket.take(now + 60.0) == 0.0
+        assert bucket.take(now + 60.0) > 0.0
+
+    def test_wait_hint_shrinks_as_tokens_accrue(self):
+        bucket = TokenBucket(rate=1.0, burst=1)
+        now = bucket.updated
+        bucket.take(now)
+        first = bucket.take(now)
+        later = bucket.take(now + 0.25)
+        assert 0 < later < first
+
+
+class TestWorkerRegistration:
+    def test_ids_are_unique_even_with_shared_names(self):
+        service = _fleet_service()
+        a = service.register_worker("host")
+        b = service.register_worker("host")
+        assert a.id != b.id
+        assert a.name == b.name == "host"
+        assert set(service.workers_info) == {a.id, b.id}
+
+    def test_invalid_name_rejected(self):
+        service = _fleet_service()
+        for bad in ("", "x" * 65, "has space", "semi;colon", "a\nb"):
+            with pytest.raises(ConfigError):
+                service.register_worker(bad)
+
+    def test_anonymous_worker_named_after_id(self):
+        info = _fleet_service().register_worker()
+        assert info.name == info.id
+
+    def test_unknown_worker_cannot_lease(self):
+        service = _fleet_service()
+        with pytest.raises(LeaseError):
+            service.lease_next("w99-ghost")
+
+
+class TestLeaseLifecycle:
+    def test_grant_moves_job_to_running_under_a_lease(self):
+        service = _fleet_service()
+        info = service.register_worker("host")
+        record = service.submit(_toy_job())
+        granted = service.lease_next(info.id)
+        assert granted is record
+        assert record.state == "running"
+        assert record.attempts == 1
+        assert record.worker == info.id
+        lease = service.store.get_lease(record.lease_id)
+        assert lease.state == LEASE_ACTIVE
+        assert lease.worker == info.id
+        assert lease.attempt == 1
+
+    def test_empty_queue_leases_none(self):
+        service = _fleet_service()
+        info = service.register_worker("host")
+        assert service.lease_next(info.id) is None
+
+    def test_cancelled_job_is_skipped(self):
+        service = _fleet_service()
+        info = service.register_worker("host")
+        record = service.submit(_toy_job())
+        assert service.cancel(record.id)
+        assert service.lease_next(info.id) is None
+
+    def test_heartbeat_extends_deadline(self):
+        service = _fleet_service()
+        info = service.register_worker("host")
+        record = service.submit(_toy_job())
+        service.lease_next(info.id)
+        before = service.store.get_lease(record.lease_id).deadline_s
+        time.sleep(0.01)
+        after = service.heartbeat(record.lease_id)
+        assert after["deadline_s"] > before
+
+    def test_heartbeat_after_expiry_raises_conflict(self):
+        """Satellite case: a beat past the deadline answers 409 —
+        deterministically, without waiting for the reaper."""
+        service = _fleet_service(lease_ttl_s=30.0)
+        info = service.register_worker("host")
+        record = service.submit(_toy_job())
+        service.lease_next(info.id)
+        # Flip the lease by beating *late* (explicit now), not by
+        # sleeping: heartbeat_lease itself detects the missed deadline.
+        late = service.store.heartbeat_lease(
+            record.lease_id, service.config.lease_ttl_s, now=FAR_FUTURE
+        )
+        assert late is None
+        assert (
+            service.store.get_lease(record.lease_id).state == LEASE_EXPIRED
+        )
+        with pytest.raises(LeaseExpiredError):
+            service.heartbeat(record.lease_id)
+
+    def test_heartbeat_unknown_lease_raises(self):
+        with pytest.raises(LeaseExpiredError):
+            _fleet_service().heartbeat("lease-404")
+
+
+class TestResultSubmission:
+    def _leased(self, **config):
+        service = _fleet_service(**config)
+        info = service.register_worker("host")
+        record = service.submit(_toy_job())
+        service.lease_next(info.id)
+        return service, info, record
+
+    def test_result_lands_bitwise_equal_to_local(self):
+        service, _, record = self._leased()
+        local = execute_job(record.job)
+        # The worker's wire body: encode, then the HTTP JSON hop.
+        body = json.loads(json.dumps(encode_outcome(local)))
+        status, payload = service.finish_remote(record.lease_id, body)
+        assert status == 200 and payload["accepted"]
+        assert record.state == "done"
+        assert record.result.payload.best_ms == local.payload.best_ms
+        stored = service.store.get(record.job)
+        assert stored is not None
+        lease = service.store.get_lease(payload["job"]["lease_id"])
+        assert lease.state == LEASE_COMPLETED
+
+    def test_duplicate_submission_is_idempotent(self):
+        """Satellite case: a second POST of the same result answers
+        200 with ``accepted: false`` instead of erroring."""
+        service, _, record = self._leased()
+        body = json.loads(json.dumps(encode_outcome(execute_job(record.job))))
+        lease_id = record.lease_id
+        first = service.finish_remote(lease_id, body)
+        second = service.finish_remote(lease_id, body)
+        assert first[0] == second[0] == 200
+        assert first[1]["accepted"] is True
+        assert second[1]["accepted"] is False
+        assert second[1]["duplicate"] is True
+        assert second[1]["job_state"] == "done"
+
+    def test_result_on_expired_lease_conflicts(self):
+        service, _, record = self._leased()
+        lease_id = record.lease_id
+        expired = service.store.expire_due_leases(now=FAR_FUTURE)
+        assert [lease.lease_id for lease in expired] == [lease_id]
+        for lease in expired:
+            service._requeue_expired(lease)
+        with pytest.raises(LeaseExpiredError):
+            service.finish_remote(lease_id, {"error": "too late"})
+
+    def test_result_on_unknown_lease_conflicts(self):
+        with pytest.raises(LeaseError):
+            _fleet_service().finish_remote("lease-404", {"error": "x"})
+
+    def test_worker_reported_error_is_terminal(self):
+        """A job that *raised* on the worker fails without retry —
+        searches are deterministic, it would raise anywhere."""
+        service, info, record = self._leased()
+        status, payload = service.finish_remote(
+            record.lease_id, {"error": "ValueError: bad LUT"}
+        )
+        assert status == 200 and payload["accepted"]
+        assert record.state == "failed"
+        assert "bad LUT" in record.error
+        assert info.failed == 1
+        # The queue stays empty: no requeue happened.
+        assert service.lease_next(info.id) is None
+
+    def test_malformed_submission_is_a_client_error(self):
+        service, _, record = self._leased()
+        with pytest.raises(ConfigError):
+            service.finish_remote(record.lease_id, {"payload_kind": "nope"})
+        with pytest.raises(ConfigError):
+            service.finish_remote(record.lease_id, "not an object")
+
+
+class TestExpiryAndRetryBudget:
+    def _expire_current_lease(self, service):
+        expired = service.store.expire_due_leases(now=FAR_FUTURE)
+        assert len(expired) == 1
+        service._requeue_expired(expired[0])
+        return expired[0]
+
+    def test_expired_lease_requeues_at_same_priority(self):
+        service = _fleet_service()
+        info = service.register_worker("host")
+        record = service.submit(_toy_job(), priority=7)
+        service.lease_next(info.id)
+        self._expire_current_lease(service)
+        assert record.state == "queued"
+        assert record.worker is None and record.lease_id is None
+        assert info.expired == 1
+        regrant = service.lease_next(info.id)
+        assert regrant is record
+        assert record.attempts == 2
+        assert service.store.get_lease(record.lease_id).attempt == 2
+        assert record.priority == 7
+
+    def test_retry_budget_exhaustion_fails_terminally(self):
+        """Satellite case: past ``max_lease_retries`` lease grants the
+        job goes terminal ``failed`` instead of crash-looping."""
+        service = _fleet_service(max_lease_retries=2)
+        info = service.register_worker("host")
+        record = service.submit(_toy_job())
+        for attempt in (1, 2):
+            assert service.lease_next(info.id) is record
+            assert record.attempts == attempt
+            self._expire_current_lease(service)
+        assert record.state == "failed"
+        assert "retry budget exhausted" in record.error
+        assert "2 attempt(s)" in record.error
+        assert record.done_event.is_set()
+        assert service.lease_next(info.id) is None
+        metrics = parse_samples(service.metrics.render())
+        assert sum(metrics["repro_jobs_requeued_total"].values()) == 1.0
+        assert sum(metrics["repro_leases_expired_total"].values()) == 2.0
+
+    def test_expiry_after_completion_is_a_noop(self):
+        service = _fleet_service()
+        info = service.register_worker("host")
+        record = service.submit(_toy_job())
+        service.lease_next(info.id)
+        body = json.loads(json.dumps(encode_outcome(execute_job(record.job))))
+        service.finish_remote(record.lease_id, body)
+        # A stale reaper pass over the (already completed) lease must
+        # not touch the done record.
+        stale = service.store.get_lease(record.lease_id)
+        service._requeue_expired(stale)
+        assert record.state == "done"
+
+    def test_expiry_during_shutdown_cancels(self):
+        service = _fleet_service()
+        info = service.register_worker("host")
+        record = service.submit(_toy_job())
+        service.lease_next(info.id)
+        service._closing = True
+        self._expire_current_lease(service)
+        assert record.state == "cancelled"
+        assert "shutdown" in record.error
+
+
+class TestStoreLeasePersistence:
+    def test_finish_guard_is_active_only(self):
+        """Of a result submission and the reaper's expiry, exactly one
+        wins — the terminal state never flips."""
+        store = ResultStore(":memory:")
+        store.create_lease("l1", "job-1", "key", "w1", ttl_s=30.0)
+        assert store.finish_lease("l1", LEASE_COMPLETED) is not None
+        assert store.finish_lease("l1", LEASE_EXPIRED) is None
+        assert store.get_lease("l1").state == LEASE_COMPLETED
+
+    def test_release_active_leases_is_start_stop_hygiene(self):
+        store = ResultStore(":memory:")
+        store.create_lease("l1", "job-1", "key", "w1", ttl_s=30.0)
+        store.create_lease("l2", "job-2", "key2", "w2", ttl_s=30.0)
+        store.finish_lease("l1", LEASE_COMPLETED)
+        assert store.release_active_leases() == 1
+        assert store.active_leases() == []
+        assert store.get_lease("l1").state == LEASE_COMPLETED
+
+    def test_expire_due_only_flips_overdue(self):
+        store = ResultStore(":memory:")
+        store.create_lease("l1", "job-1", "key", "w1", ttl_s=30.0, now=0.0)
+        store.create_lease("l2", "job-2", "key2", "w1", ttl_s=90.0, now=0.0)
+        expired = store.expire_due_leases(now=60.0)
+        assert [lease.lease_id for lease in expired] == ["l1"]
+        assert store.get_lease("l2").state == LEASE_ACTIVE
+
+
+class LiveFleet:
+    """A live service on a background loop thread (fleet configs)."""
+
+    def __init__(self, **overrides):
+        overrides.setdefault("port", 0)
+        overrides.setdefault("workers", 0)
+        self.config = ServiceConfig(**overrides)
+        self.service = CampaignService(self.config)
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._started = threading.Event()
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.service.start())
+        self._started.set()
+        self.loop.run_forever()
+
+    def __enter__(self) -> "LiveFleet":
+        self._thread.start()
+        assert self._started.wait(10), "service failed to start"
+        self.client = ServiceClient(
+            f"http://127.0.0.1:{self.service.port}", timeout=60
+        )
+        return self
+
+    def wait_closed(self, timeout: float = 60.0) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.service.wait_closed(), self.loop
+        ).result(timeout)
+
+    def raw(self, method: str, path: str, body=None, headers=None):
+        """One request returning the raw response (status + headers)."""
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", self.service.port, timeout=30
+        )
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            sent = {"Content-Type": "application/json"} if payload else {}
+            sent.update(headers or {})
+            conn.request(method, path, body=payload, headers=sent)
+            response = conn.getresponse()
+            raw = response.read()
+            return (
+                response.status,
+                dict(response.getheaders()),
+                json.loads(raw) if raw else {},
+            )
+        finally:
+            conn.close()
+
+    def __exit__(self, *exc) -> None:
+        try:
+            asyncio.run_coroutine_threadsafe(
+                self.service.shutdown(), self.loop
+            ).result(60)
+        finally:
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self._thread.join(10)
+
+
+def _toy_body(**overrides):
+    body = {"network": "fig1_toy", "mode": "gpgpu", "episodes": EPISODES}
+    body.update(overrides)
+    return body
+
+
+class TestQuotaOverHttp:
+    def test_quota_answers_429_with_retry_after(self):
+        """Satellite case: per-tenant admission quota -> 429 whose
+        Retry-After header is a positive integer."""
+        with LiveFleet(quota_jobs=1) as live:
+            live.client.submit(_toy_body())
+            status, headers, body = live.raw(
+                "POST", "/jobs", _toy_body(episodes=EPISODES + 1)
+            )
+            assert status == 429
+            assert "quota" in body["error"]
+            assert int(headers["Retry-After"]) >= 1
+
+    def test_quota_is_per_tenant(self):
+        with LiveFleet(quota_jobs=1) as live:
+            live.client.submit(_toy_body())
+            with pytest.raises(QueueFullError):
+                live.client.submit(_toy_body(episodes=EPISODES + 1))
+            # Another tenant's quota is untouched.
+            other = live.client.submit(
+                _toy_body(episodes=EPISODES + 1), tenant="team-b"
+            )
+            assert other[0]["state"] == "queued"
+
+    def test_invalid_tenant_rejected(self):
+        with LiveFleet() as live:
+            status, _, body = live.raw(
+                "POST", "/jobs", _toy_body(),
+                headers={"X-Tenant": "bad tenant!"},
+            )
+            assert status == 400
+            assert "tenant" in body["error"]
+
+    def test_rate_limit_answers_429_after_burst(self):
+        with LiveFleet(rate_limit_per_s=0.25, rate_burst=1) as live:
+            live.client.submit(_toy_body())
+            status, headers, body = live.raw(
+                "POST", "/jobs", _toy_body(episodes=EPISODES + 1)
+            )
+            assert status == 429
+            assert "exceeded" in body["error"]
+            # One token at 0.25/s is up to 4 s away.
+            assert 1 <= int(headers["Retry-After"]) <= 4
+            # Rejected submissions are visible in metrics.
+            samples = parse_samples(live.client.metrics())
+            rejected = samples["repro_jobs_rejected_total"]
+            assert rejected[(("reason", "rate_limit"),)] >= 1.0
+
+    def test_quota_exceeded_is_a_queue_full_subclass(self):
+        # Clients catching QueueFullError keep working unchanged.
+        assert issubclass(QuotaExceededError, QueueFullError)
+        error = QuotaExceededError("over", retry_after_s=2.5)
+        assert error.retry_after_s == 2.5
+
+
+class TestObservabilityBypass:
+    def test_healthz_and_metrics_answer_when_queue_is_full(self):
+        """Satellite case: a saturated service must stay scrapable."""
+        with LiveFleet(queue_limit=1) as live:
+            live.client.submit(_toy_body())
+            status, _, _ = live.raw(
+                "POST", "/jobs", _toy_body(episodes=EPISODES + 1)
+            )
+            assert status == 429
+            health = live.client.health()
+            assert health["status"] == "ok"
+            assert health["queue_depth"] == 1
+            samples = parse_samples(live.client.metrics())
+            assert samples["repro_queue_depth"][()] == 1.0
+            assert samples["repro_queue_limit"][()] == 1.0
+
+    def test_metrics_content_type_is_prometheus(self):
+        with LiveFleet() as live:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", live.service.port, timeout=30
+            )
+            try:
+                conn.request("GET", "/metrics")
+                response = conn.getresponse()
+                response.read()
+                assert response.status == 200
+                assert response.getheader("Content-Type") == (
+                    "text/plain; version=0.0.4; charset=utf-8"
+                )
+            finally:
+                conn.close()
+
+    def test_scrape_carries_service_info_and_worker_gauges(self):
+        with LiveFleet() as live:
+            live.client.register_worker("scraped")
+            samples = parse_samples(live.client.metrics())
+            info = samples["repro_service_info"]
+            assert list(info.values()) == [1.0]
+            assert samples["repro_workers_registered"][()] == 1.0
+
+
+class TestFleetWorkerOverHttp:
+    def test_fleet_execution_is_bitwise_equal_to_local(self):
+        """The whole protocol end to end, in process: register ->
+        lease -> heartbeat thread -> result, against a live server."""
+        with LiveFleet() as live:
+            record = live.client.submit(_toy_body())[0]
+            worker = FleetWorker(
+                WorkerConfig(server=f"http://127.0.0.1:{live.service.port}")
+            )
+            worker.register()
+            assert worker.run_one() is True
+            assert worker.run_one() is False  # queue drained
+            final = live.client.wait(record["id"], timeout=60)
+        assert final["state"] == "done"
+        assert final["attempts"] == 1
+        assert worker.stats.completed == 1
+        local = execute_job(_toy_job())
+        assert final["best_ms"] == local.payload.best_ms  # bitwise
+
+    def test_lease_age_gauge_tracks_active_leases(self):
+        with LiveFleet() as live:
+            grant = live.client.register_worker("ager")
+            live.client.submit(_toy_body())
+            lease = live.client.lease(grant["worker"]["id"])["lease"]
+            samples = parse_samples(live.client.metrics())
+            ages = samples["repro_lease_age_seconds"]
+            (key,) = ages
+            assert ("lease", lease["lease_id"]) in key
+            assert ages[key] >= 0.0
+
+    def test_worker_listing_shows_lease_ownership(self):
+        with LiveFleet() as live:
+            grant = live.client.register_worker("lister")
+            worker_id = grant["worker"]["id"]
+            record = live.client.submit(_toy_body())[0]
+            live.client.lease(worker_id)
+            listing = live.client.workers()
+            names = {info["name"] for info in listing["workers"]}
+            assert "lister" in names
+            (lease,) = listing["leases"]
+            assert lease["worker"] == worker_id
+            assert lease["job_id"] == record["id"]
+
+
+class TestShutdownDrain:
+    def test_drain_waits_for_an_outstanding_lease(self):
+        """Satellite case: shutdown keeps serving lease traffic until
+        outstanding fleet results land (within drain_timeout_s)."""
+        with LiveFleet(drain_timeout_s=30.0) as live:
+            grant = live.client.register_worker("drainer")
+            record = live.client.submit(_toy_body())[0]
+            granted = live.client.lease(grant["worker"]["id"])
+            lease_id = granted["lease"]["lease_id"]
+            outcome = encode_outcome(execute_job(_toy_job()))
+            live.client.shutdown()
+            # The server is draining but still answers the result POST
+            # on a brand-new connection.
+            accepted = live.client.submit_result(lease_id, outcome)
+            assert accepted["accepted"] is True
+            live.wait_closed()
+            # The store is closed with the service; the in-memory
+            # record carries the drained result (accepted above means
+            # the persistence path ran before close).
+            final = live.service.records[record["id"]]
+            assert final.state == "done"
+            assert final.result is not None
+
+    def test_drain_timeout_releases_the_lease_and_cancels(self):
+        with LiveFleet(drain_timeout_s=0.2) as live:
+            grant = live.client.register_worker("too-slow")
+            record = live.client.submit(_toy_body())[0]
+            live.client.lease(grant["worker"]["id"])
+            live.client.shutdown()
+            live.wait_closed()
+            final = live.service.records[record["id"]]
+            assert final.state == "cancelled"
+            assert final.error == "lease released at shutdown"
+
+    def test_draining_service_stops_granting_leases(self):
+        service = _fleet_service()
+        info = service.register_worker("latecomer")
+        service.submit(_toy_job())
+        service._closing = True
+        assert service.lease_next(info.id) is None
+        with pytest.raises(ServiceError):
+            service.submit(_toy_job(episodes=EPISODES + 1))
+
+
+class TestWorkerConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WorkerConfig(server="")
+        with pytest.raises(ConfigError):
+            WorkerConfig(server="http://x", poll_s=0)
+        with pytest.raises(ConfigError):
+            WorkerConfig(server="http://x", max_jobs=-1)
+
+    def test_encode_outcome_round_trips_floats_bitwise(self):
+        result = execute_job(_toy_job())
+        outcome = encode_outcome(result)
+        # The wire hop a real submission makes.
+        hopped = json.loads(json.dumps(outcome))
+        assert hopped["payload"]["best_ms"] == result.payload.best_ms
+        assert hopped["payload_kind"] == "search_result"
+        assert hopped["wall_clock_s"] == result.wall_clock_s
+
+
+class TestLeaseHttpConflicts:
+    def test_http_heartbeat_404_lease_is_409(self):
+        with LiveFleet() as live:
+            status, _, body = live.raw(
+                "POST", "/leases/lease-404/heartbeat"
+            )
+            assert status == 409
+            assert "lease-404" in body["error"]
+
+    def test_http_lease_requires_registration(self):
+        with LiveFleet() as live:
+            status, _, body = live.raw(
+                "POST", "/leases", {"worker": "w9-ghost"}
+            )
+            assert status == 409
+            assert "POST /workers" in body["error"]
+
+    def test_http_lease_empty_queue_is_204(self):
+        with LiveFleet() as live:
+            grant = live.client.register_worker("poller")
+            assert live.client.lease(grant["worker"]["id"]) is None

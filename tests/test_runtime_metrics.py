@@ -1,0 +1,179 @@
+"""The stdlib metrics registry and its Prometheus text exposition."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    escape_label_value,
+    format_value,
+    parse_samples,
+    render_sample,
+)
+
+
+class TestFormatting:
+    def test_integers_print_without_decimal(self):
+        assert format_value(0.0) == "0"
+        assert format_value(3.0) == "3"
+        assert format_value(-7.0) == "-7"
+
+    def test_floats_print_shortest_repr(self):
+        assert format_value(0.25) == "0.25"
+        assert format_value(1.5e-9) == "1.5e-09"
+
+    def test_specials(self):
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+        assert format_value(float("nan")) == "NaN"
+
+    def test_huge_integers_stay_floats(self):
+        # Past 2^53-ish, int() formatting would fake precision.
+        assert "e" in format_value(1e18)
+
+    def test_label_escaping(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_render_sample_with_and_without_labels(self):
+        assert render_sample("up", (), 1.0) == "up 1"
+        line = render_sample("jobs", (("state", "done"),), 2.0)
+        assert line == 'jobs{state="done"} 2'
+
+
+class TestCounter:
+    def test_accumulates_per_label_set(self):
+        counter = Counter("jobs_total", "jobs")
+        counter.inc(worker="a")
+        counter.inc(2.0, worker="a")
+        counter.inc(worker="b")
+        assert counter.value(worker="a") == 3.0
+        assert counter.value(worker="b") == 1.0
+        assert counter.value(worker="never") == 0.0
+
+    def test_cannot_decrease(self):
+        counter = Counter("jobs_total", "jobs")
+        with pytest.raises(ConfigError):
+            counter.inc(-1.0)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ConfigError):
+            Counter("has space", "nope")
+        with pytest.raises(ConfigError):
+            Counter("", "nope")
+
+    def test_untouched_family_renders_a_zero_sample(self):
+        # rate() needs the series to exist from the first scrape.
+        text = Counter("quiet_total", "quiet").render()
+        assert "quiet_total 0" in text
+        assert "# TYPE quiet_total counter" in text
+
+    def test_thread_safety_under_contention(self):
+        counter = Counter("racy_total", "racy")
+
+        def _spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=_spin) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 4000.0
+
+
+class TestGauge:
+    def test_set_and_remove(self):
+        gauge = Gauge("depth", "queue depth")
+        gauge.set(4.0)
+        assert gauge.value() == 4.0
+        gauge.set(1.0, queue="b")
+        gauge.remove(queue="b")
+        assert gauge.samples() == [((), 4.0)]
+
+    def test_callback_bare_value(self):
+        gauge = Gauge("depth", "d", callback=lambda: 7)
+        assert gauge.samples() == [((), 7.0)]
+
+    def test_callback_labelled_dict(self):
+        gauge = Gauge(
+            "age",
+            "ages",
+            callback=lambda: {(("lease", "l1"),): 3.5, (("lease", "l2"),): 1.0},
+        )
+        assert gauge.samples() == [
+            ((("lease", "l1"),), 3.5),
+            ((("lease", "l2"),), 1.0),
+        ]
+
+    def test_callback_never_goes_stale(self):
+        state = {"value": 1.0}
+        gauge = Gauge("live", "l", callback=lambda: state["value"])
+        assert gauge.samples() == [((), 1.0)]
+        state["value"] = 9.0
+        assert gauge.samples() == [((), 9.0)]
+
+
+class TestRegistry:
+    def test_get_or_create_shares_the_family(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits_total", "hits")
+        b = registry.counter("hits_total")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing", "t")
+        with pytest.raises(ConfigError):
+            registry.gauge("thing", "t")
+
+    def test_render_order_is_registration_order(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", "b")
+        registry.gauge("a_depth", "a")
+        text = registry.render()
+        assert text.index("b_total") < text.index("a_depth")
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_a_newline(self):
+        assert MetricsRegistry().render() == "\n"
+
+
+class TestParseSamples:
+    def test_round_trip(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total", "jobs processed")
+        counter.inc(3, worker="w1-a")
+        counter.inc(0.5, worker="w2-b")
+        registry.gauge("depth", "queue depth").set(4)
+        parsed = parse_samples(registry.render())
+        assert parsed["jobs_total"][(("worker", "w1-a"),)] == 3.0
+        assert parsed["jobs_total"][(("worker", "w2-b"),)] == 0.5
+        assert parsed["depth"][()] == 4.0
+
+    def test_round_trip_with_hostile_label_values(self):
+        registry = MetricsRegistry()
+        hostile = 'quo"te\\slash\nnewline,comma'
+        registry.counter("odd_total", "odd").inc(labelled=hostile)
+        parsed = parse_samples(registry.render())
+        assert parsed["odd_total"][(("labelled", hostile),)] == 1.0
+
+    def test_comments_and_blanks_skipped(self):
+        parsed = parse_samples("# HELP x y\n# TYPE x counter\n\nx 1\n")
+        assert parsed == {"x": {(): 1.0}}
+
+    def test_malformed_lines_raise(self):
+        with pytest.raises(ConfigError):
+            parse_samples("justonetoken\n")
+        with pytest.raises(ConfigError):
+            parse_samples("name{unclosed 1\n")
+        with pytest.raises(ConfigError):
+            parse_samples("name not-a-number\n")

@@ -10,9 +10,15 @@ inline heredoc that used to live in ``.github/workflows/ci.yml``, so
 the assertions are unit-testable (``tests/test_check_bench_artifact.py``)
 instead of only failing in CI.
 
-Usage (mirrors the CI step)::
+The same gate also understands the service data-plane artifact
+(``BENCH_service.json``, written by ``bench_service_throughput.py``):
+artifacts carrying ``"kind": "service_throughput"`` are dispatched to
+:func:`check_service_artifact` automatically.
+
+Usage (mirrors the CI steps)::
 
     python scripts/check_bench_artifact.py BENCH_search.json
+    python scripts/check_bench_artifact.py BENCH_service.json
 
 Exits non-zero with one line per violation; prints the artifact when
 ``--print`` is given (the CI step does, for the build log).
@@ -31,6 +37,12 @@ MIN_SCHEMA_VERSION = 4
 
 #: Kernel backends an artifact may legitimately report.
 KNOWN_BACKENDS = ("numba", "reference")
+
+#: Oldest service-throughput artifact schema the gate accepts.
+SERVICE_MIN_SCHEMA_VERSION = 1
+
+#: Modes every service-throughput artifact must have measured.
+SERVICE_MODES = ("local", "fleet_legacy", "fleet_batched")
 
 
 def check_artifact(payload: dict) -> list[str]:
@@ -75,6 +87,83 @@ def check_artifact(payload: dict) -> list[str]:
     return problems
 
 
+def _check_service_mode(name: str, entry) -> list[str]:
+    """Violations in one mode row of a service-throughput artifact."""
+    if not isinstance(entry, dict):
+        return [f"modes.{name} must be an object"]
+    problems: list[str] = []
+    for field in ("jobs_per_s", "wall_clock_s", "p50_latency_s", "p99_latency_s"):
+        value = entry.get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            problems.append(f"modes.{name}.{field} must be a positive number")
+    store = entry.get("store")
+    if not isinstance(store, dict):
+        problems.append(f"modes.{name} missing store flush stats")
+    else:
+        if not isinstance(store.get("wal"), bool):
+            problems.append(f"modes.{name}.store.wal must be a bool")
+        for field in ("flushes", "rows"):
+            if not isinstance(store.get(field), int):
+                problems.append(f"modes.{name}.store.{field} must be an int")
+    return problems
+
+
+def check_service_artifact(payload: dict) -> list[str]:
+    """Every schema violation in one service-throughput artifact.
+
+    Beyond field presence, this asserts the two fleet modes actually
+    measured what their names claim (the legacy row on the
+    one-job-per-lease, connection-per-request protocol; the batched
+    row with multi-job leases over keep-alive connections) — a bench
+    refactor that silently measured batched against batched would
+    otherwise still produce a plausible-looking artifact.
+    """
+    problems: list[str] = []
+    if payload.get("kind") != "service_throughput":
+        problems.append(
+            f"unexpected kind {payload.get('kind')!r} "
+            "(expected 'service_throughput')"
+        )
+    if payload.get("schema_version", 0) < SERVICE_MIN_SCHEMA_VERSION:
+        problems.append(
+            f"service bench schema too old: need >= "
+            f"{SERVICE_MIN_SCHEMA_VERSION}, got "
+            f"{payload.get('schema_version', 0)}"
+        )
+    jobs = payload.get("jobs")
+    if not isinstance(jobs, int) or jobs < 1:
+        problems.append("service artifact missing job count (jobs)")
+    modes = payload.get("modes")
+    if not isinstance(modes, dict):
+        problems.append("service artifact missing modes section")
+        return problems
+    for name in SERVICE_MODES:
+        if name not in modes:
+            problems.append(f"service artifact missing mode {name!r}")
+        else:
+            problems += _check_service_mode(name, modes[name])
+    legacy = modes.get("fleet_legacy")
+    if isinstance(legacy, dict):
+        if legacy.get("lease_batch") != 1:
+            problems.append("fleet_legacy must lease one job at a time")
+        if legacy.get("keep_alive") is not False:
+            problems.append("fleet_legacy must use a connection per request")
+    batched = modes.get("fleet_batched")
+    if isinstance(batched, dict):
+        if not isinstance(batched.get("lease_batch"), int) or (
+            batched.get("lease_batch", 0) < 2
+        ):
+            problems.append("fleet_batched must lease multi-job batches")
+        if batched.get("keep_alive") is not True:
+            problems.append("fleet_batched must reuse connections")
+    speedup = payload.get("speedup")
+    if not isinstance(speedup, dict) or not isinstance(
+        speedup.get("fleet"), (int, float)
+    ):
+        problems.append("service artifact missing speedup.fleet")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -99,12 +188,17 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if args.print_artifact:
         print(json.dumps(payload, indent=2))
-    problems = check_artifact(payload)
+    if payload.get("kind") == "service_throughput":
+        problems = check_service_artifact(payload)
+        floor = SERVICE_MIN_SCHEMA_VERSION
+    else:
+        problems = check_artifact(payload)
+        floor = MIN_SCHEMA_VERSION
     for problem in problems:
         print(f"bench artifact: {problem}")
     if problems:
         return 1
-    print(f"bench artifact {path} ok (schema >= {MIN_SCHEMA_VERSION})")
+    print(f"bench artifact {path} ok (schema >= {floor})")
     return 0
 
 

@@ -21,6 +21,15 @@ artifact (doubling every wall clock must exit 1)::
 
     python scripts/check_bench_regression.py \
         --baseline BENCH_search.json --current /tmp/slowed.json
+
+Service data-plane artifacts (``BENCH_service.json``, carrying
+``"kind": "service_throughput"``) are detected automatically and gated
+on per-mode ``jobs_per_s`` instead of wall clocks, plus a hard floor
+on the batched-over-legacy fleet speedup (``--min-speedup``)::
+
+    python scripts/check_bench_regression.py \
+        --baseline BENCH_service_baseline.json \
+        --current BENCH_service.json --min-speedup 2.5
 """
 
 from __future__ import annotations
@@ -32,6 +41,11 @@ from pathlib import Path
 
 DEFAULT_THRESHOLD = 1.5
 DEFAULT_MIN_SECONDS = 0.05
+#: Hard floor on the batched-over-legacy fleet speedup of a service
+#: artifact — the tentpole claim the data plane must keep proving.
+#: Deliberately below the committed artifact's margin: this gate
+#: catches "the batching stopped working", not CI-runner noise.
+DEFAULT_MIN_SPEEDUP = 2.0
 
 
 def load_payload(path: Path) -> dict:
@@ -136,6 +150,81 @@ def check_ratios(
     return failures
 
 
+def jobs_per_s_of(payload: dict, path: Path) -> dict[str, float]:
+    """Per-mode ``jobs_per_s`` of one service-throughput artifact."""
+    modes = payload.get("modes")
+    if not isinstance(modes, dict) or not modes:
+        raise SystemExit(f"{path} has no service modes to compare")
+    clocks = {}
+    for name, entry in modes.items():
+        if isinstance(entry, dict) and "jobs_per_s" in entry:
+            clocks[str(name)] = float(entry["jobs_per_s"])
+    if not clocks:
+        raise SystemExit(f"{path} has no jobs_per_s entries")
+    return clocks
+
+
+def check_service(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    threshold: float,
+) -> list[str]:
+    """Regression lines for per-mode service throughput (jobs/s went
+    *down* by more than ``threshold``)."""
+    failures = []
+    for mode in sorted(set(baseline) & set(current)):
+        base = baseline[mode]
+        now = current[mode]
+        slowdown = base / now if now > 0 else float("inf")
+        if slowdown > threshold:
+            detail = (
+                f"{base:.0f} jobs/s -> {now:.0f} jobs/s "
+                f"({slowdown:.2f}x slower > {threshold}x)"
+            )
+            failures.append(f"{mode}: {detail}")
+    return failures
+
+
+def _gate_service(args, base_payload: dict, cur_payload: dict) -> int:
+    """The service-throughput arm of the gate (auto-dispatched)."""
+    if base_payload.get("kind") != cur_payload.get("kind"):
+        print(
+            "bench-regression gate FAILED: baseline "
+            f"{args.baseline} and current {args.current} are different "
+            "artifact kinds"
+        )
+        return 1
+    baseline = jobs_per_s_of(base_payload, args.baseline)
+    current = jobs_per_s_of(cur_payload, args.current)
+    compared = sorted(set(baseline) & set(current))
+    if not compared:
+        print("bench-regression gate: no overlapping service modes to compare")
+        return 1
+    for mode in compared:
+        print(
+            f"  {mode}: baseline {baseline[mode]:.0f} jobs/s, "
+            f"current {current[mode]:.0f} jobs/s"
+        )
+    failures = check_service(baseline, current, args.threshold)
+    speedup = cur_payload.get("speedup", {})
+    fleet = float(speedup.get("fleet", 0.0)) if isinstance(speedup, dict) else 0.0
+    print(f"  fleet speedup (batched vs legacy): {fleet:.2f}x")
+    if fleet < args.min_speedup:
+        failures.append(
+            f"fleet speedup {fleet:.2f}x below the {args.min_speedup}x floor"
+        )
+    if failures:
+        print("bench-regression gate FAILED:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(
+        f"bench-regression gate passed: {len(compared)} service mode(s) "
+        f"within {args.threshold}x, fleet speedup >= {args.min_speedup}x"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -162,6 +251,15 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=DEFAULT_MIN_SECONDS,
         help="skip entries below this wall clock on both sides",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=DEFAULT_MIN_SPEEDUP,
+        help=(
+            "service artifacts only: fail when the current batched-fleet "
+            "speedup over legacy falls below this factor"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -191,6 +289,11 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     base_payload = load_payload(args.baseline)
     cur_payload = load_payload(args.current)
+    if "service_throughput" in (
+        base_payload.get("kind"),
+        cur_payload.get("kind"),
+    ):
+        return _gate_service(args, base_payload, cur_payload)
     base_backend = backend_of(base_payload)
     cur_backend = backend_of(cur_payload)
     if base_backend != cur_backend:

@@ -18,9 +18,18 @@ The acceptance script for the fleet layer (CI runs it):
    parses, records the expired lease and the requeue, and counts the
    completions; then shut down gracefully.
 
+With ``--lease-batch N`` (N > 1) the smoke exercises the batched data
+plane instead: the jobs are queued *before* the workers start, so the
+first worker to poll claims all of them under ONE multi-job lease —
+the SIGKILL then proves that every job of the batch is requeued
+exactly once and still completes bitwise-equal on the survivor, and
+the metrics scrape asserts the lease-batch histogram actually saw a
+multi-job lease.
+
 Usage::
 
     PYTHONPATH=src python scripts/fleet_smoke.py
+    PYTHONPATH=src python scripts/fleet_smoke.py --lease-batch 3
 """
 
 from __future__ import annotations
@@ -69,6 +78,16 @@ FAST_JOB = {
     "seed": 0,
 }
 
+#: A second fast job for batch mode, so the victim's single lease
+#: covers three jobs (distinct from FAST_JOB via the episode budget).
+EXTRA_JOB = {
+    "network": "lenet5",
+    "platform": PLATFORM,
+    "mode": MODE,
+    "episodes": 500,
+    "seed": 0,
+}
+
 
 def _env() -> dict:
     env = dict(os.environ)
@@ -96,21 +115,26 @@ def _repro(*args: str, timeout: float = 300.0) -> subprocess.CompletedProcess:
     return result
 
 
-def _spawn_worker(url: str, name: str, log_path: Path) -> subprocess.Popen:
+def _spawn_worker(
+    url: str, name: str, log_path: Path, lease_batch: int = 1
+) -> subprocess.Popen:
     log = open(log_path, "w")
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "work",
+        "--server",
+        url,
+        "--name",
+        name,
+        "--poll",
+        "0.1",
+    ]
+    if lease_batch > 1:
+        argv += ["--lease-batch", str(lease_batch)]
     return subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro",
-            "work",
-            "--server",
-            url,
-            "--name",
-            name,
-            "--poll",
-            "0.1",
-        ],
+        argv,
         stdout=log,
         stderr=subprocess.STDOUT,
         text=True,
@@ -132,7 +156,15 @@ def _wait_for(predicate, timeout_s: float, what: str):
 def main() -> int:
     """Run the smoke; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.parse_args()
+    parser.add_argument(
+        "--lease-batch",
+        type=int,
+        default=1,
+        help="jobs per lease for the fleet workers (N > 1 runs the "
+        "batched-data-plane variant of the smoke)",
+    )
+    args = parser.parse_args()
+    batch = max(1, args.lease_batch)
 
     with tempfile.TemporaryDirectory(prefix="fleet-smoke-") as tmp:
         tmp_path = Path(tmp)
@@ -164,31 +196,46 @@ def main() -> int:
             from repro.runtime.metrics import parse_samples
 
             client = ServiceClient(url, timeout=30)
-            workers["a"] = _spawn_worker(url, "smoke-a", tmp_path / "a.log")
-            workers["b"] = _spawn_worker(url, "smoke-b", tmp_path / "b.log")
+            if batch > 1:
+                # Batch mode: queue every job *before* any worker
+                # exists, so the first worker to poll claims all of
+                # them under one multi-job lease (slow job first —
+                # the SIGKILL lands while it runs).
+                slow = client.submit(SLOW_JOB)[0]
+                fast = client.submit(FAST_JOB)[0]
+                submitted = [slow, fast, client.submit(EXTRA_JOB)[0]]
+            workers["a"] = _spawn_worker(url, "smoke-a", tmp_path / "a.log", batch)
+            workers["b"] = _spawn_worker(url, "smoke-b", tmp_path / "b.log", batch)
             registered = _wait_for(
                 lambda: len(client.workers()["workers"]) == 2 or None,
                 30,
                 "both workers to register",
             )
             assert registered
-            print("[2/5] two fleet workers registered")
+            print(f"[2/5] two fleet workers registered (lease batch {batch})")
 
-            # Two scenarios: both must complete even though one
-            # worker is about to be killed mid-lease.
-            slow = client.submit(SLOW_JOB)[0]
-            fast = client.submit(FAST_JOB)[0]
-            submitted = [slow, fast]
+            if batch == 1:
+                # Two scenarios: both must complete even though one
+                # worker is about to be killed mid-lease.
+                slow = client.submit(SLOW_JOB)[0]
+                fast = client.submit(FAST_JOB)[0]
+                submitted = [slow, fast]
 
             # Kill whoever holds the *slow* job's lease: its seconds
             # of runtime guarantee the SIGKILL lands mid-lease.
             def _slow_lease():
                 for lease in client.workers()["leases"]:
-                    if lease["job_id"] == slow["id"]:
+                    covered = lease.get("job_ids", [lease["job_id"]])
+                    if slow["id"] in covered:
                         return lease
                 return None
 
             lease = _wait_for(_slow_lease, 60, "a worker to lease the slow job")
+            if batch > 1:
+                assert len(lease["job_ids"]) == len(submitted), (
+                    "batch mode: the victim's lease must cover every "
+                    f"queued job, got {lease['job_ids']}"
+                )
             victim_worker_id = lease["worker"]
             victim_lease_id = lease["lease_id"]
             name_of = {i["id"]: i["name"] for i in client.workers()["workers"]}
@@ -222,6 +269,15 @@ def main() -> int:
                 "the slow job was not re-leased after the kill: "
                 f"attempts={slow_final['attempts']}"
             )
+            if batch > 1:
+                # Every job of the killed batch must have been
+                # requeued exactly once — no sibling lost, none
+                # double-requeued.
+                for final in finals:
+                    assert final["attempts"] == 2, (
+                        f"{final['job']['network']}: expected exactly one "
+                        f"requeue, attempts={final['attempts']}"
+                    )
             print(
                 "[4/5] all jobs done; slow job re-leased after expiry "
                 f"(attempts: {[f['attempts'] for f in finals]})"
@@ -264,6 +320,14 @@ def main() -> int:
             assert expired >= 1, samples.get("repro_leases_expired_total")
             assert requeues >= 1, samples.get("repro_jobs_requeued_total")
             assert samples["repro_workers_registered"][()] >= 2.0
+            if batch > 1:
+                batch_sum = samples["repro_lease_batch_jobs_sum"][()]
+                batch_count = samples["repro_lease_batch_jobs_count"][()]
+                assert batch_sum > batch_count, (
+                    "batch mode: the lease-batch histogram never saw a "
+                    f"multi-job lease (sum={batch_sum:g}, "
+                    f"count={batch_count:g})"
+                )
             print(
                 f"metrics ok: completed={completed:g} expired={expired:g} "
                 f"requeued={requeues:g}"

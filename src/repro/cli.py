@@ -331,6 +331,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             rate_limit_per_s=args.rate_limit,
             rate_burst=args.rate_burst,
             drain_timeout_s=args.drain_timeout,
+            lease_batch_limit=args.lease_batch_limit,
+            store_group_commit=args.store_group_commit,
+            store_wal=not args.store_no_wal,
         )
     )
 
@@ -346,6 +349,7 @@ def cmd_work(args: argparse.Namespace) -> int:
             cache_remote=args.cache_remote,
             poll_s=args.poll,
             max_jobs=args.max_jobs,
+            lease_batch=args.lease_batch,
         )
     )
 
@@ -673,6 +677,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drain-timeout", type=float, default=30.0,
                    help="seconds shutdown waits for outstanding fleet "
                         "leases before releasing them")
+    p.add_argument("--lease-batch-limit", type=_positive_int, default=64,
+                   help="max jobs one POST /leases may claim (clamps "
+                        "the worker's max_jobs request)")
+    p.add_argument("--store-group-commit", type=int, default=0,
+                   help="buffer up to N result rows per sqlite commit "
+                        "(0: commit every result immediately)")
+    p.add_argument("--store-no-wal", action="store_true",
+                   help="disable WAL mode on the file-backed result "
+                        "store (full per-write fsync durability)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -693,6 +706,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-jobs", type=int, default=0,
                    help="exit after this many executed jobs (0: run "
                         "until the service goes away)")
+    p.add_argument("--lease-batch", type=_positive_int, default=1,
+                   help="jobs to claim per lease (batched leasing; "
+                        "results are delivered in one request)")
     p.set_defaults(func=cmd_work)
 
     p = sub.add_parser(

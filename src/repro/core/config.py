@@ -77,6 +77,19 @@ class ServiceConfig:
     #: complete before releasing them (their jobs are then requeued
     #: and cancelled like other queued jobs).
     drain_timeout_s: float = 30.0
+    #: Maximum jobs one ``POST /leases`` may claim (``max_jobs`` is
+    #: clamped to this) — bounds how much queued work a single slow or
+    #: crash-prone worker can hold hostage under one lease.
+    lease_batch_limit: int = 64
+    #: Result-store group-commit buffer size: 0 commits every result
+    #: immediately; N > 0 coalesces up to N rows per sqlite commit
+    #: (flushed on batch boundaries, reaper ticks and shutdown).  See
+    #: :class:`~repro.runtime.store.ResultStore`.
+    store_group_commit: int = 0
+    #: Run the file-backed result store in WAL mode with
+    #: ``synchronous=NORMAL`` (the throughput default); False keeps
+    #: the rollback journal with per-write full fsync durability.
+    store_wal: bool = True
 
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:
@@ -122,6 +135,14 @@ class ServiceConfig:
         if self.drain_timeout_s < 0:
             raise ConfigError(
                 f"drain_timeout_s must be >= 0, got {self.drain_timeout_s}"
+            )
+        if self.lease_batch_limit < 1:
+            raise ConfigError(
+                f"lease_batch_limit must be >= 1, got {self.lease_batch_limit}"
+            )
+        if self.store_group_commit < 0:
+            raise ConfigError(
+                f"store_group_commit must be >= 0, got {self.store_group_commit}"
             )
 
 

@@ -6,12 +6,22 @@ no third-party client is needed.  Maps the service's error statuses
 back onto the package's exception hierarchy: 429 raises
 :class:`~repro.errors.QueueFullError`, other non-2xx statuses raise
 :class:`~repro.errors.ServiceError` carrying the server's message.
+
+The client keeps **one persistent keep-alive connection** (the service
+honours ``Connection: keep-alive``), so a worker's lease/heartbeat/
+result traffic rides a single TCP stream instead of paying connect +
+slow-start per request.  The pooled connection is lock-guarded (one
+request in flight per client) and transparently replaced when the
+server closes it between requests; every path — success, HTTP error,
+transport error — either returns the connection to the pool or closes
+it, so no socket leaks.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import threading
 import time
 from urllib.parse import urlencode, urlsplit
 
@@ -19,6 +29,19 @@ from repro.errors import LeaseExpiredError, QueueFullError, ServiceError
 
 #: Default service address (the ``ServiceConfig`` defaults).
 DEFAULT_URL = "http://127.0.0.1:8421"
+
+#: Transport errors that mean "the server closed the idle keep-alive
+#: connection between our requests".  Only these are retried, and only
+#: on a *reused* connection's first attempt — the request never reached
+#: the application, so resending cannot double-execute anything.  A
+#: timeout or error mid-response is NOT retried (the request may have
+#: executed).
+_RETRYABLE = (
+    http.client.BadStatusLine,
+    http.client.RemoteDisconnected,
+    ConnectionResetError,
+    BrokenPipeError,
+)
 
 
 class ServiceClient:
@@ -31,17 +54,75 @@ class ServiceClient:
     timeout:
         Socket timeout in seconds for each request (progress streams
         use it per-read, so heartbeats keep long streams alive).
+    keep_alive:
+        Reuse one persistent connection across requests (the default).
+        ``False`` sends ``Connection: close`` and dials per request —
+        the pre-pooling behaviour, kept for the throughput benchmark's
+        legacy mode and as an escape hatch for broken middleboxes.
     """
 
-    def __init__(self, url: str = DEFAULT_URL, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        url: str = DEFAULT_URL,
+        timeout: float = 60.0,
+        keep_alive: bool = True,
+    ) -> None:
         split = urlsplit(url if "//" in url else f"//{url}")
         if split.scheme not in ("", "http"):
             raise ServiceError(f"only http:// URLs are supported, got {url!r}")
         self.host = split.hostname or "127.0.0.1"
         self.port = split.port or 8421
         self.timeout = timeout
+        self.keep_alive = keep_alive
+        self._lock = threading.Lock()
+        self._conn: http.client.HTTPConnection | None = None
 
     # -- plumbing -----------------------------------------------------------
+
+    def _exchange(
+        self,
+        method: str,
+        path: str,
+        payload: bytes | None,
+        headers: dict,
+    ) -> tuple[int, bytes]:
+        """One request/response on the pooled connection.
+
+        Takes the pooled connection (or dials), sends, reads the full
+        body, and returns the connection to the pool when both sides
+        agreed to keep it alive — otherwise closes it.  A transport
+        error on a freshly *reused* connection before any response
+        bytes arrived means the server reaped the idle socket; that
+        one case retries once on a fresh connection.
+        """
+        if not self.keep_alive:
+            headers.setdefault("Connection", "close")
+        with self._lock:
+            for attempt in (1, 2):
+                conn, self._conn = self._conn, None
+                reused = conn is not None
+                if conn is None:
+                    conn = http.client.HTTPConnection(
+                        self.host, self.port, timeout=self.timeout
+                    )
+                try:
+                    conn.request(method, path, body=payload, headers=headers)
+                    response = conn.getresponse()
+                    raw = response.read()
+                except _RETRYABLE:
+                    conn.close()
+                    if reused and attempt == 1:
+                        continue
+                    raise
+                except BaseException:
+                    conn.close()
+                    raise
+                if self.keep_alive and not response.will_close:
+                    self._conn = conn
+                else:
+                    conn.close()
+                return response.status, raw
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def request(
         self,
@@ -51,29 +132,33 @@ class ServiceClient:
         headers: dict | None = None,
     ) -> tuple[int, dict]:
         """One request/response cycle; returns ``(status, json_body)``."""
-        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
-        try:
-            payload = json.dumps(body).encode() if body is not None else None
-            sent = {"Content-Type": "application/json"} if payload else {}
-            sent.update(headers or {})
-            conn.request(method, path, body=payload, headers=sent)
-            response = conn.getresponse()
-            raw = response.read()
-            parsed = json.loads(raw) if raw else {}
-            return response.status, parsed
-        finally:
-            conn.close()
+        payload = json.dumps(body).encode() if body is not None else None
+        sent = {"Content-Type": "application/json"} if payload else {}
+        sent.update(headers or {})
+        status, raw = self._exchange(method, path, payload, sent)
+        return status, json.loads(raw) if raw else {}
 
     def request_text(self, method: str, path: str) -> tuple[int, str]:
         """One request/response cycle for a non-JSON endpoint
         (``GET /metrics``); returns ``(status, text_body)``."""
-        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
-        try:
-            conn.request(method, path)
-            response = conn.getresponse()
-            return response.status, response.read().decode()
-        finally:
+        status, raw = self._exchange(method, path, None, {})
+        return status, raw.decode()
+
+    def close(self) -> None:
+        """Close the pooled connection (if any); the client stays
+        usable — the next request simply dials again."""
+        with self._lock:
+            conn, self._conn = self._conn, None
+        if conn is not None:
             conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        """Context-manager entry (returns self)."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: close the pooled connection."""
+        self.close()
 
     def _checked(self, method: str, path: str, body: dict | None = None) -> dict:
         status, parsed = self.request(method, path, body)
@@ -153,13 +238,19 @@ class ServiceClient:
         """``GET /workers`` — registered workers plus active leases."""
         return self._checked("GET", "/workers")
 
-    def lease(self, worker_id: str) -> dict | None:
-        """``POST /leases`` — claim the next queued job.
+    def lease(self, worker_id: str, max_jobs: int = 1) -> dict | None:
+        """``POST /leases`` — claim the next queued job(s).
 
-        Returns the grant (``lease`` + ``job``) or None when the queue
-        is empty (HTTP 204) — poll again later.
+        Returns the grant (``lease`` + ``job``, plus ``jobs`` listing
+        the whole batch) or None when the queue is empty (HTTP 204) —
+        poll again later.  ``max_jobs > 1`` asks for a *batch* lease:
+        up to that many jobs under one lease id and one heartbeat
+        (the service clamps to its ``lease_batch_limit``).
         """
-        status, parsed = self.request("POST", "/leases", {"worker": worker_id})
+        body: dict = {"worker": worker_id}
+        if max_jobs != 1:
+            body["max_jobs"] = max_jobs
+        status, parsed = self.request("POST", "/leases", body)
         if status == 204:
             return None
         if status == 409:
@@ -198,6 +289,19 @@ class ServiceClient:
         job was requeued; discard the work).
         """
         return self._checked_lease(f"/leases/{lease_id}/result", outcome)
+
+    def submit_results(self, lease_id: str, outcomes: list[dict]) -> dict:
+        """``POST /leases/{id}/results`` — deliver a whole lease batch.
+
+        Each outcome is the :meth:`submit_result` body plus a
+        ``job_id`` attributing it to one job of the batch.  The
+        response carries a per-job ``results`` status array and the
+        ids of any jobs the service requeued (``requeued``) — one
+        job's failure never poisons its siblings.
+        """
+        return self._checked_lease(
+            f"/leases/{lease_id}/results", {"results": outcomes}
+        )
 
     # -- LUT shard endpoints (the fleet cache; see runtime/lutcache.py) --
 

@@ -12,6 +12,10 @@ This module is the (stdlib-only) observability substrate behind
   computed at scrape time from a callback (queue depth, lease ages —
   values that already live in service state and must never drift from
   it).
+* :class:`Histogram` — cumulative-bucket distributions (lease batch
+  sizes, result payload bytes, store flush latency), rendered as the
+  standard ``_bucket{le=...}`` / ``_sum`` / ``_count`` series so
+  ``histogram_quantile()`` works out of the box.
 * :class:`MetricsRegistry` — a named collection rendering the
   `Prometheus text exposition format
   <https://prometheus.io/docs/instrumenting/exposition_formats/>`_
@@ -166,13 +170,137 @@ class Gauge(Metric):
         return [((), float(result))]
 
 
+#: Default histogram buckets (the Prometheus client defaults): latency
+#: oriented, seconds.
+DEFAULT_BUCKETS = (
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class Histogram(Metric):
+    """A cumulative-bucket distribution (``observe()`` one value at a
+    time).
+
+    Rendered as the conventional three series: ``name_bucket`` with an
+    ``le`` label per upper bound (plus the implicit ``+Inf`` bucket),
+    ``name_sum`` and ``name_count``.  Buckets are fixed at creation and
+    must be strictly increasing; an explicit ``+Inf`` bound is implied
+    and must not be passed.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigError(f"histogram {name!r} needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigError(
+                f"histogram {name!r} buckets must be strictly increasing, "
+                f"got {bounds}"
+            )
+        if math.isinf(bounds[-1]):
+            raise ConfigError(
+                f"histogram {name!r}: the +Inf bucket is implicit; do not "
+                "pass it explicitly"
+            )
+        self.bounds = bounds
+        #: Per label set: [bucket counts (one per bound), sum, count].
+        self._series: dict[LabelKey, list] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation into every bucket it falls under."""
+        value = float(value)
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = [[0] * len(self.bounds), 0.0, 0]
+            counts, _, _ = series
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    counts[index] += 1
+            series[1] += value
+            series[2] += 1
+
+    def value(self, **labels) -> float:
+        """Observation count of one label set (0.0 when never observed)."""
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return float(series[2]) if series is not None else 0.0
+
+    def sum_value(self, **labels) -> float:
+        """Sum of observations of one label set."""
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return float(series[1]) if series is not None else 0.0
+
+    def samples(self) -> list[tuple[LabelKey, float]]:
+        """``(labels, count)`` per series — the scalar view of the
+        family (the full bucket breakdown lives in :meth:`render`)."""
+        with self._lock:
+            return sorted(
+                (key, float(series[2])) for key, series in self._series.items()
+            )
+
+    def render(self) -> str:
+        """The three-series exposition block of this histogram."""
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        with self._lock:
+            series = sorted(self._series.items())
+            if not series:
+                # Like the scalar metrics: an untouched family still
+                # exposes its zero series from the first scrape.
+                series = [((), [[0] * len(self.bounds), 0.0, 0])]
+            for key, (counts, total, count) in series:
+                # `counts` is already cumulative: observe() increments
+                # every bucket the value falls under.
+                for bound, bucket in zip(self.bounds, counts):
+                    lines.append(
+                        render_sample(
+                            f"{self.name}_bucket",
+                            key + (("le", format_value(bound)),),
+                            float(bucket),
+                        )
+                    )
+                lines.append(
+                    render_sample(
+                        f"{self.name}_bucket",
+                        key + (("le", "+Inf"),),
+                        float(count),
+                    )
+                )
+                lines.append(render_sample(f"{self.name}_sum", key, float(total)))
+                lines.append(render_sample(f"{self.name}_count", key, float(count)))
+        return "\n".join(lines)
+
+
 class MetricsRegistry:
     """A named collection of metrics, rendered in registration order.
 
-    ``counter()`` / ``gauge()`` are get-or-create: instrumentation
-    sites name the metric they want and share the family with every
-    other site using that name (mismatched kinds raise — one name, one
-    type, per the exposition format).
+    ``counter()`` / ``gauge()`` / ``histogram()`` are get-or-create:
+    instrumentation sites name the metric they want and share the
+    family with every other site using that name (mismatched kinds
+    raise — one name, one type, per the exposition format).
     """
 
     def __init__(self) -> None:
@@ -195,7 +323,23 @@ class MetricsRegistry:
             gauge.callback = callback
         return gauge
 
-    def _register(self, name: str, help_text: str, cls) -> Metric:
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Iterable[float] | None = None,
+    ) -> Histogram:
+        """Get or create the histogram ``name``.
+
+        ``buckets`` applies on creation only — a histogram's buckets
+        are fixed for its lifetime, so later get-or-create calls reuse
+        the existing family regardless of the argument.
+        """
+        if buckets is None:
+            return self._register(name, help_text, Histogram)
+        return self._register(name, help_text, Histogram, buckets=buckets)
+
+    def _register(self, name: str, help_text: str, cls, **kwargs) -> Metric:
         with self._lock:
             existing = self._metrics.get(name)
             if existing is not None:
@@ -205,7 +349,7 @@ class MetricsRegistry:
                         f"{cls.kind}"
                     )
                 return existing
-            metric = cls(name, help_text)
+            metric = cls(name, help_text, **kwargs)
             self._metrics[name] = metric
             return metric
 

@@ -60,10 +60,16 @@ This module is that service layer:
   their results, then exits.
 
 The HTTP layer is stdlib-only: a minimal HTTP/1.1 server written
-directly on :func:`asyncio.start_server` (one request per connection,
-``Connection: close``), so the service runs anywhere the repo does —
-no aiohttp, no frameworks.  Every endpoint is documented with examples
-in ``docs/service.md``.
+directly on :func:`asyncio.start_server`, so the service runs anywhere
+the repo does — no aiohttp, no frameworks.  Connections are
+**keep-alive** by default (bounded per connection by
+``MAX_REQUESTS_PER_CONNECTION`` and the request read timeout), so a
+worker's whole lease/heartbeat/result dialogue rides one TCP stream.
+Workers may also lease in *batches* (``POST /leases`` with
+``max_jobs``) and deliver every result of a batch in one
+``POST /leases/{id}/results`` — the single-job endpoints remain for
+compatibility.  Every endpoint is documented with examples in
+``docs/service.md``.
 """
 
 from __future__ import annotations
@@ -127,7 +133,13 @@ DEFAULT_PRIORITY = 10
 
 #: Seconds a connection may take to deliver its request before being
 #: dropped (bounds slow/idle clients; SSE *responses* are unbounded).
+#: Also the idle timeout of a kept-alive connection between requests.
 REQUEST_READ_TIMEOUT_S = 30.0
+
+#: Requests served on one keep-alive connection before the server
+#: answers ``Connection: close`` — bounds per-connection state and
+#: gives load balancers a natural rebalancing point.
+MAX_REQUESTS_PER_CONNECTION = 1000
 
 #: Maximum accepted request body (JSON job submissions are tiny; an
 #: unbounded Content-Length would let any client allocate server
@@ -393,7 +405,11 @@ class CampaignService:
         self.store = (
             store
             if store is not None
-            else ResultStore(self.config.store_path or ":memory:")
+            else ResultStore(
+                self.config.store_path or ":memory:",
+                wal=self.config.store_wal,
+                group_commit=self.config.store_group_commit,
+            )
         )
         self.records: dict[str, JobRecord] = {}
         self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
@@ -472,6 +488,22 @@ class CampaignService:
         self._m_busy = m.counter(
             "repro_worker_busy_seconds_total",
             "Wall-clock seconds spent executing jobs, by worker.",
+        )
+        self._h_lease_batch = m.histogram(
+            "repro_lease_batch_jobs",
+            "Jobs granted per lease (the fleet's batch size).",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+        )
+        self._h_result_bytes = m.histogram(
+            "repro_result_payload_bytes",
+            "Request body bytes of result submissions "
+            "(single and batch endpoints).",
+            buckets=(1024, 8192, 65536, 262144, 1048576),
+        )
+        self._h_flush = m.histogram(
+            "repro_store_flush_seconds",
+            "Latency of result-store flush/commit transactions.",
+            buckets=(0.0005, 0.001, 0.005, 0.01, 0.05, 0.25, 1.0),
         )
         m.gauge(
             "repro_service_info",
@@ -680,47 +712,70 @@ class CampaignService:
         :class:`LeaseError` for unregistered workers — registration is
         what makes a crash attributable in ``GET /workers``.
         """
+        records = self.lease_batch(worker_id, 1)
+        return records[0] if records else None
+
+    def lease_batch(self, worker_id: str, max_jobs: int = 1) -> list[JobRecord]:
+        """Grant up to ``max_jobs`` queued jobs under ONE lease.
+
+        The batch shares a lease id, deadline and heartbeat: one
+        round-trip claims it, one heartbeat keeps all of it alive, and
+        a crash requeues all of it (each job keeping its own attempt
+        budget).  Returns ``[]`` when the queue holds nothing runnable.
+        """
         info = self.workers_info.get(worker_id)
         if info is None:
             raise LeaseError(f"unknown worker {worker_id!r}; POST /workers first")
         info.last_seen_s = time.time()
         if self._closing:
-            return None
-        while True:
+            return []
+        records: list[JobRecord] = []
+        while len(records) < max_jobs:
             try:
                 _, order, record = self._queue.get_nowait()
             except asyncio.QueueEmpty:
-                return None
+                break
             if record is None:
                 # Shutdown sentinel destined for a local worker —
                 # put it back untouched.
                 self._queue.put_nowait((float("inf"), order, None))
-                return None
+                break
             if record.state != QUEUED:  # cancelled while queued
                 continue
-            return self._grant(record, info)
+            records.append(record)
+        if not records:
+            return []
+        self._grant_batch(records, info)
+        return records
 
     def _grant(self, record: JobRecord, info: WorkerInfo) -> JobRecord:
         """Move a queued record to running under a fresh lease."""
-        record.state = RUNNING
-        record.started_s = time.time()
-        record.attempts += 1
-        self._pending -= 1
+        self._grant_batch([record], info)
+        return record
+
+    def _grant_batch(self, records: list[JobRecord], info: WorkerInfo) -> None:
+        """Move queued records to running under one fresh lease."""
+        for record in records:
+            record.state = RUNNING
+            record.started_s = time.time()
+            record.attempts += 1
+            self._pending -= 1
         ttl = LOCAL_LEASE_TTL_S if info.local else self.config.lease_ttl_s
         lease = self.store.create_lease(
             f"lease-{next(self._lease_seq)}",
-            record.id,
-            job_key(record.job),
+            [record.id for record in records],
+            [job_key(record.job) for record in records],
             info.id,
             ttl,
-            attempt=record.attempts,
+            attempt=max(record.attempts for record in records),
         )
-        record.lease_id = lease.lease_id
-        record.worker = info.id
+        for record in records:
+            record.lease_id = lease.lease_id
+            record.worker = info.id
         info.leases += 1
         info.last_seen_s = time.time()
         self._m_leases_granted.inc(worker=info.id)
-        return record
+        self._h_lease_batch.observe(float(len(records)))
 
     def _finish_record(
         self,
@@ -728,6 +783,8 @@ class CampaignService:
         info: WorkerInfo | None,
         result: CampaignResult | None,
         error: str | None,
+        persist: bool = True,
+        finish_lease: bool = True,
     ) -> None:
         """Common terminal path for local and fleet execution.
 
@@ -735,12 +792,21 @@ class CampaignService:
         accounting and metrics, and wakes progress streams.  Store
         failures degrade to a served-from-memory result with a note in
         ``record.error`` — they never kill the caller.
+
+        Batch result delivery passes ``persist=False`` (the whole
+        batch lands through one :meth:`ResultStore.put_many`) and
+        ``finish_lease=False`` (one lease covers many records; the
+        caller closes it once).
         """
-        if record.lease_id is not None:
+        if finish_lease and record.lease_id is not None:
             self.store.finish_lease(
                 record.lease_id,
                 LEASE_COMPLETED if error is None else LEASE_FAILED,
             )
+        # Stamp the finish time *before* flipping the state: observers
+        # on other threads (status endpoints, benchmarks) treat a
+        # terminal state as "finished_s is set".
+        record.finished_s = time.time()
         if error is not None:
             record.error = error
             record.state = FAILED
@@ -748,18 +814,20 @@ class CampaignService:
             assert result is not None
             record.result = result
             record.state = DONE
-            try:
-                self.store.put(record.job, result.payload, result.wall_clock_s)
-            except Exception as exc:
-                # The computed result is still served from memory; a
-                # store failure must not kill the worker task or leave
-                # the record stuck in `running`.
-                record.error = f"result not persisted — {type(exc).__name__}: {exc}"
+            if persist:
+                try:
+                    self.store.put(record.job, result.payload, result.wall_clock_s)
+                except Exception as exc:
+                    # The computed result is still served from memory;
+                    # a store failure must not kill the worker task or
+                    # leave the record stuck in `running`.
+                    record.error = (
+                        f"result not persisted — {type(exc).__name__}: {exc}"
+                    )
             if result.lut_from_cache:
                 self._m_lut_hits.inc()
             else:
                 self._m_lut_misses.inc()
-        record.finished_s = time.time()
         worker_id = record.worker or "unknown"
         if info is not None:
             busy = record.finished_s - (record.started_s or record.finished_s)
@@ -845,6 +913,11 @@ class CampaignService:
         lease = self.store.get_lease(lease_id)
         if lease is None:
             raise LeaseError(f"unknown lease {lease_id!r}")
+        if len(lease.job_ids) > 1:
+            raise ConfigError(
+                f"lease {lease_id!r} covers {len(lease.job_ids)} jobs; "
+                "deliver a batch through POST /leases/{id}/results"
+            )
         record = self.records.get(lease.job_id)
         if not lease.live:
             if lease.state in (LEASE_COMPLETED, LEASE_FAILED):
@@ -883,43 +956,198 @@ class CampaignService:
         self._finish_record(record, info, result, None)
         return 200, {"accepted": True, "job": record.to_dict()}
 
-    def _requeue_expired(self, lease) -> None:
-        """React to one lease the reaper just expired.
+    def finish_remote_batch(self, lease_id: str, body) -> tuple[int, dict]:
+        """Apply a fleet worker's ``POST /leases/{id}/results``.
 
-        Requeues the job at its original priority with the attempt
-        budget spent; past ``max_lease_retries`` grants the job goes
-        terminal ``failed`` instead (a job that reliably kills its
-        workers must not crash-loop the fleet).  During shutdown the
-        job is cancelled — there is nobody left to run it.
+        ``body["results"]`` is a list of :meth:`finish_remote` bodies,
+        each carrying the ``job_id`` it answers.  Failure semantics
+        are *per job* — one bad entry never poisons its siblings:
+
+        * a worker-reported ``error`` marks that job failed
+          (terminal, status ``failed``);
+        * a malformed payload rejects that entry (status ``rejected``)
+          and the job is requeued as undelivered;
+        * a job missing from the body entirely is requeued
+          (``requeued`` in the response lists the ids);
+        * ``unknown_job``/``duplicate_entry``/``stale`` entries are
+          reported and skipped.
+
+        All successful payloads land through ONE
+        :meth:`ResultStore.put_many` transaction (bitwise-identical
+        rows to per-job :meth:`ResultStore.put`).  The lease goes
+        ``released`` when anything was requeued, ``failed`` when
+        everything delivered failed, ``completed`` otherwise; a
+        duplicate delivery on a closed lease is idempotent and an
+        expired/released lease raises :class:`LeaseExpiredError`.
         """
+        if not isinstance(body, dict) or not isinstance(body.get("results"), list):
+            raise ConfigError(
+                "batch result submission needs a JSON body with a "
+                "'results' array"
+            )
+        lease = self.store.get_lease(lease_id)
+        if lease is None:
+            raise LeaseError(f"unknown lease {lease_id!r}")
+        if not lease.live:
+            if lease.state in (LEASE_COMPLETED, LEASE_FAILED):
+                return 200, {
+                    "accepted": False,
+                    "duplicate": True,
+                    "lease": lease.to_dict(),
+                }
+            raise LeaseExpiredError(
+                f"lease {lease_id!r} is {lease.state}; its jobs have been "
+                "requeued — discard these results"
+            )
         info = self.workers_info.get(lease.worker)
-        if info is not None:
-            info.expired += 1
-        self._m_leases_expired.inc(worker=lease.worker)
-        record = self.records.get(lease.job_id)
-        if (
-            record is None
-            or record.state != RUNNING
-            or record.lease_id != lease.lease_id
-        ):
-            return  # the job already finished under this or another lease
+        job_ids = lease.job_ids
+        statuses: list[dict] = []
+        entries: dict[str, dict] = {}
+        for entry in body["results"]:
+            if not isinstance(entry, dict) or "job_id" not in entry:
+                # Without a job_id the entry is unattributable — the
+                # whole request is malformed, not one job of it.
+                raise ConfigError(
+                    "each entry of a batch result submission needs the "
+                    "'job_id' it answers"
+                )
+            jid = str(entry["job_id"])
+            if jid not in job_ids:
+                statuses.append({"job_id": jid, "status": "unknown_job"})
+            elif jid in entries:
+                statuses.append({"job_id": jid, "status": "duplicate_entry"})
+            else:
+                entries[jid] = entry
+        successes: list[tuple[JobRecord, CampaignResult]] = []
+        undelivered: list[JobRecord] = []
+        delivered = failures = 0
+        for jid in job_ids:
+            record = self.records.get(jid)
+            owned = (
+                record is not None
+                and record.state == RUNNING
+                and record.lease_id == lease_id
+            )
+            entry = entries.get(jid)
+            if not owned:
+                if entry is not None:
+                    statuses.append({"job_id": jid, "status": "stale"})
+                continue
+            if entry is None:
+                undelivered.append(record)
+                continue
+            error = entry.get("error")
+            if error is not None:
+                # Worker-*reported* job failure: terminal, like the
+                # single-result endpoint.
+                self._finish_record(
+                    record, info, None, str(error),
+                    persist=False, finish_lease=False,
+                )
+                statuses.append({"job_id": jid, "status": "failed"})
+                delivered += 1
+                failures += 1
+                continue
+            try:
+                kind = entry["payload_kind"]
+                payload = decode_payload(kind, json.dumps(entry["payload"]))
+                wall_clock_s = float(entry["wall_clock_s"])
+                lut_from_cache = bool(entry.get("lut_from_cache", False))
+            except (KeyError, TypeError, ValueError) as exc:
+                statuses.append(
+                    {
+                        "job_id": jid,
+                        "status": "rejected",
+                        "error": f"malformed result: {exc}",
+                    }
+                )
+                undelivered.append(record)
+                continue
+            successes.append(
+                (
+                    record,
+                    CampaignResult(
+                        job=record.job,
+                        payload=payload,
+                        wall_clock_s=wall_clock_s,
+                        lut_from_cache=lut_from_cache,
+                    ),
+                )
+            )
+            delivered += 1
+        persist_note = None
+        if successes:
+            before = self.store.flush_stats["total_s"]
+            try:
+                self.store.put_many(
+                    [
+                        (record.job, result.payload, result.wall_clock_s)
+                        for record, result in successes
+                    ]
+                )
+            except Exception as exc:
+                # Served from memory, like the single-result path.
+                persist_note = (
+                    f"result not persisted — {type(exc).__name__}: {exc}"
+                )
+            else:
+                self._h_flush.observe(
+                    self.store.flush_stats["total_s"] - before
+                )
+        for record, result in successes:
+            self._finish_record(
+                record, info, result, None, persist=False, finish_lease=False
+            )
+            if persist_note is not None:
+                record.error = persist_note
+            statuses.append({"job_id": record.id, "status": "done"})
+        requeued = []
+        for record in undelivered:
+            self._release_job(
+                record, "result missing from batch delivery", worker=lease.worker
+            )
+            requeued.append(record.id)
+        if requeued:
+            terminal = LEASE_RELEASED
+        elif delivered and failures == delivered:
+            terminal = LEASE_FAILED
+        else:
+            terminal = LEASE_COMPLETED
+        lease = self.store.finish_lease(lease_id, terminal) or lease
+        return 200, {
+            "accepted": True,
+            "lease": lease.to_dict(),
+            "results": statuses,
+            "requeued": requeued,
+        }
+
+    def _release_job(
+        self, record: JobRecord, reason: str, worker: str | None = None
+    ) -> None:
+        """Detach a running record from its lease and requeue it.
+
+        Past ``max_lease_retries`` grants the job goes terminal
+        ``failed`` instead (a job that reliably kills its workers must
+        not crash-loop the fleet); during shutdown it is cancelled —
+        there is nobody left to run it.
+        """
         record.lease_id = None
         record.worker = None
         if self._closing:
             record.state = CANCELLED
-            record.error = "lease expired during shutdown"
+            record.error = f"{reason} during shutdown"
             record.finished_s = time.time()
             self._active.pop(job_key(record.job), None)
             record.done_event.set()
         elif record.attempts >= self.config.max_lease_retries:
             record.state = FAILED
             record.error = (
-                f"lease expired after {record.attempts} attempt(s); "
+                f"{reason} after {record.attempts} attempt(s); "
                 "retry budget exhausted"
             )
             record.finished_s = time.time()
             self._active.pop(job_key(record.job), None)
-            self._m_failed.inc(worker=lease.worker)
+            self._m_failed.inc(worker=worker or "unknown")
             record.done_event.set()
         else:
             record.state = QUEUED
@@ -928,12 +1156,47 @@ class CampaignService:
             self._queue.put_nowait((record.priority, next(self._order), record))
             self._m_requeued.inc()
 
+    def _requeue_expired(self, lease) -> None:
+        """React to one lease the reaper just expired.
+
+        Every job of the lease (one, or a whole batch) is requeued at
+        its original priority with the attempt budget spent — see
+        :meth:`_release_job` for the budget/shutdown terminal paths.
+        """
+        info = self.workers_info.get(lease.worker)
+        if info is not None:
+            info.expired += 1
+        self._m_leases_expired.inc(worker=lease.worker)
+        for jid in lease.job_ids:
+            record = self.records.get(jid)
+            if (
+                record is None
+                or record.state != RUNNING
+                or record.lease_id != lease.lease_id
+            ):
+                continue  # already finished under this or another lease
+            self._release_job(record, "lease expired", worker=lease.worker)
+
+    def _flush_store(self) -> None:
+        """Flush the store's group-commit buffer, feeding the
+        flush-latency histogram (no-op when the buffer is empty)."""
+        if self.store.pending:
+            before = self.store.flush_stats["total_s"]
+            self.store.flush()
+            self._h_flush.observe(self.store.flush_stats["total_s"] - before)
+
     async def _reap_leases(self) -> None:
-        """Periodically expire overdue leases and requeue their jobs."""
+        """Periodically expire overdue leases and requeue their jobs.
+
+        Also the group-commit heartbeat: each sweep flushes buffered
+        result rows, bounding how long an acknowledged result can sit
+        unpersisted at ``lease_check_s``.
+        """
         while True:
             await asyncio.sleep(self.config.lease_check_s)
             for lease in self.store.expire_due_leases():
                 self._requeue_expired(lease)
+            self._flush_store()
 
     def _shared_segment_for(self, job: CampaignJob) -> str | None:
         """Name of the shared pricing-table segment for a job's LUT key,
@@ -1054,17 +1317,18 @@ class CampaignService:
         # _closing is set).
         for lease in _remote_leases():
             self.store.finish_lease(lease.lease_id, LEASE_RELEASED)
-            record = self.records.get(lease.job_id)
-            if (
-                record is not None
-                and record.state == RUNNING
-                and record.lease_id == lease.lease_id
-            ):
-                record.state = CANCELLED
-                record.error = "lease released at shutdown"
-                record.finished_s = time.time()
-                self._active.pop(job_key(record.job), None)
-                record.done_event.set()
+            for jid in lease.job_ids:
+                record = self.records.get(jid)
+                if (
+                    record is not None
+                    and record.state == RUNNING
+                    and record.lease_id == lease.lease_id
+                ):
+                    record.state = CANCELLED
+                    record.error = "lease released at shutdown"
+                    record.finished_s = time.time()
+                    self._active.pop(job_key(record.job), None)
+                    record.done_event.set()
         for _ in self._workers:
             # Sentinels sort behind every real priority, so a worker
             # only exits once the queue holds nothing runnable.
@@ -1102,6 +1366,7 @@ class CampaignService:
         # killed mid-await) must not look live to the next process
         # sharing this store file.
         self.store.release_active_leases()
+        self._flush_store()
         self.store.close()
         self._closed.set()
 
@@ -1121,22 +1386,40 @@ class CampaignService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._connections.add(writer)
+        served = 0
         try:
-            try:
-                request = await asyncio.wait_for(
-                    _read_request(reader), timeout=REQUEST_READ_TIMEOUT_S
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        _read_request(reader), timeout=REQUEST_READ_TIMEOUT_S
+                    )
+                except asyncio.TimeoutError:
+                    return  # slow/idle client — drop without a response
+                if request is None:
+                    return
+                method, path, query, headers, body = request
+                served += 1
+                # HTTP/1.1 default is keep-alive; honour an explicit
+                # close, bound requests per connection, and stop
+                # reusing once shutdown starts draining.
+                keep_alive = (
+                    headers.get("connection", "").lower() != "close"
+                    and served < MAX_REQUESTS_PER_CONNECTION
+                    and not self._closing
                 )
-            except asyncio.TimeoutError:
-                return  # slow/idle client — drop without a response
-            if request is None:
-                return
-            method, path, query, headers, body = request
-            await self._route(writer, method, path, query, headers, body)
+                writer.keep_alive = keep_alive  # read by _respond*
+                reusable = await self._route(
+                    writer, method, path, query, headers, body
+                )
+                if not (keep_alive and reusable):
+                    return
         except ConfigError as error:
             # Malformed wire requests (bad request line, oversized
-            # headers/body, non-JSON payload) get a 400, not a drop.
+            # headers/body, non-JSON payload) get a 400, not a drop —
+            # and never a reused connection (framing is unknown).
             # The client may already be gone — that is not an error.
             try:
+                writer.keep_alive = False
                 await _respond(writer, 400, {"error": str(error)})
             except (ConnectionError, OSError):
                 pass
@@ -1152,7 +1435,9 @@ class CampaignService:
 
     async def _route(
         self, writer, method: str, path: str, query, headers, body
-    ) -> None:
+    ) -> bool:
+        """Dispatch one request; returns whether the connection may be
+        reused for another (False after SSE streams and shutdown)."""
         parts = [p for p in path.split("/") if p]
         # Observability first: /healthz and /metrics must answer even
         # when the queue is full, a tenant is rate-limited, or the
@@ -1161,7 +1446,7 @@ class CampaignService:
         # admission guard below.
         if method == "GET" and parts == ["healthz"]:
             await _respond(writer, 200, self.stats())
-            return
+            return True
         if method == "GET" and parts == ["metrics"]:
             await _respond_text(
                 writer,
@@ -1169,7 +1454,7 @@ class CampaignService:
                 self.metrics.render(),
                 content_type="text/plain; version=0.0.4; charset=utf-8",
             )
-            return
+            return True
         try:
             if method == "GET" and not parts:
                 await _respond(writer, 200, self._index())
@@ -1195,6 +1480,7 @@ class CampaignService:
                     await _respond(writer, 404, {"error": f"no job {parts[1]!r}"})
                 else:
                     await self._stream_progress(writer, record)
+                    return False  # the SSE stream consumed the connection
             elif method == "DELETE" and len(parts) == 2 and parts[0] == "jobs":
                 record = self.records.get(parts[1])
                 if record is None:
@@ -1251,17 +1537,26 @@ class CampaignService:
                     raise ConfigError(
                         "POST /leases needs a JSON body with a 'worker' id"
                     )
-                record = self.lease_next(str(body["worker"]))
-                if record is None:
+                raw_max = body.get("max_jobs", 1)
+                if isinstance(raw_max, bool) or not isinstance(raw_max, int):
+                    raise ConfigError("max_jobs must be an integer >= 1")
+                if raw_max < 1:
+                    raise ConfigError(f"max_jobs must be >= 1, got {raw_max}")
+                max_jobs = min(raw_max, self.config.lease_batch_limit)
+                records = self.lease_batch(str(body["worker"]), max_jobs)
+                if not records:
                     await _respond_empty(writer, 204)
                 else:
-                    lease = self.store.get_lease(record.lease_id)
+                    lease = self.store.get_lease(records[0].lease_id)
                     await _respond(
                         writer,
                         200,
                         {
                             "lease": lease.to_dict(),
-                            "job": record.to_dict(),
+                            # `job`: the first of the batch, kept for
+                            # single-lease (max_jobs=1) compatibility.
+                            "job": records[0].to_dict(),
+                            "jobs": [r.to_dict() for r in records],
                             "lease_ttl_s": self.config.lease_ttl_s,
                         },
                     )
@@ -1278,11 +1573,22 @@ class CampaignService:
                 and parts[0] == "leases"
                 and parts[2] == "result"
             ):
+                self._observe_result_bytes(headers)
                 status, payload = self.finish_remote(parts[1], body)
+                await _respond(writer, status, payload)
+            elif (
+                method == "POST"
+                and len(parts) == 3
+                and parts[0] == "leases"
+                and parts[2] == "results"
+            ):
+                self._observe_result_bytes(headers)
+                status, payload = self.finish_remote_batch(parts[1], body)
                 await _respond(writer, status, payload)
             elif method == "POST" and parts == ["shutdown"]:
                 await _respond(writer, 202, {"shutting_down": True})
                 asyncio.get_running_loop().create_task(self.shutdown())
+                return False  # the service is draining — no more requests
             else:
                 await _respond(writer, 404, {"error": f"no route {method} {path}"})
         except QueueFullError as error:
@@ -1309,6 +1615,15 @@ class CampaignService:
             # (e.g. an unknown Mode, a non-integer episodes/seed) must
             # still answer 400, not drop the connection.
             await _respond(writer, 400, {"error": str(error)})
+        return True
+
+    def _observe_result_bytes(self, headers: dict) -> None:
+        """Feed a result submission's body size to its histogram."""
+        try:
+            size = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            return
+        self._h_result_bytes.observe(float(size))
 
     def _index(self) -> dict:
         return {
@@ -1331,6 +1646,7 @@ class CampaignService:
                 "POST /leases",
                 "POST /leases/{id}/heartbeat",
                 "POST /leases/{id}/result",
+                "POST /leases/{id}/results",
                 "POST /shutdown",
             ],
         }
@@ -1592,17 +1908,32 @@ async def _read_request(reader: asyncio.StreamReader):
     return method.upper(), split.path, query, headers, body
 
 
+def _connection_header(writer) -> str:
+    """The Connection header this response must carry.
+
+    ``_handle_client`` stamps its keep-alive decision on the writer
+    before routing (responses are Content-Length framed, so a reused
+    connection stays in sync); anything without the stamp — early
+    400s, tests driving ``_respond`` directly — closes.
+    """
+    return (
+        "Connection: keep-alive"
+        if getattr(writer, "keep_alive", False)
+        else "Connection: close"
+    )
+
+
 async def _respond(
     writer, status: int, payload: dict, headers: dict | None = None
 ) -> None:
-    """Write one JSON response and flush (connection closes after)."""
+    """Write one JSON response and flush."""
     body = json.dumps(payload, indent=2).encode() + b"\n"
     text = _STATUS_TEXT.get(status, "OK")
     head = [
         f"HTTP/1.1 {status} {text}",
         "Content-Type: application/json",
         f"Content-Length: {len(body)}",
-        "Connection: close",
+        _connection_header(writer),
     ]
     for name, value in (headers or {}).items():
         head.append(f"{name}: {value}")
@@ -1619,7 +1950,7 @@ async def _respond_text(
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}",
         f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
-        "Connection: close",
+        _connection_header(writer),
     ]
     writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
     await writer.drain()
@@ -1630,7 +1961,7 @@ async def _respond_empty(writer, status: int) -> None:
     head = [
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}",
         "Content-Length: 0",
-        "Connection: close",
+        _connection_header(writer),
     ]
     writer.write(("\r\n".join(head) + "\r\n\r\n").encode())
     await writer.drain()

@@ -17,6 +17,18 @@ are stored as JSON; Python's ``json`` emits shortest-round-trip float
 literals, so ``best_ms`` (and every curve entry) survives the
 round-trip **bitwise** — the store can answer for a live search without
 perturbing Table II or the service's exactness contract.
+
+Write throughput is a first-class concern (the fleet's batched result
+deliveries land many rows per request): file-backed stores run in WAL
+mode with ``synchronous=NORMAL`` (one fsync per commit, not per page),
+:meth:`ResultStore.put_many` lands a whole batch in one transaction,
+and an optional *group-commit* buffer (``group_commit=N``) coalesces
+individual :meth:`ResultStore.put` calls into batched commits the
+service flushes on batch boundaries and shutdown.  The durability
+trade-offs are spelled out in ``docs/fleet.md``; none of the batching
+changes a single stored byte — reads always see buffered writes
+(they flush first), and every row is the same 16-column tuple a
+commit-per-write store would produce.
 """
 
 from __future__ import annotations
@@ -223,10 +235,16 @@ class LeaseRecord:
     """One job lease as the lease table tracks it.
 
     A lease is the unit of the fleet's pull protocol: one worker's
-    bounded claim on one queued job.  Liveness is heartbeat-extended
+    bounded claim on queued work.  Liveness is heartbeat-extended
     (``deadline_s`` moves forward); a missed deadline expires the
-    lease and requeues the job.  ``attempt`` counts the job's leases
+    lease and requeues its jobs.  ``attempt`` counts the jobs' leases
     so far (1-based), bounding crash-requeue loops.
+
+    A *batch* lease (``POST /leases`` with ``max_jobs > 1``) covers
+    several jobs under one lease id and one heartbeat; ``job_id`` and
+    ``job_key`` then hold the space-joined ids/keys (job ids and keys
+    never contain spaces), and :attr:`job_ids`/:attr:`job_keys` give
+    the split-out views.
     """
 
     lease_id: str
@@ -245,13 +263,34 @@ class LeaseRecord:
         """Whether the lease is still active (deadline not considered)."""
         return self.state == LEASE_ACTIVE
 
+    @property
+    def job_ids(self) -> list[str]:
+        """All job ids under this lease (one element for single leases)."""
+        return self.job_id.split(" ")
+
+    @property
+    def job_keys(self) -> list[str]:
+        """All job keys under this lease, aligned with :attr:`job_ids`."""
+        return self.job_key.split(" ")
+
     def age_s(self, now: float) -> float:
         """Seconds since the lease was granted."""
         return max(0.0, now - self.created_s)
 
     def to_dict(self) -> dict:
-        """JSON-ready view (the wire format of ``GET /workers``)."""
-        return asdict(self)
+        """JSON-ready view (the wire format of ``GET /workers``).
+
+        ``job_id``/``job_key`` stay the *first* job for compatibility
+        with single-lease consumers; ``job_ids`` lists the whole batch
+        and ``jobs`` counts it.
+        """
+        body = asdict(self)
+        ids = self.job_ids
+        body["job_id"] = ids[0]
+        body["job_key"] = self.job_keys[0]
+        body["job_ids"] = ids
+        body["jobs"] = len(ids)
+        return body
 
 
 @dataclass
@@ -276,70 +315,175 @@ class ResultStore:
         Database file (parent directories are created), or
         ``":memory:"`` for a store that lives only as long as this
         object.
+    wal:
+        Run file-backed stores in ``journal_mode=WAL`` with
+        ``synchronous=NORMAL`` — writers don't block readers and
+        sqlite fsyncs once per commit instead of once per journal
+        page.  Ignored for ``":memory:"``.  A power loss can roll the
+        database back to the last WAL checkpoint, but never corrupts
+        it; pass ``wal=False`` to keep the default rollback journal
+        with full-durability ``synchronous=FULL`` semantics.
+    group_commit:
+        When > 0, :meth:`put` buffers rows in memory and commits them
+        ``group_commit`` at a time (one transaction per flush) instead
+        of one transaction per call.  Reads flush first, so buffered
+        writes are always visible; :meth:`flush`, :meth:`put_many` and
+        :meth:`close` also drain the buffer.  Rows in the buffer are
+        lost if the *process* crashes before a flush — the service
+        only buffers results it can recompute (jobs requeue on lease
+        expiry), so acknowledged-and-lost is bounded by the flush the
+        caller controls.
 
     The connection is shared across threads behind a lock (the service
     touches the store from its event-loop thread and from HTTP handler
-    coroutines; the CLI from the main thread), and every write commits
-    immediately — a crash never loses acknowledged results.
+    coroutines; the CLI from the main thread).
     """
 
-    def __init__(self, path: str | Path = ":memory:") -> None:
+    def __init__(
+        self,
+        path: str | Path = ":memory:",
+        wal: bool = True,
+        group_commit: int = 0,
+    ) -> None:
+        if group_commit < 0:
+            raise ConfigError(f"group_commit must be >= 0, got {group_commit}")
         self.path = str(path)
+        self.group_commit = int(group_commit)
         if self.path != ":memory:":
             Path(self.path).parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
         self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        #: Pending group-commit rows, key -> 16-column row (last write
+        #: wins, matching INSERT OR REPLACE semantics).
+        self._buffer: dict[str, tuple] = {}
+        #: Flush statistics: transactions flushed, rows they carried,
+        #: and total seconds spent committing (the benchmark and the
+        #: ``repro_store_flush_seconds`` histogram read these).
+        self.flush_stats = {"flushes": 0, "rows": 0, "total_s": 0.0}
+        self.wal = bool(wal) and self.path != ":memory:"
         with self._lock:
+            if self.wal:
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.execute(_TABLE_DDL)
             self._conn.execute(_LEASE_DDL)
             self._conn.commit()
 
     # -- writes -------------------------------------------------------------
 
-    def put(self, job: CampaignJob, payload, wall_clock_s: float = 0.0) -> str:
-        """Insert (or replace) one solved job; returns its key."""
+    _INSERT_SQL = (
+        "INSERT OR REPLACE INTO results VALUES "
+        "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+    )
+
+    @staticmethod
+    def _row(job: CampaignJob, payload, wall_clock_s: float) -> tuple[str, tuple]:
+        """Encode one solved job as its ``(key, 16-column row)``."""
         key = job_key(job)
         payload_kind, text = encode_payload(payload)
+        return key, (
+            key,
+            STORE_SCHEMA_VERSION,
+            job.network,
+            job.platform,
+            job.mode,
+            job.seed,
+            job.kind,
+            job.kernel,
+            job.episodes,
+            job.repeats,
+            job.seeds,
+            payload_kind,
+            text,
+            best_ms_of(payload),
+            wall_clock_s,
+            time.time(),
+        )
+
+    def _flush_locked(self) -> int:
+        """Commit every buffered row (caller holds the lock)."""
+        if not self._buffer:
+            return 0
+        rows = list(self._buffer.values())
+        started = time.perf_counter()
+        self._conn.executemany(self._INSERT_SQL, rows)
+        self._conn.commit()
+        self._buffer.clear()
+        self.flush_stats["flushes"] += 1
+        self.flush_stats["rows"] += len(rows)
+        self.flush_stats["total_s"] += time.perf_counter() - started
+        return len(rows)
+
+    def flush(self) -> int:
+        """Commit buffered group-commit rows; returns how many landed.
+
+        The last flush's latency is retrievable from ``flush_stats``
+        (the service feeds it into the flush-latency histogram).
+        """
         with self._lock:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO results VALUES "
-                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                (
-                    key,
-                    STORE_SCHEMA_VERSION,
-                    job.network,
-                    job.platform,
-                    job.mode,
-                    job.seed,
-                    job.kind,
-                    job.kernel,
-                    job.episodes,
-                    job.repeats,
-                    job.seeds,
-                    payload_kind,
-                    text,
-                    best_ms_of(payload),
-                    wall_clock_s,
-                    time.time(),
-                ),
-            )
-            self._conn.commit()
+            return self._flush_locked()
+
+    @property
+    def pending(self) -> int:
+        """Rows sitting in the group-commit buffer (0 when disabled)."""
+        with self._lock:
+            return len(self._buffer)
+
+    def put(self, job: CampaignJob, payload, wall_clock_s: float = 0.0) -> str:
+        """Insert (or replace) one solved job; returns its key.
+
+        With ``group_commit=0`` (the default) the row commits before
+        this returns.  Otherwise it lands in the buffer and commits on
+        the next flush — triggered here once the buffer reaches the
+        group-commit threshold.
+        """
+        key, row = self._row(job, payload, wall_clock_s)
+        with self._lock:
+            if self.group_commit > 0:
+                self._buffer[key] = row
+                if len(self._buffer) >= self.group_commit:
+                    self._flush_locked()
+            else:
+                started = time.perf_counter()
+                self._conn.execute(self._INSERT_SQL, row)
+                self._conn.commit()
+                self.flush_stats["flushes"] += 1
+                self.flush_stats["rows"] += 1
+                self.flush_stats["total_s"] += time.perf_counter() - started
         return key
+
+    def put_many(
+        self, items: list[tuple[CampaignJob, object, float]]
+    ) -> list[str]:
+        """Insert a batch of ``(job, payload, wall_clock_s)`` in ONE
+        transaction; returns the keys in input order.
+
+        Any buffered group-commit rows ride along in the same commit
+        (one fsync covers everything).  Bitwise semantics are identical
+        to repeated :meth:`put` calls — same encoder, same row layout.
+        """
+        encoded = [self._row(job, payload, wall) for job, payload, wall in items]
+        with self._lock:
+            for key, row in encoded:
+                self._buffer[key] = row
+            self._flush_locked()
+        return [key for key, _ in encoded]
 
     def delete(self, job: CampaignJob) -> bool:
         """Drop one solved job; returns whether it existed."""
+        key = job_key(job)
         with self._lock:
-            cursor = self._conn.execute(
-                "DELETE FROM results WHERE key = ?", (job_key(job),)
-            )
+            buffered = self._buffer.pop(key, None) is not None
+            cursor = self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
             self._conn.commit()
-            return cursor.rowcount > 0
+            return buffered or cursor.rowcount > 0
 
     # -- reads --------------------------------------------------------------
 
     def contains(self, job: CampaignJob) -> bool:
         """Whether this exact job is stored (no payload decode)."""
         with self._lock:
+            self._flush_locked()
             row = self._conn.execute(
                 "SELECT 1 FROM results WHERE key = ? AND schema_version = ?",
                 (job_key(job), STORE_SCHEMA_VERSION),
@@ -349,6 +493,7 @@ class ResultStore:
     def get(self, job: CampaignJob) -> StoredResult | None:
         """The stored result of exactly this job, or None on a miss."""
         with self._lock:
+            self._flush_locked()
             row = self._conn.execute(
                 "SELECT payload_kind, payload, best_ms, wall_clock_s, created_s "
                 "FROM results WHERE key = ? AND schema_version = ?",
@@ -396,6 +541,7 @@ class ResultStore:
             + " ORDER BY created_s"
         )
         with self._lock:
+            self._flush_locked()
             rows = self._conn.execute(sql, params).fetchall()
         results = []
         for row in rows:
@@ -426,19 +572,23 @@ class ResultStore:
     def create_lease(
         self,
         lease_id: str,
-        job_id: str,
-        job_key: str,
+        job_id: str | list[str],
+        job_key: str | list[str],
         worker: str,
         ttl_s: float,
         attempt: int = 1,
         now: float | None = None,
     ) -> LeaseRecord:
-        """Grant one lease: ``worker`` owns ``job_id`` until the deadline."""
+        """Grant one lease: ``worker`` owns the job(s) until the deadline.
+
+        ``job_id``/``job_key`` may be lists (a batch lease); they are
+        stored space-joined — see :attr:`LeaseRecord.job_ids`.
+        """
         now = time.time() if now is None else now
         record = LeaseRecord(
             lease_id=lease_id,
-            job_id=job_id,
-            job_key=job_key,
+            job_id=" ".join(job_id) if isinstance(job_id, list) else job_id,
+            job_key=" ".join(job_key) if isinstance(job_key, list) else job_key,
             worker=worker,
             state=LEASE_ACTIVE,
             attempt=attempt,
@@ -586,6 +736,7 @@ class ResultStore:
     def __len__(self) -> int:
         """Number of stored results (current schema only)."""
         with self._lock:
+            self._flush_locked()
             (count,) = self._conn.execute(
                 "SELECT COUNT(*) FROM results WHERE schema_version = ?",
                 (STORE_SCHEMA_VERSION,),
@@ -593,9 +744,12 @@ class ResultStore:
         return int(count)
 
     def close(self) -> None:
-        """Close the underlying sqlite connection."""
+        """Flush any buffered rows and close the sqlite connection."""
         with self._lock:
-            self._conn.close()
+            try:
+                self._flush_locked()
+            finally:
+                self._conn.close()
 
     def __enter__(self) -> "ResultStore":
         """Context-manager entry (returns self)."""

@@ -8,7 +8,12 @@ service never dials out, so workers behind NAT just work):
    this worker's id, the lease TTL and the suggested heartbeat
    interval.
 2. **Lease** — ``POST /leases`` claims the highest-priority queued
-   job; 204 means "nothing to do, poll again".
+   job; 204 means "nothing to do, poll again" (idle polls back off
+   exponentially with jitter, capped at the configured interval, so a
+   drained fleet does not hammer the service).  ``--lease-batch N``
+   claims up to N jobs under ONE lease/heartbeat and delivers every
+   result in one ``POST /leases/{id}/results`` — amortising the
+   per-job round-trips that dominate small jobs.
 3. **Heartbeat** — while the job executes (in this process, via
    :func:`~repro.runtime.campaign.execute_job` — the exact function
    the service's local pool runs), a daemon thread beats
@@ -35,6 +40,7 @@ retries) — a fleet host is cattle, not a pet.
 from __future__ import annotations
 
 import json
+import random
 import threading
 import time
 from dataclasses import dataclass, field
@@ -62,11 +68,15 @@ class WorkerConfig:
     cache_dir: str | None = None
     #: Remote LUT shard server(s) chained behind the local tier.
     cache_remote: str | None = None
-    #: Seconds between lease polls while the queue is empty.
+    #: Maximum seconds between lease polls while the queue is empty
+    #: (idle polls back off exponentially with jitter up to this cap).
     poll_s: float = 0.5
     #: Stop after this many executed jobs (0 = run until the service
     #: goes away).
     max_jobs: int = 0
+    #: Jobs to claim per lease (1 = the classic one-job-per-round-trip
+    #: protocol; the service clamps to its ``lease_batch_limit``).
+    lease_batch: int = 1
 
     def __post_init__(self) -> None:
         if not self.server:
@@ -75,6 +85,8 @@ class WorkerConfig:
             raise ConfigError(f"poll_s must be > 0, got {self.poll_s}")
         if self.max_jobs < 0:
             raise ConfigError(f"max_jobs must be >= 0, got {self.max_jobs}")
+        if self.lease_batch < 1:
+            raise ConfigError(f"lease_batch must be >= 1, got {self.lease_batch}")
 
 
 @dataclass
@@ -129,6 +141,25 @@ class _Heartbeat(threading.Thread):
         self.join(timeout=self.interval_s + 5.0)
 
 
+def idle_backoff(
+    poll_s: float, consecutive_empty: int, rng: random.Random | None = None
+) -> float:
+    """Sleep before the next lease poll after N consecutive empty ones.
+
+    Jittered exponential backoff: starts at an eighth of the
+    configured poll interval, doubles per empty poll, and caps at the
+    interval itself — a worker re-engages a refilling queue quickly
+    but a drained fleet converges to one poll per ``poll_s`` per
+    worker.  The 0.5–1.0x jitter desynchronises workers that went
+    idle together, so their polls don't arrive as a thundering herd.
+    """
+    if consecutive_empty <= 0:
+        return 0.0
+    base = min(poll_s, (poll_s / 8.0) * (2.0 ** (consecutive_empty - 1)))
+    uniform = rng.uniform if rng is not None else random.uniform
+    return base * uniform(0.5, 1.0)
+
+
 def encode_outcome(result) -> dict:
     """A :class:`CampaignResult` as the result-submission wire body.
 
@@ -167,11 +198,19 @@ class FleetWorker:
         )
         return grant
 
+    def _batch_size(self) -> int:
+        """Jobs to request on the next lease (respects ``max_jobs``)."""
+        size = self.config.lease_batch
+        if self.config.max_jobs:
+            done = self.stats.completed + self.stats.failed
+            size = min(size, max(1, self.config.max_jobs - done))
+        return size
+
     def run_one(self) -> bool:
-        """Lease and fully process one job; False when the queue was
-        empty."""
+        """Lease and fully process one job batch; False when the queue
+        was empty."""
         assert self.worker_id is not None, "register() first"
-        grant = self.client.lease(self.worker_id)
+        grant = self.client.lease(self.worker_id, max_jobs=self._batch_size())
         self.stats.polls += 1
         if grant is None:
             return False
@@ -180,38 +219,57 @@ class FleetWorker:
 
     def _process(self, grant: dict) -> None:
         lease_id = grant["lease"]["lease_id"]
-        job = CampaignJob(**grant["job"]["job"])
+        entries = grant.get("jobs") or [grant["job"]]
         beat = _Heartbeat(self.client, lease_id, self.heartbeat_s)
         beat.start()
+        outcomes: list[dict] = []
         try:
-            result = execute_job(job, self.config.cache_dir, self.config.cache_remote)
-        except Exception as error:  # job failure — report, don't die
-            outcome = {"error": f"{type(error).__name__}: {error}"}
-        else:
-            outcome = encode_outcome(result)
+            for entry in entries:
+                if beat.lost.is_set():
+                    # The lease (and with it every job of the batch)
+                    # is gone — executing the rest is wasted work.
+                    break
+                job = CampaignJob(**entry["job"])
+                try:
+                    result = execute_job(
+                        job, self.config.cache_dir, self.config.cache_remote
+                    )
+                except Exception as error:  # job failure — report, don't die
+                    outcome = {"error": f"{type(error).__name__}: {error}"}
+                else:
+                    outcome = encode_outcome(result)
+                outcome["job_id"] = entry["id"]
+                outcomes.append(outcome)
         finally:
             beat.stop()
         if beat.lost.is_set():
             # The service expired the lease mid-run (e.g. a long GC or
-            # paused VM): the job is already requeued, this result must
-            # not race the retry.
+            # paused VM): the jobs are already requeued, these results
+            # must not race the retries.
             self.stats.lost_leases += 1
             return
         try:
-            self.client.submit_result(lease_id, outcome)
+            if len(entries) == 1:
+                outcome = dict(outcomes[0])
+                outcome.pop("job_id")  # single-result body, as ever
+                self.client.submit_result(lease_id, outcome)
+            else:
+                self.client.submit_results(lease_id, outcomes)
         except LeaseExpiredError:
             self.stats.lost_leases += 1
             return
-        if "error" in outcome:
-            self.stats.failed += 1
-        else:
-            self.stats.completed += 1
+        for outcome in outcomes:
+            if "error" in outcome:
+                self.stats.failed += 1
+            else:
+                self.stats.completed += 1
 
     def run(self) -> WorkerStats:
         """The worker main loop; returns stats when the service goes
         away or ``max_jobs`` is reached."""
         self.register()
         errors = 0
+        idle = 0
         while True:
             try:
                 worked = self.run_one()
@@ -225,8 +283,11 @@ class FleetWorker:
             done = self.stats.completed + self.stats.failed
             if self.config.max_jobs and done >= self.config.max_jobs:
                 return self.stats
-            if not worked:
-                time.sleep(self.config.poll_s)
+            if worked:
+                idle = 0
+            else:
+                idle += 1
+                time.sleep(idle_backoff(self.config.poll_s, idle))
 
 
 def run_worker(config: WorkerConfig) -> int:
@@ -248,10 +309,13 @@ def run_worker(config: WorkerConfig) -> int:
     )
     del grant
     errors = 0
+    idle = 0
     try:
         while True:
             try:
-                grant = worker.client.lease(worker.worker_id)
+                grant = worker.client.lease(
+                    worker.worker_id, max_jobs=worker._batch_size()
+                )
                 worker.stats.polls += 1
             except (ServiceError, OSError):
                 errors += 1
@@ -262,13 +326,17 @@ def run_worker(config: WorkerConfig) -> int:
                 continue
             errors = 0
             if grant is None:
-                time.sleep(config.poll_s)
+                idle += 1
+                time.sleep(idle_backoff(config.poll_s, idle))
                 continue
+            idle = 0
             lease = grant["lease"]
             key = grant["job"]["key"]
+            batch = grant.get("jobs") or [grant["job"]]
+            suffix = f", {len(batch)} jobs" if len(batch) > 1 else ""
             print(
                 f"worker {worker.worker_id} leased {lease['lease_id']} "
-                f"({key}, attempt {lease['attempt']})",
+                f"({key}, attempt {lease['attempt']}{suffix})",
                 flush=True,
             )
             before = worker.stats.lost_leases

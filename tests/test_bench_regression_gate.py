@@ -209,3 +209,106 @@ class TestMain:
         good = _artifact(tmp_path / "good.json", {"lenet5": 0.1})
         with pytest.raises(SystemExit):
             gate.main(["--baseline", str(bad), "--current", str(good)])
+
+
+def _service_artifact(path, jobs_per_s, fleet_speedup=5.0):
+    """A minimal service-throughput artifact (mode -> jobs/s)."""
+    path.write_text(
+        json.dumps(
+            {
+                "version": "1.0.0",
+                "schema_version": 1,
+                "kind": "service_throughput",
+                "jobs": 60,
+                "modes": {
+                    name: {"jobs_per_s": value}
+                    for name, value in jobs_per_s.items()
+                },
+                "speedup": {"fleet": fleet_speedup},
+            }
+        )
+    )
+    return path
+
+
+_SERVICE_RATES = {"local": 240.0, "fleet_legacy": 80.0, "fleet_batched": 450.0}
+
+
+class TestCheckService:
+    def test_passes_within_threshold(self):
+        failures = gate.check_service(
+            {"local": 100.0}, {"local": 60.0}, threshold=2.0
+        )
+        assert failures == []
+
+    def test_fails_on_throughput_drop(self):
+        failures = gate.check_service(
+            {"fleet_batched": 450.0}, {"fleet_batched": 100.0}, threshold=2.0
+        )
+        assert len(failures) == 1
+        assert "fleet_batched" in failures[0]
+
+    def test_speedups_never_fail(self):
+        # jobs/s going UP is not a regression, whatever the factor.
+        assert (
+            gate.check_service({"local": 10.0}, {"local": 99.0}, threshold=1.1)
+            == []
+        )
+
+    def test_only_common_modes_compared(self):
+        failures = gate.check_service(
+            {"gone_mode": 100.0}, {"new_mode": 1.0}, threshold=2.0
+        )
+        assert failures == []
+
+
+class TestServiceMain:
+    def test_exit_zero_on_identical(self, tmp_path, capsys):
+        base = _service_artifact(tmp_path / "b.json", _SERVICE_RATES)
+        cur = _service_artifact(tmp_path / "c.json", _SERVICE_RATES)
+        code = gate.main(
+            ["--baseline", str(base), "--current", str(cur)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet speedup" in out
+        assert "passed" in out
+
+    def test_exit_one_on_mode_slowdown(self, tmp_path, capsys):
+        base = _service_artifact(tmp_path / "b.json", _SERVICE_RATES)
+        slowed = dict(_SERVICE_RATES, fleet_batched=100.0)
+        cur = _service_artifact(tmp_path / "c.json", slowed)
+        code = gate.main(
+            ["--baseline", str(base), "--current", str(cur), "--threshold", "2.0"]
+        )
+        assert code == 1
+        assert "fleet_batched" in capsys.readouterr().out
+
+    def test_exit_one_when_speedup_floor_broken(self, tmp_path, capsys):
+        base = _service_artifact(tmp_path / "b.json", _SERVICE_RATES)
+        cur = _service_artifact(
+            tmp_path / "c.json", _SERVICE_RATES, fleet_speedup=1.4
+        )
+        code = gate.main(
+            [
+                "--baseline", str(base),
+                "--current", str(cur),
+                "--min-speedup", "2.5",
+            ]
+        )
+        assert code == 1
+        assert "below the 2.5x floor" in capsys.readouterr().out
+
+    def test_exit_one_on_kind_mismatch(self, tmp_path, capsys):
+        base = _artifact(tmp_path / "b.json", {"fig1_toy": 1.0})
+        cur = _service_artifact(tmp_path / "c.json", _SERVICE_RATES)
+        code = gate.main(["--baseline", str(base), "--current", str(cur)])
+        assert code == 1
+        assert "different" in capsys.readouterr().out
+
+    def test_search_artifacts_keep_the_old_path(self, tmp_path, capsys):
+        base = _artifact(tmp_path / "b.json", {"fig1_toy": 1.0})
+        cur = _artifact(tmp_path / "c.json", {"fig1_toy": 1.0})
+        code = gate.main(["--baseline", str(base), "--current", str(cur)])
+        assert code == 0
+        assert "service" not in capsys.readouterr().out.lower()

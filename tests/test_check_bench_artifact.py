@@ -141,3 +141,120 @@ class TestMain:
         path.write_text(json.dumps(_valid_artifact()))
         assert gate.main(["--print", str(path)]) == 0
         assert '"schema_version"' in capsys.readouterr().out
+
+
+def _service_mode(lease_batch=1, keep_alive=False, wal=False) -> dict:
+    return {
+        "jobs": 60,
+        "jobs_per_s": 80.0,
+        "wall_clock_s": 0.75,
+        "p50_latency_s": 0.02,
+        "p99_latency_s": 0.4,
+        "lease_batch": lease_batch,
+        "keep_alive": keep_alive,
+        "workers": 2,
+        "store": {
+            "wal": wal,
+            "group_commit": 32 if wal else 0,
+            "flushes": 7 if wal else 61,
+            "rows": 61,
+            "flush_total_s": 0.01,
+        },
+    }
+
+
+def _valid_service_artifact(**overrides) -> dict:
+    """The shape ``benchmarks/bench_service_throughput.py`` writes."""
+    payload = {
+        "schema_version": gate.SERVICE_MIN_SCHEMA_VERSION,
+        "kind": "service_throughput",
+        "version": "0.0.0",
+        "jobs": 60,
+        "network": "fig1_toy",
+        "mode": "gpgpu",
+        "episodes": 4,
+        "modes": {
+            "local": _service_mode(lease_batch=0, keep_alive=True),
+            "fleet_legacy": _service_mode(),
+            "fleet_batched": _service_mode(
+                lease_batch=30, keep_alive=True, wal=True
+            ),
+        },
+        "speedup": {"fleet": 5.6},
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestCheckServiceArtifact:
+    def test_valid_service_artifact_passes(self):
+        assert gate.check_service_artifact(_valid_service_artifact()) == []
+
+    def test_wrong_kind_reported(self):
+        problems = gate.check_service_artifact(
+            _valid_service_artifact(kind="search")
+        )
+        assert any("kind" in p for p in problems)
+
+    def test_old_schema_rejected(self):
+        problems = gate.check_service_artifact(
+            _valid_service_artifact(schema_version=0)
+        )
+        assert any("schema too old" in p for p in problems)
+
+    def test_each_missing_mode_is_reported(self):
+        for name in gate.SERVICE_MODES:
+            payload = _valid_service_artifact()
+            del payload["modes"][name]
+            problems = gate.check_service_artifact(payload)
+            assert any(name in p for p in problems), name
+
+    def test_nonpositive_throughput_reported(self):
+        payload = _valid_service_artifact()
+        payload["modes"]["local"]["jobs_per_s"] = 0
+        problems = gate.check_service_artifact(payload)
+        assert any("local.jobs_per_s" in p for p in problems)
+
+    def test_missing_store_stats_reported(self):
+        payload = _valid_service_artifact()
+        del payload["modes"]["fleet_batched"]["store"]
+        problems = gate.check_service_artifact(payload)
+        assert any("store" in p for p in problems)
+
+    def test_legacy_mode_must_actually_be_legacy(self):
+        """A refactor that silently benchmarked batched-vs-batched
+        must not produce a valid-looking artifact."""
+        payload = _valid_service_artifact()
+        payload["modes"]["fleet_legacy"]["lease_batch"] = 30
+        payload["modes"]["fleet_legacy"]["keep_alive"] = True
+        problems = gate.check_service_artifact(payload)
+        assert any("one job at a time" in p for p in problems)
+        assert any("connection per request" in p for p in problems)
+
+    def test_batched_mode_must_actually_batch(self):
+        payload = _valid_service_artifact()
+        payload["modes"]["fleet_batched"]["lease_batch"] = 1
+        payload["modes"]["fleet_batched"]["keep_alive"] = False
+        problems = gate.check_service_artifact(payload)
+        assert any("multi-job batches" in p for p in problems)
+        assert any("reuse connections" in p for p in problems)
+
+    def test_missing_speedup_reported(self):
+        payload = _valid_service_artifact()
+        del payload["speedup"]
+        problems = gate.check_service_artifact(payload)
+        assert any("speedup.fleet" in p for p in problems)
+
+    def test_main_dispatches_on_kind(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_service.json"
+        path.write_text(json.dumps(_valid_service_artifact()))
+        assert gate.main([str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_main_rejects_broken_service_artifact(self, tmp_path, capsys):
+        broken = _valid_service_artifact()
+        del broken["modes"]["fleet_batched"]
+        path = tmp_path / "BENCH_service.json"
+        path.write_text(json.dumps(broken))
+        assert gate.main([str(path)]) == 1
+        assert "fleet_batched" in capsys.readouterr().out

@@ -1,0 +1,196 @@
+"""Keep-alive data plane: the client's pooled connection and the
+server's connection reuse, over real sockets.
+
+The :class:`~repro.runtime.client.ServiceClient` keeps one persistent
+connection per client; these tests pin the pooling contract — reuse
+across requests, transparent redial after the server reaps an idle
+socket, and the no-socket-leak guarantee on every error path (the
+regression test for the pre-pooling bug where HTTP-error responses
+abandoned their connection object).  The raw-wire tests speak
+``http.client`` directly to assert what the *server* promises:
+HTTP/1.1 keep-alive by default, honoured ``Connection: close``, and
+no reuse after a malformed request (unknown framing).
+"""
+
+from __future__ import annotations
+
+import http.client
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.runtime.client import ServiceClient
+from tests.test_runtime_fleet import LiveFleet, _toy_body
+
+
+class TestClientPooling:
+    def test_keep_alive_reuses_one_connection(self):
+        with LiveFleet() as live:
+            client = ServiceClient(f"http://127.0.0.1:{live.service.port}")
+            try:
+                assert client._conn is None  # nothing pooled yet
+                client.health()
+                first = client._conn
+                assert first is not None
+                client.health()
+                client.submit(_toy_body())
+                assert client._conn is first  # same socket, three requests
+            finally:
+                client.close()
+
+    def test_keep_alive_false_never_pools(self):
+        with LiveFleet() as live:
+            client = ServiceClient(
+                f"http://127.0.0.1:{live.service.port}", keep_alive=False
+            )
+            try:
+                client.health()
+                client.health()
+                assert client._conn is None
+            finally:
+                client.close()
+
+    def test_close_releases_the_pooled_connection(self):
+        with LiveFleet() as live:
+            url = f"http://127.0.0.1:{live.service.port}"
+            with ServiceClient(url) as client:
+                client.health()
+                assert client._conn is not None
+                client.close()
+                assert client._conn is None
+                client.health()  # still usable: redials
+                assert client._conn is not None
+            assert client._conn is None  # __exit__ closed it again
+
+    def test_transparent_redial_after_server_reaps_idle_socket(
+        self, monkeypatch
+    ):
+        """The server drops idle connections after its read timeout;
+        the client's next request must succeed on a fresh dial, not
+        surface a RemoteDisconnected."""
+        import repro.runtime.service as service_mod
+
+        monkeypatch.setattr(service_mod, "REQUEST_READ_TIMEOUT_S", 0.2)
+        with LiveFleet() as live:
+            client = ServiceClient(f"http://127.0.0.1:{live.service.port}")
+            try:
+                client.health()
+                reaped = client._conn
+                assert reaped is not None
+                time.sleep(0.6)  # server reaps the idle keep-alive
+                assert client.health()["status"] == "ok"
+                assert client._conn is not reaped
+            finally:
+                client.close()
+
+    def test_error_responses_do_not_leak_sockets(self, monkeypatch):
+        """Regression: HTTP-error responses (400s, 404s) used to
+        abandon their connection object without closing it, leaking
+        one socket per failed request.  Count every connection the
+        client dials and assert at most one stays open."""
+        dialed = []
+        real_connection = http.client.HTTPConnection
+
+        class CountingConnection(real_connection):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                dialed.append(self)
+
+        monkeypatch.setattr(http.client, "HTTPConnection", CountingConnection)
+        with LiveFleet() as live:
+            client = ServiceClient(f"http://127.0.0.1:{live.service.port}")
+            try:
+                for index in range(8):
+                    with pytest.raises(ServiceError):
+                        client.submit({"network": "no_such_network"})
+                    with pytest.raises(ServiceError):
+                        client.job(f"job-missing-{index}")
+                live_sockets = [c for c in dialed if c.sock is not None]
+                assert len(live_sockets) <= 1, (
+                    f"{len(live_sockets)} of {len(dialed)} dialed "
+                    "connections still hold sockets"
+                )
+            finally:
+                client.close()
+        assert all(c.sock is None for c in dialed)
+
+    def test_pooled_errors_keep_riding_one_connection(self):
+        """404s on a healthy keep-alive stream must not force a
+        redial: the response was fully read, so the socket is clean."""
+        with LiveFleet() as live:
+            client = ServiceClient(f"http://127.0.0.1:{live.service.port}")
+            try:
+                client.health()
+                conn = client._conn
+                with pytest.raises(ServiceError):
+                    client.job("job-nope")
+                assert client._conn is conn
+            finally:
+                client.close()
+
+
+class TestServerKeepAliveWire:
+    def _request(self, conn, method, path, body=None, headers=None):
+        import json
+
+        payload = json.dumps(body).encode() if body is not None else None
+        sent = {"Content-Type": "application/json"} if payload else {}
+        sent.update(headers or {})
+        conn.request(method, path, body=payload, headers=sent)
+        response = conn.getresponse()
+        raw = response.read()
+        return response, raw
+
+    def test_two_requests_ride_one_connection(self):
+        with LiveFleet() as live:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", live.service.port, timeout=30
+            )
+            try:
+                for _ in range(2):
+                    response, _ = self._request(conn, "GET", "/healthz")
+                    assert response.status == 200
+                    assert not response.will_close
+                    assert (
+                        response.getheader("Connection").lower()
+                        == "keep-alive"
+                    )
+            finally:
+                conn.close()
+
+    def test_explicit_connection_close_is_honoured(self):
+        with LiveFleet() as live:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", live.service.port, timeout=30
+            )
+            try:
+                response, _ = self._request(
+                    conn, "GET", "/healthz", headers={"Connection": "close"}
+                )
+                assert response.status == 200
+                assert response.will_close
+                assert response.getheader("Connection").lower() == "close"
+            finally:
+                conn.close()
+
+    def test_malformed_request_answers_400_and_closes(self):
+        """Bad framing means the connection cannot be reused: the 400
+        must carry Connection: close."""
+        with LiveFleet() as live:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", live.service.port, timeout=30
+            )
+            try:
+                conn.request(
+                    "POST",
+                    "/jobs",
+                    body=b"this is not json",
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                response.read()
+                assert response.status == 400
+                assert response.will_close
+            finally:
+                conn.close()

@@ -41,12 +41,16 @@ from repro.runtime.store import (
     LEASE_ACTIVE,
     LEASE_COMPLETED,
     LEASE_EXPIRED,
+    LEASE_FAILED,
+    LEASE_RELEASED,
     ResultStore,
+    job_key,
 )
 from repro.runtime.worker import (
     FleetWorker,
     WorkerConfig,
     encode_outcome,
+    idle_backoff,
 )
 
 EPISODES = 150
@@ -644,3 +648,326 @@ class TestLeaseHttpConflicts:
         with LiveFleet() as live:
             grant = live.client.register_worker("poller")
             assert live.client.lease(grant["worker"]["id"]) is None
+
+
+class TestBatchLease:
+    """Batched leasing: one lease id covering N jobs (sync mechanics)."""
+
+    def _batched(self, n=3, **overrides):
+        service = _fleet_service(**overrides)
+        info = service.register_worker("host")
+        records = [
+            service.submit(_toy_job(episodes=EPISODES + i)) for i in range(n)
+        ]
+        granted = service.lease_batch(info.id, n)
+        return service, info, records, granted
+
+    def _outcome(self, record):
+        entry = json.loads(json.dumps(encode_outcome(execute_job(record.job))))
+        entry["job_id"] = record.id
+        return entry
+
+    def test_batch_grant_shares_one_lease(self):
+        service, _, records, granted = self._batched()
+        assert granted == records
+        assert len({r.lease_id for r in records}) == 1
+        lease = service.store.get_lease(records[0].lease_id)
+        assert lease.job_ids == [r.id for r in records]
+        assert lease.job_keys == [job_key(r.job) for r in records]
+        for record in records:
+            assert record.state == "running"
+            assert record.attempts == 1
+
+    def test_lease_to_dict_stays_single_job_compatible(self):
+        service, _, records, _ = self._batched()
+        view = service.store.get_lease(records[0].lease_id).to_dict()
+        # Single-lease consumers keep reading a plain job_id (the
+        # first job of the batch); batch consumers get the full list.
+        assert view["job_id"] == records[0].id
+        assert view["job_ids"] == [r.id for r in records]
+        assert view["jobs"] == len(records)
+
+    def test_batch_clamps_to_queue_depth(self):
+        service, info, records, granted = self._batched(n=2)
+        assert len(granted) == 2
+        assert service.lease_batch(info.id, 5) == []
+
+    def test_single_job_batch_is_wire_identical_to_legacy(self):
+        service = _fleet_service()
+        info = service.register_worker("host")
+        record = service.submit(_toy_job())
+        (granted,) = service.lease_batch(info.id, 1)
+        assert granted is record
+        lease = service.store.get_lease(record.lease_id)
+        assert lease.job_id == record.id  # plain id, no space joining
+        assert lease.to_dict()["job_ids"] == [record.id]
+
+    def test_batch_expiry_requeues_every_job_exactly_once(self):
+        """ISSUE edge: a crashed worker holding a multi-job batch —
+        every job requeued exactly once, then completes bitwise."""
+        service, info, records, _ = self._batched()
+        expired = service.store.expire_due_leases(now=FAR_FUTURE)
+        assert len(expired) == 1  # one lease covered the whole batch
+        service._requeue_expired(expired[0])
+        for record in records:
+            assert record.state == "queued"
+            assert record.worker is None and record.lease_id is None
+            assert record.attempts == 1
+        metrics = parse_samples(service.metrics.render())
+        assert sum(metrics["repro_jobs_requeued_total"].values()) == 3.0
+        assert sum(metrics["repro_leases_expired_total"].values()) == 1.0
+        regrant = service.lease_batch(info.id, len(records))
+        assert regrant == records
+        assert all(r.attempts == 2 for r in records)
+        locals_ = {r.id: execute_job(r.job) for r in records}
+        status, payload = service.finish_remote_batch(
+            records[0].lease_id,
+            {"results": [self._outcome(r) for r in records]},
+        )
+        assert status == 200 and payload["accepted"]
+        assert payload["requeued"] == []
+        assert [s["status"] for s in payload["results"]] == ["done"] * 3
+        for record in records:
+            assert record.state == "done"
+            assert (
+                record.result.payload.best_ms
+                == locals_[record.id].payload.best_ms
+            )  # bitwise, attempt 2 or not
+            assert service.store.get(record.job) is not None
+        lease = service.store.get_lease(records[0].lease_id)
+        assert lease.state == LEASE_COMPLETED
+
+    def test_mixed_failures_do_not_poison_siblings(self):
+        """ISSUE edge: one result batch carrying a success, a
+        worker-reported failure and a malformed entry."""
+        service, info, records, _ = self._batched()
+        good, failed, malformed = records
+        local = execute_job(good.job)
+        entries = [
+            self._outcome(good),
+            {"job_id": failed.id, "error": "ValueError: bad LUT"},
+            {"job_id": malformed.id, "payload_kind": "nope"},
+        ]
+        status, payload = service.finish_remote_batch(
+            good.lease_id, {"results": entries}
+        )
+        assert status == 200 and payload["accepted"]
+        by_id = {s["job_id"]: s["status"] for s in payload["results"]}
+        assert by_id == {
+            good.id: "done",
+            failed.id: "failed",
+            malformed.id: "rejected",
+        }
+        assert good.state == "done"
+        assert good.result.payload.best_ms == local.payload.best_ms
+        assert failed.state == "failed" and "bad LUT" in failed.error
+        # The malformed entry's job is requeued, not failed.
+        assert payload["requeued"] == [malformed.id]
+        assert malformed.state == "queued" and malformed.error is None
+        assert info.completed == 1 and info.failed == 1
+        lease = service.store.get_lease(good.lease_id)
+        assert lease.state == LEASE_RELEASED
+
+    def test_partial_delivery_requeues_missing_jobs(self):
+        service, info, records, _ = self._batched()
+        delivered, *missing = records
+        status, payload = service.finish_remote_batch(
+            delivered.lease_id, {"results": [self._outcome(delivered)]}
+        )
+        assert status == 200
+        assert payload["requeued"] == [r.id for r in missing]
+        assert delivered.state == "done"
+        for record in missing:
+            assert record.state == "queued"
+        # The survivors are leasable again, exactly once more.
+        regrant = service.lease_batch(info.id, 5)
+        assert regrant == missing
+        assert all(r.attempts == 2 for r in missing)
+
+    def test_all_failed_batch_marks_lease_failed(self):
+        service, _, records, _ = self._batched(n=2)
+        entries = [{"job_id": r.id, "error": "RuntimeError: x"} for r in records]
+        _, payload = service.finish_remote_batch(
+            records[0].lease_id, {"results": entries}
+        )
+        assert all(r.state == "failed" for r in records)
+        assert payload["lease"]["state"] == LEASE_FAILED
+
+    def test_unknown_and_duplicate_entries_are_reported(self):
+        service, _, records, _ = self._batched(n=2)
+        entries = [
+            {"job_id": "job-999", "error": "x"},
+            self._outcome(records[0]),
+            {"job_id": records[0].id, "error": "again"},
+            self._outcome(records[1]),
+        ]
+        _, payload = service.finish_remote_batch(
+            records[0].lease_id, {"results": entries}
+        )
+        statuses = {
+            (s["job_id"], s["status"]) for s in payload["results"]
+        }
+        assert ("job-999", "unknown_job") in statuses
+        assert (records[0].id, "duplicate_entry") in statuses
+        assert (records[0].id, "done") in statuses
+        assert (records[1].id, "done") in statuses
+        assert records[0].state == records[1].state == "done"
+
+    def test_entry_without_job_id_rejects_whole_request(self):
+        service, _, records, _ = self._batched(n=2)
+        with pytest.raises(ConfigError):
+            service.finish_remote_batch(
+                records[0].lease_id, {"results": [{"error": "anonymous"}]}
+            )
+        with pytest.raises(ConfigError):
+            service.finish_remote_batch(records[0].lease_id, {"results": "no"})
+
+    def test_single_result_endpoint_refuses_multi_job_lease(self):
+        service, _, records, _ = self._batched()
+        with pytest.raises(ConfigError, match="covers 3 jobs"):
+            service.finish_remote(records[0].lease_id, {"error": "x"})
+
+    def test_duplicate_batch_delivery_is_idempotent(self):
+        service, _, records, _ = self._batched(n=2)
+        body = {"results": [self._outcome(r) for r in records]}
+        first = service.finish_remote_batch(records[0].lease_id, body)
+        second = service.finish_remote_batch(records[0].lease_id, body)
+        assert first[1]["accepted"] is True
+        assert second[1]["accepted"] is False
+        assert second[1]["duplicate"] is True
+
+    def test_batch_after_expiry_conflicts(self):
+        service, _, records, _ = self._batched(n=2)
+        lease_id = records[0].lease_id
+        for lease in service.store.expire_due_leases(now=FAR_FUTURE):
+            service._requeue_expired(lease)
+        with pytest.raises(LeaseExpiredError):
+            service.finish_remote_batch(
+                lease_id, {"results": [self._outcome(records[0])]}
+            )
+
+    def test_lease_batch_size_histogram_observes_grants(self):
+        service, _, _, _ = self._batched()
+        metrics = parse_samples(service.metrics.render())
+        assert metrics["repro_lease_batch_jobs_sum"][()] == 3.0
+        assert metrics["repro_lease_batch_jobs_count"][()] == 1.0
+
+
+class TestIdleBackoff:
+    """Jittered exponential backoff for idle lease polls."""
+
+    def test_zero_before_any_empty_poll(self):
+        assert idle_backoff(0.5, 0) == 0.0
+        assert idle_backoff(0.5, -3) == 0.0
+
+    def test_doubles_then_caps_at_poll_interval(self):
+        rng = _FixedRng(1.0)  # jitter pinned to the upper bound
+        waits = [idle_backoff(0.8, n, rng=rng) for n in (1, 2, 3, 4, 9)]
+        assert waits == [0.1, 0.2, 0.4, 0.8, 0.8]
+
+    def test_jitter_stays_within_half_to_full_base(self):
+        for n in (1, 3, 7):
+            base = min(0.5, (0.5 / 8.0) * 2.0 ** (n - 1))
+            for _ in range(50):
+                wait = idle_backoff(0.5, n)
+                assert 0.5 * base <= wait <= base
+
+    def test_injected_rng_is_deterministic(self):
+        import random
+
+        a = [idle_backoff(0.5, n, rng=random.Random(7)) for n in (1, 2, 3)]
+        b = [idle_backoff(0.5, n, rng=random.Random(7)) for n in (1, 2, 3)]
+        assert a == b
+
+
+class _FixedRng:
+    """A stand-in rng whose uniform() returns a pinned fraction."""
+
+    def __init__(self, fraction: float) -> None:
+        self.fraction = fraction
+
+    def uniform(self, low: float, high: float) -> float:
+        return low + (high - low) * self.fraction
+
+
+class TestWorkerBatchSizing:
+    def test_lease_batch_validated(self):
+        with pytest.raises(ConfigError):
+            WorkerConfig(server="http://x", lease_batch=0)
+
+    def test_batch_size_respects_remaining_max_jobs(self):
+        worker = FleetWorker(
+            WorkerConfig(server="http://x", lease_batch=8, max_jobs=5)
+        )
+        assert worker._batch_size() == 5
+        worker.stats.completed = 3
+        assert worker._batch_size() == 2
+        worker.stats.failed = 2
+        assert worker._batch_size() == 1  # never asks for zero
+
+    def test_unbounded_worker_asks_for_the_full_batch(self):
+        worker = FleetWorker(WorkerConfig(server="http://x", lease_batch=8))
+        assert worker._batch_size() == 8
+
+
+class TestBatchOverHttp:
+    def test_worker_lease_batch_end_to_end_bitwise(self):
+        """Two jobs under ONE lease, delivered in ONE result POST,
+        both bitwise-equal to local execution."""
+        with LiveFleet() as live:
+            first = live.client.submit(_toy_body())[0]
+            second = live.client.submit(_toy_body(episodes=EPISODES + 1))[0]
+            worker = FleetWorker(
+                WorkerConfig(
+                    server=f"http://127.0.0.1:{live.service.port}",
+                    lease_batch=4,
+                )
+            )
+            worker.register()
+            assert worker.run_one() is True
+            assert worker.stats.completed == 2
+            finals = [
+                live.client.wait(record["id"], timeout=60)
+                for record in (first, second)
+            ]
+        assert {f["state"] for f in finals} == {"done"}
+        assert finals[0]["lease_id"] == finals[1]["lease_id"]
+        for final in finals:
+            local = execute_job(CampaignJob(**final["job"]))
+            assert final["best_ms"] == local.payload.best_ms  # bitwise
+
+    def test_http_grant_carries_jobs_array(self):
+        with LiveFleet() as live:
+            grant = live.client.register_worker("batcher")
+            live.client.submit(_toy_body())
+            live.client.submit(_toy_body(episodes=EPISODES + 1))
+            status, _, body = live.raw(
+                "POST",
+                "/leases",
+                {"worker": grant["worker"]["id"], "max_jobs": 8},
+            )
+            assert status == 200
+            assert len(body["jobs"]) == 2
+            assert body["job"] == body["jobs"][0]
+            assert body["lease"]["job_ids"] == [
+                job["id"] for job in body["jobs"]
+            ]
+
+    def test_http_invalid_max_jobs_rejected(self):
+        with LiveFleet() as live:
+            grant = live.client.register_worker("fussy")
+            worker_id = grant["worker"]["id"]
+            for bad in (0, -1, "many", True, 1.5):
+                status, _, body = live.raw(
+                    "POST", "/leases", {"worker": worker_id, "max_jobs": bad}
+                )
+                assert status == 400, bad
+                assert "max_jobs" in body["error"]
+
+    def test_http_batch_limit_clamps_grant(self):
+        with LiveFleet(lease_batch_limit=2) as live:
+            grant = live.client.register_worker("clamped")
+            for offset in range(3):
+                live.client.submit(_toy_body(episodes=EPISODES + offset))
+            granted = live.client.lease(grant["worker"]["id"], max_jobs=64)
+            assert len(granted["jobs"]) == 2

@@ -10,6 +10,7 @@ from repro.errors import ConfigError
 from repro.runtime.metrics import (
     Counter,
     Gauge,
+    Histogram,
     MetricsRegistry,
     escape_label_value,
     format_value,
@@ -177,3 +178,70 @@ class TestParseSamples:
             parse_samples("name{unclosed 1\n")
         with pytest.raises(ConfigError):
             parse_samples("name not-a-number\n")
+
+
+class TestHistogram:
+    def test_observe_fills_cumulative_buckets(self):
+        histogram = Histogram("lat_seconds", "latency", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        parsed = parse_samples(histogram.render())
+        buckets = parsed["lat_seconds_bucket"]
+        assert buckets[(("le", "0.1"),)] == 1.0
+        assert buckets[(("le", "1"),)] == 3.0  # cumulative, not per-bin
+        assert buckets[(("le", "10"),)] == 4.0
+        assert buckets[(("le", "+Inf"),)] == 5.0  # every observation
+        assert parsed["lat_seconds_sum"][()] == 56.05
+        assert parsed["lat_seconds_count"][()] == 5.0
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        histogram = Histogram("h", "", buckets=(1.0, 2.0))
+        histogram.observe(1.0)  # le is inclusive
+        parsed = parse_samples(histogram.render())
+        assert parsed["h_bucket"][(("le", "1"),)] == 1.0
+
+    def test_labelled_series_stay_separate(self):
+        histogram = Histogram("h", "", buckets=(1.0,))
+        histogram.observe(0.5, mode="a")
+        histogram.observe(2.0, mode="b")
+        assert histogram.value(mode="a") == 1.0
+        assert histogram.value(mode="b") == 1.0
+        assert histogram.sum_value(mode="a") == 0.5
+        assert histogram.sum_value(mode="b") == 2.0
+        parsed = parse_samples(histogram.render())
+        assert parsed["h_bucket"][(("le", "1"), ("mode", "a"))] == 1.0
+        assert parsed["h_bucket"][(("le", "1"), ("mode", "b"))] == 0.0
+
+    def test_untouched_histogram_renders_zero_series(self):
+        parsed = parse_samples(Histogram("h", "", buckets=(1.0,)).render())
+        assert parsed["h_bucket"][(("le", "+Inf"),)] == 0.0
+        assert parsed["h_sum"][()] == 0.0
+        assert parsed["h_count"][()] == 0.0
+
+    def test_bucket_validation(self):
+        with pytest.raises(ConfigError):
+            Histogram("h", "", buckets=())
+        with pytest.raises(ConfigError):
+            Histogram("h", "", buckets=(1.0, 1.0))
+        with pytest.raises(ConfigError):
+            Histogram("h", "", buckets=(2.0, 1.0))
+        with pytest.raises(ConfigError):
+            Histogram("h", "", buckets=(1.0, float("inf")))
+
+
+class TestRegistryHistogram:
+    def test_get_or_create_shares_one_family(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("h_seconds", "x", buckets=(1.0, 2.0))
+        second = registry.histogram("h_seconds", buckets=(9.0,))
+        assert second is first
+        assert second.bounds == (1.0, 2.0)  # creation-time buckets win
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("n_total", "x")
+        with pytest.raises(ConfigError):
+            registry.histogram("n_total")
+        registry.histogram("h_seconds", "x")
+        with pytest.raises(ConfigError):
+            registry.gauge("h_seconds")

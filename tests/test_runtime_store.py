@@ -176,3 +176,126 @@ class TestResultStore:
             assert hit is not None
             assert hit.payload.best_ms == payload.best_ms
             assert hit.payload.curve_ms == payload.curve_ms
+
+
+class TestWalAndGroupCommit:
+    """The write-coalescing data plane: WAL mode, batched inserts and
+    the optional group-commit buffer."""
+
+    def test_wal_pragma_active_on_file_backed_store(self, tmp_path):
+        with ResultStore(tmp_path / "wal.sqlite") as store:
+            assert store.wal is True
+            mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+            assert mode.lower() == "wal"
+            sync = store._conn.execute("PRAGMA synchronous").fetchone()[0]
+            assert sync == 1  # NORMAL
+
+    def test_wal_opt_out_keeps_rollback_journal(self, tmp_path):
+        with ResultStore(tmp_path / "legacy.sqlite", wal=False) as store:
+            assert store.wal is False
+            mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+            assert mode.lower() != "wal"
+
+    def test_memory_store_never_claims_wal(self):
+        # sqlite cannot WAL a :memory: database; the flag must not lie.
+        with ResultStore(":memory:", wal=True) as store:
+            assert store.wal is False
+
+    def test_put_many_is_bitwise_equal_to_repeated_put(self, tmp_path):
+        items = [_search_result(seed=seed) for seed in range(4)]
+        with ResultStore(tmp_path / "many.sqlite") as batched, ResultStore(
+            tmp_path / "single.sqlite"
+        ) as serial:
+            keys = batched.put_many(
+                [(job, payload, 0.25) for job, payload in items]
+            )
+            for job, payload in items:
+                serial.put(job, payload, wall_clock_s=0.25)
+            assert keys == [job_key(job) for job, _ in items]  # input order
+            for job, _ in items:
+                left, right = batched.get(job), serial.get(job)
+                assert left.payload.best_ms == right.payload.best_ms
+                assert left.payload.curve_ms == right.payload.curve_ms
+                assert left.wall_clock_s == right.wall_clock_s
+            # The whole batch landed as ONE transaction.
+            assert batched.flush_stats["flushes"] == 1
+            assert batched.flush_stats["rows"] == len(items)
+            assert serial.flush_stats["flushes"] == len(items)
+
+    def test_group_commit_buffers_until_threshold(self):
+        store = ResultStore(":memory:", group_commit=3)
+        items = [_search_result(seed=seed) for seed in range(3)]
+        store.put(*items[0], 0.0)
+        store.put(*items[1], 0.0)
+        assert store.pending == 2
+        assert store.flush_stats["flushes"] == 0
+        # Nothing durable yet (raw count — len() would flush first).
+        (durable,) = store._conn.execute(
+            "SELECT COUNT(*) FROM results"
+        ).fetchone()
+        assert durable == 0
+        store.put(*items[2], 0.0)  # hits the threshold
+        assert store.pending == 0
+        assert store.flush_stats == {
+            "flushes": 1,
+            "rows": 3,
+            "total_s": store.flush_stats["total_s"],
+        }
+        assert len(store) == 3
+
+    def test_reads_flush_the_buffer_first(self):
+        """Buffered rows are never invisible: every read path flushes
+        before querying, so read-your-writes holds under group-commit."""
+        job, payload = _search_result()
+        store = ResultStore(":memory:", group_commit=8)
+        store.put(job, payload)
+        assert store.pending == 1
+        hit = store.get(job)  # the read forces the flush
+        assert hit is not None
+        assert hit.payload.best_ms == payload.best_ms
+        assert store.pending == 0
+        assert store.flush_stats["flushes"] == 1
+        assert store.flush() == 0  # nothing left to flush
+
+    def test_close_flushes_the_buffer(self, tmp_path):
+        path = tmp_path / "flush-on-close.sqlite"
+        job, payload = _search_result()
+        with ResultStore(path, group_commit=8) as store:
+            store.put(job, payload)
+            assert store.pending == 1
+        with ResultStore(path) as reopened:
+            assert reopened.get(job) is not None
+
+    def test_delete_pops_the_buffer_too(self):
+        job, payload = _search_result()
+        store = ResultStore(":memory:", group_commit=8)
+        store.put(job, payload)
+        assert store.delete(job) is True
+        assert store.pending == 0
+        assert store.flush() == 0  # the buffered row is gone for good
+        assert store.get(job) is None
+
+    def test_put_many_sweeps_buffered_rows_into_its_commit(self):
+        early_job, early_payload = _search_result(seed=7)
+        batch = [_search_result(seed=seed) for seed in range(2)]
+        store = ResultStore(":memory:", group_commit=16)
+        store.put(early_job, early_payload)
+        assert store.pending == 1
+        store.put_many([(job, payload, 0.0) for job, payload in batch])
+        assert store.pending == 0
+        assert store.flush_stats["flushes"] == 1
+        assert store.flush_stats["rows"] == 3  # one fsync covered all
+        assert store.get(early_job) is not None
+
+    def test_last_write_wins_inside_one_buffer(self):
+        job, payload = _search_result()
+        store = ResultStore(":memory:", group_commit=8)
+        store.put(job, payload, wall_clock_s=1.0)
+        store.put(job, payload, wall_clock_s=2.0)
+        assert store.pending == 1  # same key coalesced
+        store.flush()
+        assert store.get(job).wall_clock_s == 2.0
+
+    def test_negative_group_commit_rejected(self):
+        with pytest.raises(ConfigError):
+            ResultStore(":memory:", group_commit=-1)

@@ -143,7 +143,8 @@ MAX_REQUESTS_PER_CONNECTION = 1000
 
 #: Maximum accepted request body (JSON job submissions are tiny; an
 #: unbounded Content-Length would let any client allocate server
-#: memory at will).
+#: memory at will).  Batch result delivery gets a bigger allowance —
+#: see :meth:`CampaignService._body_limit`.
 MAX_BODY_BYTES = 1 << 20
 
 #: Lease TTL used for the local worker pool.  Local workers' liveness
@@ -437,6 +438,9 @@ class CampaignService:
         self._worker_seq = itertools.count(1)
         self._lease_seq = itertools.count(1)
         self._reaper: asyncio.Task | None = None
+        #: Strong reference to an in-flight graceful-shutdown task —
+        #: the loop only holds tasks weakly (see :meth:`_spawn_shutdown`).
+        self._shutdown_task: asyncio.Task | None = None
         #: Per-tenant token buckets (created lazily on first POST).
         self._buckets: dict[str, TokenBucket] = {}
         self.metrics = MetricsRegistry()
@@ -1077,9 +1081,8 @@ class CampaignService:
             delivered += 1
         persist_note = None
         if successes:
-            before = self.store.flush_stats["total_s"]
             try:
-                self.store.put_many(
+                _, flush_s = self.store.put_many(
                     [
                         (record.job, result.payload, result.wall_clock_s)
                         for record, result in successes
@@ -1091,9 +1094,7 @@ class CampaignService:
                     f"result not persisted — {type(exc).__name__}: {exc}"
                 )
             else:
-                self._h_flush.observe(
-                    self.store.flush_stats["total_s"] - before
-                )
+                self._h_flush.observe(flush_s)
         for record, result in successes:
             self._finish_record(
                 record, info, result, None, persist=False, finish_lease=False
@@ -1181,9 +1182,9 @@ class CampaignService:
         """Flush the store's group-commit buffer, feeding the
         flush-latency histogram (no-op when the buffer is empty)."""
         if self.store.pending:
-            before = self.store.flush_stats["total_s"]
-            self.store.flush()
-            self._h_flush.observe(self.store.flush_stats["total_s"] - before)
+            rows, elapsed = self.store.flush_timed()
+            if rows:
+                self._h_flush.observe(elapsed)
 
     async def _reap_leases(self) -> None:
         """Periodically expire overdue leases and requeue their jobs.
@@ -1277,6 +1278,21 @@ class CampaignService:
             self._handle_client, host=self.config.host, port=self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+
+    def _spawn_shutdown(self) -> asyncio.Task:
+        """Start :meth:`shutdown` as a task the service itself keeps
+        alive.
+
+        The event loop holds tasks weakly — a ``create_task`` result
+        nobody references can be garbage-collected mid-drain, silently
+        abandoning the shutdown.  Idempotent: a second trigger (signal
+        plus ``POST /shutdown``, say) reuses the in-flight task.
+        """
+        if self._shutdown_task is None or self._shutdown_task.done():
+            self._shutdown_task = asyncio.get_running_loop().create_task(
+                self.shutdown()
+            )
+        return self._shutdown_task
 
     async def shutdown(self) -> None:
         """Graceful shutdown: refuse intake, cancel queued jobs, drain
@@ -1391,7 +1407,8 @@ class CampaignService:
             while True:
                 try:
                     request = await asyncio.wait_for(
-                        _read_request(reader), timeout=REQUEST_READ_TIMEOUT_S
+                        _read_request(reader, self._body_limit),
+                        timeout=REQUEST_READ_TIMEOUT_S,
                     )
                 except asyncio.TimeoutError:
                     return  # slow/idle client — drop without a response
@@ -1587,7 +1604,7 @@ class CampaignService:
                 await _respond(writer, status, payload)
             elif method == "POST" and parts == ["shutdown"]:
                 await _respond(writer, 202, {"shutting_down": True})
-                asyncio.get_running_loop().create_task(self.shutdown())
+                self._spawn_shutdown()
                 return False  # the service is draining — no more requests
             else:
                 await _respond(writer, 404, {"error": f"no route {method} {path}"})
@@ -1616,6 +1633,25 @@ class CampaignService:
             # still answer 400, not drop the connection.
             await _respond(writer, 400, {"error": str(error)})
         return True
+
+    def _body_limit(self, method: str, path: str) -> int:
+        """Maximum request body accepted on this route.
+
+        Batch result delivery (``POST /leases/{id}/results``) carries
+        up to ``lease_batch_limit`` encoded payloads in one body, each
+        of which must individually fit the single-result cap — so its
+        allowance scales with the batch limit instead of rejecting (and
+        thereby discarding) a full batch of executed results at 1 MiB.
+        """
+        parts = [p for p in path.split("/") if p]
+        if (
+            method == "POST"
+            and len(parts) == 3
+            and parts[0] == "leases"
+            and parts[2] == "results"
+        ):
+            return MAX_BODY_BYTES * max(1, self.config.lease_batch_limit)
+        return MAX_BODY_BYTES
 
     def _observe_result_bytes(self, headers: dict) -> None:
         """Feed a result submission's body size to its histogram."""
@@ -1861,13 +1897,16 @@ _STATUS_TEXT = {
 }
 
 
-async def _read_request(reader: asyncio.StreamReader):
+async def _read_request(reader: asyncio.StreamReader, body_limit=None):
     """Parse one HTTP/1.1 request:
     ``(method, path, query, headers, json_body)``.
 
-    Returns None on an empty connection (client connected and left).
-    Raises :class:`ConfigError` for malformed requests so the router
-    answers 400 instead of dropping the connection.
+    ``body_limit`` maps ``(method, path)`` to the maximum accepted
+    Content-Length for that route (default: ``MAX_BODY_BYTES`` for
+    everything).  Returns None on an empty connection (client
+    connected and left).  Raises :class:`ConfigError` for malformed
+    requests so the router answers 400 instead of dropping the
+    connection.
     """
     try:
         head = await reader.readuntil(b"\r\n\r\n")
@@ -1882,6 +1921,8 @@ async def _read_request(reader: asyncio.StreamReader):
         method, target, _ = lines[0].split(" ", 2)
     except ValueError:
         raise ConfigError(f"malformed request line {lines[0]!r}") from None
+    method = method.upper()
+    split = urlsplit(target)
     headers = {}
     for line in lines[1:]:
         if ":" in line:
@@ -1891,10 +1932,11 @@ async def _read_request(reader: asyncio.StreamReader):
         length = int(headers.get("content-length", "0") or "0")
     except ValueError:
         raise ConfigError("malformed Content-Length header") from None
-    if length > MAX_BODY_BYTES:
+    limit = body_limit(method, split.path) if body_limit else MAX_BODY_BYTES
+    if length > limit:
         raise ConfigError(
             f"request body of {length} bytes exceeds the "
-            f"{MAX_BODY_BYTES}-byte limit"
+            f"{limit}-byte limit for {method} {split.path}"
         )
     raw = await reader.readexactly(length) if length else b""
     body = None
@@ -1903,9 +1945,8 @@ async def _read_request(reader: asyncio.StreamReader):
             body = json.loads(raw)
         except json.JSONDecodeError as error:
             raise ConfigError(f"request body is not JSON: {error}") from None
-    split = urlsplit(target)
     query = {key: values[-1] for key, values in parse_qs(split.query).items()}
-    return method.upper(), split.path, query, headers, body
+    return method, split.path, query, headers, body
 
 
 def _connection_header(writer) -> str:
@@ -1982,9 +2023,7 @@ def run_service(config: ServiceConfig | None = None) -> int:
         await service.start()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
-            loop.add_signal_handler(
-                signum, lambda: loop.create_task(service.shutdown())
-            )
+            loop.add_signal_handler(signum, service._spawn_shutdown)
         print(
             f"serving on http://{service.config.host}:{service.port} "
             f"({service.config.workers} worker(s), "

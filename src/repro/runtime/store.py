@@ -400,26 +400,33 @@ class ResultStore:
             time.time(),
         )
 
-    def _flush_locked(self) -> int:
-        """Commit every buffered row (caller holds the lock)."""
+    def _flush_locked(self) -> tuple[int, float]:
+        """Commit every buffered row (caller holds the lock); returns
+        ``(rows, elapsed_s)`` for THIS commit — callers feeding latency
+        histograms must use this value, not a delta of the shared
+        ``flush_stats`` accumulator (which other threads advance too).
+        """
         if not self._buffer:
-            return 0
+            return 0, 0.0
         rows = list(self._buffer.values())
         started = time.perf_counter()
         self._conn.executemany(self._INSERT_SQL, rows)
         self._conn.commit()
+        elapsed = time.perf_counter() - started
         self._buffer.clear()
         self.flush_stats["flushes"] += 1
         self.flush_stats["rows"] += len(rows)
-        self.flush_stats["total_s"] += time.perf_counter() - started
-        return len(rows)
+        self.flush_stats["total_s"] += elapsed
+        return len(rows), elapsed
 
     def flush(self) -> int:
-        """Commit buffered group-commit rows; returns how many landed.
+        """Commit buffered group-commit rows; returns how many landed."""
+        return self.flush_timed()[0]
 
-        The last flush's latency is retrievable from ``flush_stats``
-        (the service feeds it into the flush-latency histogram).
-        """
+    def flush_timed(self) -> tuple[int, float]:
+        """Like :meth:`flush`, but returns ``(rows, elapsed_s)`` — the
+        commit latency of exactly this call (the service feeds it into
+        the flush-latency histogram)."""
         with self._lock:
             return self._flush_locked()
 
@@ -454,9 +461,10 @@ class ResultStore:
 
     def put_many(
         self, items: list[tuple[CampaignJob, object, float]]
-    ) -> list[str]:
+    ) -> tuple[list[str], float]:
         """Insert a batch of ``(job, payload, wall_clock_s)`` in ONE
-        transaction; returns the keys in input order.
+        transaction; returns ``(keys, elapsed_s)`` — the keys in input
+        order plus this commit's own latency.
 
         Any buffered group-commit rows ride along in the same commit
         (one fsync covers everything).  Bitwise semantics are identical
@@ -466,8 +474,8 @@ class ResultStore:
         with self._lock:
             for key, row in encoded:
                 self._buffer[key] = row
-            self._flush_locked()
-        return [key for key, _ in encoded]
+            _, elapsed = self._flush_locked()
+        return [key for key, _ in encoded], elapsed
 
     def delete(self, job: CampaignJob) -> bool:
         """Drop one solved job; returns whether it existed."""

@@ -155,7 +155,13 @@ def idle_backoff(
     """
     if consecutive_empty <= 0:
         return 0.0
-    base = min(poll_s, (poll_s / 8.0) * (2.0 ** (consecutive_empty - 1)))
+    if consecutive_empty >= 4:
+        # The doubling reaches poll_s on the fourth empty poll; clamp
+        # the exponent rather than computing it — 2**(n-1) overflows a
+        # float once a long-idle worker's counter passes ~1024.
+        base = poll_s
+    else:
+        base = (poll_s / 8.0) * (2.0 ** (consecutive_empty - 1))
     uniform = rng.uniform if rng is not None else random.uniform
     return base * uniform(0.5, 1.0)
 

@@ -872,6 +872,12 @@ class TestIdleBackoff:
                 wait = idle_backoff(0.5, n)
                 assert 0.5 * base <= wait <= base
 
+    def test_huge_idle_counter_does_not_overflow(self):
+        """Regression: 2**(n-1) raised OverflowError past ~1024 empty
+        polls, crashing a drained fleet worker within minutes."""
+        rng = _FixedRng(1.0)
+        assert idle_backoff(0.5, 5000, rng=rng) == 0.5
+
     def test_injected_rng_is_deterministic(self):
         import random
 
@@ -971,3 +977,56 @@ class TestBatchOverHttp:
                 live.client.submit(_toy_body(episodes=EPISODES + offset))
             granted = live.client.lease(grant["worker"]["id"], max_jobs=64)
             assert len(granted["jobs"]) == 2
+
+    def test_batch_results_body_over_one_mib_accepted(self):
+        """Regression: the flat 1 MiB body cap rejected full result
+        batches (400), silently discarding every executed result; the
+        results route's allowance now scales with the batch limit."""
+        with LiveFleet() as live:
+            records = [
+                live.client.submit(_toy_body(episodes=EPISODES + n))[0]
+                for n in range(2)
+            ]
+            grant = live.client.register_worker("bulky")
+            granted = live.client.lease(grant["worker"]["id"], max_jobs=2)
+            outcomes = [
+                {"job_id": record["id"], "error": "x" * 700_000}
+                for record in records
+            ]
+            assert len(json.dumps({"results": outcomes})) > 1 << 20
+            status, _, body = live.raw(
+                "POST",
+                f"/leases/{granted['lease']['lease_id']}/results",
+                {"results": outcomes},
+            )
+            assert status == 200
+            assert body["accepted"] is True
+            for record in records:
+                assert live.client.job(record["id"])["state"] == "failed"
+
+    def test_oversized_body_still_rejected_off_the_results_route(self):
+        """The flat 1 MiB cap still guards every other route; only the
+        declared length is sent — the server 400s before the body, so
+        actually sending one would race its connection close."""
+        import socket
+
+        with LiveFleet() as live:
+            with socket.create_connection(
+                ("127.0.0.1", live.service.port), timeout=30
+            ) as sock:
+                sock.sendall(
+                    b"POST /jobs HTTP/1.1\r\n"
+                    b"Content-Length: 1048577\r\n\r\n"
+                )
+                response = sock.recv(65536)
+        assert b"400" in response.split(b"\r\n", 1)[0]
+        assert b"exceeds" in response
+
+    def test_body_limit_scales_only_for_batch_results(self):
+        service = _fleet_service(lease_batch_limit=16)
+        assert (
+            service._body_limit("POST", "/leases/abc/results")
+            == 16 * (1 << 20)
+        )
+        assert service._body_limit("POST", "/leases/abc/result") == 1 << 20
+        assert service._body_limit("POST", "/jobs") == 1 << 20

@@ -264,6 +264,16 @@ class TestShutdown:
                     CampaignJob(network="fig1_toy", episodes=EPISODES)
                 )
 
+    def test_remote_shutdown_task_is_strongly_referenced(self):
+        """The loop holds tasks weakly — ``POST /shutdown`` must pin
+        its graceful-shutdown task on the service so it cannot be
+        garbage-collected mid-drain."""
+        with LiveService(workers=0) as live:
+            live.client.shutdown()
+            live.wait_closed()
+            task = live.service._shutdown_task
+            assert task is not None and task.done()
+
 
 class TestValidation:
     def test_bad_submissions_are_400(self):

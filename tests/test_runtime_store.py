@@ -206,9 +206,10 @@ class TestWalAndGroupCommit:
         with ResultStore(tmp_path / "many.sqlite") as batched, ResultStore(
             tmp_path / "single.sqlite"
         ) as serial:
-            keys = batched.put_many(
+            keys, flush_s = batched.put_many(
                 [(job, payload, 0.25) for job, payload in items]
             )
+            assert flush_s >= 0.0  # this commit's own latency
             for job, payload in items:
                 serial.put(job, payload, wall_clock_s=0.25)
             assert keys == [job_key(job) for job, _ in items]  # input order

@@ -63,6 +63,14 @@ KERNEL_NETWORKS = ["mobilenet_v1", "resnet50"]
 #: replay-on searches (the acceptance bar of the kernels subsystem).
 KERNEL_MIN_SPEEDUP = 5.0
 
+#: Networks the anytime-checkpoint overhead bound is checked on.
+CHECKPOINT_NETWORKS = ["mobilenet_v1"]
+#: Captures per run for the overhead measurement (every N episodes).
+CHECKPOINT_EVERY = EPISODES // 10
+#: A checkpointing run must cost at most this many plain wall clocks
+#: (the anytime subsystem's acceptance bar: < 5% overhead).
+CHECKPOINT_MAX_RATIO = 1.05
+
 #: Networks the mega-batch (thousand-seed SoA) claim is checked on.
 MEGA_NETWORKS = ["mobilenet_v1"]
 MEGA_K = 1000
@@ -179,6 +187,65 @@ def test_multi_seed_lockstep_amortization(network, tx2):
     assert ratio < MULTI_SEED_MAX_RATIO, (
         f"{MULTI_SEED_K} lockstep seeds on {network} took {ratio:.2f}x one "
         f"seed (limit {MULTI_SEED_MAX_RATIO}x)"
+    )
+
+
+@pytest.mark.parametrize("network", CHECKPOINT_NETWORKS)
+def test_checkpoint_overhead_bound(network, tx2, monkeypatch):
+    """Anytime checkpoint capture costs < 5% of the search wall clock.
+
+    The capture functions (``seed_snapshot`` + ``build_checkpoint``,
+    everything the anytime path adds beyond a trivial per-episode
+    boundary check) are instrumented in-place and their accumulated
+    time divided by the *same run's* wall clock — numerator and
+    denominator share whatever contention the machine has, so the
+    fraction is robust where differencing two separately-timed runs is
+    not.  Results must be bit-identical either way — the capture draws
+    no randomness.
+    """
+    from repro.core import checkpoint as ckpt_mod
+
+    lut = cached_lut(network, Mode.GPGPU, tx2, seed=SEED)
+    lut.indexed().engine()  # compile once, outside the timing
+
+    config = SearchConfig(episodes=EPISODES, seed=SEED, track_curve=False)
+    plain_result = QSDNNSearch(lut, config).run()
+
+    capture_s: list[float] = []
+
+    def _instrument(name):
+        original = getattr(ckpt_mod, name)
+
+        def timed(*args, **kwargs):
+            started = time.perf_counter()
+            result = original(*args, **kwargs)
+            capture_s.append(time.perf_counter() - started)
+            return result
+
+        monkeypatch.setattr(ckpt_mod, name, timed)
+
+    _instrument("seed_snapshot")
+    _instrument("build_checkpoint")
+    wall = _timed(
+        lambda: QSDNNSearch(lut, config).run(
+            checkpoint_every=CHECKPOINT_EVERY,
+            on_checkpoint=lambda _ckpt: True,
+        )
+    )
+    captured = QSDNNSearch(lut, config).run(
+        checkpoint_every=CHECKPOINT_EVERY, on_checkpoint=lambda _ckpt: True
+    )
+    assert captured.best_ms == plain_result.best_ms, (
+        "checkpoint capture perturbed the search"
+    )
+    expected = (EPISODES // CHECKPOINT_EVERY - 1) * 2  # never after the last
+    assert len(capture_s) >= expected, "instrumented capture never ran"
+
+    ratio = 1.0 + sum(capture_s[:expected]) / (wall - sum(capture_s[:expected]))
+    assert ratio <= CHECKPOINT_MAX_RATIO, (
+        f"{EPISODES // CHECKPOINT_EVERY - 1} checkpoints on {network} cost "
+        f"{(ratio - 1.0) * 100:.1f}% of the wall clock "
+        f"(limit {(CHECKPOINT_MAX_RATIO - 1.0) * 100:.0f}%)"
     )
 
 

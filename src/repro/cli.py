@@ -130,6 +130,26 @@ def cmd_search(args: argparse.Namespace) -> int:
         polish_sweeps=0 if args.no_polish else 2,
         kernel=args.kernel,
     )
+    anytime: dict = {}
+    if args.checkpoint_every:
+        if not args.checkpoint_file:
+            print("--checkpoint-every requires --checkpoint-file",
+                  file=sys.stderr)
+            return 2
+        from repro.core.checkpoint import encode_checkpoint
+
+        def on_checkpoint(ckpt: dict, _path=args.checkpoint_file) -> bool:
+            atomic_write_text(_path, encode_checkpoint(ckpt))
+            return True
+
+        anytime["checkpoint_every"] = args.checkpoint_every
+        anytime["on_checkpoint"] = on_checkpoint
+    if args.resume_from:
+        from repro.core.checkpoint import decode_checkpoint
+
+        anytime["resume"] = decode_checkpoint(
+            Path(args.resume_from).read_text()
+        )
     if args.seeds > 1:
         from repro.core import MultiSeedSearch, seed_range
 
@@ -137,13 +157,13 @@ def cmd_search(args: argparse.Namespace) -> int:
 
         sweep = MultiSeedSearch(
             lut, config, seeds=seed_range(args.seed, args.seeds)
-        ).run()
+        ).run(**anytime)
         for member in sweep.results:
             print(member.summary())
         print(f"{sweep.summary()}, peak RSS {peak_rss_mb():.0f} MB")
         result = sweep.best
     else:
-        result = QSDNNSearch(lut, config).run()
+        result = QSDNNSearch(lut, config).run(**anytime)
         print(result.summary())
     if args.out:
         payload = {
@@ -334,6 +354,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             lease_batch_limit=args.lease_batch_limit,
             store_group_commit=args.store_group_commit,
             store_wal=not args.store_no_wal,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_ttl_s=args.checkpoint_ttl,
         )
     )
 
@@ -371,6 +393,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
         body["episodes"] = args.episodes
     if args.kind == "multi-seed":
         body["seeds"] = args.seeds_per_job
+    if args.resume:
+        body["resume"] = True
     records = client.submit(body)
     for record in records:
         print(f"{record['id']} {record['state']} {record['key']}")
@@ -381,7 +405,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
         job_id = record["id"]
         if args.watch:
             for event, data in client.stream_progress(job_id):
-                if event == "checkpoint":
+                if event in ("checkpoint", "progress"):
                     print(
                         f"{job_id} episode {data['episode']}: "
                         f"best {format_ms(data['best_ms'])}"
@@ -568,6 +592,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="episode-kernel backend (auto: numba when "
                         "installed, and the mega batch path once --seeds "
                         "is large; results are bit-identical either way)")
+    p.add_argument("--checkpoint-every", type=_positive_int, default=None,
+                   help="write an anytime checkpoint every N episodes "
+                        "(requires --checkpoint-file)")
+    p.add_argument("--checkpoint-file", default=None,
+                   help="checkpoint path, atomically rewritten at every "
+                        "boundary; feed it back via --resume-from")
+    p.add_argument("--resume-from", default=None,
+                   help="resume from a saved checkpoint file — the "
+                        "completed run is bitwise-identical to an "
+                        "uninterrupted one")
     p.add_argument("--out", default=None, help="save the schedule as JSON")
     p.set_defaults(func=cmd_search)
 
@@ -686,6 +720,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store-no-wal", action="store_true",
                    help="disable WAL mode on the file-backed result "
                         "store (full per-write fsync durability)")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="snapshot running search jobs every N episodes "
+                        "(anytime search: live progress, DELETE "
+                        "preemption, crash recovery, submit --resume; "
+                        "0 disables)")
+    p.add_argument("--checkpoint-ttl", type=float, default=3600.0,
+                   help="seconds a stale persisted checkpoint survives "
+                        "before the reaper garbage-collects it")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -729,6 +771,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="K of a multi-seed job (kind=multi-seed only)")
     p.add_argument("--priority", type=int, default=10,
                    help="queue priority (lower runs first)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the job's persisted checkpoint if "
+                        "one exists (from a preempted or crashed prior "
+                        "run); completes bitwise-identical to an "
+                        "uninterrupted run")
     p.add_argument("--wait", action="store_true",
                    help="poll until the job finishes, print the result")
     p.add_argument("--watch", action="store_true",

@@ -1,0 +1,316 @@
+"""Anytime-search checkpoints: versioned, float-exact, backend-neutral.
+
+A checkpoint is everything a QS-DNN search needs to continue from an
+episode boundary and finish **bitwise-identical** to the uninterrupted
+run: per seed the flat Q block with its row-max and visited caches
+(the exact :meth:`~repro.core.qtable.QTable.flat` layout), the replay
+ring with its fill/position counters, both named RNG streams'
+bit-generator states, and the best-so-far tracking (best total, best
+choices, latency curve); per run the episode index, epsilon trace and
+accumulated wall clock.
+
+The format is deliberately backend-neutral: the ring is stored as
+``(layer, row, action, next_row, reward)`` rows in slot order — the
+column layout of the mega SoA ring — and each backend exports/imports
+its own representation losslessly (``export_ring``/``import_ring`` on
+the runners, the per-seed slicing helpers below for
+:class:`~repro.core.kernels.mega.MegaState`).  A checkpoint captured
+under one kernel backend therefore resumes under any other, and the
+result is still bitwise equal (the backends run identical arithmetic).
+
+Serialization is plain JSON: Python emits shortest-round-trip float
+literals, so every double survives encode/decode bit-for-bit (the same
+guarantee the result-store codecs lean on), and NumPy bit-generator
+states are dicts of (arbitrary-precision) ints, which JSON carries
+exactly.  :data:`CHECKPOINT_FORMAT` versions the schema; decoding an
+unknown version raises :class:`~repro.errors.CheckpointError` loudly
+instead of resuming under semantics this code never implemented.
+
+Capture draws **no** randomness and happens only at episode
+boundaries, so the policy/replay streams of a checkpointing run are
+byte-identical to a plain run — checkpointing never perturbs the
+search it is snapshotting.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.errors import CheckpointError
+
+#: Schema version of the checkpoint dict.  Bump on any change to the
+#: captured fields or their meaning; decoding rejects other versions.
+CHECKPOINT_FORMAT = 1
+
+#: Job kinds that can checkpoint (the episode-loop searches).
+CHECKPOINT_KINDS = ("search", "multi-seed")
+
+
+# -- RNG state ------------------------------------------------------------
+
+
+def rng_state(rng) -> dict:
+    """A JSON-safe copy of a ``numpy.random.Generator``'s state.
+
+    ``bit_generator.state`` is a dict of strings and ints (PCG64 keeps
+    its 128-bit state/increment as Python ints), which JSON round-trips
+    exactly.
+    """
+    state = rng.bit_generator.state
+    return json.loads(json.dumps(state))
+
+
+def set_rng_state(rng, state: dict) -> None:
+    """Restore a generator to a previously captured state, exactly."""
+    rng.bit_generator.state = state
+
+
+# -- per-seed snapshots ---------------------------------------------------
+
+
+def seed_snapshot(
+    seed: int,
+    qtable,
+    runner,
+    policy_rng,
+    replay_rng,
+    best_total: float,
+    best_choices,
+    curve: list[float],
+) -> dict:
+    """Capture one seed's complete search state.
+
+    Flushes the runner's backend-local state into the QTable's flat
+    arrays first (``finalize()`` is idempotent on every backend), then
+    copies the flat Q block, the canonical ring rows, both RNG states
+    and the best-so-far tracking.
+    """
+    runner.finalize()
+    flat = qtable.flat()
+    return {
+        "seed": int(seed),
+        "q": flat.data.tolist(),
+        "row_max": flat.row_max.tolist(),
+        "visited": [bool(v) for v in flat.visited.tolist()],
+        "ring": runner.export_ring(),
+        "policy_rng": rng_state(policy_rng),
+        "replay_rng": rng_state(replay_rng),
+        "best_total": float(best_total),
+        "best_choices": (
+            [int(c) for c in best_choices] if best_choices is not None else None
+        ),
+        "curve": [float(c) for c in curve],
+    }
+
+
+def restore_seed_arrays(snap: dict, qtable) -> None:
+    """Write a seed snapshot's Q block back into a fresh QTable.
+
+    Must run **before** ``make_runner``: the reference backend mirrors
+    the flat arrays into Python lists at construction, so restoring
+    first makes every backend start from the checkpointed state.
+    """
+    flat = qtable.flat()
+    data = np.asarray(snap["q"], dtype=np.float64)
+    row_max = np.asarray(snap["row_max"], dtype=np.float64)
+    if data.shape != flat.data.shape or row_max.shape != flat.row_max.shape:
+        raise CheckpointError(
+            "checkpoint Q block does not match this search's layout "
+            f"(got {data.shape[0]}/{row_max.shape[0]} entries, table has "
+            f"{flat.data.shape[0]}/{flat.row_max.shape[0]})"
+        )
+    flat.data[:] = data
+    flat.row_max[:] = row_max
+    if flat.visited.shape[0]:
+        visited = np.asarray(snap["visited"], dtype=np.bool_)
+        if visited.shape != flat.visited.shape:
+            raise CheckpointError(
+                "checkpoint visited flags do not match this search's layout"
+            )
+        flat.visited[:] = visited
+
+
+# -- mega SoA snapshots ---------------------------------------------------
+
+
+def mega_seed_snapshot(
+    state,
+    s: int,
+    seed: int,
+    policy_rng,
+    replay_rng,
+    best_total: float,
+    best_choices,
+    curve: list[float],
+) -> dict:
+    """One seed's snapshot sliced out of a :class:`MegaState`.
+
+    The mega arrays already hold every seed's state in the canonical
+    flat layout (``q[s]`` *is* the seed's ``QTable.flat().data``), so
+    capture is pure slicing — no kernel round-trip.
+    """
+    if state.replay_enabled:
+        ring_rows = [
+            [
+                int(state.ring[s, t, 0]),
+                int(state.ring[s, t, 1]),
+                int(state.ring[s, t, 2]),
+                int(state.ring[s, t, 3]),
+                float(state.ring[s, t, 4]),
+            ]
+            for t in range(state.fill)
+        ]
+        ring = {"rows": ring_rows, "fill": int(state.fill), "pos": int(state.pos)}
+    else:
+        ring = None
+    return {
+        "seed": int(seed),
+        "q": state.q[s].tolist(),
+        "row_max": state.row_max[s].tolist(),
+        "visited": [bool(v) for v in state.visited[s].tolist()],
+        "ring": ring,
+        "policy_rng": rng_state(policy_rng),
+        "replay_rng": rng_state(replay_rng),
+        "best_total": float(best_total),
+        "best_choices": (
+            [int(c) for c in best_choices] if best_choices is not None else None
+        ),
+        "curve": [float(c) for c in curve],
+    }
+
+
+def restore_mega_seed(snap: dict, state, s: int) -> None:
+    """Write one seed snapshot into row ``s`` of a fresh MegaState.
+
+    The lockstep fill/pos counters are shared across seeds; the caller
+    restores them once from any member snapshot (they are identical in
+    every seed of a lockstep checkpoint by construction).
+    """
+    q = np.asarray(snap["q"], dtype=np.float64)
+    row_max = np.asarray(snap["row_max"], dtype=np.float64)
+    if q.shape != state.q[s].shape or row_max.shape != state.row_max[s].shape:
+        raise CheckpointError(
+            "checkpoint Q block does not match this sweep's layout"
+        )
+    state.q[s] = q
+    state.row_max[s] = row_max
+    if state.visited.shape[1]:
+        state.visited[s] = np.asarray(snap["visited"], dtype=np.bool_)
+    ring = snap.get("ring")
+    if ring is not None and state.replay_enabled:
+        for t, row in enumerate(ring["rows"]):
+            state.ring[s, t, 0] = row[0]
+            state.ring[s, t, 1] = row[1]
+            state.ring[s, t, 2] = row[2]
+            state.ring[s, t, 3] = row[3]
+            state.ring[s, t, 4] = row[4]
+        state.fill = int(ring["fill"])
+        state.pos = int(ring["pos"])
+
+
+# -- the run-level envelope ----------------------------------------------
+
+
+def build_checkpoint(
+    kind: str,
+    graph: str,
+    mode: str,
+    episodes: int,
+    episode: int,
+    kernel: str,
+    elapsed_s: float,
+    epsilon_trace: list[float],
+    seed_snaps: list[dict],
+) -> dict:
+    """Assemble the run-level checkpoint envelope.
+
+    ``episode`` counts *completed* episodes — resume continues from
+    that index.  ``best_ms`` is the headline best across seeds (what
+    progress streams display); it is always finite because capture
+    happens after at least one completed episode.
+    """
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "kind": kind,
+        "graph": graph,
+        "mode": mode,
+        "episodes": int(episodes),
+        "episode": int(episode),
+        "kernel": kernel,
+        "best_ms": min(s["best_total"] for s in seed_snaps),
+        "elapsed_s": float(elapsed_s),
+        "epsilon_trace": [float(e) for e in epsilon_trace],
+        "seeds": seed_snaps,
+    }
+
+
+def encode_checkpoint(ckpt: dict) -> str:
+    """The checkpoint as canonical JSON text (floats bitwise-exact)."""
+    return json.dumps(ckpt, separators=(",", ":"))
+
+
+def decode_checkpoint(text: str) -> dict:
+    """Parse checkpoint text, rejecting unknown formats loudly."""
+    try:
+        ckpt = json.loads(text)
+    except (ValueError, TypeError) as error:
+        raise CheckpointError(f"checkpoint does not parse as JSON: {error}")
+    if not isinstance(ckpt, dict):
+        raise CheckpointError(
+            f"checkpoint must be a JSON object, got {type(ckpt).__name__}"
+        )
+    version = ckpt.get("format")
+    if version != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"unknown checkpoint format {version!r}; this build reads "
+            f"format {CHECKPOINT_FORMAT} — refusing to resume under "
+            "semantics it cannot verify"
+        )
+    return ckpt
+
+
+def check_resume(
+    ckpt: dict,
+    kind: str,
+    graph: str,
+    mode: str,
+    episodes: int,
+    seeds: list[int],
+) -> None:
+    """Verify a checkpoint belongs to this exact search, or raise.
+
+    Resuming a checkpoint under a different graph, mode, episode
+    budget or seed list would silently answer a different question;
+    every mismatch is a loud :class:`CheckpointError`.
+    """
+    if ckpt.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"unknown checkpoint format {ckpt.get('format')!r}"
+        )
+    if ckpt.get("kind") != kind:
+        raise CheckpointError(
+            f"checkpoint is for kind {ckpt.get('kind')!r}, not {kind!r}"
+        )
+    if ckpt.get("graph") != graph or ckpt.get("mode") != mode:
+        raise CheckpointError(
+            f"checkpoint is for {ckpt.get('graph')}/{ckpt.get('mode')}, "
+            f"this search runs {graph}/{mode}"
+        )
+    if int(ckpt.get("episodes", -1)) != int(episodes):
+        raise CheckpointError(
+            f"checkpoint budget is {ckpt.get('episodes')} episodes, "
+            f"this search runs {episodes}"
+        )
+    snap_seeds = [int(s["seed"]) for s in ckpt.get("seeds", [])]
+    if snap_seeds != [int(s) for s in seeds]:
+        raise CheckpointError(
+            f"checkpoint covers seeds {snap_seeds}, this search runs "
+            f"{list(seeds)}"
+        )
+    completed = int(ckpt.get("episode", -1))
+    if not 0 < completed < int(episodes):
+        raise CheckpointError(
+            f"checkpoint episode index {completed} is outside (0, {episodes})"
+        )

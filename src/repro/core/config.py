@@ -90,6 +90,16 @@ class ServiceConfig:
     #: ``synchronous=NORMAL`` (the throughput default); False keeps
     #: the rollback journal with per-write full fsync durability.
     store_wal: bool = True
+    #: Checkpoint search/multi-seed jobs every N episodes (anytime
+    #: search: live progress, ``DELETE`` preemption of running jobs,
+    #: crash recovery, and ``submit --resume``).  0 disables — the
+    #: default, since checkpointing adds per-boundary snapshot work
+    #: and store writes.  See :mod:`repro.core.checkpoint`.
+    checkpoint_every: int = 0
+    #: Seconds a persisted checkpoint of a non-terminal job survives
+    #: without being refreshed before the reaper garbage-collects it
+    #: (checkpoints of completed jobs are deleted immediately).
+    checkpoint_ttl_s: float = 3600.0
 
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:
@@ -143,6 +153,14 @@ class ServiceConfig:
         if self.store_group_commit < 0:
             raise ConfigError(
                 f"store_group_commit must be >= 0, got {self.store_group_commit}"
+            )
+        if self.checkpoint_every < 0:
+            raise ConfigError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.checkpoint_ttl_s <= 0:
+            raise ConfigError(
+                f"checkpoint_ttl_s must be > 0, got {self.checkpoint_ttl_s}"
             )
 
 

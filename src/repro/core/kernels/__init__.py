@@ -54,7 +54,14 @@ The runner protocol (both backends):
 * ``snapshot()`` — a copy of the episode's choices (best tracking).
 * ``finalize()`` — flush backend-local state back into the
   :class:`QTable` (no-op for the numba backend, which mutates the
-  flat arrays in place).
+  flat arrays in place).  Idempotent, so drivers may call it mid-run
+  to materialize a checkpoint.
+* ``export_ring() -> dict | None`` / ``import_ring(ring)`` — the
+  replay ring as backend-neutral checkpoint rows
+  ``(layer, row, action, next_row, reward)`` in slot order plus the
+  fill/position counters (see :mod:`repro.core.checkpoint`); None
+  when replay is disabled.  Import runs against a freshly built
+  runner whose QTable was already restored.
 
 Randomness never crosses the kernel boundary: the driver draws every
 episode's exploration mask, uniform actions, and replay permutation

@@ -444,3 +444,40 @@ class NumbaRunner:
 
     def finalize(self) -> None:
         """No-op: the kernels mutate the QTable arrays in place."""
+
+    def export_ring(self) -> dict | None:
+        """The replay ring as canonical checkpoint rows (slot order).
+
+        Rows are ``(layer, row, action, next_row, reward)`` for slots
+        ``0 .. fill-1``; slots past ``fill`` are never read before
+        being overwritten, so they need no capture.  None when replay
+        is disabled.
+        """
+        if not self._replay_on:
+            return None
+        layer, row, action, next_row, reward = self._ring
+        rows = [
+            [
+                int(layer[t]),
+                int(row[t]),
+                int(action[t]),
+                int(next_row[t]),
+                float(reward[t]),
+            ]
+            for t in range(self._fill)
+        ]
+        return {"rows": rows, "fill": int(self._fill), "pos": int(self._pos)}
+
+    def import_ring(self, ring: dict | None) -> None:
+        """Restore the ring from canonical checkpoint rows."""
+        if ring is None or not self._replay_on:
+            return
+        layer, row, action, next_row, reward = self._ring
+        for t, (i, r, a, nr, rw) in enumerate(ring["rows"]):
+            layer[t] = i
+            row[t] = r
+            action[t] = a
+            next_row[t] = nr
+            reward[t] = rw
+        self._fill = int(ring["fill"])
+        self._pos = int(ring["pos"])

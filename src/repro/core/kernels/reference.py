@@ -326,10 +326,72 @@ class ReferenceRunner:
         return list(self.choices)
 
     def finalize(self) -> None:
-        """Flush the list mirrors back into the QTable's flat arrays."""
+        """Flush the list mirrors back into the QTable's flat arrays.
+
+        Idempotent, and the mirrors stay live — callable mid-run for a
+        checkpoint capture without disturbing the search.
+        """
         flat = self._qtable.flat()
         flat.data[:] = list(chain.from_iterable(chain.from_iterable(self._q)))
         flat.row_max[:] = list(chain.from_iterable(self._rm))
         if self._fvb:
             vis_flat = chain.from_iterable(chain.from_iterable(self._vis))
             flat.visited[:] = list(vis_flat)
+
+    def export_ring(self) -> dict | None:
+        """The replay ring as canonical checkpoint rows (slot order).
+
+        The ring items hold *live* mirror-row references; the layer of
+        an item is recovered through the identity of its row-max list
+        (each layer's cache is a distinct list object), and an fvb
+        item's next row through the identity of its successor Q row.
+        None when replay is disabled.
+        """
+        if not self._replay_on:
+            return None
+        layer_of = {id(rm): i for i, rm in enumerate(self._rm)}
+        rows: list[list] = []
+        if self._fvb:
+            row_of = [
+                {id(q_row): r for r, q_row in enumerate(layer_rows)}
+                for layer_rows in self._q
+            ]
+            for _q_row, _vis, mr_row, row, choice, reward, nxt_q, _nv in self._items:
+                i = layer_of[id(mr_row)]
+                nr = 0 if nxt_q is None else row_of[i + 1][id(nxt_q)]
+                rows.append([i, row, choice, nr, reward])
+        else:
+            for _q_row, choice, reward, _boot, nxt_row, mr_i, row in self._items:
+                rows.append([layer_of[id(mr_i)], row, choice, nxt_row, reward])
+        return {
+            "rows": rows,
+            "fill": len(self._items),
+            "pos": int(self._ring_next),
+        }
+
+    def import_ring(self, ring: dict | None) -> None:
+        """Restore the ring: rebuild live-reference items from rows."""
+        if ring is None or not self._replay_on:
+            return
+        q, rm, vis = self._q, self._rm, self._vis
+        last = self._num_layers - 1
+        items: list[tuple] = []
+        for i, row, choice, nr, reward in ring["rows"]:
+            i, row, choice, nr = int(i), int(row), int(choice), int(nr)
+            if self._fvb:
+                if i < last:
+                    nxt_q = q[i + 1][nr]
+                    nxt_vis = vis[i + 1][nr]
+                else:
+                    nxt_q = nxt_vis = None
+                items.append(
+                    (q[i][row], vis[i][row], rm[i], row, choice, reward,
+                     nxt_q, nxt_vis)
+                )
+            else:
+                boot_i = rm[i + 1] if i < last else None
+                items.append(
+                    (q[i][row], choice, reward, boot_i, nr, rm[i], row)
+                )
+        self._items = items
+        self._ring_next = int(ring["pos"])

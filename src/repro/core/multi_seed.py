@@ -41,13 +41,14 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core import checkpoint as ckpt_mod
 from repro.core.config import SearchConfig
 from repro.core.kernels import make_runner, mega_selected, resolve_backend
 from repro.core.polish import coordinate_descent
 from repro.core.qtable import QTable
 from repro.core.result import SearchResult
 from repro.engine.lut import LatencyTable
-from repro.errors import ConfigError
+from repro.errors import ConfigError, PreemptedError
 from repro.utils.rng import RngStream
 from repro.utils.units import format_ms
 
@@ -151,17 +152,33 @@ class MultiSeedSearch:
         self.indexed = lut.indexed()
         self.engine = self.indexed.engine()
 
-    def run(self) -> MultiSeedResult:
-        """Run every seed to completion; results come back in seed order."""
+    def run(
+        self,
+        checkpoint_every: int | None = None,
+        on_checkpoint=None,
+        resume: dict | None = None,
+    ) -> MultiSeedResult:
+        """Run every seed to completion; results come back in seed order.
+
+        ``checkpoint_every``/``on_checkpoint``/``resume`` behave as in
+        :meth:`QSDNNSearch.run`, with the whole lockstep sweep captured
+        in one checkpoint (one snapshot per seed).
+        """
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ConfigError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        anytime = bool(checkpoint_every and on_checkpoint) or resume is not None
         if mega_selected(self.config.kernel, len(self.seeds)):
             # The structure-of-arrays path: one prange dispatch per
             # episode runs all K seeds (explicit --kernel mega, or
             # auto with K >= MEGA_SEED_THRESHOLD under numba).
-            return self._run_mega()
+            return self._run_mega(checkpoint_every, on_checkpoint, resume)
         if (
             self.config.replay_enabled
             or self.config.first_visit_bootstrap
             or resolve_backend(self.config.kernel) == "numba"
+            or anytime
         ):
             # Replay is a sequential per-seed update chain (each replayed
             # transition bootstraps from the chain so far) and the
@@ -169,13 +186,22 @@ class MultiSeedSearch:
             # run per-seed episode kernels behind one batched pricing
             # call per episode.  With the numba backend the compiled
             # kernels beat numpy seed-batching on every config, so all
-            # configs route through them.
-            return self._run_lockstep_fused()
+            # configs route through them.  Anytime runs (checkpointing
+            # or resuming) also route here: the fused path is bitwise
+            # equal to the vectorized one (the existing exactness
+            # contract) and its per-seed runners carry the canonical
+            # checkpoint state.
+            return self._run_lockstep_fused(checkpoint_every, on_checkpoint, resume)
         return self._run_lockstep_vectorized()
 
     # -- the lockstep kernel-fused path (replay on / first-visit) ------------
 
-    def _run_lockstep_fused(self) -> MultiSeedResult:
+    def _run_lockstep_fused(
+        self,
+        checkpoint_every: int | None = None,
+        on_checkpoint=None,
+        resume: dict | None = None,
+    ) -> MultiSeedResult:
         cfg = self.config
         idx = self.indexed
         engine = self.engine
@@ -187,9 +213,18 @@ class MultiSeedSearch:
             for parent in q_parent
         ]
         backend = resolve_backend(cfg.kernel)
+        if resume is not None:
+            ckpt_mod.check_resume(
+                resume,
+                kind="multi-seed",
+                graph=self.lut.graph_name,
+                mode=self.lut.mode,
+                episodes=cfg.episodes,
+                seeds=self.seeds,
+            )
 
         states: list[_SeedState] = []
-        for seed in self.seeds:
+        for s, seed in enumerate(self.seeds):
             stream = RngStream(seed, "qsdnn", self.lut.graph_name, self.lut.mode)
             qtable = QTable(
                 list(idx.num_actions),
@@ -198,22 +233,33 @@ class MultiSeedSearch:
                 row_sizes=row_sizes,
                 first_visit_bootstrap=cfg.first_visit_bootstrap,
             )
-            states.append(
-                _SeedState(
-                    seed,
+            if resume is not None:
+                # Before make_runner: the reference backend mirrors the
+                # flat arrays at construction.
+                ckpt_mod.restore_seed_arrays(resume["seeds"][s], qtable)
+            state = _SeedState(
+                seed,
+                qtable,
+                make_runner(
+                    engine,
                     qtable,
-                    make_runner(
-                        engine,
-                        qtable,
-                        q_parent,
-                        replay_enabled=cfg.replay_enabled,
-                        replay_capacity=cfg.replay_capacity,
-                        backend=backend,
-                    ),
-                    stream.child("policy"),
-                    stream.child("replay"),
-                )
+                    q_parent,
+                    replay_enabled=cfg.replay_enabled,
+                    replay_capacity=cfg.replay_capacity,
+                    backend=backend,
+                ),
+                stream.child("policy"),
+                stream.child("replay"),
             )
+            if resume is not None:
+                snap = resume["seeds"][s]
+                state.runner.import_ring(snap["ring"])
+                ckpt_mod.set_rng_state(state.policy_rng, snap["policy_rng"])
+                ckpt_mod.set_rng_state(state.replay_rng, snap["replay_rng"])
+                state.best_total = snap["best_total"]
+                state.best_choices = snap["best_choices"]
+                state.curve = list(snap["curve"])
+            states.append(state)
 
         shaping = cfg.reward_shaping
         track_curve = cfg.track_curve
@@ -223,9 +269,15 @@ class MultiSeedSearch:
         batch = np.empty((num_seeds, num_layers), dtype=np.int64)
         epsilon_trace: list[float] = []
         batched_pricings = 0
+        start_episode = 0
+        elapsed_s = 0.0
+        if resume is not None:
+            epsilon_trace = list(resume["epsilon_trace"])
+            start_episode = int(resume["episode"])
+            elapsed_s = float(resume.get("elapsed_s", 0.0))
         started = time.perf_counter()
 
-        for episode in range(cfg.episodes):
+        for episode in range(start_episode, cfg.episodes):
             epsilon = epsilon_for(episode)
             # -- decision pass (per seed, same RNG calls as QSDNNSearch)
             full_explore = epsilon >= 1.0
@@ -265,6 +317,38 @@ class MultiSeedSearch:
                     state.curve.append(total)
             if track_curve:
                 epsilon_trace.append(epsilon)
+            # -- anytime checkpoint (episode boundary; draws no RNG)
+            if (
+                checkpoint_every
+                and on_checkpoint is not None
+                and (episode + 1) % checkpoint_every == 0
+                and episode + 1 < cfg.episodes
+            ):
+                snapshot = ckpt_mod.build_checkpoint(
+                    kind="multi-seed",
+                    graph=self.lut.graph_name,
+                    mode=self.lut.mode,
+                    episodes=cfg.episodes,
+                    episode=episode + 1,
+                    kernel=cfg.kernel,
+                    elapsed_s=elapsed_s + (time.perf_counter() - started),
+                    epsilon_trace=epsilon_trace,
+                    seed_snaps=[
+                        ckpt_mod.seed_snapshot(
+                            state.seed,
+                            state.qtable,
+                            state.runner,
+                            state.policy_rng,
+                            state.replay_rng,
+                            state.best_total,
+                            state.best_choices,
+                            state.curve,
+                        )
+                        for state in states
+                    ],
+                )
+                if on_checkpoint(snapshot) is False:
+                    raise PreemptedError(snapshot)
 
         # -- per-seed finalization (polish, greedy policy, packaging)
         results = []
@@ -294,7 +378,7 @@ class MultiSeedSearch:
                     kernel_backend=backend,
                 )
             )
-        wall = time.perf_counter() - started
+        wall = elapsed_s + (time.perf_counter() - started)
         for result in results:
             result.wall_clock_s = wall / num_seeds
         return MultiSeedResult(
@@ -306,7 +390,12 @@ class MultiSeedSearch:
 
     # -- the mega SoA path (K seeds per kernel dispatch) --------------------
 
-    def _run_mega(self) -> MultiSeedResult:
+    def _run_mega(
+        self,
+        checkpoint_every: int | None = None,
+        on_checkpoint=None,
+        resume: dict | None = None,
+    ) -> MultiSeedResult:
         """Run all K seeds as structure-of-arrays mega-kernel dispatches.
 
         One :class:`~repro.core.kernels.mega.MegaState` holds every
@@ -358,6 +447,21 @@ class MultiSeedSearch:
         policy_rngs = [s.child("policy") for s in streams]
         replay_rngs = [s.child("replay") for s in streams]
 
+        if resume is not None:
+            ckpt_mod.check_resume(
+                resume,
+                kind="multi-seed",
+                graph=self.lut.graph_name,
+                mode=self.lut.mode,
+                episodes=cfg.episodes,
+                seeds=self.seeds,
+            )
+            for s in range(num_seeds):
+                snap = resume["seeds"][s]
+                ckpt_mod.restore_mega_seed(snap, state, s)
+                ckpt_mod.set_rng_state(policy_rngs[s], snap["policy_rng"])
+                ckpt_mod.set_rng_state(replay_rngs[s], snap["replay_rng"])
+
         shaping = cfg.reward_shaping
         track_curve = cfg.track_curve
         eps_list = [cfg.epsilon.epsilon_for(e) for e in range(cfg.episodes)]
@@ -382,9 +486,28 @@ class MultiSeedSearch:
         episode_totals: list[np.ndarray] = []
         epsilon_trace: list[float] = []
         batched_pricings = 0
+        start_episode = 0
+        elapsed_s = 0.0
+        if resume is not None:
+            for s in range(num_seeds):
+                snap = resume["seeds"][s]
+                best_total[s] = snap["best_total"]
+                if snap["best_choices"] is not None:
+                    best_choices[s] = snap["best_choices"]
+            start_episode = int(resume["episode"])
+            elapsed_s = float(resume.get("elapsed_s", 0.0))
+            epsilon_trace = list(resume["epsilon_trace"])
+            if track_curve:
+                episode_totals = [
+                    np.array(
+                        [resume["seeds"][s]["curve"][e] for s in range(num_seeds)],
+                        dtype=np.float64,
+                    )
+                    for e in range(start_episode)
+                ]
         started = time.perf_counter()
 
-        for episode in range(cfg.episodes):
+        for episode in range(start_episode, cfg.episodes):
             epsilon = eps_list[episode]
             # -- decision entropy (per seed, stream-identical draws)
             if epsilon >= 1.0:
@@ -394,6 +517,17 @@ class MultiSeedSearch:
                         episode + run < cfg.episodes
                         and eps_list[episode + run] >= 1.0
                         and run < block_cap
+                        # A block must never span a checkpoint boundary:
+                        # capture would otherwise find the policy stream
+                        # already advanced past the boundary.  Capping
+                        # changes only the draw *grouping* — a (run, L)
+                        # row-major block is bitwise the same stream as
+                        # run per-episode draws — so results are
+                        # unchanged.
+                        and not (
+                            checkpoint_every
+                            and (episode + run) % checkpoint_every == 0
+                        )
                     ):
                         run += 1
                     if blocks is None or blocks.shape[1] < run:
@@ -448,6 +582,41 @@ class MultiSeedSearch:
             if track_curve:
                 episode_totals.append(totals.copy())
                 epsilon_trace.append(epsilon)
+            # -- anytime checkpoint (episode boundary; draws no RNG).
+            # The block-run cap above guarantees no pre-drawn policy
+            # entropy extends past this boundary, so the captured RNG
+            # states correspond exactly to "episodes < boundary drawn".
+            if (
+                checkpoint_every
+                and on_checkpoint is not None
+                and (episode + 1) % checkpoint_every == 0
+                and episode + 1 < cfg.episodes
+            ):
+                snapshot = ckpt_mod.build_checkpoint(
+                    kind="multi-seed",
+                    graph=self.lut.graph_name,
+                    mode=self.lut.mode,
+                    episodes=cfg.episodes,
+                    episode=episode + 1,
+                    kernel=cfg.kernel,
+                    elapsed_s=elapsed_s + (time.perf_counter() - started),
+                    epsilon_trace=epsilon_trace,
+                    seed_snaps=[
+                        ckpt_mod.mega_seed_snapshot(
+                            state,
+                            s,
+                            seed,
+                            policy_rngs[s],
+                            replay_rngs[s],
+                            float(best_total[s]),
+                            best_choices[s],
+                            [float(t[s]) for t in episode_totals],
+                        )
+                        for s, seed in enumerate(self.seeds)
+                    ],
+                )
+                if on_checkpoint(snapshot) is False:
+                    raise PreemptedError(snapshot)
 
         # -- finalization: one greedy mega dispatch, per-seed packaging
         greedy_choices = state.greedy_choices().copy()
@@ -481,7 +650,7 @@ class MultiSeedSearch:
                     kernel_backend="mega",
                 )
             )
-        wall = time.perf_counter() - started
+        wall = elapsed_s + (time.perf_counter() - started)
         for result in results:
             result.wall_clock_s = wall / num_seeds
         #: Test hook: the final SoA state (Q, row_max, visited, ring)

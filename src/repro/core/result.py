@@ -18,6 +18,12 @@ class SearchResult:
     in episode ``i`` — the raw material of Figs. 4 and 5.  ``best_ms`` is
     the best configuration *seen* during the whole search, which is what
     both the paper's RL and RS report.
+
+    A search resumed from an anytime checkpoint (see
+    :mod:`repro.core.checkpoint`) reports the same fields as an
+    uninterrupted run — ``curve_ms`` spans all ``episodes`` from 0 and
+    ``wall_clock_s`` includes the elapsed time carried in the
+    checkpoint, so throughput numbers stay comparable.
     """
 
     graph_name: str

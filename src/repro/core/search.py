@@ -21,6 +21,16 @@ sweep and the replay chain — runs inside an episode kernel
 backend, the bit-identical pure-Python reference backend otherwise.
 This loop only draws the episode's randomness (same named streams as
 ever), dispatches the kernel, and tracks the best configuration.
+
+The search is *anytime*: ``run(checkpoint_every=N, on_checkpoint=f)``
+captures a :mod:`repro.core.checkpoint` snapshot at every Nth episode
+boundary (drawing no randomness, so the RNG streams are untouched) and
+hands it to the callback; a callback returning ``False`` stops the run
+with a :class:`~repro.errors.PreemptedError` carrying that snapshot.
+``run(resume=ckpt)`` continues from a snapshot and finishes
+bitwise-identical — same ``best_ms``, ``curve_ms`` and flat Q state —
+to the run that was never interrupted (exactness contract 8,
+``docs/architecture.md``).
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ import time
 
 import numpy as np
 
+from repro.core import checkpoint as ckpt_mod
 from repro.core.config import SearchConfig
 from repro.core.kernels import make_runner, resolve_backend
 from repro.core.polish import coordinate_descent
@@ -36,6 +47,7 @@ from repro.core.qtable import QTable
 from repro.core.result import SearchResult
 from repro.engine.lut import LatencyTable
 from repro.engine.pricing import CostEngine
+from repro.errors import ConfigError, PreemptedError
 from repro.utils.rng import RngStream
 
 
@@ -52,11 +64,28 @@ class QSDNNSearch:
 
     # -- the search (Algorithm 1) ----------------------------------------------
 
-    def run(self) -> SearchResult:
-        """Run the full epsilon-schedule search; returns the best result."""
+    def run(
+        self,
+        checkpoint_every: int | None = None,
+        on_checkpoint=None,
+        resume: dict | None = None,
+    ) -> SearchResult:
+        """Run the full epsilon-schedule search; returns the best result.
+
+        ``checkpoint_every=N`` with a callback captures a checkpoint
+        after every Nth completed episode (never after the last — the
+        run is about to finish anyway) and calls ``on_checkpoint(ckpt)``;
+        a ``False`` return preempts the run with
+        :class:`~repro.errors.PreemptedError` carrying the snapshot.
+        ``resume`` continues from a decoded checkpoint dict.
+        """
         cfg = self.config
         idx = self.indexed
         num_layers = self._num_layers
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ConfigError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         row_sizes = [
             1 if parent < 0 else int(idx.num_actions[parent])
             for parent in idx.q_parent
@@ -68,6 +97,18 @@ class QSDNNSearch:
             row_sizes=row_sizes,
             first_visit_bootstrap=cfg.first_visit_bootstrap,
         )
+        if resume is not None:
+            ckpt_mod.check_resume(
+                resume,
+                kind="search",
+                graph=self.lut.graph_name,
+                mode=self.lut.mode,
+                episodes=cfg.episodes,
+                seeds=[cfg.seed],
+            )
+            # The flat arrays must hold the checkpointed Q state before
+            # the runner mirrors them at construction.
+            ckpt_mod.restore_seed_arrays(resume["seeds"][0], qtable)
         runner = make_runner(
             self.engine,
             qtable,
@@ -90,9 +131,22 @@ class QSDNNSearch:
         best_choices = None
         curve: list[float] = []
         epsilon_trace: list[float] = []
+        start_episode = 0
+        elapsed_s = 0.0
+        if resume is not None:
+            snap = resume["seeds"][0]
+            runner.import_ring(snap["ring"])
+            ckpt_mod.set_rng_state(policy_rng, snap["policy_rng"])
+            ckpt_mod.set_rng_state(replay_rng, snap["replay_rng"])
+            best_total = snap["best_total"]
+            best_choices = snap["best_choices"]
+            curve = list(snap["curve"])
+            epsilon_trace = list(resume["epsilon_trace"])
+            start_episode = int(resume["episode"])
+            elapsed_s = float(resume.get("elapsed_s", 0.0))
         started = time.perf_counter()
 
-        for episode in range(cfg.episodes):
+        for episode in range(start_episode, cfg.episodes):
             epsilon = epsilon_for(episode)
             # -- the episode's randomness, from the usual named streams
             if epsilon >= 1.0:
@@ -123,6 +177,37 @@ class QSDNNSearch:
             if track_curve:
                 curve.append(total)
                 epsilon_trace.append(epsilon)
+            # -- anytime checkpoint (episode boundary; draws no RNG)
+            if (
+                checkpoint_every
+                and on_checkpoint is not None
+                and (episode + 1) % checkpoint_every == 0
+                and episode + 1 < cfg.episodes
+            ):
+                snapshot = ckpt_mod.build_checkpoint(
+                    kind="search",
+                    graph=self.lut.graph_name,
+                    mode=self.lut.mode,
+                    episodes=cfg.episodes,
+                    episode=episode + 1,
+                    kernel=cfg.kernel,
+                    elapsed_s=elapsed_s + (time.perf_counter() - started),
+                    epsilon_trace=epsilon_trace,
+                    seed_snaps=[
+                        ckpt_mod.seed_snapshot(
+                            cfg.seed,
+                            qtable,
+                            runner,
+                            policy_rng,
+                            replay_rng,
+                            best_total,
+                            best_choices,
+                            curve,
+                        )
+                    ],
+                )
+                if on_checkpoint(snapshot) is False:
+                    raise PreemptedError(snapshot)
 
         runner.finalize()
         assert best_choices is not None
@@ -132,7 +217,7 @@ class QSDNNSearch:
                 self.engine, best_choices, max_sweeps=cfg.polish_sweeps
             )
         greedy_ms = self.engine.price(qtable.greedy_rollout(parents=idx.q_parent))
-        wall = time.perf_counter() - started
+        wall = elapsed_s + (time.perf_counter() - started)
 
         return SearchResult(
             graph_name=self.lut.graph_name,

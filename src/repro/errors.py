@@ -73,6 +73,40 @@ class ConfigError(ReproError):
     """A user-supplied configuration value is out of its legal range."""
 
 
+class CheckpointError(ConfigError):
+    """A search checkpoint is malformed or mismatches the run.
+
+    Raised when a checkpoint's format version is unknown (loud
+    rejection beats silently resuming under different semantics), or
+    when its identity fields (kind/graph/episodes/seeds) disagree with
+    the search it was handed to — resuming it would answer a different
+    question.
+    """
+
+
+class PreemptedError(ReproError):
+    """A search stopped at a checkpoint boundary on request.
+
+    Carries the checkpoint captured at the boundary in
+    :attr:`checkpoint` (the JSON-safe dict of
+    :mod:`repro.core.checkpoint`); resuming from it finishes
+    bitwise-identical to the uninterrupted run.  Raised when a
+    checkpoint callback returns ``False`` — a cancel flag, a revoked
+    lease — never spontaneously.
+    """
+
+    def __init__(self, checkpoint: dict) -> None:
+        episode = checkpoint.get("episode", "?")
+        super().__init__(f"search preempted at episode {episode}")
+        self.checkpoint = checkpoint
+
+    def __reduce__(self):
+        # Keep the exception picklable across ProcessPoolExecutor with
+        # the checkpoint intact (the default reduce replays ``args``,
+        # which holds the message, not the checkpoint).
+        return (type(self), (self.checkpoint,))
+
+
 class LutCacheError(ReproError):
     """A tiered LUT-cache entry is corrupt or mismatches its key.
 

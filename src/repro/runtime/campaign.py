@@ -24,6 +24,8 @@ every process.
 from __future__ import annotations
 
 import atexit
+import hashlib
+import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -37,6 +39,7 @@ from repro.engine.pricing import SharedCostTables
 from repro.errors import ConfigError, ScheduleError
 from repro.hw import jetson_tx2, jetson_tx2_maxn, raspberry_pi3
 from repro.runtime.lutcache import LutKey, open_cache
+from repro.utils.fsio import atomic_write_text
 from repro.zoo import available_networks, build_network
 
 #: Platform factories by name — the unit a job ships across processes.
@@ -302,11 +305,64 @@ def release_shared_tables(exported: dict[LutKey, SharedCostTables]) -> None:
         _OWNED_TABLES.remove(batch)
 
 
+def checkpoint_spool_name(key: str) -> str:
+    """Stable filesystem-safe spool-file stem for a job key."""
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:32]
+
+
+def spool_paths(spool_dir: str | Path, key: str) -> tuple[Path, Path, Path]:
+    """The ``(checkpoint, progress, cancel)`` spool paths of a job key.
+
+    The anytime spool is how checkpoints cross the pool-worker process
+    boundary (``ProcessPoolExecutor`` cannot ship callables): workers
+    atomically write ``<sha>.ckpt`` (the encoded checkpoint) and
+    ``<sha>.progress`` (a tiny ``{"episode", "best_ms"}`` sidecar the
+    SSE stream polls), and poll for a ``<sha>.cancel`` flag the service
+    drops to preempt the job.
+    """
+    stem = checkpoint_spool_name(key)
+    base = Path(spool_dir)
+    return (
+        base / f"{stem}.ckpt",
+        base / f"{stem}.progress",
+        base / f"{stem}.cancel",
+    )
+
+
+def _spool_checkpoint_callback(spool_dir: str | Path, key: str):
+    """Build the spool-backed ``on_checkpoint`` for one job.
+
+    Writes the snapshot and its progress sidecar atomically, then
+    honors the cancel flag by returning ``False`` — the cancel check
+    runs *after* the write so a preempted job's final checkpoint is
+    always on disk for the service to persist and resume from.
+    """
+    from repro.core.checkpoint import encode_checkpoint
+
+    ckpt_path, progress_path, cancel_path = spool_paths(spool_dir, key)
+
+    def on_checkpoint(ckpt: dict):
+        atomic_write_text(ckpt_path, encode_checkpoint(ckpt))
+        atomic_write_text(
+            progress_path,
+            json.dumps(
+                {"episode": ckpt["episode"], "best_ms": ckpt["best_ms"]}
+            ),
+        )
+        return not cancel_path.exists()
+
+    return on_checkpoint
+
+
 def execute_job(
     job: CampaignJob,
     cache_dir: str | Path | None = None,
     cache_remote: str | list[str] | None = None,
     shared_tables: str | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume_text: str | None = None,
+    on_checkpoint=None,
 ) -> CampaignResult:
     """Run one job to completion (profiling, search, baselines).
 
@@ -315,6 +371,15 @@ def execute_job(
     campaign parent exported for this job's LUT key; when given, the
     job prices against the host's single shared tensor copy instead of
     building its own (bitwise-identical either way).
+
+    The anytime arguments apply to the checkpointable kinds
+    (``"search"`` and ``"multi-seed"``) and are ignored by the rest:
+    ``checkpoint_every=N`` captures a checkpoint every N episodes and
+    hands it to ``on_checkpoint`` — or, when ``checkpoint_dir`` is
+    given instead of a callable, to the spool callback built by
+    :func:`_spool_checkpoint_callback` (the pool-worker path).
+    ``resume_text`` is an encoded checkpoint to continue from; the
+    resumed run finishes bitwise-identical to an uninterrupted one.
     """
     from repro.analysis.compare import compare_methods
     from repro.analysis.speedup import auto_episodes, table2_row_from_lut
@@ -329,6 +394,25 @@ def execute_job(
         "repro_campaign_jobs_total",
         "Jobs executed in this process, by kind.",
     ).inc(kind=job.kind)
+    anytime: dict = {}
+    if job.kind in ("search", "multi-seed") and (
+        checkpoint_every or resume_text is not None or on_checkpoint is not None
+    ):
+        from repro.core.checkpoint import decode_checkpoint
+        from repro.runtime.store import job_key
+
+        callback = on_checkpoint
+        if callback is None and checkpoint_dir is not None and checkpoint_every:
+            callback = _spool_checkpoint_callback(checkpoint_dir, job_key(job))
+        anytime = {
+            "checkpoint_every": checkpoint_every,
+            "on_checkpoint": callback,
+            "resume": (
+                decode_checkpoint(resume_text)
+                if resume_text is not None
+                else None
+            ),
+        }
     started = time.perf_counter()
     lut, from_cache = load_or_profile_lut(job, cache_dir, cache_remote)
     if shared_tables is not None:
@@ -358,13 +442,13 @@ def execute_job(
             payload = QSDNNSearch(
                 lut,
                 SearchConfig(episodes=episodes, seed=job.seed, kernel=job.kernel),
-            ).run()
+            ).run(**anytime)
         else:  # "multi-seed" — validated at construction
             payload = MultiSeedSearch(
                 lut,
                 SearchConfig(episodes=episodes, seed=job.seed, kernel=job.kernel),
                 seeds=seed_range(job.seed, job.seeds),
-            ).run()
+            ).run(**anytime)
     return CampaignResult(
         job=job,
         payload=payload,

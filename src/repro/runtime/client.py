@@ -213,7 +213,8 @@ class ServiceClient:
         return self._checked("GET", "/jobs")["jobs"]
 
     def cancel(self, job_id: str) -> dict:
-        """``DELETE /jobs/{id}`` (queued jobs only)."""
+        """``DELETE /jobs/{id}`` — cancel a queued job, or preempt a
+        running one into a checkpoint when the service checkpoints."""
         return self._checked("DELETE", f"/jobs/{job_id}")
 
     def results(self, **filters) -> list[dict]:
@@ -274,10 +275,20 @@ class ServiceClient:
             )
         return parsed
 
-    def heartbeat(self, lease_id: str) -> dict:
+    def heartbeat(
+        self, lease_id: str, checkpoints: dict[str, str] | None = None
+    ) -> dict:
         """``POST /leases/{id}/heartbeat`` — extend the claim by one
-        TTL.  Raises :class:`LeaseExpiredError` once the lease is gone."""
-        return self._checked_lease(f"/leases/{lease_id}/heartbeat")
+        TTL.  Raises :class:`LeaseExpiredError` once the lease is gone.
+
+        ``checkpoints`` optionally carries the latest encoded anytime
+        checkpoint per job id of the lease (see
+        :mod:`repro.core.checkpoint`); the service persists each into
+        its store, making preemption and crash recovery lossless up to
+        the last delivered snapshot.
+        """
+        body = {"checkpoints": checkpoints} if checkpoints else None
+        return self._checked_lease(f"/leases/{lease_id}/heartbeat", body)
 
     def submit_result(self, lease_id: str, outcome: dict) -> dict:
         """``POST /leases/{id}/result`` — deliver the executed job.

@@ -21,12 +21,24 @@ This module is that service layer:
   in flight are coalesced onto one record.
 * **Progress streaming** — ``GET /jobs/{id}/progress`` is a
   Server-Sent-Events stream: heartbeats while the job is queued or
-  running, then the search's best-so-far checkpoints (derived from
+  running — interleaved with live ``progress`` events from the
+  anytime checkpoints when ``checkpoint_every`` is on — then the
+  search's best-so-far checkpoints (derived from
   ``SearchResult.curve_ms``, monotone non-increasing, in episode
   order), then a terminal ``done``/``failed``/``cancelled`` event.
-  Checkpoints are emitted from the completed curve — the per-episode
-  hot loop is a compiled kernel (:mod:`repro.core.kernels`) and is not
-  interrupted for IPC.
+* **Anytime search** — with ``checkpoint_every=N`` every search /
+  multi-seed job captures a :mod:`repro.core.checkpoint` snapshot
+  each N episodes.  Local pool jobs spool snapshots to a temp
+  directory (callables cannot cross the process-pool boundary);
+  fleet workers carry them in heartbeat bodies.  The latest snapshot
+  per job key is persisted in the result store's checkpoint table,
+  which buys three things: ``DELETE /jobs/{id}`` *preempts* a
+  running job (202) instead of just refusing; a SIGKILLed pool or
+  fleet worker's job is requeued with its checkpoint attached (crash
+  recovery); and re-submitting with ``"resume": true`` continues
+  from the stored snapshot — finishing bitwise-identical to a run
+  that was never interrupted (exactness contract 8,
+  ``docs/architecture.md``).
 * **LUT shard serving** — ``GET/PUT /luts/{platform}/{network}``
   expose the instance's local LUT cache tier to the fleet: any other
   machine's campaign (``--cache-remote URL``) fetches LUTs profiled
@@ -75,15 +87,20 @@ compatibility.  Every endpoint is documented with examples in
 from __future__ import annotations
 
 import asyncio
+import functools
 import itertools
 import json
 import math
+import shutil
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 from urllib.parse import parse_qs, urlsplit
 
 from repro import __version__
+from repro.core import checkpoint as ckpt_mod
 from repro.core.config import ServiceConfig
 from repro.core.multi_seed import MultiSeedResult
 from repro.engine.pricing import SharedCostTables
@@ -92,6 +109,7 @@ from repro.errors import (
     LeaseError,
     LeaseExpiredError,
     LutCacheError,
+    PreemptedError,
     QueueFullError,
     QuotaExceededError,
     ServiceError,
@@ -101,6 +119,7 @@ from repro.runtime.campaign import (
     CampaignResult,
     execute_job,
     grid,
+    spool_paths,
 )
 from repro.runtime.lutcache import LocalTier, LutKey, validate_entry
 from repro.runtime.metrics import MetricsRegistry
@@ -268,6 +287,12 @@ class JobRecord:
     #: Worker id / lease id of the *current* grant (None while queued).
     worker: str | None = None
     lease_id: str | None = None
+    #: Encoded checkpoint the next grant should resume from (attached
+    #: on ``"resume": true`` submissions and crash-recovery requeues).
+    resume_text: str | None = field(default=None, repr=False)
+    #: Latest in-flight progress (``{"episode", "best_ms"}``) reported
+    #: through a fleet heartbeat's checkpoint carriage.
+    progress: dict | None = None
     done_event: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
 
     @property
@@ -425,6 +450,9 @@ class CampaignService:
             else None
         )
         self._executor: ProcessPoolExecutor | None = None
+        #: Checkpoint spool directory for local pool jobs (created at
+        #: start when checkpointing is on; removed at shutdown).
+        self._spool_dir: str | None = None
         #: Shared pricing-table segments exported for worker jobs, one
         #: per LUT key, owned by the service and unlinked at shutdown.
         self._shared_tables: dict[LutKey, SharedCostTables] = {}
@@ -492,6 +520,19 @@ class CampaignService:
         self._m_busy = m.counter(
             "repro_worker_busy_seconds_total",
             "Wall-clock seconds spent executing jobs, by worker.",
+        )
+        self._m_checkpoints = m.counter(
+            "repro_checkpoints_written_total",
+            "Anytime job checkpoints persisted into the store.",
+        )
+        self._m_preempted = m.counter(
+            "repro_jobs_preempted_total",
+            "Running jobs preempted by DELETE /jobs/{id} "
+            "(latest checkpoint persisted for resumption).",
+        )
+        self._m_resumed = m.counter(
+            "repro_jobs_resumed_total",
+            "Jobs granted with a resume checkpoint attached.",
         )
         self._h_lease_batch = m.histogram(
             "repro_lease_batch_jobs",
@@ -567,6 +608,7 @@ class CampaignService:
         priority: int = DEFAULT_PRIORITY,
         stored: StoredResult | None | object = _UNRESOLVED,
         tenant: str = DEFAULT_TENANT,
+        resume: bool = False,
     ) -> JobRecord:
         """Accept one job: store hit, coalesced duplicate, or enqueue.
 
@@ -576,7 +618,10 @@ class CampaignService:
         already queued or running, and a fresh ``queued`` record
         otherwise.  ``stored`` lets a caller that already looked the
         job up in the store pass the answer in (``None`` for a known
-        miss) so admission does not query twice.  Raises
+        miss) so admission does not query twice.  ``resume=True``
+        attaches the job key's stored checkpoint (if any) so the grant
+        continues the interrupted search instead of restarting; with
+        no stored checkpoint the job simply runs from scratch.  Raises
         :class:`QueueFullError` past the queue depth limit and
         :class:`ServiceError` once shutdown has begun.
         """
@@ -624,6 +669,10 @@ class CampaignService:
             priority=priority,
             tenant=tenant,
         )
+        if resume:
+            stored_ckpt = self.store.get_checkpoint(key)
+            if stored_ckpt is not None:
+                record.resume_text = stored_ckpt.text
         self.records[record.id] = record
         self._active[key] = record
         self._pending += 1
@@ -666,6 +715,70 @@ class CampaignService:
         self._active.pop(job_key(record.job), None)
         self._pending -= 1
         record.done_event.set()
+
+    def preempt(self, record: JobRecord) -> bool:
+        """Preempt a *running* job, keeping its latest checkpoint.
+
+        Two paths, matching the two execution substrates:
+
+        * **Local pool job** (checkpointing on): drop the spool cancel
+          flag — the search stops at its next episode boundary, the
+          worker's :class:`~repro.errors.PreemptedError` carries the
+          final snapshot, and :meth:`_finish_preempted` persists it.
+          The record stays ``running`` until that lands (the 202 says
+          ``preempting``, not ``preempted``).
+        * **Fleet-leased job**: revoke the lease — the worker's next
+          heartbeat answers 409 and it abandons the batch.  The
+          targeted job is cancelled *now* (its latest heartbeat-carried
+          checkpoint stays in the store for resumption); batch siblings
+          were not the target and are explicitly **requeued**, not
+          discarded, via :meth:`_release_job`.
+
+        Returns False when preemption is unavailable (no checkpointing
+        spool for a local job, or the lease is already gone) — the
+        caller answers 409 as before.
+        """
+        if record.state != RUNNING:
+            return False
+        info = self.workers_info.get(record.worker or "")
+        key = job_key(record.job)
+        if info is not None and info.local:
+            if self._spool_dir is None:
+                return False
+            _, _, cancel_path = spool_paths(self._spool_dir, key)
+            try:
+                cancel_path.touch()
+            except OSError:
+                return False
+            return True
+        lease_id = record.lease_id
+        if lease_id is None:
+            return False
+        lease = self.store.get_lease(lease_id)
+        if lease is None or not lease.live:
+            return False
+        self.store.finish_lease(lease_id, LEASE_RELEASED)
+        for jid in lease.job_ids:
+            sibling = self.records.get(jid)
+            if (
+                sibling is None
+                or sibling.id == record.id
+                or sibling.state != RUNNING
+                or sibling.lease_id != lease_id
+            ):
+                continue
+            self._release_job(
+                sibling, "lease revoked by preemption", worker=lease.worker
+            )
+        record.lease_id = None
+        record.worker = None
+        record.state = CANCELLED
+        record.error = "preempted; lease revoked"
+        record.finished_s = time.time()
+        self._m_preempted.inc()
+        self._active.pop(key, None)
+        record.done_event.set()
+        return True
 
     def stats(self) -> dict:
         """Queue/worker/job counters (the ``/healthz`` body)."""
@@ -776,6 +889,8 @@ class CampaignService:
         for record in records:
             record.lease_id = lease.lease_id
             record.worker = info.id
+            if record.resume_text is not None:
+                self._m_resumed.inc()
         info.leases += 1
         info.last_seen_s = time.time()
         self._m_leases_granted.inc(worker=info.id)
@@ -846,7 +961,21 @@ class CampaignService:
             self._m_completed.inc(worker=worker_id)
         else:
             self._m_failed.inc(worker=worker_id)
-        self._active.pop(job_key(record.job), None)
+        key = job_key(record.job)
+        # Checkpoint hygiene: a finished job's snapshot is dead weight
+        # (and must not resurrect as a stale resume).  Guarded so the
+        # common checkpointing-off path pays no store round-trip.
+        if (
+            self.config.checkpoint_every > 0
+            or record.progress is not None
+            or record.resume_text is not None
+        ):
+            try:
+                self.store.delete_checkpoint(key)
+            except Exception:
+                pass
+            self._clear_spool(key)
+        self._active.pop(key, None)
         record.done_event.set()
 
     async def _worker(self, index: int) -> None:
@@ -864,14 +993,28 @@ class CampaignService:
                 # a small tensor pack, and keeping it off a helper
                 # thread avoids racing the executor's worker fork.
                 segment = self._shared_segment_for(record.job)
-                result = await loop.run_in_executor(
-                    self._executor,
+                call = functools.partial(
                     execute_job,
                     record.job,
                     self.config.cache_dir,
                     self.config.cache_remote,
                     segment,
+                    checkpoint_every=self.config.checkpoint_every or None,
+                    checkpoint_dir=self._spool_dir,
+                    resume_text=record.resume_text,
                 )
+                result = await loop.run_in_executor(self._executor, call)
+            except PreemptedError as error:
+                # DELETE /jobs dropped the cancel flag; the search
+                # stopped at the next episode boundary with its final
+                # snapshot in hand.
+                self._finish_preempted(record, info, error.checkpoint)
+            except BrokenProcessPool:
+                # The pool worker died mid-job (SIGKILL, OOM).  Rebuild
+                # the pool, persist whatever the job last spooled, and
+                # requeue it to resume from that snapshot.
+                self._rebuild_executor()
+                self._recover_crashed(record, info)
             except Exception as error:  # job failure — keep serving
                 self._finish_record(
                     record, info, None, f"{type(error).__name__}: {error}"
@@ -879,16 +1022,126 @@ class CampaignService:
             else:
                 self._finish_record(record, info, result, None)
 
+    def _rebuild_executor(self) -> None:
+        """Replace a broken process pool (idempotent: several local
+        workers can observe the same crash; only the first swaps it)."""
+        if self._executor is not None and getattr(self._executor, "_broken", False):
+            self._executor.shutdown(wait=False)
+            self._executor = ProcessPoolExecutor(max_workers=self.config.workers)
+
+    def _persist_checkpoint(self, key: str, text: str) -> bool:
+        """Land one encoded checkpoint in the store's checkpoint table.
+
+        Returns whether the write (and the metric tick) happened; a
+        malformed snapshot or a store failure is swallowed — losing a
+        checkpoint costs a restart-from-scratch, never the job.
+        """
+        try:
+            meta = json.loads(text)
+            self.store.put_checkpoint(
+                key,
+                text,
+                int(meta["format"]),
+                int(meta["episode"]),
+                float(meta["best_ms"]),
+            )
+        except Exception:
+            return False
+        self._m_checkpoints.inc()
+        return True
+
+    def _clear_spool(self, key: str) -> None:
+        """Remove a job key's spool files (checkpoint, progress, and —
+        critically — any cancel flag, which would otherwise preempt the
+        key's next run on its first checkpoint)."""
+        if self._spool_dir is None:
+            return
+        for path in spool_paths(self._spool_dir, key):
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def _spooled_checkpoint(self, record: JobRecord) -> str | None:
+        """The latest checkpoint a local pool job spooled, if any."""
+        if self._spool_dir is None:
+            return None
+        ckpt_path, _, _ = spool_paths(self._spool_dir, job_key(record.job))
+        try:
+            return ckpt_path.read_text()
+        except OSError:
+            return None
+
+    def _finish_preempted(
+        self, record: JobRecord, info: WorkerInfo | None, ckpt: dict | None
+    ) -> None:
+        """Terminal path of a locally preempted job: persist the final
+        snapshot (resubmitting with ``"resume": true`` continues from
+        it, bitwise-identical), release the lease, mark cancelled."""
+        key = job_key(record.job)
+        episode = None
+        if ckpt is not None:
+            self._persist_checkpoint(key, ckpt_mod.encode_checkpoint(ckpt))
+            episode = ckpt.get("episode")
+            record.progress = {
+                "episode": ckpt["episode"],
+                "best_ms": ckpt["best_ms"],
+            }
+        if record.lease_id is not None:
+            self.store.finish_lease(record.lease_id, LEASE_RELEASED)
+        record.finished_s = time.time()
+        record.error = (
+            f"preempted at episode {episode}"
+            if episode is not None
+            else "preempted"
+        )
+        record.state = CANCELLED
+        if info is not None:
+            busy = record.finished_s - (record.started_s or record.finished_s)
+            info.busy_s += busy
+            info.last_seen_s = record.finished_s
+            self._m_busy.inc(busy, worker=info.id)
+        self._m_preempted.inc()
+        self._clear_spool(key)
+        self._active.pop(key, None)
+        record.done_event.set()
+
+    def _recover_crashed(self, record: JobRecord, info: WorkerInfo | None) -> None:
+        """Crash recovery for a local pool job whose process died.
+
+        The spool's last checkpoint (written atomically at an episode
+        boundary, so never torn) is persisted to the store and attached
+        to the record; :meth:`_release_job` then requeues it within the
+        usual retry budget, and the retry resumes from the snapshot
+        instead of restarting.
+        """
+        key = job_key(record.job)
+        spooled = self._spooled_checkpoint(record)
+        if spooled is not None and self._persist_checkpoint(key, spooled):
+            record.resume_text = spooled
+        if record.lease_id is not None:
+            self.store.finish_lease(record.lease_id, LEASE_RELEASED)
+        if info is not None:
+            info.last_seen_s = time.time()
+        self._release_job(record, "worker process died", worker=record.worker)
+
     # -- fleet lease lifecycle -----------------------------------------------
 
-    def heartbeat(self, lease_id: str) -> dict:
+    def heartbeat(self, lease_id: str, body: dict | None = None) -> dict:
         """Extend a fleet lease's deadline by one TTL.
 
         Raises :class:`LeaseExpiredError` (HTTP 409) when the lease is
         no longer active — including the deadline having passed before
         the reaper noticed: :meth:`ResultStore.heartbeat_lease` flips
         such a lease to ``expired`` itself, so the 409 is deterministic
-        regardless of reaper timing.
+        regardless of reaper timing.  The 409 is also how a *revoked*
+        lease (``DELETE`` on a fleet-leased job) tells its worker to
+        stop.
+
+        An optional body ``{"checkpoints": {job_id: text}}`` carries
+        each job's latest encoded anytime checkpoint; every one owned
+        by this lease is persisted (the store keeps only the newest
+        per job key) and feeds the job's live ``progress`` events.
         """
         lease = self.store.heartbeat_lease(lease_id, self.config.lease_ttl_s)
         if lease is None:
@@ -899,7 +1152,37 @@ class CampaignService:
         info = self.workers_info.get(lease.worker)
         if info is not None:
             info.last_seen_s = time.time()
+        checkpoints = body.get("checkpoints") if isinstance(body, dict) else None
+        if checkpoints is not None:
+            self._absorb_checkpoints(lease, checkpoints)
         return lease.to_dict()
+
+    def _absorb_checkpoints(self, lease, checkpoints) -> None:
+        """Persist heartbeat-carried checkpoints for the lease's jobs.
+
+        Only entries attributable to a job this lease currently owns
+        land; malformed texts are dropped (losing one snapshot costs
+        nothing — the next beat carries a newer one).
+        """
+        if not isinstance(checkpoints, dict):
+            raise ConfigError(
+                "'checkpoints' must map job ids to encoded checkpoint text"
+            )
+        for jid, text in checkpoints.items():
+            record = self.records.get(str(jid))
+            if (
+                record is None
+                or record.state != RUNNING
+                or record.lease_id != lease.lease_id
+                or not isinstance(text, str)
+            ):
+                continue
+            if self._persist_checkpoint(job_key(record.job), text):
+                meta = json.loads(text)
+                record.progress = {
+                    "episode": int(meta["episode"]),
+                    "best_ms": float(meta["best_ms"]),
+                }
 
     def finish_remote(self, lease_id: str, body) -> tuple[int, dict]:
         """Apply a fleet worker's ``POST /leases/{id}/result``.
@@ -1151,6 +1434,12 @@ class CampaignService:
             self._m_failed.inc(worker=worker or "unknown")
             record.done_event.set()
         else:
+            # Crash recovery: a requeued job resumes from its latest
+            # persisted checkpoint (spooled locally or carried by a
+            # fleet heartbeat) instead of restarting from episode 0.
+            stored_ckpt = self.store.get_checkpoint(job_key(record.job))
+            if stored_ckpt is not None:
+                record.resume_text = stored_ckpt.text
             record.state = QUEUED
             record.started_s = None
             self._pending += 1
@@ -1198,6 +1487,10 @@ class CampaignService:
             for lease in self.store.expire_due_leases():
                 self._requeue_expired(lease)
             self._flush_store()
+            # Checkpoint retention: drop snapshots nothing refreshed
+            # for checkpoint_ttl_s (their jobs went terminal on some
+            # path that could not delete them, or were never resumed).
+            self.store.gc_checkpoints(self.config.checkpoint_ttl_s)
 
     def _shared_segment_for(self, job: CampaignJob) -> str | None:
         """Name of the shared pricing-table segment for a job's LUT key,
@@ -1228,16 +1521,41 @@ class CampaignService:
 
     # -- progress streaming --------------------------------------------------
 
+    def _job_progress(self, record: JobRecord) -> dict | None:
+        """Latest in-flight ``{"episode", "best_ms"}`` of a running job:
+        the newest fleet-heartbeat-carried value, or the local pool's
+        spool progress sidecar (a tiny atomic JSON file)."""
+        if record.progress is not None:
+            return record.progress
+        if self._spool_dir is None or record.state != RUNNING:
+            return None
+        _, progress_path, _ = spool_paths(self._spool_dir, job_key(record.job))
+        try:
+            data = json.loads(progress_path.read_text())
+            return {
+                "episode": int(data["episode"]),
+                "best_ms": float(data["best_ms"]),
+            }
+        except (OSError, ValueError, TypeError, KeyError):
+            return None
+
     async def progress_events(self, record: JobRecord):
         """Async iterator of progress events for one job.
 
         Yields ``status`` heartbeats (every ``heartbeat_s`` while the
-        job is queued/running), then — once finished — the best-so-far
+        job is queued/running) interleaved with live ``progress``
+        events whenever an in-loop anytime checkpoint advances the
+        job's episode counter, then — once finished — the best-so-far
         ``checkpoint`` sequence of :func:`checkpoints_of` and one
         terminal ``done``/``failed``/``cancelled`` event.
         """
         yield "status", {"id": record.id, "state": record.state}
+        last_episode = -1
         while not record.finished:
+            progress = self._job_progress(record)
+            if progress is not None and progress["episode"] > last_episode:
+                last_episode = progress["episode"]
+                yield "progress", {"id": record.id, **progress}
             try:
                 await asyncio.wait_for(
                     record.done_event.wait(), timeout=self.config.heartbeat_s
@@ -1269,6 +1587,8 @@ class CampaignService:
         self.store.release_active_leases()
         if self.config.workers > 0:
             self._executor = ProcessPoolExecutor(max_workers=self.config.workers)
+            if self.config.checkpoint_every > 0:
+                self._spool_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
             self._workers = [
                 asyncio.create_task(self._worker(index))
                 for index in range(self.config.workers)
@@ -1361,6 +1681,9 @@ class CampaignService:
             self._server.close()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        if self._spool_dir is not None:
+            shutil.rmtree(self._spool_dir, ignore_errors=True)
+            self._spool_dir = None
         # The worker pool is drained and gone: release every shared
         # pricing-table segment (close + unlink) so a service lifetime
         # leaves /dev/shm exactly as it found it.
@@ -1504,6 +1827,10 @@ class CampaignService:
                     await _respond(writer, 404, {"error": f"no job {parts[1]!r}"})
                 elif self.cancel(parts[1]):
                     await _respond(writer, 200, record.to_dict())
+                elif record.state == RUNNING and self.preempt(record):
+                    body = record.to_dict()
+                    body["preempting"] = True
+                    await _respond(writer, 202, body)
                 else:
                     await _respond(
                         writer,
@@ -1565,25 +1892,33 @@ class CampaignService:
                     await _respond_empty(writer, 204)
                 else:
                     lease = self.store.get_lease(records[0].lease_id)
-                    await _respond(
-                        writer,
-                        200,
-                        {
-                            "lease": lease.to_dict(),
-                            # `job`: the first of the batch, kept for
-                            # single-lease (max_jobs=1) compatibility.
-                            "job": records[0].to_dict(),
-                            "jobs": [r.to_dict() for r in records],
-                            "lease_ttl_s": self.config.lease_ttl_s,
-                        },
-                    )
+                    grant = {
+                        "lease": lease.to_dict(),
+                        # `job`: the first of the batch, kept for
+                        # single-lease (max_jobs=1) compatibility.
+                        "job": records[0].to_dict(),
+                        "jobs": [r.to_dict() for r in records],
+                        "lease_ttl_s": self.config.lease_ttl_s,
+                    }
+                    if self.config.checkpoint_every > 0:
+                        grant["checkpoint_every"] = self.config.checkpoint_every
+                    resume = {
+                        r.id: r.resume_text
+                        for r in records
+                        if r.resume_text is not None
+                    }
+                    if resume:
+                        grant["resume"] = resume
+                    await _respond(writer, 200, grant)
             elif (
                 method == "POST"
                 and len(parts) == 3
                 and parts[0] == "leases"
                 and parts[2] == "heartbeat"
             ):
-                await _respond(writer, 200, {"lease": self.heartbeat(parts[1])})
+                await _respond(
+                    writer, 200, {"lease": self.heartbeat(parts[1], body)}
+                )
             elif (
                 method == "POST"
                 and len(parts) == 3
@@ -1642,13 +1977,15 @@ class CampaignService:
         of which must individually fit the single-result cap — so its
         allowance scales with the batch limit instead of rejecting (and
         thereby discarding) a full batch of executed results at 1 MiB.
+        Heartbeats get the same scaled allowance: their checkpoint
+        carriage ships up to a batch's worth of Q-table snapshots.
         """
         parts = [p for p in path.split("/") if p]
         if (
             method == "POST"
             and len(parts) == 3
             and parts[0] == "leases"
-            and parts[2] == "results"
+            and parts[2] in ("results", "heartbeat")
         ):
             return MAX_BODY_BYTES * max(1, self.config.lease_batch_limit)
         return MAX_BODY_BYTES
@@ -1804,6 +2141,16 @@ class CampaignService:
                     f"{self.config.rate_limit_per_s}/s on POST /jobs",
                     retry_after_s=wait,
                 )
+        # `"resume": true` rides any submission form: each accepted job
+        # is attached its stored checkpoint (if one exists) and the
+        # grant continues the interrupted search.  Popped before
+        # jobs_from_body — it is submission policy, not a job field.
+        resume = False
+        if isinstance(body, dict) and "resume" in body:
+            body = dict(body)
+            resume = body.pop("resume")
+            if not isinstance(resume, bool):
+                raise ConfigError(f"resume must be a boolean, got {resume!r}")
         jobs, priority = jobs_from_body(body)
         # All-or-nothing admission: a partially accepted grid would
         # leave the client guessing which cells ran.  One store lookup
@@ -1838,7 +2185,9 @@ class CampaignService:
                 f"{free} free (limit {self.config.queue_limit})"
             )
         records = [
-            self.submit(job, priority=priority, stored=hit, tenant=tenant)
+            self.submit(
+                job, priority=priority, stored=hit, tenant=tenant, resume=resume
+            )
             for job, hit in lookups
         ]
         await _respond(writer, 202, {"jobs": [record.to_dict() for record in records]})

@@ -71,6 +71,17 @@ CREATE TABLE IF NOT EXISTS results (
 )
 """
 
+_CHECKPOINT_DDL = """
+CREATE TABLE IF NOT EXISTS checkpoints (
+    job_key TEXT PRIMARY KEY,
+    format INTEGER NOT NULL,
+    episode INTEGER NOT NULL,
+    best_ms REAL,
+    checkpoint TEXT NOT NULL,
+    updated_s REAL NOT NULL
+)
+"""
+
 _LEASE_DDL = """
 CREATE TABLE IF NOT EXISTS leases (
     lease_id TEXT PRIMARY KEY,
@@ -294,6 +305,25 @@ class LeaseRecord:
 
 
 @dataclass
+class StoredCheckpoint:
+    """One persisted anytime-search checkpoint, keyed by job identity.
+
+    ``text`` is the canonical JSON of :mod:`repro.core.checkpoint`
+    (decode with ``decode_checkpoint``, which rejects foreign formats
+    loudly); ``episode``/``best_ms`` are denormalized for cheap
+    progress reads — streaming a job's progress never parses the full
+    Q-block payload.
+    """
+
+    job_key: str
+    format: int
+    episode: int
+    best_ms: float | None
+    text: str
+    updated_s: float
+
+
+@dataclass
 class StoredResult:
     """One solved scenario as the store returns it."""
 
@@ -367,6 +397,7 @@ class ResultStore:
                 self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.execute(_TABLE_DDL)
             self._conn.execute(_LEASE_DDL)
+            self._conn.execute(_CHECKPOINT_DDL)
             self._conn.commit()
 
     # -- writes -------------------------------------------------------------
@@ -574,6 +605,86 @@ class ResultStore:
                 )
             )
         return results
+
+    # -- checkpoints (the anytime-search resume substrate) -------------------
+
+    def put_checkpoint(
+        self,
+        key: str,
+        text: str,
+        format: int,
+        episode: int,
+        best_ms: float | None,
+        now: float | None = None,
+    ) -> str:
+        """Persist (or replace) one job's latest checkpoint; returns key.
+
+        One row per job identity — a newer checkpoint of the same job
+        replaces the older one (resume always wants the latest
+        boundary).  Commits immediately: a checkpoint's whole point is
+        surviving the crash that follows it, so it never rides the
+        group-commit buffer.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO checkpoints VALUES (?, ?, ?, ?, ?, ?)",
+                (key, int(format), int(episode), best_ms, text, now),
+            )
+            self._conn.commit()
+        return key
+
+    def get_checkpoint(self, key: str) -> StoredCheckpoint | None:
+        """The latest persisted checkpoint of this job key, or None."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT job_key, format, episode, best_ms, checkpoint, "
+                "updated_s FROM checkpoints WHERE job_key = ?",
+                (key,),
+            ).fetchone()
+        if row is None:
+            return None
+        return StoredCheckpoint(
+            job_key=row[0],
+            format=row[1],
+            episode=row[2],
+            best_ms=row[3],
+            text=row[4],
+            updated_s=row[5],
+        )
+
+    def delete_checkpoint(self, key: str) -> bool:
+        """Drop one job's checkpoint (completion hygiene); True if it
+        existed."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM checkpoints WHERE job_key = ?", (key,)
+            )
+            self._conn.commit()
+            return cursor.rowcount > 0
+
+    def gc_checkpoints(self, ttl_s: float, now: float | None = None) -> int:
+        """Drop checkpoints not updated within ``ttl_s`` seconds.
+
+        Stale rows belong to jobs nobody resubmitted — the reaper calls
+        this so an abandoned preemption cannot grow the store without
+        bound.  Returns the number of rows collected.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM checkpoints WHERE updated_s < ?", (now - ttl_s,)
+            )
+            self._conn.commit()
+            return cursor.rowcount
+
+    def count_checkpoints(self) -> int:
+        """Number of persisted checkpoints (tests and ``GET /stats``)."""
+        with self._lock:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM checkpoints"
+            ).fetchone()
+        return int(count)
 
     # -- leases (the fleet's pull protocol; see runtime/service.py) ----------
 

@@ -45,7 +45,12 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigError, LeaseExpiredError, ServiceError
+from repro.errors import (
+    ConfigError,
+    LeaseExpiredError,
+    PreemptedError,
+    ServiceError,
+)
 from repro.runtime.campaign import CampaignJob, execute_job
 from repro.runtime.client import ServiceClient
 from repro.runtime.store import encode_payload
@@ -114,7 +119,16 @@ class _Heartbeat(threading.Thread):
 
     Transient transport errors are tolerated (the TTL absorbs a few
     missed beats); a 409 sets :attr:`lost` and ends the thread — the
-    service has already requeued the job.
+    service has already requeued the job (or revoked the lease to
+    preempt it).
+
+    Beats double as the fleet's checkpoint carrier: the executing
+    thread :meth:`offer`\\ s each job's latest encoded checkpoint and
+    the next beat ships every fresh one in the heartbeat body, where
+    the service persists them.  Only the newest snapshot per job is
+    kept (an older one is strictly worse), and snapshots that miss a
+    beat to a transport error are re-queued for the next one unless a
+    newer offer superseded them.
     """
 
     def __init__(self, client: ServiceClient, lease_id: str, interval_s: float) -> None:
@@ -125,15 +139,27 @@ class _Heartbeat(threading.Thread):
         self.lost = threading.Event()
         # Not `_stop`: threading.Thread claims that name internally.
         self._halt = threading.Event()
+        self._lock = threading.Lock()
+        self._checkpoints: dict[str, str] = {}
+
+    def offer(self, job_id: str, text: str) -> None:
+        """Stage a job's latest encoded checkpoint for the next beat."""
+        with self._lock:
+            self._checkpoints[job_id] = text
 
     def run(self) -> None:
         while not self._halt.wait(self.interval_s):
+            with self._lock:
+                fresh, self._checkpoints = self._checkpoints, {}
             try:
-                self.client.heartbeat(self.lease_id)
+                self.client.heartbeat(self.lease_id, checkpoints=fresh or None)
             except LeaseExpiredError:
                 self.lost.set()
                 return
             except (ServiceError, OSError):
+                with self._lock:
+                    for job_id, text in fresh.items():
+                        self._checkpoints.setdefault(job_id, text)
                 continue
 
     def stop(self) -> None:
@@ -223,9 +249,25 @@ class FleetWorker:
         self._process(grant)
         return True
 
+    @staticmethod
+    def _make_on_checkpoint(beat: _Heartbeat, job_id: str):
+        """Per-job anytime callback: stage the snapshot for the next
+        heartbeat, and stop the search the moment the lease is lost —
+        the service revoked it (preemption) or expired it, so further
+        episodes are wasted work."""
+        from repro.core.checkpoint import encode_checkpoint
+
+        def on_checkpoint(ckpt: dict):
+            beat.offer(job_id, encode_checkpoint(ckpt))
+            return not beat.lost.is_set()
+
+        return on_checkpoint
+
     def _process(self, grant: dict) -> None:
         lease_id = grant["lease"]["lease_id"]
         entries = grant.get("jobs") or [grant["job"]]
+        checkpoint_every = int(grant.get("checkpoint_every") or 0) or None
+        resume_map = grant.get("resume") or {}
         beat = _Heartbeat(self.client, lease_id, self.heartbeat_s)
         beat.start()
         outcomes: list[dict] = []
@@ -238,8 +280,23 @@ class FleetWorker:
                 job = CampaignJob(**entry["job"])
                 try:
                     result = execute_job(
-                        job, self.config.cache_dir, self.config.cache_remote
+                        job,
+                        self.config.cache_dir,
+                        self.config.cache_remote,
+                        checkpoint_every=checkpoint_every,
+                        resume_text=resume_map.get(entry["id"]),
+                        on_checkpoint=(
+                            self._make_on_checkpoint(beat, entry["id"])
+                            if checkpoint_every
+                            else None
+                        ),
                     )
+                except PreemptedError:
+                    # The lease vanished mid-search; the final snapshot
+                    # was already offered (though its beat may not have
+                    # landed — the service keeps the last one that did).
+                    # The loop's lost-lease check ends the batch.
+                    continue
                 except Exception as error:  # job failure — report, don't die
                     outcome = {"error": f"{type(error).__name__}: {error}"}
                 else:

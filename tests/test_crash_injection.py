@@ -1,0 +1,182 @@
+"""Crash injection: SIGKILL mid-episode, recover from the checkpoint.
+
+The anytime subsystem's strongest claim is that an *uncooperative*
+death — a worker process SIGKILLed partway through a search, no
+exception handler, no flush — loses at most ``checkpoint_every``
+episodes of work and none of the answer's exactness.  Both execution
+paths are killed here at a randomized point mid-run:
+
+* the **local pool** — a ``ProcessPoolExecutor`` worker is SIGKILLed;
+  the service survives the resulting ``BrokenProcessPool``, rebuilds
+  the pool, persists the job's spooled checkpoint and requeues it with
+  resume state attached;
+* a **fleet worker** — a real ``repro work`` subprocess is SIGKILLed;
+  its lease expires, and the job requeues carrying the newest
+  heartbeat-delivered checkpoint for the next worker.
+
+In both cases the finished job must be bitwise-identical to an
+uninterrupted run, and completion must leave no orphan state behind
+(no checkpoint rows in the store, no stray shared-memory segments).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+
+from repro.core.config import SearchConfig
+from repro.core.search import QSDNNSearch
+from repro.runtime.campaign import CampaignJob, load_or_profile_lut, spool_paths
+from repro.runtime.metrics import parse_samples
+from repro.runtime.store import job_key
+from repro.runtime.worker import FleetWorker, WorkerConfig
+
+from tests.test_anytime_service import LiveAnytime
+
+LONG = 20_000
+EVERY = 100
+
+#: Deterministically randomized kill points (seeded per test run id so
+#: reruns explore different mid-episode offsets, while any single
+#: failure is reproducible from the printed seed).
+_SEED = int(os.environ.get("REPRO_CRASH_SEED", "1729"))
+
+
+def _kill_delay(rng: random.Random) -> float:
+    """Extra seconds to run past the first checkpoint before killing."""
+    return rng.uniform(0.0, 0.3)
+
+
+def _shm_entries() -> set[str]:
+    try:
+        return set(os.listdir("/dev/shm"))
+    except OSError:  # platform without /dev/shm
+        return set()
+
+
+def _long_key() -> str:
+    return job_key(CampaignJob(
+        network="fig1_toy", mode="gpgpu", episodes=LONG, kind="search"
+    ))
+
+
+def _local_long():
+    job = CampaignJob(
+        network="fig1_toy", mode="gpgpu", episodes=LONG, kind="search"
+    )
+    lut, _ = load_or_profile_lut(job)
+    return QSDNNSearch(lut, SearchConfig(episodes=LONG)).run()
+
+
+def _long_body(**overrides):
+    body = {"network": "fig1_toy", "mode": "gpgpu", "episodes": LONG}
+    body.update(overrides)
+    return body
+
+
+class TestPoolWorkerCrash:
+    def test_sigkilled_pool_worker_resumes_bitwise(self):
+        rng = random.Random(_SEED)
+        shm_before = _shm_entries()
+        with LiveAnytime(workers=1) as live:
+            record = live.client.submit(_long_body())[0]
+            key = _long_key()
+            # Wait for the first spooled checkpoint, then keep running
+            # a random little longer — the kill lands mid-episode at an
+            # arbitrary offset past a known-recoverable boundary.
+            _, progress_path, _ = spool_paths(live.service._spool_dir, key)
+            deadline = time.monotonic() + 30
+            while not progress_path.exists():
+                assert time.monotonic() < deadline, "no checkpoint spooled"
+                time.sleep(0.01)
+            time.sleep(_kill_delay(rng))
+            pids = list(live.service._executor._processes)
+            assert pids, "pool worker not spawned"
+            os.kill(pids[0], signal.SIGKILL)
+
+            # The service survives: the broken pool is rebuilt, the
+            # spooled checkpoint persisted, and the job requeued with
+            # resume state — same id, one more attempt, zero lost
+            # exactness.
+            final = live.client.wait(record["id"], timeout=120)
+            assert final["state"] == "done"
+            samples = parse_samples(live.client.metrics())
+            assert samples["repro_jobs_requeued_total"][()] == 1.0
+            assert samples["repro_jobs_resumed_total"][()] == 1.0
+            assert samples["repro_checkpoints_written_total"][()] >= 1.0
+            # No orphan rows: completion deleted the checkpoint.
+            assert live.service.store.count_checkpoints() == 0
+            # The rebuilt pool is live — a fresh job runs normally.
+            again = live.client.submit(_long_body(episodes=150, seed=5))[0]
+            assert live.client.wait(again["id"], timeout=120)["state"] == "done"
+        assert _shm_entries() <= shm_before  # no leaked segments
+        local = _local_long()
+        assert final["best_ms"] == local.best_ms  # bitwise
+        assert final["payload"]["curve_ms"] == local.curve_ms
+        assert final["payload"]["best_assignments"] == local.best_assignments
+
+
+class TestFleetWorkerCrash:
+    def test_sigkilled_fleet_worker_resumes_bitwise(self):
+        rng = random.Random(_SEED + 1)
+        shm_before = _shm_entries()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        with LiveAnytime(
+            workers=0, lease_ttl_s=1.2, lease_check_s=0.1
+        ) as live:
+            record = live.client.submit(_long_body())[0]
+            key = _long_key()
+            victim = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "work",
+                    "--server", live.url, "--name", "doomed",
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+                env=env,
+            )
+            try:
+                # Wait until a heartbeat has carried a checkpoint into
+                # the store, run a random touch longer, then SIGKILL:
+                # no graceful handler runs, the lease just goes quiet.
+                deadline = time.monotonic() + 60
+                while live.service.store.get_checkpoint(key) is None:
+                    assert time.monotonic() < deadline, "no checkpoint carried"
+                    assert victim.poll() is None, victim.stdout.read()
+                    time.sleep(0.02)
+                time.sleep(_kill_delay(rng))
+            finally:
+                victim.kill()
+                victim.wait(timeout=30)
+
+            # The reaper expires the silent lease and requeues the job
+            # with the carried checkpoint attached.
+            deadline = time.monotonic() + 30
+            while live.client.job(record["id"])["state"] != "queued":
+                assert time.monotonic() < deadline, "lease never expired"
+                time.sleep(0.05)
+
+            # A healthy worker picks it up and resumes mid-search.
+            rescuer = FleetWorker(WorkerConfig(server=live.url))
+            rescuer.register()
+            assert rescuer.run_one() is True
+            final = live.client.wait(record["id"], timeout=120)
+            assert final["state"] == "done"
+            assert final["attempts"] == 2  # the crashed grant + the rescue
+            samples = parse_samples(live.client.metrics())
+            expired = samples["repro_leases_expired_total"]
+            assert sum(expired.values()) == 1.0  # labelled by worker
+            assert samples["repro_jobs_resumed_total"][()] == 1.0
+            assert live.service.store.count_checkpoints() == 0
+        assert _shm_entries() <= shm_before
+        local = _local_long()
+        assert final["best_ms"] == local.best_ms  # bitwise
+        assert final["payload"]["curve_ms"] == local.curve_ms

@@ -19,6 +19,25 @@ from repro.runtime.metrics import (
 )
 
 
+class TestServiceFamilies:
+    def test_anytime_counters_exposed_from_first_scrape(self):
+        """The anytime-search trio must exist (as zero samples) before
+        any checkpoint is ever written, so dashboards can rate() them
+        from a fresh service."""
+        from repro.core.config import ServiceConfig
+        from repro.runtime.service import CampaignService
+
+        service = CampaignService(ServiceConfig(workers=0, port=0))
+        text = service.metrics.render()
+        for family in (
+            "repro_checkpoints_written_total",
+            "repro_jobs_preempted_total",
+            "repro_jobs_resumed_total",
+        ):
+            assert f"# TYPE {family} counter" in text
+            assert parse_samples(text)[family][()] == 0.0
+
+
 class TestFormatting:
     def test_integers_print_without_decimal(self):
         assert format_value(0.0) == "0"

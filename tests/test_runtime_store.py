@@ -300,3 +300,74 @@ class TestWalAndGroupCommit:
     def test_negative_group_commit_rejected(self):
         with pytest.raises(ConfigError):
             ResultStore(":memory:", group_commit=-1)
+
+
+class TestCheckpointRows:
+    """Anytime-search checkpoint persistence: retention and GC."""
+
+    def test_put_get_roundtrip_preserves_text_verbatim(self):
+        text = '{"format":1,"episode":40,"best_ms":0.123456789012345678}'
+        with ResultStore(":memory:") as store:
+            assert store.get_checkpoint("k1") is None
+            store.put_checkpoint("k1", text, format=1, episode=40,
+                                 best_ms=0.123456789012345678)
+            stored = store.get_checkpoint("k1")
+            assert stored.text == text  # byte-identical payload
+            assert stored.format == 1
+            assert stored.episode == 40
+            assert stored.best_ms == 0.123456789012345678  # bitwise
+            assert stored.updated_s > 0
+            assert store.count_checkpoints() == 1
+
+    def test_newer_checkpoint_replaces_older(self):
+        with ResultStore(":memory:") as store:
+            store.put_checkpoint("k1", "old", format=1, episode=10, best_ms=2.0)
+            store.put_checkpoint("k1", "new", format=1, episode=20, best_ms=1.0)
+            assert store.count_checkpoints() == 1
+            stored = store.get_checkpoint("k1")
+            assert stored.text == "new" and stored.episode == 20
+
+    def test_delete_reports_existence(self):
+        with ResultStore(":memory:") as store:
+            store.put_checkpoint("k1", "x", format=1, episode=5, best_ms=1.0)
+            assert store.delete_checkpoint("k1") is True
+            assert store.delete_checkpoint("k1") is False
+            assert store.get_checkpoint("k1") is None
+
+    def test_gc_drops_only_stale_rows(self):
+        with ResultStore(":memory:") as store:
+            store.put_checkpoint("old", "x", format=1, episode=5,
+                                 best_ms=1.0, now=1000.0)
+            store.put_checkpoint("fresh", "y", format=1, episode=5,
+                                 best_ms=1.0, now=1900.0)
+            assert store.gc_checkpoints(ttl_s=300.0, now=2000.0) == 1
+            assert store.get_checkpoint("old") is None
+            assert store.get_checkpoint("fresh") is not None
+
+    def test_refresh_resets_the_retention_clock(self):
+        with ResultStore(":memory:") as store:
+            store.put_checkpoint("k1", "x", format=1, episode=5,
+                                 best_ms=1.0, now=1000.0)
+            store.put_checkpoint("k1", "y", format=1, episode=10,
+                                 best_ms=0.5, now=1900.0)
+            assert store.gc_checkpoints(ttl_s=300.0, now=2000.0) == 0
+            assert store.get_checkpoint("k1").episode == 10
+
+    def test_checkpoints_never_ride_the_group_commit_buffer(self):
+        """A checkpoint's whole point is surviving the crash that
+        follows it — it must be durable immediately, even when result
+        rows are being coalesced."""
+        store = ResultStore(":memory:", group_commit=8)
+        store.put_checkpoint("k1", "x", format=1, episode=5, best_ms=1.0)
+        assert store.flush_stats["flushes"] == 0  # no result flush forced
+        (durable,) = store._conn.execute(
+            "SELECT COUNT(*) FROM checkpoints"
+        ).fetchone()
+        assert durable == 1
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "ckpt.sqlite"
+        with ResultStore(path) as store:
+            store.put_checkpoint("k1", "x", format=1, episode=5, best_ms=1.0)
+        with ResultStore(path) as reopened:
+            assert reopened.get_checkpoint("k1").text == "x"

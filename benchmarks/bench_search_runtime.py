@@ -79,11 +79,20 @@ MEGA_K = 1000
 #: tens-of-x for a thousand seeds).
 MEGA_MAX_RATIO = 40.0
 
+#: Held-out networks the warm-start transfer claim is checked on —
+#: deliberately absent from every other bench list in this file, so
+#: nothing about the prior machinery was tuned on them.
+WARM_NETWORKS = ["squeezenet_v1.1", "tiny_yolo_v2"]
+#: A warm-started run must reach the cold best_ms (bitwise-equal or
+#: better) within this fraction of the cold episode budget (the
+#: acceptance bar of the warm-start subsystem).
+WARM_MAX_RATIO = 0.5
+
 #: Machine-readable artifact consumed by CI and revision comparisons.
 BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_search.json"
 #: Artifact layout version (validated by the CI artifact check).
-#: v4 added the ``mega_batch`` section.
-BENCH_SCHEMA_VERSION = 4
+#: v4 added the ``mega_batch`` section; v5 the ``warm_start`` section.
+BENCH_SCHEMA_VERSION = 5
 
 _wall_clocks: dict[str, float] = {}
 _episodes_per_s: dict[str, float] = {}
@@ -91,6 +100,7 @@ _best_ms: dict[str, float] = {}
 _multi_seed: dict[str, dict[str, float]] = {}
 _kernel_speedup: dict[str, dict[str, float]] = {}
 _mega_batch: dict[str, dict[str, float]] = {}
+_warm_start: dict[str, dict[str, float]] = {}
 
 
 @pytest.mark.parametrize("network", NETWORKS)
@@ -296,6 +306,74 @@ def test_mega_batch_thousand_seeds(network, tx2):
     )
 
 
+@pytest.mark.parametrize("network", WARM_NETWORKS)
+def test_warm_start_episodes_to_match(network, tx2):
+    """A stored-prior warm start matches the cold best at half budget.
+
+    The cold run's result is written to a (in-memory) ``ResultStore``
+    — the same corpus a running service mines — and a stored Q-prior
+    is resolved from it, exactly the production path.  The warm run
+    gets ``WARM_MAX_RATIO`` of the cold episode budget and must still
+    end bitwise-equal to or better than the cold ``best_ms``.  The
+    recorded ``ratio`` is episodes-to-match over the cold budget
+    (curve-based when an episode rollout reaches the cold best before
+    the budget runs out, the full warm budget otherwise) — a
+    deterministic episode count, not a wall clock, so the regression
+    gate compares it without a noise floor.
+    """
+    from repro.analysis.transfer import episodes_to_match
+    from repro.core.priors import make_prior
+    from repro.runtime.campaign import CampaignJob
+    from repro.runtime.store import ResultStore
+
+    lut = cached_lut(network, Mode.GPGPU, tx2, seed=SEED)
+    cold = QSDNNSearch(
+        lut, SearchConfig(episodes=EPISODES, seed=SEED)
+    ).run()
+    warm_budget = int(EPISODES * WARM_MAX_RATIO)
+    with ResultStore() as store:  # in-memory corpus
+        store.put(
+            CampaignJob(
+                network=network, platform=tx2.name, mode="gpgpu",
+                seed=SEED, episodes=EPISODES, kind="search",
+            ),
+            cold,
+            cold.wall_clock_s,
+        )
+        warm = QSDNNSearch(
+            lut,
+            SearchConfig(
+                episodes=warm_budget, seed=SEED, warm_start="stored"
+            ),
+            prior=make_prior("stored", store),
+        ).run()
+    match = episodes_to_match(warm.curve_ms, cold.best_ms)
+    if match is not None:
+        ratio = match / EPISODES
+    elif warm.best_ms <= cold.best_ms:  # matched via the final polish
+        ratio = warm_budget / EPISODES
+    else:
+        ratio = float("inf")
+    _warm_start[network] = {
+        "kind": "stored",
+        "cold_best_ms": cold.best_ms,
+        "warm_best_ms": warm.best_ms,
+        "cold_episodes": EPISODES,
+        "warm_episodes": warm_budget,
+        "episodes_to_match": match,
+        "ratio": ratio,
+        "wall_clock_s": warm.wall_clock_s,
+    }
+    assert warm.best_ms <= cold.best_ms, (
+        f"warm start on {network}: {warm.best_ms}ms at {warm_budget} "
+        f"episodes vs cold {cold.best_ms}ms at {EPISODES}"
+    )
+    assert ratio <= WARM_MAX_RATIO, (
+        f"warm start on {network} needed {ratio:.2f}x the cold budget "
+        f"(limit {WARM_MAX_RATIO}x)"
+    )
+
+
 def _timed(run) -> float:
     started = time.perf_counter()
     run()
@@ -357,6 +435,7 @@ def test_search_runtime_summary(benchmark, emit, tx2):
         "best_ms": {},
         "multi_seed": {},
         "mega_batch": {},
+        "warm_start": {},
     }
     if BENCH_JSON.exists():
         try:
@@ -374,7 +453,8 @@ def test_search_runtime_summary(benchmark, emit, tx2):
             and previous_backend == payload["kernel"]["backend"]
         )
         if not mergeable and not any(
-            (_wall_clocks, _multi_seed, _kernel_speedup, _mega_batch)
+            (_wall_clocks, _multi_seed, _kernel_speedup, _mega_batch,
+             _warm_start)
         ):
             # Nothing measured and nothing mergeable: overwriting the
             # existing artifact would replace real data (a different
@@ -388,6 +468,7 @@ def test_search_runtime_summary(benchmark, emit, tx2):
             payload["best_ms"] = dict(previous.get("best_ms", {}))
             payload["multi_seed"] = dict(previous.get("multi_seed", {}))
             payload["mega_batch"] = dict(previous.get("mega_batch", {}))
+            payload["warm_start"] = dict(previous.get("warm_start", {}))
             kernel_prev = previous.get("kernel", {})
             if kernel_prev.get("numba_available") == numba_available():
                 payload["kernel"]["speedup"] = dict(
@@ -398,5 +479,6 @@ def test_search_runtime_summary(benchmark, emit, tx2):
     payload["best_ms"].update(_best_ms)
     payload["multi_seed"].update(_multi_seed)
     payload["mega_batch"].update(_mega_batch)
+    payload["warm_start"].update(_warm_start)
     payload["kernel"]["speedup"].update(_kernel_speedup)
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")

@@ -35,6 +35,20 @@ from pathlib import Path
 #: section and the mega_batch ratios).
 MIN_SCHEMA_VERSION = 4
 
+#: Schema that introduced the ``warm_start`` section; older artifacts
+#: are not required to carry it.
+WARM_SCHEMA_VERSION = 5
+
+#: Fraction of the cold episode budget a warm-started run may spend to
+#: match the cold best (the warm-start subsystem's acceptance bar).
+WARM_MAX_RATIO = 0.5
+
+#: Networks the warm-start claim must cover, at minimum.
+WARM_MIN_NETWORKS = 2
+
+#: Prior kinds a warm-start entry may report.
+KNOWN_PRIOR_KINDS = ("stored", "surrogate")
+
 #: Kernel backends an artifact may legitimately report.
 KNOWN_BACKENDS = ("numba", "reference")
 
@@ -43,6 +57,49 @@ SERVICE_MIN_SCHEMA_VERSION = 1
 
 #: Modes every service-throughput artifact must have measured.
 SERVICE_MODES = ("local", "fleet_legacy", "fleet_batched")
+
+
+def _check_warm_entry(name: str, entry) -> list[str]:
+    """Violations in one network row of the ``warm_start`` section."""
+    if not isinstance(entry, dict):
+        return [f"warm_start.{name} must be an object"]
+    problems: list[str] = []
+    if entry.get("kind") not in KNOWN_PRIOR_KINDS:
+        problems.append(
+            f"warm_start.{name}.kind {entry.get('kind')!r} not one of "
+            f"{list(KNOWN_PRIOR_KINDS)}"
+        )
+    for field in ("cold_best_ms", "warm_best_ms"):
+        if not isinstance(entry.get(field), (int, float)):
+            problems.append(f"warm_start.{name}.{field} must be a number")
+    for field in ("cold_episodes", "warm_episodes"):
+        if not isinstance(entry.get(field), int) or entry.get(field, 0) < 1:
+            problems.append(
+                f"warm_start.{name}.{field} must be a positive int"
+            )
+    ratio = entry.get("ratio")
+    if not isinstance(ratio, (int, float)) or not ratio <= WARM_MAX_RATIO:
+        # The acceptance bar itself: a warm run that needed more than
+        # half the cold budget (ratio > 0.5, including the inf a
+        # never-matching run records) fails the artifact, not just the
+        # bench assert — regenerating the artifact on a machine where
+        # the bench was skipped must not launder the claim away.
+        problems.append(
+            f"warm_start.{name}.ratio must be a number <= "
+            f"{WARM_MAX_RATIO}, got {ratio!r}"
+        )
+    cold = entry.get("cold_best_ms")
+    warm = entry.get("warm_best_ms")
+    if (
+        isinstance(cold, (int, float))
+        and isinstance(warm, (int, float))
+        and warm > cold
+    ):
+        problems.append(
+            f"warm_start.{name}: warm_best_ms {warm} worse than "
+            f"cold_best_ms {cold}"
+        )
+    return problems
 
 
 def check_artifact(payload: dict) -> list[str]:
@@ -63,6 +120,18 @@ def check_artifact(payload: dict) -> list[str]:
         problems.append("bench artifact missing mega_batch")
     if not payload.get("episodes_per_s"):
         problems.append("no episode throughput recorded (episodes_per_s)")
+    if payload.get("schema_version", 0) >= WARM_SCHEMA_VERSION:
+        warm = payload.get("warm_start")
+        if not isinstance(warm, dict):
+            problems.append("bench artifact missing warm_start")
+        elif len(warm) < WARM_MIN_NETWORKS:
+            problems.append(
+                f"warm_start must cover >= {WARM_MIN_NETWORKS} held-out "
+                f"networks, got {len(warm)}"
+            )
+        else:
+            for name in sorted(warm):
+                problems += _check_warm_entry(name, warm[name])
     kernel = payload.get("kernel")
     if not isinstance(kernel, dict):
         problems.append("bench artifact missing kernel section")

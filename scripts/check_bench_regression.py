@@ -322,7 +322,7 @@ def main(argv: list[str] | None = None) -> int:
     failures = check(baseline, current, args.threshold, args.min_seconds)
 
     ratio_count = 0
-    for section in ("multi_seed", "mega_batch"):
+    for section in ("multi_seed", "mega_batch", "warm_start"):
         base_ms = ratio_section_of(base_payload, section)
         cur_ms = ratio_section_of(cur_payload, section)
         overlap = sorted(set(base_ms) & set(cur_ms))
@@ -333,8 +333,12 @@ def main(argv: list[str] | None = None) -> int:
                 f"baseline {base_ms[network]['ratio']:.2f}x, "
                 f"current {cur_ms[network]['ratio']:.2f}x"
             )
+        # warm_start ratios are episode counts over a fixed budget —
+        # deterministic, machine-independent — so no noise floor: any
+        # growth past the threshold is a real transfer regression.
+        floor = 0.0 if section == "warm_start" else args.min_seconds
         failures += check_ratios(
-            base_ms, cur_ms, args.threshold, args.min_seconds, section
+            base_ms, cur_ms, args.threshold, floor, section
         )
 
     if failures:

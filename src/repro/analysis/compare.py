@@ -35,6 +35,11 @@ class MethodComparison:
     cem_ms: float
     ga_ms: float
     optimal_ms: float | None  # exact (chain DP) when the graph is a chain
+    # Function-approximation baselines (ext/): absent from payloads
+    # stored before they existed, so they default to None and old rows
+    # decode unchanged.
+    linear_q_ms: float | None = None
+    mlp_q_ms: float | None = None
 
     def render(self) -> str:
         """Ascii table of every method's latency, normalized to QS-DNN."""
@@ -53,6 +58,10 @@ class MethodComparison:
             ("PBQP (Anderson & Gregg)", self.pbqp_ms),
             ("QS-DNN", self.qsdnn_ms),
         ]
+        if self.linear_q_ms is not None:
+            entries.append(("linear Q (approx.)", self.linear_q_ms))
+        if self.mlp_q_ms is not None:
+            entries.append(("MLP Q (approx.)", self.mlp_q_ms))
         if self.optimal_ms is not None:
             entries.append(("exact optimum (chain DP)", self.optimal_ms))
         for name, ms in entries:
@@ -123,9 +132,18 @@ def compare_methods_many(
 
 
 def compare_methods(
-    lut: LatencyTable, episodes: int = 1000, seed: int = 0, kernel: str = "auto"
+    lut: LatencyTable,
+    episodes: int = 1000,
+    seed: int = 0,
+    kernel: str = "auto",
+    approx: bool = False,
 ) -> MethodComparison:
-    """Run every method at the same budget on one LUT."""
+    """Run every method at the same budget on one LUT.
+
+    ``approx=True`` also prices the function-approximation baselines
+    (``ext/linear_q``, ``ext/mlp_q``) — off by default because they
+    roll out in Python and dominate wall clock on large networks.
+    """
     vanilla = {
         layer: lut.best_uid(
             layer,
@@ -139,6 +157,17 @@ def compare_methods(
     rl = QSDNNSearch(
         lut, SearchConfig(episodes=episodes, seed=seed, kernel=kernel)
     ).run()
+    linear_q_ms = mlp_q_ms = None
+    if approx:
+        from repro.ext.linear_q import LinearQConfig, LinearQSearch
+        from repro.ext.mlp_q import MLPQConfig, MLPQSearch
+
+        linear_q_ms = LinearQSearch(
+            lut, LinearQConfig(episodes=episodes, seed=seed)
+        ).run().best_ms
+        mlp_q_ms = MLPQSearch(
+            lut, MLPQConfig(episodes=episodes, seed=seed)
+        ).run().best_ms
     return MethodComparison(
         network=lut.graph_name,
         mode=lut.mode,
@@ -152,4 +181,6 @@ def compare_methods(
         cem_ms=cross_entropy_method(lut, episodes=episodes, seed=seed).best_ms,
         ga_ms=genetic_search(lut, episodes=episodes, seed=seed).best_ms,
         optimal_ms=chain_dp(lut).best_ms if is_chain(lut) else None,
+        linear_q_ms=linear_q_ms,
+        mlp_q_ms=mlp_q_ms,
     )

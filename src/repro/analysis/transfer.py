@@ -1,0 +1,113 @@
+"""Episodes-to-match: how much search a warm start actually saves.
+
+A warm-started run (``core/priors``) is only worth its plumbing if it
+reaches the cold run's best latency in meaningfully fewer episodes.
+This module turns two :class:`~repro.core.result.SearchResult`\\ s —
+one cold, one warm, same scenario — into that number:
+
+* ``episodes_to_match(curve, target)``: the first episode whose
+  running best is <= ``target`` (1-based), or ``None`` if the curve
+  never gets there.
+* ``transfer_row(cold, warm)``: the full per-scenario comparison,
+  including the headline ``ratio`` = warm episodes-to-match / cold
+  episode budget.  ``ratio <= 0.5`` is the bar the warm-start bench
+  section holds itself to.
+
+Both results must carry their ``curve_ms`` (the default for every
+search path in this repo).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+
+from repro.core.result import SearchResult
+from repro.errors import ConfigError
+from repro.utils.tables import AsciiTable
+from repro.utils.units import format_ms
+
+
+def episodes_to_match(curve_ms: list[float], target_ms: float) -> int | None:
+    """First 1-based episode whose running best reaches ``target_ms``.
+
+    The comparison is ``<=`` on the raw floats — no tolerance — so a
+    warm run "matches" only when it is bitwise-equal or strictly
+    better, mirroring the acceptance bar of the warm-start bench.
+    """
+    best = math.inf
+    for episode, total in enumerate(curve_ms, start=1):
+        if total < best:
+            best = total
+        if best <= target_ms:
+            return episode
+    return None
+
+
+@dataclass(frozen=True)
+class TransferRow:
+    """One scenario's cold-vs-warm episode economics."""
+
+    network: str
+    mode: str
+    warm_start: str  # the warm run's prior kind ("stored"/"surrogate")
+    cold_best_ms: float
+    warm_best_ms: float
+    cold_episodes: int
+    warm_episodes_to_match: int | None
+    ratio: float | None  # episodes-to-match / cold budget; None: no match
+
+    @property
+    def matched(self) -> bool:
+        return self.warm_episodes_to_match is not None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def transfer_row(
+    cold: SearchResult, warm: SearchResult, mode: str = ""
+) -> TransferRow:
+    """Compare a warm run against its cold twin on the same scenario.
+
+    ``mode`` labels the row (a ``SearchResult`` does not carry the
+    design-space mode itself).
+    """
+    if cold.graph_name != warm.graph_name:
+        raise ConfigError(
+            f"cold run is {cold.graph_name!r} but warm run is "
+            f"{warm.graph_name!r}; episodes-to-match needs one scenario"
+        )
+    if not cold.curve_ms or not warm.curve_ms:
+        raise ConfigError("episodes-to-match needs both runs' curve_ms")
+    match = episodes_to_match(warm.curve_ms, cold.best_ms)
+    return TransferRow(
+        network=cold.graph_name,
+        mode=mode,
+        warm_start=warm.warm_start,
+        cold_best_ms=cold.best_ms,
+        warm_best_ms=warm.best_ms,
+        cold_episodes=cold.episodes,
+        warm_episodes_to_match=match,
+        ratio=None if match is None else match / cold.episodes,
+    )
+
+
+def render_transfer(rows: list[TransferRow]) -> str:
+    """Ascii report over many scenarios, one row each."""
+    table = AsciiTable(
+        ["network", "prior", "cold best", "warm best",
+         "match @", "of budget"],
+        title="warm-start transfer: episodes to match the cold best",
+    )
+    for row in rows:
+        table.add_row([
+            row.network,
+            row.warm_start,
+            format_ms(row.cold_best_ms),
+            format_ms(row.warm_best_ms),
+            "never" if row.warm_episodes_to_match is None
+            else str(row.warm_episodes_to_match),
+            "-" if row.ratio is None else f"{100.0 * row.ratio:.1f}%",
+        ])
+    return table.render()

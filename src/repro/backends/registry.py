@@ -35,6 +35,23 @@ _CPU_LIBRARIES = (vanilla, blas, nnpack, armcl, sparse)
 _GPU_LIBRARIES = (cudnn, cublas)
 
 
+def registered_libraries() -> tuple[str, ...]:
+    """Library names in registration order (CPU modules, then GPU).
+
+    This is the canonical one-hot ordering for feature maps that
+    encode "which library" (``ext/linear_q``, ``core/priors``):
+    deriving it here means adding a backend module extends the
+    encoding instead of silently misaligning trained weights against
+    a stale hardcoded tuple.
+    """
+    names: list[str] = []
+    for module in _CPU_LIBRARIES + _GPU_LIBRARIES:
+        for primitive in module.primitives():
+            if primitive.library not in names:
+                names.append(primitive.library)
+    return tuple(names)
+
+
 class DesignSpace:
     """The searchable set of primitives for one platform mode.
 

@@ -31,6 +31,7 @@ from repro.analysis.compare import compare_methods
 from repro.analysis.speedup import auto_episodes, render_table2, run_table2
 from repro.backends.registry import Mode
 from repro.core.config import SearchConfig
+from repro.core.priors import WARM_START_CHOICES
 from repro.core.search import QSDNNSearch
 from repro.engine.lut import LatencyTable
 from repro.engine.optimizer import InferenceEngineOptimizer
@@ -129,7 +130,20 @@ def cmd_search(args: argparse.Namespace) -> int:
         seed=args.seed,
         polish_sweeps=0 if args.no_polish else 2,
         kernel=args.kernel,
+        warm_start=args.warm_start,
     )
+    prior = None
+    if args.warm_start != "off" and args.warm_store:
+        from repro.core.priors import make_prior
+        from repro.runtime.lutcache import open_cache
+        from repro.runtime.store import ResultStore
+
+        cache = open_cache(args.warm_cache_dir)
+        prior = make_prior(
+            args.warm_start,
+            ResultStore(args.warm_store),
+            cache.peek if cache is not None else None,
+        )
     anytime: dict = {}
     if args.checkpoint_every:
         if not args.checkpoint_file:
@@ -156,14 +170,14 @@ def cmd_search(args: argparse.Namespace) -> int:
         from repro.utils.proc import peak_rss_mb
 
         sweep = MultiSeedSearch(
-            lut, config, seeds=seed_range(args.seed, args.seeds)
+            lut, config, seeds=seed_range(args.seed, args.seeds), prior=prior
         ).run(**anytime)
         for member in sweep.results:
             print(member.summary())
         print(f"{sweep.summary()}, peak RSS {peak_rss_mb():.0f} MB")
         result = sweep.best
     else:
-        result = QSDNNSearch(lut, config).run(**anytime)
+        result = QSDNNSearch(lut, config, prior=prior).run(**anytime)
         print(result.summary())
     if args.out:
         payload = {
@@ -187,7 +201,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
     episodes = (
         auto_episodes(len(lut.layers)) if args.episodes is None else args.episodes
     )
-    print(compare_methods(lut, episodes=episodes, seed=args.seed).render())
+    print(
+        compare_methods(
+            lut, episodes=episodes, seed=args.seed, approx=args.approx
+        ).render()
+    )
     return 0
 
 
@@ -216,6 +234,44 @@ def _run_population_baseline(args: argparse.Namespace, runner) -> int:
         atomic_write_text(args.out, json.dumps(payload, indent=2))
         print(f"schedule -> {args.out}")
     return 0
+
+
+def _run_approx_q(args: argparse.Namespace, search_cls, config_cls) -> int:
+    """Profile a network and run one value-function-approximation agent."""
+    platform = PLATFORMS[args.platform]()
+    graph = build_network(args.network)
+    lut = InferenceEngineOptimizer(
+        graph, platform, mode=args.mode, seed=args.seed
+    ).profile()
+    episodes = (
+        auto_episodes(len(lut.layers)) if args.episodes is None else args.episodes
+    )
+    result = search_cls(
+        lut, config_cls(episodes=episodes, seed=args.seed)
+    ).run()
+    print(result.summary())
+    if args.out:
+        payload = {
+            "graph": result.graph_name,
+            "method": result.method,
+            "total_ms": result.best_ms,
+            "assignments": result.best_assignments,
+        }
+        atomic_write_text(args.out, json.dumps(payload, indent=2))
+        print(f"schedule -> {args.out}")
+    return 0
+
+
+def cmd_linear_q(args: argparse.Namespace) -> int:
+    from repro.ext.linear_q import LinearQConfig, LinearQSearch
+
+    return _run_approx_q(args, LinearQSearch, LinearQConfig)
+
+
+def cmd_mlp_q(args: argparse.Namespace) -> int:
+    from repro.ext.mlp_q import MLPQConfig, MLPQSearch
+
+    return _run_approx_q(args, MLPQSearch, MLPQConfig)
 
 
 def cmd_cem(args: argparse.Namespace) -> int:
@@ -267,12 +323,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         kind=args.kind,
         seeds_per_job=args.seeds_per_job,
         kernel=args.kernel,
+        warm_start=args.warm_start,
     )
     campaign = Campaign(
         jobs,
         workers=args.jobs,
         cache_dir=args.cache_dir,
         cache_remote=args.cache_remote,
+        warm_store=args.warm_store,
     )
     started = time.perf_counter()
     results = campaign.run()
@@ -395,6 +453,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
         body["seeds"] = args.seeds_per_job
     if args.resume:
         body["resume"] = True
+    if args.warm_start != "off":
+        body["warm_start"] = args.warm_start
     records = client.submit(body)
     for record in records:
         print(f"{record['id']} {record['state']} {record['key']}")
@@ -602,8 +662,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resume from a saved checkpoint file — the "
                         "completed run is bitwise-identical to an "
                         "uninterrupted one")
+    p.add_argument("--warm-start", choices=list(WARM_START_CHOICES),
+                   default="off",
+                   help="seed the Q table from the result corpus: 'stored' "
+                        "replays this scenario's best stored schedule, "
+                        "'surrogate' fits a cross-network cost surrogate "
+                        "(off: bitwise-identical to a cold run)")
+    p.add_argument("--warm-store", default=None,
+                   help="result-store sqlite path the prior is mined from "
+                        "(warm starts are skipped without it)")
+    p.add_argument("--warm-cache-dir", default=None,
+                   help="LUT cache tier harvested for surrogate training "
+                        "pairs (--warm-start surrogate only)")
     p.add_argument("--out", default=None, help="save the schedule as JSON")
     p.set_defaults(func=cmd_search)
+
+    for name, func, blurb in (
+        ("linear-q", cmd_linear_q,
+         "linear Q approximation baseline over one network's LUT"),
+        ("mlp-q", cmd_mlp_q,
+         "MLP Q approximation baseline over one network's LUT"),
+    ):
+        p = sub.add_parser(name, help=blurb)
+        p.add_argument("--network", required=True, choices=available_networks())
+        _add_platform_args(p)
+        p.add_argument("--episodes", type=_positive_int, default=None,
+                       help="episode budget (default: max(1000, 25 x layers))")
+        p.add_argument("--out", default=None, help="save the schedule as JSON")
+        p.set_defaults(func=func)
 
     for name, func, blurb in (
         ("cem", cmd_cem, "cross-entropy method over one network's LUT"),
@@ -623,6 +709,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--network", required=True, choices=available_networks())
     _add_platform_args(p)
     p.add_argument("--episodes", type=_positive_int, default=None)
+    p.add_argument("--approx", action="store_true",
+                   help="also price the approximate-Q baselines "
+                        "(linear-q, mlp-q) on the same LUT")
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("table2", help="regenerate Table II rows")
@@ -671,6 +760,13 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["auto", "numba", "reference", "mega"],
                    default="auto",
                    help="episode-kernel backend of every job's searches")
+    p.add_argument("--warm-start", choices=list(WARM_START_CHOICES),
+                   default="off",
+                   help="Q-prior warm starts for search/multi-seed jobs, "
+                        "mined from --warm-store (off: cold, bitwise "
+                        "pre-PR behaviour)")
+    p.add_argument("--warm-store", default=None,
+                   help="result-store sqlite path priors are mined from")
     p.add_argument("--out", default=None, help="save all results as JSON")
     p.set_defaults(func=cmd_campaign)
 
@@ -776,6 +872,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "one exists (from a preempted or crashed prior "
                         "run); completes bitwise-identical to an "
                         "uninterrupted run")
+    p.add_argument("--warm-start", choices=list(WARM_START_CHOICES),
+                   default="off",
+                   help="ask the service to seed the job's Q table from "
+                        "its result corpus (off: cold start)")
     p.add_argument("--wait", action="store_true",
                    help="poll until the job finishes, print the result")
     p.add_argument("--watch", action="store_true",

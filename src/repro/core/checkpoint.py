@@ -223,15 +223,20 @@ def build_checkpoint(
     elapsed_s: float,
     epsilon_trace: list[float],
     seed_snaps: list[dict],
+    warm_start: str = "off",
 ) -> dict:
     """Assemble the run-level checkpoint envelope.
 
     ``episode`` counts *completed* episodes — resume continues from
     that index.  ``best_ms`` is the headline best across seeds (what
     progress streams display); it is always finite because capture
-    happens after at least one completed episode.
+    happens after at least one completed episode.  ``warm_start``
+    records which Q-prior seeded the run; resume validates it so a
+    warm checkpoint never silently continues under a cold label (the
+    snapshot's Q block already carries the prior's effect — resume
+    never re-applies priors).
     """
-    return {
+    ckpt = {
         "format": CHECKPOINT_FORMAT,
         "kind": kind,
         "graph": graph,
@@ -244,6 +249,12 @@ def build_checkpoint(
         "epsilon_trace": [float(e) for e in epsilon_trace],
         "seeds": seed_snaps,
     }
+    # Cold checkpoints stay byte-identical to pre-prior builds (the
+    # encoded text is part of the bitwise-off contract); the key only
+    # appears for warm runs.
+    if warm_start != "off":
+        ckpt["warm_start"] = warm_start
+    return ckpt
 
 
 def encode_checkpoint(ckpt: dict) -> str:
@@ -278,12 +289,15 @@ def check_resume(
     mode: str,
     episodes: int,
     seeds: list[int],
+    warm_start: str = "off",
 ) -> None:
     """Verify a checkpoint belongs to this exact search, or raise.
 
     Resuming a checkpoint under a different graph, mode, episode
-    budget or seed list would silently answer a different question;
-    every mismatch is a loud :class:`CheckpointError`.
+    budget, seed list or warm-start kind would silently answer a
+    different question; every mismatch is a loud
+    :class:`CheckpointError`.  Checkpoints written before the prior
+    layer carry no ``warm_start`` key and count as ``"off"``.
     """
     if ckpt.get("format") != CHECKPOINT_FORMAT:
         raise CheckpointError(
@@ -308,6 +322,12 @@ def check_resume(
         raise CheckpointError(
             f"checkpoint covers seeds {snap_seeds}, this search runs "
             f"{list(seeds)}"
+        )
+    ckpt_warm = ckpt.get("warm_start", "off")
+    if ckpt_warm != warm_start:
+        raise CheckpointError(
+            f"checkpoint was seeded with warm_start={ckpt_warm!r}, "
+            f"this search runs warm_start={warm_start!r}"
         )
     completed = int(ckpt.get("episode", -1))
     if not 0 < completed < int(episodes):

@@ -194,6 +194,11 @@ class SearchConfig:
     epsilon: EpsilonSchedule = field(default=None)  # type: ignore[assignment]
     #: Record the per-episode latency curve (Figs. 4/5).
     track_curve: bool = True
+    #: Q-prior used to seed the table (``off``/``stored``/``surrogate``;
+    #: see :mod:`repro.core.priors`).  ``off`` keeps the zero init and
+    #: is bitwise-identical to builds without the prior layer
+    #: (exactness contract 9).
+    warm_start: str = "off"
 
     def __post_init__(self) -> None:
         if self.episodes < 1:
@@ -217,6 +222,9 @@ class SearchConfig:
                 "kernel must be auto, numba, reference or mega, "
                 f"got {self.kernel!r}"
             )
+        from repro.core.priors import validate_warm_start
+
+        validate_warm_start(self.warm_start)
         if self.epsilon is None:
             self.epsilon = (
                 EpsilonSchedule.paper(self.episodes)

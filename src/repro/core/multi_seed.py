@@ -45,6 +45,7 @@ from repro.core import checkpoint as ckpt_mod
 from repro.core.config import SearchConfig
 from repro.core.kernels import make_runner, mega_selected, resolve_backend
 from repro.core.polish import coordinate_descent
+from repro.core.priors import prior_row_max
 from repro.core.qtable import QTable
 from repro.core.result import SearchResult
 from repro.engine.lut import LatencyTable
@@ -136,19 +137,27 @@ class _SeedState:
 
 
 class MultiSeedSearch:
-    """K independent QS-DNN searches over one LUT, run in lockstep."""
+    """K independent QS-DNN searches over one LUT, run in lockstep.
+
+    ``prior`` seeds every member's Q table with the same flat block
+    (see :mod:`repro.core.priors`) when ``config.warm_start`` is not
+    ``"off"`` — exactly what each member's independent single-seed run
+    would load, preserving the lockstep == independent contract.
+    """
 
     def __init__(
         self,
         lut: LatencyTable,
         config: SearchConfig | None = None,
         seeds: Sequence[int] = (0,),
+        prior=None,
     ) -> None:
         self.lut = lut
         self.config = config or SearchConfig()
         self.seeds = [int(s) for s in seeds]
         if not self.seeds:
             raise ConfigError("multi-seed search needs at least one seed")
+        self.prior = prior
         self.indexed = lut.indexed()
         self.engine = self.indexed.engine()
 
@@ -169,16 +178,33 @@ class MultiSeedSearch:
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
         anytime = bool(checkpoint_every and on_checkpoint) or resume is not None
+        # Warm start: resolve the prior once per sweep — every seed
+        # loads the same block, exactly what its independent
+        # single-seed run would load (lockstep == independent).  A
+        # resumed sweep never re-applies priors: the snapshots' Q
+        # blocks already carry them.
+        prior_values = None
+        if (
+            resume is None
+            and self.config.warm_start != "off"
+            and self.prior is not None
+        ):
+            prior_values = self.prior.prior_for(
+                self.lut, self.config.discount
+            )
         if mega_selected(self.config.kernel, len(self.seeds)):
             # The structure-of-arrays path: one prange dispatch per
             # episode runs all K seeds (explicit --kernel mega, or
             # auto with K >= MEGA_SEED_THRESHOLD under numba).
-            return self._run_mega(checkpoint_every, on_checkpoint, resume)
+            return self._run_mega(
+                checkpoint_every, on_checkpoint, resume, prior_values
+            )
         if (
             self.config.replay_enabled
             or self.config.first_visit_bootstrap
             or resolve_backend(self.config.kernel) == "numba"
             or anytime
+            or prior_values is not None
         ):
             # Replay is a sequential per-seed update chain (each replayed
             # transition bootstraps from the chain so far) and the
@@ -190,8 +216,11 @@ class MultiSeedSearch:
             # or resuming) also route here: the fused path is bitwise
             # equal to the vectorized one (the existing exactness
             # contract) and its per-seed runners carry the canonical
-            # checkpoint state.
-            return self._run_lockstep_fused(checkpoint_every, on_checkpoint, resume)
+            # checkpoint state.  Warm-started runs route here too —
+            # the per-seed QTables take the prior block directly.
+            return self._run_lockstep_fused(
+                checkpoint_every, on_checkpoint, resume, prior_values
+            )
         return self._run_lockstep_vectorized()
 
     # -- the lockstep kernel-fused path (replay on / first-visit) ------------
@@ -201,6 +230,7 @@ class MultiSeedSearch:
         checkpoint_every: int | None = None,
         on_checkpoint=None,
         resume: dict | None = None,
+        prior_values: np.ndarray | None = None,
     ) -> MultiSeedResult:
         cfg = self.config
         idx = self.indexed
@@ -221,6 +251,7 @@ class MultiSeedSearch:
                 mode=self.lut.mode,
                 episodes=cfg.episodes,
                 seeds=self.seeds,
+                warm_start=cfg.warm_start,
             )
 
         states: list[_SeedState] = []
@@ -237,6 +268,10 @@ class MultiSeedSearch:
                 # Before make_runner: the reference backend mirrors the
                 # flat arrays at construction.
                 ckpt_mod.restore_seed_arrays(resume["seeds"][s], qtable)
+            elif prior_values is not None:
+                # Same ordering constraint as resume: load before the
+                # runner mirrors the flat arrays.
+                qtable.load_prior(prior_values)
             state = _SeedState(
                 seed,
                 qtable,
@@ -333,6 +368,7 @@ class MultiSeedSearch:
                     kernel=cfg.kernel,
                     elapsed_s=elapsed_s + (time.perf_counter() - started),
                     epsilon_trace=epsilon_trace,
+                    warm_start=cfg.warm_start,
                     seed_snaps=[
                         ckpt_mod.seed_snapshot(
                             state.seed,
@@ -376,6 +412,7 @@ class MultiSeedSearch:
                     config=replace(cfg, seed=state.seed),
                     greedy_ms=float(greedy_ms),
                     kernel_backend=backend,
+                    warm_start=cfg.warm_start,
                 )
             )
         wall = elapsed_s + (time.perf_counter() - started)
@@ -395,6 +432,7 @@ class MultiSeedSearch:
         checkpoint_every: int | None = None,
         on_checkpoint=None,
         resume: dict | None = None,
+        prior_values: np.ndarray | None = None,
     ) -> MultiSeedResult:
         """Run all K seeds as structure-of-arrays mega-kernel dispatches.
 
@@ -455,12 +493,23 @@ class MultiSeedSearch:
                 mode=self.lut.mode,
                 episodes=cfg.episodes,
                 seeds=self.seeds,
+                warm_start=cfg.warm_start,
             )
             for s in range(num_seeds):
                 snap = resume["seeds"][s]
                 ckpt_mod.restore_mega_seed(snap, state, s)
                 ckpt_mod.set_rng_state(policy_rngs[s], snap["policy_rng"])
                 ckpt_mod.set_rng_state(replay_rngs[s], snap["replay_rng"])
+        elif prior_values is not None:
+            # Tile the prior block across the seed axis — ``q[s]`` is
+            # each seed's flat ``QTable`` block, so this is exactly
+            # what K independent ``load_prior`` calls would write.
+            prior_rm = prior_row_max(
+                prior_values, list(idx.num_actions), row_sizes
+            )
+            for s in range(num_seeds):
+                state.q[s] = prior_values
+                state.row_max[s] = prior_rm
 
         shaping = cfg.reward_shaping
         track_curve = cfg.track_curve
@@ -601,6 +650,7 @@ class MultiSeedSearch:
                     kernel=cfg.kernel,
                     elapsed_s=elapsed_s + (time.perf_counter() - started),
                     epsilon_trace=epsilon_trace,
+                    warm_start=cfg.warm_start,
                     seed_snaps=[
                         ckpt_mod.mega_seed_snapshot(
                             state,
@@ -648,6 +698,7 @@ class MultiSeedSearch:
                     config=replace(cfg, seed=seed),
                     greedy_ms=float(greedy_ms),
                     kernel_backend="mega",
+                    warm_start=cfg.warm_start,
                 )
             )
         wall = elapsed_s + (time.perf_counter() - started)
@@ -915,6 +966,7 @@ class MultiSeedSearch:
                     epsilon_trace=list(epsilon_trace) if track_curve else [],
                     config=replace(cfg, seed=seed),
                     greedy_ms=float(engine.price(walk)),
+                    warm_start=cfg.warm_start,
                 )
             )
         wall = time.perf_counter() - started

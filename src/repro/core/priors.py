@@ -1,0 +1,510 @@
+"""Pluggable Q-priors: transfer-learned warm starts (ROADMAP item 1).
+
+The paper's §VII names value-function approximation as the path beyond
+tabular QS-DNN; the fleet already holds the raw material — a
+:class:`~repro.runtime.store.ResultStore` corpus of solved
+(network, platform, mode) instances and the tiered LUT cache.  This
+module turns that corpus into *initial* Q-tables, replacing the
+hard-wired ``np.zeros`` seam with one pluggable layer:
+
+* :class:`ZeroPrior` — today's behavior.  ``warm_start="off"`` runs are
+  bitwise-identical to pre-prior builds (exactness contract 9).
+* :class:`StoredQPrior` — replay a stored solution of the *same*
+  scenario: the schedule's per-stage costs become optimistic per-state
+  priors, so exploitation starts from the known-good schedule instead
+  of from uniform zeros.
+* :class:`SurrogatePrior` — cross-network transfer: a linear cost
+  surrogate trained on (static features → log-latency) pairs harvested
+  from the corpus' LUTs (reusing the ``ext/linear_q`` feature map),
+  *excluding* the target network, predicts per-action costs on the
+  held-out target and seeds the prior from the predicted schedule.
+
+Determinism rules
+-----------------
+
+* Prior construction draws **no** randomness: same corpus → same prior,
+  and the search's RNG streams are untouched, so a warm run is exactly
+  reproducible from (seed, corpus).
+* Priors are applied to the flat Q block *before* the first episode and
+  never on resume — a checkpoint carries the live Q state, so resumed
+  warm runs stay bitwise-identical to uninterrupted ones even if the
+  corpus changed in between.
+* Every prior fills complete rows with finite values and the row-max
+  cache is recomputed exactly (``QTable.load_prior``), preserving the
+  greedy tie-breaking contract of :meth:`QTable.greedy_action`.
+
+Transport
+---------
+
+Fleet workers have no store.  A resolver prior (:class:`StoredQPrior`,
+:class:`SurrogatePrior`) can be collapsed into a portable *spec* —
+small JSON carrying the resolved schedule or surrogate weights — via
+:meth:`QPrior.spec_text`, shipped in the lease grant, and revived with
+:func:`decode_prior_spec` on the worker (floats round-trip bitwise
+through shortest-repr JSON literals).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.backends.registry import registered_libraries
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.lut import IndexedLUT, LatencyTable
+
+#: Accepted values of every ``warm_start`` knob (config, job, CLI).
+WARM_START_CHOICES = ("off", "stored", "surrogate")
+
+#: Version tag of the portable prior-spec JSON.
+PRIOR_SPEC_FORMAT = 1
+
+#: Floor under measured/predicted latencies before taking log10.
+_LOG_FLOOR_MS = 1e-6
+
+
+def validate_warm_start(kind: str) -> str:
+    """Validate a ``warm_start`` knob value; returns it unchanged."""
+    if kind not in WARM_START_CHOICES:
+        raise ConfigError(
+            f"warm_start must be one of {WARM_START_CHOICES}, got {kind!r}"
+        )
+    return kind
+
+
+# -- shared feature map (ext/linear_q reuses this) ---------------------------
+
+
+def static_features(
+    idx: "IndexedLUT",
+    meta: dict,
+    libraries: tuple[str, ...] | None = None,
+) -> list[np.ndarray]:
+    """Per layer: ``(num_candidates, 4 + len(libraries))`` feature rows.
+
+    The static block of the ``ext/linear_q`` feature map: bias,
+    normalized depth, GPU flag, log10 latency, and the library one-hot
+    in :func:`~repro.backends.registry.registered_libraries` order.
+    Libraries outside the registry (synthetic test LUTs) encode as
+    all-zeros, matching the historical membership check.
+    """
+    if libraries is None:
+        libraries = registered_libraries()
+    depth_scale = max(len(idx) - 1, 1)
+    rows: list[np.ndarray] = []
+    for i, uids in enumerate(idx.candidate_uids):
+        block = np.zeros((len(uids), 4 + len(libraries)), dtype=np.float64)
+        for a, uid in enumerate(uids):
+            m = meta[uid]
+            block[a, 0] = 1.0  # bias
+            block[a, 1] = i / depth_scale
+            block[a, 2] = 1.0 if str(m.processor) == "gpu" else 0.0
+            block[a, 3] = math.log10(max(idx.times[i][a], _LOG_FLOOR_MS))
+            if m.library in libraries:
+                block[a, 4 + libraries.index(m.library)] = 1.0
+        rows.append(block)
+    return rows
+
+
+# -- flat-block construction -------------------------------------------------
+
+
+def q_layout(idx: "IndexedLUT") -> tuple[list[int], list[int]]:
+    """``(num_actions, row_sizes)`` of the Q-table over this LUT.
+
+    Mirrors the wiring every search uses: layer i's state rows are its
+    primary graph predecessor's action count (1 for virtual-start
+    layers).
+    """
+    num_actions = [int(n) for n in idx.num_actions]
+    row_sizes = [
+        1 if p < 0 else num_actions[p] for p in idx.q_parent
+    ]
+    return num_actions, row_sizes
+
+
+def prior_row_max(
+    values: np.ndarray, num_actions: list[int], row_sizes: list[int]
+) -> np.ndarray:
+    """Exact per-row maxima of a flat Q block (the row-max cache).
+
+    Bitwise the same computation :meth:`QTable.load_prior` performs —
+    the mega kernel tiles priors into its SoA state through this.
+    """
+    out = np.empty(sum(row_sizes), dtype=np.float64)
+    pos = 0
+    rm = 0
+    for n, r in zip(num_actions, row_sizes):
+        block = values[pos : pos + r * n].reshape(r, n)
+        out[rm : rm + r] = block.max(axis=1)
+        pos += r * n
+        rm += r
+    return out
+
+
+def schedule_prior_block(
+    idx: "IndexedLUT",
+    choices: list[int],
+    stage_times: list[np.ndarray],
+    discount: float,
+) -> np.ndarray:
+    """Flat Q block seeded from a reference schedule.
+
+    ``choices`` is the reference schedule (one action index per layer);
+    ``stage_times[i]`` the per-action stage times of layer ``i``
+    (measured for stored priors, predicted for surrogate priors).  Each
+    entry becomes the discounted return of "take action ``a`` in state
+    ``(i, r)``, then follow the reference schedule"::
+
+        cost(i, r, a) = stage_times[i][a] + sum of incoming penalties
+                        (row-conditioned on the primary parent,
+                         reference-conditioned on other predecessors)
+        T(i)          = -ref_cost(i) + discount * T(i+1),  T(L) = 0
+        Q(i, r, a)    = -cost(i, r, a) + discount * T(i+1)
+
+    All values are finite and negative-tailed, so the least-cost action
+    of every row is its argmax — optimism never detours exploitation
+    through a known-bad action.
+    """
+    num_layers = len(idx)
+    num_actions, row_sizes = q_layout(idx)
+    costs: list[np.ndarray] = []
+    for i in range(num_layers):
+        cost = np.tile(
+            np.asarray(stage_times[i], dtype=np.float64),
+            (row_sizes[i], 1),
+        )
+        for producer, edge_idx in idx.incoming[i]:
+            edge = idx.edge_matrices[edge_idx]
+            if producer == idx.q_parent[i]:
+                cost = cost + edge
+            else:
+                cost = cost + edge[choices[producer], :][None, :]
+        costs.append(cost)
+    tails = np.zeros(num_layers + 1, dtype=np.float64)
+    for i in range(num_layers - 1, -1, -1):
+        parent = idx.q_parent[i]
+        ref_row = 0 if parent < 0 else choices[parent]
+        ref_cost = float(costs[i][ref_row, choices[i]])
+        tails[i] = -ref_cost + discount * tails[i + 1]
+    blocks = [
+        (-costs[i] + discount * tails[i + 1]).ravel()
+        for i in range(num_layers)
+    ]
+    return np.concatenate(blocks)
+
+
+# -- the prior protocol and its implementations ------------------------------
+
+
+@runtime_checkable
+class QPrior(Protocol):
+    """One pluggable Q-initialization strategy."""
+
+    #: Which ``warm_start`` knob value this prior implements.
+    kind: str
+
+    def prior_for(
+        self, lut: "LatencyTable", discount: float = 0.9
+    ) -> np.ndarray | None:
+        """The flat Q block for this LUT, or None for a cold start."""
+        ...  # pragma: no cover - protocol
+
+    def spec_text(self, lut: "LatencyTable") -> str | None:
+        """Portable resolved form (lease transport), or None."""
+        ...  # pragma: no cover - protocol
+
+
+class ZeroPrior:
+    """Today's behavior: zero-initialized Q, bitwise default."""
+
+    kind = "off"
+
+    def prior_for(self, lut, discount: float = 0.9) -> np.ndarray | None:
+        return None
+
+    def spec_text(self, lut) -> str | None:
+        return None
+
+
+class SchedulePrior:
+    """A prior built from one concrete schedule (layer → uid).
+
+    The portable, store-free form of :class:`StoredQPrior` — what fleet
+    workers decode out of a lease grant.  Returns None (cold start)
+    when the schedule does not fit the target LUT (a layer or uid
+    missing — e.g. the corpus entry predates a design-space change).
+    """
+
+    kind = "stored"
+
+    def __init__(self, assignments: dict[str, str]) -> None:
+        self.assignments = dict(assignments)
+
+    def _choices(self, idx: "IndexedLUT") -> list[int] | None:
+        choices: list[int] = []
+        for i, name in enumerate(idx.layer_names):
+            uid = self.assignments.get(name)
+            if uid is None or uid not in idx.candidate_uids[i]:
+                return None
+            choices.append(idx.candidate_uids[i].index(uid))
+        return choices
+
+    def prior_for(self, lut, discount: float = 0.9) -> np.ndarray | None:
+        idx = lut.indexed()
+        choices = self._choices(idx)
+        if choices is None:
+            return None
+        return schedule_prior_block(idx, choices, idx.times, discount)
+
+    def spec_text(self, lut=None) -> str | None:
+        # No target-LUT validation here: the worker-side ``prior_for``
+        # already degrades an unfit schedule to a cold start, and spec
+        # resolution must work from job identity alone (the service
+        # resolves specs without loading the target LUT).
+        return encode_prior_spec(
+            {"kind": "stored", "assignments": self.assignments}
+        )
+
+
+class WeightsPrior:
+    """A prior built from trained surrogate weights.
+
+    The portable, store-free form of :class:`SurrogatePrior`.  Predicts
+    per-action log-latencies from the shared static feature map, takes
+    the predicted-best schedule as reference, and prices its prior with
+    the predicted stage times plus the target's *real* edge penalties.
+    """
+
+    kind = "surrogate"
+
+    def __init__(
+        self, weights: np.ndarray, libraries: tuple[str, ...]
+    ) -> None:
+        self.weights = np.asarray(weights, dtype=np.float64)
+        self.libraries = tuple(libraries)
+
+    def prior_for(self, lut, discount: float = 0.9) -> np.ndarray | None:
+        idx = lut.indexed()
+        features = static_features(idx, lut.meta, self.libraries)
+        if features and features[0].shape[1] != self.weights.shape[0]:
+            return None  # trained against a different feature dim
+        predicted = [
+            np.maximum(
+                10.0 ** (block @ self.weights), _LOG_FLOOR_MS
+            )
+            for block in features
+        ]
+        choices = [int(np.argmin(p)) for p in predicted]
+        return schedule_prior_block(idx, choices, predicted, discount)
+
+    def spec_text(self, lut=None) -> str | None:
+        return encode_prior_spec(
+            {
+                "kind": "surrogate",
+                "weights": [float(w) for w in self.weights],
+                "libraries": list(self.libraries),
+            }
+        )
+
+
+class StoredQPrior:
+    """Replay the best stored solution of this exact scenario.
+
+    ``store`` is duck-typed (anything with the
+    :meth:`~repro.runtime.store.ResultStore.query` signature) so core
+    keeps no runtime dependency.  Falls back to a cold start when the
+    corpus holds no usable schedule.
+    """
+
+    kind = "stored"
+
+    def __init__(self, store) -> None:
+        self.store = store
+
+    def _best_assignments(
+        self, network: str, platform: str, mode: str
+    ) -> dict[str, str] | None:
+        best_ms = math.inf
+        best: dict[str, str] | None = None
+        for row in self.store.query(
+            network=network, platform=platform, mode=mode
+        ):
+            payload = row.payload
+            member = getattr(payload, "best", None)
+            if member is None:
+                member = payload
+            assignments = getattr(member, "best_assignments", None)
+            ms = getattr(member, "best_ms", None)
+            if assignments is None or ms is None:
+                continue
+            if float(ms) < best_ms:
+                best_ms = float(ms)
+                best = dict(assignments)
+        return best
+
+    def _schedule(
+        self, network: str, platform: str, mode: str
+    ) -> SchedulePrior | None:
+        assignments = self._best_assignments(network, platform, mode)
+        if assignments is None:
+            return None
+        return SchedulePrior(assignments)
+
+    def prior_for(self, lut, discount: float = 0.9) -> np.ndarray | None:
+        schedule = self._schedule(
+            lut.graph_name, lut.platform_name, lut.mode
+        )
+        if schedule is None:
+            return None
+        return schedule.prior_for(lut, discount)
+
+    def spec_text(self, lut) -> str | None:
+        schedule = self._schedule(
+            lut.graph_name, lut.platform_name, lut.mode
+        )
+        if schedule is None:
+            return None
+        return schedule.spec_text(lut)
+
+
+class SurrogatePrior:
+    """Cross-network cost surrogate trained on the corpus' LUTs.
+
+    Harvests (static features → log10 latency) pairs from every corpus
+    network of the same (platform, mode) **excluding** the target
+    (held-out semantics), fits one deterministic least-squares model,
+    and seeds the target's prior from the predicted costs.
+
+    ``lut_resolver`` maps a stored :class:`CampaignJob` to its cached
+    :class:`LatencyTable` (or None) and must be *cache-only* — warming
+    a search must never trigger corpus profiling.
+    """
+
+    kind = "surrogate"
+
+    def __init__(self, store, lut_resolver) -> None:
+        self.store = store
+        self.lut_resolver = lut_resolver
+
+    def _fit(
+        self, network: str, platform: str, mode: str
+    ) -> WeightsPrior | None:
+        libraries = registered_libraries()
+        features: list[np.ndarray] = []
+        targets: list[np.ndarray] = []
+        seen: set[str] = set()
+        for row in self.store.query(platform=platform, mode=mode):
+            job = row.job
+            if job.network == network or job.network in seen:
+                continue
+            corpus_lut = self.lut_resolver(job)
+            if corpus_lut is None:
+                continue
+            seen.add(job.network)
+            cidx = corpus_lut.indexed()
+            for i, block in enumerate(
+                static_features(cidx, corpus_lut.meta, libraries)
+            ):
+                features.append(block)
+                targets.append(
+                    np.log10(np.maximum(cidx.times[i], _LOG_FLOOR_MS))
+                )
+        if not features:
+            return None
+        design = np.vstack(features)
+        response = np.concatenate(targets)
+        weights, *_ = np.linalg.lstsq(design, response, rcond=None)
+        return WeightsPrior(weights, libraries)
+
+    def prior_for(self, lut, discount: float = 0.9) -> np.ndarray | None:
+        fitted = self._fit(lut.graph_name, lut.platform_name, lut.mode)
+        if fitted is None:
+            return None
+        return fitted.prior_for(lut, discount)
+
+    def spec_text(self, lut) -> str | None:
+        fitted = self._fit(lut.graph_name, lut.platform_name, lut.mode)
+        if fitted is None:
+            return None
+        return fitted.spec_text(lut)
+
+
+# -- resolution and transport ------------------------------------------------
+
+
+def make_prior(kind: str, store=None, lut_resolver=None) -> QPrior:
+    """The prior implementing one ``warm_start`` knob value.
+
+    ``stored``/``surrogate`` without a store degrade to
+    :class:`ZeroPrior` — a warm request where no corpus is reachable
+    runs cold rather than failing the job.
+    """
+    validate_warm_start(kind)
+    if kind == "off" or store is None:
+        return ZeroPrior()
+    if kind == "stored":
+        return StoredQPrior(store)
+    return SurrogatePrior(store, lut_resolver or (lambda job: None))
+
+
+def resolve_prior_spec(
+    kind: str,
+    network: str,
+    platform: str,
+    mode: str,
+    store,
+    lut_resolver=None,
+) -> str | None:
+    """Resolve a portable prior spec from job identity alone.
+
+    What a submitter with corpus access (the service, or the CLI
+    against a local store) computes before shipping the job: the
+    stored or surrogate prior collapsed to transport JSON.  Needs no
+    target LUT — unfit schedules degrade to cold starts worker-side.
+    Returns None (run cold) when the corpus offers nothing.
+    """
+    validate_warm_start(kind)
+    if kind == "off" or store is None:
+        return None
+    if kind == "stored":
+        schedule = StoredQPrior(store)._schedule(network, platform, mode)
+        return schedule.spec_text() if schedule is not None else None
+    fitted = SurrogatePrior(
+        store, lut_resolver or (lambda job: None)
+    )._fit(network, platform, mode)
+    return fitted.spec_text() if fitted is not None else None
+
+
+def encode_prior_spec(spec: dict) -> str:
+    """Serialize a portable prior spec (compact, float-exact JSON)."""
+    return json.dumps(
+        {"format": PRIOR_SPEC_FORMAT, **spec}, separators=(",", ":")
+    )
+
+
+def decode_prior_spec(text: str) -> QPrior:
+    """Revive a prior from its portable spec (the lease payload)."""
+    try:
+        body = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"malformed prior spec: {exc}") from None
+    if not isinstance(body, dict) or body.get("format") != PRIOR_SPEC_FORMAT:
+        raise ConfigError(
+            f"unsupported prior spec format {body.get('format')!r} "
+            f"(this build reads format {PRIOR_SPEC_FORMAT})"
+        )
+    kind = body.get("kind")
+    if kind == "stored":
+        return SchedulePrior(dict(body["assignments"]))
+    if kind == "surrogate":
+        return WeightsPrior(
+            np.asarray(body["weights"], dtype=np.float64),
+            tuple(body["libraries"]),
+        )
+    raise ConfigError(f"unknown prior spec kind {kind!r}")

@@ -252,6 +252,30 @@ class QTable:
             ].max()
         return new
 
+    def load_prior(self, values: np.ndarray) -> None:
+        """Seed the table from a flat prior block (warm start).
+
+        Overwrites every Q entry and recomputes the row-max cache as
+        the *exact* per-row maximum — :meth:`greedy_action` locates the
+        argmax by row-max equality, so an approximate cache would break
+        its deterministic tie-breaking.  Visit flags are untouched: a
+        prior is an initial value estimate, not a visit.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != self._data.shape:
+            raise SearchError(
+                f"prior block has shape {values.shape}, "
+                f"table expects {self._data.shape}"
+            )
+        self._data[:] = values
+        for layer in range(self._num_layers):
+            block = self._data[
+                self._q_off[layer] : self._q_off[layer + 1]
+            ].reshape(self.row_sizes[layer], self.num_actions[layer])
+            self._row_max[
+                self._rm_off[layer] : self._rm_off[layer + 1]
+            ] = block.max(axis=1)
+
     def greedy_rollout(self, parents: list[int] | None = None) -> list[int]:
         """The current fully-greedy decision sequence.
 

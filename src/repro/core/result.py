@@ -43,6 +43,9 @@ class SearchResult:
     #: baselines, and the replay-off multi-seed sweep, whose lockstep
     #: path batches eq. (2) across seeds in numpy instead.
     kernel_backend: str | None = None
+    #: Which Q-prior seeded this run ("off" = cold start; see
+    #: :mod:`repro.core.priors`).
+    warm_start: str = "off"
 
     @property
     def best_curve(self) -> list[float]:

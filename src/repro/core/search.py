@@ -52,11 +52,24 @@ from repro.utils.rng import RngStream
 
 
 class QSDNNSearch:
-    """The RL-based search engine over a profiled latency table."""
+    """The RL-based search engine over a profiled latency table.
 
-    def __init__(self, lut: LatencyTable, config: SearchConfig | None = None) -> None:
+    ``prior`` (any :class:`~repro.core.priors.QPrior`) seeds the Q
+    table when ``config.warm_start`` is not ``"off"``; a prior that
+    resolves to None leaves the zero init (cold start).  The knob and
+    the prior travel together: ``warm_start`` labels the result and
+    checkpoints, the prior supplies the values.
+    """
+
+    def __init__(
+        self,
+        lut: LatencyTable,
+        config: SearchConfig | None = None,
+        prior=None,
+    ) -> None:
         self.lut = lut
         self.config = config or SearchConfig()
+        self.prior = prior
         self.indexed = lut.indexed()
         self.engine: CostEngine = self.indexed.engine()
         self._num_layers = len(self.indexed)
@@ -105,10 +118,19 @@ class QSDNNSearch:
                 mode=self.lut.mode,
                 episodes=cfg.episodes,
                 seeds=[cfg.seed],
+                warm_start=cfg.warm_start,
             )
             # The flat arrays must hold the checkpointed Q state before
             # the runner mirrors them at construction.
             ckpt_mod.restore_seed_arrays(resume["seeds"][0], qtable)
+        elif cfg.warm_start != "off" and self.prior is not None:
+            # Warm start: seed the flat arrays before the runner
+            # mirrors them (same ordering constraint as resume).  A
+            # resumed run never re-applies the prior — the snapshot's
+            # Q block already carries it.
+            values = self.prior.prior_for(self.lut, cfg.discount)
+            if values is not None:
+                qtable.load_prior(values)
         runner = make_runner(
             self.engine,
             qtable,
@@ -193,6 +215,7 @@ class QSDNNSearch:
                     kernel=cfg.kernel,
                     elapsed_s=elapsed_s + (time.perf_counter() - started),
                     epsilon_trace=epsilon_trace,
+                    warm_start=cfg.warm_start,
                     seed_snaps=[
                         ckpt_mod.seed_snapshot(
                             cfg.seed,
@@ -231,4 +254,5 @@ class QSDNNSearch:
             config=cfg,
             greedy_ms=float(greedy_ms),
             kernel_backend=runner.backend,
+            warm_start=cfg.warm_start,
         )

@@ -30,15 +30,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends.registry import registered_libraries
 from repro.core.config import SearchConfig
 from repro.core.polish import coordinate_descent
+from repro.core.priors import static_features
 from repro.core.result import SearchResult
 from repro.engine.lut import LatencyTable
 from repro.errors import ConfigError
 from repro.utils.rng import RngStream
 
-#: Library order for the one-hot block (covers both platform modes).
-_LIBRARIES = ("vanilla", "blas", "nnpack", "armcl", "sparse", "cudnn", "cublas")
+#: Library order for the one-hot block, derived from the backend
+#: registry so new backend modules extend the encoding instead of
+#: misaligning it against a stale hardcoded tuple.
+_LIBRARIES = registered_libraries()
 
 
 @dataclass
@@ -82,21 +86,7 @@ class LinearQSearch:
         magnitude) are appended at rollout time; here we precompute the
         static block.
         """
-        idx = self.idx
-        rows: list[np.ndarray] = []
-        depth_scale = max(self._num_layers - 1, 1)
-        for i, uids in enumerate(idx.candidate_uids):
-            block = np.zeros((len(uids), 4 + len(_LIBRARIES)), dtype=np.float64)
-            for a, uid in enumerate(uids):
-                meta = self.lut.meta[uid]
-                block[a, 0] = 1.0  # bias
-                block[a, 1] = i / depth_scale
-                block[a, 2] = 1.0 if str(meta.processor) == "gpu" else 0.0
-                block[a, 3] = math.log10(max(idx.times[i][a], 1e-6))
-                if meta.library in _LIBRARIES:
-                    block[a, 4 + _LIBRARIES.index(meta.library)] = 1.0
-            rows.append(block)
-        return rows
+        return static_features(self.idx, self.lut.meta, _LIBRARIES)
 
     def _phi(self, layer: int, action: int, penalty_ms: float) -> np.ndarray:
         """Full feature vector: static block + dynamic penalty features."""

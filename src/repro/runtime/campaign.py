@@ -50,7 +50,19 @@ PLATFORM_FACTORIES = {
 }
 
 #: Payload kinds a campaign job can compute.
-JOB_KINDS = ("table2", "compare", "cem", "ga", "multi-seed", "search")
+JOB_KINDS = (
+    "table2",
+    "compare",
+    "cem",
+    "ga",
+    "multi-seed",
+    "search",
+    "linear-q",
+    "mlp-q",
+)
+
+#: Kinds whose searches can be seeded from a Q prior (warm start).
+WARMABLE_KINDS = ("search", "multi-seed")
 
 
 def require_canonical_platform(platform) -> str:
@@ -101,6 +113,10 @@ class CampaignJob:
     #: Episode-kernel backend of the job's QS-DNN searches ("auto",
     #: "numba", "reference" or "mega"; see :mod:`repro.core.kernels`).
     kernel: str = "auto"
+    #: Q-prior seeding the job's search (``off``/``stored``/
+    #: ``surrogate``; see :mod:`repro.core.priors`).  Only the
+    #: checkpointable search kinds accept a warm start.
+    warm_start: str = "off"
 
     def __post_init__(self) -> None:
         if self.network not in available_networks():
@@ -137,6 +153,14 @@ class CampaignJob:
             raise ConfigError(
                 "kernel must be auto, numba, reference or mega, "
                 f"got {self.kernel!r}"
+            )
+        from repro.core.priors import validate_warm_start
+
+        validate_warm_start(self.warm_start)
+        if self.warm_start != "off" and self.kind not in WARMABLE_KINDS:
+            raise ConfigError(
+                f"warm_start={self.warm_start!r} applies to kinds "
+                f"{WARMABLE_KINDS}, not {self.kind!r}"
             )
 
     @property
@@ -363,6 +387,7 @@ def execute_job(
     checkpoint_dir: str | Path | None = None,
     resume_text: str | None = None,
     on_checkpoint=None,
+    warm_text: str | None = None,
 ) -> CampaignResult:
     """Run one job to completion (profiling, search, baselines).
 
@@ -380,6 +405,13 @@ def execute_job(
     :func:`_spool_checkpoint_callback` (the pool-worker path).
     ``resume_text`` is an encoded checkpoint to continue from; the
     resumed run finishes bitwise-identical to an uninterrupted one.
+
+    ``warm_text`` is an encoded Q-prior spec
+    (:func:`repro.core.priors.encode_prior_spec`) for jobs with
+    ``warm_start != "off"`` — the transport-level form a submitter or
+    service resolved from its result corpus.  A warm job with no spec
+    (the corpus had nothing to offer) runs cold, by design: warm
+    starts accelerate, they never gate.
     """
     from repro.analysis.compare import compare_methods
     from repro.analysis.speedup import auto_episodes, table2_row_from_lut
@@ -413,6 +445,15 @@ def execute_job(
                 else None
             ),
         }
+    prior = None
+    if job.warm_start != "off" and warm_text is not None:
+        from repro.core.priors import decode_prior_spec
+
+        prior = decode_prior_spec(warm_text)
+        DEFAULT_REGISTRY.counter(
+            "repro_warm_starts_total",
+            "Warm-started search jobs executed, by prior kind.",
+        ).inc(kind=prior.kind)
     started = time.perf_counter()
     lut, from_cache = load_or_profile_lut(job, cache_dir, cache_remote)
     if shared_tables is not None:
@@ -435,19 +476,43 @@ def execute_job(
             payload = cross_entropy_method(lut, episodes=episodes, seed=job.seed)
         elif job.kind == "ga":
             payload = genetic_search(lut, episodes=episodes, seed=job.seed)
+        elif job.kind == "linear-q":
+            from repro.ext.linear_q import LinearQConfig, LinearQSearch
+
+            payload = LinearQSearch(
+                lut, LinearQConfig(episodes=episodes, seed=job.seed)
+            ).run()
+        elif job.kind == "mlp-q":
+            from repro.ext.mlp_q import MLPQConfig, MLPQSearch
+
+            payload = MLPQSearch(
+                lut, MLPQConfig(episodes=episodes, seed=job.seed)
+            ).run()
         elif job.kind == "search":
             # Deliberately identical to `repro search` over this LUT:
             # same config defaults, same auto budget -> bitwise-equal
             # best_ms (the service's e2e acceptance check).
             payload = QSDNNSearch(
                 lut,
-                SearchConfig(episodes=episodes, seed=job.seed, kernel=job.kernel),
+                SearchConfig(
+                    episodes=episodes,
+                    seed=job.seed,
+                    kernel=job.kernel,
+                    warm_start=job.warm_start,
+                ),
+                prior=prior,
             ).run(**anytime)
         else:  # "multi-seed" — validated at construction
             payload = MultiSeedSearch(
                 lut,
-                SearchConfig(episodes=episodes, seed=job.seed, kernel=job.kernel),
+                SearchConfig(
+                    episodes=episodes,
+                    seed=job.seed,
+                    kernel=job.kernel,
+                    warm_start=job.warm_start,
+                ),
                 seeds=seed_range(job.seed, job.seeds),
+                prior=prior,
             ).run(**anytime)
     return CampaignResult(
         job=job,
@@ -475,6 +540,10 @@ class Campaign:
         URL (or list of URLs) of remote shard servers (a ``repro
         serve`` instance with a ``--cache-dir``) chained behind the
         local tier; see :mod:`repro.runtime.lutcache`.
+    warm_store:
+        Path of a :class:`~repro.runtime.store.ResultStore` database
+        to resolve warm-start Q-priors from (jobs with
+        ``warm_start != "off"``).  None runs warm jobs cold.
     """
 
     def __init__(
@@ -483,6 +552,7 @@ class Campaign:
         workers: int = 1,
         cache_dir: str | Path | None = None,
         cache_remote: str | list[str] | None = None,
+        warm_store: str | Path | None = None,
     ) -> None:
         if not jobs:
             raise ConfigError("a campaign needs at least one job")
@@ -492,6 +562,7 @@ class Campaign:
         self.workers = workers
         self.cache_dir = cache_dir
         self.cache_remote = cache_remote
+        self.warm_store = warm_store
 
     def run(self) -> list[CampaignResult]:
         """Execute every job; results come back in job order.
@@ -504,10 +575,16 @@ class Campaign:
         when a worker crashes mid-job (``finally``), so a killed
         worker never leaks ``/dev/shm`` space.
         """
+        warm_texts = self._warm_texts()
         if self.workers == 1:
             return [
-                execute_job(job, self.cache_dir, self.cache_remote)
-                for job in self.jobs
+                execute_job(
+                    job,
+                    self.cache_dir,
+                    self.cache_remote,
+                    warm_text=warm_texts[i],
+                )
+                for i, job in enumerate(self.jobs)
             ]
         max_workers = min(self.workers, len(self.jobs))
         exported = self.export_shared_tables()
@@ -520,12 +597,49 @@ class Campaign:
                         self.cache_dir,
                         self.cache_remote,
                         self._segment_name(exported, job),
+                        warm_text=warm_texts[i],
                     )
-                    for job in self.jobs
+                    for i, job in enumerate(self.jobs)
                 ]
                 return [f.result() for f in futures]
         finally:
             release_shared_tables(exported)
+
+    def _warm_texts(self) -> list[str | None]:
+        """Per-job warm prior specs, resolved once per scenario.
+
+        The campaign parent is the only place with store access (pool
+        workers receive the portable spec, exactly like fleet workers
+        receive it in a lease grant).  No store, or nothing usable in
+        it, runs the job cold.
+        """
+        texts: list[str | None] = [None] * len(self.jobs)
+        if self.warm_store is None or all(
+            job.warm_start == "off" for job in self.jobs
+        ):
+            return texts
+        from repro.core.priors import resolve_prior_spec
+        from repro.runtime.store import ResultStore
+
+        cache = open_cache(self.cache_dir, self.cache_remote)
+        resolver = cache.peek if cache is not None else None
+        memo: dict[tuple, str | None] = {}
+        with ResultStore(self.warm_store) as store:
+            for i, job in enumerate(self.jobs):
+                if job.warm_start == "off":
+                    continue
+                key = (job.warm_start, job.network, job.platform, job.mode)
+                if key not in memo:
+                    memo[key] = resolve_prior_spec(
+                        job.warm_start,
+                        job.network,
+                        job.platform,
+                        job.mode,
+                        store,
+                        resolver,
+                    )
+                texts[i] = memo[key]
+        return texts
 
     def export_shared_tables(self) -> dict[LutKey, SharedCostTables]:
         """Export one shared segment per unique cache-resolvable LUT key.
@@ -569,12 +683,14 @@ def grid(
     kind: str = "table2",
     seeds_per_job: int = 8,
     kernel: str = "auto",
+    warm_start: str = "off",
 ) -> list[CampaignJob]:
     """The full (network x platform x mode x seed) job cross-product.
 
     ``seeds_per_job`` is the K of ``kind="multi-seed"`` jobs (each grid
     seed starts an independent K-seed lockstep sweep); ``kernel``
-    selects the episode-kernel backend of every job's searches.
+    selects the episode-kernel backend of every job's searches;
+    ``warm_start`` requests Q-prior seeding for warmable kinds.
     """
     jobs = [
         CampaignJob(
@@ -586,6 +702,7 @@ def grid(
             kind=kind,
             seeds=seeds_per_job,
             kernel=kernel,
+            warm_start=warm_start,
         )
         for platform in (platforms or ["jetson_tx2"])
         for mode in (modes or ["cpu"])

@@ -7,8 +7,9 @@ This module is the (stdlib-only) observability substrate behind
 ``GET /metrics``:
 
 * :class:`Counter` — monotone totals (``repro_jobs_completed_total``,
-  and the anytime-search trio ``repro_checkpoints_written_total`` /
-  ``repro_jobs_preempted_total`` / ``repro_jobs_resumed_total``),
+  the anytime-search trio ``repro_checkpoints_written_total`` /
+  ``repro_jobs_preempted_total`` / ``repro_jobs_resumed_total``, and
+  the warm-start uptake counter ``repro_warm_starts_total{kind=...}``),
   optionally labelled (``{worker="w1-local"}``).
 * :class:`Gauge` — point-in-time values, either set explicitly or
   computed at scrape time from a callback (queue depth, lease ages —

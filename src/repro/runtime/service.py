@@ -290,6 +290,11 @@ class JobRecord:
     #: Encoded checkpoint the next grant should resume from (attached
     #: on ``"resume": true`` submissions and crash-recovery requeues).
     resume_text: str | None = field(default=None, repr=False)
+    #: Encoded Q-prior spec for warm-started jobs — resolved from the
+    #: result corpus at submission, shipped to whichever worker (pool
+    #: or fleet) runs the job.  None means the job runs cold even if
+    #: it asked for a warm start (the corpus had nothing to offer).
+    warm_text: str | None = field(default=None, repr=False)
     #: Latest in-flight progress (``{"episode", "best_ms"}``) reported
     #: through a fleet heartbeat's checkpoint carriage.
     progress: dict | None = None
@@ -368,6 +373,7 @@ def jobs_from_body(body: dict) -> tuple[list[CampaignJob], int]:
             "kind",
             "seeds_per_job",
             "kernel",
+            "warm_start",
         }
         unknown = set(body) - allowed
         if unknown:
@@ -384,6 +390,7 @@ def jobs_from_body(body: dict) -> tuple[list[CampaignJob], int]:
             kind=body.get("kind", "search"),
             seeds_per_job=body.get("seeds_per_job", 8),
             kernel=body.get("kernel", "auto"),
+            warm_start=body.get("warm_start", "off"),
         )
         return jobs, priority
     allowed = {
@@ -396,6 +403,7 @@ def jobs_from_body(body: dict) -> tuple[list[CampaignJob], int]:
         "repeats",
         "seeds",
         "kernel",
+        "warm_start",
     }
     unknown = set(body) - allowed
     if unknown:
@@ -533,6 +541,11 @@ class CampaignService:
         self._m_resumed = m.counter(
             "repro_jobs_resumed_total",
             "Jobs granted with a resume checkpoint attached.",
+        )
+        self._m_warm = m.counter(
+            "repro_warm_starts_total",
+            "Jobs admitted with a warm-start Q-prior spec resolved "
+            "from the result corpus, by prior kind.",
         )
         self._h_lease_batch = m.histogram(
             "repro_lease_batch_jobs",
@@ -673,12 +686,41 @@ class CampaignService:
             stored_ckpt = self.store.get_checkpoint(key)
             if stored_ckpt is not None:
                 record.resume_text = stored_ckpt.text
+        if job.warm_start != "off":
+            record.warm_text = self._resolve_warm(job)
+            if record.warm_text is not None:
+                self._m_warm.inc(kind=job.warm_start)
         self.records[record.id] = record
         self._active[key] = record
         self._pending += 1
         self._queue.put_nowait((priority, next(self._order), record))
         self._prune_records(keep=record.id)
         return record
+
+    def _resolve_warm(self, job: CampaignJob) -> str | None:
+        """Resolve a warm job's prior spec from this service's corpus.
+
+        Runs at admission (synchronously — a store scan plus, for
+        surrogate priors, cache-only LUT peeks and one least-squares
+        fit over small feature matrices).  Every failure degrades to a
+        cold start: warm starts accelerate jobs, they never gate them.
+        """
+        from repro.core.priors import resolve_prior_spec
+        from repro.runtime.lutcache import open_cache
+
+        cache = open_cache(self.config.cache_dir, self.config.cache_remote)
+        resolver = cache.peek if cache is not None else None
+        try:
+            return resolve_prior_spec(
+                job.warm_start,
+                job.network,
+                job.platform,
+                job.mode,
+                self.store,
+                resolver,
+            )
+        except Exception:
+            return None
 
     def _prune_records(self, keep: str) -> None:
         """Evict the oldest terminal records past ``keep_records``.
@@ -1002,6 +1044,7 @@ class CampaignService:
                     checkpoint_every=self.config.checkpoint_every or None,
                     checkpoint_dir=self._spool_dir,
                     resume_text=record.resume_text,
+                    warm_text=record.warm_text,
                 )
                 result = await loop.run_in_executor(self._executor, call)
             except PreemptedError as error:
@@ -1909,6 +1952,13 @@ class CampaignService:
                     }
                     if resume:
                         grant["resume"] = resume
+                    warm = {
+                        r.id: r.warm_text
+                        for r in records
+                        if r.warm_text is not None
+                    }
+                    if warm:
+                        grant["warm"] = warm
                     await _respond(writer, 200, grant)
             elif (
                 method == "POST"

@@ -121,22 +121,25 @@ def job_key(job: CampaignJob) -> str:
 
     Every field of the job participates (episodes/repeats/seeds/kernel
     included), so distinct scenarios never alias.  ``episodes=None``
-    (the per-network auto budget) keys as ``auto``.
+    (the per-network auto budget) keys as ``auto``.  ``warm_start``
+    appends a segment only when set, so every pre-prior key — and the
+    stored corpus built under it — stays valid verbatim.
     """
     episodes = "auto" if job.episodes is None else str(job.episodes)
-    return "/".join(
-        [
-            job.network,
-            job.platform,
-            job.mode,
-            f"seed{job.seed}",
-            job.kind,
-            f"ep{episodes}",
-            f"r{job.repeats}",
-            f"k{job.seeds}",
-            job.kernel,
-        ]
-    )
+    parts = [
+        job.network,
+        job.platform,
+        job.mode,
+        f"seed{job.seed}",
+        job.kind,
+        f"ep{episodes}",
+        f"r{job.repeats}",
+        f"k{job.seeds}",
+        job.kernel,
+    ]
+    if job.warm_start != "off":
+        parts.append(f"warm-{job.warm_start}")
+    return "/".join(parts)
 
 
 def encode_payload(payload) -> tuple[str, str]:
@@ -218,6 +221,7 @@ def _search_result_dict(result: SearchResult) -> dict:
         "greedy_ms": result.greedy_ms,
         "kernel_backend": result.kernel_backend,
         "seed": config.seed if config is not None else None,
+        "warm_start": result.warm_start,
     }
 
 
@@ -238,6 +242,7 @@ def _search_result_from(body: dict) -> SearchResult:
         config=config,
         greedy_ms=body["greedy_ms"],
         kernel_backend=body["kernel_backend"],
+        warm_start=body.get("warm_start", "off"),
     )
 
 

@@ -268,6 +268,7 @@ class FleetWorker:
         entries = grant.get("jobs") or [grant["job"]]
         checkpoint_every = int(grant.get("checkpoint_every") or 0) or None
         resume_map = grant.get("resume") or {}
+        warm_map = grant.get("warm") or {}
         beat = _Heartbeat(self.client, lease_id, self.heartbeat_s)
         beat.start()
         outcomes: list[dict] = []
@@ -285,6 +286,7 @@ class FleetWorker:
                         self.config.cache_remote,
                         checkpoint_every=checkpoint_every,
                         resume_text=resume_map.get(entry["id"]),
+                        warm_text=warm_map.get(entry["id"]),
                         on_checkpoint=(
                             self._make_on_checkpoint(beat, entry["id"])
                             if checkpoint_every

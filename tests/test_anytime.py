@@ -124,6 +124,36 @@ class TestCheckpointCodec:
         with pytest.raises(CheckpointError, match="outside"):
             check_resume(dict(ckpt, episode=60), **good)
 
+    def test_warm_checkpoints_record_the_kind(self):
+        """A warm run's checkpoint names its prior kind; a cold run's
+        omits the key entirely (byte-identical to pre-prior captures),
+        and resuming across the warm/cold boundary is refused."""
+        from repro.core.priors import SchedulePrior
+
+        lut = synthetic_chain_lut(3, 2, seed=5)
+        probe = QSDNNSearch(lut, _config(episodes=8, seed=9)).run()
+        prior = SchedulePrior(probe.best_assignments)
+
+        cold_ckpt = _capture_at(lut, _config(), episode=2)
+        assert "warm_start" not in cold_ckpt
+
+        def stop(ckpt: dict):
+            return ckpt["episode"] < 2
+
+        with pytest.raises(PreemptedError) as exc:
+            QSDNNSearch(
+                lut, _config(warm_start="stored"), prior=prior
+            ).run(checkpoint_every=1, on_checkpoint=stop)
+        warm_ckpt = decode_checkpoint(encode_checkpoint(exc.value.checkpoint))
+        assert warm_ckpt["warm_start"] == "stored"
+
+        with pytest.raises(CheckpointError, match="warm_start"):
+            QSDNNSearch(lut, _config()).run(resume=warm_ckpt)
+        with pytest.raises(CheckpointError, match="warm_start"):
+            QSDNNSearch(
+                lut, _config(warm_start="stored"), prior=prior
+            ).run(resume=cold_ckpt)
+
     def test_capture_requires_valid_interval(self):
         lut = synthetic_chain_lut(4, 2, seed=0)
         with pytest.raises(ConfigError, match="checkpoint_every"):
@@ -292,38 +322,50 @@ class TestResumeProperties:
         boundary=st.integers(min_value=1, max_value=89),
         replay=st.booleans(),
         fvb=st.booleans(),
+        warm=st.booleans(),
     )
     @settings(max_examples=20, deadline=None)
     def test_search_resume_bitwise_anywhere(
         self, num_layers, num_actions, lut_seed, seed, episodes,
-        boundary, replay, fvb,
+        boundary, replay, fvb, warm,
     ):
-        """Preempt at *any* episode boundary under any config: the
-        resumed run's result is bitwise the uninterrupted one's."""
+        """Preempt at *any* episode boundary under any config — warm
+        starts included: the resumed run's result is bitwise the
+        uninterrupted one's."""
         boundary = 1 + boundary % (episodes - 1)  # in (0, episodes)
         lut = synthetic_chain_lut(num_layers, num_actions, seed=lut_seed)
+        prior = None
+        if warm:
+            from repro.core.priors import SchedulePrior
+
+            probe = QSDNNSearch(
+                lut, _config(episodes=8, seed=seed + 1000)
+            ).run()
+            prior = SchedulePrior(probe.best_assignments)
 
         def config() -> SearchConfig:
             return _config(
                 episodes=episodes, seed=seed,
                 replay_enabled=replay, first_visit_bootstrap=fvb,
+                warm_start="stored" if warm else "off",
             )
 
-        plain = QSDNNSearch(lut, config()).run()
+        plain = QSDNNSearch(lut, config(), prior=prior).run()
 
         def stop(ckpt: dict):
             return ckpt["episode"] < boundary
 
         with pytest.raises(PreemptedError) as exc:
-            QSDNNSearch(lut, config()).run(
+            QSDNNSearch(lut, config(), prior=prior).run(
                 checkpoint_every=1, on_checkpoint=stop
             )
         ckpt = decode_checkpoint(encode_checkpoint(exc.value.checkpoint))
         assert ckpt["episode"] == boundary
-        resumed = QSDNNSearch(lut, config()).run(resume=ckpt)
+        resumed = QSDNNSearch(lut, config(), prior=prior).run(resume=ckpt)
         assert resumed.best_ms == plain.best_ms
         assert resumed.curve_ms == plain.curve_ms
         assert resumed.best_assignments == plain.best_assignments
+        assert resumed.warm_start == ("stored" if warm else "off")
 
     @given(
         lut_seed=st.integers(min_value=0, max_value=10_000),
@@ -332,34 +374,43 @@ class TestResumeProperties:
         replay=st.booleans(),
         capture_mega=st.booleans(),
         resume_mega=st.booleans(),
+        warm=st.booleans(),
     )
     @settings(max_examples=10, deadline=None)
     def test_multi_seed_cross_backend_resume_bitwise(
         self, lut_seed, num_seeds, boundary, replay, capture_mega,
-        resume_mega,
+        resume_mega, warm,
     ):
         lut = synthetic_chain_lut(4, 3, seed=lut_seed)
         seeds = seed_range(0, num_seeds)
+        prior = None
+        if warm:
+            from repro.core.priors import SchedulePrior
+
+            probe = QSDNNSearch(lut, _config(episodes=8, seed=777)).run()
+            prior = SchedulePrior(probe.best_assignments)
 
         def config(mega: bool) -> SearchConfig:
             return _config(
                 replay_enabled=replay,
                 kernel="mega" if mega else "reference",
+                warm_start="stored" if warm else "off",
             )
 
-        plain = MultiSeedSearch(lut, config(resume_mega), seeds=seeds).run()
+        def search(mega: bool) -> MultiSeedSearch:
+            return MultiSeedSearch(
+                lut, config(mega), seeds=seeds, prior=prior
+            )
+
+        plain = search(resume_mega).run()
 
         def stop(ckpt: dict):
             return ckpt["episode"] < boundary
 
         with pytest.raises(PreemptedError) as exc:
-            MultiSeedSearch(lut, config(capture_mega), seeds=seeds).run(
-                checkpoint_every=1, on_checkpoint=stop
-            )
+            search(capture_mega).run(checkpoint_every=1, on_checkpoint=stop)
         ckpt = decode_checkpoint(encode_checkpoint(exc.value.checkpoint))
-        resumed = MultiSeedSearch(lut, config(resume_mega), seeds=seeds).run(
-            resume=ckpt
-        )
+        resumed = search(resume_mega).run(resume=ckpt)
         for a, b in zip(plain.results, resumed.results):
             assert a.best_ms == b.best_ms
             assert a.curve_ms == b.curve_ms

@@ -20,7 +20,8 @@ sys.modules.setdefault("check_bench_regression", gate)
 _spec.loader.exec_module(gate)
 
 
-def _artifact(path, clocks, multi_seed=None, mega_batch=None, backend="reference"):
+def _artifact(path, clocks, multi_seed=None, mega_batch=None,
+              warm_start=None, backend="reference"):
     path.write_text(
         json.dumps(
             {
@@ -35,6 +36,7 @@ def _artifact(path, clocks, multi_seed=None, mega_batch=None, backend="reference
                 "search_wall_clock_s": clocks,
                 "multi_seed": multi_seed or {},
                 "mega_batch": mega_batch or {},
+                "warm_start": warm_start or {},
             }
         )
     )
@@ -151,6 +153,41 @@ class TestMain:
         code = gate.main(["--baseline", str(base), "--current", str(slow)])
         assert code == 1
         assert "mega_batch" in capsys.readouterr().out
+
+    def test_exit_one_on_warm_start_regression_alone(self, tmp_path, capsys):
+        """Transfer-quality regressions gate without a noise floor —
+        episodes-to-match ratios are deterministic episode counts, so
+        even sub-floor wall clocks must not mute the comparison."""
+        warm = {"kind": "stored", "wall_clock_s": 0.01}
+        base = _artifact(
+            tmp_path / "base.json",
+            {"lenet5": 0.1},
+            warm_start={"tiny_yolo_v2": dict(warm, ratio=0.3)},
+        )
+        slow = _artifact(
+            tmp_path / "slow.json",
+            {"lenet5": 0.1},
+            warm_start={"tiny_yolo_v2": dict(warm, ratio=0.5)},
+        )
+        code = gate.main(["--baseline", str(base), "--current", str(slow)])
+        assert code == 1
+        assert "warm_start" in capsys.readouterr().out
+
+    def test_warm_start_growth_within_threshold_passes(self, tmp_path):
+        warm = {"kind": "stored", "wall_clock_s": 0.01}
+        base = _artifact(
+            tmp_path / "base.json",
+            {"lenet5": 0.1},
+            warm_start={"tiny_yolo_v2": dict(warm, ratio=0.40)},
+        )
+        now = _artifact(
+            tmp_path / "now.json",
+            {"lenet5": 0.1},
+            warm_start={"tiny_yolo_v2": dict(warm, ratio=0.50)},
+        )
+        assert gate.main(
+            ["--baseline", str(base), "--current", str(now)]
+        ) == 0
 
     def test_exit_one_when_nothing_overlaps(self, tmp_path):
         base = _artifact(tmp_path / "base.json", {"lenet5": 0.1})

@@ -109,6 +109,76 @@ class TestCheckArtifact:
         assert gate.check_artifact(payload) == []
 
 
+def _warm_entry(**overrides):
+    entry = {
+        "kind": "stored",
+        "cold_best_ms": 15.9,
+        "warm_best_ms": 15.9,
+        "cold_episodes": 1000,
+        "warm_episodes": 500,
+        "episodes_to_match": 450,
+        "ratio": 0.45,
+        "wall_clock_s": 0.08,
+    }
+    entry.update(overrides)
+    return entry
+
+
+def _warm_artifact(**overrides):
+    payload = _valid_artifact(
+        schema_version=gate.WARM_SCHEMA_VERSION,
+        warm_start={
+            "squeezenet_v1.1": _warm_entry(),
+            "tiny_yolo_v2": _warm_entry(episodes_to_match=None, ratio=0.5),
+        },
+    )
+    payload.update(overrides)
+    return payload
+
+
+class TestWarmStartSection:
+    def test_valid_warm_artifact_passes(self):
+        assert gate.check_artifact(_warm_artifact()) == []
+
+    def test_schema_4_artifacts_need_no_warm_section(self):
+        assert gate.check_artifact(_valid_artifact()) == []
+
+    def test_schema_5_requires_the_section(self):
+        payload = _warm_artifact()
+        del payload["warm_start"]
+        problems = gate.check_artifact(payload)
+        assert any("missing warm_start" in p for p in problems)
+
+    def test_requires_two_held_out_networks(self):
+        payload = _warm_artifact(
+            warm_start={"tiny_yolo_v2": _warm_entry()}
+        )
+        problems = gate.check_artifact(payload)
+        assert any(">= 2 held-out" in p for p in problems)
+
+    def test_ratio_over_the_bar_fails(self):
+        payload = _warm_artifact()
+        payload["warm_start"]["tiny_yolo_v2"]["ratio"] = 0.51
+        problems = gate.check_artifact(payload)
+        assert any("ratio" in p for p in problems)
+        # A never-matching run records inf, which JSON can't carry as
+        # a number — a null ratio must fail too, not pass vacuously.
+        payload["warm_start"]["tiny_yolo_v2"]["ratio"] = None
+        assert any("ratio" in p for p in gate.check_artifact(payload))
+
+    def test_warm_worse_than_cold_fails(self):
+        payload = _warm_artifact()
+        payload["warm_start"]["tiny_yolo_v2"]["warm_best_ms"] = 16.0
+        problems = gate.check_artifact(payload)
+        assert any("worse than" in p for p in problems)
+
+    def test_unknown_prior_kind_fails(self):
+        payload = _warm_artifact()
+        payload["warm_start"]["tiny_yolo_v2"]["kind"] = "psychic"
+        problems = gate.check_artifact(payload)
+        assert any("kind" in p for p in problems)
+
+
 class TestMain:
     def test_valid_artifact_exits_zero(self, tmp_path, capsys):
         path = tmp_path / "BENCH_search.json"

@@ -1,0 +1,454 @@
+"""The pluggable Q-prior layer: warm starts from the result corpus.
+
+Three layers of proof.  Core: priors produce finite, correctly-shaped
+flat Q blocks, ``warm_start="off"`` stays bitwise-identical to a build
+without the subsystem, and every exactness contract (lockstep ==
+independent, mega == fused) survives a warm start.  Transport: specs
+round-trip float-exactly, resolve from job identity alone, and unfit
+schedules degrade to cold starts instead of failing.  Runtime: the
+store keys/payloads, campaign jobs, and service bodies carry the knob
+— and only when it is set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MultiSeedSearch, QSDNNSearch, SearchConfig, seed_range
+from repro.core.priors import (
+    PRIOR_SPEC_FORMAT,
+    SchedulePrior,
+    StoredQPrior,
+    SurrogatePrior,
+    WeightsPrior,
+    ZeroPrior,
+    decode_prior_spec,
+    encode_prior_spec,
+    make_prior,
+    prior_row_max,
+    q_layout,
+    resolve_prior_spec,
+    validate_warm_start,
+)
+from repro.errors import ConfigError
+
+from tests.helpers import synthetic_chain_lut, trap_lut
+
+
+def _config(**overrides) -> SearchConfig:
+    fields = dict(episodes=60, seed=3, polish_sweeps=0, kernel="reference")
+    fields.update(overrides)
+    return SearchConfig(**fields)
+
+
+def _schedule_prior(lut, episodes: int = 20, seed: int = 99) -> SchedulePrior:
+    """A stored-style prior mined from a quick probe run on ``lut``."""
+    probe = QSDNNSearch(lut, _config(episodes=episodes, seed=seed)).run()
+    return SchedulePrior(probe.best_assignments)
+
+
+class _FakeRow:
+    def __init__(self, job, payload):
+        self.job = job
+        self.payload = payload
+
+
+class _FakeStore:
+    """Duck-typed stand-in for ``ResultStore.query`` over synthetic jobs."""
+
+    def __init__(self, rows):
+        self._rows = list(rows)
+
+    def query(self, network=None, platform=None, mode=None):
+        return [
+            r for r in self._rows
+            if (network is None or r.job.network == network)
+            and (platform is None or r.job.platform == platform)
+            and (mode is None or r.job.mode == mode)
+        ]
+
+
+class _Job:
+    def __init__(self, network, platform="synthetic", mode="synthetic"):
+        self.network = network
+        self.platform = platform
+        self.mode = mode
+
+
+class TestValidation:
+    def test_accepts_every_choice(self):
+        for kind in ("off", "stored", "surrogate"):
+            assert validate_warm_start(kind) == kind
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ConfigError, match="warm_start"):
+            validate_warm_start("hot")
+        with pytest.raises(ConfigError, match="warm_start"):
+            SearchConfig(episodes=10, warm_start="hot")
+
+
+class TestPriorBlocks:
+    def test_zero_prior_is_cold(self):
+        lut = synthetic_chain_lut(4, 3, seed=1)
+        assert ZeroPrior().prior_for(lut) is None
+        assert ZeroPrior().spec_text(lut) is None
+
+    def test_schedule_prior_shape_and_finiteness(self):
+        lut = synthetic_chain_lut(5, 4, seed=2)
+        idx = lut.indexed()
+        values = _schedule_prior(lut).prior_for(lut)
+        num_actions, row_sizes = q_layout(idx)
+        assert values.shape == (
+            sum(r * n for r, n in zip(row_sizes, num_actions)),
+        )
+        assert np.all(np.isfinite(values))
+        assert np.all(values <= 0.0)  # negative-tailed optimism
+
+    def test_prior_row_max_matches_blockwise_max(self):
+        lut = synthetic_chain_lut(4, 3, seed=5)
+        idx = lut.indexed()
+        values = _schedule_prior(lut).prior_for(lut)
+        num_actions, row_sizes = q_layout(idx)
+        rm = prior_row_max(values, num_actions, row_sizes)
+        pos = out = 0
+        for n, r in zip(num_actions, row_sizes):
+            block = values[pos : pos + r * n].reshape(r, n)
+            assert np.array_equal(rm[out : out + r], block.max(axis=1))
+            pos += r * n
+            out += r
+
+    def test_unfit_schedule_degrades_to_cold(self):
+        lut = synthetic_chain_lut(4, 3, seed=1)
+        probe = _schedule_prior(lut)
+        # Missing layer: schedules from a smaller network don't fit.
+        partial = dict(probe.assignments)
+        del partial["layer3"]
+        assert SchedulePrior(partial).prior_for(lut) is None
+        # Unknown uid: a corpus entry predating a design-space change.
+        stale = dict(probe.assignments, layer0="prim_gone")
+        assert SchedulePrior(stale).prior_for(lut) is None
+
+    def test_trap_prior_prefers_the_stored_path(self):
+        """Seeding from the globally-best schedule makes the greedy
+        first action the stored one at the start state."""
+        lut = trap_lut()
+        idx = lut.indexed()
+        prior = SchedulePrior(
+            {"l0": "prim0", "l1": "prim0", "l2": "prim0"}
+        )
+        values = prior.prior_for(lut)
+        num_actions, row_sizes = q_layout(idx)
+        first_row = values[: num_actions[0]]
+        assert int(np.argmax(first_row)) == 0  # prim0, the blue path
+
+
+class TestBitwiseContracts:
+    def test_off_is_bitwise_identical_to_plain(self):
+        lut = synthetic_chain_lut(5, 3, seed=7)
+        plain = QSDNNSearch(lut, _config()).run()
+        off = QSDNNSearch(
+            lut, _config(warm_start="off"), prior=ZeroPrior()
+        ).run()
+        assert off.best_ms == plain.best_ms
+        assert off.curve_ms == plain.curve_ms
+        assert off.warm_start == "off"
+
+    def test_warm_result_carries_the_kind(self):
+        lut = synthetic_chain_lut(5, 3, seed=7)
+        warm = QSDNNSearch(
+            lut, _config(warm_start="stored"), prior=_schedule_prior(lut)
+        ).run()
+        assert warm.warm_start == "stored"
+        assert np.isfinite(warm.best_ms)
+
+    def test_warm_lockstep_equals_warm_independent(self):
+        lut = synthetic_chain_lut(4, 3, seed=11)
+        prior = _schedule_prior(lut)
+        seeds = seed_range(0, 3)
+        multi = MultiSeedSearch(
+            lut, _config(warm_start="stored"), seeds=seeds, prior=prior
+        ).run()
+        for seed, member in zip(seeds, multi.results):
+            solo = QSDNNSearch(
+                lut, _config(seed=seed, warm_start="stored"), prior=prior
+            ).run()
+            assert member.best_ms == solo.best_ms
+            assert member.curve_ms == solo.curve_ms
+
+    def test_warm_mega_equals_warm_fused(self):
+        lut = synthetic_chain_lut(4, 3, seed=13)
+        prior = _schedule_prior(lut)
+        seeds = seed_range(0, 3)
+
+        def run(kernel: str):
+            return MultiSeedSearch(
+                lut,
+                _config(
+                    warm_start="stored", kernel=kernel,
+                    replay_enabled=False,
+                ),
+                seeds=seeds,
+                prior=prior,
+            ).run()
+
+        fused = run("reference")
+        mega = run("mega")
+        for a, b in zip(fused.results, mega.results):
+            assert a.best_ms == b.best_ms
+            assert a.curve_ms == b.curve_ms
+
+
+class TestSpecTransport:
+    def test_stored_spec_round_trips(self):
+        lut = synthetic_chain_lut(4, 3, seed=17)
+        prior = _schedule_prior(lut)
+        revived = decode_prior_spec(prior.spec_text())
+        assert isinstance(revived, SchedulePrior)
+        assert np.array_equal(revived.prior_for(lut), prior.prior_for(lut))
+
+    def test_surrogate_spec_round_trips_floats_bitwise(self):
+        weights = np.array([0.1, -1.0 / 3.0, 5e-324, 2.5])
+        prior = WeightsPrior(weights, ("lib0", "lib1"))
+        revived = decode_prior_spec(prior.spec_text())
+        assert isinstance(revived, WeightsPrior)
+        assert np.array_equal(revived.weights, weights)
+        assert revived.libraries == ("lib0", "lib1")
+
+    def test_decode_rejects_junk(self):
+        with pytest.raises(ConfigError, match="malformed"):
+            decode_prior_spec("{not json")
+        with pytest.raises(ConfigError, match="format"):
+            decode_prior_spec(
+                '{"format":99,"kind":"stored","assignments":{}}'
+            )
+        with pytest.raises(ConfigError, match="kind"):
+            decode_prior_spec(
+                encode_prior_spec({"kind": "psychic"})
+            )
+
+    def test_spec_format_is_stamped(self):
+        text = SchedulePrior({"l0": "prim0"}).spec_text()
+        import json
+
+        assert json.loads(text)["format"] == PRIOR_SPEC_FORMAT
+
+
+class TestCorpusResolution:
+    def _store_with(self, lut, episodes=20, seed=99):
+        probe = QSDNNSearch(lut, _config(episodes=episodes, seed=seed)).run()
+        return _FakeStore(
+            [_FakeRow(_Job(lut.graph_name), probe)]
+        ), probe
+
+    def test_stored_prior_resolves_by_identity(self):
+        lut = synthetic_chain_lut(4, 3, seed=19)
+        store, probe = self._store_with(lut)
+        prior = StoredQPrior(store)
+        assert prior.prior_for(lut) is not None
+        schedule = prior._schedule(lut.graph_name, "synthetic", "synthetic")
+        assert schedule.assignments == probe.best_assignments
+
+    def test_stored_prior_picks_the_best_of_many(self):
+        lut = synthetic_chain_lut(4, 3, seed=19)
+        runs = [
+            QSDNNSearch(lut, _config(episodes=15, seed=s)).run()
+            for s in (1, 2, 3)
+        ]
+        store = _FakeStore(
+            [_FakeRow(_Job(lut.graph_name), r) for r in runs]
+        )
+        best = min(runs, key=lambda r: r.best_ms)
+        schedule = StoredQPrior(store)._schedule(
+            lut.graph_name, "synthetic", "synthetic"
+        )
+        assert schedule.assignments == best.best_assignments
+
+    def test_empty_corpus_runs_cold(self):
+        lut = synthetic_chain_lut(4, 3, seed=19)
+        assert StoredQPrior(_FakeStore([])).prior_for(lut) is None
+        assert (
+            resolve_prior_spec(
+                "stored", lut.graph_name, "synthetic", "synthetic",
+                _FakeStore([]),
+            )
+            is None
+        )
+
+    def test_surrogate_excludes_the_target_network(self):
+        target = synthetic_chain_lut(4, 3, seed=23)
+        luts = {
+            lut.graph_name: lut
+            for lut in (
+                target,
+                synthetic_chain_lut(5, 3, seed=29),
+                synthetic_chain_lut(6, 3, seed=31),
+            )
+        }
+        rows = []
+        for name, lut in luts.items():
+            probe = QSDNNSearch(lut, _config(episodes=10, seed=1)).run()
+            rows.append(_FakeRow(_Job(name), probe))
+        resolved = []
+
+        def resolver(job):
+            resolved.append(job.network)
+            return luts[job.network]
+
+        prior = SurrogatePrior(_FakeStore(rows), resolver)
+        assert prior.prior_for(target) is not None
+        assert target.graph_name not in resolved
+        assert len(resolved) == 2
+
+    def test_surrogate_without_corpus_luts_runs_cold(self):
+        target = synthetic_chain_lut(4, 3, seed=23)
+        probe = QSDNNSearch(target, _config(episodes=10)).run()
+        store = _FakeStore([_FakeRow(_Job("other"), probe)])
+        prior = SurrogatePrior(store, lambda job: None)
+        assert prior.prior_for(target) is None
+
+    def test_resolve_prior_spec_identity_only(self):
+        lut = synthetic_chain_lut(4, 3, seed=19)
+        store, probe = self._store_with(lut)
+        text = resolve_prior_spec(
+            "stored", lut.graph_name, "synthetic", "synthetic", store
+        )
+        revived = decode_prior_spec(text)
+        assert revived.assignments == probe.best_assignments
+        assert (
+            resolve_prior_spec(
+                "off", lut.graph_name, "synthetic", "synthetic", store
+            )
+            is None
+        )
+        with pytest.raises(ConfigError, match="warm_start"):
+            resolve_prior_spec(
+                "hot", lut.graph_name, "synthetic", "synthetic", store
+            )
+
+    def test_make_prior_degrades_without_a_store(self):
+        assert isinstance(make_prior("off"), ZeroPrior)
+        assert isinstance(make_prior("stored"), ZeroPrior)
+        assert isinstance(make_prior("surrogate"), ZeroPrior)
+        store = _FakeStore([])
+        assert isinstance(make_prior("stored", store), StoredQPrior)
+        assert isinstance(make_prior("surrogate", store), SurrogatePrior)
+
+
+class TestRuntimeThreading:
+    def test_job_key_appends_warm_segment_only_when_set(self):
+        from repro.runtime.campaign import CampaignJob
+        from repro.runtime.store import job_key
+
+        cold = CampaignJob(network="fig1_toy", kind="search")
+        warm = CampaignJob(
+            network="fig1_toy", kind="search", warm_start="stored"
+        )
+        assert "warm" not in job_key(cold)
+        assert job_key(warm) == job_key(cold) + "/warm-stored"
+
+    def test_campaign_job_rejects_warm_on_unwarmable_kinds(self):
+        from repro.runtime.campaign import CampaignJob
+
+        with pytest.raises(ConfigError, match="warm_start"):
+            CampaignJob(
+                network="fig1_toy", kind="table2", warm_start="stored"
+            )
+        with pytest.raises(ConfigError, match="warm_start"):
+            CampaignJob(
+                network="fig1_toy", kind="search", warm_start="hot"
+            )
+
+    def test_search_result_payload_round_trips_warm_start(self):
+        from repro.runtime.store import decode_payload, encode_payload
+
+        lut = synthetic_chain_lut(3, 2, seed=1)
+        warm = QSDNNSearch(
+            lut, _config(episodes=10, warm_start="stored"),
+            prior=_schedule_prior(lut, episodes=5),
+        ).run()
+        kind, text = encode_payload(warm)
+        assert decode_payload(kind, text).warm_start == "stored"
+        # Pre-PR payload text (no warm_start key) decodes as cold.
+        import json
+
+        body = json.loads(text)
+        del body["warm_start"]
+        assert decode_payload(kind, json.dumps(body)).warm_start == "off"
+
+    def test_execute_job_applies_warm_text_and_counts_it(self):
+        from repro.runtime.campaign import CampaignJob, execute_job
+        from repro.runtime.metrics import DEFAULT_REGISTRY
+
+        job = CampaignJob(
+            network="fig1_toy", mode="cpu", episodes=12, kind="search",
+            warm_start="stored",
+        )
+        cold = execute_job(
+            CampaignJob(
+                network="fig1_toy", mode="cpu", episodes=40, kind="search"
+            )
+        )
+        warm_text = SchedulePrior(
+            cold.payload.best_assignments
+        ).spec_text()
+
+        def warm_total():
+            for sample in DEFAULT_REGISTRY.render().splitlines():
+                if sample.startswith(
+                    'repro_warm_starts_total{kind="stored"}'
+                ):
+                    return float(sample.rsplit(" ", 1)[1])
+            return 0.0
+
+        before = warm_total()
+        result = execute_job(job, warm_text=warm_text)
+        assert result.payload.warm_start == "stored"
+        assert warm_total() == before + 1.0
+
+    def test_execute_job_runs_cold_without_warm_text(self):
+        from repro.runtime.campaign import CampaignJob, execute_job
+
+        warm_job = CampaignJob(
+            network="fig1_toy", mode="cpu", episodes=12, kind="search",
+            warm_start="stored",
+        )
+        cold_job = CampaignJob(
+            network="fig1_toy", mode="cpu", episodes=12, kind="search"
+        )
+        warm = execute_job(warm_job)  # no spec reached the worker
+        cold = execute_job(cold_job)
+        assert warm.payload.best_ms == cold.payload.best_ms
+        assert warm.payload.curve_ms == cold.payload.curve_ms
+        # The *requested* kind is still recorded for observability.
+        assert warm.payload.warm_start == "stored"
+
+    @pytest.mark.parametrize("kind,method", [
+        ("linear-q", "linear-q"),
+        ("mlp-q", "mlp-q"),
+    ])
+    def test_approx_q_job_kinds(self, kind, method):
+        from repro.runtime.campaign import CampaignJob, execute_job
+
+        job = CampaignJob(
+            network="fig1_toy", mode="cpu", episodes=10, kind=kind
+        )
+        result = execute_job(job)
+        assert result.payload.method == method
+        assert np.isfinite(result.payload.best_ms)
+
+    def test_service_body_accepts_warm_start(self):
+        from repro.runtime.service import jobs_from_body
+
+        jobs, _ = jobs_from_body(
+            {"network": "fig1_toy", "warm_start": "stored"}
+        )
+        assert jobs[0].warm_start == "stored"
+        jobs, _ = jobs_from_body(
+            {"networks": ["fig1_toy"], "warm_start": "surrogate"}
+        )
+        assert jobs[0].warm_start == "surrogate"
+        with pytest.raises(ConfigError):
+            jobs_from_body(
+                {"network": "fig1_toy", "warm_start": "hot"}
+            )

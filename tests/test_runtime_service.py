@@ -152,6 +152,48 @@ class TestSubmitPollResult:
             assert live.client.health()["queue_depth"] == 4
 
 
+class TestWarmStartSubmission:
+    def test_warm_submit_mines_the_corpus(self):
+        """Cold solve -> warm re-submit at half budget: the service
+        resolves a stored prior from its own corpus, the warm run is no
+        worse, and the uptake counter shows on ``GET /metrics``."""
+        with LiveService() as live:
+            cold = live.client.submit(_toy_body(seed=0))[0]
+            cold_final = live.client.wait(cold["id"], timeout=120)
+            warm = live.client.submit(
+                _toy_body(
+                    seed=0, episodes=EPISODES // 2, warm_start="stored"
+                )
+            )[0]
+            warm_final = live.client.wait(warm["id"], timeout=120)
+            metrics = live.client.metrics()
+        assert warm_final["state"] == "done"
+        assert not warm_final["from_store"]  # warm key != cold key
+        payload = warm_final["payload"]
+        assert payload["warm_start"] == "stored"
+        assert payload["best_ms"] <= cold_final["best_ms"]
+        assert 'repro_warm_starts_total{kind="stored"} 1' in metrics
+
+    def test_warm_submit_with_empty_corpus_degrades_to_cold(self):
+        """No corpus rows -> the job still runs, bitwise-cold, and the
+        uptake counter stays silent (nothing was resolved)."""
+        with LiveService() as live:
+            record = live.client.submit(_toy_body(warm_start="stored"))[0]
+            final = live.client.wait(record["id"], timeout=120)
+            metrics = live.client.metrics()
+        assert final["state"] == "done"
+        # Requested kind is recorded even though the prior degraded.
+        assert final["payload"]["warm_start"] == "stored"
+        job = CampaignJob(
+            network="fig1_toy", mode="gpgpu", episodes=EPISODES, kind="search"
+        )
+        lut, _ = load_or_profile_lut(job)
+        local = QSDNNSearch(lut, SearchConfig(episodes=EPISODES)).run()
+        assert final["payload"]["best_ms"] == local.best_ms  # bitwise
+        assert final["payload"]["curve_ms"] == local.curve_ms
+        assert 'repro_warm_starts_total{kind=' not in metrics
+
+
 class TestProgressStreaming:
     def test_stream_matches_curve(self):
         with LiveService() as live:
